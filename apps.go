@@ -1,0 +1,86 @@
+package vpnm
+
+import (
+	"repro/internal/classify"
+	"repro/internal/lpm"
+	"repro/internal/pktbuf"
+	"repro/internal/reassembly"
+	"repro/internal/sim"
+)
+
+// Memory is the cycle-level interface the applications build on; a
+// *Controller satisfies it (as do the experimental baselines).
+type Memory = sim.Memory
+
+// Packet buffering (paper Section 5.4.1): per-queue FIFOs of fixed
+// cells with all payload in VPNM memory.
+type (
+	// PacketBufferConfig sizes a packet buffer.
+	PacketBufferConfig = pktbuf.Config
+	// CellBuffer is the cell-granular buffer.
+	CellBuffer = pktbuf.Buffer
+	// PacketBuffer layers variable-size packets over a CellBuffer.
+	PacketBuffer = pktbuf.PacketBuffer
+)
+
+// NewCellBuffer builds a cell-granular packet buffer over mem.
+func NewCellBuffer(mem Memory, cfg PacketBufferConfig) (*CellBuffer, error) {
+	return pktbuf.New(mem, cfg)
+}
+
+// NewPacketBuffer layers packet segmentation and reassembly over buf.
+func NewPacketBuffer(buf *CellBuffer) *PacketBuffer { return pktbuf.NewPacketBuffer(buf) }
+
+// TCP reassembly (paper Section 5.4.2).
+type (
+	// Reassembler reorders TCP segments through VPNM memory.
+	Reassembler = reassembly.Reassembler
+	// ReassemblerConfig sizes the reassembler's address map.
+	ReassemblerConfig = reassembly.Config
+)
+
+// NewReassembler builds a reassembler over mem.
+func NewReassembler(mem Memory, cfg ReassemblerConfig) *Reassembler {
+	return reassembly.New(mem, cfg)
+}
+
+// IP forwarding (paper Section 6 future work): a multibit LPM trie in
+// VPNM memory with a pipelined lookup engine.
+type (
+	// ForwardingTable is the control-plane trie.
+	ForwardingTable = lpm.Table
+	// ForwardingEngine is the pipelined lookup engine.
+	ForwardingEngine = lpm.Engine
+	// NextHop is a forwarding decision.
+	NextHop = lpm.NextHop
+)
+
+// NewForwardingTable builds a trie whose nodes occupy word addresses
+// [base, base+2*maxNodes) of mem.
+func NewForwardingTable(mem Memory, base uint64, maxNodes int) (*ForwardingTable, error) {
+	return lpm.NewTable(mem, base, maxNodes)
+}
+
+// NewForwardingEngine builds a lookup engine over a synced table.
+func NewForwardingEngine(t *ForwardingTable) *ForwardingEngine { return lpm.NewEngine(t) }
+
+// Packet classification (paper Section 6 future work): hierarchical
+// source/destination tries in VPNM memory.
+type (
+	// Classifier is the two-dimensional rule matcher.
+	Classifier = classify.Classifier
+	// ClassifierRule is one (src prefix, dst prefix, priority, action).
+	ClassifierRule = classify.Rule
+	// ClassifierEngine is the pipelined classification engine.
+	ClassifierEngine = classify.Engine
+)
+
+// NewClassifier builds a classifier whose nodes occupy word addresses
+// [base, base+maxNodes) of mem.
+func NewClassifier(mem Memory, base uint64, maxNodes int) (*Classifier, error) {
+	return classify.New(mem, base, maxNodes)
+}
+
+// NewClassifierEngine builds a classification engine over a synced
+// classifier.
+func NewClassifierEngine(c *Classifier) *ClassifierEngine { return classify.NewEngine(c) }

@@ -1,0 +1,570 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (each iteration regenerates the full data series and
+// reports the headline value as a metric), plus controller
+// microbenchmarks and the ablations DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// and see cmd/vpnmfig for the printed rows themselves.
+package vpnm_test
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/hash"
+	"repro/internal/lpm"
+	"repro/internal/pktbuf"
+	"repro/internal/reassembly"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// --- Figures and tables -------------------------------------------------
+
+func BenchmarkFig1Timelines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scs, err := trace.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(scs) != 3 {
+			b.Fatal("expected 3 scenarios")
+		}
+	}
+}
+
+func BenchmarkFig4DelayBufferMTS(b *testing.B) {
+	var anchor float64
+	for i := 0; i < b.N; i++ {
+		ks, series := figures.Fig4()
+		for si, s := range series {
+			if s.Label == "B=32,Q=8" {
+				for ki, k := range ks {
+					if k == 32 {
+						anchor = series[si].Y[ki]
+					}
+				}
+			}
+		}
+	}
+	b.ReportMetric(anchor, "MTS(B=32,K=32)")
+}
+
+func BenchmarkFig5MarkovMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig5(6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6BankQueueMTS(b *testing.B) {
+	var anchor float64
+	for i := 0; i < b.N; i++ {
+		qs, series := figures.Fig6()
+		for _, s := range series {
+			if s.Label == "B=32" {
+				anchor = s.Y[len(qs)-1]
+			}
+		}
+	}
+	b.ReportMetric(anchor, "MTS(B=32,Q=64)")
+}
+
+func BenchmarkFig7Pareto(b *testing.B) {
+	var points int
+	for i := 0; i < b.N; i++ {
+		fronts := figures.Fig7(figures.Fig7Ratios())
+		points = 0
+		for _, f := range fronts {
+			points += len(f)
+		}
+	}
+	b.ReportMetric(float64(points), "frontier-points")
+}
+
+func BenchmarkTable2OptimalPoints(b *testing.B) {
+	var area float64
+	for i := 0; i < b.N; i++ {
+		rows := figures.Table2()
+		area = rows[0].AreaMM2
+	}
+	b.ReportMetric(area, "mm2(R=1.3,Q=24)")
+}
+
+func BenchmarkTable3PacketBuffering(b *testing.B) {
+	var area float64
+	for i := 0; i < b.N; i++ {
+		rows := figures.Table3()
+		area = rows[len(rows)-1].AreaMM2
+	}
+	b.ReportMetric(area, "our-mm2")
+}
+
+// BenchmarkReassemblyThroughput runs the actual reassembler over VPNM
+// on shuffled segments and reports the measured accesses per chunk —
+// the quantity behind the paper's 40 gbps claim.
+func BenchmarkReassemblyThroughput(b *testing.B) {
+	var perChunk float64
+	for i := 0; i < b.N; i++ {
+		mem, err := core.New(core.Config{HashSeed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := reassembly.New(mem, reassembly.Config{})
+		const chunks = 64
+		payload := make([]byte, reassembly.ChunkBytes)
+		// Deliver all chunks of one stream in reverse: worst-case holes.
+		for c := chunks - 1; c >= 0; c-- {
+			if err := r.Submit(1, uint64(c*reassembly.ChunkBytes), payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !r.Drain(10_000_000) {
+			b.Fatal("drain failed")
+		}
+		n, _, accesses, _ := r.Stats()
+		perChunk = float64(accesses) / float64(n)
+	}
+	b.ReportMetric(perChunk, "accesses/chunk")
+	b.ReportMetric(reassembly.ThroughputGbps(400), "gbps@400MHz")
+}
+
+// BenchmarkValidationSimVsMath measures one quick sim-vs-math point and
+// reports the agreement ratio (cmd/vpnmfig -validate runs the full
+// suite).
+func BenchmarkValidationSimVsMath(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		row, err := figures.ValidateBankQueue(8, 8, 5, 100_000, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = row.Ratio()
+	}
+	b.ReportMetric(ratio, "measured/analytic")
+}
+
+// --- VPNM vs baseline under load (Section 3 motivation) -----------------
+
+func BenchmarkBaselineVsVPNM(b *testing.B) {
+	b.Run("fcfs-same-bank-attack", func(b *testing.B) {
+		var tp float64
+		for i := 0; i < b.N; i++ {
+			f, err := baseline.NewFCFS(baseline.FCFSConfig{Banks: 32, AccessLatency: 20, WordBytes: 8, QueueDepth: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := sim.Run(f, workload.NewBlindAdversary(32, 0), sim.Options{Cycles: 100_000, Policy: sim.Drop})
+			tp = res.Throughput()
+		}
+		b.ReportMetric(tp, "req/cycle")
+	})
+	b.Run("vpnm-same-bank-attack", func(b *testing.B) {
+		var tp float64
+		for i := 0; i < b.N; i++ {
+			c, err := core.New(core.Config{QueueDepth: 64, DelayRows: 128, WordBytes: 8, HashSeed: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := sim.Run(c, workload.NewBlindAdversary(32, 0), sim.Options{Cycles: 100_000, Policy: sim.Drop})
+			tp = res.Throughput()
+		}
+		b.ReportMetric(tp, "req/cycle")
+	})
+}
+
+// BenchmarkControllerShootout drives the three memory systems — the
+// conventional FCFS controller, the CFDS-style reorder window, and
+// VPNM — with the same blind same-bank attack, reporting delivered
+// throughput. Only the randomized controller survives.
+func BenchmarkControllerShootout(b *testing.B) {
+	run := func(b *testing.B, mk func() sim.Memory) {
+		var tp float64
+		for i := 0; i < b.N; i++ {
+			res := sim.Run(mk(), workload.NewBlindAdversary(32, 0), sim.Options{Cycles: 50_000, Policy: sim.Drop})
+			tp = res.Throughput()
+		}
+		b.ReportMetric(tp, "req/cycle")
+	}
+	b.Run("fcfs", func(b *testing.B) {
+		run(b, func() sim.Memory {
+			f, err := baseline.NewFCFS(baseline.FCFSConfig{Banks: 32, AccessLatency: 20, WordBytes: 8, QueueDepth: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return f
+		})
+	})
+	b.Run("cfds-reorder", func(b *testing.B) {
+		run(b, func() sim.Memory {
+			r, err := baseline.NewReorder(baseline.ReorderConfig{Banks: 32, AccessLatency: 20, WordBytes: 8, Window: 64, IssueEvery: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return r
+		})
+	})
+	b.Run("vpnm", func(b *testing.B) {
+		run(b, func() sim.Memory {
+			c, err := core.New(core.Config{QueueDepth: 64, DelayRows: 128, WordBytes: 8, HashSeed: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return c
+		})
+	})
+}
+
+// --- Controller microbenchmarks ------------------------------------------
+
+func benchController(b *testing.B, cfg core.Config, gen workload.Generator) {
+	c, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := gen.Next()
+		switch op.Kind {
+		case workload.OpRead:
+			c.Read(op.Addr) // a rare stall just wastes the slot
+		case workload.OpWrite:
+			c.Write(op.Addr, op.Data)
+		}
+		c.Tick()
+	}
+}
+
+func BenchmarkControllerUniformReads(b *testing.B) {
+	benchController(b, core.Config{WordBytes: 8, HashSeed: 1},
+		workload.NewUniform(1, 0, 1, 0, 8))
+}
+
+func BenchmarkControllerUniformMixed(b *testing.B) {
+	benchController(b, core.Config{WordBytes: 8, HashSeed: 1},
+		workload.NewUniform(1, 0, 1, 0.25, 8))
+}
+
+func BenchmarkControllerMergedReads(b *testing.B) {
+	benchController(b, core.Config{WordBytes: 8, HashSeed: 1}, workload.NewRepeat(42))
+}
+
+func BenchmarkControllerManyBanks(b *testing.B) {
+	benchController(b, core.Config{Banks: 512, QueueDepth: 8, DelayRows: 16, WordBytes: 8, HashSeed: 1},
+		workload.NewUniform(1, 0, 1, 0, 8))
+}
+
+func BenchmarkFCFSUniformReads(b *testing.B) {
+	f, err := baseline.NewFCFS(baseline.FCFSConfig{Banks: 32, AccessLatency: 20, WordBytes: 8, QueueDepth: 24})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewUniform(1, 0, 1, 0, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := gen.Next()
+		f.Read(op.Addr)
+		f.Tick()
+	}
+}
+
+func BenchmarkIdealPipelineReads(b *testing.B) {
+	p, err := baseline.NewIdeal(1000, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewUniform(1, 0, 1, 0, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := gen.Next()
+		p.Read(op.Addr)
+		p.Tick()
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ------------------
+
+// The work-conserving bus vs the paper's strict round-robin: the strict
+// scheduler wastes slots, so under a half-rate random load its queues
+// run visibly hotter (peak occupancy) at identical traffic.
+func BenchmarkAblationBusScheduler(b *testing.B) {
+	run := func(b *testing.B, strict bool) {
+		var peak float64
+		for i := 0; i < b.N; i++ {
+			c, err := core.New(core.Config{QueueDepth: 64, DelayRows: 128, WordBytes: 8, HashSeed: 5, StrictRoundRobin: strict})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := sim.Run(c, workload.NewUniform(2, 0, 1, 0, 8), sim.Options{Cycles: 100_000, Policy: sim.Drop})
+			_ = res
+			peak = float64(c.Stats().PeakQueueLen)
+		}
+		b.ReportMetric(peak, "peak-queue")
+	}
+	b.Run("work-conserving", func(b *testing.B) { run(b, false) })
+	b.Run("strict-round-robin", func(b *testing.B) { run(b, true) })
+}
+
+// Universal hashing vs identity interleaving on the conventional
+// controller: isolates how much of the design is the randomization.
+func BenchmarkAblationHashOnFCFS(b *testing.B) {
+	run := func(b *testing.B, h hash.Func) {
+		var tp float64
+		for i := 0; i < b.N; i++ {
+			f, err := baseline.NewFCFS(baseline.FCFSConfig{Banks: 32, AccessLatency: 20, WordBytes: 8, QueueDepth: 24, Hash: h})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := sim.Run(f, workload.NewBlindAdversary(32, 0), sim.Options{Cycles: 50_000, Policy: sim.Drop})
+			tp = res.Throughput()
+		}
+		b.ReportMetric(tp, "req/cycle")
+	}
+	b.Run("identity", func(b *testing.B) { run(b, nil) })
+	b.Run("h3", func(b *testing.B) { run(b, hash.NewH3(5, 77)) })
+}
+
+// Row-buffer locality: what VPNM's randomization gives up in the
+// common case. A conventional controller streaming sequential
+// addresses with an open-row DRAM enjoys mostly hit-latency accesses;
+// VPNM scatters the same stream and pays the full latency — the cost
+// the paper accepts ("the latency of any given memory access will be
+// increased significantly over the best possible case") to buy the
+// worst-case guarantee.
+func BenchmarkAblationRowLocality(b *testing.B) {
+	const cycles = 50_000
+	b.Run("fcfs-open-row-sequential", func(b *testing.B) {
+		var hitRate, lat float64
+		for i := 0; i < b.N; i++ {
+			f, err := baseline.NewFCFS(baseline.FCFSConfig{
+				Banks: 32, AccessLatency: 20, WordBytes: 8, QueueDepth: 24,
+				RowHitLatency: 4, RowWords: 128,
+				Hash: hash.NewIdentity(64), // sequential stays sequential
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := sim.Run(f, workload.NewStride(0, 1), sim.Options{Cycles: cycles, Policy: sim.Retry, Drain: true})
+			r, _, _, _ := f.Stats()
+			hitRate = float64(f.RowHits()) / float64(r)
+			lat = res.LatMean()
+		}
+		b.ReportMetric(hitRate, "row-hit-rate")
+		b.ReportMetric(lat, "mean-latency")
+	})
+	b.Run("vpnm-sequential", func(b *testing.B) {
+		var lat float64
+		for i := 0; i < b.N; i++ {
+			c, err := core.New(core.Config{WordBytes: 8, HashSeed: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := sim.Run(c, workload.NewStride(0, 1), sim.Options{Cycles: cycles, Policy: sim.Retry, Drain: true})
+			lat = res.LatMean()
+		}
+		b.ReportMetric(lat, "mean-latency")
+	})
+}
+
+// The two bank-queue Markov variants: how much MTS the split-bus
+// scheduler buys over the strict round-robin at the same geometry.
+func BenchmarkAblationMarkovScheduler(b *testing.B) {
+	var slotted, work float64
+	for i := 0; i < b.N; i++ {
+		slotted = analysis.SlottedBankQueueMTS(32, 24, 20, 1.3)
+		work = analysis.BankQueueMTS(32, 24, 20, 1.3)
+	}
+	b.ReportMetric(slotted, "MTS-strict-rr")
+	b.ReportMetric(work, "MTS-work-conserving")
+}
+
+// --- LPM forwarding over VPNM (future-work application) ------------------
+
+func BenchmarkLPMLookupPipeline(b *testing.B) {
+	mem, err := core.New(core.Config{HashSeed: 13})
+	if err != nil {
+		b.Fatal(err)
+	}
+	table, err := lpm.NewTable(mem, 1<<24, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 1000; i++ {
+		if err := table.Insert(rng.Uint32(), 8+rng.IntN(17), lpm.NextHop(1+rng.Uint32N(1<<16))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := table.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	engine := lpm.NewEngine(table)
+	b.ResetTimer()
+	started, finished := 0, 0
+	for finished < b.N {
+		if started < b.N && started-finished < 64 { // keep the pipeline full
+			engine.Start(rng.Uint32(), uint64(started))
+			started++
+		}
+		finished += len(engine.Tick())
+	}
+}
+
+// --- Packet classification over VPNM (future-work application) ------------
+
+func BenchmarkClassifyPipeline(b *testing.B) {
+	mem, err := core.New(core.Config{Banks: 16, QueueDepth: 16, DelayRows: 64, WordBytes: 16, HashSeed: 33})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := classify.New(mem, 0, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 200; i++ {
+		rule := classify.Rule{
+			SrcAddr: rng.Uint32(), SrcLen: rng.IntN(25),
+			DstAddr: rng.Uint32(), DstLen: rng.IntN(25),
+			Priority: rng.IntN(1000), Action: 1 + rng.Uint32N(1<<16),
+		}
+		if err := cl.AddRule(rule); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := cl.Sync(16); err != nil {
+		b.Fatal(err)
+	}
+	engine := classify.NewEngine(cl)
+	b.ResetTimer()
+	started, finished := 0, 0
+	for finished < b.N {
+		if started < b.N && started-finished < 64 {
+			engine.Start(rng.Uint32(), rng.Uint32(), uint64(started))
+			started++
+		}
+		finished += len(engine.Tick())
+	}
+	_, fin, reads, _ := engine.Stats()
+	if fin > 0 {
+		b.ReportMetric(float64(reads)/float64(fin), "node-reads/packet")
+	}
+}
+
+// --- Re-keying (Section 4 defence) ---------------------------------------
+
+func BenchmarkRekey(b *testing.B) {
+	c, err := core.New(core.Config{WordBytes: 8, HashSeed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate 1024 words so the relocation cost is realistic.
+	for i := 0; i < 1024; i++ {
+		for c.Write(uint64(i), []byte{byte(i)}) != nil {
+			c.Tick()
+		}
+		c.Tick()
+	}
+	c.Flush()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		_, cy, _, err := c.Rekey(uint64(i) + 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = cy
+	}
+	b.ReportMetric(float64(cycles), "cycles/rekey")
+}
+
+// --- Workload trace record/replay -----------------------------------------
+
+func BenchmarkTraceRecordReplay(b *testing.B) {
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		rec, err := workload.NewRecorder(workload.NewUniform(1, 1<<20, 1, 0.25, 8), &buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 1000; j++ {
+			rec.Next()
+		}
+		if err := rec.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		rep, err := workload.NewReplayer(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for !rep.Done() {
+			rep.Next()
+		}
+	}
+	b.ReportMetric(float64(buf.Len())/1000, "bytes/op-record")
+}
+
+// --- Hash microbenchmarks -------------------------------------------------
+
+func BenchmarkHashH3(b *testing.B) {
+	h := hash.NewH3(5, 1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += h.Hash(uint64(i) * 2654435761)
+	}
+	_ = sink
+}
+
+func BenchmarkHashMultiplyShift(b *testing.B) {
+	h := hash.NewMultiplyShift(5, 1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += h.Hash(uint64(i) * 2654435761)
+	}
+	_ = sink
+}
+
+func BenchmarkHashFeistel(b *testing.B) {
+	f := hash.NewFeistel(32, 4, 1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += f.Permute(uint64(i))
+	}
+	_ = sink
+}
+
+// --- Packet buffer over VPNM ----------------------------------------------
+
+func BenchmarkPacketBufferEnqueueDequeue(b *testing.B) {
+	mem, err := core.New(core.Config{WordBytes: 64, HashSeed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf, err := pktbuf.New(mem, pktbuf.Config{Queues: 256, CellsPerQueue: 1 << 16, CellBytes: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cell := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i & 255
+		if i%2 == 0 {
+			buf.Enqueue(q, cell)
+		} else if buf.Len(q) > 0 {
+			buf.Dequeue(q)
+		}
+		for _, comp := range mem.Tick() {
+			buf.Route(comp.Tag)
+		}
+	}
+}

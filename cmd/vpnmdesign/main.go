@@ -1,0 +1,76 @@
+// Command vpnmdesign explores the VPNM design space the way Section 5.3
+// does: given an area budget (mm^2 at 0.13 um) or a target mean time to
+// stall, it sweeps (B, Q, K) for each bus scaling ratio and recommends
+// the best configuration, printing area, energy, MTS and the normalized
+// delay D the configuration implies.
+//
+//	vpnmdesign -budget 30            # best MTS within 30 mm^2
+//	vpnmdesign -mts 1e9              # smallest area reaching a 1-second MTS
+//	vpnmdesign -budget 30 -r 1.3     # restrict to one ratio
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/figures"
+	"repro/internal/hw"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vpnmdesign: ")
+	var (
+		budget = flag.Float64("budget", 0, "area budget in mm^2 (0: no budget)")
+		mts    = flag.Float64("mts", 0, "target MTS in cycles (0: no target)")
+		ratio  = flag.Float64("r", 0, "restrict to one bus scaling ratio (0: sweep 1.0-1.5)")
+	)
+	flag.Parse()
+	if *budget == 0 && *mts == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ratios := figures.Fig7Ratios()
+	if *ratio != 0 {
+		ratios = []float64{*ratio}
+	}
+
+	fmt.Println("R\tB\tQ\tK\tD_cycles\tarea_mm2\tenergy_nJ\tMTS")
+	for _, r := range ratios {
+		points := hw.Sweep(hw.DefaultGrid(r))
+		var pick hw.DesignPoint
+		found := false
+		switch {
+		case *mts > 0 && *budget > 0:
+			for _, p := range points {
+				if p.AreaMM2 <= *budget && p.MTS >= *mts && (!found || p.AreaMM2 < pick.AreaMM2) {
+					pick, found = p, true
+				}
+			}
+		case *mts > 0:
+			for _, p := range points {
+				if p.MTS >= *mts && (!found || p.AreaMM2 < pick.AreaMM2) {
+					pick, found = p, true
+				}
+			}
+		default:
+			pick, found = hw.BestUnderArea(points, *budget)
+		}
+		if !found {
+			fmt.Printf("%.1f\t(no configuration meets the constraints)\n", r)
+			continue
+		}
+		fmt.Printf("%.1f\t%d\t%d\t%d\t%d\t%.1f\t%.2f\t%s\n",
+			r, pick.B, pick.Q, pick.K, pick.Delay(), pick.AreaMM2, pick.EnergyNJ,
+			analysis.DescribeMTS(pick.MTS))
+		bd := pick.ControllerBreakdown()
+		total := float64(bd.Bits().Total())
+		fmt.Printf("\tper-controller bits: DSB data %d (%.0f%%), DSB CAM %d, CDB %d, WB %d, BAQ %d\n",
+			bd.DelayStorageSRAM, 100*float64(bd.DelayStorageSRAM)/total,
+			bd.DelayStorageCAM, bd.CircularDelayBuffer, bd.WriteBuffer, bd.BankAccessQueue)
+	}
+}

@@ -1,0 +1,174 @@
+// Command vpnmfig regenerates every table and figure of the paper's
+// evaluation section as text/TSV on stdout.
+//
+// Usage:
+//
+//	vpnmfig -fig 1|4|5|6|7      one figure
+//	vpnmfig -table 2|3          one table
+//	vpnmfig -reassembly         the Section 5.4.2 numbers
+//	vpnmfig -validate           simulation-vs-math validation
+//	vpnmfig -all                everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/figures"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vpnmfig: ")
+	var (
+		fig        = flag.Int("fig", 0, "figure number to regenerate (1, 4, 5, 6, 7)")
+		table      = flag.Int("table", 0, "table number to regenerate (2, 3)")
+		reassembly = flag.Bool("reassembly", false, "print the Section 5.4.2 reassembly numbers")
+		efficiency = flag.Bool("efficiency", false, "measure the Section 3.1 delivered-bandwidth comparison")
+		validate   = flag.Bool("validate", false, "run the simulation-vs-math validation suite")
+		seed       = flag.Uint64("seed", 1, "seed for the validation simulations")
+		all        = flag.Bool("all", false, "print everything")
+	)
+	flag.Parse()
+
+	ran := false
+	run := func(want bool, f func() error) {
+		if !want && !*all {
+			return
+		}
+		ran = true
+		if err := f(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	run(*fig == 1, fig1)
+	run(*fig == 4, fig4)
+	run(*fig == 5, fig5)
+	run(*fig == 6, fig6)
+	run(*fig == 7, fig7)
+	run(*table == 2, table2)
+	run(*table == 3, table3)
+	run(*reassembly, reassemblySummary)
+	run(*efficiency, func() error { return efficiencyTable(*seed) })
+	run(*validate, func() error { return validation(*seed) })
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fig1() error {
+	fmt.Println("# Figure 1: latency normalization to a fixed delay D")
+	scs, err := trace.Figure1()
+	if err != nil {
+		return err
+	}
+	for _, s := range scs {
+		fmt.Printf("## %s\n%s\n%s\n", s.Name, s.Description, s.Render)
+	}
+	return nil
+}
+
+func fig4() error {
+	fmt.Println("# Figure 4: MTS vs delay storage buffer entries (K), R=1.3")
+	ks, series := figures.Fig4()
+	return figures.WriteSeriesTSV(os.Stdout, "K", ks, series)
+}
+
+func fig5() error {
+	fmt.Println("# Figure 5: bank access queue Markov model (L=3, Q=2)")
+	s, err := figures.Fig5(6)
+	if err != nil {
+		return err
+	}
+	fmt.Print(s)
+	return nil
+}
+
+func fig6() error {
+	fmt.Println("# Figure 6: MTS vs bank access queue entries (Q), R=1.3")
+	qs, series := figures.Fig6()
+	return figures.WriteSeriesTSV(os.Stdout, "Q", qs, series)
+}
+
+func fig7() error {
+	fmt.Println("# Figure 7: MTS vs area Pareto frontier per bus scaling ratio R")
+	fmt.Println("R\tarea_mm2\tMTS\tB\tQ\tK")
+	fronts := figures.Fig7(figures.Fig7Ratios())
+	for _, r := range figures.Fig7Ratios() {
+		for _, p := range fronts[r] {
+			fmt.Printf("%.1f\t%.2f\t%.4g\t%d\t%d\t%d\n", r, p.AreaMM2, p.MTS, p.B, p.Q, p.K)
+		}
+	}
+	return nil
+}
+
+func table2() error {
+	fmt.Println("# Table 2: optimal design parameters (ours vs paper)")
+	fmt.Println("R\tB\tQ\tK\tarea_mm2\tpaper_area\tMTS\tpaper_MTS\tenergy_nJ\tpaper_energy")
+	for _, r := range figures.Table2() {
+		fmt.Printf("%.1f\t%d\t%d\t%d\t%.1f\t%.1f\t%.3g\t%.3g\t%.2f\t%.2f\n",
+			r.R, r.B, r.Q, r.K, r.AreaMM2, r.PaperArea, r.MTS, r.PaperMTS, r.EnergyNJ, r.PaperEnergy)
+	}
+	return nil
+}
+
+func table3() error {
+	fmt.Println("# Table 3: packet buffering scheme comparison")
+	fmt.Println("scheme\tmax_gbps\tSRAM_bytes\tarea_mm2\tdelay_ns\tinterfaces")
+	for _, s := range figures.Table3() {
+		sram, area, delay := "-", "-", "-"
+		if s.SRAMBytes >= 0 {
+			sram = fmt.Sprintf("%d", s.SRAMBytes)
+		}
+		if s.AreaMM2 >= 0 {
+			area = fmt.Sprintf("%.1f", s.AreaMM2)
+		}
+		if s.TotalDelayNS >= 0 {
+			delay = fmt.Sprintf("%.0f", s.TotalDelayNS)
+		}
+		fmt.Printf("%s\t%.0f\t%s\t%s\t%s\t%d\n", s.Name, s.MaxLineRateGbps, sram, area, delay, s.Interfaces)
+	}
+	return nil
+}
+
+func reassemblySummary() error {
+	s := figures.Reassembly()
+	fmt.Println("# Section 5.4.2: packet reassembly on VPNM")
+	fmt.Printf("DRAM accesses per 64-byte chunk: %d\n", s.AccessesPerChunk)
+	fmt.Printf("throughput at %.0f MHz: %.2f gbps (paper: ~40)\n", s.ClockMHz, s.ThroughputGbps)
+	fmt.Printf("staging SRAM: %d KB (paper: 72)\n", s.StagingSRAMBytes>>10)
+	return nil
+}
+
+func efficiencyTable(seed uint64) error {
+	fmt.Println("# Section 3.1: delivered bandwidth (fraction of one request/cycle)")
+	rows, err := figures.Efficiency(100_000, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("controller\tworkload\tthroughput\tbus_utilization")
+	for _, r := range rows {
+		fmt.Printf("%s\t%s\t%.3f\t%.3f\n", r.Controller, r.Workload, r.Throughput, r.BusUtilization)
+	}
+	return nil
+}
+
+func validation(seed uint64) error {
+	fmt.Println("# Validation: measured first-stall (median) vs mathematical MTS")
+	rows, err := figures.DefaultValidation(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("experiment\tanalytic_MTS\tmeasured_MTS\tratio\ttrials")
+	for _, r := range rows {
+		fmt.Printf("%s\t%.4g\t%.4g\t%.2f\t%d\n", r.Desc, r.AnalyticMTS, r.MeasuredMTS, r.Ratio(), r.Trials)
+	}
+	return nil
+}

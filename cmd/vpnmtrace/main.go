@@ -1,0 +1,83 @@
+// Command vpnmtrace renders Figure-1 style timelines of the virtually
+// pipelined memory controller: how bank conflicts, redundant-request
+// short-cuts and overload stalls look from the interface, with every
+// completed read emerging exactly D cycles after it was issued.
+//
+// With no flags it reproduces the paper's three Figure 1 scenarios.
+// With -pattern it traces a custom comma-separated address list
+// (one read per cycle) through a small controller.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vpnmtrace: ")
+	var (
+		pattern = flag.String("pattern", "", "comma-separated addresses to read, one per cycle (empty: the three Figure 1 scenarios)")
+		banks   = flag.Int("banks", 4, "banks for -pattern mode")
+		l       = flag.Int("l", 15, "bank access latency for -pattern mode")
+		q       = flag.Int("q", 2, "bank access queue depth for -pattern mode")
+		scale   = flag.Int("scale", 2, "interface cycles per rendered column")
+	)
+	flag.Parse()
+
+	if *pattern == "" {
+		scs, err := trace.Figure1()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range scs {
+			fmt.Printf("== %s ==\n%s\n\n%s\n", s.Name, s.Description, s.Render)
+		}
+		return
+	}
+
+	var addrs []uint64
+	for _, f := range strings.Split(*pattern, ",") {
+		a, err := strconv.ParseUint(strings.TrimSpace(f), 0, 64)
+		if err != nil {
+			log.Fatalf("bad address %q: %v", f, err)
+		}
+		addrs = append(addrs, a)
+	}
+	rec := &trace.Recorder{}
+	bits := 1
+	for 1<<bits < *banks {
+		bits++
+	}
+	ctrl, err := core.New(core.Config{
+		Banks:         *banks,
+		AccessLatency: *l,
+		QueueDepth:    *q,
+		DelayRows:     4 * *q,
+		RatioNum:      1,
+		RatioDen:      1,
+		WordBytes:     8,
+		HashLatency:   1,
+		Hash:          hash.NewIdentity(bits), // addresses name their banks directly
+		Trace:         rec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range addrs {
+		if _, err := ctrl.Read(a); err != nil && !core.IsStall(err) {
+			log.Fatal(err)
+		}
+		ctrl.Tick()
+	}
+	ctrl.Flush()
+	fmt.Printf("D = %d interface cycles; '|' issue, '#' bank access, '.' pipeline, 'D' delivery, 'X' stall\n\n", ctrl.Delay())
+	fmt.Print(rec.Timeline(1, 1, *scale))
+}

@@ -1,0 +1,78 @@
+package vpnm_test
+
+import (
+	"errors"
+	"fmt"
+
+	vpnm "repro"
+)
+
+// The basic rhythm: one request per cycle in, a completion exactly
+// Delay() cycles later out.
+func Example() {
+	ctrl, err := vpnm.New(vpnm.Config{HashSeed: 1})
+	if err != nil {
+		panic(err)
+	}
+	if err := ctrl.Write(100, []byte("hello")); err != nil {
+		panic(err)
+	}
+	ctrl.Tick()
+	tag, err := ctrl.Read(100)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range ctrl.Flush() {
+		fmt.Printf("tag match: %v, latency == D: %v, data: %q\n",
+			c.Tag == tag, c.DeliveredAt-c.IssuedAt == uint64(ctrl.Delay()), c.Data[:5])
+	}
+	// Output:
+	// tag match: true, latency == D: true, data: "hello"
+}
+
+// Stalls are first-class: they are how the controller says "not this
+// cycle", and the paper's prescription is to retry or drop.
+func ExampleIsStall() {
+	// A deliberately tiny controller that is easy to overwhelm.
+	ctrl, err := vpnm.New(vpnm.Config{
+		Banks: 4, QueueDepth: 1, DelayRows: 2, WordBytes: 8,
+	})
+	if err != nil {
+		panic(err)
+	}
+	stalls := 0
+	for i := 0; i < 64; i++ {
+		if _, err := ctrl.Read(uint64(i) * 7919); err != nil {
+			if vpnm.IsStall(err) {
+				stalls++ // retry next cycle, or drop the packet
+			}
+		}
+		ctrl.Tick()
+	}
+	fmt.Println("saw stalls:", stalls > 0)
+	fmt.Println("wrapped sentinel:", errors.Is(vpnm.ErrStallBankQueue, vpnm.ErrStall))
+	// Output:
+	// saw stalls: true
+	// wrapped sentinel: true
+}
+
+// The Section 5 mathematics is part of the public API: size a design
+// by its mean time to stall before building it.
+func ExampleBankQueueMTS() {
+	// The paper's flagship point: 32 banks, L=20, R=1.3.
+	small := vpnm.BankQueueMTS(32, 8, 20, 1.3)
+	large := vpnm.BankQueueMTS(32, 24, 20, 1.3)
+	fmt.Println("deeper queues help exponentially:", large > 1000*small)
+	// Output:
+	// deeper queues help exponentially: true
+}
+
+func ExampleDelayBufferMTS() {
+	// More delay-storage rows push the buffer-overflow stall out
+	// exponentially (Figure 4's sharp rise).
+	k24 := vpnm.DelayBufferMTS(32, 24, 160)
+	k32 := vpnm.DelayBufferMTS(32, 32, 160)
+	fmt.Println("K=32 beats K=24 by >100x:", k32 > 100*k24)
+	// Output:
+	// K=32 beats K=24 by >100x: true
+}

@@ -1,0 +1,84 @@
+// Adversarial traffic: the experiment that motivates the whole design.
+// A conventional bank-interleaved DRAM controller collapses when an
+// attacker aims distinct addresses at one bank — every access pays the
+// full bank latency and throughput drops by ~L. VPNM's universal hash
+// makes that attack impossible to aim without the key (the blind
+// adversary degenerates to uniform traffic), and even an impossible
+// oracle adversary who knows the mapping only fills one bank's queues
+// at the engineered rate while the interface stays deterministic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+const cycles = 300_000
+
+func main() {
+	log.SetFlags(0)
+	fmt.Printf("%-42s %10s %8s %8s %10s %9s\n",
+		"experiment", "throughput", "drops", "latMin", "latMax", "latSD")
+
+	// 1. Conventional FCFS controller vs the blind same-bank adversary:
+	//    stride equal to the bank count lands every access in bank 0.
+	fcfs := mustFCFS()
+	res := sim.Run(fcfs, workload.NewBlindAdversary(32, 0), sim.Options{Cycles: cycles, Policy: sim.Drop, Drain: true})
+	report("FCFS + same-bank stride (attack lands)", res)
+
+	// 2. The same attack against VPNM: the universal hash spreads the
+	//    stride uniformly — the attacker cannot find the banks.
+	v := mustVPNM()
+	res = sim.Run(v, workload.NewBlindAdversary(32, 0), sim.Options{Cycles: cycles, Policy: sim.Drop, Drain: true})
+	report("VPNM + same-bank stride (attack defeated)", res)
+
+	// 3. An oracle adversary who somehow knows VPNM's hash key and
+	//    floods one bank with distinct addresses. Accepted requests
+	//    still complete in exactly D cycles; the bank simply fills its
+	//    queue and the excess is dropped at the engineered rate.
+	v = mustVPNM()
+	adv := workload.NewOracleAdversary(v.Bank, 0, 256)
+	res = sim.Run(v, adv, sim.Options{Cycles: cycles, Policy: sim.Drop, Drain: true})
+	report("VPNM + oracle single-bank flood", res)
+
+	// 4. Honest full-rate uniform traffic on both, for scale.
+	fcfs = mustFCFS()
+	res = sim.Run(fcfs, workload.NewUniform(5, 0, 1, 0, 8), sim.Options{Cycles: cycles, Policy: sim.Drop, Drain: true})
+	report("FCFS + uniform random", res)
+
+	v = mustVPNM()
+	res = sim.Run(v, workload.NewUniform(5, 0, 1, 0, 8), sim.Options{Cycles: cycles, Policy: sim.Drop, Drain: true})
+	report("VPNM + uniform random", res)
+
+	fmt.Println("\nReading the table: VPNM shows exactly one latency value under")
+	fmt.Println("every pattern (latMin == latMax, SD = 0) — the virtual pipeline.")
+	fmt.Println("The conventional controller's latency smears by an order of")
+	fmt.Println("magnitude and its throughput collapses under the aimed attack.")
+}
+
+func mustVPNM() *core.Controller {
+	// Table 2's strongest geometry: Q=64, K=128 (MTS ~1e14).
+	c, err := core.New(core.Config{QueueDepth: 64, DelayRows: 128, WordBytes: 8, HashSeed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func mustFCFS() *baseline.FCFS {
+	f, err := baseline.NewFCFS(baseline.FCFSConfig{Banks: 32, AccessLatency: 20, WordBytes: 8, QueueDepth: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return f
+}
+
+func report(name string, r *sim.Result) {
+	fmt.Printf("%-42s %10.3f %8d %8d %10d %9.2f\n",
+		name, r.Throughput(), r.Drops, r.LatMin, r.LatMax, r.LatStdDev())
+}

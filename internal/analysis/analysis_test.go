@@ -1,0 +1,441 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLogBinom(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 1, 5}, {5, 2, 10},
+		{10, 3, 120}, {52, 5, 2598960},
+	}
+	for _, tc := range cases {
+		got := math.Exp(LogBinom(tc.n, tc.k))
+		if math.Abs(got-tc.want) > tc.want*1e-9 {
+			t.Errorf("C(%d,%d) = %v want %v", tc.n, tc.k, got, tc.want)
+		}
+	}
+	for _, tc := range [][2]int{{3, 5}, {-1, 0}, {5, -1}} {
+		if !math.IsInf(LogBinom(tc[0], tc[1]), -1) {
+			t.Errorf("C(%d,%d) should be -Inf", tc[0], tc[1])
+		}
+	}
+}
+
+func TestDelayBufferStallProbSmallCase(t *testing.T) {
+	// B=2, K=2, D=3: p = C(2,1)*(1/2)^1 = 1.
+	if got := DelayBufferStallProb(2, 2, 3); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("p = %v want 1", got)
+	}
+	// B=4, K=3, D=4: p = C(3,2)*(1/4)^2 = 3/16.
+	if got := DelayBufferStallProb(4, 3, 4); math.Abs(got-3.0/16) > 1e-12 {
+		t.Fatalf("p = %v want 3/16", got)
+	}
+}
+
+func TestDelayBufferMTSMonotonicInK(t *testing.T) {
+	d := DelayWindow(8, 20)
+	prev := 0.0
+	for k := 4; k <= 128; k += 4 {
+		mts := DelayBufferMTS(32, k, d)
+		if mts < prev {
+			t.Fatalf("MTS not monotone at K=%d: %v < %v", k, mts, prev)
+		}
+		prev = mts
+	}
+}
+
+func TestDelayBufferMTSMatchesPaperQuote(t *testing.T) {
+	// Section 5.1: "for B = 32 ... we can get a MTS of 10^12 for K = 32"
+	// (Figure 4, with the optimal Q=8 pairing and R=1.3). The paper reads
+	// values off a log-scale plot, so agreement within ~two decades is
+	// the strongest check available.
+	d := DelayWindow(8, 20)
+	mts := DelayBufferMTS(32, 32, d)
+	if mts < 1e10 || mts > 1e14 {
+		t.Fatalf("MTS(B=32,K=32,D=%d) = %.3g, want within two decades of 1e12", d, mts)
+	}
+	// And B=64 should track B=32 closely ("follows very closely").
+	mts64 := DelayBufferMTS(64, 32, d)
+	if mts64 < mts {
+		t.Fatalf("B=64 (%.3g) should beat B=32 (%.3g)", mts64, mts)
+	}
+}
+
+func TestDelayBufferMTSImpossibleWindow(t *testing.T) {
+	// K-1 > D-1: a window can never gather K conflicting requests.
+	if got := DelayBufferMTS(32, 100, 50); !math.IsInf(got, 1) {
+		t.Fatalf("MTS = %v want +Inf", got)
+	}
+}
+
+func TestDelayBufferMTSCertainStall(t *testing.T) {
+	// With B=1 every request is a conflict; MTS collapses to ~D.
+	if got := DelayBufferMTS(1, 4, 100); got != 100 {
+		t.Fatalf("MTS = %v want D=100", got)
+	}
+}
+
+func TestPaperDelay(t *testing.T) {
+	if got := PaperDelay(64, 20, 1.3); got != 985 {
+		t.Fatalf("PaperDelay(64,20,1.3) = %d want 985 (the paper's ~1000ns)", got)
+	}
+	if got := PaperDelay(8, 20, 1.0); got != 160 {
+		t.Fatalf("PaperDelay(8,20,1.0) = %d want 160", got)
+	}
+}
+
+func TestBankQueueChainMatrixRowStochastic(t *testing.T) {
+	c, err := NewBankQueueChain(8, 2, 3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Matrix()
+	if len(m) != c.States()+1 {
+		t.Fatalf("matrix size %d want %d", len(m), c.States()+1)
+	}
+	for i, row := range m {
+		sum := 0.0
+		for _, v := range row {
+			if v < 0 {
+				t.Fatalf("negative probability at row %d", i)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	// Figure 5 structure: from the idle state an arrival jumps L states.
+	if m[0][3] != c.p || m[0][0] != 1-c.p {
+		t.Fatalf("idle row wrong: %v", m[0])
+	}
+	// From the top state an arrival fails.
+	top := c.States() - 1
+	if m[top][len(m)-1] != c.p {
+		t.Fatalf("top state must fail on arrival")
+	}
+}
+
+func TestBankQueueStepMatchesMatrix(t *testing.T) {
+	// The sparse Step must agree with explicit matrix multiplication.
+	c, _ := NewBankQueueChain(4, 2, 3, 1.25)
+	m := c.Matrix()
+	n := c.States()
+	v := make([]float64, n)
+	scratch := make([]float64, n)
+	v[0] = 1
+	ref := make([]float64, n+1)
+	ref[0] = 1
+	for step := 0; step < 200; step++ {
+		c.Step(v, scratch)
+		next := make([]float64, n+1)
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= n; j++ {
+				next[j] += ref[i] * m[i][j]
+			}
+		}
+		ref = next
+		for i := 0; i < n; i++ {
+			if math.Abs(v[i]-ref[i]) > 1e-12 {
+				t.Fatalf("step %d state %d: sparse %v dense %v", step, i, v[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestBankQueueMTSUnstableLoad(t *testing.T) {
+	// B=4, L=20, R=1.0: rho = 5 >> 1, the queue fills almost
+	// immediately; MTS is on the order of the queue length in cycles.
+	c, _ := NewBankQueueChain(4, 8, 20, 1.0)
+	if rho := c.Utilization(); rho < 1 {
+		t.Fatalf("utilization %v should exceed 1", rho)
+	}
+	mts := c.MTS()
+	if mts > 1e5 {
+		t.Fatalf("unstable queue MTS = %.3g, should be tiny", mts)
+	}
+}
+
+func TestBankQueueMTSMatchesPaperQuote(t *testing.T) {
+	// Section 5.2: "We can get an MTS of 10^14 for Q = 64 using 32 or 64
+	// banks" at R=1.3 — under the strict round-robin bus the paper's
+	// hardware uses (slotted model). Log-plot read-off tolerance.
+	mts32 := SlottedBankQueueMTS(32, 64, 20, 1.3)
+	if mts32 < 1e12 || mts32 > 1e16 {
+		t.Fatalf("MTS(B=32,Q=64) = %.3g want within two decades of 1e14", mts32)
+	}
+	// "for B = 32 and B = 64, the curve for MTS is almost the same":
+	// under the slotted bus both run at load 1/R.
+	mts64 := SlottedBankQueueMTS(64, 64, 20, 1.3)
+	if mts64 < mts32/1e3 || mts64 > mts32*1e3 {
+		t.Fatalf("B=64 MTS %.3g strays from B=32 MTS %.3g", mts64, mts32)
+	}
+	// "a lower number of banks (B < 32) can only provide a maximum MTS
+	// value of 10^2" — B=8 is deep in unstable territory.
+	mts8 := SlottedBankQueueMTS(8, 64, 20, 1.3)
+	if mts8 > 1e5 {
+		t.Fatalf("B=8 MTS = %.3g, should be tiny (unstable)", mts8)
+	}
+}
+
+func TestSlottedChainProperties(t *testing.T) {
+	// The strict round-robin bus serves one request per max(L, B)
+	// memory cycles, so the offered load is 1/R for every B >= L.
+	for _, b := range []int{32, 64, 128} {
+		c, err := NewSlottedBankQueueChain(b, 8, 20, 1.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rho := c.Utilization(); math.Abs(rho-1/1.3) > 1e-12 {
+			t.Fatalf("B=%d slotted load = %v want 1/1.3", b, rho)
+		}
+	}
+	// Below L the bank itself is the bottleneck: same as work-conserving.
+	c, _ := NewSlottedBankQueueChain(8, 8, 20, 1.3)
+	wc, _ := NewBankQueueChain(8, 8, 20, 1.3)
+	if c.Utilization() != wc.Utilization() {
+		t.Fatal("for B <= L the slotted and work-conserving loads must agree")
+	}
+	// At R = 1.0 the slotted queue is critically loaded: no queue depth
+	// buys a large MTS (the Figure 7 R=1.0 floor).
+	if mts := SlottedBankQueueMTS(32, 64, 20, 1.0); mts > 1e8 {
+		t.Fatalf("critical R=1.0 MTS = %.3g, should stay small", mts)
+	}
+	// The work-conserving scheduler strictly dominates the slotted one.
+	slot := SlottedBankQueueMTS(32, 16, 20, 1.3)
+	work := BankQueueMTS(32, 16, 20, 1.3)
+	if work < slot {
+		t.Fatalf("work-conserving MTS %.3g below slotted %.3g", work, slot)
+	}
+}
+
+func TestSlottedMonotonicInQ(t *testing.T) {
+	prev := 0.0
+	for q := 8; q <= 64; q += 8 {
+		mts := SlottedBankQueueMTS(32, q, 20, 1.3)
+		if mts < prev {
+			t.Fatalf("slotted MTS not monotone at Q=%d: %v < %v", q, mts, prev)
+		}
+		prev = mts
+	}
+}
+
+func TestBankQueueMTSMonotonicInQ(t *testing.T) {
+	prev := 0.0
+	for q := 4; q <= 64; q += 4 {
+		mts := BankQueueMTS(32, q, 20, 1.3)
+		if mts < prev {
+			t.Fatalf("MTS not monotone at Q=%d: %v < %v", q, mts, prev)
+		}
+		prev = mts
+	}
+	if prev < 1e12 {
+		t.Fatalf("Q=64 MTS %.3g too small", prev)
+	}
+}
+
+func TestBankQueueMTSIncreasesWithR(t *testing.T) {
+	m10 := BankQueueMTS(32, 16, 20, 1.0)
+	m13 := BankQueueMTS(32, 16, 20, 1.3)
+	m15 := BankQueueMTS(32, 16, 20, 1.5)
+	if !(m10 < m13 && m13 < m15) {
+		t.Fatalf("MTS should grow with R: %v %v %v", m10, m13, m15)
+	}
+}
+
+// TestBankQueueMTSAgainstDirectSimulation cross-checks the
+// quasi-stationary solver against brute-force evolution of the full
+// distribution for a small chain where MTS is directly computable.
+func TestBankQueueMTSAgainstDirectSimulation(t *testing.T) {
+	c, _ := NewBankQueueChain(6, 3, 4, 1.0)
+	want := c.MTS()
+	// Direct: evolve the per-bank distribution, track system survival.
+	v := make([]float64, c.States())
+	scratch := make([]float64, c.States())
+	v[0] = 1
+	mass := 1.0
+	var direct float64
+	for tstep := 1; tstep < 10_000_000; tstep++ {
+		mass -= c.Step(v, scratch)
+		if math.Pow(mass, float64(c.B)) <= 0.5 {
+			direct = float64(tstep)
+			break
+		}
+	}
+	if direct == 0 {
+		t.Fatal("direct simulation never crossed 50%")
+	}
+	if math.Abs(want-direct) > direct*0.05 {
+		t.Fatalf("solver MTS %.4g vs direct %.4g (>5%% apart)", want, direct)
+	}
+}
+
+func TestBankQueueChainValidation(t *testing.T) {
+	for _, tc := range []struct {
+		b, q, l int
+		r       float64
+	}{
+		{0, 1, 1, 1}, {1, 0, 1, 1}, {1, 1, 0, 1}, {1, 1, 1, 0.5},
+	} {
+		if _, err := NewBankQueueChain(tc.b, tc.q, tc.l, tc.r); err == nil {
+			t.Errorf("NewBankQueueChain(%+v) should fail", tc)
+		}
+	}
+}
+
+func TestMTSCapApplied(t *testing.T) {
+	// An absurdly overprovisioned system must cap at 1e16, not overflow.
+	if got := BankQueueMTS(512, 64, 20, 1.5); got > MTSCap {
+		t.Fatalf("MTS %v exceeds cap", got)
+	}
+	if got := DelayBufferMTS(512, 120, 130); math.IsNaN(got) {
+		t.Fatal("NaN MTS")
+	}
+}
+
+// Property: stall probability decreases in B and increases in D.
+func TestDelayBufferProbMonotonicity(t *testing.T) {
+	f := func(bRaw, kRaw, dRaw uint8) bool {
+		b := 2 << (bRaw % 6)       // 2..64
+		k := int(kRaw%24) + 2      // 2..25
+		d := int(dRaw%200) + k + 1 // window larger than K
+		p1 := DelayBufferStallProb(b, k, d)
+		p2 := DelayBufferStallProb(b*2, k, d)
+		p3 := DelayBufferStallProb(b, k, d+10)
+		return p2 <= p1+1e-15 && p3 >= p1-1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBirthdayBound(t *testing.T) {
+	// The paper's O(sqrt(B)) remark: with L large, the expected first
+	// conflict of a queue-less banked memory tracks sqrt(pi/2*B).
+	for _, b := range []int{16, 64, 256, 1024} {
+		exact := NoQueueFirstConflict(b, 1<<20)
+		approx := BirthdayApprox(b)
+		if math.Abs(exact-approx) > approx*0.25 {
+			t.Errorf("B=%d: exact %.1f vs sqrt approx %.1f", b, exact, approx)
+		}
+	}
+	// Short busy periods recover: larger L means earlier conflicts.
+	if NoQueueFirstConflict(64, 2) < NoQueueFirstConflict(64, 64) {
+		t.Error("longer busy windows must shorten the first conflict")
+	}
+	// Degenerate inputs.
+	if NoQueueFirstConflict(0, 5) != 0 || NoQueueFirstConflict(5, 0) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+	// B=1: the second access always conflicts.
+	if got := NoQueueFirstConflict(1, 10); math.Abs(got-2) > 1e-9 {
+		t.Errorf("B=1 first conflict = %v want 2", got)
+	}
+}
+
+func TestWriteBufferChainValidation(t *testing.T) {
+	for _, tc := range []struct {
+		b, q, wb, l int
+		r, f        float64
+	}{
+		{0, 1, 1, 1, 1, 0.5}, {1, 0, 1, 1, 1, 0.5}, {1, 1, 0, 1, 1, 0.5},
+		{1, 1, 1, 0, 1, 0.5}, {1, 1, 1, 1, 0.5, 0.5}, {1, 1, 1, 1, 1, 1.5},
+	} {
+		if _, err := NewWriteBufferChain(tc.b, tc.q, tc.wb, tc.l, tc.r, tc.f); err == nil {
+			t.Errorf("NewWriteBufferChain(%+v) should fail", tc)
+		}
+	}
+}
+
+// TestWriteBufferStallDoesNotDominate checks the paper's one-line claim
+// quantitatively: with the write buffer at half the bank access queue
+// size and a typical write fraction, the write buffer's MTS comfortably
+// exceeds the bank access queue's own.
+func TestWriteBufferStallDoesNotDominate(t *testing.T) {
+	for _, cfg := range []struct {
+		b, q int
+		f    float64
+	}{
+		{16, 8, 0.25},
+		{32, 8, 0.25},
+		{16, 8, 0.35},
+	} {
+		wb := cfg.q / 2
+		wbMTS := WriteBufferMTS(cfg.b, cfg.q, wb, 20, 1.3, cfg.f)
+		bqMTS := BankQueueMTS(cfg.b, cfg.q, 20, 1.3)
+		if wbMTS < bqMTS {
+			t.Errorf("B=%d Q=%d f=%.2f: WB MTS %.3g below BAQ MTS %.3g — contradicts the paper's claim",
+				cfg.b, cfg.q, cfg.f, wbMTS, bqMTS)
+		}
+	}
+	// At a 50% write fraction (packet buffering's steady state) the
+	// WB = Q/2 sizing is only proportional, and the model finds the two
+	// stall modes comparable rather than WB-dominated — a nuance the
+	// paper's one-liner glosses over. Pin it so the finding is recorded.
+	wbMTS := WriteBufferMTS(16, 8, 4, 20, 1.3, 0.5)
+	bqMTS := BankQueueMTS(16, 8, 20, 1.3)
+	if wbMTS < bqMTS/2 || wbMTS > bqMTS*10 {
+		t.Errorf("f=0.50: WB MTS %.3g vs BAQ %.3g drifted out of the 'comparable' band", wbMTS, bqMTS)
+	}
+}
+
+// TestWriteBufferMTSShrinksWithWriteFraction: more writes, earlier
+// write-buffer stalls.
+func TestWriteBufferMTSShrinksWithWriteFraction(t *testing.T) {
+	lo := WriteBufferMTS(8, 8, 4, 20, 1.3, 0.25)
+	hi := WriteBufferMTS(8, 8, 4, 20, 1.3, 0.9)
+	if hi >= lo {
+		t.Fatalf("writeFrac 0.9 MTS %.3g should be below 0.25's %.3g", hi, lo)
+	}
+}
+
+// TestWriteBufferMTSGrowsWithDepth.
+func TestWriteBufferMTSGrowsWithDepth(t *testing.T) {
+	shallow := WriteBufferMTS(8, 8, 2, 20, 1.3, 0.5)
+	deep := WriteBufferMTS(8, 8, 6, 20, 1.3, 0.5)
+	if deep <= shallow {
+		t.Fatalf("deeper write buffer MTS %.3g should beat %.3g", deep, shallow)
+	}
+}
+
+func TestWallclock(t *testing.T) {
+	if got := Wallclock(1e9, 1.0); got != time.Second {
+		t.Fatalf("1e9 cycles at 1GHz = %v want 1s", got)
+	}
+	if got := Wallclock(5e8, 0.5); got != time.Second {
+		t.Fatalf("5e8 cycles at 0.5GHz = %v want 1s", got)
+	}
+	if got := Wallclock(1e9, 0); got != 0 {
+		t.Fatalf("zero clock = %v", got)
+	}
+	if got := Wallclock(1e30, 1.0); got <= 0 {
+		t.Fatalf("huge MTS must saturate positive, got %v", got)
+	}
+}
+
+func TestDescribeMTS(t *testing.T) {
+	cases := []struct {
+		mts  float64
+		want string
+	}{
+		{1e16, "capped"},
+		{9e13, "day"},
+		{4e12, "hour"},
+		{2e9, "second"},
+		{5.12e5, "at 1 GHz"},
+	}
+	for _, tc := range cases {
+		got := DescribeMTS(tc.mts)
+		if !strings.Contains(got, tc.want) {
+			t.Errorf("DescribeMTS(%g) = %q, want mention of %q", tc.mts, got, tc.want)
+		}
+	}
+}

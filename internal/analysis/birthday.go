@@ -1,0 +1,55 @@
+package analysis
+
+import "math"
+
+// Section 3.3 opens with the reason queues are unavoidable: "even in a
+// random assignment of data to banks a relatively large number of bank
+// conflicts can occur due to the Birthday Paradox. In fact if there was
+// no queuing used, then it would take only O(sqrt(B)) accesses before
+// the first stall would occur if there are B banks." These helpers make
+// that claim quantitative so the simulator can check it.
+
+// NoQueueFirstConflict returns the expected number of accesses until a
+// queue-less banked memory first collides: accesses land uniformly over
+// B banks, a bank stays busy for L cycles after an access, and any
+// access to a busy bank is a conflict. With one access per cycle the
+// first conflict needs two of the last min(t, L) accesses in one bank —
+// the birthday paradox over a sliding window, giving roughly
+// sqrt(pi/2 * B) accesses for L >= the answer itself (and the classic
+// unwindowed birthday bound when L is large).
+func NoQueueFirstConflict(b, l int) float64 {
+	if b < 1 || l < 1 {
+		return 0
+	}
+	// Exact recurrence for the windowed birthday problem: survival after
+	// access t multiplies by P(new access misses the busy banks). While
+	// t <= L all previous accesses' banks are still busy (they are
+	// distinct while we survive), so busy = t-1; afterwards only the
+	// last L are.
+	survival := 1.0
+	expected := 0.0
+	for t := 1; t < 100*b+l; t++ {
+		busy := t - 1
+		if busy > l {
+			busy = l
+		}
+		if busy >= b {
+			// Every bank busy: conflict certain on this access.
+			expected += float64(t) * survival
+			return expected
+		}
+		pMiss := 1 - float64(busy)/float64(b)
+		newSurvival := survival * pMiss
+		expected += float64(t) * (survival - newSurvival)
+		survival = newSurvival
+		if survival < 1e-12 {
+			break
+		}
+	}
+	return expected
+}
+
+// BirthdayApprox is the closed-form sqrt(pi/2*B) estimate of the
+// paper's O(sqrt(B)) remark, valid when L is large enough that no busy
+// period expires before the first conflict.
+func BirthdayApprox(b int) float64 { return math.Sqrt(math.Pi / 2 * float64(b)) }

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// BankQueueChain is the absorbing Markov model of Figure 5: the state
+// is the backlog of work (in memory cycles) at one bank controller.
+// Each memory cycle a new request arrives with probability
+// p = 1/(B*R) — one interface request per R memory cycles, spread over
+// B banks — and adds L cycles of work; otherwise one cycle of work
+// drains. An arrival that would push the backlog past Q*L (more than Q
+// overlapping requests) lands in the absorbing fail state: a bank
+// access queue stall.
+type BankQueueChain struct {
+	B, Q, L int
+	R       float64
+	// S is the effective service time per request in memory cycles. The
+	// work-conserving (split-bus) scheduler achieves S = L: a backlogged
+	// bank is limited only by its own occupancy. The paper's simple
+	// strict round-robin bus instead grants each bank one slot every B
+	// cycles, so S = max(L, B) — and the offered load becomes
+	// S/(B*R) = 1/R for every B >= L, which is exactly why Figure 6's
+	// B=32 and B=64 curves coincide and why Figure 7's R=1.0 frontier
+	// stays flat no matter how much area is spent.
+	S   int
+	p   float64 // arrival probability per memory cycle
+	max int     // Q*S, the largest survivable backlog
+}
+
+// NewBankQueueChain builds the work-conserving (split-bus) chain with
+// S = L. This is the variant the cycle-accurate simulator's default
+// scheduler realizes, and the one the validation experiment measures.
+func NewBankQueueChain(b, q, l int, r float64) (*BankQueueChain, error) {
+	return newChain(b, q, l, l, r)
+}
+
+// NewSlottedBankQueueChain builds the strict round-robin chain with
+// S = max(L, B): the model matching the paper's hardware scheduler and
+// its published Table 2 / Figure 6 / Figure 7 numbers.
+func NewSlottedBankQueueChain(b, q, l int, r float64) (*BankQueueChain, error) {
+	s := l
+	if b > s {
+		s = b
+	}
+	return newChain(b, q, l, s, r)
+}
+
+func newChain(b, q, l, s int, r float64) (*BankQueueChain, error) {
+	if b < 1 || q < 1 || l < 1 {
+		return nil, fmt.Errorf("analysis: B=%d Q=%d L=%d must all be >= 1", b, q, l)
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("analysis: bus scaling ratio R=%v must be >= 1", r)
+	}
+	return &BankQueueChain{B: b, Q: q, L: l, R: r, S: s, p: 1 / (float64(b) * r), max: q * s}, nil
+}
+
+// States returns the number of transient states (backlogs 0..Q*L).
+func (c *BankQueueChain) States() int { return c.max + 1 }
+
+// Step advances the transient distribution v one memory cycle in place
+// and returns the probability mass absorbed into the fail state. v must
+// have States() entries; scratch must be a second slice of the same
+// length, which Step uses and swaps contents with.
+func (c *BankQueueChain) Step(v, scratch []float64) (absorbed float64) {
+	for i := range scratch {
+		scratch[i] = 0
+	}
+	p, q1 := c.p, 1-c.p
+	for w, m := range v {
+		if m == 0 {
+			continue
+		}
+		if w+c.S > c.max {
+			absorbed += m * p
+		} else {
+			scratch[w+c.S] += m * p
+		}
+		if w == 0 {
+			scratch[0] += m * q1
+		} else {
+			scratch[w-1] += m * q1
+		}
+	}
+	copy(v, scratch)
+	return absorbed
+}
+
+// Matrix materializes the full (States()+1)-square transition matrix,
+// fail state last, exactly as drawn in Figure 5. Intended for display
+// and for cross-checking Step on small configurations; the MTS solver
+// never builds it (the paper's own direct M^t computation ran out of
+// memory at B=128).
+func (c *BankQueueChain) Matrix() [][]float64 {
+	n := c.States() + 1
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	fail := n - 1
+	for w := 0; w <= c.max; w++ {
+		if w+c.S > c.max {
+			m[w][fail] += c.p
+		} else {
+			m[w][w+c.S] += c.p
+		}
+		if w == 0 {
+			m[w][0] += 1 - c.p
+		} else {
+			m[w][w-1] += 1 - c.p
+		}
+	}
+	m[fail][fail] = 1
+	return m
+}
+
+// Solver tuning. The burn-in and step budget scale with the state
+// count: probability mass must traverse the whole backlog range several
+// times before the absorption rate is quasi-stationary, and an early
+// plateau (e.g. while the first absorption paths are still being
+// enumerated) must not be mistaken for convergence — hence the
+// requirement of several consecutive in-tolerance steps.
+const (
+	mtsTolerance       = 1e-12
+	mtsMinStepsFactor  = 8   // burn-in = factor * states
+	mtsMaxStepsFactor  = 400 // budget = max(minSteps, factor * states)
+	mtsMinSteps        = 1024
+	mtsConsecutiveHits = 8
+)
+
+// MTS returns the system-wide Mean Time to Stall in memory cycles: the
+// time at which the probability that *some* of the B independent bank
+// controllers has stalled reaches 1/2, matching the paper's definition
+// (solving IM^t for 50% fail probability, then accounting for all B
+// banks sharing the request stream).
+//
+// Rather than exponentiating the matrix — the paper needed >2 GB of
+// memory for B=64 and gave up at B=128 — the solver power-iterates the
+// transient distribution until the per-cycle absorption rate converges
+// to the quasi-stationary value lambda, then extends the survival curve
+// S(t) ~ S(t0) * (1-lambda)^(t-t0) analytically. Results are capped at
+// MTSCap.
+func (c *BankQueueChain) MTS() float64 {
+	v := make([]float64, c.States())
+	scratch := make([]float64, c.States())
+	v[0] = 1
+	mass := 1.0 // per-bank survival probability
+	prevRate := -1.0
+	minSteps := mtsMinStepsFactor * c.States()
+	if minSteps < mtsMinSteps {
+		minSteps = mtsMinSteps
+	}
+	maxSteps := mtsMaxStepsFactor * c.States()
+	if maxSteps < minSteps {
+		maxSteps = minSteps
+	}
+	var t int
+	var rate float64
+	hits := 0
+	for t = 1; t <= maxSteps; t++ {
+		absorbed := c.Step(v, scratch)
+		mass -= absorbed
+		if mass <= 0 {
+			return float64(t)
+		}
+		rate = absorbed / mass
+		// System survival = mass^B; stop early if it already fell
+		// through 1/2 while burning in.
+		if float64(c.B)*math.Log(mass) <= -math.Ln2 {
+			return float64(t)
+		}
+		if t > minSteps && rate > 0 && math.Abs(rate-prevRate) <= mtsTolerance*rate {
+			hits++
+			if hits >= mtsConsecutiveHits {
+				break
+			}
+		} else {
+			hits = 0
+		}
+		prevRate = rate
+	}
+	if rate <= 0 {
+		return MTSCap
+	}
+	// Extend analytically: system survival is mass^B with all B banks
+	// decaying at the quasi-stationary rate, so
+	//   B*(ln mass + x*ln(1-rate)) = -ln 2
+	// solves for the additional cycles x past the burn-in.
+	need := -math.Ln2 - float64(c.B)*math.Log(mass)
+	extra := need / (float64(c.B) * math.Log1p(-rate))
+	mts := float64(t) + extra
+	if mts > MTSCap || math.IsInf(mts, 1) || math.IsNaN(mts) {
+		return MTSCap
+	}
+	return mts
+}
+
+// BankQueueMTS is the convenience form for the work-conserving chain,
+// the model the default simulator scheduler realizes.
+func BankQueueMTS(b, q, l int, r float64) float64 {
+	c, err := NewBankQueueChain(b, q, l, r)
+	if err != nil {
+		panic(err)
+	}
+	return c.MTS()
+}
+
+// SlottedBankQueueMTS is the convenience form for the strict
+// round-robin chain, the model behind the paper's published numbers.
+func SlottedBankQueueMTS(b, q, l int, r float64) float64 {
+	c, err := NewSlottedBankQueueChain(b, q, l, r)
+	if err != nil {
+		panic(err)
+	}
+	return c.MTS()
+}
+
+// Utilization returns the offered bank load rho = (p*L): the fraction
+// of a bank's service capacity consumed by its share of the request
+// stream. rho >= 1 means the queue is unstable and stalls are a matter
+// of when, not if — this is why Section 5.2 concludes SDRAM's small
+// bank counts "cannot achieve a reasonable MTS".
+func (c *BankQueueChain) Utilization() float64 {
+	return c.p * float64(c.S)
+}

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+)
+
+// Wallclock converts an MTS in cycles to a duration at the given clock
+// (the paper reports against "a very aggressive bus transaction speed
+// of 1 GHz"). Capped MTS values saturate the duration.
+func Wallclock(mtsCycles float64, clockGHz float64) time.Duration {
+	if clockGHz <= 0 {
+		return 0
+	}
+	secs := mtsCycles / (clockGHz * 1e9)
+	if secs > float64(int64(^uint64(0)>>1))/float64(time.Second) {
+		return time.Duration(int64(^uint64(0) >> 1))
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// Reference MTS bands from the paper's Figure 7: one second, one hour
+// and one day at a 1 GHz clock.
+const (
+	MTSOneSecond = 1e9
+	MTSOneHour   = 3.6e12
+	MTSOneDay    = 8.64e13
+)
+
+// DescribeMTS renders an MTS the way the paper discusses it: the raw
+// cycle count plus its wall-clock meaning at 1 GHz, aligned to the
+// Figure 7 bands.
+func DescribeMTS(mtsCycles float64) string {
+	switch {
+	case mtsCycles >= MTSCap:
+		return fmt.Sprintf("%.3g cycles (capped; beyond measurable)", mtsCycles)
+	case mtsCycles >= MTSOneDay:
+		return fmt.Sprintf("%.3g cycles (over a day at 1 GHz)", mtsCycles)
+	case mtsCycles >= MTSOneHour:
+		return fmt.Sprintf("%.3g cycles (over an hour at 1 GHz)", mtsCycles)
+	case mtsCycles >= MTSOneSecond:
+		return fmt.Sprintf("%.3g cycles (over a second at 1 GHz)", mtsCycles)
+	default:
+		return fmt.Sprintf("%.3g cycles (%v at 1 GHz)", mtsCycles, Wallclock(mtsCycles, 1).Round(time.Microsecond))
+	}
+}

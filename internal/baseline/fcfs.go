@@ -1,0 +1,270 @@
+// Package baseline implements the comparison memory controllers the
+// VPNM experiments measure against: a conventional first-come
+// first-served banked DRAM controller with plain bank-bit interleaving
+// (the design whose 37–60% bus efficiency Section 3.1 quotes), and an
+// ideal fixed-latency pipeline (what the programmer wishes memory was,
+// and exactly the abstraction VPNM recreates on top of real banks).
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/hash"
+	"repro/internal/queue"
+)
+
+// FCFSConfig parameterizes the conventional controller.
+type FCFSConfig struct {
+	// Banks, AccessLatency and WordBytes mirror the DRAM organization.
+	Banks         int
+	AccessLatency int
+	WordBytes     int
+	// QueueDepth bounds each per-bank FIFO; a full queue stalls, just
+	// like a real controller back-pressuring the pipeline.
+	QueueDepth int
+	// Hash maps addresses to banks. Nil selects identity low-bit
+	// interleaving — the conventional design. Supplying a universal
+	// hash isolates how much of VPNM's win is randomization alone
+	// (an ablation the benchmarks exercise).
+	Hash hash.Func
+	// RatioNum/RatioDen is the memory-side clock multiplier, matching
+	// the core controller so comparisons are apples-to-apples. Zero
+	// selects 1/1 (a conventional controller has no faster bus).
+	RatioNum, RatioDen int
+	// RowHitLatency/RowWords enable the open-row DRAM model (see
+	// dram.Config): the common-case locality advantage a conventional
+	// controller enjoys and VPNM's randomization deliberately forgoes.
+	RowHitLatency, RowWords int
+}
+
+func (c FCFSConfig) withDefaults() FCFSConfig {
+	if c.Banks == 0 {
+		c.Banks = 32
+	}
+	if c.AccessLatency == 0 {
+		c.AccessLatency = 20
+	}
+	if c.WordBytes == 0 {
+		c.WordBytes = 64
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 24
+	}
+	if c.RatioNum == 0 && c.RatioDen == 0 {
+		c.RatioNum, c.RatioDen = 1, 1
+	}
+	return c
+}
+
+type fcfsRequest struct {
+	isWrite  bool
+	addr     uint64
+	data     []byte
+	tag      uint64
+	issuedAt uint64
+}
+
+// FCFS is the conventional banked controller: per-bank FIFO queues,
+// out-of-order completion across banks, and latency that varies with
+// bank contention. It implements the same cycle interface as
+// core.Controller so the same workloads drive both.
+type FCFS struct {
+	cfg      FCFSConfig
+	h        hash.Func
+	mod      *dram.Module
+	queues   []*queue.Ring[fcfsRequest]
+	inflight []struct {
+		active bool
+		req    fcfsRequest
+		doneAt uint64
+	}
+	cycle     uint64
+	memTime   uint64
+	rrPtr     int
+	nextTag   uint64
+	requested bool
+	queued    int
+
+	reads, writes, stalls, completions uint64
+	busBusy                            uint64
+	comps                              []core.Completion
+	// scratch holds one data buffer per completion delivered this tick;
+	// unlike the VPNM controller, several banks can finish in one
+	// interface cycle here, so each completion needs its own buffer.
+	scratch [][]byte
+}
+
+// NewFCFS builds the conventional controller.
+func NewFCFS(cfg FCFSConfig) (*FCFS, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Banks&(cfg.Banks-1) != 0 || cfg.Banks < 1 {
+		return nil, fmt.Errorf("baseline: Banks must be a positive power of two, got %d", cfg.Banks)
+	}
+	if cfg.QueueDepth < 1 {
+		return nil, fmt.Errorf("baseline: QueueDepth must be >= 1, got %d", cfg.QueueDepth)
+	}
+	mod, err := dram.NewModule(dram.Config{
+		Banks: cfg.Banks, AccessLatency: cfg.AccessLatency, WordBytes: cfg.WordBytes,
+		RowHitLatency: cfg.RowHitLatency, RowWords: cfg.RowWords,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := cfg.Hash
+	if h == nil {
+		bits := 1
+		for 1<<bits < cfg.Banks {
+			bits++
+		}
+		h = hash.NewIdentity(bits)
+	}
+	f := &FCFS{
+		cfg:    cfg,
+		h:      h,
+		mod:    mod,
+		queues: make([]*queue.Ring[fcfsRequest], cfg.Banks),
+	}
+	f.inflight = make([]struct {
+		active bool
+		req    fcfsRequest
+		doneAt uint64
+	}, cfg.Banks)
+	for i := range f.queues {
+		f.queues[i] = queue.NewRing[fcfsRequest](cfg.QueueDepth)
+	}
+	return f, nil
+}
+
+// Bank returns the bank an address maps to.
+func (f *FCFS) Bank(addr uint64) int {
+	return int(f.h.Hash(addr)) & (f.cfg.Banks - 1)
+}
+
+// Read issues a read; the completion arrives whenever the bank gets to
+// it — the whole point of this baseline is that the latency varies.
+func (f *FCFS) Read(addr uint64) (uint64, error) {
+	if f.requested {
+		return 0, core.ErrSecondRequest
+	}
+	q := f.queues[f.Bank(addr)]
+	if q.Full() {
+		f.stalls++
+		return 0, core.ErrStallBankQueue
+	}
+	tag := f.nextTag
+	f.nextTag++
+	q.Push(fcfsRequest{addr: addr, tag: tag, issuedAt: f.cycle})
+	f.queued++
+	f.requested = true
+	f.reads++
+	return tag, nil
+}
+
+// Write issues a write.
+func (f *FCFS) Write(addr uint64, data []byte) error {
+	if f.requested {
+		return core.ErrSecondRequest
+	}
+	if len(data) > f.cfg.WordBytes {
+		return fmt.Errorf("baseline: write of %d bytes exceeds word size %d", len(data), f.cfg.WordBytes)
+	}
+	q := f.queues[f.Bank(addr)]
+	if q.Full() {
+		f.stalls++
+		return core.ErrStallBankQueue
+	}
+	q.Push(fcfsRequest{isWrite: true, addr: addr, data: append([]byte(nil), data...), issuedAt: f.cycle})
+	f.queued++
+	f.requested = true
+	f.writes++
+	return nil
+}
+
+// Tick advances one interface cycle. Completions are delivered as soon
+// as the data is back from the bank — out of order with respect to
+// other banks and with workload-dependent latency.
+func (f *FCFS) Tick() []core.Completion {
+	f.cycle++
+	f.comps = f.comps[:0]
+	target := f.cycle * uint64(f.cfg.RatioNum) / uint64(f.cfg.RatioDen)
+	for f.memTime < target {
+		m := f.memTime
+		// Deliver any read whose bank finished.
+		for b := range f.inflight {
+			inf := &f.inflight[b]
+			if inf.active && m >= inf.doneAt {
+				if !inf.req.isWrite {
+					buf := f.nextScratch()
+					copy(buf, f.mod.Store().Read(inf.req.addr))
+					f.comps = append(f.comps, core.Completion{
+						Tag:         inf.req.tag,
+						Addr:        inf.req.addr,
+						Data:        buf,
+						IssuedAt:    inf.req.issuedAt,
+						DeliveredAt: f.cycle,
+					})
+					f.completions++
+				}
+				inf.active = false
+			}
+		}
+		// One bus grant per memory cycle, rotating priority.
+		if f.queued > 0 {
+			for i := 0; i < f.cfg.Banks; i++ {
+				b := (f.rrPtr + i) % f.cfg.Banks
+				if f.inflight[b].active || f.queues[b].Empty() || !f.mod.BankFree(b, m) {
+					continue
+				}
+				req, _ := f.queues[b].Pop()
+				f.queued--
+				var doneAt uint64
+				if req.isWrite {
+					doneAt = f.mod.IssueWrite(b, req.addr, req.data, m)
+				} else {
+					doneAt, _ = f.mod.IssueRead(b, req.addr, m)
+				}
+				f.inflight[b].active = true
+				f.inflight[b].req = req
+				f.inflight[b].doneAt = doneAt
+				f.rrPtr = (b + 1) % f.cfg.Banks
+				f.busBusy++
+				break
+			}
+		}
+		f.memTime++
+	}
+	f.requested = false
+	return f.comps
+}
+
+// nextScratch hands out the buffer for the len(f.comps)-th completion
+// of the current tick; buffers are valid until the next Tick.
+func (f *FCFS) nextScratch() []byte {
+	if len(f.comps) < len(f.scratch) {
+		return f.scratch[len(f.comps)]
+	}
+	buf := make([]byte, f.cfg.WordBytes)
+	f.scratch = append(f.scratch, buf)
+	return buf
+}
+
+// Outstanding reports reads issued but not delivered.
+func (f *FCFS) Outstanding() uint64 { return f.reads - f.completions }
+
+// Stats reports basic counters.
+func (f *FCFS) Stats() (reads, writes, stalls, completions uint64) {
+	return f.reads, f.writes, f.stalls, f.completions
+}
+
+// RowHits reports open-row hits when the open-row model is enabled.
+func (f *FCFS) RowHits() uint64 { return f.mod.RowHits() }
+
+// BusUtilization is the fraction of memory cycles that issued.
+func (f *FCFS) BusUtilization() float64 {
+	if f.memTime == 0 {
+		return 0
+	}
+	return float64(f.busBusy) / float64(f.memTime)
+}

@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/queue"
+)
+
+// Ideal is the fixed-latency pipeline the programmer wants: it accepts
+// one request per cycle unconditionally and returns every read exactly
+// Latency cycles later, carrying the value the address held at issue
+// time. Physically it corresponds to a bank-free SRAM, which is why
+// core DRAM cannot be built this way at router densities — Ideal is the
+// upper bound that VPNM approaches with provably rare stalls, and the
+// behavioural reference the conformance tests compare the VPNM
+// controller against.
+type Ideal struct {
+	latency   int
+	store     *dram.Store
+	delay     *queue.DelayBuffer[idealEntry]
+	cycle     uint64
+	nextTag   uint64
+	requested bool
+	pending   idealEntry
+	pendValid bool
+	pool      [][]byte
+	retiring  []byte // delivered last tick; reusable once the next tick starts
+	comps     []core.Completion
+
+	reads, writes, completions uint64
+}
+
+type idealEntry struct {
+	addr     uint64
+	tag      uint64
+	issuedAt uint64
+	data     []byte // snapshot of the word at issue time
+}
+
+// NewIdeal builds an ideal pipeline with the given read latency.
+func NewIdeal(latency, wordBytes int) (*Ideal, error) {
+	if latency < 2 {
+		return nil, fmt.Errorf("baseline: ideal latency must be >= 2, got %d", latency)
+	}
+	if wordBytes < 1 {
+		return nil, fmt.Errorf("baseline: word size must be >= 1, got %d", wordBytes)
+	}
+	return &Ideal{
+		latency: latency,
+		store:   dram.NewStore(wordBytes),
+		delay:   queue.NewDelayBuffer[idealEntry](latency - 1),
+	}, nil
+}
+
+// Latency returns the fixed pipeline depth.
+func (p *Ideal) Latency() int { return p.latency }
+
+func (p *Ideal) getBuf() []byte {
+	if n := len(p.pool); n > 0 {
+		b := p.pool[n-1]
+		p.pool = p.pool[:n-1]
+		return b
+	}
+	return make([]byte, p.store.WordBytes())
+}
+
+// Read implements sim.Memory; it never stalls. The word is snapshotted
+// now so that writes landing during the pipeline delay cannot be
+// observed — the same value-as-of-issue ordering VPNM provides through
+// its per-bank FIFOs.
+func (p *Ideal) Read(addr uint64) (uint64, error) {
+	if p.requested {
+		return 0, core.ErrSecondRequest
+	}
+	tag := p.nextTag
+	p.nextTag++
+	buf := p.getBuf()
+	copy(buf, p.store.Read(addr))
+	p.pending = idealEntry{addr: addr, tag: tag, issuedAt: p.cycle, data: buf}
+	p.pendValid = true
+	p.requested = true
+	p.reads++
+	return tag, nil
+}
+
+// Write implements sim.Memory; writes apply in issue order and never
+// stall.
+func (p *Ideal) Write(addr uint64, data []byte) error {
+	if p.requested {
+		return core.ErrSecondRequest
+	}
+	if len(data) > p.store.WordBytes() {
+		return fmt.Errorf("baseline: write of %d bytes exceeds word size %d", len(data), p.store.WordBytes())
+	}
+	p.store.Write(addr, data)
+	p.requested = true
+	p.writes++
+	return nil
+}
+
+// Tick advances one cycle. Completion data is valid until the next
+// call to Tick, matching the core controller's contract.
+func (p *Ideal) Tick() []core.Completion {
+	p.cycle++
+	p.comps = p.comps[:0]
+	if p.retiring != nil {
+		p.pool = append(p.pool, p.retiring)
+		p.retiring = nil
+	}
+	in, valid := p.pending, p.pendValid
+	p.pendValid = false
+	if out, ok := p.delay.Step(in, valid); ok {
+		p.comps = append(p.comps, core.Completion{
+			Tag:         out.tag,
+			Addr:        out.addr,
+			Data:        out.data,
+			IssuedAt:    out.issuedAt,
+			DeliveredAt: p.cycle,
+		})
+		p.completions++
+		p.retiring = out.data // reusable once the next tick begins
+	}
+	p.requested = false
+	return p.comps
+}
+
+// Outstanding reports undelivered reads.
+func (p *Ideal) Outstanding() uint64 { return p.reads - p.completions }

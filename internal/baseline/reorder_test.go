@@ -1,0 +1,181 @@
+package baseline
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestReorderValidation(t *testing.T) {
+	if _, err := NewReorder(ReorderConfig{Banks: 3}); err == nil {
+		t.Error("non-power-of-two banks accepted")
+	}
+	if _, err := NewReorder(ReorderConfig{Window: -1}); err == nil {
+		t.Error("negative window accepted")
+	}
+	if _, err := NewReorder(ReorderConfig{IssueEvery: -1}); err == nil {
+		t.Error("negative issue interval accepted")
+	}
+}
+
+func TestReorderReadAfterWrite(t *testing.T) {
+	r, err := NewReorder(ReorderConfig{Banks: 4, AccessLatency: 4, WordBytes: 8, Window: 8, IssueEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := r.Write(9, want); err != nil {
+		t.Fatal(err)
+	}
+	r.Tick()
+	if _, err := r.Read(9); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	for i := 0; i < 200 && r.Outstanding() > 0; i++ {
+		for _, comp := range r.Tick() {
+			got = append([]byte(nil), comp.Data...)
+		}
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %v want %v", got, want)
+	}
+}
+
+// TestReorderSchedulesAroundConflicts: with a conflicting request at
+// the window head and a conflict-free one behind it, the younger one
+// issues first — the behaviour that distinguishes this baseline from
+// FCFS.
+func TestReorderSchedulesAroundConflicts(t *testing.T) {
+	r, _ := NewReorder(ReorderConfig{Banks: 4, AccessLatency: 20, WordBytes: 8, Window: 8, IssueEvery: 1})
+	// Bank 0 twice (conflict), then bank 1.
+	r.Read(0)
+	r.Tick()
+	r.Read(4)
+	r.Tick()
+	r.Read(1)
+	var order []uint64
+	for i := 0; i < 300 && r.Outstanding() > 0; i++ {
+		for _, comp := range r.Tick() {
+			order = append(order, comp.Addr)
+		}
+	}
+	if len(order) != 3 {
+		t.Fatalf("completions = %d", len(order))
+	}
+	// addr 1 (bank 1) must finish before addr 4 (blocked behind addr 0).
+	pos := map[uint64]int{}
+	for i, a := range order {
+		pos[a] = i
+	}
+	if pos[1] > pos[4] {
+		t.Fatalf("younger conflict-free request did not bypass: order %v", order)
+	}
+}
+
+// TestReorderHazardOrdering: same-address requests must not reorder.
+func TestReorderHazardOrdering(t *testing.T) {
+	r, _ := NewReorder(ReorderConfig{Banks: 4, AccessLatency: 8, WordBytes: 8, Window: 16, IssueEvery: 1})
+	r.Write(5, []byte{0xAA})
+	r.Tick()
+	if _, err := r.Read(5); err != nil { // must see 0xAA
+		t.Fatal(err)
+	}
+	r.Tick()
+	r.Write(5, []byte{0xBB})
+	r.Tick()
+	if _, err := r.Read(5); err != nil { // must see 0xBB
+		t.Fatal(err)
+	}
+	var got []byte
+	for i := 0; i < 500 && r.Outstanding() > 0; i++ {
+		for _, comp := range r.Tick() {
+			got = append(got, comp.Data[0])
+		}
+	}
+	if len(got) != 2 || got[0] != 0xAA || got[1] != 0xBB {
+		t.Fatalf("hazard violated: %x", got)
+	}
+}
+
+// TestReorderWindowHelps: under a hotspot mix, a deep reorder window
+// sustains more throughput than the degenerate one-entry window (a
+// strictly in-order memory), which is the whole point of the CFDS-style
+// structure.
+func TestReorderWindowHelps(t *testing.T) {
+	hotspot := func() workload.Generator {
+		// Alternate: hot bank 0 addresses, then random.
+		u := workload.NewUniform(7, 1<<20, 1, 0, 8)
+		i := 0
+		return genFunc(func() workload.Op {
+			i++
+			if i%2 == 0 {
+				return workload.Op{Kind: workload.OpRead, Addr: uint64(32 * i)} // bank 0
+			}
+			return u.Next()
+		})
+	}
+	deep, _ := NewReorder(ReorderConfig{Banks: 32, AccessLatency: 20, WordBytes: 8, Window: 64, MaxPerBank: 2, IssueEvery: 1})
+	resDeep := sim.Run(deep, hotspot(), sim.Options{Cycles: 30000, Policy: sim.Drop})
+	shallow, _ := NewReorder(ReorderConfig{Banks: 32, AccessLatency: 20, WordBytes: 8, Window: 1, MaxPerBank: 1, IssueEvery: 1})
+	resShallow := sim.Run(shallow, hotspot(), sim.Options{Cycles: 30000, Policy: sim.Drop})
+	if resDeep.Throughput() <= resShallow.Throughput()*1.5 {
+		t.Fatalf("deep window (%.3f) should clearly beat in-order window=1 (%.3f)",
+			resDeep.Throughput(), resShallow.Throughput())
+	}
+}
+
+// TestReorderStillCollapsesUnderAimedAttack: unlike VPNM, the
+// CFDS-style subsystem has no randomization — the same-bank stride that
+// defeats FCFS defeats it too. This is Table 3's generality gap as an
+// executable fact.
+func TestReorderStillCollapsesUnderAimedAttack(t *testing.T) {
+	ro, _ := NewReorder(ReorderConfig{Banks: 32, AccessLatency: 20, WordBytes: 8, Window: 64, IssueEvery: 1})
+	res := sim.Run(ro, workload.NewBlindAdversary(32, 0), sim.Options{Cycles: 30000, Policy: sim.Drop})
+	if tp := res.Throughput(); tp > 0.10 {
+		t.Fatalf("aimed attack throughput %.3f; the reorder window should not survive it", tp)
+	}
+}
+
+// TestReorderIssueRateLimit: with IssueEvery=2 the DRAM sees at most
+// one request per two cycles, capping throughput near 0.5 even under
+// friendly traffic — the b-cycle scheduling the paper quotes for CFDS.
+func TestReorderIssueRateLimit(t *testing.T) {
+	r, _ := NewReorder(ReorderConfig{Banks: 32, AccessLatency: 20, WordBytes: 8, Window: 32, IssueEvery: 2})
+	res := sim.Run(r, workload.NewUniform(9, 0, 1, 0, 8), sim.Options{Cycles: 30000, Policy: sim.Drop, Drain: true})
+	if tp := res.Throughput(); tp > 0.55 {
+		t.Fatalf("throughput %.3f exceeds the b=2 issue cap", tp)
+	}
+	if res.Completions == 0 {
+		t.Fatal("nothing completed")
+	}
+}
+
+func TestReorderVariableLatency(t *testing.T) {
+	r, _ := NewReorder(ReorderConfig{Banks: 4, AccessLatency: 20, WordBytes: 8, Window: 8, IssueEvery: 1})
+	res := sim.Run(r, workload.NewUniform(3, 1<<16, 1, 0, 8), sim.Options{Cycles: 5000, Policy: sim.Drop, Drain: true})
+	if res.DistinctLatencies < 2 {
+		t.Fatal("reorder baseline should show variable latency")
+	}
+}
+
+func TestReorderWindowFullStalls(t *testing.T) {
+	r, _ := NewReorder(ReorderConfig{Banks: 4, AccessLatency: 20, WordBytes: 8, Window: 2, IssueEvery: 4})
+	var stalled bool
+	for i := 0; i < 20 && !stalled; i++ {
+		_, err := r.Read(uint64(4 * i))
+		stalled = err == core.ErrStallBankQueue
+		r.Tick()
+	}
+	if !stalled {
+		t.Fatal("tiny window never stalled")
+	}
+}
+
+// genFunc adapts a closure to workload.Generator.
+type genFunc func() workload.Op
+
+func (f genFunc) Next() workload.Op { return f() }

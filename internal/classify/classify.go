@@ -1,0 +1,263 @@
+// Package classify implements two-dimensional packet classification —
+// the first algorithm on the paper's future-work list ("including
+// packet classification") — as hierarchical source/destination tries
+// stored entirely in virtually pipelined memory.
+//
+// Rules are (source prefix, destination prefix, priority, action). The
+// classifier is the textbook hierarchical-trie construction: a binary
+// source trie whose prefix nodes each point at a binary destination
+// trie holding the rules with that source prefix. A lookup walks the
+// source trie, and for every matching source prefix walks the
+// corresponding destination trie, taking the highest-priority rule
+// found. That is O(W^2) dependent memory accesses per packet in the
+// worst case — exactly the irregular, unpredictable pattern that makes
+// classification hostile to bank-aware layouts and a natural fit for a
+// memory that simply doesn't care.
+package classify
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Rule is one classification rule. Higher Priority wins; Action 0 is
+// reserved.
+type Rule struct {
+	SrcAddr  uint32
+	SrcLen   int
+	DstAddr  uint32
+	DstLen   int
+	Priority int
+	Action   uint32
+}
+
+// Errors.
+var (
+	ErrNoMemory   = errors.New("classify: node arena exhausted")
+	ErrBadRule    = errors.New("classify: malformed rule")
+	ErrZeroAction = errors.New("classify: action 0 is reserved")
+)
+
+// node is a binary trie node: a value (rule index + 1 on destination
+// tries, destination-trie root + 1 on the source trie) and two child
+// pointers. Encoded in the first 12 bytes of one memory word.
+type node struct {
+	value uint32
+	child [2]uint32
+}
+
+// Classifier owns the rule set, the trie arena (mirrored in VPNM
+// memory), and the lookup machinery.
+type Classifier struct {
+	mem   sim.Memory
+	base  uint64
+	limit uint32
+
+	nodes  []node
+	synced []bool
+	rules  []Rule
+
+	// srcIndex deduplicates source prefixes: key -> destination trie
+	// root node. The same root is stored (plus one) in the source trie
+	// node's value, so the memory-resident engine needs no side table.
+	srcIndex map[[2]uint32]uint32
+}
+
+// New builds an empty classifier whose nodes occupy word addresses
+// [base, base+maxNodes) of mem. The memory's word size must be at
+// least 12 bytes.
+func New(mem sim.Memory, base uint64, maxNodes int) (*Classifier, error) {
+	if maxNodes < 1 {
+		return nil, fmt.Errorf("classify: maxNodes must be >= 1, got %d", maxNodes)
+	}
+	return &Classifier{
+		mem:      mem,
+		base:     base,
+		limit:    uint32(maxNodes),
+		nodes:    []node{{}}, // node 0: source trie root
+		synced:   []bool{false},
+		srcIndex: make(map[[2]uint32]uint32),
+	}, nil
+}
+
+// Rules reports the number of installed rules.
+func (c *Classifier) Rules() int { return len(c.rules) }
+
+// NodeCount reports allocated trie nodes.
+func (c *Classifier) NodeCount() int { return len(c.nodes) }
+
+func (c *Classifier) alloc() (uint32, error) {
+	if uint32(len(c.nodes)) >= c.limit {
+		return 0, ErrNoMemory
+	}
+	c.nodes = append(c.nodes, node{})
+	c.synced = append(c.synced, false)
+	return uint32(len(c.nodes) - 1), nil
+}
+
+// walkTo descends from root along the top `length` bits of addr,
+// allocating nodes as needed, and returns the final node index.
+func (c *Classifier) walkTo(root uint32, addr uint32, length int) (uint32, error) {
+	cur := root
+	for i := 0; i < length; i++ {
+		bit := (addr >> (31 - uint(i))) & 1
+		next := c.nodes[cur].child[bit]
+		if next == 0 {
+			n, err := c.alloc()
+			if err != nil {
+				return 0, err
+			}
+			c.nodes[cur].child[bit] = n
+			c.synced[cur] = false
+			next = n
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// AddRule installs a rule. Rules sharing a source prefix share one
+// destination trie; a (src, dst) collision keeps the higher priority.
+func (c *Classifier) AddRule(r Rule) error {
+	if r.SrcLen < 0 || r.SrcLen > 32 || r.DstLen < 0 || r.DstLen > 32 {
+		return fmt.Errorf("%w: prefix lengths %d/%d", ErrBadRule, r.SrcLen, r.DstLen)
+	}
+	if r.Action == 0 {
+		return ErrZeroAction
+	}
+	r.SrcAddr = maskPrefix(r.SrcAddr, r.SrcLen)
+	r.DstAddr = maskPrefix(r.DstAddr, r.DstLen)
+
+	key := [2]uint32{r.SrcAddr, uint32(r.SrcLen)}
+	dstRoot, ok := c.srcIndex[key]
+	if !ok {
+		// New source prefix: place it in the source trie and allocate a
+		// destination trie root, pointed to by the source node's value.
+		srcNode, err := c.walkTo(0, r.SrcAddr, r.SrcLen)
+		if err != nil {
+			return err
+		}
+		dstRoot, err = c.alloc()
+		if err != nil {
+			return err
+		}
+		c.srcIndex[key] = dstRoot
+		c.nodes[srcNode].value = dstRoot + 1
+		c.synced[srcNode] = false
+	}
+	dstNode, err := c.walkTo(dstRoot, r.DstAddr, r.DstLen)
+	if err != nil {
+		return err
+	}
+	if v := c.nodes[dstNode].value; v != 0 {
+		// Same (src, dst) pair: priority decides.
+		if c.rules[v-1].Priority >= r.Priority {
+			return nil
+		}
+	}
+	c.rules = append(c.rules, r)
+	c.nodes[dstNode].value = uint32(len(c.rules)) // rule index + 1
+	c.synced[dstNode] = false
+	return nil
+}
+
+func maskPrefix(addr uint32, length int) uint32 {
+	if length == 0 {
+		return 0
+	}
+	return addr & (^uint32(0) << (32 - uint(length)))
+}
+
+// encode packs a node into a memory word.
+func encode(n *node, word int) []byte {
+	buf := make([]byte, word)
+	binary.LittleEndian.PutUint32(buf[0:], n.value)
+	binary.LittleEndian.PutUint32(buf[4:], n.child[0])
+	binary.LittleEndian.PutUint32(buf[8:], n.child[1])
+	return buf
+}
+
+func decode(word []byte) node {
+	return node{
+		value: binary.LittleEndian.Uint32(word[0:]),
+		child: [2]uint32{
+			binary.LittleEndian.Uint32(word[4:]),
+			binary.LittleEndian.Uint32(word[8:]),
+		},
+	}
+}
+
+// Sync writes dirty nodes into memory (one write per cycle) and returns
+// the word count written.
+func (c *Classifier) Sync(wordBytes int) (int, error) {
+	words := 0
+	for i := range c.nodes {
+		if c.synced[i] {
+			continue
+		}
+		data := encode(&c.nodes[i], wordBytes)
+		for {
+			err := c.mem.Write(c.base+uint64(i), data)
+			if err == nil {
+				break
+			}
+			if !core.IsStall(err) {
+				return words, err
+			}
+			c.mem.Tick()
+		}
+		words++
+		c.synced[i] = true
+		c.mem.Tick()
+	}
+	return words, nil
+}
+
+// ClassifyShadow resolves a packet against the control-plane mirror —
+// the reference the memory-resident engine is verified against.
+func (c *Classifier) ClassifyShadow(src, dst uint32) (Rule, bool) {
+	best := -1
+	var bestRule Rule
+	cur := uint32(0)
+	for level := 0; ; level++ {
+		n := &c.nodes[cur]
+		if n.value != 0 {
+			c.scanDstShadow(n.value-1, dst, &best, &bestRule)
+		}
+		if level >= 32 {
+			break
+		}
+		bit := (src >> (31 - uint(level))) & 1
+		if n.child[bit] == 0 {
+			break
+		}
+		cur = n.child[bit]
+	}
+	return bestRule, best >= 0
+}
+
+func (c *Classifier) scanDstShadow(root, dst uint32, best *int, bestRule *Rule) {
+	cur := root
+	for level := 0; ; level++ {
+		n := &c.nodes[cur]
+		if n.value != 0 {
+			r := c.rules[n.value-1]
+			if r.Priority > *best {
+				*best = r.Priority
+				*bestRule = r
+			}
+		}
+		if level >= 32 {
+			return
+		}
+		bit := (dst >> (31 - uint(level))) & 1
+		if n.child[bit] == 0 {
+			return
+		}
+		cur = n.child[bit]
+	}
+}

@@ -1,0 +1,211 @@
+package classify
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func newMem(t testing.TB) *core.Controller {
+	t.Helper()
+	c, err := core.New(core.Config{Banks: 8, QueueDepth: 16, DelayRows: 64, WordBytes: 16, HashSeed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// refClassify is the independent reference: linear scan.
+func refClassify(rules []Rule, src, dst uint32) (Rule, bool) {
+	best := -1
+	var out Rule
+	for _, r := range rules {
+		if maskPrefix(src, r.SrcLen) == r.SrcAddr && maskPrefix(dst, r.DstLen) == r.DstAddr && r.Priority > best {
+			best = r.Priority
+			out = r
+		}
+	}
+	return out, best >= 0
+}
+
+func randomRules(rng *rand.Rand, n int) []Rule {
+	rules := make([]Rule, 0, n)
+	for i := 0; i < n; i++ {
+		r := Rule{
+			SrcAddr:  rng.Uint32(),
+			SrcLen:   rng.IntN(25),
+			DstAddr:  rng.Uint32(),
+			DstLen:   rng.IntN(25),
+			Priority: rng.IntN(1000),
+			Action:   1 + rng.Uint32N(1<<16),
+		}
+		r.SrcAddr = maskPrefix(r.SrcAddr, r.SrcLen)
+		r.DstAddr = maskPrefix(r.DstAddr, r.DstLen)
+		rules = append(rules, r)
+	}
+	return rules
+}
+
+// install deduplicates (src,dst) pairs the way the classifier does
+// (higher priority wins), so the linear reference agrees exactly.
+func install(t testing.TB, c *Classifier, rules []Rule) []Rule {
+	t.Helper()
+	kept := map[[4]uint32]Rule{}
+	for _, r := range rules {
+		if err := c.AddRule(r); err != nil {
+			t.Fatal(err)
+		}
+		k := [4]uint32{r.SrcAddr, uint32(r.SrcLen), r.DstAddr, uint32(r.DstLen)}
+		if old, ok := kept[k]; !ok || r.Priority > old.Priority {
+			kept[k] = r
+		}
+	}
+	out := make([]Rule, 0, len(kept))
+	for _, r := range kept {
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestShadowMatchesLinearScan(t *testing.T) {
+	mem := newMem(t)
+	c, err := New(mem, 0, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	ref := install(t, c, randomRules(rng, 200))
+	for i := 0; i < 5000; i++ {
+		src, dst := rng.Uint32(), rng.Uint32()
+		// Half the probes aim at rule space to get real matches.
+		if i%2 == 0 && len(ref) > 0 {
+			r := ref[rng.IntN(len(ref))]
+			src = r.SrcAddr | rng.Uint32()&^maskFor(r.SrcLen)
+			dst = r.DstAddr | rng.Uint32()&^maskFor(r.DstLen)
+		}
+		got, okGot := c.ClassifyShadow(src, dst)
+		want, okWant := refClassify(ref, src, dst)
+		if okGot != okWant || (okGot && got.Priority != want.Priority) {
+			t.Fatalf("probe (%#x,%#x): shadow (%v,%v) want (%v,%v)", src, dst, got, okGot, want, okWant)
+		}
+	}
+}
+
+func maskFor(length int) uint32 {
+	if length == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - uint(length))
+}
+
+func TestEngineMatchesShadow(t *testing.T) {
+	mem := newMem(t)
+	c, _ := New(mem, 0, 1<<16)
+	rng := rand.New(rand.NewPCG(3, 4))
+	ref := install(t, c, randomRules(rng, 100))
+	if _, err := c.Sync(16); err != nil {
+		t.Fatal(err)
+	}
+	engine := NewEngine(c)
+	const probes = 200
+	type probe struct{ src, dst uint32 }
+	ps := make([]probe, probes)
+	for i := range ps {
+		if i%2 == 0 && len(ref) > 0 {
+			r := ref[rng.IntN(len(ref))]
+			ps[i] = probe{r.SrcAddr | rng.Uint32()&^maskFor(r.SrcLen), r.DstAddr | rng.Uint32()&^maskFor(r.DstLen)}
+		} else {
+			ps[i] = probe{rng.Uint32(), rng.Uint32()}
+		}
+		engine.Start(ps[i].src, ps[i].dst, uint64(i))
+	}
+	got := 0
+	for _, res := range engine.Drain(20_000_000) {
+		want, okWant := c.ClassifyShadow(res.Src, res.Dst)
+		if res.Matched != okWant {
+			t.Fatalf("probe %d: matched=%v shadow=%v", res.ID, res.Matched, okWant)
+		}
+		if res.Matched && (res.Rule.Priority != want.Priority || res.Rule.Action != want.Action) {
+			t.Fatalf("probe %d: rule %+v shadow %+v", res.ID, res.Rule, want)
+		}
+		if res.NodeReads < 1 {
+			t.Fatalf("probe %d: no node reads", res.ID)
+		}
+		got++
+	}
+	if got != probes {
+		t.Fatalf("finished %d of %d", got, probes)
+	}
+}
+
+func TestPriorityResolution(t *testing.T) {
+	mem := newMem(t)
+	c, _ := New(mem, 0, 4096)
+	// Overlapping rules at different specificities with inverted
+	// priorities: the less specific but higher-priority rule must win.
+	rules := []Rule{
+		{SrcAddr: 0x0A000000, SrcLen: 8, DstLen: 0, Priority: 100, Action: 1},
+		{SrcAddr: 0x0A0A0000, SrcLen: 16, DstAddr: 0xC0000000, DstLen: 8, Priority: 50, Action: 2},
+	}
+	for _, r := range rules {
+		if err := c.AddRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Sync(16); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.ClassifyShadow(0x0A0A0001, 0xC0000001)
+	if !ok || got.Action != 1 {
+		t.Fatalf("priority resolution: got %+v ok=%v want action 1", got, ok)
+	}
+	// A probe matching only the specific rule.
+	got, ok = c.ClassifyShadow(0x0A0A0001, 0xC0000001)
+	_ = got
+	// And one matching neither.
+	if _, ok := c.ClassifyShadow(0x0B000000, 0); ok {
+		t.Fatal("false match")
+	}
+}
+
+func TestSameSrcDstPairKeepsHigherPriority(t *testing.T) {
+	mem := newMem(t)
+	c, _ := New(mem, 0, 4096)
+	c.AddRule(Rule{SrcLen: 8, SrcAddr: 0x0A000000, DstLen: 8, DstAddr: 0x14000000, Priority: 5, Action: 1})
+	c.AddRule(Rule{SrcLen: 8, SrcAddr: 0x0A000000, DstLen: 8, DstAddr: 0x14000000, Priority: 9, Action: 2})
+	c.AddRule(Rule{SrcLen: 8, SrcAddr: 0x0A000000, DstLen: 8, DstAddr: 0x14000000, Priority: 1, Action: 3})
+	got, ok := c.ClassifyShadow(0x0A000001, 0x14000001)
+	if !ok || got.Action != 2 {
+		t.Fatalf("got %+v ok=%v want action 2", got, ok)
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	mem := newMem(t)
+	c, _ := New(mem, 0, 16)
+	if err := c.AddRule(Rule{SrcLen: 33, Action: 1}); err == nil {
+		t.Error("bad src length accepted")
+	}
+	if err := c.AddRule(Rule{DstLen: -1, Action: 1}); err == nil {
+		t.Error("bad dst length accepted")
+	}
+	if err := c.AddRule(Rule{SrcLen: 8, DstLen: 8}); err != ErrZeroAction {
+		t.Error("action 0 accepted")
+	}
+	if _, err := New(mem, 0, 0); err == nil {
+		t.Error("zero arena accepted")
+	}
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	mem := newMem(t)
+	c, _ := New(mem, 0, 8)
+	var last error
+	for i := 0; i < 10 && last == nil; i++ {
+		last = c.AddRule(Rule{SrcAddr: uint32(i) << 24, SrcLen: 32, DstLen: 0, Priority: i, Action: 1})
+	}
+	if last != ErrNoMemory {
+		t.Fatalf("err = %v want ErrNoMemory", last)
+	}
+}

@@ -1,0 +1,195 @@
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// QueryResult is one completed classification.
+type QueryResult struct {
+	ID       uint64
+	Src, Dst uint32
+	// Matched reports whether any rule applied; Rule is valid then.
+	Matched bool
+	Rule    Rule
+	// NodeReads counts trie nodes visited — the O(W^2) the paper's
+	// memory exists to make harmless.
+	NodeReads int
+	// StartCycle/EndCycle bound the classification in engine cycles.
+	StartCycle, EndCycle uint64
+}
+
+// walk phases.
+const (
+	phaseSrc = iota
+	phaseDst
+)
+
+type query struct {
+	id       uint64
+	src, dst uint32
+	phase    int
+	level    int
+	node     uint32
+	// pendingRoots are destination tries discovered on the source walk
+	// and not yet searched.
+	pendingRoots []uint32
+	bestPriority int
+	bestRule     int // rule index + 1; 0 = none
+	reads        int
+	start        uint64
+}
+
+// Engine classifies packets against the memory-resident tries, one
+// node read per cycle, with many classifications in flight so the
+// memory pipeline stays busy.
+type Engine struct {
+	c     *Classifier
+	cycle uint64
+
+	queue    []query
+	inflight map[uint64]query
+
+	started, finished, nodeReads, stallRetries uint64
+
+	results []QueryResult
+}
+
+// NewEngine builds an engine over the classifier's memory. Sync the
+// classifier first.
+func NewEngine(c *Classifier) *Engine {
+	return &Engine{c: c, inflight: make(map[uint64]query)}
+}
+
+// Start enqueues a classification.
+func (e *Engine) Start(src, dst uint32, id uint64) {
+	e.queue = append(e.queue, query{
+		id: id, src: src, dst: dst,
+		bestPriority: -1,
+		start:        e.cycle,
+	})
+	e.started++
+}
+
+// InFlight reports classifications started but not finished.
+func (e *Engine) InFlight() int { return int(e.started - e.finished) }
+
+// Stats reports aggregate counters.
+func (e *Engine) Stats() (started, finished, nodeReads, stallRetries uint64) {
+	return e.started, e.finished, e.nodeReads, e.stallRetries
+}
+
+// Tick issues at most one node read, advances the memory one cycle,
+// and returns finished classifications. The result slice is reused.
+func (e *Engine) Tick() []QueryResult {
+	e.results = e.results[:0]
+	if len(e.queue) > 0 {
+		q := e.queue[0]
+		tag, err := e.c.mem.Read(e.c.base + uint64(q.node))
+		if err == nil {
+			e.queue = e.queue[1:]
+			e.inflight[tag] = q
+			e.nodeReads++
+		} else if core.IsStall(err) {
+			e.stallRetries++
+		} else {
+			panic(fmt.Sprintf("classify: node read failed: %v", err))
+		}
+	}
+	for _, comp := range e.c.mem.Tick() {
+		q, ok := e.inflight[comp.Tag]
+		if !ok {
+			continue
+		}
+		delete(e.inflight, comp.Tag)
+		e.advance(q, comp.Data)
+	}
+	e.cycle++
+	return e.results
+}
+
+// advance consumes one node and decides the query's next read.
+func (e *Engine) advance(q query, word []byte) {
+	n := decode(word)
+	q.reads++
+	switch q.phase {
+	case phaseSrc:
+		if n.value != 0 {
+			q.pendingRoots = append(q.pendingRoots, n.value-1)
+		}
+		if q.level < 32 {
+			bit := (q.src >> (31 - uint(q.level))) & 1
+			if child := n.child[bit]; child != 0 {
+				q.level++
+				q.node = child
+				e.queue = append(e.queue, q)
+				return
+			}
+		}
+		if !e.nextDstWalk(&q) {
+			e.finalize(q)
+			return
+		}
+		e.queue = append(e.queue, q)
+	case phaseDst:
+		if n.value != 0 {
+			r := e.c.rules[n.value-1]
+			if r.Priority > q.bestPriority {
+				q.bestPriority = r.Priority
+				q.bestRule = int(n.value)
+			}
+		}
+		if q.level < 32 {
+			bit := (q.dst >> (31 - uint(q.level))) & 1
+			if child := n.child[bit]; child != 0 {
+				q.level++
+				q.node = child
+				e.queue = append(e.queue, q)
+				return
+			}
+		}
+		if !e.nextDstWalk(&q) {
+			e.finalize(q)
+			return
+		}
+		e.queue = append(e.queue, q)
+	}
+}
+
+// nextDstWalk pops the next pending destination trie; false when none
+// remain.
+func (e *Engine) nextDstWalk(q *query) bool {
+	if len(q.pendingRoots) == 0 {
+		return false
+	}
+	q.phase = phaseDst
+	q.node = q.pendingRoots[0]
+	q.level = 0
+	q.pendingRoots = q.pendingRoots[1:]
+	return true
+}
+
+func (e *Engine) finalize(q query) {
+	e.finished++
+	res := QueryResult{
+		ID: q.id, Src: q.src, Dst: q.dst,
+		NodeReads:  q.reads,
+		StartCycle: q.start,
+		EndCycle:   e.cycle + 1,
+	}
+	if q.bestRule != 0 {
+		res.Matched = true
+		res.Rule = e.c.rules[q.bestRule-1]
+	}
+	e.results = append(e.results, res)
+}
+
+// Drain ticks until every classification finishes, up to maxCycles.
+func (e *Engine) Drain(maxCycles int) []QueryResult {
+	var all []QueryResult
+	for i := 0; i < maxCycles && e.InFlight() > 0; i++ {
+		all = append(all, e.Tick()...)
+	}
+	return all
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/queue"
+)
+
+// playback is a circular-delay-buffer payload: everything needed to put
+// the right data word on the interface at the right time. The hardware
+// stores only the row id (log2 K bits per slot); the tag, address and
+// issue cycle ride along in the model so completions are self-describing.
+type playback struct {
+	rowID    int
+	tag      uint64
+	addr     uint64
+	issuedAt uint64
+}
+
+// baqEntry is one bank access queue entry: a read/write bit plus, for
+// reads, the index of the target row in the delay storage buffer. The
+// row id is unused for writes, which drain the write buffer in FIFO
+// order.
+type baqEntry struct {
+	isWrite bool
+	rowID   int
+}
+
+// wbEntry is one write buffer entry: the address and data of an
+// incoming write awaiting its bank access.
+type wbEntry struct {
+	addr uint64
+	data []byte
+}
+
+// dsbRow is one row of the delay storage buffer: an address with a
+// valid flag, the redundant-request counter, and a data word buffered
+// from the bank until every pending playback has consumed it.
+type dsbRow struct {
+	allocated bool // row is reserved (counter has pending playbacks)
+	addrValid bool // address may match new reads (cleared by a write)
+	addr      uint64
+	count     uint32 // pending playbacks referencing this row
+	dataReady bool   // the bank access has completed
+	data      []byte
+}
+
+// inflightAccess tracks the single read access a bank can have
+// outstanding: issued to the DRAM, completing at doneAt.
+type inflightAccess struct {
+	active bool
+	rowID  int
+	doneAt uint64
+}
+
+// bankController implements Figure 3 of the paper: one controller per
+// bank, owning a delay storage buffer (K rows), a bank access queue
+// (Q entries), a write buffer FIFO (Q/2 entries), a circular delay
+// buffer (D slots) and the control logic tying them together. Requests
+// pass through the four states pending (queued), accessing (issued to
+// the bank), waiting (data buffered until D elapses) and completed.
+type bankController struct {
+	id       int
+	rows     []dsbRow
+	freeRows int
+	baq      *queue.Ring[baqEntry]
+	wb       *queue.Ring[wbEntry]
+	cdb      *queue.DelayBuffer[playback]
+
+	// pending is the playback entry recorded by a read accepted this
+	// interface cycle; it is written into the delay buffer at the next
+	// Tick. At most one request per cycle reaches the whole controller,
+	// so at most one bank has a valid pending entry.
+	pending      playback
+	pendingValid bool
+
+	inflight inflightAccess
+
+	trace Tracer // nil unless Config.Trace is set
+}
+
+func newBankController(id int, cfg Config) *bankController {
+	b := &bankController{
+		id:       id,
+		rows:     make([]dsbRow, cfg.DelayRows),
+		freeRows: cfg.DelayRows,
+		baq:      queue.NewRing[baqEntry](cfg.QueueDepth),
+		wb:       queue.NewRing[wbEntry](cfg.WriteBufferDepth),
+		cdb:      queue.NewDelayBuffer[playback](cfg.Delay - 1),
+		trace:    cfg.Trace,
+	}
+	for i := range b.rows {
+		b.rows[i].data = make([]byte, cfg.WordBytes)
+	}
+	return b
+}
+
+// lookup is the address CAM search: the index of the allocated,
+// address-valid row holding addr, or -1. At most one row can be valid
+// for a given address (new rows are only allocated on a CAM miss, and a
+// write invalidates the matching row before any new row can appear).
+func (b *bankController) lookup(addr uint64) int {
+	for i := range b.rows {
+		if b.rows[i].allocated && b.rows[i].addrValid && b.rows[i].addr == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// allocRow is the "first zero circuit": it reserves the lowest-indexed
+// free row for addr. The caller must have checked freeRows > 0.
+func (b *bankController) allocRow(addr uint64) int {
+	for i := range b.rows {
+		if !b.rows[i].allocated {
+			r := &b.rows[i]
+			r.allocated = true
+			r.addrValid = true
+			r.addr = addr
+			r.count = 1
+			r.dataReady = false
+			b.freeRows--
+			return i
+		}
+	}
+	panic("core: allocRow called with no free rows")
+}
+
+func (b *bankController) freeRow(rowID int) {
+	r := &b.rows[rowID]
+	r.allocated = false
+	r.addrValid = false
+	r.count = 0
+	r.dataReady = false
+	b.freeRows++
+}
+
+// acceptRead handles an incoming read request. On a CAM match the
+// request is redundant: the row counter is incremented and only a
+// playback entry is created (the short-cut path of Figure 1). On a miss
+// a row and a bank access queue entry are needed; if either resource is
+// exhausted the request stalls.
+func (b *bankController) acceptRead(addr uint64, tag, cycle uint64, maxCount uint32) (merged bool, err error) {
+	if rowID := b.lookup(addr); rowID >= 0 {
+		r := &b.rows[rowID]
+		if r.count >= maxCount {
+			return false, ErrStallCounter
+		}
+		r.count++
+		b.setPending(playback{rowID: rowID, tag: tag, addr: addr, issuedAt: cycle})
+		return true, nil
+	}
+	if b.freeRows == 0 {
+		return false, ErrStallDelayBuffer
+	}
+	if b.baq.Full() {
+		return false, ErrStallBankQueue
+	}
+	rowID := b.allocRow(addr)
+	b.baq.Push(baqEntry{isWrite: false, rowID: rowID})
+	b.setPending(playback{rowID: rowID, tag: tag, addr: addr, issuedAt: cycle})
+	return false, nil
+}
+
+// acceptWrite handles an incoming write request: the address and data
+// enter the write buffer FIFO, a write marker enters the bank access
+// queue, and any row caching the overwritten address has its address
+// valid flag cleared so future reads refetch from the bank (the row
+// keeps serving the reads that preceded the write until its counter
+// drains to zero).
+func (b *bankController) acceptWrite(addr uint64, data []byte) error {
+	if b.wb.Full() {
+		return ErrStallWriteBuffer
+	}
+	if b.baq.Full() {
+		return ErrStallBankQueue
+	}
+	if rowID := b.lookup(addr); rowID >= 0 {
+		b.rows[rowID].addrValid = false
+	}
+	b.wb.Push(wbEntry{addr: addr, data: data})
+	b.baq.Push(baqEntry{isWrite: true})
+	return nil
+}
+
+func (b *bankController) setPending(p playback) {
+	if b.pendingValid {
+		panic("core: two reads accepted by one bank in a single interface cycle")
+	}
+	b.pending, b.pendingValid = p, true
+}
+
+// flushInflight completes an outstanding read access whose bank time
+// has elapsed, marking the row's data ready for playback.
+func (b *bankController) flushInflight(memNow uint64) {
+	if b.inflight.active && memNow >= b.inflight.doneAt {
+		b.rows[b.inflight.rowID].dataReady = true
+		b.inflight.active = false
+		if b.trace != nil {
+			b.trace.OnDataReady(b.inflight.doneAt, b.id, b.rows[b.inflight.rowID].addr)
+		}
+	}
+}
+
+// tryIssue attempts to start the head-of-queue access on memory cycle
+// memNow. It returns true if the bus slot was consumed. Write data
+// buffers are returned to pool once the store has taken the word.
+func (b *bankController) tryIssue(mod *dram.Module, memNow uint64, pool *bufPool) bool {
+	if b.baq.Empty() {
+		return false
+	}
+	b.flushInflight(memNow)
+	if !mod.BankFree(b.id, memNow) {
+		return false
+	}
+	head, _ := b.baq.Pop()
+	if head.isWrite {
+		e, ok := b.wb.Pop()
+		if !ok {
+			panic("core: write marker in bank access queue with empty write buffer")
+		}
+		mod.IssueWrite(b.id, e.addr, e.data, memNow)
+		pool.put(e.data)
+		if b.trace != nil {
+			b.trace.OnIssue(memNow, b.id, true, e.addr)
+		}
+		return true
+	}
+	row := &b.rows[head.rowID]
+	doneAt, data := mod.IssueRead(b.id, row.addr, memNow)
+	if b.trace != nil {
+		b.trace.OnIssue(memNow, b.id, false, row.addr)
+	}
+	// The word cannot change between issue and completion (the bank is
+	// busy, and same-address writes always land on this same bank), so
+	// the model copies it now and reveals it at doneAt.
+	copy(row.data, data)
+	b.inflight = inflightAccess{active: true, rowID: head.rowID, doneAt: doneAt}
+	return true
+}
+
+// stepCDB advances the circular delay buffer one interface cycle,
+// recording this cycle's pending entry (or an invalid slot) and
+// returning the playback that comes due, if any.
+func (b *bankController) stepCDB() (playback, bool) {
+	in, valid := b.pending, b.pendingValid
+	b.pendingValid = false
+	return b.cdb.Step(in, valid)
+}
+
+// deliver consumes one playback: it reads the data word from the row,
+// decrements the redundant-request counter, and frees the row when the
+// last pending playback has been served. The data must be ready — the
+// normalized delay D is chosen so that any request admitted without a
+// stall completes in time, and a violation here means that invariant
+// (not the workload) is broken.
+func (b *bankController) deliver(p playback, memNow uint64, dst []byte) {
+	b.flushInflight(memNow)
+	r := &b.rows[p.rowID]
+	if !r.allocated || r.count == 0 {
+		panic(fmt.Sprintf("core: playback for bank %d row %d which is not reserved", b.id, p.rowID))
+	}
+	if !r.dataReady {
+		panic(fmt.Sprintf("core: playback for bank %d row %d before data ready (normalized delay too small)", b.id, p.rowID))
+	}
+	copy(dst, r.data)
+	r.count--
+	if r.count == 0 {
+		b.freeRow(p.rowID)
+	}
+}
+
+// rowsInUse reports the current delay storage buffer occupancy.
+func (b *bankController) rowsInUse() int { return len(b.rows) - b.freeRows }

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"repro/internal/dram"
+	"repro/internal/hash"
+)
+
+// Completion reports one data word delivered on the interface. The
+// Data slice is owned by the controller and is valid only until the
+// next call to Tick; callers that keep data across cycles must copy it.
+type Completion struct {
+	// Tag is the value returned by the Read call that requested the word.
+	Tag uint64
+	// Addr is the requested address.
+	Addr uint64
+	// Data is the word read (WordBytes long).
+	Data []byte
+	// IssuedAt and DeliveredAt are interface cycles; their difference is
+	// always exactly the normalized delay D.
+	IssuedAt, DeliveredAt uint64
+}
+
+// Controller is a virtually pipelined network memory: a front-end
+// universal hash, one bank controller per DRAM bank, and a memory-side
+// bus running R times faster than the interface. Clients call Read or
+// Write at most once per interface cycle and advance time with Tick;
+// every read's data appears exactly Delay() cycles after it was issued.
+//
+// Controller is not safe for concurrent use: like the hardware it
+// models, it has a single interface port driven by one clock.
+type Controller struct {
+	cfg      Config
+	h        hash.Func
+	mod      *dram.Module
+	banks    []*bankController
+	bankMask uint64
+	maxCount uint32
+
+	cycle   uint64 // interface cycles completed
+	memTime uint64 // memory-bus cycles completed
+	rrPtr   int    // work-conserving round-robin pointer
+
+	nextTag      uint64
+	readReq      bool // a read was accepted this interface cycle
+	writeReq     bool // a write was accepted this interface cycle
+	totalQueued  int  // sum of bank access queue occupancies
+	totalRowsUse int  // sum of delay storage buffer occupancies
+
+	// Re-keying trigger state (see rekey.go).
+	windowStart      uint64
+	windowStalls     uint64
+	prevWindowStalls uint64
+
+	pool        bufPool
+	scratch     []byte // backs Completion.Data until the next Tick
+	completions []Completion
+
+	stats Stats
+}
+
+// New builds a controller from cfg; zero-valued fields take the
+// defaults documented on Config.
+func New(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mod, err := dram.NewModule(dram.Config{
+		Banks:         cfg.Banks,
+		AccessLatency: cfg.AccessLatency,
+		WordBytes:     cfg.WordBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := cfg.Hash
+	if h == nil {
+		bits := cfg.bankBits()
+		if bits == 0 {
+			bits = 1 // a 1-bank system still needs a well-formed hash
+		}
+		h = hash.NewH3(bits, cfg.HashSeed)
+	}
+	c := &Controller{
+		cfg:      cfg,
+		h:        h,
+		mod:      mod,
+		banks:    make([]*bankController, cfg.Banks),
+		bankMask: uint64(cfg.Banks - 1),
+		maxCount: 1<<uint(cfg.CounterBits) - 1,
+		pool:     bufPool{word: cfg.WordBytes},
+		scratch:  make([]byte, cfg.WordBytes),
+	}
+	for i := range c.banks {
+		c.banks[i] = newBankController(i, cfg)
+	}
+	c.stats.BankRequests = make([]uint64, cfg.Banks)
+	return c, nil
+}
+
+// Config returns the fully resolved configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Delay returns the normalized delay D in interface cycles.
+func (c *Controller) Delay() int { return c.cfg.Delay }
+
+// Cycle returns the current interface cycle (the cycle at which a
+// request issued now is stamped).
+func (c *Controller) Cycle() uint64 { return c.cycle }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (c *Controller) Stats() Stats {
+	s := c.stats
+	s.BankRequests = append([]uint64(nil), c.stats.BankRequests...)
+	return s
+}
+
+// Bank returns the bank index the controller's hash assigns to addr.
+// Exposed for the oracle-adversary experiments, which model an attacker
+// who has somehow learned the mapping.
+func (c *Controller) Bank(addr uint64) int {
+	return int(c.h.Hash(addr) & c.bankMask)
+}
+
+// Read issues a read of addr this interface cycle and returns a tag
+// that will identify the completion exactly Delay() cycles later. A
+// stall error (see IsStall) means the request was not accepted and the
+// cycle's interface slot remains open for a retry or another request.
+// With Config.DualPort a read and a write may share a cycle (taking
+// effect in call order); otherwise one request of either kind is the
+// limit.
+func (c *Controller) Read(addr uint64) (tag uint64, err error) {
+	if c.readReq || (!c.cfg.DualPort && c.writeReq) {
+		return 0, ErrSecondRequest
+	}
+	bank := c.Bank(addr)
+	b := c.banks[bank]
+	tag = c.nextTag
+	merged, err := b.acceptRead(addr, tag, c.cycle, c.maxCount)
+	if err != nil {
+		c.noteStall(err)
+		if c.cfg.Trace != nil {
+			c.cfg.Trace.OnStall(c.cycle, bank, addr, err)
+		}
+		return 0, err
+	}
+	if c.cfg.Trace != nil {
+		c.cfg.Trace.OnRequest(c.cycle, bank, false, merged, addr, tag)
+	}
+	c.nextTag++
+	c.readReq = true
+	c.stats.Reads++
+	c.stats.BankRequests[bank]++
+	if merged {
+		c.stats.MergedReads++
+	} else {
+		c.totalQueued++
+		c.notePressure(b)
+	}
+	return tag, nil
+}
+
+// Write issues a write of data to addr this interface cycle. Writes
+// complete silently — the interface never needs to wait for them — but
+// are ordered with reads to the same address by the per-bank FIFO.
+// Data longer than a word is rejected; shorter data is zero-padded.
+func (c *Controller) Write(addr uint64, data []byte) error {
+	if c.writeReq || (!c.cfg.DualPort && c.readReq) {
+		return ErrSecondRequest
+	}
+	if len(data) > c.cfg.WordBytes {
+		return errDataTooLong(len(data), c.cfg.WordBytes)
+	}
+	bank := c.Bank(addr)
+	b := c.banks[bank]
+	buf := c.pool.get()
+	n := copy(buf, data)
+	for i := n; i < len(buf); i++ {
+		buf[i] = 0
+	}
+	if err := b.acceptWrite(addr, buf); err != nil {
+		c.pool.put(buf)
+		c.noteStall(err)
+		if c.cfg.Trace != nil {
+			c.cfg.Trace.OnStall(c.cycle, bank, addr, err)
+		}
+		return err
+	}
+	if c.cfg.Trace != nil {
+		c.cfg.Trace.OnRequest(c.cycle, bank, true, false, addr, 0)
+	}
+	c.writeReq = true
+	c.stats.Writes++
+	c.stats.BankRequests[bank]++
+	c.totalQueued++
+	c.notePressure(b)
+	return nil
+}
+
+// Tick advances the controller one interface cycle: the memory side
+// runs its share of bus cycles, every circular delay buffer rotates,
+// and any playback that comes due is returned as a completion. At most
+// one completion can occur per cycle because at most one request was
+// accepted D cycles ago.
+func (c *Controller) Tick() []Completion {
+	c.cycle++
+	c.stats.Cycles++
+	c.advanceMemory()
+	c.completions = c.completions[:0]
+	occupied := 0
+	for _, b := range c.banks {
+		b.flushInflight(c.memTime)
+		occupied += b.rowsInUse()
+	}
+	c.stats.RowOccupancySum += uint64(occupied)
+	for _, b := range c.banks {
+		p, ok := b.stepCDB()
+		if !ok {
+			continue
+		}
+		b.deliver(p, c.memTime, c.scratch)
+		if c.cfg.Trace != nil {
+			c.cfg.Trace.OnDeliver(c.cycle, b.id, p.addr, p.tag)
+		}
+		c.completions = append(c.completions, Completion{
+			Tag:         p.tag,
+			Addr:        p.addr,
+			Data:        c.scratch,
+			IssuedAt:    p.issuedAt,
+			DeliveredAt: c.cycle,
+		})
+		c.stats.Completions++
+	}
+	if len(c.completions) > 1 {
+		panic("core: more than one playback due in a single interface cycle")
+	}
+	c.readReq = false
+	c.writeReq = false
+	return c.completions
+}
+
+// advanceMemory runs the memory-side bus up to the cycle budget earned
+// by the current interface cycle: floor(cycle * R). Each memory cycle
+// carries at most one bus grant. In the default work-conserving mode a
+// rotating-priority arbiter offers the slot to each bank in turn; in
+// StrictRoundRobin mode the slot belongs to bank (m mod B) alone and is
+// wasted if that bank cannot use it.
+func (c *Controller) advanceMemory() {
+	target := c.cycle * uint64(c.cfg.RatioNum) / uint64(c.cfg.RatioDen)
+	nBanks := len(c.banks)
+	for c.memTime < target {
+		m := c.memTime
+		if c.totalQueued > 0 {
+			if c.cfg.StrictRoundRobin {
+				b := int(m % uint64(nBanks))
+				c.issueOn(b, m)
+			} else {
+				for i := 0; i < nBanks; i++ {
+					b := (c.rrPtr + i) % nBanks
+					if c.issueOn(b, m) {
+						c.rrPtr = (b + 1) % nBanks
+						break
+					}
+				}
+			}
+		}
+		c.memTime++
+		c.stats.MemCycles++
+	}
+}
+
+func (c *Controller) issueOn(bank int, m uint64) bool {
+	if !c.banks[bank].tryIssue(c.mod, m, &c.pool) {
+		return false
+	}
+	c.totalQueued--
+	c.stats.BusBusy++
+	c.stats.DRAMAccesses++
+	return true
+}
+
+// notePressure updates the high-water marks after a queue push.
+func (c *Controller) notePressure(b *bankController) {
+	if n := b.baq.Len(); n > c.stats.PeakQueueLen {
+		c.stats.PeakQueueLen = n
+	}
+	if n := b.rowsInUse(); n > c.stats.PeakRowsInUse {
+		c.stats.PeakRowsInUse = n
+	}
+}
+
+func (c *Controller) noteStall(err error) {
+	switch err {
+	case ErrStallDelayBuffer:
+		c.stats.Stalls.DelayBuffer++
+	case ErrStallBankQueue:
+		c.stats.Stalls.BankQueue++
+	case ErrStallWriteBuffer:
+		c.stats.Stalls.WriteBuffer++
+	case ErrStallCounter:
+		c.stats.Stalls.Counter++
+	}
+	if c.stats.FirstStallCycle == 0 {
+		c.stats.FirstStallCycle = c.cycle + 1 // 1-based; 0 means "no stall yet"
+	}
+	if c.cfg.RekeyWindow > 0 {
+		c.rollRekeyWindow()
+		c.windowStalls++
+	}
+}
+
+// Outstanding reports the number of reads issued but not yet delivered.
+func (c *Controller) Outstanding() uint64 {
+	return c.stats.Reads - c.stats.Completions
+}
+
+// Flush ticks the controller until every queued access has been issued,
+// every bank is idle, and every outstanding read has been delivered. It
+// returns all completions observed while draining.
+func (c *Controller) Flush() []Completion {
+	var all []Completion
+	for c.Outstanding() > 0 || c.totalQueued > 0 || c.anyInflight() {
+		for _, comp := range c.Tick() {
+			comp.Data = append([]byte(nil), comp.Data...)
+			all = append(all, comp)
+		}
+	}
+	return all
+}
+
+func (c *Controller) anyInflight() bool {
+	for _, b := range c.banks {
+		if b.inflight.active {
+			return true
+		}
+	}
+	return false
+}
+
+// Store exposes the backing DRAM contents for tests and preloading.
+func (c *Controller) Store() *dram.Store { return c.mod.Store() }
+
+// bufPool recycles write-buffer data words to keep the steady state
+// allocation-free.
+type bufPool struct {
+	word int
+	bufs [][]byte
+}
+
+func (p *bufPool) get() []byte {
+	if n := len(p.bufs); n > 0 {
+		b := p.bufs[n-1]
+		p.bufs = p.bufs[:n-1]
+		return b
+	}
+	return make([]byte, p.word)
+}
+
+func (p *bufPool) put(b []byte) { p.bufs = append(p.bufs, b) }

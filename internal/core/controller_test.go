@@ -1,0 +1,781 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/hash"
+)
+
+// smallConfig is a controller small enough that tests finish instantly
+// but large enough to exercise queuing.
+func smallConfig() Config {
+	return Config{
+		Banks:         4,
+		AccessLatency: 20,
+		QueueDepth:    4,
+		DelayRows:     8,
+		RatioNum:      13,
+		RatioDen:      10,
+		WordBytes:     8,
+		HashSeed:      1,
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// issueRead retries a read across cycles until accepted, failing the
+// test if it stalls for more than 10*D cycles.
+func issueRead(t *testing.T, c *Controller, addr uint64, sink func(Completion)) uint64 {
+	t.Helper()
+	for i := 0; i < 10*c.Delay(); i++ {
+		tag, err := c.Read(addr)
+		if err == nil {
+			return tag
+		}
+		if !IsStall(err) {
+			t.Fatalf("Read(%d): %v", addr, err)
+		}
+		for _, comp := range c.Tick() {
+			if sink != nil {
+				sink(comp)
+			}
+		}
+	}
+	t.Fatalf("Read(%d) stalled for %d cycles", addr, 10*c.Delay())
+	return 0
+}
+
+func issueWrite(t *testing.T, c *Controller, addr uint64, data []byte, sink func(Completion)) {
+	t.Helper()
+	for i := 0; i < 10*c.Delay(); i++ {
+		err := c.Write(addr, data)
+		if err == nil {
+			return
+		}
+		if !IsStall(err) {
+			t.Fatalf("Write(%d): %v", addr, err)
+		}
+		for _, comp := range c.Tick() {
+			if sink != nil {
+				sink(comp)
+			}
+		}
+	}
+	t.Fatalf("Write(%d) stalled for %d cycles", addr, 10*c.Delay())
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := mustNew(t, Config{})
+	cfg := c.Config()
+	if cfg.Banks != DefaultBanks || cfg.QueueDepth != DefaultQueueDepth || cfg.DelayRows != DefaultDelayRows {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.WriteBufferDepth != DefaultQueueDepth/2 {
+		t.Fatalf("write buffer default = %d want Q/2 = %d", cfg.WriteBufferDepth, DefaultQueueDepth/2)
+	}
+	if cfg.Ratio() != 1.3 {
+		t.Fatalf("default R = %v want 1.3", cfg.Ratio())
+	}
+}
+
+func TestAutoDelayMatchesPaperScale(t *testing.T) {
+	// The paper finds that normalizing D to ~1000 ns (cycles at 1 GHz)
+	// is more than enough for its flagship configuration.
+	cfg := Config{Banks: 32, AccessLatency: 20, QueueDepth: 24, RatioNum: 13, RatioDen: 10, HashLatency: 4}
+	d := cfg.AutoDelay()
+	if d < 800 || d > 1200 {
+		t.Fatalf("AutoDelay = %d, want ~1000 like the paper", d)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := smallConfig()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"banks not power of two", func(c *Config) { c.Banks = 3 }},
+		{"negative latency", func(c *Config) { c.AccessLatency = -1 }},
+		{"R below 1", func(c *Config) { c.RatioNum = 9; c.RatioDen = 10 }},
+		{"zero ratio den", func(c *Config) { c.RatioNum = 1; c.RatioDen = -1 }},
+		{"delay too small", func(c *Config) { c.Delay = 10 }},
+		{"counter bits too wide", func(c *Config) { c.CounterBits = 40 }},
+		{"hash too narrow", func(c *Config) { c.Hash = hash.NewIdentity(1) }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: New accepted invalid config", tc.name)
+		}
+	}
+}
+
+// TestFixedLatencyInvariant is the core promise of the paper: every
+// read completes exactly D cycles after it was issued, regardless of
+// the access pattern.
+func TestFixedLatencyInvariant(t *testing.T) {
+	patterns := map[string]func(i int) uint64{
+		"uniform":    func(i int) uint64 { return uint64(i) * 2654435761 },
+		"sequential": func(i int) uint64 { return uint64(i) },
+		"repeated":   func(i int) uint64 { return 7 },
+		"alternate":  func(i int) uint64 { return uint64(i % 2) },
+	}
+	for name, gen := range patterns {
+		t.Run(name, func(t *testing.T) {
+			c := mustNew(t, smallConfig())
+			d := uint64(c.Delay())
+			issued := 0
+			check := func(comp Completion) {
+				if comp.DeliveredAt-comp.IssuedAt != d {
+					t.Fatalf("latency %d != D=%d (tag %d)", comp.DeliveredAt-comp.IssuedAt, d, comp.Tag)
+				}
+			}
+			for issued < 500 {
+				if _, err := c.Read(gen(issued)); err == nil {
+					issued++
+				} else if !IsStall(err) {
+					t.Fatal(err)
+				}
+				for _, comp := range c.Tick() {
+					check(comp)
+				}
+			}
+			for _, comp := range c.Flush() {
+				check(comp)
+			}
+			if got := c.Stats().Completions; got != 500 {
+				t.Fatalf("completions = %d want 500", got)
+			}
+		})
+	}
+}
+
+// TestCompletionsInIssueOrder: deterministic latency implies perfectly
+// in-order completions.
+func TestCompletionsInIssueOrder(t *testing.T) {
+	c := mustNew(t, smallConfig())
+	var tags []uint64
+	var got []uint64
+	sink := func(comp Completion) { got = append(got, comp.Tag) }
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 300; i++ {
+		tags = append(tags, issueRead(t, c, rng.Uint64()%1024, sink))
+		for _, comp := range c.Tick() {
+			sink(comp)
+		}
+	}
+	for _, comp := range c.Flush() {
+		sink(comp)
+	}
+	if len(got) != len(tags) {
+		t.Fatalf("got %d completions want %d", len(got), len(tags))
+	}
+	for i := range tags {
+		if got[i] != tags[i] {
+			t.Fatalf("completion %d: tag %d want %d", i, got[i], tags[i])
+		}
+	}
+}
+
+// TestReadYourWrites checks that a read issued after a write to the
+// same address returns the written word, through the full queueing and
+// merging machinery.
+func TestReadYourWrites(t *testing.T) {
+	c := mustNew(t, smallConfig())
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	issueWrite(t, c, 99, want, nil)
+	c.Tick()
+	var data []byte
+	tag := issueRead(t, c, 99, nil)
+	for _, comp := range c.Flush() {
+		if comp.Tag == tag {
+			data = comp.Data
+		}
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("read %v want %v", data, want)
+	}
+}
+
+// TestReadsSeeValuesAsOfIssueTime: a read issued before a write to the
+// same address must return the old value even though the write may
+// reach the bank first in wall-clock terms — the per-bank FIFO orders
+// them.
+func TestReadsSeeValuesAsOfIssueTime(t *testing.T) {
+	c := mustNew(t, smallConfig())
+	old := []byte{0xAA}
+	newer := []byte{0xBB}
+	issueWrite(t, c, 7, old, nil)
+	c.Tick()
+	tagOld := issueRead(t, c, 7, nil)
+	c.Tick()
+	issueWrite(t, c, 7, newer, nil)
+	c.Tick()
+	tagNew := issueRead(t, c, 7, nil)
+	results := map[uint64]byte{}
+	for _, comp := range c.Flush() {
+		results[comp.Tag] = comp.Data[0]
+	}
+	if results[tagOld] != 0xAA {
+		t.Errorf("read before write returned %#x want 0xAA", results[tagOld])
+	}
+	if results[tagNew] != 0xBB {
+		t.Errorf("read after write returned %#x want 0xBB", results[tagNew])
+	}
+}
+
+// TestOracleConsistency drives random reads and writes against a
+// reference memory model: each read must return the value most
+// recently written (in issue order) to its address.
+func TestOracleConsistency(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Banks = 8
+	cfg.DelayRows = 16
+	c := mustNew(t, cfg)
+	rng := rand.New(rand.NewPCG(42, 43))
+	oracle := map[uint64]byte{}
+	expect := map[uint64]byte{} // tag -> expected first byte
+	var issuedTags []uint64
+	check := func(comp Completion) {
+		want, ok := expect[comp.Tag]
+		if !ok {
+			t.Fatalf("unexpected completion tag %d", comp.Tag)
+		}
+		if comp.Data[0] != want {
+			t.Fatalf("tag %d addr %d: data %#x want %#x", comp.Tag, comp.Addr, comp.Data[0], want)
+		}
+		delete(expect, comp.Tag)
+	}
+	const addrSpace = 64 // small space to force heavy merging and RAW hazards
+	for i := 0; i < 5000; i++ {
+		addr := rng.Uint64() % addrSpace
+		if rng.IntN(3) == 0 {
+			val := byte(rng.Uint64())
+			if err := c.Write(addr, []byte{val}); err == nil {
+				oracle[addr] = val
+			} else if !IsStall(err) {
+				t.Fatal(err)
+			}
+		} else {
+			if tag, err := c.Read(addr); err == nil {
+				expect[tag] = oracle[addr]
+				issuedTags = append(issuedTags, tag)
+			} else if !IsStall(err) {
+				t.Fatal(err)
+			}
+		}
+		for _, comp := range c.Tick() {
+			check(comp)
+		}
+	}
+	for _, comp := range c.Flush() {
+		check(comp)
+	}
+	if len(expect) != 0 {
+		t.Fatalf("%d reads never completed", len(expect))
+	}
+	if len(issuedTags) == 0 {
+		t.Fatal("no reads issued")
+	}
+}
+
+// TestRedundantRequestsMerge checks the merging queue of Section 3.4:
+// repeated requests to one address must occupy a single delay storage
+// buffer row and a single DRAM access, yet all be answered.
+func TestRedundantRequestsMerge(t *testing.T) {
+	c := mustNew(t, smallConfig())
+	const n = 50
+	for i := 0; i < n; i++ {
+		if _, err := c.Read(77); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		c.Tick()
+	}
+	comps := c.Flush()
+	if len(comps) != n {
+		t.Fatalf("completions = %d want %d", len(comps), n)
+	}
+	st := c.Stats()
+	if st.MergedReads != n-1 {
+		t.Fatalf("merged = %d want %d", st.MergedReads, n-1)
+	}
+	if st.DRAMAccesses != 1 {
+		t.Fatalf("DRAM accesses = %d want 1 (merging failed)", st.DRAMAccesses)
+	}
+	if st.PeakRowsInUse != 1 {
+		t.Fatalf("peak rows = %d want 1", st.PeakRowsInUse)
+	}
+}
+
+// TestAlternatingPatternUsesTwoRows is the paper's "A,B,A,B,..." case:
+// exactly two queue entries must suffice no matter how long it runs.
+func TestAlternatingPatternUsesTwoRows(t *testing.T) {
+	cfg := smallConfig()
+	// Pin both addresses to the same bank with an identity map so the
+	// pattern is maximally adversarial for a single bank controller.
+	cfg.Hash = hash.NewIdentity(2)
+	c := mustNew(t, cfg)
+	a, b := uint64(0), uint64(4) // both map to bank 0 (mod 4)
+	if c.Bank(a) != c.Bank(b) {
+		t.Fatal("test setup: addresses must share a bank")
+	}
+	total := 0
+	for i := 0; i < 200; i++ {
+		addr := a
+		if i%2 == 1 {
+			addr = b
+		}
+		if _, err := c.Read(addr); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		total += len(c.Tick())
+	}
+	total += len(c.Flush())
+	if total != 200 {
+		t.Fatalf("completions = %d want 200", total)
+	}
+	st := c.Stats()
+	if st.DRAMAccesses != 2 {
+		t.Fatalf("DRAM accesses = %d want 2", st.DRAMAccesses)
+	}
+	if st.PeakRowsInUse != 2 {
+		t.Fatalf("peak rows = %d want 2", st.PeakRowsInUse)
+	}
+}
+
+// TestBankQueueStall forces the bank access queue stall of Section 4.3
+// by aiming distinct addresses at one bank through an identity mapping.
+func TestBankQueueStall(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Hash = hash.NewIdentity(2)
+	cfg.QueueDepth = 2
+	cfg.DelayRows = 32
+	c := mustNew(t, cfg)
+	var stall error
+	for i := 0; i < 100 && stall == nil; i++ {
+		// Distinct addresses, all congruent to 1 mod 4 -> all bank 1,
+		// one per cycle: arrivals outpace the L-cycle bank drain.
+		_, err := c.Read(uint64(1 + 4*i))
+		if err != nil {
+			stall = err
+		}
+		c.Tick()
+	}
+	if !errors.Is(stall, ErrStallBankQueue) {
+		t.Fatalf("stall = %v want ErrStallBankQueue", stall)
+	}
+	st := c.Stats()
+	if st.Stalls.BankQueue == 0 || st.FirstStallCycle == 0 {
+		t.Fatalf("stall accounting missing: %+v", st.Stalls)
+	}
+}
+
+// TestDelayBufferStall forces the delay storage buffer stall: more
+// distinct outstanding reads than rows, even though the queue is deep.
+func TestDelayBufferStall(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Hash = hash.NewIdentity(2)
+	cfg.QueueDepth = 16
+	cfg.DelayRows = 2
+	c := mustNew(t, cfg)
+	var stall error
+	for i := 0; i < 10 && stall == nil; i++ {
+		_, stall = c.Read(uint64(4 * i))
+		c.Tick()
+	}
+	if !errors.Is(stall, ErrStallDelayBuffer) {
+		t.Fatalf("stall = %v want ErrStallDelayBuffer", stall)
+	}
+	if c.Stats().Stalls.DelayBuffer == 0 {
+		t.Fatal("delay buffer stall not counted")
+	}
+}
+
+// TestWriteBufferStall floods one bank with writes.
+func TestWriteBufferStall(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Hash = hash.NewIdentity(2)
+	cfg.QueueDepth = 8
+	cfg.WriteBufferDepth = 2
+	c := mustNew(t, cfg)
+	var stall error
+	for i := 0; i < 10 && stall == nil; i++ {
+		stall = c.Write(uint64(4*i), []byte{byte(i)})
+		// No ticks: the writes pile up faster than the bank drains.
+	}
+	if stall == nil {
+		t.Fatal("expected a stall")
+	}
+	// With only one request accepted per cycle, the second write in the
+	// same cycle is a protocol error before the buffer even fills.
+	if !errors.Is(stall, ErrSecondRequest) {
+		t.Fatalf("same-cycle second request = %v want ErrSecondRequest", stall)
+	}
+	// Now space the writes one per cycle: the FIFO (depth 2) must fill
+	// long before the bank (L=20 memory cycles per write) drains.
+	c = mustNew(t, cfg)
+	stall = nil
+	for i := 0; i < 10 && stall == nil; i++ {
+		stall = c.Write(uint64(4*i), []byte{byte(i)})
+		c.Tick()
+	}
+	if !errors.Is(stall, ErrStallWriteBuffer) {
+		t.Fatalf("stall = %v want ErrStallWriteBuffer", stall)
+	}
+}
+
+// TestCounterSaturationStall: with a 1-bit counter a single merge
+// exhausts the row.
+func TestCounterSaturationStall(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CounterBits = 1
+	c := mustNew(t, cfg)
+	if _, err := c.Read(5); err != nil {
+		t.Fatal(err)
+	}
+	c.Tick()
+	_, err := c.Read(5)
+	if !errors.Is(err, ErrStallCounter) {
+		t.Fatalf("second read = %v want ErrStallCounter", err)
+	}
+}
+
+// TestOneRequestPerCycle enforces the single interface port.
+func TestOneRequestPerCycle(t *testing.T) {
+	c := mustNew(t, smallConfig())
+	if _, err := c.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(2); !errors.Is(err, ErrSecondRequest) {
+		t.Fatalf("second read same cycle = %v want ErrSecondRequest", err)
+	}
+	if err := c.Write(3, []byte{1}); !errors.Is(err, ErrSecondRequest) {
+		t.Fatalf("write after read same cycle = %v want ErrSecondRequest", err)
+	}
+	c.Tick()
+	if _, err := c.Read(2); err != nil {
+		t.Fatalf("read next cycle: %v", err)
+	}
+}
+
+// TestStallLeavesSlotOpen: a stalled request must not consume the
+// cycle's interface slot, so a request to another bank can still go.
+func TestStallLeavesSlotOpen(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Hash = hash.NewIdentity(2)
+	cfg.QueueDepth = 1
+	c := mustNew(t, cfg)
+	if _, err := c.Read(0); err != nil { // bank 0
+		t.Fatal(err)
+	}
+	c.Tick()
+	// Bank 0's queue may be full now; keep pushing until it stalls.
+	var stalled bool
+	for i := 1; i < 20 && !stalled; i++ {
+		if _, err := c.Read(uint64(4 * i)); err != nil {
+			stalled = IsStall(err)
+			if !stalled {
+				t.Fatal(err)
+			}
+			// The slot is still free: a different bank accepts.
+			if _, err := c.Read(uint64(4*i + 1)); err != nil {
+				t.Fatalf("read to free bank after stall: %v", err)
+			}
+		}
+		c.Tick()
+	}
+	if !stalled {
+		t.Skip("queue never filled; timing changed")
+	}
+}
+
+// TestUniformTrafficNoStalls: at full line rate with the paper's best
+// Table 2 design point (B=32, Q=64, K=128, MTS ~1e14), random traffic
+// must run a long time without a single stall. (The default Q=24/K=48
+// point has a paper-reported MTS of only ~5e5 cycles, so it is *not*
+// expected to survive a run this long.)
+func TestUniformTrafficNoStalls(t *testing.T) {
+	c := mustNew(t, Config{QueueDepth: 64, DelayRows: 128, HashSeed: 7})
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 200000; i++ {
+		var err error
+		if rng.IntN(4) == 0 {
+			err = c.Write(rng.Uint64(), []byte{byte(i)})
+		} else {
+			_, err = c.Read(rng.Uint64())
+		}
+		if err != nil {
+			t.Fatalf("stall after %d requests: %v", i, err)
+		}
+		c.Tick()
+	}
+	st := c.Stats()
+	if st.Stalls.Total() != 0 {
+		t.Fatalf("stalls = %d want 0", st.Stalls.Total())
+	}
+}
+
+// TestBankSpreadUnderSequentialTraffic: the universal hash must spread
+// the classic sequential pattern evenly across banks.
+func TestBankSpreadUnderSequentialTraffic(t *testing.T) {
+	c := mustNew(t, Config{HashSeed: 3})
+	for i := 0; i < 32768; i++ {
+		if _, err := c.Read(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		c.Tick()
+	}
+	st := c.Stats()
+	exp := float64(st.Reads) / float64(len(st.BankRequests))
+	for b, n := range st.BankRequests {
+		if float64(n) < exp*0.7 || float64(n) > exp*1.3 {
+			t.Errorf("bank %d got %d requests, expected ~%.0f", b, n, exp)
+		}
+	}
+}
+
+// TestFlushDrainsEverything: after Flush, no reads outstanding and the
+// controller keeps working.
+func TestFlushDrainsEverything(t *testing.T) {
+	c := mustNew(t, smallConfig())
+	total := 0
+	sink := func(Completion) { total++ }
+	for i := 0; i < 37; i++ {
+		issueRead(t, c, uint64(i*3), sink)
+		for range c.Tick() {
+			total++
+		}
+	}
+	total += len(c.Flush())
+	if total != 37 {
+		t.Fatalf("drained %d completions want 37", total)
+	}
+	if c.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after flush", c.Outstanding())
+	}
+	// Still usable.
+	issueRead(t, c, 1, nil)
+	if got := len(c.Flush()); got != 1 {
+		t.Fatalf("post-flush read produced %d completions", got)
+	}
+}
+
+// TestStrictRoundRobinStillCorrect: the paper's simple scheduler is
+// slower but must preserve every functional invariant.
+func TestStrictRoundRobinStillCorrect(t *testing.T) {
+	cfg := smallConfig()
+	cfg.StrictRoundRobin = true
+	c := mustNew(t, cfg)
+	d := uint64(c.Delay())
+	rng := rand.New(rand.NewPCG(11, 12))
+	n := 0
+	for n < 300 {
+		if _, err := c.Read(rng.Uint64() % 512); err == nil {
+			n++
+		} else if !IsStall(err) {
+			t.Fatal(err)
+		}
+		for _, comp := range c.Tick() {
+			if comp.DeliveredAt-comp.IssuedAt != d {
+				t.Fatalf("latency %d != D", comp.DeliveredAt-comp.IssuedAt)
+			}
+		}
+	}
+	for _, comp := range c.Flush() {
+		if comp.DeliveredAt-comp.IssuedAt != d {
+			t.Fatalf("latency %d != D", comp.DeliveredAt-comp.IssuedAt)
+		}
+	}
+}
+
+// TestWriteTooLong rejects oversized writes without consuming the slot.
+func TestWriteTooLong(t *testing.T) {
+	c := mustNew(t, smallConfig())
+	if err := c.Write(0, make([]byte, 9)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+	if err := c.Write(0, make([]byte, 8)); err != nil {
+		t.Fatalf("word-sized write rejected: %v", err)
+	}
+}
+
+// TestStatsAccounting sanity-checks the aggregate counters.
+func TestStatsAccounting(t *testing.T) {
+	c := mustNew(t, smallConfig())
+	issueWrite(t, c, 1, []byte{1}, nil)
+	c.Tick()
+	issueRead(t, c, 1, nil)
+	c.Tick()
+	issueRead(t, c, 1, nil)
+	c.Flush()
+	st := c.Stats()
+	if st.Reads != 2 || st.Writes != 1 {
+		t.Fatalf("reads=%d writes=%d", st.Reads, st.Writes)
+	}
+	if st.Completions != 2 {
+		t.Fatalf("completions=%d", st.Completions)
+	}
+	if st.DRAMAccesses < 2 || st.DRAMAccesses > 3 {
+		t.Fatalf("dram accesses=%d want 2 (write+read) or 3", st.DRAMAccesses)
+	}
+	if st.MemCycles < st.Cycles {
+		t.Fatalf("mem cycles %d < interface cycles %d with R>1", st.MemCycles, st.Cycles)
+	}
+	if st.BusUtilization() <= 0 || st.BusUtilization() > 1 {
+		t.Fatalf("bus utilization %v out of range", st.BusUtilization())
+	}
+}
+
+// TestLittlesLawOccupancy: delay storage buffer rows are held exactly D
+// cycles, so the time-averaged occupancy must equal the non-merged read
+// rate times D (Little's law) — a strong consistency check between the
+// queueing model and the machine.
+func TestLittlesLawOccupancy(t *testing.T) {
+	c := mustNew(t, Config{QueueDepth: 64, DelayRows: 128, WordBytes: 8, HashSeed: 6})
+	rng := rand.New(rand.NewPCG(8, 8))
+	const cycles = 100000
+	for i := 0; i < cycles; i++ {
+		// Half-rate distinct reads: no merging, comfortably stall-free.
+		if i%2 == 0 {
+			if _, err := c.Read(rng.Uint64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Tick()
+	}
+	st := c.Stats()
+	arrivalRate := float64(st.Reads-st.MergedReads) / float64(st.Cycles)
+	want := arrivalRate * float64(c.Delay())
+	got := st.MeanRowsInUse()
+	if got < want*0.95 || got > want*1.05 {
+		t.Fatalf("mean rows in use = %.2f, Little's law predicts %.2f", got, want)
+	}
+}
+
+// TestMergedReadsDontHoldExtraRows: under a pure repeat pattern the
+// occupancy stays at one row regardless of the request rate.
+func TestMergedReadsDontHoldExtraRows(t *testing.T) {
+	c := mustNew(t, smallConfig())
+	for i := 0; i < 5000; i++ {
+		if _, err := c.Read(3); err != nil {
+			t.Fatal(err)
+		}
+		c.Tick()
+	}
+	st := c.Stats()
+	if m := st.MeanRowsInUse(); m > 1.1 {
+		t.Fatalf("mean rows in use = %.2f under a repeat pattern, want ~1", m)
+	}
+}
+
+// TestDualPortAcceptsReadAndWrite: Section 5.4.1's packet buffering
+// assumes "one write access and one read access" per cycle; DualPort
+// provides exactly that, and nothing more.
+func TestDualPortAcceptsReadAndWrite(t *testing.T) {
+	cfg := smallConfig()
+	cfg.QueueDepth = 16
+	cfg.DelayRows = 32
+	cfg.DualPort = true
+	c := mustNew(t, cfg)
+	if _, err := c.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(2, []byte{9}); err != nil {
+		t.Fatalf("dual-port write alongside read: %v", err)
+	}
+	if _, err := c.Read(3); err != ErrSecondRequest {
+		t.Fatalf("second read = %v want ErrSecondRequest", err)
+	}
+	if err := c.Write(4, []byte{1}); err != ErrSecondRequest {
+		t.Fatalf("second write = %v want ErrSecondRequest", err)
+	}
+	c.Tick()
+	// Next cycle both ports are free again.
+	if err := c.Write(5, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDualPortLineRate sustains a full read+write pair per cycle — the
+// packet buffer's 2x line rate — stall-free, with the fixed latency
+// intact. Two requests per cycle doubles BOTH the per-bank load and the
+// demand on the shared memory bus, so full duplex needs 64 banks AND a
+// bus scaling ratio above 2 (R=2.6 here gives bus load 0.77 and bank
+// load 0.24); at the paper's R=1.3 the single bus saturates and the
+// write buffer backs up within a few thousand cycles (verified in
+// TestDualPortNeedsBusHeadroom).
+func TestDualPortLineRate(t *testing.T) {
+	c := mustNew(t, Config{Banks: 64, QueueDepth: 64, DelayRows: 256, WordBytes: 8, HashSeed: 12,
+		RatioNum: 26, RatioDen: 10, DualPort: true})
+	d := uint64(c.Delay())
+	rng := rand.New(rand.NewPCG(4, 4))
+	const cycles = 30000
+	for i := 0; i < cycles; i++ {
+		if _, err := c.Read(rng.Uint64()); err != nil {
+			t.Fatalf("cycle %d read: %v", i, err)
+		}
+		if err := c.Write(rng.Uint64(), []byte{byte(i)}); err != nil {
+			t.Fatalf("cycle %d write: %v", i, err)
+		}
+		for _, comp := range c.Tick() {
+			if comp.DeliveredAt-comp.IssuedAt != d {
+				t.Fatalf("latency %d != D", comp.DeliveredAt-comp.IssuedAt)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Reads != cycles || st.Writes != cycles {
+		t.Fatalf("reads=%d writes=%d want %d each", st.Reads, st.Writes, cycles)
+	}
+	if st.Stalls.Total() != 0 {
+		t.Fatalf("stalls = %d at 2 req/cycle on the strong geometry", st.Stalls.Total())
+	}
+}
+
+// TestSinglePortStillExclusive guards the default behaviour.
+func TestSinglePortStillExclusive(t *testing.T) {
+	c := mustNew(t, smallConfig())
+	if err := c.Write(1, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(2); err != ErrSecondRequest {
+		t.Fatalf("read after write same cycle = %v want ErrSecondRequest", err)
+	}
+}
+
+// TestDualPortNeedsBusHeadroom pins the capacity arithmetic: at R=1.3 a
+// sustained read+write per cycle oversubscribes the single memory bus
+// (demand 2, capacity 1.3) and must stall; at R=2.6 it must not.
+func TestDualPortNeedsBusHeadroom(t *testing.T) {
+	run := func(rnum int) (stalls uint64) {
+		c := mustNew(t, Config{Banks: 64, QueueDepth: 64, DelayRows: 256, WordBytes: 8, HashSeed: 12,
+			RatioNum: rnum, RatioDen: 10, DualPort: true})
+		rng := rand.New(rand.NewPCG(4, 4))
+		for i := 0; i < 20000; i++ {
+			c.Read(rng.Uint64())
+			c.Write(rng.Uint64(), []byte{byte(i)})
+			c.Tick()
+		}
+		return c.Stats().Stalls.Total()
+	}
+	if got := run(13); got == 0 {
+		t.Error("R=1.3 dual-port full duplex should saturate the bus and stall")
+	}
+	if got := run(26); got != 0 {
+		t.Errorf("R=2.6 dual-port full duplex stalled %d times", got)
+	}
+}

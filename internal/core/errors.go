@@ -1,0 +1,40 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStall is the sentinel wrapped by every stall condition. A stall
+// means the controller could not accept the request this cycle; the
+// paper's two recovery options are to retry next cycle (stall the
+// device, slowing it by a negligible fraction) or to drop the packet.
+var ErrStall = errors.New("vpnm: stall")
+
+// The three stall conditions of Section 4.3, plus counter saturation.
+// Each wraps ErrStall, so errors.Is(err, ErrStall) identifies any stall.
+var (
+	// ErrStallDelayBuffer: a non-redundant read found no free row in the
+	// delay storage buffer (all K rows are reserved for in-flight data).
+	ErrStallDelayBuffer = fmt.Errorf("%w: delay storage buffer full", ErrStall)
+	// ErrStallBankQueue: a new read or write found the bank access queue
+	// already holding Q requests.
+	ErrStallBankQueue = fmt.Errorf("%w: bank access queue full", ErrStall)
+	// ErrStallWriteBuffer: a write found the write buffer FIFO full.
+	ErrStallWriteBuffer = fmt.Errorf("%w: write buffer full", ErrStall)
+	// ErrStallCounter: a redundant read found its row's playback counter
+	// saturated at 2^C - 1.
+	ErrStallCounter = fmt.Errorf("%w: redundant-request counter saturated", ErrStall)
+)
+
+// ErrSecondRequest reports a protocol violation: the interface accepts
+// at most one request per interface cycle.
+var ErrSecondRequest = errors.New("vpnm: more than one request in a single interface cycle")
+
+// IsStall reports whether err is one of the stall conditions.
+func IsStall(err error) bool { return errors.Is(err, ErrStall) }
+
+// errDataTooLong reports a write wider than the configured word.
+func errDataTooLong(got, word int) error {
+	return fmt.Errorf("vpnm: write of %d bytes exceeds word size %d", got, word)
+}

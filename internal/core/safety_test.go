@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hash"
+)
+
+// TestDeliveryBoundSafetyProperty attacks the AutoDelay guarantee: for
+// random small geometries under the nastiest admissible pressure (a
+// single-bank flood of distinct addresses, which maximizes queue
+// depth), every admitted read must have its data ready at its delivery
+// slot. A violation panics inside deliver, so surviving the run *is*
+// the assertion; the test also confirms the fixed latency on every
+// completion.
+func TestDeliveryBoundSafetyProperty(t *testing.T) {
+	f := func(seed uint64, bRaw, qRaw, kRaw, lRaw, rRaw uint8, strict bool) bool {
+		b := 2 << (bRaw % 4)  // 2..16 banks
+		q := 1 + int(qRaw%8)  // 1..8
+		l := 1 + int(lRaw%30) // 1..30
+		r := [][2]int{{1, 1}, {13, 10}, {3, 2}}[rRaw%3]
+		bits := 1
+		for 1<<bits < b {
+			bits++
+		}
+		cfg := Config{
+			Banks:            b,
+			AccessLatency:    l,
+			QueueDepth:       q,
+			DelayRows:        1 + int(kRaw%16),
+			RatioNum:         r[0],
+			RatioDen:         r[1],
+			WordBytes:        4,
+			Hash:             hash.NewIdentity(bits), // adversary knows the mapping
+			StrictRoundRobin: strict,
+		}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatalf("config rejected: %v (%+v)", err, cfg)
+		}
+		d := uint64(c.Delay())
+		rng := rand.New(rand.NewPCG(seed, 1))
+		for i := 0; i < 3000; i++ {
+			// 3/4 of requests flood bank 0 with distinct addresses; the
+			// rest are random reads and writes.
+			var err error
+			switch {
+			case rng.IntN(4) != 0:
+				_, err = c.Read(uint64(b) * uint64(i)) // bank 0 under identity
+			case rng.IntN(2) == 0:
+				_, err = c.Read(rng.Uint64())
+			default:
+				err = c.Write(rng.Uint64(), []byte{byte(i)})
+			}
+			if err != nil && !IsStall(err) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			for _, comp := range c.Tick() {
+				if comp.DeliveredAt-comp.IssuedAt != d {
+					t.Fatalf("latency %d != D=%d under cfg %+v", comp.DeliveredAt-comp.IssuedAt, d, cfg)
+				}
+			}
+		}
+		c.Flush()
+		return true
+	}
+	cfgq := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfgq.MaxCount = 10
+	}
+	if err := quick.Check(f, cfgq); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackToBackSameBankWorstCase pins the tightest spot of the
+// delivery bound deterministically: a full queue of same-bank requests
+// admitted as early as possible, on the smallest D-slack geometry
+// (R=1, strict round-robin, B far larger than L so every access pays
+// the full slot wait).
+func TestBackToBackSameBankWorstCase(t *testing.T) {
+	for _, strict := range []bool{false, true} {
+		cfg := Config{
+			Banks:            16,
+			AccessLatency:    3, // B >> L: slot waits dominate
+			QueueDepth:       6,
+			DelayRows:        32,
+			RatioNum:         1,
+			RatioDen:         1,
+			WordBytes:        4,
+			Hash:             hash.NewIdentity(4),
+			StrictRoundRobin: strict,
+		}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		issued := 0
+		for i := 0; issued < 64; i++ {
+			if _, err := c.Read(uint64(16 * i)); err == nil { // all bank 0
+				issued++
+			} else if !IsStall(err) {
+				t.Fatal(err)
+			}
+			for _, comp := range c.Tick() {
+				if comp.DeliveredAt-comp.IssuedAt != uint64(c.Delay()) {
+					t.Fatalf("strict=%v: latency %d != D=%d", strict, comp.DeliveredAt-comp.IssuedAt, c.Delay())
+				}
+			}
+		}
+		c.Flush()
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestSoakStrongGeometry runs the paper's strongest Table 2 point at
+// full line rate for five million cycles — the longest run the test
+// budget allows, and ~10x the default geometry's published MTS — and
+// demands zero stalls, fixed latency on every completion, and Little's
+// law on the occupancy. Skipped with -short.
+func TestSoakStrongGeometry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in short mode")
+	}
+	c := mustNew(t, Config{QueueDepth: 64, DelayRows: 192, WordBytes: 8, HashSeed: 101})
+	d := uint64(c.Delay())
+	rng := rand.New(rand.NewPCG(11, 13))
+	const cycles = 5_000_000
+	for i := 0; i < cycles; i++ {
+		var err error
+		if rng.IntN(4) == 0 {
+			err = c.Write(rng.Uint64(), []byte{byte(i)})
+		} else {
+			_, err = c.Read(rng.Uint64())
+		}
+		if err != nil {
+			t.Fatalf("stall at cycle %d: %v (MTS for this geometry is ~1e14)", i, err)
+		}
+		for _, comp := range c.Tick() {
+			if comp.DeliveredAt-comp.IssuedAt != d {
+				t.Fatalf("latency %d != D at cycle %d", comp.DeliveredAt-comp.IssuedAt, i)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Stalls.Total() != 0 {
+		t.Fatalf("stalls: %+v", st.Stalls)
+	}
+	// Little's law at full rate: mean rows = read rate * D.
+	arrival := float64(st.Reads-st.MergedReads) / float64(st.Cycles)
+	want := arrival * float64(d)
+	if got := st.MeanRowsInUse(); got < want*0.98 || got > want*1.02 {
+		t.Fatalf("mean rows %.1f vs Little's law %.1f", got, want)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StallCounts breaks stalls down by the conditions of Section 4.3.
+type StallCounts struct {
+	DelayBuffer uint64 // no free delay storage buffer row
+	BankQueue   uint64 // bank access queue full
+	WriteBuffer uint64 // write buffer FIFO full
+	Counter     uint64 // redundant-request counter saturated
+}
+
+// Total sums all stall conditions.
+func (s StallCounts) Total() uint64 {
+	return s.DelayBuffer + s.BankQueue + s.WriteBuffer + s.Counter
+}
+
+// Stats aggregates everything the controller observed since reset.
+type Stats struct {
+	// Cycles is the number of interface cycles simulated.
+	Cycles uint64
+	// MemCycles is the number of memory-bus cycles simulated (~R*Cycles).
+	MemCycles uint64
+	// Reads and Writes count accepted requests; MergedReads counts the
+	// subset of reads that were satisfied by an existing delay storage
+	// buffer row without a new DRAM access.
+	Reads, Writes, MergedReads uint64
+	// Completions counts data words delivered on the interface.
+	Completions uint64
+	// Stalls counts rejected requests by condition.
+	Stalls StallCounts
+	// FirstStallCycle is the interface cycle of the first stall, or 0
+	// if none has occurred; it is the simulated analogue of the paper's
+	// Mean Time to Stall when averaged over seeds.
+	FirstStallCycle uint64
+	// DRAMAccesses counts accesses issued to the banks; BusBusy counts
+	// memory cycles on which some bank issued.
+	DRAMAccesses, BusBusy uint64
+	// BankRequests histograms accepted requests per bank, for checking
+	// the uniformity the hash is supposed to deliver.
+	BankRequests []uint64
+	// PeakQueueLen and PeakRowsInUse are high-water marks of any bank's
+	// access queue and delay storage buffer occupancy.
+	PeakQueueLen, PeakRowsInUse int
+	// RowOccupancySum accumulates the total delay-storage-buffer rows in
+	// use (summed over banks) once per cycle, so RowOccupancySum/Cycles
+	// is the time-averaged occupancy. By Little's law it must equal the
+	// non-merged read rate times D — an invariant the tests check.
+	RowOccupancySum uint64
+	// Rekeys counts completed Rekey operations.
+	Rekeys uint64
+}
+
+// MeanRowsInUse is the time-averaged number of reserved delay storage
+// buffer rows across all banks.
+func (s Stats) MeanRowsInUse() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.RowOccupancySum) / float64(s.Cycles)
+}
+
+// BusUtilization is the fraction of memory cycles with a bank issue.
+func (s Stats) BusUtilization() float64 {
+	if s.MemCycles == 0 {
+		return 0
+	}
+	return float64(s.BusBusy) / float64(s.MemCycles)
+}
+
+// String renders a compact human-readable report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d mem-cycles=%d reads=%d (merged=%d) writes=%d completions=%d\n",
+		s.Cycles, s.MemCycles, s.Reads, s.MergedReads, s.Writes, s.Completions)
+	fmt.Fprintf(&b, "dram-accesses=%d bus-utilization=%.3f peak-queue=%d peak-rows=%d\n",
+		s.DRAMAccesses, s.BusUtilization(), s.PeakQueueLen, s.PeakRowsInUse)
+	fmt.Fprintf(&b, "stalls: total=%d delay-buffer=%d bank-queue=%d write-buffer=%d counter=%d",
+		s.Stalls.Total(), s.Stalls.DelayBuffer, s.Stalls.BankQueue, s.Stalls.WriteBuffer, s.Stalls.Counter)
+	if s.FirstStallCycle > 0 {
+		fmt.Fprintf(&b, " first-stall-cycle=%d", s.FirstStallCycle)
+	}
+	return b.String()
+}

@@ -1,0 +1,21 @@
+package core
+
+// Tracer receives the controller's internal events. It exists for the
+// Figure-1 style timeline renderings and for debugging; production
+// configurations leave Config.Trace nil and pay nothing.
+//
+// Interface cycles and memory cycles are reported in their own clock
+// domains (the memory clock runs R times faster).
+type Tracer interface {
+	// OnRequest fires when a request is accepted: merged is true for a
+	// redundant read satisfied by an existing delay storage buffer row.
+	OnRequest(cycle uint64, bank int, isWrite, merged bool, addr, tag uint64)
+	// OnStall fires when a request is refused, with the stall condition.
+	OnStall(cycle uint64, bank int, addr uint64, err error)
+	// OnIssue fires when a bank access starts on the memory bus.
+	OnIssue(memCycle uint64, bank int, isWrite bool, addr uint64)
+	// OnDataReady fires when a read access completes at the bank.
+	OnDataReady(memCycle uint64, bank int, addr uint64)
+	// OnDeliver fires when a read's data is played back on the interface.
+	OnDeliver(cycle uint64, bank int, addr, tag uint64)
+}

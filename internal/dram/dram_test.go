@@ -1,0 +1,223 @@
+package dram
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func testConfig() Config {
+	return Config{Banks: 4, AccessLatency: 20, WordBytes: 8}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"valid", Config{Banks: 4, AccessLatency: 20, WordBytes: 8}, true},
+		{"one bank", Config{Banks: 1, AccessLatency: 1, WordBytes: 1}, true},
+		{"zero banks", Config{Banks: 0, AccessLatency: 20, WordBytes: 8}, false},
+		{"non power of two", Config{Banks: 3, AccessLatency: 20, WordBytes: 8}, false},
+		{"zero latency", Config{Banks: 4, AccessLatency: 0, WordBytes: 8}, false},
+		{"zero word", Config{Banks: 4, AccessLatency: 20, WordBytes: 0}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestModuleBankTiming(t *testing.T) {
+	m, err := NewModule(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.BankFree(0, 0) {
+		t.Fatal("fresh bank should be free")
+	}
+	doneAt, _ := m.IssueRead(0, 100, 0)
+	if doneAt != 20 {
+		t.Fatalf("doneAt = %d want 20", doneAt)
+	}
+	for now := uint64(1); now < 20; now++ {
+		if m.BankFree(0, now) {
+			t.Fatalf("bank 0 should be busy at %d", now)
+		}
+	}
+	if !m.BankFree(0, 20) {
+		t.Fatal("bank 0 should be free at L")
+	}
+	// Other banks are independent.
+	if !m.BankFree(1, 5) {
+		t.Fatal("bank 1 should be unaffected")
+	}
+	if m.Accesses() != 1 {
+		t.Fatalf("Accesses = %d want 1", m.Accesses())
+	}
+}
+
+func TestModuleIssueToBusyBankPanics(t *testing.T) {
+	m, _ := NewModule(testConfig())
+	m.IssueRead(2, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("issue to busy bank should panic")
+		}
+	}()
+	m.IssueRead(2, 2, 5)
+}
+
+func TestModuleIssueOutOfRangePanics(t *testing.T) {
+	m, _ := NewModule(testConfig())
+	for _, bank := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bank %d should panic", bank)
+				}
+			}()
+			m.IssueRead(bank, 0, 0)
+		}()
+	}
+}
+
+func TestModuleReadAfterWrite(t *testing.T) {
+	m, _ := NewModule(testConfig())
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	m.IssueWrite(0, 42, data, 0)
+	_, got := m.IssueRead(0, 42, 20)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %v want %v", got, data)
+	}
+}
+
+func TestStoreZeroDefault(t *testing.T) {
+	s := NewStore(4)
+	if got := s.Read(123); !bytes.Equal(got, []byte{0, 0, 0, 0}) {
+		t.Fatalf("unwritten word = %v want zeros", got)
+	}
+	if s.Populated() != 0 {
+		t.Fatal("Read must not populate")
+	}
+}
+
+func TestStoreShortWritePads(t *testing.T) {
+	s := NewStore(4)
+	s.Write(1, []byte{0xAA, 0xBB, 0xCC, 0xDD})
+	s.Write(1, []byte{0x11}) // short rewrite must zero the tail
+	if got := s.Read(1); !bytes.Equal(got, []byte{0x11, 0, 0, 0}) {
+		t.Fatalf("short write = %v want [11 0 0 0]", got)
+	}
+}
+
+func TestStoreLongWritePanics(t *testing.T) {
+	s := NewStore(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized write should panic")
+		}
+	}()
+	s.Write(0, []byte{1, 2, 3})
+}
+
+func TestStoreReadWriteProperty(t *testing.T) {
+	f := func(addrs []uint64, val uint8) bool {
+		s := NewStore(8)
+		want := make(map[uint64][]byte)
+		for i, a := range addrs {
+			b := []byte{val + uint8(i), uint8(i)}
+			s.Write(a, b)
+			w := make([]byte, 8)
+			copy(w, b)
+			want[a] = w
+		}
+		for a, w := range want {
+			if !bytes.Equal(s.Read(a), w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	ps := Presets()
+	if len(ps) < 4 {
+		t.Fatalf("want >= 4 presets, got %d", len(ps))
+	}
+	for _, p := range ps {
+		if err := p.Config.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", p.Name, err)
+		}
+		if p.Config.AccessLatency != 20 {
+			t.Errorf("preset %s: L = %d, paper uses 20", p.Name, p.Config.AccessLatency)
+		}
+	}
+	if p, ok := PresetByName("rdram-rimm"); !ok || p.Config.Banks != 512 {
+		t.Errorf("rdram-rimm: ok=%v banks=%d want 512", ok, p.Config.Banks)
+	}
+	if _, ok := PresetByName("nope"); ok {
+		t.Error("unknown preset should not resolve")
+	}
+}
+
+func TestOpenRowModel(t *testing.T) {
+	m, err := NewModule(Config{Banks: 4, AccessLatency: 20, WordBytes: 8, RowHitLatency: 4, RowWords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First access opens the row: full latency.
+	doneAt, _ := m.IssueRead(0, 0, 0)
+	if doneAt != 20 {
+		t.Fatalf("cold access doneAt = %d want 20", doneAt)
+	}
+	// Same row (addr 1 within words 0..7): hit latency.
+	doneAt, _ = m.IssueRead(0, 1, 20)
+	if doneAt != 24 {
+		t.Fatalf("row hit doneAt = %d want 24", doneAt)
+	}
+	// Different row (addr 8): full latency again.
+	doneAt, _ = m.IssueRead(0, 8, 24)
+	if doneAt != 44 {
+		t.Fatalf("row miss doneAt = %d want 44", doneAt)
+	}
+	if m.RowHits() != 1 {
+		t.Fatalf("row hits = %d want 1", m.RowHits())
+	}
+	// Banks have independent open rows.
+	doneAt, _ = m.IssueRead(1, 1, 0)
+	if doneAt != 20 {
+		t.Fatalf("other bank cold access doneAt = %d want 20", doneAt)
+	}
+}
+
+func TestOpenRowDisabledByDefault(t *testing.T) {
+	m, _ := NewModule(testConfig())
+	m.IssueRead(0, 0, 0)
+	doneAt, _ := m.IssueRead(0, 1, 20)
+	if doneAt != 40 {
+		t.Fatalf("without open-row model doneAt = %d want 40", doneAt)
+	}
+	if m.RowHits() != 0 {
+		t.Fatal("row hits counted with model disabled")
+	}
+}
+
+func TestOpenRowConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Banks: 4, AccessLatency: 20, WordBytes: 8, RowHitLatency: 21},
+		{Banks: 4, AccessLatency: 20, WordBytes: 8, RowHitLatency: -1},
+		{Banks: 4, AccessLatency: 20, WordBytes: 8, RowHitLatency: 4, RowWords: 3},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}

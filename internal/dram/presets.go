@@ -1,0 +1,63 @@
+package dram
+
+// Preset is a named DRAM organization drawn from the devices the paper
+// discusses in Section 3.1. The bank counts are the architecturally
+// visible ones: SDRAM/DDR expose few banks (which is why Section 5.2
+// finds they "cannot achieve a reasonable MTS"), while RDRAM devices
+// expose 32 banks and a fully populated RIMM module 32*16 = 512.
+type Preset struct {
+	Name        string
+	Description string
+	Config      Config
+
+	// MeasuredEfficiency is the published common-case bus efficiency of
+	// the device family (Section 3.1, citing RamBus measurements): the
+	// fraction of peak bandwidth achieved under ordinary access streams,
+	// with 80-85% of the loss attributed to bank conflicts. Zero when no
+	// figure was published for the family.
+	MeasuredEfficiency float64
+}
+
+// Presets lists the device families used across the paper's analysis.
+// All share L = 20 (the paper's conservative ratio of bank access time
+// to transfer time, from the Samsung Rambus datasheet) and 64-byte data
+// words (the cell size used by the packet-buffering comparison).
+func Presets() []Preset {
+	const l = 20
+	const word = 64
+	return []Preset{
+		{
+			Name:               "pc133-sdram",
+			Description:        "PC133 SDRAM, 4 banks; ~60% measured bus efficiency",
+			Config:             Config{Banks: 4, AccessLatency: l, WordBytes: word},
+			MeasuredEfficiency: 0.60,
+		},
+		{
+			Name:               "ddr266-sdram",
+			Description:        "DDR266 SDRAM, 4 banks; ~37% measured bus efficiency",
+			Config:             Config{Banks: 4, AccessLatency: l, WordBytes: word},
+			MeasuredEfficiency: 0.37,
+		},
+		{
+			Name:        "rdram-device",
+			Description: "Single RDRAM device (Samsung MR18R162GDF0-CM8 class), 32 banks",
+			Config:      Config{Banks: 32, AccessLatency: l, WordBytes: word},
+		},
+		{
+			Name:        "rdram-rimm",
+			Description: "Fully populated RIMM module, 16 devices x 32 banks = 512 banks",
+			Config:      Config{Banks: 512, AccessLatency: l, WordBytes: word},
+		},
+	}
+}
+
+// PresetByName returns the preset with the given name and whether it
+// exists.
+func PresetByName(name string) (Preset, bool) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Preset{}, false
+}

@@ -1,0 +1,60 @@
+package dram
+
+import "fmt"
+
+// Store holds DRAM contents at word granularity: a sparse map from word
+// address to a word of WordBytes bytes. Unwritten words read as zero,
+// like initialized DRAM in the simulator's reset state. The store is
+// deliberately independent of banking — the controller's hash decides
+// which bank services an address, but the contents belong to the address
+// itself, which is what makes re-keying the hash a pure relocation.
+type Store struct {
+	wordBytes int
+	words     map[uint64][]byte
+	zero      []byte
+}
+
+// NewStore returns an empty store with the given word size.
+func NewStore(wordBytes int) *Store {
+	if wordBytes < 1 {
+		panic(fmt.Sprintf("dram: word size must be >= 1 byte, got %d", wordBytes))
+	}
+	return &Store{
+		wordBytes: wordBytes,
+		words:     make(map[uint64][]byte),
+		zero:      make([]byte, wordBytes),
+	}
+}
+
+// WordBytes reports the word size in bytes.
+func (s *Store) WordBytes() int { return s.wordBytes }
+
+// Read returns the word at addr. The returned slice must not be
+// modified; it is either the stored word or a shared zero word.
+func (s *Store) Read(addr uint64) []byte {
+	if w, ok := s.words[addr]; ok {
+		return w
+	}
+	return s.zero
+}
+
+// Write stores data at addr. Short data is zero-padded to the word
+// size; data longer than a word panics, since the bus transfers exactly
+// one word per access.
+func (s *Store) Write(addr uint64, data []byte) {
+	if len(data) > s.wordBytes {
+		panic(fmt.Sprintf("dram: write of %d bytes exceeds word size %d", len(data), s.wordBytes))
+	}
+	w, ok := s.words[addr]
+	if !ok {
+		w = make([]byte, s.wordBytes)
+		s.words[addr] = w
+	}
+	n := copy(w, data)
+	for i := n; i < s.wordBytes; i++ {
+		w[i] = 0
+	}
+}
+
+// Populated reports the number of words ever written.
+func (s *Store) Populated() int { return len(s.words) }

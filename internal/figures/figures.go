@@ -1,0 +1,198 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (Section 5) from the models and simulators in this
+// repository. The cmd/vpnmfig binary prints these series; the top-level
+// benchmarks time their regeneration; the tests pin their shapes to the
+// paper's claims.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/hw"
+	"repro/internal/pktbuf"
+	"repro/internal/reassembly"
+)
+
+// Series is one labelled curve: y[i] corresponds to X[i] of the figure.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// Fig4 computes Figure 4: MTS versus the number of delay storage
+// buffer entries K, for the paper's (B, Q) pairings at R = 1.3. The
+// observation window is the drain time Q*L of a worst-case backlog.
+// Values are capped at 1e16 as in the paper.
+func Fig4() (ks []int, series []Series) {
+	for k := 0; k <= 128; k += 4 {
+		if k == 0 {
+			continue
+		}
+		ks = append(ks, k)
+	}
+	pairs := []struct{ b, q int }{{4, 12}, {8, 12}, {16, 12}, {32, 8}, {64, 8}}
+	for _, p := range pairs {
+		s := Series{Label: fmt.Sprintf("B=%d,Q=%d", p.b, p.q)}
+		d := analysis.DelayWindow(p.q, hw.DefaultL)
+		for _, k := range ks {
+			mts := analysis.DelayBufferMTS(p.b, k, d)
+			if mts > analysis.MTSCap {
+				mts = analysis.MTSCap
+			}
+			s.Y = append(s.Y, mts)
+		}
+		series = append(series, s)
+	}
+	return ks, series
+}
+
+// Fig5 renders the bank access queue Markov model of Figure 5 for the
+// paper's illustration parameters L = 3, Q = 2 as its transition
+// matrix (fail state last).
+func Fig5(b int) (string, error) {
+	c, err := analysis.NewBankQueueChain(b, 2, 3, 1.0)
+	if err != nil {
+		return "", err
+	}
+	m := c.Matrix()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Bank access queue Markov model, B=%d, L=3, Q=2 (states = backlog work, 'fail' absorbing)\n", b)
+	header := []string{"    "}
+	for i := 0; i < len(m)-1; i++ {
+		header = append(header, fmt.Sprintf("%6d", i))
+	}
+	header = append(header, "  fail")
+	sb.WriteString(strings.Join(header, " ") + "\n")
+	for i, row := range m {
+		name := fmt.Sprintf("%4d", i)
+		if i == len(m)-1 {
+			name = "fail"
+		}
+		cells := []string{name}
+		for _, v := range row {
+			if v == 0 {
+				cells = append(cells, "     .")
+			} else {
+				cells = append(cells, fmt.Sprintf("%6.3f", v))
+			}
+		}
+		sb.WriteString(strings.Join(cells, " ") + "\n")
+	}
+	return sb.String(), nil
+}
+
+// Fig6 computes Figure 6: MTS versus the bank access queue size Q for
+// B in {4, 8, 16, 32, 64} at R = 1.3.
+func Fig6() (qs []int, series []Series) {
+	for q := 4; q <= 64; q += 4 {
+		qs = append(qs, q)
+	}
+	for _, b := range []int{4, 8, 16, 32, 64} {
+		s := Series{Label: fmt.Sprintf("B=%d", b)}
+		for _, q := range qs {
+			mts := analysis.SlottedBankQueueMTS(b, q, hw.DefaultL, 1.3)
+			if mts > analysis.MTSCap {
+				mts = analysis.MTSCap
+			}
+			s.Y = append(s.Y, mts)
+		}
+		series = append(series, s)
+	}
+	return qs, series
+}
+
+// Fig7 computes Figure 7: the area/MTS Pareto frontier of the design
+// space sweep for each bus scaling ratio.
+func Fig7(rs []float64) map[float64][]hw.DesignPoint {
+	out := make(map[float64][]hw.DesignPoint, len(rs))
+	for _, r := range rs {
+		out[r] = hw.ParetoFront(hw.Sweep(hw.DefaultGrid(r)))
+	}
+	return out
+}
+
+// Fig7Ratios is the set of bus scaling ratios plotted in Figure 7.
+func Fig7Ratios() []float64 { return []float64{1.0, 1.1, 1.2, 1.3, 1.4, 1.5} }
+
+// Table2Row pairs our computed values with the paper's published ones.
+type Table2Row struct {
+	R           float64
+	B, Q, K     int
+	AreaMM2     float64
+	MTS         float64
+	EnergyNJ    float64
+	PaperArea   float64
+	PaperMTS    float64
+	PaperEnergy float64
+}
+
+// Table2 recomputes the paper's Table 2: the optimal design parameter
+// sets for R = 1.3 and R = 1.4, with area, combined MTS and energy from
+// our models next to the published numbers.
+func Table2() []Table2Row {
+	published := []Table2Row{
+		{R: 1.3, B: 32, Q: 24, K: 48, PaperArea: 13.6, PaperMTS: 5.12e5, PaperEnergy: 11.09},
+		{R: 1.3, B: 32, Q: 32, K: 64, PaperArea: 19.4, PaperMTS: 2.34e7, PaperEnergy: 13.26},
+		{R: 1.3, B: 32, Q: 48, K: 96, PaperArea: 34.1, PaperMTS: 4.57e10, PaperEnergy: 17.05},
+		{R: 1.3, B: 32, Q: 64, K: 128, PaperArea: 53.2, PaperMTS: 6.50e13, PaperEnergy: 21.51},
+		{R: 1.4, B: 32, Q: 24, K: 48, PaperArea: 13.6, PaperMTS: 1.14e7, PaperEnergy: 10.79},
+		{R: 1.4, B: 32, Q: 32, K: 64, PaperArea: 19.3, PaperMTS: 1.69e9, PaperEnergy: 12.83},
+		{R: 1.4, B: 32, Q: 48, K: 96, PaperArea: 34.0, PaperMTS: 3.62e13, PaperEnergy: 16.38},
+		{R: 1.4, B: 32, Q: 64, K: 128, PaperArea: 53.0, PaperMTS: 9.75e13, PaperEnergy: 20.54},
+	}
+	for i := range published {
+		row := &published[i]
+		p := hw.Params{B: row.B, Q: row.Q, K: row.K, R: row.R}
+		row.AreaMM2 = p.AreaMM2()
+		row.EnergyNJ = p.EnergyNJ()
+		row.MTS = p.MTS()
+	}
+	return published
+}
+
+// Table3 returns the packet buffering comparison rows.
+func Table3() []pktbuf.Scheme { return pktbuf.Table3() }
+
+// ReassemblySummary carries the Section 5.4.2 headline numbers.
+type ReassemblySummary struct {
+	AccessesPerChunk int
+	ClockMHz         float64
+	ThroughputGbps   float64
+	StagingSRAMBytes int
+}
+
+// Reassembly computes the Section 5.4.2 numbers: five DRAM accesses per
+// 64-byte chunk at a 400 MHz RDRAM clock give ~40 gbps of scanned
+// payload, with a 72 KB staging SRAM.
+func Reassembly() ReassemblySummary {
+	return ReassemblySummary{
+		AccessesPerChunk: reassembly.AccessesPerChunk,
+		ClockMHz:         400,
+		ThroughputGbps:   reassembly.ThroughputGbps(400),
+		StagingSRAMBytes: reassembly.StagingSRAMBytes(384),
+	}
+}
+
+// WriteSeriesTSV prints an x column followed by one column per series.
+func WriteSeriesTSV(w io.Writer, xName string, xs []int, series []Series) error {
+	cols := []string{xName}
+	for _, s := range series {
+		cols = append(cols, s.Label)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, "\t")); err != nil {
+		return err
+	}
+	for i, x := range xs {
+		cells := []string{fmt.Sprintf("%d", x)}
+		for _, s := range series {
+			cells = append(cells, fmt.Sprintf("%.4g", s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

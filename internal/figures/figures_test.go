@@ -1,0 +1,260 @@
+package figures
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestFig4Shape(t *testing.T) {
+	ks, series := Fig4()
+	if len(series) != 5 {
+		t.Fatalf("series = %d want 5 (the paper's five B/Q pairings)", len(series))
+	}
+	for _, s := range series {
+		if len(s.Y) != len(ks) {
+			t.Fatalf("%s: %d points for %d x-values", s.Label, len(s.Y), len(ks))
+		}
+		// Monotone non-decreasing in K, capped at 1e16.
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Fatalf("%s not monotone at K=%d", s.Label, ks[i])
+			}
+			if s.Y[i] > analysis.MTSCap {
+				t.Fatalf("%s exceeds the 1e16 cap", s.Label)
+			}
+		}
+	}
+	// "The curve for B = 64 follows very closely to the curve for B=32"
+	// while small bank counts need far larger K: at K=32, B=32 must be
+	// in business (>=1e10) and B=4 must be hopeless (<1e8).
+	at := func(label string, k int) float64 {
+		for _, s := range series {
+			if s.Label == label {
+				for i, kk := range ks {
+					if kk == k {
+						return s.Y[i]
+					}
+				}
+			}
+		}
+		t.Fatalf("missing %s at K=%d", label, k)
+		return 0
+	}
+	if v := at("B=32,Q=8", 32); v < 1e10 {
+		t.Errorf("B=32 K=32 MTS = %.3g, paper shows ~1e12", v)
+	}
+	if v := at("B=4,Q=12", 32); v > 1e8 {
+		t.Errorf("B=4 K=32 MTS = %.3g, should be far below B=32", v)
+	}
+	if b32, b64 := at("B=32,Q=8", 64), at("B=64,Q=8", 64); b64 < b32 {
+		t.Errorf("B=64 (%.3g) should be at or above B=32 (%.3g)", b64, b32)
+	}
+}
+
+func TestFig5Render(t *testing.T) {
+	s, err := Fig5(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "fail") {
+		t.Fatal("matrix missing fail state")
+	}
+	// L=3, Q=2: 7 transient states (0..6) + fail = 8 rows.
+	lines := strings.Count(s, "\n")
+	if lines != 2+8 {
+		t.Fatalf("rendered %d lines want 10", lines)
+	}
+	// The Figure 5 probability: 1/B = 0.167 appears for arrivals.
+	if !strings.Contains(s, "0.167") {
+		t.Fatal("arrival probability 1/6 missing from render")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	qs, series := Fig6()
+	if len(series) != 5 {
+		t.Fatalf("series = %d want 5", len(series))
+	}
+	last := func(label string) float64 {
+		for _, s := range series {
+			if s.Label == label {
+				return s.Y[len(s.Y)-1]
+			}
+		}
+		t.Fatalf("missing %s", label)
+		return 0
+	}
+	_ = qs
+	// Section 5.2's claims: B<32 tops out low; B=32 and B=64 both reach
+	// astronomic MTS at Q=64.
+	if v := last("B=4"); v > 1e6 {
+		t.Errorf("B=4 final MTS %.3g, should be tiny", v)
+	}
+	if v := last("B=8"); v > 1e6 {
+		t.Errorf("B=8 final MTS %.3g, should be tiny", v)
+	}
+	if v := last("B=32"); v < 1e12 {
+		t.Errorf("B=32 final MTS %.3g, paper reports ~1e14", v)
+	}
+	if v := last("B=64"); v < 1e12 {
+		t.Errorf("B=64 final MTS %.3g, paper reports ~1e14", v)
+	}
+}
+
+func TestFig7FrontiersOrdered(t *testing.T) {
+	fronts := Fig7([]float64{1.0, 1.3})
+	for r, front := range fronts {
+		if len(front) == 0 {
+			t.Fatalf("empty frontier for R=%.1f", r)
+		}
+		for i := 1; i < len(front); i++ {
+			if front[i].AreaMM2 <= front[i-1].AreaMM2 || front[i].MTS <= front[i-1].MTS {
+				t.Fatalf("R=%.1f frontier not increasing at %d", r, i)
+			}
+		}
+	}
+	// Figure 7's headline: R=1.3 reaches a 1-second MTS (1e9) around
+	// 30 mm^2, while R=1.0 never gets close at any area.
+	best := func(r float64, budget float64) float64 {
+		b := 0.0
+		for _, p := range fronts[r] {
+			if p.AreaMM2 <= budget && p.MTS > b {
+				b = p.MTS
+			}
+		}
+		return b
+	}
+	if v := best(1.3, 35); v < 1e9 {
+		t.Errorf("R=1.3 best under 35mm^2 = %.3g, paper shows ~1e9+ near 30mm^2", v)
+	}
+	if v := best(1.0, 60); v > 1e6 {
+		t.Errorf("R=1.0 best = %.3g, paper shows R=1.0 stuck at low MTS", v)
+	}
+}
+
+func TestTable2TracksPaper(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d want 8", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.AreaMM2-r.PaperArea) > r.PaperArea*0.10 {
+			t.Errorf("R=%.1f Q=%d: area %.1f vs paper %.1f", r.R, r.Q, r.AreaMM2, r.PaperArea)
+		}
+		if math.Abs(r.EnergyNJ-r.PaperEnergy) > r.PaperEnergy*0.10 {
+			t.Errorf("R=%.1f Q=%d: energy %.2f vs paper %.2f", r.R, r.Q, r.EnergyNJ, r.PaperEnergy)
+		}
+		// MTS shape: within ~1.5 decades of the published value and
+		// strictly increasing down the table within each R group. When
+		// our combined model caps at 1e16 the comparison degenerates;
+		// any published value in the astronomically-safe regime (>1e13,
+		// a day at 1 GHz) is accepted there.
+		ratio := r.MTS / r.PaperMTS
+		capped := r.MTS >= analysis.MTSCap && r.PaperMTS >= 1e13
+		if !capped && (ratio < 1.0/30 || ratio > 30) {
+			t.Errorf("R=%.1f Q=%d: MTS %.3g vs paper %.3g (off > x30)", r.R, r.Q, r.MTS, r.PaperMTS)
+		}
+	}
+	for i := 1; i < 4; i++ {
+		if rows[i].MTS <= rows[i-1].MTS {
+			t.Errorf("R=1.3 MTS not increasing at row %d", i)
+		}
+	}
+}
+
+func TestReassemblySummary(t *testing.T) {
+	s := Reassembly()
+	if s.AccessesPerChunk != 5 {
+		t.Errorf("accesses per chunk %d want 5", s.AccessesPerChunk)
+	}
+	if math.Abs(s.ThroughputGbps-40.96) > 0.01 {
+		t.Errorf("throughput %.2f want ~41 (paper rounds to 40)", s.ThroughputGbps)
+	}
+	if s.StagingSRAMBytes != 72<<10 {
+		t.Errorf("staging SRAM %d want 72KB", s.StagingSRAMBytes)
+	}
+}
+
+func TestWriteSeriesTSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSeriesTSV(&buf, "K", []int{1, 2}, []Series{{Label: "a", Y: []float64{10, 20}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "K\ta\n1\t10\n2\t20\n"
+	if buf.String() != want {
+		t.Fatalf("TSV = %q want %q", buf.String(), want)
+	}
+}
+
+func TestValidationBankQueue(t *testing.T) {
+	row, err := ValidateBankQueue(8, 8, 9, 200_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := row.Ratio(); r < 0.2 || r > 5 {
+		t.Fatalf("bank queue sim/math ratio = %.2f (analytic %.4g, measured %.4g)", r, row.AnalyticMTS, row.MeasuredMTS)
+	}
+}
+
+func TestValidationDelayBuffer(t *testing.T) {
+	row, err := ValidateDelayBuffer(32, 24, 8, 9, 200_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := row.Ratio(); r < 1.0/30 || r > 30 {
+		t.Fatalf("delay buffer sim/math ratio = %.2f (analytic %.4g, measured %.4g)", r, row.AnalyticMTS, row.MeasuredMTS)
+	}
+}
+
+func TestExactTailAtLeastPaperBound(t *testing.T) {
+	// The union bound overstates the stall probability, so the exact
+	// MTS is never below the paper's.
+	for _, k := range []int{8, 16, 24, 32, 48} {
+		paper := analysis.DelayBufferMTS(32, k, 360)
+		exact := analysis.DelayBufferMTSExact(32, k, 360)
+		if exact < paper {
+			t.Errorf("K=%d: exact MTS %.4g below paper bound %.4g", k, exact, paper)
+		}
+	}
+}
+
+func TestEfficiencyExperiment(t *testing.T) {
+	rows, err := Efficiency(30000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]EfficiencyRow{}
+	for _, r := range rows {
+		byKey[r.Controller+"/"+r.Workload] = r
+	}
+	// Section 3.1's story: a few-bank conventional memory delivers a
+	// fraction of peak under random traffic (the paper's measured 37-60%
+	// band for commodity parts), while VPNM delivers nearly full rate.
+	conv4 := byKey["conventional, 4 banks (SDRAM-class)/uniform"]
+	if conv4.Throughput < 0.15 || conv4.Throughput > 0.80 {
+		t.Errorf("4-bank conventional uniform throughput %.2f outside the plausible band", conv4.Throughput)
+	}
+	vp := byKey["VPNM, 32 banks/uniform"]
+	if vp.Throughput < 0.95 {
+		t.Errorf("VPNM uniform throughput %.2f, want ~1 (bandwidth 'almost equal to no conflicts')", vp.Throughput)
+	}
+	if vp.Throughput < conv4.Throughput+0.2 {
+		t.Errorf("VPNM (%.2f) should far outdeliver the 4-bank conventional part (%.2f)", vp.Throughput, conv4.Throughput)
+	}
+	// Sequential traffic is the conventional part's best case (row hits)
+	// and must beat its own uniform number.
+	seq4 := byKey["conventional, 4 banks (SDRAM-class)/sequential"]
+	if seq4.Throughput <= conv4.Throughput {
+		t.Errorf("open-row sequential (%.2f) should beat uniform (%.2f) on the conventional part", seq4.Throughput, conv4.Throughput)
+	}
+	// VPNM is pattern-blind: sequential and uniform within a whisker.
+	vpSeq := byKey["VPNM, 32 banks/sequential"]
+	if d := vp.Throughput - vpSeq.Throughput; d > 0.05 || d < -0.05 {
+		t.Errorf("VPNM throughput should be pattern-independent: uniform %.3f vs sequential %.3f", vp.Throughput, vpSeq.Throughput)
+	}
+}

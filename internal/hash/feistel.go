@@ -1,0 +1,79 @@
+package hash
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Feistel is a keyed permutation of a 2^width address space built as a
+// balanced Feistel network with multiply-shift round functions. Unlike
+// H3 or multiply-shift, Feistel never maps two distinct addresses to the
+// same value, so it can relocate an entire address space (bank and row
+// together) without introducing aliasing. The paper mentions re-keying
+// the universal mapping and reordering data "on the occurrence of
+// multiple stalls"; a permutation is what makes that relocation
+// well-defined.
+type Feistel struct {
+	roundKeys []uint64
+	width     int
+	half      int
+	halfMask  uint64
+}
+
+// NewFeistel returns a keyed permutation over [0, 1<<width). Width must
+// be an even number in [2, 64]; rounds must be at least 3 (4 is the
+// customary minimum for pseudorandomness, and the default used by the
+// controller).
+func NewFeistel(width, rounds int, seed uint64) *Feistel {
+	if width < 2 || width > 64 || width%2 != 0 {
+		panic(fmt.Sprintf("hash: Feistel width %d must be even and in [2,64]", width))
+	}
+	if rounds < 3 {
+		panic(fmt.Sprintf("hash: Feistel needs at least 3 rounds, got %d", rounds))
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xc2b2ae3d27d4eb4f))
+	keys := make([]uint64, rounds)
+	for i := range keys {
+		keys[i] = rng.Uint64() | 1 // odd multipliers
+	}
+	half := width / 2
+	return &Feistel{roundKeys: keys, width: width, half: half, halfMask: 1<<half - 1}
+}
+
+// round is the per-round mixing function: a multiply-shift hash of the
+// half-block under the round key, truncated to the half width.
+func (f *Feistel) round(k, x uint64) uint64 {
+	x = (x + k) * k
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x & f.halfMask
+}
+
+// Permute maps addr through the permutation. addr must be < 1<<width.
+func (f *Feistel) Permute(addr uint64) uint64 {
+	l := (addr >> f.half) & f.halfMask
+	r := addr & f.halfMask
+	for _, k := range f.roundKeys {
+		l, r = r, l^f.round(k, r)
+	}
+	return l<<f.half | r
+}
+
+// Invert maps a permuted value back to the original address.
+func (f *Feistel) Invert(v uint64) uint64 {
+	l := (v >> f.half) & f.halfMask
+	r := v & f.halfMask
+	for i := len(f.roundKeys) - 1; i >= 0; i-- {
+		k := f.roundKeys[i]
+		l, r = r^f.round(k, l), l
+	}
+	return l<<f.half | r
+}
+
+// Hash implements Func, making a Feistel permutation usable anywhere a
+// hash is accepted (its low Bits() output bits select the bank).
+func (f *Feistel) Hash(addr uint64) uint64 { return f.Permute(addr & (1<<f.width - 1)) }
+
+// Bits implements Func.
+func (f *Feistel) Bits() int { return f.width }

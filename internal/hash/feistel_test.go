@@ -1,0 +1,116 @@
+package hash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFeistelIsPermutationSmall(t *testing.T) {
+	// Exhaustively check bijectivity on a 2^16 space.
+	f := NewFeistel(16, 4, 12345)
+	seen := make([]bool, 1<<16)
+	for x := uint64(0); x < 1<<16; x++ {
+		y := f.Permute(x)
+		if y >= 1<<16 {
+			t.Fatalf("Permute(%d) = %d exceeds width", x, y)
+		}
+		if seen[y] {
+			t.Fatalf("collision at output %d", y)
+		}
+		seen[y] = true
+	}
+}
+
+func TestFeistelInverts(t *testing.T) {
+	for _, width := range []int{8, 16, 32, 64} {
+		f := NewFeistel(width, 4, 7)
+		mask := ^uint64(0)
+		if width < 64 {
+			mask = 1<<width - 1
+		}
+		check := func(x uint64) bool {
+			x &= mask
+			return f.Invert(f.Permute(x)) == x
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+	}
+}
+
+func TestFeistelScrambles(t *testing.T) {
+	// Sequential inputs must not map to sequential outputs: count how
+	// often consecutive inputs stay consecutive.
+	f := NewFeistel(32, 4, 9)
+	adjacent := 0
+	prev := f.Permute(0)
+	for x := uint64(1); x < 4096; x++ {
+		y := f.Permute(x)
+		if y == prev+1 {
+			adjacent++
+		}
+		prev = y
+	}
+	if adjacent > 8 {
+		t.Fatalf("%d/4096 consecutive pairs preserved; not scrambling", adjacent)
+	}
+}
+
+func TestFeistelUniformBankSpread(t *testing.T) {
+	// Low bits of the permuted address select a bank; sequential
+	// addresses must spread evenly.
+	f := NewFeistel(32, 4, 21)
+	const banks = 32
+	counts := make([]int, banks)
+	const samples = 32768
+	for x := uint64(0); x < samples; x++ {
+		counts[f.Permute(x)%banks]++
+	}
+	if x := chiSquare(counts, samples); x > 100 {
+		t.Fatalf("bank spread chi-square = %.1f", x)
+	}
+}
+
+func TestFeistelHashInterface(t *testing.T) {
+	f := NewFeistel(16, 4, 3)
+	if f.Bits() != 16 {
+		t.Fatalf("Bits = %d want 16", f.Bits())
+	}
+	// Hash must mask inputs beyond the width and agree with Permute.
+	if f.Hash(1<<16|5) != f.Permute(5) {
+		t.Fatal("Hash should mask inputs to width")
+	}
+}
+
+func TestFeistelConstructorValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewFeistel(0, 4, 1) },
+		func() { NewFeistel(7, 4, 1) },  // odd width
+		func() { NewFeistel(66, 4, 1) }, // too wide
+		func() { NewFeistel(16, 2, 1) }, // too few rounds
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFeistelDifferentSeedsDifferentPermutations(t *testing.T) {
+	a := NewFeistel(16, 4, 1)
+	b := NewFeistel(16, 4, 2)
+	same := 0
+	for x := uint64(0); x < 1000; x++ {
+		if a.Permute(x) == b.Permute(x) {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("different keys agree on %d/1000 points", same)
+	}
+}

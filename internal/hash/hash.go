@@ -1,0 +1,124 @@
+// Package hash implements the cryptographically strong randomization that
+// VPNM uses to spread memory addresses across DRAM banks (Section 3.2 of
+// the paper). The controller relies on a universal hash family in the
+// sense of Carter and Wegman: an adversary who cannot observe bank
+// conflicts directly (the virtual pipeline hides them) cannot construct a
+// set of addresses that collides in one bank with probability better than
+// random chance.
+//
+// Three families are provided:
+//
+//   - H3: the classic GF(2) matrix family. Each output bit is the parity
+//     of the input ANDed with an independent random key word. H3 is
+//     pairwise independent and trivially pipelinable in hardware, which
+//     is why the paper's hash unit HU adds only a constant latency.
+//   - Multiply-shift: a cheaper 2-universal family, useful as a software
+//     fallback and in tests.
+//   - Feistel: a keyed *permutation* of the address space, used when the
+//     full address (not just the bank index) must be randomized without
+//     collisions.
+package hash
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+)
+
+// Func is a keyed hash from 64-bit addresses to values with Bits()
+// significant low-order bits. Implementations are deterministic for a
+// given key so simulations are reproducible.
+type Func interface {
+	// Hash maps an address to a value in [0, 1<<Bits()).
+	Hash(addr uint64) uint64
+	// Bits reports the output width in bits.
+	Bits() int
+}
+
+// H3 is a member of the H3 universal family: output bit i is
+// parity(key[i] & addr). With independently random key words the family
+// is 2-universal over any set of addresses, which is the property the
+// MTS analysis in Section 5 depends on.
+type H3 struct {
+	key  []uint64
+	bits int
+}
+
+// NewH3 draws an H3 member with the given output width from the keyed
+// generator. Width must be in [1, 64].
+func NewH3(outBits int, seed uint64) *H3 {
+	if outBits < 1 || outBits > 64 {
+		panic(fmt.Sprintf("hash: H3 output width %d out of range [1,64]", outBits))
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	key := make([]uint64, outBits)
+	for i := range key {
+		// Reject zero key words: a zero row would fix that output bit to
+		// 0 for all inputs, halving the effective bank count.
+		for key[i] == 0 {
+			key[i] = rng.Uint64()
+		}
+	}
+	return &H3{key: key, bits: outBits}
+}
+
+// Hash implements Func.
+func (h *H3) Hash(addr uint64) uint64 {
+	var out uint64
+	for i, k := range h.key {
+		out |= uint64(bits.OnesCount64(k&addr)&1) << i
+	}
+	return out
+}
+
+// Bits implements Func.
+func (h *H3) Bits() int { return h.bits }
+
+// MultiplyShift is the 2-universal multiply-shift family
+// h(x) = (a*x + b) >> (64 - outBits) with odd a.
+type MultiplyShift struct {
+	a, b uint64
+	bits int
+}
+
+// NewMultiplyShift draws a multiply-shift member with the given output
+// width. Width must be in [1, 64].
+func NewMultiplyShift(outBits int, seed uint64) *MultiplyShift {
+	if outBits < 1 || outBits > 64 {
+		panic(fmt.Sprintf("hash: multiply-shift output width %d out of range [1,64]", outBits))
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x7f4a7c159e3779b9))
+	return &MultiplyShift{a: rng.Uint64() | 1, b: rng.Uint64(), bits: outBits}
+}
+
+// Hash implements Func.
+func (m *MultiplyShift) Hash(addr uint64) uint64 {
+	return (m.a*addr + m.b) >> (64 - m.bits)
+}
+
+// Bits implements Func.
+func (m *MultiplyShift) Bits() int { return m.bits }
+
+// Identity maps an address to its low-order bits unchanged. It models a
+// conventional controller's bank-interleaving (no randomization) and is
+// what the FCFS baseline and the adversarial experiments use.
+type Identity struct{ bits int }
+
+// NewIdentity returns the identity mapping with the given width.
+func NewIdentity(outBits int) *Identity {
+	if outBits < 1 || outBits > 64 {
+		panic(fmt.Sprintf("hash: identity output width %d out of range [1,64]", outBits))
+	}
+	return &Identity{bits: outBits}
+}
+
+// Hash implements Func.
+func (id *Identity) Hash(addr uint64) uint64 {
+	if id.bits == 64 {
+		return addr
+	}
+	return addr & (1<<id.bits - 1)
+}
+
+// Bits implements Func.
+func (id *Identity) Bits() int { return id.bits }

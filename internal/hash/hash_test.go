@@ -1,0 +1,183 @@
+package hash
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func families(outBits int, seed uint64) map[string]Func {
+	return map[string]Func{
+		"h3":             NewH3(outBits, seed),
+		"multiply-shift": NewMultiplyShift(outBits, seed),
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	for name, h := range families(8, 1) {
+		h2 := families(8, 1)[name]
+		for i := uint64(0); i < 1000; i++ {
+			if h.Hash(i) != h2.Hash(i) {
+				t.Errorf("%s: same seed disagrees at %d", name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestHashSeedsDiffer(t *testing.T) {
+	for name := range families(8, 1) {
+		a := families(8, 1)[name]
+		b := families(8, 2)[name]
+		same := 0
+		for i := uint64(0); i < 1000; i++ {
+			if a.Hash(i) == b.Hash(i) {
+				same++
+			}
+		}
+		// Random agreement is ~1000/256 ≈ 4; flag wholesale collision.
+		if same > 100 {
+			t.Errorf("%s: different seeds agree on %d/1000 inputs", name, same)
+		}
+	}
+}
+
+func TestHashOutputRange(t *testing.T) {
+	f := func(seed, addr uint64, bitsRaw uint8) bool {
+		bits := int(bitsRaw%64) + 1
+		for _, h := range families(bits, seed) {
+			v := h.Hash(addr)
+			if bits < 64 && v >= 1<<bits {
+				return false
+			}
+			if h.Bits() != bits {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chiSquare computes the chi-square statistic of observed bucket counts
+// against a uniform expectation.
+func chiSquare(counts []int, total int) float64 {
+	expected := float64(total) / float64(len(counts))
+	var x float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		x += d * d / expected
+	}
+	return x
+}
+
+// TestHashUniformitySequential checks that sequential addresses (the
+// common pathological pattern for bank interleaving) spread uniformly
+// over 32 buckets. With 32 banks and 32768 samples the chi-square
+// statistic for a uniform distribution has mean ~31; 100 is far out in
+// the tail.
+func TestHashUniformitySequential(t *testing.T) {
+	const buckets, samples = 32, 32768
+	for name, h := range families(5, 7) {
+		counts := make([]int, buckets)
+		for i := uint64(0); i < samples; i++ {
+			counts[h.Hash(i)]++
+		}
+		if x := chiSquare(counts, samples); x > 100 {
+			t.Errorf("%s: sequential addresses chi-square = %.1f (non-uniform)", name, x)
+		}
+	}
+}
+
+// TestHashUniformityStrided checks strided patterns, which defeat naive
+// bank-bit mappings (every access lands in one bank) but must remain
+// uniform under a universal hash.
+func TestHashUniformityStrided(t *testing.T) {
+	const buckets, samples = 32, 32768
+	for _, stride := range []uint64{32, 64, 4096, 1 << 20} {
+		for name, h := range families(5, 11) {
+			counts := make([]int, buckets)
+			for i := uint64(0); i < samples; i++ {
+				counts[h.Hash(i*stride)]++
+			}
+			if x := chiSquare(counts, samples); x > 120 {
+				t.Errorf("%s stride %d: chi-square = %.1f (non-uniform)", name, stride, x)
+			}
+		}
+	}
+}
+
+// TestH3PairwiseCollisions estimates the collision probability of
+// random pairs under H3; 2-universality promises Pr[h(x)=h(y)] = 2^-bits.
+func TestH3PairwiseCollisions(t *testing.T) {
+	const bits = 5
+	const pairs = 200000
+	rng := rand.New(rand.NewPCG(3, 4))
+	h := NewH3(bits, 99)
+	coll := 0
+	for i := 0; i < pairs; i++ {
+		x, y := rng.Uint64(), rng.Uint64()
+		if x == y {
+			continue
+		}
+		if h.Hash(x) == h.Hash(y) {
+			coll++
+		}
+	}
+	got := float64(coll) / float64(pairs)
+	want := 1.0 / float64(uint64(1)<<bits)
+	if math.Abs(got-want) > want*0.2 {
+		t.Errorf("H3 collision rate %.5f, want ~%.5f", got, want)
+	}
+}
+
+// TestH3Linearity verifies the GF(2) structure H3 is built on:
+// h(x) XOR h(y) == h(x XOR y) for parity-based hashing with h(0)=0.
+func TestH3Linearity(t *testing.T) {
+	h := NewH3(16, 5)
+	f := func(x, y uint64) bool {
+		return h.Hash(x)^h.Hash(y) == h.Hash(x^y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Hash(0) != 0 {
+		t.Fatal("H3(0) must be 0 by GF(2) linearity")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := NewIdentity(4)
+	for _, tc := range []struct{ in, want uint64 }{{0, 0}, {15, 15}, {16, 0}, {0xFF, 0xF}} {
+		if got := id.Hash(tc.in); got != tc.want {
+			t.Errorf("Identity(4).Hash(%d) = %d want %d", tc.in, got, tc.want)
+		}
+	}
+	id64 := NewIdentity(64)
+	if got := id64.Hash(^uint64(0)); got != ^uint64(0) {
+		t.Errorf("Identity(64) truncated: %x", got)
+	}
+}
+
+func TestConstructorsPanicOnBadWidth(t *testing.T) {
+	cases := []func(){
+		func() { NewH3(0, 1) },
+		func() { NewH3(65, 1) },
+		func() { NewMultiplyShift(0, 1) },
+		func() { NewMultiplyShift(65, 1) },
+		func() { NewIdentity(0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,236 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+// table2 reproduces the paper's Table 2 rows: R, published area (mm^2),
+// published energy (nJ), and the design parameters.
+var table2 = []struct {
+	r            float64
+	area, energy float64
+	q, k         int
+}{
+	{1.3, 13.6, 11.09, 24, 48},
+	{1.3, 19.4, 13.26, 32, 64},
+	{1.3, 34.1, 17.05, 48, 96},
+	{1.3, 53.2, 21.51, 64, 128},
+	{1.4, 13.6, 10.79, 24, 48},
+	{1.4, 19.3, 12.83, 32, 64},
+	{1.4, 34.0, 16.38, 48, 96},
+	{1.4, 53.0, 20.54, 64, 128},
+}
+
+func TestAreaMatchesTable2(t *testing.T) {
+	for _, row := range table2 {
+		p := Params{B: 32, Q: row.q, K: row.k, R: row.r}
+		got := p.AreaMM2()
+		if math.Abs(got-row.area) > row.area*0.10 {
+			t.Errorf("area(B=32,Q=%d,K=%d,R=%.1f) = %.1f mm^2, paper %.1f (>10%% off)",
+				row.q, row.k, row.r, got, row.area)
+		}
+	}
+}
+
+func TestEnergyMatchesTable2(t *testing.T) {
+	for _, row := range table2 {
+		p := Params{B: 32, Q: row.q, K: row.k, R: row.r}
+		got := p.EnergyNJ()
+		if math.Abs(got-row.energy) > row.energy*0.10 {
+			t.Errorf("energy(B=32,Q=%d,K=%d,R=%.1f) = %.2f nJ, paper %.2f (>10%% off)",
+				row.q, row.k, row.r, got, row.energy)
+		}
+	}
+}
+
+func TestReferenceControllerArea(t *testing.T) {
+	// Section 5.3: "one bank controller with L = 20, K = 24, and Q = 12,
+	// occupies 0.15 mm^2".
+	p := Params{B: 1, Q: 12, K: 24, R: 1.0}
+	got := p.AreaMM2()
+	if got < 0.10 || got > 0.22 {
+		t.Fatalf("reference controller area = %.3f mm^2, paper says 0.15", got)
+	}
+}
+
+func TestControllerBitsComposition(t *testing.T) {
+	p := Params{B: 32, Q: 24, K: 48, R: 1.3}.WithDefaults()
+	b := p.ControllerBits()
+	// CAM: 48 rows x (32 addr + 1 valid) = 1584 bits.
+	if b.CAM != 48*33 {
+		t.Fatalf("CAM bits = %d want %d", b.CAM, 48*33)
+	}
+	// Data words dominate SRAM: at least K * 512 bits.
+	if b.SRAM < 48*512 {
+		t.Fatalf("SRAM bits = %d, below the data array alone", b.SRAM)
+	}
+	if b.Total() != b.CAM+b.SRAM {
+		t.Fatal("Total mismatch")
+	}
+}
+
+func TestAreaMonotonicity(t *testing.T) {
+	base := Params{B: 32, Q: 24, K: 48, R: 1.3}
+	a0 := base.AreaMM2()
+	grow := []Params{
+		{B: 64, Q: 24, K: 48, R: 1.3},
+		{B: 32, Q: 48, K: 48, R: 1.3},
+		{B: 32, Q: 24, K: 96, R: 1.3},
+	}
+	for _, p := range grow {
+		if p.AreaMM2() <= a0 {
+			t.Errorf("area(%+v) = %.2f not above base %.2f", p, p.AreaMM2(), a0)
+		}
+	}
+	// A faster memory bus shrinks the circular delay buffer and area.
+	fast := Params{B: 32, Q: 24, K: 48, R: 1.5}
+	if fast.AreaMM2() >= a0 {
+		t.Errorf("R=1.5 area %.2f should be below R=1.3 area %.2f", fast.AreaMM2(), a0)
+	}
+}
+
+func TestDelayUsesPaperConvention(t *testing.T) {
+	p := Params{B: 32, Q: 64, K: 128, R: 1.3}
+	if d := p.Delay(); d != 985 {
+		t.Fatalf("Delay = %d want 985", d)
+	}
+}
+
+func TestSRAMAreaMatchesTable3(t *testing.T) {
+	// Table 3's 320 KB of pointer SRAM accounts for the difference
+	// between the 34.1 mm^2 Q=48 controller and the published 41.9 mm^2.
+	got := SRAMAreaMM2(320 << 10)
+	if math.Abs(got-7.8) > 0.1 {
+		t.Fatalf("320KB SRAM = %.2f mm^2 want ~7.8", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{B: 0, Q: 1, K: 1},
+		{B: 1, Q: 0, K: 1},
+		{B: 1, Q: 1, K: 0},
+		{B: 1, Q: 1, K: 1, R: 0.5},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", p)
+		}
+	}
+	if err := (Params{B: 32, Q: 24, K: 48}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestMTSCombinesBothStalls(t *testing.T) {
+	// A design limited by its tiny K must report the delay-buffer MTS,
+	// not the (astronomical) bank-queue MTS.
+	small := Params{B: 32, Q: 64, K: 16, R: 1.3}
+	big := Params{B: 32, Q: 64, K: 128, R: 1.3}
+	if small.MTS() >= big.MTS() {
+		t.Fatalf("K=16 MTS %.3g should be far below K=128 MTS %.3g", small.MTS(), big.MTS())
+	}
+	// Table 2's published MTS column tracks the combined model within
+	// about a decade (the paper's own log-scale resolution).
+	published := []struct {
+		q, k int
+		mts  float64
+	}{
+		{24, 48, 5.12e5}, {32, 64, 2.34e7}, {48, 96, 4.57e10}, {64, 128, 6.50e13},
+	}
+	for _, row := range published {
+		got := Params{B: 32, Q: row.q, K: row.k, R: 1.3}.MTS()
+		ratio := got / row.mts
+		if ratio < 1.0/30 || ratio > 30 {
+			t.Errorf("MTS(Q=%d,K=%d) = %.3g, paper %.3g (off by more than x30)", row.q, row.k, got, row.mts)
+		}
+	}
+}
+
+func TestSweepAndPareto(t *testing.T) {
+	g := SweepGrid{
+		Banks:  []int{16, 32},
+		Queues: []int{8, 24, 48},
+		Rows:   []int{32, 64, 96},
+		L:      20,
+		R:      1.3,
+	}
+	points := Sweep(g)
+	if len(points) != 2*3*3 {
+		t.Fatalf("sweep size %d want 18", len(points))
+	}
+	front := ParetoFront(points)
+	if len(front) == 0 || len(front) > len(points) {
+		t.Fatalf("front size %d", len(front))
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].AreaMM2 <= front[i-1].AreaMM2 || front[i].MTS <= front[i-1].MTS {
+			t.Fatalf("front not strictly improving at %d", i)
+		}
+	}
+	// Every non-front point is dominated by some front point.
+	for _, p := range points {
+		dominated := false
+		for _, f := range front {
+			if f.AreaMM2 <= p.AreaMM2 && f.MTS >= p.MTS {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Fatalf("point %+v escapes the front", p.Params)
+		}
+	}
+}
+
+func TestBestUnderArea(t *testing.T) {
+	points := Sweep(DefaultGrid(1.3))
+	p, ok := BestUnderArea(points, 30)
+	if !ok {
+		t.Fatal("no point under 30 mm^2")
+	}
+	if p.AreaMM2 > 30 {
+		t.Fatalf("selected point busts budget: %.1f", p.AreaMM2)
+	}
+	// The paper's one-second target (1e9 cycles at 1 GHz) fits in about
+	// 30 mm^2 on the R=1.3 frontier.
+	if p.MTS < 1e9 {
+		t.Fatalf("best MTS under 30mm^2 = %.3g, paper achieves ~1e9", p.MTS)
+	}
+	if _, ok := BestUnderArea(points, 0.0001); ok {
+		t.Fatal("impossible budget should not resolve")
+	}
+}
+
+func TestHigherRImprovesFrontier(t *testing.T) {
+	// Figure 7: at equal area, larger R buys a better MTS.
+	lo := Sweep(DefaultGrid(1.1))
+	hi := Sweep(DefaultGrid(1.4))
+	pLo, _ := BestUnderArea(lo, 20)
+	pHi, _ := BestUnderArea(hi, 20)
+	if pHi.MTS <= pLo.MTS {
+		t.Fatalf("R=1.4 MTS %.3g should beat R=1.1 MTS %.3g at 20 mm^2", pHi.MTS, pLo.MTS)
+	}
+}
+
+func TestControllerBreakdownConsistent(t *testing.T) {
+	p := Params{B: 32, Q: 24, K: 48, R: 1.3}
+	bd := p.ControllerBreakdown()
+	if bd.Bits() != p.ControllerBits() {
+		t.Fatal("breakdown does not fold to the total")
+	}
+	// The data array dominates everything else combined — the reason
+	// the paper stores row ids (not data) in the circular delay buffer.
+	rest := bd.BankAccessQueue + bd.CircularDelayBuffer + bd.DelayStorageCAM
+	if bd.DelayStorageSRAM < 2*rest {
+		t.Fatalf("data array %d should dominate control structures %d", bd.DelayStorageSRAM, rest)
+	}
+	// Sanity of the paper's 2-3 orders of magnitude remark: buffering
+	// data in the circular delay buffer instead of row ids would blow it
+	// up by ~W*8/log2(K).
+	dataCDB := p.Delay() * (8*DefaultWordBytes + 1)
+	if ratio := float64(dataCDB) / float64(bd.CircularDelayBuffer); ratio < 50 {
+		t.Fatalf("data-in-CDB blowup only %.0fx; expected ~2 orders of magnitude", ratio)
+	}
+}

@@ -1,0 +1,119 @@
+package hw
+
+import (
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// DesignPoint is one evaluated configuration in the Figure 7 design
+// space exploration.
+type DesignPoint struct {
+	Params
+	AreaMM2  float64
+	EnergyNJ float64
+	MTS      float64
+}
+
+// SweepGrid enumerates the architectural grid the paper explores
+// ("several thousand configurations with varying architectural
+// parameters"): bank counts, queue depths and delay-buffer sizes for a
+// fixed bus scaling ratio.
+type SweepGrid struct {
+	Banks  []int
+	Queues []int
+	Rows   []int
+	L      int
+	R      float64
+}
+
+// DefaultGrid mirrors the ranges of Figures 4, 6 and 7.
+func DefaultGrid(r float64) SweepGrid {
+	return SweepGrid{
+		Banks:  []int{4, 8, 16, 32, 64},
+		Queues: []int{8, 16, 24, 32, 40, 48, 56, 64},
+		Rows:   []int{16, 32, 48, 64, 80, 96, 112, 128},
+		L:      DefaultL,
+		R:      r,
+	}
+}
+
+// Sweep evaluates every grid point. Bank-queue MTS depends only on
+// (B, Q, R), so it is memoized across the K axis.
+func Sweep(g SweepGrid) []DesignPoint {
+	type bq struct{ b, q int }
+	bankqMTS := make(map[bq]float64)
+	var out []DesignPoint
+	for _, b := range g.Banks {
+		for _, q := range g.Queues {
+			key := bq{b, q}
+			if _, ok := bankqMTS[key]; !ok {
+				bankqMTS[key] = analysis.SlottedBankQueueMTS(b, q, g.L, g.R)
+			}
+			for _, k := range g.Rows {
+				p := Params{B: b, Q: q, K: k, L: g.L, R: g.R}.WithDefaults()
+				dbuf := analysis.DelayBufferMTS(b, k, p.Delay())
+				mts := combineRates(dbuf, bankqMTS[key])
+				out = append(out, DesignPoint{
+					Params:   p,
+					AreaMM2:  p.AreaMM2(),
+					EnergyNJ: p.EnergyNJ(),
+					MTS:      mts,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func combineRates(a, b float64) float64 {
+	switch {
+	case a <= 0 || b <= 0:
+		return 0
+	}
+	mts := 1 / (1/a + 1/b)
+	if mts > analysis.MTSCap {
+		return analysis.MTSCap
+	}
+	return mts
+}
+
+// ParetoFront filters points to the area/MTS Pareto frontier: a point
+// survives if no other point has both smaller-or-equal area and
+// strictly larger MTS. The result is sorted by area.
+func ParetoFront(points []DesignPoint) []DesignPoint {
+	sorted := append([]DesignPoint(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].AreaMM2 != sorted[j].AreaMM2 {
+			return sorted[i].AreaMM2 < sorted[j].AreaMM2
+		}
+		return sorted[i].MTS > sorted[j].MTS
+	})
+	var front []DesignPoint
+	best := -1.0
+	for _, p := range sorted {
+		if p.MTS > best {
+			front = append(front, p)
+			best = p.MTS
+		}
+	}
+	return front
+}
+
+// BestUnderArea returns the highest-MTS point within an area budget,
+// the selection rule behind Table 2's "optimal design parameters".
+// ok is false when no point fits the budget.
+func BestUnderArea(points []DesignPoint, budget float64) (DesignPoint, bool) {
+	var best DesignPoint
+	found := false
+	for _, p := range points {
+		if p.AreaMM2 > budget {
+			continue
+		}
+		if !found || p.MTS > best.MTS || (p.MTS == best.MTS && p.AreaMM2 < best.AreaMM2) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}

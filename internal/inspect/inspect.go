@@ -1,0 +1,137 @@
+// Package inspect is the content-inspection engine that consumes the
+// reassembler's output — the reason Section 5.4.2 exists. Signature
+// scanners that examine packets individually are blind to a signature
+// "intentionally divided on the boundary of two reordered packets";
+// scanning the reassembled byte stream closes that hole. The scanner is
+// a standard Aho-Corasick automaton with streaming state, so a
+// signature split across any number of segments is still found.
+package inspect
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Match reports one signature occurrence.
+type Match struct {
+	// Pattern is the index of the signature in the scanner's set.
+	Pattern int
+	// End is the byte offset just past the match in the stream.
+	End int
+}
+
+// Scanner is an Aho-Corasick multi-pattern matcher.
+type Scanner struct {
+	patterns [][]byte
+	// goto/fail/output automaton over byte transitions.
+	next [][256]int32
+	fail []int32
+	out  [][]int32
+}
+
+// ErrNoPatterns reports an empty signature set.
+var ErrNoPatterns = errors.New("inspect: no patterns")
+
+// NewScanner compiles the signature set.
+func NewScanner(patterns ...[]byte) (*Scanner, error) {
+	if len(patterns) == 0 {
+		return nil, ErrNoPatterns
+	}
+	s := &Scanner{}
+	s.addState() // root
+	for i, p := range patterns {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("inspect: pattern %d is empty", i)
+		}
+		s.patterns = append(s.patterns, append([]byte(nil), p...))
+		cur := int32(0)
+		for _, b := range p {
+			nxt := s.next[cur][b]
+			if nxt == 0 {
+				nxt = s.addState()
+				s.next[cur][b] = nxt
+			}
+			cur = nxt
+		}
+		s.out[cur] = append(s.out[cur], int32(i))
+	}
+	s.buildFailure()
+	return s, nil
+}
+
+func (s *Scanner) addState() int32 {
+	s.next = append(s.next, [256]int32{})
+	s.fail = append(s.fail, 0)
+	s.out = append(s.out, nil)
+	return int32(len(s.next) - 1)
+}
+
+// buildFailure computes failure links and converts the trie into a
+// dense DFA (every state has a transition for every byte).
+func (s *Scanner) buildFailure() {
+	queue := make([]int32, 0, len(s.next))
+	for b := 0; b < 256; b++ {
+		if nxt := s.next[0][b]; nxt != 0 {
+			s.fail[nxt] = 0
+			queue = append(queue, nxt)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for b := 0; b < 256; b++ {
+			v := s.next[u][b]
+			if v == 0 {
+				// DFA completion: inherit the failure transition.
+				s.next[u][b] = s.next[s.fail[u]][b]
+				continue
+			}
+			f := s.next[s.fail[u]][b]
+			s.fail[v] = f
+			s.out[v] = append(s.out[v], s.out[f]...)
+			queue = append(queue, v)
+		}
+	}
+}
+
+// Patterns reports the signature count.
+func (s *Scanner) Patterns() int { return len(s.patterns) }
+
+// Stream is a stateful scan over a byte stream delivered in chunks —
+// exactly how the reassembler hands over in-order data. Matches that
+// straddle chunk (and therefore packet) boundaries are found.
+type Stream struct {
+	s      *Scanner
+	state  int32
+	offset int
+}
+
+// NewStream starts a scan.
+func (s *Scanner) NewStream() *Stream { return &Stream{s: s} }
+
+// Feed scans the next chunk of the stream and returns any matches
+// completed within it.
+func (st *Stream) Feed(chunk []byte) []Match {
+	var matches []Match
+	for _, b := range chunk {
+		st.state = st.s.next[st.state][b]
+		st.offset++
+		for _, p := range st.s.out[st.state] {
+			matches = append(matches, Match{Pattern: int(p), End: st.offset})
+		}
+	}
+	return matches
+}
+
+// Scanned reports total bytes consumed.
+func (st *Stream) Scanned() int { return st.offset }
+
+// ScanPacketwise scans each chunk with a fresh stream — the naive
+// per-packet inspection the paper's attacker defeats. It exists so the
+// tests can demonstrate the evasion directly.
+func (s *Scanner) ScanPacketwise(chunks [][]byte) []Match {
+	var matches []Match
+	for _, c := range chunks {
+		matches = append(matches, s.NewStream().Feed(c)...)
+	}
+	return matches
+}

@@ -1,0 +1,151 @@
+package inspect
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/reassembly"
+)
+
+func TestSinglepatternWholeChunk(t *testing.T) {
+	s, err := NewScanner([]byte("virus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.NewStream().Feed([]byte("xx virus yy virus"))
+	if len(m) != 2 {
+		t.Fatalf("matches = %d want 2", len(m))
+	}
+	if m[0].End != 8 || m[1].End != 17 {
+		t.Fatalf("ends = %d,%d", m[0].End, m[1].End)
+	}
+}
+
+func TestOverlappingPatterns(t *testing.T) {
+	s, _ := NewScanner([]byte("he"), []byte("she"), []byte("his"), []byte("hers"))
+	m := s.NewStream().Feed([]byte("ushers"))
+	// Classic Aho-Corasick example: she@4, he@4, hers@6.
+	got := map[[2]int]bool{}
+	for _, x := range m {
+		got[[2]int{x.Pattern, x.End}] = true
+	}
+	want := [][2]int{{1, 4}, {0, 4}, {3, 6}}
+	if len(m) != 3 {
+		t.Fatalf("matches = %v", m)
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Fatalf("missing match pattern=%d end=%d in %v", w[0], w[1], m)
+		}
+	}
+}
+
+func TestStreamingAcrossChunks(t *testing.T) {
+	s, _ := NewScanner([]byte("signature"))
+	st := s.NewStream()
+	var all []Match
+	for _, c := range [][]byte{[]byte("xxsig"), []byte("nat"), []byte("ureyy")} {
+		all = append(all, st.Feed(c)...)
+	}
+	if len(all) != 1 || all[0].End != 11 {
+		t.Fatalf("split match: %v", all)
+	}
+}
+
+func TestPacketwiseScanMissesSplit(t *testing.T) {
+	// The attack: the signature straddles a packet boundary.
+	s, _ := NewScanner([]byte("worm"))
+	chunks := [][]byte{[]byte("xxxwo"), []byte("rmyyy")}
+	if m := s.ScanPacketwise(chunks); len(m) != 0 {
+		t.Fatalf("per-packet scan should miss the split signature, got %v", m)
+	}
+	st := s.NewStream()
+	n := 0
+	for _, c := range chunks {
+		n += len(st.Feed(c))
+	}
+	if n != 1 {
+		t.Fatalf("streaming scan found %d matches want 1", n)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewScanner(); err != ErrNoPatterns {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := NewScanner([]byte("a"), nil); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+}
+
+func TestRandomizedAgainstBytesContains(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		pat := make([]byte, 2+rng.IntN(4))
+		for i := range pat {
+			pat[i] = 'a' + byte(rng.IntN(3))
+		}
+		text := make([]byte, 200)
+		for i := range text {
+			text[i] = 'a' + byte(rng.IntN(3))
+		}
+		s, _ := NewScanner(pat)
+		got := len(s.NewStream().Feed(text))
+		want := 0
+		for i := 0; i+len(pat) <= len(text); i++ {
+			if bytes.Equal(text[i:i+len(pat)], pat) {
+				want++
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: %d matches want %d (pat %q)", trial, got, want, pat)
+		}
+	}
+}
+
+// TestEvasionDefeatedEndToEnd is Section 5.4.2's whole story in one
+// test: an attacker splits a worm signature across two deliberately
+// reordered TCP segments. Per-packet inspection misses it; inspection
+// of the VPNM-reassembled stream finds it.
+func TestEvasionDefeatedEndToEnd(t *testing.T) {
+	mem, err := core.New(core.Config{Banks: 8, QueueDepth: 8, DelayRows: 32, WordBytes: 64, HashSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reassembly.New(mem, reassembly.Config{})
+	scanner, _ := NewScanner([]byte("EVIL_WORM_SIGNATURE"))
+
+	// Two 64-byte chunks; the signature straddles their boundary.
+	stream := make([]byte, 2*reassembly.ChunkBytes)
+	for i := range stream {
+		stream[i] = 'x'
+	}
+	copy(stream[reassembly.ChunkBytes-10:], []byte("EVIL_WORM_SIGNATURE"))
+	segA := stream[:reassembly.ChunkBytes]
+	segB := stream[reassembly.ChunkBytes:]
+
+	// The attacker sends the second segment first.
+	if m := scanner.ScanPacketwise([][]byte{segB, segA}); len(m) != 0 {
+		t.Fatalf("per-packet scan found %v; the evasion should work against it", m)
+	}
+
+	if err := r.Submit(1, reassembly.ChunkBytes, segB); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(1, 0, segA); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Drain(1_000_000) {
+		t.Fatal("reassembly did not drain")
+	}
+	st := scanner.NewStream()
+	matches := st.Feed(r.InOrder(1))
+	if len(matches) != 1 {
+		t.Fatalf("reassembled scan found %d matches want 1", len(matches))
+	}
+	if !bytes.Equal(r.InOrder(1), stream) {
+		t.Fatal("stream corrupted")
+	}
+}

@@ -1,0 +1,168 @@
+package lpm
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Result is one completed lookup.
+type Result struct {
+	// ID is the caller's correlation token.
+	ID uint64
+	// Addr is the looked-up IPv4 address.
+	Addr uint32
+	// Hop is the longest-prefix-match decision (0 = no route).
+	Hop NextHop
+	// StartCycle and EndCycle bound the lookup in engine cycles; the
+	// difference is levels*D — deterministic, like everything else
+	// behind the virtual pipeline.
+	StartCycle, EndCycle uint64
+	// NodeReads counts the trie nodes visited.
+	NodeReads int
+}
+
+// lookup tracks one in-flight query between node reads.
+type lookup struct {
+	id    uint64
+	addr  uint32
+	level int
+	node  uint32
+	best  NextHop
+	start uint64
+	reads int
+}
+
+// Engine walks lookups through the trie one memory read per level.
+// Because every read completes in exactly D cycles, a lookup is a
+// deterministic levels*D pipeline; the engine keeps many lookups in
+// flight so the memory sees (up to) one node access every cycle and the
+// aggregate rate approaches one lookup per MaxDepth cycles — with zero
+// layout effort, which is the point: the NP-complete subtree-to-bank
+// assignment of prior work simply disappears.
+type Engine struct {
+	t     *Table
+	cycle uint64
+
+	// queue holds lookups awaiting their next node read (newly started
+	// or just advanced a level); one issues per cycle.
+	queue    []lookup
+	inflight map[uint64]lookup // read tag -> state
+
+	started, finished uint64
+	nodeReads         uint64
+	stallRetries      uint64
+
+	results []Result
+}
+
+// NewEngine builds an engine over the table's memory. The table should
+// be Synced first; looking up against unsynced nodes reads zeroes.
+func NewEngine(t *Table) *Engine {
+	return &Engine{t: t, inflight: make(map[uint64]lookup)}
+}
+
+// Start enqueues a lookup; the result emerges from a later Tick.
+func (e *Engine) Start(addr uint32, id uint64) {
+	e.queue = append(e.queue, lookup{id: id, addr: addr, start: e.cycle})
+	e.started++
+}
+
+// InFlight reports lookups started but not finished.
+func (e *Engine) InFlight() int { return int(e.started - e.finished) }
+
+// Stats reports aggregate counters.
+func (e *Engine) Stats() (started, finished, nodeReads, stallRetries uint64) {
+	return e.started, e.finished, e.nodeReads, e.stallRetries
+}
+
+// Tick issues at most one node read and advances the memory one cycle,
+// returning any lookups that completed. The returned slice is reused
+// across calls.
+func (e *Engine) Tick() []Result {
+	e.results = e.results[:0]
+	if len(e.queue) > 0 {
+		lk := e.queue[0]
+		c := childIndex(lk.addr, lk.level)
+		half := 0
+		if c >= fanout/2 {
+			half = 1
+		}
+		tag, err := e.t.mem.Read(e.t.wordAddr(lk.node, half))
+		if err == nil {
+			e.queue = e.queue[1:]
+			e.inflight[tag] = lk
+			e.nodeReads++
+		} else if core.IsStall(err) {
+			e.stallRetries++
+		} else {
+			// Protocol errors cannot happen with one read per Tick.
+			panic(fmt.Sprintf("lpm: node read failed: %v", err))
+		}
+	}
+	for _, comp := range e.t.mem.Tick() {
+		lk, ok := e.inflight[comp.Tag]
+		if !ok {
+			continue
+		}
+		delete(e.inflight, comp.Tag)
+		e.advance(lk, comp.Data)
+	}
+	e.cycle++
+	return e.results
+}
+
+// advance consumes one node word and either descends or finalizes.
+func (e *Engine) advance(lk lookup, word []byte) {
+	c := childIndex(lk.addr, lk.level)
+	j := c % (fanout / 2)
+	hop, child := decodeHalfChild(word, j)
+	lk.reads++
+	if hop != 0 {
+		lk.best = hop
+	}
+	if child != 0 && lk.level < MaxDepth-1 {
+		lk.level++
+		lk.node = child
+		e.queue = append(e.queue, lk)
+		return
+	}
+	e.finished++
+	e.results = append(e.results, Result{
+		ID:         lk.id,
+		Addr:       lk.addr,
+		Hop:        lk.best,
+		StartCycle: lk.start,
+		EndCycle:   e.cycle + 1,
+		NodeReads:  lk.reads,
+	})
+}
+
+// Drain ticks until every in-flight and queued lookup has finished, up
+// to maxCycles, returning all results produced while draining.
+func (e *Engine) Drain(maxCycles int) []Result {
+	var all []Result
+	for i := 0; i < maxCycles && (e.InFlight() > 0); i++ {
+		all = append(all, e.Tick()...)
+	}
+	return all
+}
+
+// decodeHalfChild extracts entry j of an encoded half-node word.
+func decodeHalfChild(word []byte, j int) (NextHop, uint32) {
+	hop := NextHop(le32(word[8*j:]))
+	child := le32(word[8*j+4:])
+	return hop, child
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// ThroughputLookupsPerCycle is the steady-state aggregate rate with the
+// pipeline full: one node access per cycle spread over MaxDepth levels.
+func ThroughputLookupsPerCycle() float64 { return 1.0 / MaxDepth }
+
+// LookupLatencyCycles is the deterministic per-lookup latency for a
+// trie walk of the given depth on a controller with normalized delay d.
+func LookupLatencyCycles(depth, d int) int { return depth * d }

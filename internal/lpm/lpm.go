@@ -1,0 +1,228 @@
+// Package lpm implements a longest-prefix-match forwarding engine whose
+// trie lives entirely in virtually pipelined memory. It is the data-
+// plane algorithm the paper's introduction motivates ("looked up in the
+// forwarding table ... large irregular data structures such as trees")
+// and its conclusion names as future work ("mapping other data plane
+// algorithms into DRAM including packet classification").
+//
+// Prior art needed bank-aware layouts: Baboescu et al. split the tree
+// into subtrees and prove optimal bank assignment NP-complete; Chisel
+// resolves conflicts at the algorithmic level. On VPNM the trie is
+// simply written to memory — the controller guarantees every node read
+// completes in exactly D cycles, so a lookup of depth W is a W-stage
+// software pipeline, and with many lookups in flight the engine
+// sustains one node access per cycle regardless of how the routing
+// table maps to banks.
+package lpm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Stride is the multibit-trie stride in bits: each node consumes Stride
+// address bits per memory access. 4 bits gives 8 accesses for IPv4,
+// matching the multi-level lookup engines the related work studies.
+const Stride = 4
+
+// fanout is the per-node child count.
+const fanout = 1 << Stride
+
+// MaxDepth is the number of trie levels for a 32-bit IPv4 address.
+const MaxDepth = 32 / Stride
+
+// ErrNoMemory reports that the node allocator ran out of the address
+// region reserved for the trie.
+var ErrNoMemory = errors.New("lpm: trie region exhausted")
+
+// NextHop is a forwarding decision. 0 means "no route".
+type NextHop uint32
+
+// node is the in-memory (and in-DRAM) layout of one trie node: for each
+// of the 16 children, a next-hop override and a child pointer. The
+// encoded form packs into exactly two 64-byte words per node.
+type node struct {
+	hop   [fanout]NextHop // next hop set at this child edge (0 = none)
+	child [fanout]uint32  // node index of the child (0 = none)
+	// hopLen is control-plane-only bookkeeping for controlled prefix
+	// expansion: the true length of the prefix that set hop[c], so a
+	// shorter prefix inserted later never clobbers a longer one's
+	// expanded entries. Meaningful only where hop[c] != 0.
+	hopLen [fanout]int8
+}
+
+// Table is the control-plane view: it owns the trie, keeps a shadow
+// copy for verification, and writes every node into VPNM memory.
+type Table struct {
+	mem    sim.Memory
+	base   uint64 // first word address of the trie region
+	limit  uint64 // number of node slots available
+	nodes  []node // shadow of DRAM contents (control plane state)
+	synced []bool // whether nodes[i] matches memory
+
+	routes int
+}
+
+// NewTable builds an empty table whose nodes occupy word addresses
+// [base, base+2*maxNodes) of mem. The memory's word size must be at
+// least 64 bytes (one half-node per word).
+func NewTable(mem sim.Memory, base uint64, maxNodes int) (*Table, error) {
+	if maxNodes < 1 {
+		return nil, fmt.Errorf("lpm: maxNodes must be >= 1, got %d", maxNodes)
+	}
+	t := &Table{
+		mem:    mem,
+		base:   base,
+		limit:  uint64(maxNodes),
+		nodes:  make([]node, 1, maxNodes), // node 0 is the root
+		synced: make([]bool, 1, maxNodes),
+	}
+	return t, nil
+}
+
+// Routes reports the number of inserted prefixes.
+func (t *Table) Routes() int { return t.routes }
+
+// NodeCount reports the number of allocated trie nodes.
+func (t *Table) NodeCount() int { return len(t.nodes) }
+
+// wordAddr returns the address of half w (0 or 1) of node i: each node
+// is two consecutive 64-byte words.
+func (t *Table) wordAddr(i uint32, w int) uint64 {
+	return t.base + 2*uint64(i) + uint64(w)
+}
+
+// encodeHalf packs half a node (8 children) into a 64-byte word:
+// for each child, 4 bytes of next hop then 4 bytes of child index.
+func encodeHalf(n *node, half int) []byte {
+	buf := make([]byte, 64)
+	for j := 0; j < fanout/2; j++ {
+		c := half*fanout/2 + j
+		binary.LittleEndian.PutUint32(buf[8*j:], uint32(n.hop[c]))
+		binary.LittleEndian.PutUint32(buf[8*j+4:], n.child[c])
+	}
+	return buf
+}
+
+// Insert adds an IPv4 prefix (addr/length) with the given next hop.
+// Prefix lengths are rounded up to the stride boundary by expansion,
+// the standard controlled-prefix-expansion construction for multibit
+// tries. The updated nodes are queued as memory writes; call Sync to
+// push them (one write per cycle) before looking up.
+func (t *Table) Insert(addr uint32, length int, hop NextHop) error {
+	if length < 0 || length > 32 {
+		return fmt.Errorf("lpm: prefix length %d out of range", length)
+	}
+	if hop == 0 {
+		return errors.New("lpm: next hop 0 is reserved for 'no route'")
+	}
+	// Expand to the enclosing stride boundary.
+	depth := (length + Stride - 1) / Stride
+	expand := depth*Stride - length
+	base := addr &^ (1<<(32-uint(length)) - 1)
+	if length == 0 {
+		base = 0
+	}
+	if depth == 0 {
+		// A length-0 default route expands over every root edge.
+		depth = 1
+		expand = Stride
+	}
+	for e := 0; e < 1<<expand; e++ {
+		a := base | uint32(e)<<(32-uint(depth*Stride))
+		if err := t.insertExact(a, depth, length, hop); err != nil {
+			return err
+		}
+	}
+	t.routes++
+	return nil
+}
+
+// insertExact installs one expanded, stride-aligned entry of the
+// original prefix (true length `length`) at trie depth `depth`.
+func (t *Table) insertExact(addr uint32, depth, length int, hop NextHop) error {
+	cur := uint32(0)
+	for level := 0; level < depth-1; level++ {
+		c := childIndex(addr, level)
+		next := t.nodes[cur].child[c]
+		if next == 0 {
+			if uint64(len(t.nodes)) >= t.limit {
+				return ErrNoMemory
+			}
+			t.nodes = append(t.nodes, node{})
+			t.synced = append(t.synced, false)
+			next = uint32(len(t.nodes) - 1)
+			t.nodes[cur].child[c] = next
+			t.synced[cur] = false
+		}
+		cur = next
+	}
+	c := childIndex(addr, depth-1)
+	n := &t.nodes[cur]
+	// Controlled prefix expansion: an expanded entry belongs to the
+	// longest true prefix covering it; equal lengths mean replacement.
+	if n.hop[c] == 0 || int(n.hopLen[c]) <= length {
+		n.hop[c] = hop
+		n.hopLen[c] = int8(length)
+		t.synced[cur] = false
+	}
+	return nil
+}
+
+// childIndex extracts the stride bits for the given level (level 0 is
+// the most significant).
+func childIndex(addr uint32, level int) int {
+	shift := 32 - Stride*(level+1)
+	return int(addr>>uint(shift)) & (fanout - 1)
+}
+
+// Sync writes every dirty node into memory, issuing one write per
+// interface cycle (ticking mem as it goes). It returns the number of
+// words written.
+func (t *Table) Sync() (words int, err error) {
+	for i := range t.nodes {
+		if t.synced[i] {
+			continue
+		}
+		for w := 0; w < 2; w++ {
+			data := encodeHalf(&t.nodes[i], w)
+			for {
+				err := t.mem.Write(t.wordAddr(uint32(i), w), data)
+				if err == nil {
+					break
+				}
+				if !core.IsStall(err) {
+					return words, err
+				}
+				t.mem.Tick()
+			}
+			words++
+			t.mem.Tick()
+		}
+		t.synced[i] = true
+	}
+	return words, nil
+}
+
+// LookupShadow resolves an address against the control-plane shadow —
+// the reference the hardware engine is verified against.
+func (t *Table) LookupShadow(addr uint32) NextHop {
+	best := NextHop(0)
+	cur := uint32(0)
+	for level := 0; level < MaxDepth; level++ {
+		c := childIndex(addr, level)
+		n := &t.nodes[cur]
+		if n.hop[c] != 0 {
+			best = n.hop[c]
+		}
+		if n.child[c] == 0 {
+			break
+		}
+		cur = n.child[c]
+	}
+	return best
+}

@@ -1,0 +1,143 @@
+// Package multichannel stripes a virtually pipelined memory across
+// several independent VPNM controllers (channels) to scale past one
+// request per interface cycle — the direction Kumar, Crowley and
+// Turner's randomized multichannel packet storage explored, but with
+// each channel individually immune to bank conflicts, which their
+// scheme could not handle. A universal hash picks the channel, a
+// per-channel VPNM controller does the rest, and every read still
+// completes in exactly D cycles.
+//
+// The price of channel striping is the same one the paper charges at
+// bank granularity: two same-cycle requests can collide on a channel
+// (reported as ErrChannelBusy), with probability 1/C per pair — the
+// interface-level analogue of a bank conflict, and the reason channel
+// counts follow the same birthday arithmetic as banks.
+package multichannel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// ErrChannelBusy reports that the target channel already accepted a
+// request this cycle; the caller retries next cycle or routes other
+// traffic first.
+var ErrChannelBusy = errors.New("multichannel: channel already busy this cycle")
+
+// Memory is a striped set of VPNM controllers.
+type Memory struct {
+	chans []*core.Controller
+	sel   hash.Func
+	mask  uint64
+
+	// tag translation: per-channel tags are dense; global tags encode
+	// the channel in the low bits so completions stay self-describing.
+	shift uint
+
+	reads, writes, busy uint64
+	comps               []core.Completion
+}
+
+// New builds a striped memory of `channels` (a power of two) identical
+// controllers. Each channel gets an independently seeded bank hash;
+// the channel selector is seeded separately so bank and channel
+// randomization are independent.
+func New(cfg core.Config, channels int, seed uint64) (*Memory, error) {
+	if channels < 1 || channels&(channels-1) != 0 {
+		return nil, fmt.Errorf("multichannel: channels must be a positive power of two, got %d", channels)
+	}
+	bits := 1
+	for 1<<bits < channels {
+		bits++
+	}
+	m := &Memory{
+		sel:   hash.NewH3(bits, seed^0x5bd1e995),
+		mask:  uint64(channels - 1),
+		shift: uint(bits),
+	}
+	for i := 0; i < channels; i++ {
+		c := cfg
+		c.HashSeed = seed + uint64(i)*0x9e3779b9
+		ctrl, err := core.New(c)
+		if err != nil {
+			return nil, err
+		}
+		m.chans = append(m.chans, ctrl)
+	}
+	return m, nil
+}
+
+// Channels reports the stripe width.
+func (m *Memory) Channels() int { return len(m.chans) }
+
+// Channel reports which channel serves addr.
+func (m *Memory) Channel(addr uint64) int { return int(m.sel.Hash(addr) & m.mask) }
+
+// Delay returns the uniform normalized delay of the channels.
+func (m *Memory) Delay() int { return m.chans[0].Delay() }
+
+// Read issues a read on addr's channel. Up to Channels() reads and
+// writes can be accepted per cycle, at most one per channel.
+func (m *Memory) Read(addr uint64) (tag uint64, err error) {
+	ch := m.Channel(addr)
+	t, err := m.chans[ch].Read(addr)
+	if err != nil {
+		if errors.Is(err, core.ErrSecondRequest) {
+			m.busy++
+			return 0, ErrChannelBusy
+		}
+		return 0, err
+	}
+	m.reads++
+	return t<<m.shift | uint64(ch), nil
+}
+
+// Write issues a write on addr's channel.
+func (m *Memory) Write(addr uint64, data []byte) error {
+	ch := m.Channel(addr)
+	if err := m.chans[ch].Write(addr, data); err != nil {
+		if errors.Is(err, core.ErrSecondRequest) {
+			m.busy++
+			return ErrChannelBusy
+		}
+		return err
+	}
+	m.writes++
+	return nil
+}
+
+// Tick advances every channel one cycle and merges their completions
+// (re-tagged with the channel id). Up to Channels() completions can
+// arrive per cycle; each Data slice is valid until the next Tick, as
+// with a single controller.
+func (m *Memory) Tick() []core.Completion {
+	m.comps = m.comps[:0]
+	for ch, c := range m.chans {
+		for _, comp := range c.Tick() {
+			comp.Tag = comp.Tag<<m.shift | uint64(ch)
+			m.comps = append(m.comps, comp)
+		}
+	}
+	return m.comps
+}
+
+// Outstanding sums undelivered reads across channels.
+func (m *Memory) Outstanding() uint64 {
+	var n uint64
+	for _, c := range m.chans {
+		n += c.Outstanding()
+	}
+	return n
+}
+
+// Stats aggregates per-channel statistics plus the channel-conflict
+// count.
+func (m *Memory) Stats() (reads, writes, channelBusy, stalls uint64) {
+	for _, c := range m.chans {
+		stalls += c.Stats().Stalls.Total()
+	}
+	return m.reads, m.writes, m.busy, stalls
+}

@@ -1,0 +1,231 @@
+package pktbuf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Variable-size packets over the cell buffer. Real routers buffer
+// packets from 64 to ~1500 bytes; this layer segments each packet into
+// cells on enqueue and reassembles it from cell completions on dequeue,
+// with all per-packet metadata (lengths, in-flight state) in SRAM-side
+// structures and every payload byte in the virtually pipelined memory.
+// One memory operation issues per Tick, preserving the one-request-
+// per-cycle interface contract.
+
+// Packet is a reassembled packet leaving the buffer.
+type Packet struct {
+	Queue int
+	Data  []byte
+}
+
+// ErrNoPacket reports a dequeue request on a queue with no complete
+// packet buffered.
+var ErrNoPacket = errors.New("pktbuf: no complete packet queued")
+
+// ErrPacketTooLarge reports a packet that cannot fit its queue even
+// when empty.
+var ErrPacketTooLarge = errors.New("pktbuf: packet exceeds queue capacity")
+
+type pbOp struct {
+	isWrite bool
+	queue   int
+	data    []byte // cell payload for writes
+	last    bool   // final cell of a packet (reads)
+	length  int    // byte length of the packet (on the last read)
+}
+
+// PacketBuffer segments packets into cells over a Buffer.
+type PacketBuffer struct {
+	buf   *Buffer
+	cells int // cell size shorthand
+
+	pending []pbOp
+	// pktLens queues the byte length of each fully enqueued packet, per
+	// queue (SRAM metadata, 4 bytes per packet in hardware terms).
+	pktLens [][]int
+	// reserved counts cells admitted but not yet through the ring, per
+	// queue, so packet admission cannot oversubscribe the ring.
+	reserved []uint64
+	// assembling collects dequeued cell payloads per queue; cell
+	// completions arrive in issue order, so per-queue concatenation
+	// reconstructs packets exactly.
+	assembling [][]byte
+	// expect maps read tags to (queue, last, length).
+	expect map[uint64]pbOp
+
+	out []Packet
+
+	enqPkts, deqPkts, stallRetries uint64
+}
+
+// NewPacketBuffer layers packet semantics over a cell buffer.
+func NewPacketBuffer(buf *Buffer) *PacketBuffer {
+	return &PacketBuffer{
+		buf:        buf,
+		cells:      buf.cfg.CellBytes,
+		pktLens:    make([][]int, buf.cfg.Queues),
+		reserved:   make([]uint64, buf.cfg.Queues),
+		assembling: make([][]byte, buf.cfg.Queues),
+		expect:     make(map[uint64]pbOp),
+	}
+}
+
+// cellsFor returns the cell count for a byte length.
+func (p *PacketBuffer) cellsFor(n int) uint64 {
+	return uint64((n + p.cells - 1) / p.cells)
+}
+
+// EnqueuePacket admits a packet to queue q: its cells are queued as
+// memory writes (one per Tick) and its length is recorded. Admission
+// fails with ErrQueueFull when the ring cannot hold the whole packet.
+func (p *PacketBuffer) EnqueuePacket(q int, payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("pktbuf: empty packet")
+	}
+	need := p.cellsFor(len(payload))
+	if need > p.buf.cfg.CellsPerQueue {
+		return ErrPacketTooLarge
+	}
+	if p.buf.Len(q)+p.reserved[q]+need > p.buf.cfg.CellsPerQueue {
+		return ErrQueueFull
+	}
+	for off := 0; off < len(payload); off += p.cells {
+		end := off + p.cells
+		if end > len(payload) {
+			end = len(payload)
+		}
+		cell := make([]byte, end-off)
+		copy(cell, payload[off:end])
+		p.pending = append(p.pending, pbOp{isWrite: true, queue: q, data: cell})
+	}
+	p.reserved[q] += need
+	p.pktLens[q] = append(p.pktLens[q], len(payload))
+	p.enqPkts++
+	return nil
+}
+
+// PacketsQueued reports complete packets buffered (or in flight) for q.
+func (p *PacketBuffer) PacketsQueued(q int) int { return len(p.pktLens[q]) }
+
+// RequestDequeue schedules the head packet of queue q for departure:
+// its cells are queued as memory reads, and the reassembled packet
+// emerges from a later Tick.
+func (p *PacketBuffer) RequestDequeue(q int) error {
+	if len(p.pktLens[q]) == 0 {
+		return ErrNoPacket
+	}
+	length := p.pktLens[q][0]
+	p.pktLens[q] = p.pktLens[q][1:]
+	n := int(p.cellsFor(length))
+	for i := 0; i < n; i++ {
+		p.pending = append(p.pending, pbOp{
+			queue:  q,
+			last:   i == n-1,
+			length: length,
+		})
+	}
+	return nil
+}
+
+// Tick issues at most one pending memory operation (retrying stalls in
+// place, which preserves global FIFO order and therefore write-before-
+// read for every cell), advances the memory, and returns any packets
+// fully reassembled this cycle.
+func (p *PacketBuffer) Tick() []Packet {
+	p.out = p.out[:0]
+	if len(p.pending) > 0 {
+		op := p.pending[0]
+		var err error
+		if op.isWrite {
+			err = p.buf.Enqueue(op.queue, op.data)
+			if err == nil {
+				p.reserved[op.queue]--
+			}
+		} else {
+			var tag uint64
+			tag, err = p.buf.Dequeue(op.queue)
+			if err == nil {
+				p.expect[tag] = op
+			}
+		}
+		if err == nil {
+			p.pending = p.pending[1:]
+		} else {
+			p.stallRetries++
+		}
+	}
+	for _, comp := range p.buf.mem.Tick() {
+		q, ok := p.buf.Route(comp.Tag)
+		if !ok {
+			continue
+		}
+		op, ok := p.expect[comp.Tag]
+		if !ok || op.queue != q {
+			panic("pktbuf: completion routing disagrees with expectation")
+		}
+		delete(p.expect, comp.Tag)
+		p.assembling[q] = append(p.assembling[q], comp.Data[:p.cells]...)
+		if op.last {
+			pkt := Packet{Queue: q, Data: p.assembling[q][:op.length]}
+			p.assembling[q] = nil
+			p.out = append(p.out, pkt)
+			p.deqPkts++
+		}
+	}
+	return p.out
+}
+
+// PendingOps reports memory operations queued but not yet issued.
+func (p *PacketBuffer) PendingOps() int { return len(p.pending) }
+
+// Drain ticks until all pending operations and in-flight reads resolve,
+// returning every packet produced, up to maxCycles. ok is false on
+// budget exhaustion.
+func (p *PacketBuffer) Drain(maxCycles int) (pkts []Packet, ok bool) {
+	for i := 0; i < maxCycles; i++ {
+		if len(p.pending) == 0 && len(p.expect) == 0 {
+			return pkts, true
+		}
+		pkts = append(pkts, clonePackets(p.Tick())...)
+	}
+	return pkts, len(p.pending) == 0 && len(p.expect) == 0
+}
+
+func clonePackets(in []Packet) []Packet {
+	out := make([]Packet, len(in))
+	copy(out, in)
+	return out
+}
+
+// PacketStats reports packet-level counters.
+func (p *PacketBuffer) PacketStats() (enqueued, dequeued, stallRetries uint64) {
+	return p.enqPkts, p.deqPkts, p.stallRetries
+}
+
+// Scheduler drains a PacketBuffer at line rate: a round-robin sweep
+// over the queues, requesting one packet from each non-empty queue in
+// turn — the output side of a router line card.
+type Scheduler struct {
+	pb  *PacketBuffer
+	ptr int
+}
+
+// NewScheduler builds a round-robin scheduler over pb.
+func NewScheduler(pb *PacketBuffer) *Scheduler { return &Scheduler{pb: pb} }
+
+// Pump requests up to one packet dequeue (from the next non-empty
+// queue) and returns whether it scheduled anything.
+func (s *Scheduler) Pump() bool {
+	n := s.pb.buf.cfg.Queues
+	for i := 0; i < n; i++ {
+		q := (s.ptr + i) % n
+		if s.pb.PacketsQueued(q) > 0 {
+			if err := s.pb.RequestDequeue(q); err == nil {
+				s.ptr = (q + 1) % n
+				return true
+			}
+		}
+	}
+	return false
+}

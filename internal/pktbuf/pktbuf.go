@@ -1,0 +1,166 @@
+// Package pktbuf implements the packet buffering application of
+// Section 5.4.1 on top of the virtually pipelined memory. Because VPNM
+// handles any access pattern, packet buffering needs none of the
+// special-purpose machinery of prior schemes (head/tail SRAM caches,
+// reorder buffers, bank-aware queue placement): each logical queue is
+// just a pair of head and tail pointers in SRAM, and every cell of
+// every packet lives in DRAM behind the controller. One write buffers
+// an arriving cell, one read releases a departing cell, and both
+// complete in deterministic time regardless of which queue — and
+// therefore which bank — they touch.
+package pktbuf
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Errors returned by queue operations.
+var (
+	ErrQueueFull  = errors.New("pktbuf: queue full")
+	ErrQueueEmpty = errors.New("pktbuf: queue empty")
+)
+
+// Config sizes the buffer.
+type Config struct {
+	// Queues is the number of logical FIFO queues (interfaces). The
+	// paper supports 4096 with 320 KB of pointer SRAM.
+	Queues int
+	// CellsPerQueue is each queue's ring capacity in cells.
+	CellsPerQueue uint64
+	// CellBytes is the cell size; it must match the memory word size
+	// (the paper uses 64-byte cells, following CFDS).
+	CellBytes int
+}
+
+// Buffer is the packet buffer: per-queue pointers in (modelled) SRAM,
+// cell payloads in VPNM memory.
+type Buffer struct {
+	mem sim.Memory
+	cfg Config
+	qs  []queueState
+	// reading maps an outstanding read tag to its queue so completions
+	// can be attributed.
+	reading map[uint64]int
+
+	enqueued, dequeued, stalls uint64
+}
+
+type queueState struct {
+	head, tail uint64 // monotone cell counters; tail-head = occupancy
+}
+
+// New builds a packet buffer over mem.
+func New(mem sim.Memory, cfg Config) (*Buffer, error) {
+	if cfg.Queues < 1 {
+		return nil, fmt.Errorf("pktbuf: Queues must be >= 1, got %d", cfg.Queues)
+	}
+	if cfg.CellsPerQueue < 1 {
+		return nil, fmt.Errorf("pktbuf: CellsPerQueue must be >= 1, got %d", cfg.CellsPerQueue)
+	}
+	if cfg.CellBytes < 1 {
+		return nil, fmt.Errorf("pktbuf: CellBytes must be >= 1, got %d", cfg.CellBytes)
+	}
+	return &Buffer{
+		mem:     mem,
+		cfg:     cfg,
+		qs:      make([]queueState, cfg.Queues),
+		reading: make(map[uint64]int),
+	}, nil
+}
+
+// addr lays queues out contiguously: queue q's cell slot s lives at
+// word address q*CellsPerQueue + s. The controller's universal hash
+// scatters these over banks, which is the entire point — no bank-aware
+// placement is required here.
+func (b *Buffer) addr(q int, counter uint64) uint64 {
+	return uint64(q)*b.cfg.CellsPerQueue + counter%b.cfg.CellsPerQueue
+}
+
+// Len reports the occupancy of queue q in cells.
+func (b *Buffer) Len(q int) uint64 { return b.qs[q].tail - b.qs[q].head }
+
+// Enqueue appends one cell to queue q, consuming this interface cycle's
+// request slot. A stall from the memory is returned verbatim so callers
+// can retry or drop, as the paper prescribes.
+func (b *Buffer) Enqueue(q int, cell []byte) error {
+	qs := &b.qs[q]
+	if qs.tail-qs.head >= b.cfg.CellsPerQueue {
+		return ErrQueueFull
+	}
+	if err := b.mem.Write(b.addr(q, qs.tail), cell); err != nil {
+		b.stalls++
+		return err
+	}
+	qs.tail++
+	b.enqueued++
+	return nil
+}
+
+// Dequeue issues the read for the head cell of queue q and advances the
+// head pointer. The cell arrives as a completion exactly D cycles later;
+// Route attributes it.
+func (b *Buffer) Dequeue(q int) (tag uint64, err error) {
+	qs := &b.qs[q]
+	if qs.tail == qs.head {
+		return 0, ErrQueueEmpty
+	}
+	tag, err = b.mem.Read(b.addr(q, qs.head))
+	if err != nil {
+		b.stalls++
+		return 0, err
+	}
+	qs.head++
+	b.dequeued++
+	b.reading[tag] = q
+	return tag, nil
+}
+
+// Route matches a completion from the memory to the queue whose cell it
+// carries; ok is false for completions that did not come from Dequeue.
+func (b *Buffer) Route(tag uint64) (queue int, ok bool) {
+	q, ok := b.reading[tag]
+	if ok {
+		delete(b.reading, tag)
+	}
+	return q, ok
+}
+
+// Stats reports operation counts.
+func (b *Buffer) Stats() (enqueued, dequeued, stalls uint64) {
+	return b.enqueued, b.dequeued, b.stalls
+}
+
+// PointerSRAMBytes is the per-queue SRAM state of the paper's Table 3
+// row: 320 KB for 4096 interfaces, i.e. 80 bytes of head/tail pointers
+// and queue bookkeeping per interface — against the megabytes of
+// head/tail *packet cache* the RADS/CFDS schemes keep.
+func PointerSRAMBytes(queues int) int { return queues * 80 }
+
+// RequestsPerSecond returns the memory request rate needed to sustain a
+// full-duplex line rate with the given cell size: one write per arriving
+// cell plus one read per departing cell.
+func RequestsPerSecond(lineRateGbps float64, cellBytes int) float64 {
+	cellsPerSec := lineRateGbps * 1e9 / 8 / float64(cellBytes)
+	return 2 * cellsPerSec
+}
+
+// SupportsLineRate reports whether a VPNM controller clocked at
+// clockGHz (one request per cycle) sustains the line rate. At 1 GHz and
+// 64-byte cells, OC-3072's 160 gbps needs 0.625 requests/cycle — inside
+// the budget, which is how Table 3's 160 gbps entry arises.
+func SupportsLineRate(lineRateGbps, clockGHz float64, cellBytes int) bool {
+	return RequestsPerSecond(lineRateGbps, cellBytes) <= clockGHz*1e9
+}
+
+// BufferSizeBytes is the industry sizing rule the paper quotes: a
+// router buffers 2*R*T, where R is the line rate and T the Internet
+// round-trip time. At 160 gbps and T=0.2 s this is 8 GB; the paper's
+// quoted "4 GB" corresponds to R*T (or a 0.1 s RTT) — either way, a
+// size only DRAM density can hold, which is why the whole problem
+// exists.
+func BufferSizeBytes(lineRateGbps, rttSeconds float64) float64 {
+	return 2 * lineRateGbps * 1e9 / 8 * rttSeconds
+}

@@ -1,0 +1,69 @@
+package queue
+
+import "fmt"
+
+// DelayBuffer is the circular delay buffer of Section 4.1: a structure
+// that is written once and read once on every cycle irrespective of the
+// input, and that returns each written entry exactly D cycles after it
+// was written. The hardware splits it into two single-ported sets with
+// in/out pointers to save power; functionally it is a ring of D slots
+// with a single rotating pointer, which is what we model. Each slot
+// carries a valid bit (cycles with no incoming read request write an
+// invalid slot) and a payload T — in the bank controller the payload is
+// just a delay-storage-buffer row id, which is what keeps this structure
+// two to three orders of magnitude smaller than buffering the data
+// words themselves.
+type DelayBuffer[T any] struct {
+	slots []slot[T]
+	ptr   int
+	steps uint64
+}
+
+type slot[T any] struct {
+	valid   bool
+	payload T
+}
+
+// NewDelayBuffer returns a delay buffer with latency d cycles: an entry
+// written by Step is returned by the Step d calls later.
+func NewDelayBuffer[T any](d int) *DelayBuffer[T] {
+	if d <= 0 {
+		panic(fmt.Sprintf("queue: delay buffer latency must be positive, got %d", d))
+	}
+	return &DelayBuffer[T]{slots: make([]slot[T], d)}
+}
+
+// Delay reports the fixed latency in steps.
+func (b *DelayBuffer[T]) Delay() int { return len(b.slots) }
+
+// Step advances the buffer by one cycle: it returns the entry written
+// Delay() steps ago (invalid during the first Delay() steps) and records
+// in its place the entry for the current cycle. Callers pass valid=false
+// on cycles with no incoming read request, exactly as the control logic
+// "invalidates the current entry" in the paper.
+func (b *DelayBuffer[T]) Step(in T, valid bool) (out T, outValid bool) {
+	s := &b.slots[b.ptr]
+	out, outValid = s.payload, s.valid
+	s.payload, s.valid = in, valid
+	b.ptr++
+	if b.ptr == len(b.slots) {
+		b.ptr = 0
+	}
+	b.steps++
+	return out, outValid
+}
+
+// Pending reports how many valid entries are currently in flight. It is
+// an O(D) scan intended for assertions and statistics, not the hot path.
+func (b *DelayBuffer[T]) Pending() int {
+	n := 0
+	for i := range b.slots {
+		if b.slots[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Steps reports how many times Step has been called.
+func (b *DelayBuffer[T]) Steps() uint64 { return b.steps }

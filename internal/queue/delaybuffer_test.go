@@ -1,0 +1,115 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDelayBufferExactLatency(t *testing.T) {
+	for _, d := range []int{1, 2, 7, 64} {
+		b := NewDelayBuffer[int](d)
+		if b.Delay() != d {
+			t.Fatalf("Delay() = %d want %d", b.Delay(), d)
+		}
+		// Write step numbers for 5*d steps; each must emerge exactly d later.
+		for step := 0; step < 5*d; step++ {
+			out, ok := b.Step(step, true)
+			if step < d {
+				if ok {
+					t.Fatalf("d=%d: step %d returned valid entry %d before warm-up", d, step, out)
+				}
+				continue
+			}
+			if !ok || out != step-d {
+				t.Fatalf("d=%d: step %d returned %d,%v want %d,true", d, step, out, ok, step-d)
+			}
+		}
+	}
+}
+
+func TestDelayBufferInvalidSlots(t *testing.T) {
+	d := 4
+	b := NewDelayBuffer[string](d)
+	// Valid entry only every third step.
+	var got []string
+	for step := 0; step < 30; step++ {
+		in := ""
+		valid := step%3 == 0
+		if valid {
+			in = "v"
+		}
+		out, ok := b.Step(in, valid)
+		if ok {
+			got = append(got, out)
+			// Validity must follow the same 1-in-3 cadence shifted by d.
+			if (step-d)%3 != 0 {
+				t.Fatalf("step %d: unexpected valid output", step)
+			}
+		}
+	}
+	if len(got) != (30-d+2)/3 {
+		t.Fatalf("valid outputs = %d want %d", len(got), (30-d+2)/3)
+	}
+}
+
+func TestDelayBufferPendingCount(t *testing.T) {
+	b := NewDelayBuffer[int](10)
+	for i := 0; i < 5; i++ {
+		b.Step(i, true)
+	}
+	if got := b.Pending(); got != 5 {
+		t.Fatalf("Pending = %d want 5", got)
+	}
+	for i := 0; i < 5; i++ {
+		b.Step(0, false)
+	}
+	if got := b.Pending(); got != 5 {
+		t.Fatalf("Pending after invalid writes = %d want 5 (entries not yet due)", got)
+	}
+	for i := 0; i < 5; i++ {
+		b.Step(0, false)
+	}
+	if got := b.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d want 0", got)
+	}
+	if b.Steps() != 15 {
+		t.Fatalf("Steps = %d want 15", b.Steps())
+	}
+}
+
+func TestDelayBufferPanicsOnBadLatency(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDelayBuffer(0) should panic")
+		}
+	}()
+	NewDelayBuffer[int](0)
+}
+
+// Property: for any latency and any validity pattern, output at step s
+// equals input at step s-d with the same validity.
+func TestDelayBufferProperty(t *testing.T) {
+	f := func(dRaw uint8, pattern []bool) bool {
+		d := int(dRaw%32) + 1
+		b := NewDelayBuffer[int](d)
+		for step, valid := range pattern {
+			out, ok := b.Step(step, valid)
+			if step < d {
+				if ok {
+					return false
+				}
+				continue
+			}
+			if ok != pattern[step-d] {
+				return false
+			}
+			if ok && out != step-d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Package queue provides the small fixed-capacity queue structures used
+// throughout the VPNM bank controller: a bounded ring FIFO (the bank
+// access queue and the write buffer are both instances of it) and the
+// two-set circular delay buffer described in Section 4.1 of the paper.
+package queue
+
+import "fmt"
+
+// Ring is a bounded FIFO ring buffer with a fixed capacity chosen at
+// construction time. The zero value is not usable; call NewRing.
+//
+// Ring is generic so the same structure backs the bank access queue
+// (entries are row ids plus a read/write bit) and the write buffer
+// (entries are address/data pairs), mirroring the hardware where both
+// are small SRAM FIFOs.
+type Ring[T any] struct {
+	buf   []T
+	head  int // index of the oldest element
+	count int
+}
+
+// NewRing returns an empty ring that can hold up to capacity elements.
+// It panics if capacity is not positive: a zero-capacity hardware FIFO
+// is a configuration error, not a runtime condition.
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queue: ring capacity must be positive, got %d", capacity))
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Len reports the number of queued elements.
+func (r *Ring[T]) Len() int { return r.count }
+
+// Cap reports the fixed capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Full reports whether a Push would fail.
+func (r *Ring[T]) Full() bool { return r.count == len(r.buf) }
+
+// Empty reports whether a Pop would fail.
+func (r *Ring[T]) Empty() bool { return r.count == 0 }
+
+// Push appends v to the tail. It reports false (and queues nothing) when
+// the ring is full; in the controller this is exactly a stall condition.
+func (r *Ring[T]) Push(v T) bool {
+	if r.Full() {
+		return false
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = v
+	r.count++
+	return true
+}
+
+// Pop removes and returns the oldest element. ok is false when empty.
+func (r *Ring[T]) Pop() (v T, ok bool) {
+	if r.count == 0 {
+		return v, false
+	}
+	var zero T
+	v = r.buf[r.head]
+	r.buf[r.head] = zero // release references for GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (r *Ring[T]) Peek() (v T, ok bool) {
+	if r.count == 0 {
+		return v, false
+	}
+	return r.buf[r.head], true
+}
+
+// At returns the i-th queued element counting from the head (0 = oldest).
+// It panics when i is out of range, as hardware index decoders would
+// never be driven out of range.
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.count {
+		panic(fmt.Sprintf("queue: ring index %d out of range [0,%d)", i, r.count))
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// Reset empties the ring without reallocating.
+func (r *Ring[T]) Reset() {
+	var zero T
+	for i := range r.buf {
+		r.buf[i] = zero
+	}
+	r.head, r.count = 0, 0
+}

@@ -1,0 +1,158 @@
+package queue
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing[int](3)
+	if !r.Empty() || r.Full() || r.Len() != 0 || r.Cap() != 3 {
+		t.Fatalf("fresh ring state: len=%d cap=%d empty=%v full=%v", r.Len(), r.Cap(), r.Empty(), r.Full())
+	}
+	for i := 1; i <= 3; i++ {
+		if !r.Push(i) {
+			t.Fatalf("Push(%d) failed on non-full ring", i)
+		}
+	}
+	if !r.Full() {
+		t.Fatal("ring with Cap pushes should be full")
+	}
+	if r.Push(4) {
+		t.Fatal("Push on full ring should fail")
+	}
+	for i := 1; i <= 3; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop on empty ring should fail")
+	}
+}
+
+func TestRingPeekAndAt(t *testing.T) {
+	r := NewRing[string](4)
+	if _, ok := r.Peek(); ok {
+		t.Fatal("Peek on empty ring should fail")
+	}
+	r.Push("a")
+	r.Push("b")
+	r.Push("c")
+	if v, ok := r.Peek(); !ok || v != "a" {
+		t.Fatalf("Peek = %q,%v want a,true", v, ok)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Peek must not consume; len=%d", r.Len())
+	}
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		if got := r.At(i); got != w {
+			t.Errorf("At(%d) = %q want %q", i, got, w)
+		}
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := NewRing[int](2)
+	for i := 0; i < 100; i++ {
+		if !r.Push(i) {
+			t.Fatalf("push %d", i)
+		}
+		if !r.Push(i + 1000) {
+			t.Fatalf("push %d", i+1000)
+		}
+		if v, _ := r.Pop(); v != i {
+			t.Fatalf("pop = %d want %d", v, i)
+		}
+		if v, _ := r.Pop(); v != i+1000 {
+			t.Fatalf("pop = %d want %d", v, i+1000)
+		}
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing[int](4)
+	r.Push(1)
+	r.Push(2)
+	r.Reset()
+	if !r.Empty() {
+		t.Fatal("Reset should empty the ring")
+	}
+	r.Push(7)
+	if v, ok := r.Pop(); !ok || v != 7 {
+		t.Fatalf("after Reset Pop = %d,%v want 7,true", v, ok)
+	}
+}
+
+func TestRingPanicsOnBadCapacity(t *testing.T) {
+	for _, c := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRing(%d) should panic", c)
+				}
+			}()
+			NewRing[int](c)
+		}()
+	}
+}
+
+func TestRingAtPanicsOutOfRange(t *testing.T) {
+	r := NewRing[int](2)
+	r.Push(1)
+	for _, i := range []int{-1, 1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) should panic with len 1", i)
+				}
+			}()
+			r.At(i)
+		}()
+	}
+}
+
+// TestRingFIFOProperty drives a ring against a reference slice queue
+// with random push/pop sequences and checks they always agree.
+func TestRingFIFOProperty(t *testing.T) {
+	f := func(capRaw uint8, seed uint64, opsRaw uint16) bool {
+		capacity := int(capRaw%16) + 1
+		ops := int(opsRaw % 512)
+		rng := rand.New(rand.NewPCG(seed, 42))
+		r := NewRing[uint64](capacity)
+		var ref []uint64
+		for i := 0; i < ops; i++ {
+			if rng.IntN(2) == 0 {
+				v := rng.Uint64()
+				pushed := r.Push(v)
+				if pushed != (len(ref) < capacity) {
+					return false
+				}
+				if pushed {
+					ref = append(ref, v)
+				}
+			} else {
+				v, ok := r.Pop()
+				if ok != (len(ref) > 0) {
+					return false
+				}
+				if ok {
+					if v != ref[0] {
+						return false
+					}
+					ref = ref[1:]
+				}
+			}
+			if r.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

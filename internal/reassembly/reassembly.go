@@ -1,0 +1,301 @@
+// Package reassembly implements the TCP packet reassembly application
+// of Section 5.4.2 on top of the virtually pipelined memory. Content
+// inspection engines must scan packets in sequence order, but an
+// attacker can craft out-of-order TCP segments that split a signature
+// across a reordering boundary; reassembling first defeats that. The
+// robust reassembly data structures of Dharmapurikar and Paxson are
+// memory bound and have no known bank-safe layout — which is exactly
+// the situation VPNM exists for: the structures are simply placed in
+// memory and the controller absorbs the access pattern.
+//
+// Per 64-byte chunk of payload the paper counts five DRAM accesses:
+// read the connection record, read the hole-buffer structure, write the
+// updated hole buffer, write the chunk, and (once the chunk becomes
+// in-order) read it back for scanning. A controller that accepts one
+// request per cycle therefore sustains clock/5 chunks per second —
+// 40 gbps of scanned payload at 400 MHz.
+package reassembly
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// ChunkBytes is the data granularity (one 64-byte cell, as in CFDS).
+const ChunkBytes = 64
+
+// AccessesPerChunk is the paper's DRAM access count per chunk.
+const AccessesPerChunk = 5
+
+// ErrMisaligned reports a segment whose sequence number is not
+// chunk-aligned or whose length is not a whole number of chunks.
+var ErrMisaligned = errors.New("reassembly: segment not chunk-aligned")
+
+// Config sizes the reassembler's address map.
+type Config struct {
+	// MaxConns bounds the connection table.
+	MaxConns uint64
+	// MaxChunksPerConn bounds each connection's payload window.
+	MaxChunksPerConn uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns == 0 {
+		c.MaxConns = 1 << 16
+	}
+	if c.MaxChunksPerConn == 0 {
+		c.MaxChunksPerConn = 1 << 20
+	}
+	return c
+}
+
+// Reassembler reorders TCP segments into per-connection byte streams.
+// Metadata (connection records, hole lists) and payload all live in the
+// virtually pipelined memory; the Go-side maps mirror the metadata the
+// way on-chip forwarding registers would, so that decisions need not
+// wait D cycles on a dependent read — the memory traffic is still
+// issued, which is what the throughput accounting measures.
+type Reassembler struct {
+	mem   sim.Memory
+	cfg   Config
+	conns map[uint64]*connState
+	// ops is the queue of memory operations awaiting their interface
+	// cycle; one is issued per Tick.
+	ops []memOp
+	// inflight maps read tags to their purpose.
+	inflight map[uint64]readPurpose
+
+	chunksSubmitted, duplicateChunks uint64
+	accessesIssued                   uint64
+	stallRetries                     uint64
+}
+
+type connState struct {
+	next      uint64              // next expected chunk index
+	buffered  map[uint64]struct{} // out-of-order chunks resident in memory
+	delivered []byte              // in-order payload read back for scanning
+	pending   map[uint64]struct{} // chunk reads issued, awaiting completion
+}
+
+type memOp struct {
+	isWrite bool
+	addr    uint64
+	data    []byte
+	purpose readPurpose
+}
+
+type readPurpose struct {
+	kind  opKind
+	conn  uint64
+	chunk uint64
+}
+
+type opKind int
+
+const (
+	opConnRecord opKind = iota
+	opHoleRead
+	opHoleWrite
+	opChunkWrite
+	opChunkRead
+)
+
+// New builds a reassembler over mem. The memory's word size must be at
+// least ChunkBytes.
+func New(mem sim.Memory, cfg Config) *Reassembler {
+	return &Reassembler{
+		mem:      mem,
+		cfg:      cfg.withDefaults(),
+		conns:    make(map[uint64]*connState),
+		inflight: make(map[uint64]readPurpose),
+	}
+}
+
+// Address map: three disjoint regions keyed by connection.
+func (r *Reassembler) connRecordAddr(conn uint64) uint64 {
+	return conn % r.cfg.MaxConns
+}
+func (r *Reassembler) holeAddr(conn uint64) uint64 {
+	return r.cfg.MaxConns + conn%r.cfg.MaxConns
+}
+func (r *Reassembler) chunkAddr(conn, chunk uint64) uint64 {
+	base := 2 * r.cfg.MaxConns
+	return base + (conn%r.cfg.MaxConns)*r.cfg.MaxChunksPerConn + chunk%r.cfg.MaxChunksPerConn
+}
+
+func (r *Reassembler) conn(id uint64) *connState {
+	c, ok := r.conns[id]
+	if !ok {
+		c = &connState{
+			buffered: make(map[uint64]struct{}),
+			pending:  make(map[uint64]struct{}),
+		}
+		r.conns[id] = c
+	}
+	return c
+}
+
+// Submit accepts one TCP segment: connection id, byte sequence number
+// (chunk aligned) and payload (whole chunks). It enqueues the paper's
+// per-chunk memory operations; Tick drains them at one per cycle.
+func (r *Reassembler) Submit(conn uint64, seq uint64, payload []byte) error {
+	if seq%ChunkBytes != 0 || len(payload)%ChunkBytes != 0 || len(payload) == 0 {
+		return fmt.Errorf("%w: seq=%d len=%d", ErrMisaligned, seq, len(payload))
+	}
+	c := r.conn(conn)
+	for off := 0; off < len(payload); off += ChunkBytes {
+		chunk := seq/ChunkBytes + uint64(off/ChunkBytes)
+		data := payload[off : off+ChunkBytes]
+		r.chunksSubmitted++
+		// The paper's first two accesses: connection record read and
+		// hole-buffer read.
+		r.push(memOp{purpose: readPurpose{kind: opConnRecord, conn: conn}, addr: r.connRecordAddr(conn)})
+		r.push(memOp{purpose: readPurpose{kind: opHoleRead, conn: conn}, addr: r.holeAddr(conn)})
+		if chunk < c.next || inSet(c.buffered, chunk) {
+			// Duplicate or already-buffered retransmission: the hole
+			// buffer is rewritten unchanged — the accesses were still
+			// spent discovering the duplicate.
+			r.duplicateChunks++
+			r.push(memOp{isWrite: true, addr: r.holeAddr(conn), data: r.encodeHoleRecord(c)})
+			continue
+		}
+		c.buffered[chunk] = struct{}{}
+		var newlyInOrder []uint64
+		for inSet(c.buffered, c.next) {
+			newlyInOrder = append(newlyInOrder, c.next)
+			delete(c.buffered, c.next)
+			c.next++
+		}
+		// Third and fourth accesses: the *updated* hole buffer goes back
+		// to memory, then the chunk payload is written.
+		r.push(memOp{isWrite: true, addr: r.holeAddr(conn), data: r.encodeHoleRecord(c)})
+		r.push(memOp{isWrite: true, addr: r.chunkAddr(conn, chunk), data: append([]byte(nil), data...), purpose: readPurpose{kind: opChunkWrite, conn: conn, chunk: chunk}})
+		// Fifth access, for each chunk that just became in-order: read
+		// it back for scanning. The per-bank FIFO guarantees the read of
+		// this cycle's chunk sees the write queued just above.
+		for _, ch := range newlyInOrder {
+			c.pending[ch] = struct{}{}
+			r.push(memOp{purpose: readPurpose{kind: opChunkRead, conn: conn, chunk: ch}, addr: r.chunkAddr(conn, ch)})
+		}
+	}
+	return nil
+}
+
+func inSet(s map[uint64]struct{}, k uint64) bool { _, ok := s[k]; return ok }
+
+// encodeHoleRecord serializes the hole list head the way the hardware
+// would pack it into one word: the next-expected chunk plus the first
+// few out-of-order chunk indices.
+func (r *Reassembler) encodeHoleRecord(c *connState) []byte {
+	buf := make([]byte, ChunkBytes)
+	putUint64(buf[0:], c.next)
+	keys := make([]uint64, 0, len(c.buffered))
+	for k := range c.buffered {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i, k := range keys {
+		if 8+8*(i+1) > len(buf) {
+			break
+		}
+		putUint64(buf[8+8*i:], k)
+	}
+	return buf
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func (r *Reassembler) push(op memOp) { r.ops = append(r.ops, op) }
+
+// PendingOps reports queued memory operations not yet issued.
+func (r *Reassembler) PendingOps() int { return len(r.ops) }
+
+// Tick issues at most one queued memory operation (retrying stalls) and
+// advances the memory one interface cycle, routing completions.
+func (r *Reassembler) Tick() {
+	if len(r.ops) > 0 {
+		op := r.ops[0]
+		var err error
+		var tag uint64
+		if op.isWrite {
+			err = r.mem.Write(op.addr, op.data)
+		} else {
+			tag, err = r.mem.Read(op.addr)
+		}
+		if err == nil {
+			if !op.isWrite {
+				r.inflight[tag] = op.purpose
+			}
+			r.accessesIssued++
+			r.ops = r.ops[1:]
+		} else {
+			r.stallRetries++
+		}
+	}
+	for _, comp := range r.mem.Tick() {
+		p, ok := r.inflight[comp.Tag]
+		if !ok {
+			continue
+		}
+		delete(r.inflight, comp.Tag)
+		if p.kind != opChunkRead {
+			continue // metadata reads feed the (mirrored) control path
+		}
+		c := r.conn(p.conn)
+		if _, pending := c.pending[p.chunk]; !pending {
+			continue
+		}
+		delete(c.pending, p.chunk)
+		c.delivered = append(c.delivered, comp.Data[:ChunkBytes]...)
+	}
+}
+
+// Drain ticks until every queued operation has issued and every chunk
+// read has completed, up to the given cycle budget. It reports whether
+// it finished.
+func (r *Reassembler) Drain(maxCycles int) bool {
+	for i := 0; i < maxCycles; i++ {
+		if len(r.ops) == 0 && len(r.inflight) == 0 {
+			return true
+		}
+		r.Tick()
+	}
+	return len(r.ops) == 0 && len(r.inflight) == 0
+}
+
+// InOrder returns the contiguous scanned byte stream recovered for a
+// connection so far.
+func (r *Reassembler) InOrder(conn uint64) []byte {
+	c, ok := r.conns[conn]
+	if !ok {
+		return nil
+	}
+	return c.delivered
+}
+
+// Stats reports chunk and access counters; AccessesPerChunkMeasured is
+// the empirical analogue of the paper's count of five.
+func (r *Reassembler) Stats() (chunks, duplicates, accesses, retries uint64) {
+	return r.chunksSubmitted, r.duplicateChunks, r.accessesIssued, r.stallRetries
+}
+
+// ThroughputGbps is the paper's headline computation: a controller
+// accepting one request per cycle at clockMHz sustains clock/5 chunks
+// per second of 64-byte payload — (400 MHz / 5) * 64 B = 40.96 gbps,
+// "more than enough to feed current generation content inspection
+// engines".
+func ThroughputGbps(clockMHz float64) float64 {
+	return clockMHz * 1e6 / AccessesPerChunk * ChunkBytes * 8 / 1e9
+}
+
+// StagingSRAMBytes is the extra staging FIFO the paper budgets: each
+// packet is held for three memory delays (3*D cycles) before its fate
+// is known, needing 3*D cell slots — 72 KB for the paper's D of 384.
+func StagingSRAMBytes(d int) int { return 3 * d * ChunkBytes }

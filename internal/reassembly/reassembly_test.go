@@ -1,0 +1,173 @@
+package reassembly
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func newMem(t *testing.T) *core.Controller {
+	t.Helper()
+	c, err := core.New(core.Config{Banks: 8, QueueDepth: 8, DelayRows: 32, WordBytes: 64, HashSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// stream builds n chunks of recognizable payload.
+func stream(n int, seed byte) []byte {
+	out := make([]byte, n*ChunkBytes)
+	for i := range out {
+		out[i] = seed + byte(i/ChunkBytes) + byte(i)
+	}
+	return out
+}
+
+func TestInOrderSegments(t *testing.T) {
+	r := New(newMem(t), Config{})
+	want := stream(8, 1)
+	for i := 0; i < 8; i++ {
+		if err := r.Submit(1, uint64(i*ChunkBytes), want[i*ChunkBytes:(i+1)*ChunkBytes]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.Drain(1_000_000) {
+		t.Fatal("drain did not finish")
+	}
+	if got := r.InOrder(1); !bytes.Equal(got, want) {
+		t.Fatalf("reassembled %d bytes, mismatch (want %d)", len(got), len(want))
+	}
+}
+
+func TestOutOfOrderSegments(t *testing.T) {
+	r := New(newMem(t), Config{})
+	const n = 32
+	want := stream(n, 3)
+	order := rand.New(rand.NewPCG(7, 8)).Perm(n)
+	for _, i := range order {
+		if err := r.Submit(5, uint64(i*ChunkBytes), want[i*ChunkBytes:(i+1)*ChunkBytes]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.Drain(2_000_000) {
+		t.Fatal("drain did not finish")
+	}
+	if got := r.InOrder(5); !bytes.Equal(got, want) {
+		t.Fatalf("out-of-order reassembly failed: got %d bytes", len(got))
+	}
+}
+
+func TestMultiChunkSegments(t *testing.T) {
+	r := New(newMem(t), Config{})
+	want := stream(12, 5)
+	// Deliver as segments of 4, 4 and 4 chunks, middle one last.
+	seg := func(from, to int) []byte { return want[from*ChunkBytes : to*ChunkBytes] }
+	if err := r.Submit(2, 0, seg(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(2, 8*ChunkBytes, seg(8, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(2, 4*ChunkBytes, seg(4, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Drain(2_000_000) {
+		t.Fatal("drain did not finish")
+	}
+	if got := r.InOrder(2); !bytes.Equal(got, want) {
+		t.Fatal("multi-chunk segments misassembled")
+	}
+}
+
+func TestDuplicatesIgnoredButCounted(t *testing.T) {
+	r := New(newMem(t), Config{})
+	want := stream(4, 9)
+	for i := 0; i < 4; i++ {
+		r.Submit(3, uint64(i*ChunkBytes), want[i*ChunkBytes:(i+1)*ChunkBytes])
+	}
+	// Retransmit everything.
+	for i := 0; i < 4; i++ {
+		r.Submit(3, uint64(i*ChunkBytes), want[i*ChunkBytes:(i+1)*ChunkBytes])
+	}
+	if !r.Drain(2_000_000) {
+		t.Fatal("drain did not finish")
+	}
+	if got := r.InOrder(3); !bytes.Equal(got, want) {
+		t.Fatal("duplicates corrupted the stream")
+	}
+	chunks, dups, _, _ := r.Stats()
+	if chunks != 8 || dups != 4 {
+		t.Fatalf("chunks=%d dups=%d want 8/4", chunks, dups)
+	}
+}
+
+func TestAccessesPerChunkIsFive(t *testing.T) {
+	r := New(newMem(t), Config{})
+	const n = 64
+	want := stream(n, 2)
+	for i := 0; i < n; i++ {
+		r.Submit(7, uint64(i*ChunkBytes), want[i*ChunkBytes:(i+1)*ChunkBytes])
+	}
+	if !r.Drain(5_000_000) {
+		t.Fatal("drain did not finish")
+	}
+	_, _, accesses, _ := r.Stats()
+	perChunk := float64(accesses) / n
+	if math.Abs(perChunk-AccessesPerChunk) > 0.01 {
+		t.Fatalf("accesses per chunk = %.2f, paper counts 5", perChunk)
+	}
+}
+
+func TestIndependentConnections(t *testing.T) {
+	r := New(newMem(t), Config{})
+	a := stream(6, 11)
+	b := stream(6, 22)
+	for i := 0; i < 6; i++ {
+		r.Submit(100, uint64(i*ChunkBytes), a[i*ChunkBytes:(i+1)*ChunkBytes])
+		r.Submit(200, uint64((5-i)*ChunkBytes), b[(5-i)*ChunkBytes:(6-i)*ChunkBytes])
+	}
+	if !r.Drain(2_000_000) {
+		t.Fatal("drain did not finish")
+	}
+	if !bytes.Equal(r.InOrder(100), a) {
+		t.Fatal("connection 100 corrupted")
+	}
+	if !bytes.Equal(r.InOrder(200), b) {
+		t.Fatal("connection 200 corrupted")
+	}
+	if r.InOrder(999) != nil {
+		t.Fatal("unknown connection should return nil")
+	}
+}
+
+func TestMisalignedSegmentsRejected(t *testing.T) {
+	r := New(newMem(t), Config{})
+	if err := r.Submit(1, 3, make([]byte, ChunkBytes)); err == nil {
+		t.Error("misaligned seq accepted")
+	}
+	if err := r.Submit(1, 0, make([]byte, 10)); err == nil {
+		t.Error("partial chunk accepted")
+	}
+	if err := r.Submit(1, 0, nil); err == nil {
+		t.Error("empty segment accepted")
+	}
+}
+
+func TestThroughputMatchesPaper(t *testing.T) {
+	// "(400 MHz / 5) * 64 bytes/sec = 40 Gbps" with 400 MHz RDRAM.
+	got := ThroughputGbps(400)
+	if math.Abs(got-40.96) > 0.01 {
+		t.Fatalf("throughput = %.2f gbps want 40.96 (paper rounds to 40)", got)
+	}
+}
+
+func TestStagingSRAMMatchesPaper(t *testing.T) {
+	// "requires 72 Kbytes of SRAM" for a 3*D staging FIFO.
+	if got := StagingSRAMBytes(384); got != 72<<10 {
+		t.Fatalf("staging SRAM = %d want 72KB", got)
+	}
+}

@@ -1,0 +1,177 @@
+// Package sim drives any cycle-accurate memory controller — the VPNM
+// controller or one of the baselines — with a workload generator and
+// collects throughput and latency statistics. It is the harness behind
+// the adversarial experiments and the simulation-vs-math validation.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Memory is the cycle-level controller interface shared by
+// core.Controller and the baselines: at most one request per interface
+// cycle, explicit clocking, read completions carrying their issue and
+// delivery cycles.
+type Memory interface {
+	Read(addr uint64) (tag uint64, err error)
+	Write(addr uint64, data []byte) error
+	Tick() []core.Completion
+}
+
+// StallPolicy says what the driver does when the controller refuses a
+// request — the paper's two options for handling a stall.
+type StallPolicy int
+
+const (
+	// Retry holds the request and re-presents it next cycle, stalling
+	// the source ("simply stall the controller").
+	Retry StallPolicy = iota
+	// Drop abandons the request ("simply drop the packet").
+	Drop
+)
+
+// Options configures a run.
+type Options struct {
+	// Cycles is the number of interface cycles to simulate.
+	Cycles int
+	// Policy selects stall handling. The zero value is Retry.
+	Policy StallPolicy
+	// Drain, when true, keeps ticking after the last cycle until all
+	// outstanding reads have completed (requires the Memory to also
+	// implement interface{ Outstanding() uint64 }).
+	Drain bool
+}
+
+// Result aggregates a run.
+type Result struct {
+	Cycles      uint64
+	Reads       uint64
+	Writes      uint64
+	Stalls      uint64 // refused issue attempts
+	Drops       uint64 // requests abandoned under Drop
+	Completions uint64
+
+	// Latency of completed reads in interface cycles.
+	LatMin, LatMax uint64
+	latMean, latM2 float64 // Welford accumulators
+
+	// DistinctLatencies counts how many different read latencies were
+	// observed: 1 means the memory behaved as a perfect pipeline.
+	DistinctLatencies int
+	latSeen           map[uint64]struct{}
+}
+
+// LatMean returns the mean read latency.
+func (r *Result) LatMean() float64 { return r.latMean }
+
+// LatStdDev returns the standard deviation of read latency; 0 for a
+// deterministic pipeline.
+func (r *Result) LatStdDev() float64 {
+	if r.Completions < 2 {
+		return 0
+	}
+	return math.Sqrt(r.latM2 / float64(r.Completions))
+}
+
+// Throughput returns accepted requests per interface cycle.
+func (r *Result) Throughput() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Reads+r.Writes) / float64(r.Cycles)
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("cycles=%d reads=%d writes=%d stalls=%d drops=%d completions=%d throughput=%.3f lat[min=%d max=%d mean=%.1f sd=%.2f distinct=%d]",
+		r.Cycles, r.Reads, r.Writes, r.Stalls, r.Drops, r.Completions,
+		r.Throughput(), r.LatMin, r.LatMax, r.latMean, r.LatStdDev(), r.DistinctLatencies)
+}
+
+func (r *Result) observe(c core.Completion) {
+	lat := c.DeliveredAt - c.IssuedAt
+	if r.Completions == 0 || lat < r.LatMin {
+		r.LatMin = lat
+	}
+	if lat > r.LatMax {
+		r.LatMax = lat
+	}
+	r.Completions++
+	// Welford's online mean/variance.
+	delta := float64(lat) - r.latMean
+	r.latMean += delta / float64(r.Completions)
+	r.latM2 += delta * (float64(lat) - r.latMean)
+	if _, ok := r.latSeen[lat]; !ok {
+		r.latSeen[lat] = struct{}{}
+		r.DistinctLatencies = len(r.latSeen)
+	}
+}
+
+// Run drives m with g under the given options.
+func Run(m Memory, g workload.Generator, opts Options) *Result {
+	res := &Result{latSeen: make(map[uint64]struct{})}
+	var held *workload.Op
+	var heldData []byte
+	for c := 0; c < opts.Cycles; c++ {
+		var op workload.Op
+		if held != nil {
+			op = *held
+			op.Data = heldData
+			held = nil
+		} else {
+			op = g.Next()
+			if op.Kind == workload.OpWrite {
+				heldData = append(heldData[:0], op.Data...)
+				op.Data = heldData
+			}
+		}
+		switch op.Kind {
+		case workload.OpIdle:
+			// nothing to issue
+		case workload.OpRead:
+			if _, err := m.Read(op.Addr); err == nil {
+				res.Reads++
+			} else {
+				res.Stalls++
+				if opts.Policy == Retry {
+					o := op
+					held = &o
+				} else {
+					res.Drops++
+				}
+			}
+		case workload.OpWrite:
+			if err := m.Write(op.Addr, op.Data); err == nil {
+				res.Writes++
+			} else {
+				res.Stalls++
+				if opts.Policy == Retry {
+					o := op
+					held = &o
+				} else {
+					res.Drops++
+				}
+			}
+		}
+		for _, comp := range m.Tick() {
+			res.observe(comp)
+		}
+		res.Cycles++
+	}
+	if opts.Drain {
+		type outstander interface{ Outstanding() uint64 }
+		if o, ok := m.(outstander); ok {
+			for o.Outstanding() > 0 {
+				for _, comp := range m.Tick() {
+					res.observe(comp)
+				}
+				res.Cycles++
+			}
+		}
+	}
+	return res
+}

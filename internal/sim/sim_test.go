@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func newVPNM(t *testing.T) *core.Controller {
+	t.Helper()
+	c, err := core.New(core.Config{Banks: 8, QueueDepth: 8, DelayRows: 32, WordBytes: 8, HashSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRunUniformOnVPNM(t *testing.T) {
+	c := newVPNM(t)
+	res := Run(c, workload.NewUniform(1, 1<<20, 1, 0.25, 8), Options{Cycles: 20000, Drain: true})
+	if res.Reads == 0 || res.Writes == 0 {
+		t.Fatalf("no traffic: %s", res)
+	}
+	if res.Completions != res.Reads {
+		t.Fatalf("completions %d != reads %d after drain", res.Completions, res.Reads)
+	}
+	if res.DistinctLatencies != 1 {
+		t.Fatalf("VPNM produced %d distinct latencies, want exactly 1", res.DistinctLatencies)
+	}
+	if res.LatStdDev() != 0 {
+		t.Fatalf("latency stddev %v want 0", res.LatStdDev())
+	}
+	if res.LatMin != uint64(c.Delay()) {
+		t.Fatalf("latency %d want D=%d", res.LatMin, c.Delay())
+	}
+}
+
+func TestRunFCFSHasLatencyVariance(t *testing.T) {
+	f, err := baseline.NewFCFS(baseline.FCFSConfig{Banks: 8, AccessLatency: 20, WordBytes: 8, QueueDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(f, workload.NewUniform(2, 1<<20, 1, 0, 8), Options{Cycles: 20000, Drain: true})
+	if res.DistinctLatencies < 2 {
+		t.Fatalf("conventional controller showed uniform latency (%d distinct)", res.DistinctLatencies)
+	}
+	if res.LatStdDev() == 0 {
+		t.Fatal("conventional controller stddev 0")
+	}
+}
+
+func TestRetryPolicyHoldsRequests(t *testing.T) {
+	// A single-bank flood with Retry: no drops, throughput capped by the
+	// bank service rate rather than the line rate.
+	c, err := core.New(core.Config{Banks: 4, QueueDepth: 2, DelayRows: 8, WordBytes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := workload.NewOracleAdversary(func(a uint64) int { return c.Bank(a) }, 0, 64)
+	res := Run(c, adv, Options{Cycles: 5000, Policy: Retry, Drain: true})
+	if res.Drops != 0 {
+		t.Fatalf("Retry dropped %d", res.Drops)
+	}
+	if res.Stalls == 0 {
+		t.Fatal("flood never stalled")
+	}
+	// Bank-limited service: one access per L memory cycles, R=1.3.
+	tp := res.Throughput()
+	if tp > 0.10 {
+		t.Fatalf("single-bank throughput %.3f should be bank-limited (~1/15)", tp)
+	}
+	if res.Completions != res.Reads {
+		t.Fatalf("drain incomplete: %d of %d", res.Completions, res.Reads)
+	}
+}
+
+func TestDropPolicyCountsDrops(t *testing.T) {
+	c, err := core.New(core.Config{Banks: 4, QueueDepth: 2, DelayRows: 8, WordBytes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := workload.NewOracleAdversary(func(a uint64) int { return c.Bank(a) }, 0, 64)
+	res := Run(c, adv, Options{Cycles: 5000, Policy: Drop, Drain: true})
+	if res.Drops == 0 {
+		t.Fatal("flood under Drop produced no drops")
+	}
+	if res.Drops != res.Stalls {
+		t.Fatalf("drops %d != stalls %d under Drop", res.Drops, res.Stalls)
+	}
+}
+
+func TestRunWithIdleWorkload(t *testing.T) {
+	c := newVPNM(t)
+	res := Run(c, workload.NewOnOff(workload.NewRepeat(9), 1, 9), Options{Cycles: 1000, Drain: true})
+	if got := res.Reads; got != 100 {
+		t.Fatalf("reads = %d want 100 (10%% duty)", got)
+	}
+	if res.Completions != 100 {
+		t.Fatalf("completions = %d", res.Completions)
+	}
+}
+
+func TestWriteRetryPreservesData(t *testing.T) {
+	// A held write must carry its payload across retries even though the
+	// generator's buffer is reused.
+	c, err := core.New(core.Config{Banks: 4, QueueDepth: 1, DelayRows: 4, WordBytes: 8, WriteBufferDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewUniform(3, 4, 1, 1, 8) // all writes, tiny space -> same banks collide
+	res := Run(c, g, Options{Cycles: 2000, Policy: Retry})
+	if res.Writes == 0 {
+		t.Fatal("no writes accepted")
+	}
+	if res.Drops != 0 {
+		t.Fatalf("retry dropped %d", res.Drops)
+	}
+}

@@ -1,0 +1,225 @@
+// Package trace records the controller's internal events and renders
+// Figure-1 style timelines: one row per request, showing the issue
+// point, the window during which the bank is actually accessed, the
+// waiting period that normalizes the latency, and the delivery exactly
+// D cycles after issue. The three scenarios of Figure 1 — typical
+// operation, short-cut (merged redundant) accesses, and a bank overload
+// stall — all become visible in this rendering.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// EventKind enumerates recorded events.
+type EventKind int
+
+const (
+	// EvRequest is an accepted interface request.
+	EvRequest EventKind = iota
+	// EvStall is a refused interface request.
+	EvStall
+	// EvIssue is a bank access starting on the memory bus.
+	EvIssue
+	// EvDataReady is a read access completing at the bank.
+	EvDataReady
+	// EvDeliver is a playback on the interface.
+	EvDeliver
+)
+
+// Event is one recorded controller event. Cycle is in the clock domain
+// of the event: interface cycles for EvRequest/EvStall/EvDeliver,
+// memory cycles for EvIssue/EvDataReady.
+type Event struct {
+	Kind    EventKind
+	Cycle   uint64
+	Bank    int
+	Addr    uint64
+	Tag     uint64
+	IsWrite bool
+	Merged  bool
+	Err     error
+}
+
+// Recorder implements core.Tracer by appending events.
+type Recorder struct {
+	Events []Event
+}
+
+var _ core.Tracer = (*Recorder)(nil)
+
+// OnRequest implements core.Tracer.
+func (r *Recorder) OnRequest(cycle uint64, bank int, isWrite, merged bool, addr, tag uint64) {
+	r.Events = append(r.Events, Event{Kind: EvRequest, Cycle: cycle, Bank: bank, IsWrite: isWrite, Merged: merged, Addr: addr, Tag: tag})
+}
+
+// OnStall implements core.Tracer.
+func (r *Recorder) OnStall(cycle uint64, bank int, addr uint64, err error) {
+	r.Events = append(r.Events, Event{Kind: EvStall, Cycle: cycle, Bank: bank, Addr: addr, Err: err})
+}
+
+// OnIssue implements core.Tracer.
+func (r *Recorder) OnIssue(memCycle uint64, bank int, isWrite bool, addr uint64) {
+	r.Events = append(r.Events, Event{Kind: EvIssue, Cycle: memCycle, Bank: bank, IsWrite: isWrite, Addr: addr})
+}
+
+// OnDataReady implements core.Tracer.
+func (r *Recorder) OnDataReady(memCycle uint64, bank int, addr uint64) {
+	r.Events = append(r.Events, Event{Kind: EvDataReady, Cycle: memCycle, Bank: bank, Addr: addr})
+}
+
+// OnDeliver implements core.Tracer.
+func (r *Recorder) OnDeliver(cycle uint64, bank int, addr, tag uint64) {
+	r.Events = append(r.Events, Event{Kind: EvDeliver, Cycle: cycle, Bank: bank, Addr: addr, Tag: tag})
+}
+
+// row is one assembled request lifetime.
+type row struct {
+	label     string
+	issuedAt  uint64
+	deliverAt uint64 // 0 until known
+	accStart  uint64 // interface-cycle domain; valid if hasAccess
+	accEnd    uint64
+	hasAccess bool
+	merged    bool
+	isWrite   bool
+	stall     bool
+}
+
+// Timeline assembles the recorded events into per-request rows and
+// renders them as ASCII art. ratioNum/ratioDen convert memory cycles to
+// interface cycles; scale is how many interface cycles one character
+// covers (>= 1).
+//
+// Legend: '|' issue, '#' bank access, '.' in the virtual pipeline,
+// 'D' delivery, 'w' write issue, 'X' stall.
+func (r *Recorder) Timeline(ratioNum, ratioDen, scale int) string {
+	if scale < 1 {
+		scale = 1
+	}
+	toIface := func(mem uint64) uint64 { return mem * uint64(ratioDen) / uint64(ratioNum) }
+
+	var rows []row
+	// reads[bank][addr] queues indices of rows awaiting an access span.
+	type key struct {
+		bank int
+		addr uint64
+	}
+	pendingAccess := map[key][]int{}
+	pendingDeliver := map[uint64]int{} // tag -> row index
+	for _, e := range r.Events {
+		switch e.Kind {
+		case EvRequest:
+			rw := "read "
+			if e.IsWrite {
+				rw = "write"
+			}
+			if e.Merged {
+				rw = "read*" // short-cut: served from an existing row
+			}
+			rows = append(rows, row{
+				label:    fmt.Sprintf("%s %#04x @%-4d", rw, e.Addr, e.Cycle),
+				issuedAt: e.Cycle,
+				merged:   e.Merged,
+				isWrite:  e.IsWrite,
+			})
+			idx := len(rows) - 1
+			if !e.Merged {
+				pendingAccess[key{e.Bank, e.Addr}] = append(pendingAccess[key{e.Bank, e.Addr}], idx)
+			}
+			if !e.IsWrite {
+				pendingDeliver[e.Tag] = idx
+			}
+		case EvStall:
+			rows = append(rows, row{
+				label:    fmt.Sprintf("STALL %#04x @%-4d", e.Addr, e.Cycle),
+				issuedAt: e.Cycle,
+				stall:    true,
+			})
+		case EvIssue:
+			k := key{e.Bank, e.Addr}
+			if q := pendingAccess[k]; len(q) > 0 {
+				rows[q[0]].accStart = toIface(e.Cycle)
+				rows[q[0]].hasAccess = true
+				if rows[q[0]].isWrite {
+					// Writes have no data-ready event; close the span now
+					// using the bank occupancy implied by the next event
+					// stream (rendered as a single-issue marker).
+					rows[q[0]].accEnd = rows[q[0]].accStart + 1
+					pendingAccess[k] = q[1:]
+				}
+			}
+		case EvDataReady:
+			k := key{e.Bank, e.Addr}
+			if q := pendingAccess[k]; len(q) > 0 {
+				rows[q[0]].accEnd = toIface(e.Cycle)
+				pendingAccess[k] = q[1:]
+			}
+		case EvDeliver:
+			if idx, ok := pendingDeliver[e.Tag]; ok {
+				rows[idx].deliverAt = e.Cycle
+				delete(pendingDeliver, e.Tag)
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return "(no events)\n"
+	}
+
+	// Establish the rendered span.
+	minC, maxC := rows[0].issuedAt, rows[0].issuedAt
+	for _, rw := range rows {
+		if rw.issuedAt < minC {
+			minC = rw.issuedAt
+		}
+		for _, c := range []uint64{rw.deliverAt, rw.accEnd} {
+			if c > maxC {
+				maxC = c
+			}
+		}
+	}
+	width := int(maxC-minC)/scale + 2
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles %d..%d, one column = %d interface cycle(s)\n", minC, maxC, scale)
+	col := func(c uint64) int { return int(c-minC) / scale }
+	for _, rw := range rows {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		set := func(i int, ch byte) {
+			if i >= 0 && i < width {
+				line[i] = ch
+			}
+		}
+		if rw.stall {
+			set(col(rw.issuedAt), 'X')
+			fmt.Fprintf(&b, "%-22s %s\n", rw.label, strings.TrimRight(string(line), " "))
+			continue
+		}
+		if rw.deliverAt > 0 {
+			for i := col(rw.issuedAt); i <= col(rw.deliverAt); i++ {
+				set(i, '.')
+			}
+		}
+		if rw.hasAccess {
+			for i := col(rw.accStart); i <= col(rw.accEnd) && rw.accEnd >= rw.accStart; i++ {
+				set(i, '#')
+			}
+		}
+		mark := byte('|')
+		if rw.isWrite {
+			mark = 'w'
+		}
+		set(col(rw.issuedAt), mark)
+		if rw.deliverAt > 0 {
+			set(col(rw.deliverAt), 'D')
+		}
+		fmt.Fprintf(&b, "%-22s %s\n", rw.label, strings.TrimRight(string(line), " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package workload
+
+import "fmt"
+
+// BankOracle reveals which bank an address maps to. The controller
+// exposes its mapping through exactly this shape (core.Controller.Bank)
+// for experiments that model a worst-case adversary who has somehow
+// learned the universal hash key.
+type BankOracle func(addr uint64) int
+
+// OracleAdversary issues reads that all land in one target bank. It is
+// the attacker the paper proves cannot exist in practice — the hash key
+// is secret and conflicts are invisible — but building it lets the
+// experiments measure exactly what such an attacker could do, and show
+// that the conventional (unhashed) controller collapses under the same
+// pressure while VPNM merely consumes its queues at the engineered rate.
+type OracleAdversary struct {
+	addrs []uint64
+	i     int
+}
+
+// NewOracleAdversary scans the address space for distinct addresses
+// mapping to targetBank under oracle and keeps count of them for
+// replay. It panics if the scan budget cannot find a single address,
+// which would mean the oracle is broken.
+func NewOracleAdversary(oracle BankOracle, targetBank, count int) *OracleAdversary {
+	if count < 1 {
+		panic(fmt.Sprintf("workload: adversary needs count >= 1, got %d", count))
+	}
+	addrs := make([]uint64, 0, count)
+	// A linear scan mirrors what an attacker with mapping knowledge
+	// would do: enumerate until enough colliding addresses are found.
+	for a := uint64(0); len(addrs) < count; a++ {
+		if oracle(a) == targetBank {
+			addrs = append(addrs, a)
+		}
+		if a > uint64(count)*1_000_000 {
+			panic("workload: oracle never returns the target bank")
+		}
+	}
+	return &OracleAdversary{addrs: addrs}
+}
+
+// Next implements Generator: distinct same-bank addresses, round-robin
+// so no merging is possible.
+func (o *OracleAdversary) Next() Op {
+	op := Op{Kind: OpRead, Addr: o.addrs[o.i]}
+	o.i++
+	if o.i == len(o.addrs) {
+		o.i = 0
+	}
+	return op
+}
+
+// BlindAdversary models an attacker without the hash key: it issues the
+// most damaging pattern available to it against a conventional
+// bank-interleaved memory — distinct addresses all congruent modulo the
+// bank count (a power-of-two stride). Against an identity mapping this
+// is a single-bank flood; against a universal hash it degenerates to
+// uniform traffic, which is the paper's security argument in one
+// experiment.
+type BlindAdversary struct {
+	next   uint64
+	stride uint64
+}
+
+// NewBlindAdversary targets residue class `residue` of a memory with
+// `banks` banks (the stride is the bank count).
+func NewBlindAdversary(banks int, residue uint64) *BlindAdversary {
+	if banks < 1 {
+		panic(fmt.Sprintf("workload: banks must be >= 1, got %d", banks))
+	}
+	return &BlindAdversary{next: residue, stride: uint64(banks)}
+}
+
+// Next implements Generator.
+func (b *BlindAdversary) Next() Op {
+	op := Op{Kind: OpRead, Addr: b.next}
+	b.next += b.stride
+	return op
+}

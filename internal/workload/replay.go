@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace recording and replay. VPNM "makes no assumption about the
+// memory access patterns", so the natural interchange format for
+// experiments is a raw per-cycle operation stream: capture a workload
+// once (from a generator, a production trace converter, or a failing
+// fuzz case) and replay it bit-exactly against any controller.
+//
+// The format is a little-endian binary stream: an 8-byte magic header,
+// then one record per cycle: a 1-byte opcode (idle/read/write), an
+// 8-byte address for reads and writes, and a 2-byte length plus payload
+// for writes.
+
+var traceMagic = [8]byte{'V', 'P', 'N', 'M', 'T', 'R', 'C', '1'}
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("workload: malformed trace")
+
+// Recorder tees a generator's ops into a writer while passing them
+// through unchanged, so the recorded run and the live run are the same
+// run.
+type Recorder struct {
+	inner Generator
+	w     *bufio.Writer
+	err   error
+	n     uint64
+}
+
+// NewRecorder wraps inner, writing every produced op to w. Call Flush
+// when done.
+func NewRecorder(inner Generator, w io.Writer) (*Recorder, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return nil, err
+	}
+	return &Recorder{inner: inner, w: bw}, nil
+}
+
+// Next implements Generator.
+func (r *Recorder) Next() Op {
+	op := r.inner.Next()
+	if r.err == nil {
+		r.err = writeOp(r.w, op)
+		r.n++
+	}
+	return op
+}
+
+// Flush finishes the stream and reports any write error encountered.
+func (r *Recorder) Flush() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}
+
+// Recorded reports the number of ops written.
+func (r *Recorder) Recorded() uint64 { return r.n }
+
+func writeOp(w *bufio.Writer, op Op) error {
+	if err := w.WriteByte(byte(op.Kind)); err != nil {
+		return err
+	}
+	if op.Kind == OpIdle {
+		return nil
+	}
+	var addr [8]byte
+	binary.LittleEndian.PutUint64(addr[:], op.Addr)
+	if _, err := w.Write(addr[:]); err != nil {
+		return err
+	}
+	if op.Kind == OpWrite {
+		if len(op.Data) > 1<<16-1 {
+			return fmt.Errorf("workload: write payload %d too large for trace format", len(op.Data))
+		}
+		var n [2]byte
+		binary.LittleEndian.PutUint16(n[:], uint16(len(op.Data)))
+		if _, err := w.Write(n[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(op.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Replayer is a Generator that reads a recorded trace. When the trace
+// is exhausted it produces OpIdle forever and Done reports true.
+type Replayer struct {
+	r    *bufio.Reader
+	buf  []byte
+	done bool
+	err  error
+	n    uint64
+}
+
+// NewReplayer validates the header and prepares to replay.
+func NewReplayer(r io.Reader) (*Replayer, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	}
+	return &Replayer{r: br}, nil
+}
+
+// Done reports whether the trace has been fully consumed.
+func (p *Replayer) Done() bool { return p.done }
+
+// Err reports any stream corruption encountered (EOF is not an error).
+func (p *Replayer) Err() error { return p.err }
+
+// Replayed reports ops produced so far.
+func (p *Replayer) Replayed() uint64 { return p.n }
+
+// Next implements Generator.
+func (p *Replayer) Next() Op {
+	if p.done {
+		return Op{Kind: OpIdle}
+	}
+	kind, err := p.r.ReadByte()
+	if err != nil {
+		p.finish(err)
+		return Op{Kind: OpIdle}
+	}
+	op := Op{Kind: OpKind(kind)}
+	switch op.Kind {
+	case OpIdle:
+	case OpRead, OpWrite:
+		var addr [8]byte
+		if _, err := io.ReadFull(p.r, addr[:]); err != nil {
+			p.finish(err)
+			return Op{Kind: OpIdle}
+		}
+		op.Addr = binary.LittleEndian.Uint64(addr[:])
+		if op.Kind == OpWrite {
+			var n [2]byte
+			if _, err := io.ReadFull(p.r, n[:]); err != nil {
+				p.finish(err)
+				return Op{Kind: OpIdle}
+			}
+			ln := int(binary.LittleEndian.Uint16(n[:]))
+			if cap(p.buf) < ln {
+				p.buf = make([]byte, ln)
+			}
+			p.buf = p.buf[:ln]
+			if _, err := io.ReadFull(p.r, p.buf); err != nil {
+				p.finish(err)
+				return Op{Kind: OpIdle}
+			}
+			op.Data = p.buf
+		}
+	default:
+		p.finish(fmt.Errorf("%w: opcode %d", ErrBadTrace, kind))
+		return Op{Kind: OpIdle}
+	}
+	p.n++
+	return op
+}
+
+// finish marks the stream done; a clean EOF at a record boundary is the
+// normal end of trace, anything else is recorded in Err.
+func (p *Replayer) finish(err error) {
+	p.done = true
+	if err != nil && err != io.EOF {
+		p.err = fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+}

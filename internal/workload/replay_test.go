@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	src := NewUniform(3, 1<<20, 0.8, 0.3, 16)
+	rec, err := NewRecorder(src, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Op
+	for i := 0; i < 5000; i++ {
+		op := rec.Next()
+		cp := op
+		cp.Data = append([]byte(nil), op.Data...)
+		want = append(want, cp)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Recorded() != 5000 {
+		t.Fatalf("recorded %d", rec.Recorded())
+	}
+
+	rep, err := NewReplayer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		got := rep.Next()
+		if got.Kind != w.Kind || got.Addr != w.Addr || !bytes.Equal(got.Data, w.Data) {
+			t.Fatalf("op %d: got %+v want %+v", i, got, w)
+		}
+	}
+	if rep.Done() {
+		t.Fatal("done before reading past the end")
+	}
+	if op := rep.Next(); op.Kind != OpIdle {
+		t.Fatalf("past-end op %+v", op)
+	}
+	if !rep.Done() || rep.Err() != nil {
+		t.Fatalf("done=%v err=%v", rep.Done(), rep.Err())
+	}
+	if rep.Replayed() != 5000 {
+		t.Fatalf("replayed %d", rep.Replayed())
+	}
+}
+
+func TestReplayerRejectsBadMagic(t *testing.T) {
+	if _, err := NewReplayer(bytes.NewReader([]byte("notatrace..."))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReplayer(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestReplayerDetectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	rec, _ := NewRecorder(NewStride(0, 1), &buf)
+	for i := 0; i < 10; i++ {
+		rec.Next()
+	}
+	rec.Flush()
+	// Chop mid-record.
+	raw := buf.Bytes()[:buf.Len()-3]
+	rep, err := NewReplayer(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !rep.Done() {
+		rep.Next()
+	}
+	if rep.Err() == nil {
+		t.Fatal("truncation not reported")
+	}
+}
+
+func TestReplayerRejectsBadOpcode(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(traceMagic[:])
+	buf.WriteByte(99)
+	rep, err := NewReplayer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Next()
+	if rep.Err() == nil {
+		t.Fatal("bad opcode not reported")
+	}
+}
+
+// Property: any random op sequence round-trips exactly.
+func TestRecordReplayProperty(t *testing.T) {
+	f := func(kinds []uint8, addrs []uint64, payload []byte) bool {
+		var ops []Op
+		for i, k := range kinds {
+			op := Op{Kind: OpKind(k % 3)}
+			if i < len(addrs) {
+				op.Addr = addrs[i]
+			}
+			if op.Kind == OpWrite {
+				op.Data = payload
+			}
+			if op.Kind == OpIdle {
+				op.Addr = 0
+			}
+			ops = append(ops, op)
+		}
+		var buf bytes.Buffer
+		rec, err := NewRecorder(sliceGen{ops: ops}.generator(), &buf)
+		if err != nil {
+			return false
+		}
+		for range ops {
+			rec.Next()
+		}
+		if rec.Flush() != nil {
+			return false
+		}
+		rep, err := NewReplayer(&buf)
+		if err != nil {
+			return false
+		}
+		for _, w := range ops {
+			got := rep.Next()
+			if got.Kind != w.Kind {
+				return false
+			}
+			if got.Kind != OpIdle && got.Addr != w.Addr {
+				return false
+			}
+			if got.Kind == OpWrite && !bytes.Equal(got.Data, w.Data) {
+				return false
+			}
+		}
+		return rep.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sliceGen replays a fixed op slice (test helper).
+type sliceGen struct{ ops []Op }
+
+func (s sliceGen) generator() Generator {
+	i := 0
+	return generatorFunc(func() Op {
+		if i >= len(s.ops) {
+			return Op{Kind: OpIdle}
+		}
+		op := s.ops[i]
+		i++
+		return op
+	})
+}
+
+// generatorFunc adapts a closure to the Generator interface.
+type generatorFunc func() Op
+
+func (f generatorFunc) Next() Op { return f() }

@@ -1,0 +1,251 @@
+// Package workload generates memory request streams for driving the
+// VPNM controller and its baselines: uniform random traffic, the
+// pathological sequential and strided patterns that defeat conventional
+// bank interleaving, redundant-request patterns (the paper's "A,A,A,..."
+// and "A,B,A,B,..." cases), Zipf-skewed traffic, bursty on/off sources,
+// and adversaries with and without knowledge of the bank mapping. All
+// generators are deterministic for a given seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// OpKind distinguishes the three things a source can do on a cycle.
+type OpKind int
+
+const (
+	// OpIdle means no request this cycle.
+	OpIdle OpKind = iota
+	// OpRead requests the word at Addr.
+	OpRead
+	// OpWrite stores Data at Addr.
+	OpWrite
+)
+
+// Op is one interface-cycle action.
+type Op struct {
+	Kind OpKind
+	Addr uint64
+	Data []byte
+}
+
+// Generator produces one Op per interface cycle, forever. Generators
+// are single-stream and not safe for concurrent use.
+type Generator interface {
+	Next() Op
+}
+
+// rngFor builds the package's deterministic PRNG.
+func rngFor(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0x6a09e667f3bcc908))
+}
+
+// Uniform issues reads and writes to addresses drawn uniformly from
+// [0, AddrSpace) at a configurable duty cycle and write fraction. It is
+// the "independent memory accesses" regime the controller's statistical
+// guarantees are stated for.
+type Uniform struct {
+	rng       *rand.Rand
+	addrSpace uint64
+	writeFrac float64
+	duty      float64
+	data      []byte
+}
+
+// NewUniform builds a uniform generator. addrSpace of 0 means the full
+// 64-bit space; duty is the probability of issuing on a cycle (1 =
+// every cycle); writeFrac is the fraction of issued ops that are writes.
+func NewUniform(seed, addrSpace uint64, duty, writeFrac float64, wordBytes int) *Uniform {
+	if duty < 0 || duty > 1 || writeFrac < 0 || writeFrac > 1 {
+		panic(fmt.Sprintf("workload: duty %v and writeFrac %v must be in [0,1]", duty, writeFrac))
+	}
+	return &Uniform{
+		rng:       rngFor(seed),
+		addrSpace: addrSpace,
+		writeFrac: writeFrac,
+		duty:      duty,
+		data:      make([]byte, wordBytes),
+	}
+}
+
+func (u *Uniform) addr() uint64 {
+	if u.addrSpace == 0 {
+		return u.rng.Uint64()
+	}
+	return u.rng.Uint64N(u.addrSpace)
+}
+
+// Next implements Generator.
+func (u *Uniform) Next() Op {
+	if u.duty < 1 && u.rng.Float64() >= u.duty {
+		return Op{Kind: OpIdle}
+	}
+	if u.writeFrac > 0 && u.rng.Float64() < u.writeFrac {
+		// Regenerating the payload exercises the store path end to end.
+		for i := 0; i < len(u.data); i += 8 {
+			v := u.rng.Uint64()
+			for j := 0; j < 8 && i+j < len(u.data); j++ {
+				u.data[i+j] = byte(v >> (8 * j))
+			}
+		}
+		return Op{Kind: OpWrite, Addr: u.addr(), Data: u.data}
+	}
+	return Op{Kind: OpRead, Addr: u.addr()}
+}
+
+// Stride reads addresses a, a+s, a+2s, ... — the constant-stride
+// pattern that address-skewing schemes special-case and that a
+// universal hash handles for every stride at once.
+type Stride struct {
+	next, stride uint64
+}
+
+// NewStride builds a strided reader starting at base.
+func NewStride(base, stride uint64) *Stride {
+	return &Stride{next: base, stride: stride}
+}
+
+// Next implements Generator.
+func (s *Stride) Next() Op {
+	op := Op{Kind: OpRead, Addr: s.next}
+	s.next += s.stride
+	return op
+}
+
+// Repeat reads the same address every cycle: the paper's "A,A,A,A,..."
+// redundant-request pattern that the merging queue must absorb with a
+// single row.
+type Repeat struct{ addr uint64 }
+
+// NewRepeat builds the repeating reader.
+func NewRepeat(addr uint64) *Repeat { return &Repeat{addr: addr} }
+
+// Next implements Generator.
+func (r *Repeat) Next() Op { return Op{Kind: OpRead, Addr: r.addr} }
+
+// Cycle reads a fixed set of addresses round-robin: with two addresses
+// it is the paper's "A,B,A,B,..." pattern needing exactly two rows.
+type Cycle struct {
+	addrs []uint64
+	i     int
+}
+
+// NewCycle builds the cycling reader; addrs must be non-empty.
+func NewCycle(addrs ...uint64) *Cycle {
+	if len(addrs) == 0 {
+		panic("workload: Cycle needs at least one address")
+	}
+	return &Cycle{addrs: append([]uint64(nil), addrs...)}
+}
+
+// Next implements Generator.
+func (c *Cycle) Next() Op {
+	op := Op{Kind: OpRead, Addr: c.addrs[c.i]}
+	c.i++
+	if c.i == len(c.addrs) {
+		c.i = 0
+	}
+	return op
+}
+
+// Zipf reads from a finite population with a Zipf(s) popularity skew —
+// the locality profile of flow records and route-prefix lookups. It is
+// implemented by inverse-CDF sampling over a precomputed table so it is
+// exactly reproducible.
+type Zipf struct {
+	rng  *rand.Rand
+	cdf  []float64
+	base uint64
+}
+
+// NewZipf builds a Zipf generator over n addresses starting at base
+// with exponent s > 0.
+func NewZipf(seed uint64, n int, s float64, base uint64) *Zipf {
+	if n < 1 || s <= 0 {
+		panic(fmt.Sprintf("workload: Zipf needs n >= 1 and s > 0, got n=%d s=%v", n, s))
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{rng: rngFor(seed), cdf: cdf, base: base}
+}
+
+// Next implements Generator.
+func (z *Zipf) Next() Op {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return Op{Kind: OpRead, Addr: z.base + uint64(lo)}
+}
+
+// OnOff wraps a generator with bursty on/off gating: on for onCycles,
+// idle for offCycles, repeating. Routers see exactly this shape when
+// upstream links saturate.
+type OnOff struct {
+	inner               Generator
+	onCycles, offCycles int
+	pos                 int
+}
+
+// NewOnOff builds the gate; both period halves must be positive.
+func NewOnOff(inner Generator, onCycles, offCycles int) *OnOff {
+	if onCycles < 1 || offCycles < 1 {
+		panic(fmt.Sprintf("workload: on/off periods must be positive, got %d/%d", onCycles, offCycles))
+	}
+	return &OnOff{inner: inner, onCycles: onCycles, offCycles: offCycles}
+}
+
+// Next implements Generator.
+func (o *OnOff) Next() Op {
+	p := o.pos
+	o.pos++
+	if o.pos == o.onCycles+o.offCycles {
+		o.pos = 0
+	}
+	if p < o.onCycles {
+		return o.inner.Next()
+	}
+	return Op{Kind: OpIdle}
+}
+
+// IMIX generates synthetic packet sizes following the classic Internet
+// mix: 7 parts 40-byte, 4 parts 576-byte, 1 part 1500-byte packets —
+// the distribution router vendors benchmark against and the traffic
+// shape behind the paper's line-rate arithmetic.
+type IMIX struct {
+	rng *rand.Rand
+}
+
+// NewIMIX builds the size sampler.
+func NewIMIX(seed uint64) *IMIX { return &IMIX{rng: rngFor(seed)} }
+
+// NextSize samples one packet size in bytes.
+func (m *IMIX) NextSize() int {
+	switch r := m.rng.IntN(12); {
+	case r < 7:
+		return 40
+	case r < 11:
+		return 576
+	default:
+		return 1500
+	}
+}
+
+// MeanSize is the distribution's expected packet size: ~340 bytes.
+func (m *IMIX) MeanSize() float64 { return (7*40 + 4*576 + 1*1500) / 12.0 }

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestUniformDeterministic(t *testing.T) {
+	a := NewUniform(1, 1024, 1, 0.5, 8)
+	b := NewUniform(1, 1024, 1, 0.5, 8)
+	for i := 0; i < 1000; i++ {
+		x, y := a.Next(), b.Next()
+		if x.Kind != y.Kind || x.Addr != y.Addr {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func TestUniformRespectsAddrSpace(t *testing.T) {
+	g := NewUniform(2, 100, 1, 0, 8)
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.Kind != OpRead {
+			t.Fatalf("writeFrac=0 produced %v", op.Kind)
+		}
+		if op.Addr >= 100 {
+			t.Fatalf("address %d out of space", op.Addr)
+		}
+	}
+}
+
+func TestUniformWriteFraction(t *testing.T) {
+	g := NewUniform(3, 0, 1, 0.25, 8)
+	writes := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		if op.Kind == OpWrite {
+			writes++
+			if len(op.Data) != 8 {
+				t.Fatalf("write data %d bytes want 8", len(op.Data))
+			}
+		}
+	}
+	if writes < n/5 || writes > n/3 {
+		t.Fatalf("writes = %d/%d, want ~25%%", writes, n)
+	}
+}
+
+func TestUniformDutyCycle(t *testing.T) {
+	g := NewUniform(4, 0, 0.5, 0, 8)
+	idle := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if g.Next().Kind == OpIdle {
+			idle++
+		}
+	}
+	if idle < n*4/10 || idle > n*6/10 {
+		t.Fatalf("idle = %d/%d want ~50%%", idle, n)
+	}
+}
+
+func TestStride(t *testing.T) {
+	g := NewStride(100, 7)
+	for i := 0; i < 10; i++ {
+		op := g.Next()
+		if op.Kind != OpRead || op.Addr != 100+uint64(i)*7 {
+			t.Fatalf("op %d = %+v", i, op)
+		}
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	g := NewRepeat(42)
+	for i := 0; i < 5; i++ {
+		if op := g.Next(); op.Addr != 42 || op.Kind != OpRead {
+			t.Fatalf("op %d = %+v", i, op)
+		}
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := NewCycle(1, 2, 3)
+	want := []uint64{1, 2, 3, 1, 2, 3, 1}
+	for i, w := range want {
+		if op := g.Next(); op.Addr != w {
+			t.Fatalf("op %d addr %d want %d", i, op.Addr, w)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewZipf(5, 1000, 1.2, 0)
+	counts := map[uint64]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Addr]++
+	}
+	// Rank 1 must dominate rank 100 heavily under s=1.2.
+	if counts[0] < 20*counts[99] {
+		t.Fatalf("rank1=%d rank100=%d: not Zipf-skewed", counts[0], counts[99])
+	}
+	// Every address stays in range.
+	for a := range counts {
+		if a >= 1000 {
+			t.Fatalf("address %d out of population", a)
+		}
+	}
+}
+
+func TestOnOffGating(t *testing.T) {
+	g := NewOnOff(NewRepeat(1), 3, 2)
+	var kinds []OpKind
+	for i := 0; i < 10; i++ {
+		kinds = append(kinds, g.Next().Kind)
+	}
+	want := []OpKind{OpRead, OpRead, OpRead, OpIdle, OpIdle, OpRead, OpRead, OpRead, OpIdle, OpIdle}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("cycle %d kind %v want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestOracleAdversaryAllOneBank(t *testing.T) {
+	oracle := func(addr uint64) int { return int(addr % 7) } // arbitrary mapping
+	adv := NewOracleAdversary(oracle, 3, 50)
+	seen := map[uint64]bool{}
+	for i := 0; i < 150; i++ {
+		op := adv.Next()
+		if oracle(op.Addr) != 3 {
+			t.Fatalf("address %d maps to bank %d, not target 3", op.Addr, oracle(op.Addr))
+		}
+		seen[op.Addr] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("distinct addresses %d want 50", len(seen))
+	}
+}
+
+func TestBlindAdversaryStride(t *testing.T) {
+	adv := NewBlindAdversary(32, 5)
+	for i := 0; i < 10; i++ {
+		op := adv.Next()
+		if op.Addr%32 != 5 {
+			t.Fatalf("address %d not congruent to 5 mod 32", op.Addr)
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewUniform(1, 0, -0.1, 0, 8) },
+		func() { NewUniform(1, 0, 0, 1.5, 8) },
+		func() { NewCycle() },
+		func() { NewZipf(1, 0, 1, 0) },
+		func() { NewZipf(1, 10, 0, 0) },
+		func() { NewOnOff(NewRepeat(1), 0, 1) },
+		func() { NewOracleAdversary(func(uint64) int { return 0 }, 0, 0) },
+		func() { NewBlindAdversary(0, 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIMIXDistribution(t *testing.T) {
+	m := NewIMIX(3)
+	counts := map[int]int{}
+	const n = 24000
+	var sum float64
+	for i := 0; i < n; i++ {
+		s := m.NextSize()
+		counts[s]++
+		sum += float64(s)
+	}
+	if len(counts) != 3 {
+		t.Fatalf("sizes seen: %v", counts)
+	}
+	// 7:4:1 ratios within sampling noise.
+	if c := counts[40]; c < n*7/12*9/10 || c > n*7/12*11/10 {
+		t.Errorf("40B count %d outside 7/12 band", c)
+	}
+	if c := counts[1500]; c < n/12*8/10 || c > n/12*12/10 {
+		t.Errorf("1500B count %d outside 1/12 band", c)
+	}
+	if mean := sum / n; mean < m.MeanSize()*0.95 || mean > m.MeanSize()*1.05 {
+		t.Errorf("empirical mean %.1f vs %.1f", mean, m.MeanSize())
+	}
+}

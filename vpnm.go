@@ -1,0 +1,80 @@
+// Package vpnm is the public API of the Virtually Pipelined Network
+// Memory library, a reproduction of Agrawal & Sherwood, "Virtually
+// Pipelined Network Memory" (MICRO 2006).
+//
+// VPNM presents banked DRAM as a flat, deeply pipelined memory: every
+// read issued on interface cycle t delivers its data on cycle t+D for a
+// fixed, configuration-determined D, no matter what the access pattern
+// is. Internally a universal hash scatters addresses over banks, a
+// per-bank controller queues and reorders accesses, redundant requests
+// merge into shared buffer rows, and a slightly over-clocked memory bus
+// (the bus scaling ratio R) drains the queues. Stalls remain possible
+// but are provably rare — the analysis sub-API quantifies them as a
+// Mean Time to Stall that grows exponentially with the queue sizes.
+//
+// # Quick start
+//
+//	ctrl, err := vpnm.New(vpnm.Config{}) // paper defaults: B=32, Q=24, K=48, R=1.3
+//	if err != nil { ... }
+//	tag, _ := ctrl.Read(addr)       // at most one request per cycle
+//	for _, c := range ctrl.Tick() { // advance one interface cycle
+//	    // c.Tag == tag exactly ctrl.Delay() cycles after the Read
+//	}
+//
+// The examples directory exercises the API on the paper's two
+// applications, packet buffering and TCP reassembly, and on adversarial
+// traffic against a conventional controller.
+package vpnm
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+)
+
+// Core controller types, re-exported from the implementation package.
+type (
+	// Config holds every architectural parameter (Table 1 of the paper).
+	Config = core.Config
+	// Controller is the virtually pipelined memory controller.
+	Controller = core.Controller
+	// Completion reports one delivered read.
+	Completion = core.Completion
+	// Stats aggregates controller counters.
+	Stats = core.Stats
+	// StallCounts breaks stalls down by condition.
+	StallCounts = core.StallCounts
+	// Tracer receives internal controller events.
+	Tracer = core.Tracer
+)
+
+// Stall and protocol errors.
+var (
+	// ErrStall is wrapped by every stall condition.
+	ErrStall = core.ErrStall
+	// ErrStallDelayBuffer reports an exhausted delay storage buffer.
+	ErrStallDelayBuffer = core.ErrStallDelayBuffer
+	// ErrStallBankQueue reports a full bank access queue.
+	ErrStallBankQueue = core.ErrStallBankQueue
+	// ErrStallWriteBuffer reports a full write buffer.
+	ErrStallWriteBuffer = core.ErrStallWriteBuffer
+	// ErrSecondRequest reports two requests in one interface cycle.
+	ErrSecondRequest = core.ErrSecondRequest
+)
+
+// New builds a controller; zero-valued Config fields take the paper's
+// defaults (B=32, L=20, Q=24, K=48, R=1.3, 64-byte words).
+func New(cfg Config) (*Controller, error) { return core.New(cfg) }
+
+// IsStall reports whether err is one of the stall conditions, which a
+// client handles by retrying next cycle or dropping the request.
+func IsStall(err error) bool { return core.IsStall(err) }
+
+// DelayBufferMTS evaluates the paper's Section 5.1 closed form: the
+// mean time (in cycles) to a delay-storage-buffer stall for B banks,
+// K rows and an observation window of D cycles.
+func DelayBufferMTS(b, k, d int) float64 { return analysis.DelayBufferMTS(b, k, d) }
+
+// BankQueueMTS solves the Section 5.2 Markov model: the mean time (in
+// memory cycles) to a bank-access-queue stall for B banks, queue depth
+// Q, bank occupancy L and bus scaling ratio R.
+func BankQueueMTS(b, q, l int, r float64) float64 { return analysis.BankQueueMTS(b, q, l, r) }

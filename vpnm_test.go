@@ -1,0 +1,148 @@
+package vpnm_test
+
+import (
+	"errors"
+	"testing"
+
+	vpnm "repro"
+)
+
+// TestFacadeRoundTrip exercises the public API end to end: write, read,
+// fixed-latency completion, stats.
+func TestFacadeRoundTrip(t *testing.T) {
+	ctrl, err := vpnm.New(vpnm.Config{HashSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Write(7, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Tick()
+	tag, err := ctrl.Read(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := ctrl.Flush()
+	if len(comps) != 1 || comps[0].Tag != tag {
+		t.Fatalf("completions: %+v", comps)
+	}
+	if got := comps[0].DeliveredAt - comps[0].IssuedAt; got != uint64(ctrl.Delay()) {
+		t.Fatalf("latency %d != D %d", got, ctrl.Delay())
+	}
+	if string(comps[0].Data[:7]) != "payload" {
+		t.Fatalf("data %q", comps[0].Data[:7])
+	}
+	st := ctrl.Stats()
+	if st.Reads != 1 || st.Writes != 1 || st.Completions != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestFacadeStallErrors(t *testing.T) {
+	ctrl, err := vpnm.New(vpnm.Config{Banks: 4, QueueDepth: 1, DelayRows: 2, WordBytes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stall error
+	for i := 0; i < 100 && stall == nil; i++ {
+		if _, err := ctrl.Read(uint64(i * 131)); err != nil {
+			stall = err
+		}
+		ctrl.Tick()
+	}
+	if stall == nil {
+		t.Fatal("tiny controller never stalled")
+	}
+	if !vpnm.IsStall(stall) {
+		t.Fatalf("IsStall(%v) = false", stall)
+	}
+	if !errors.Is(stall, vpnm.ErrStall) {
+		t.Fatalf("%v does not wrap ErrStall", stall)
+	}
+}
+
+func TestFacadeMTSHelpers(t *testing.T) {
+	if mts := vpnm.DelayBufferMTS(32, 32, 160); mts < 1e10 {
+		t.Fatalf("DelayBufferMTS = %.3g", mts)
+	}
+	if mts := vpnm.BankQueueMTS(32, 16, 20, 1.3); mts < 1e6 {
+		t.Fatalf("BankQueueMTS = %.3g", mts)
+	}
+}
+
+// TestAppsFacade exercises every application constructor through the
+// public API surface.
+func TestAppsFacade(t *testing.T) {
+	mem, err := vpnm.New(vpnm.Config{Banks: 8, QueueDepth: 16, DelayRows: 64, WordBytes: 64, HashSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Packet buffering.
+	cb, err := vpnm.NewCellBuffer(mem, vpnm.PacketBufferConfig{Queues: 4, CellsPerQueue: 32, CellBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := vpnm.NewPacketBuffer(cb)
+	if err := pb.EnqueuePacket(1, make([]byte, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pb.RequestDequeue(1); err != nil {
+		t.Fatal(err)
+	}
+	pkts, ok := pb.Drain(1_000_000)
+	if !ok || len(pkts) != 1 || len(pkts[0].Data) != 200 {
+		t.Fatalf("packet round trip failed: ok=%v pkts=%d", ok, len(pkts))
+	}
+
+	// Reassembly.
+	ra := vpnm.NewReassembler(mem, vpnm.ReassemblerConfig{})
+	if err := ra.Submit(1, 64, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Submit(1, 0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if !ra.Drain(1_000_000) {
+		t.Fatal("reassembler drain failed")
+	}
+	if got := len(ra.InOrder(1)); got != 128 {
+		t.Fatalf("reassembled %d bytes want 128", got)
+	}
+
+	// Forwarding.
+	ft, err := vpnm.NewForwardingTable(mem, 1<<30, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ft.Insert(0x0A000000, 8, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ft.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fe := vpnm.NewForwardingEngine(ft)
+	fe.Start(0x0A010203, 1)
+	res := fe.Drain(1_000_000)
+	if len(res) != 1 || res[0].Hop != vpnm.NextHop(7) {
+		t.Fatalf("lookup: %+v", res)
+	}
+
+	// Classification.
+	clf, err := vpnm.NewClassifier(mem, 1<<31, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clf.AddRule(vpnm.ClassifierRule{SrcAddr: 0x0A000000, SrcLen: 8, Priority: 5, Action: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clf.Sync(64); err != nil {
+		t.Fatal(err)
+	}
+	ce := vpnm.NewClassifierEngine(clf)
+	ce.Start(0x0A010203, 0x14000000, 1)
+	cres := ce.Drain(1_000_000)
+	if len(cres) != 1 || !cres[0].Matched || cres[0].Rule.Action != 9 {
+		t.Fatalf("classification: %+v", cres)
+	}
+}
