@@ -1,0 +1,30 @@
+# Verification entry points. `make ci` is a superset of the tier-1
+# verify (`go build ./... && go test ./...`) recorded in ROADMAP.md.
+
+GO ?= go
+
+.PHONY: ci vet build test race chaos fuzz
+
+ci: vet build test race chaos
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the fault/recovery/chaos stack plus the core controller.
+race:
+	$(GO) test -race ./internal/core ./internal/dram ./internal/fault ./internal/recovery ./internal/sim
+
+# Short chaos smoke: fault injection + recovery + invariant checks.
+chaos:
+	$(GO) test -race -run Chaos ./internal/sim ./internal/recovery ./internal/fault
+
+# Brief coverage-guided fuzz of the controller and retrier contracts.
+fuzz:
+	$(GO) test ./internal/core -fuzz FuzzControllerOps -fuzztime 10s
+	$(GO) test ./internal/core -fuzz FuzzRetrierOps -fuzztime 10s

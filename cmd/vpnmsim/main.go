@@ -11,9 +11,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -39,13 +43,59 @@ func main() {
 		strictRR   = flag.Bool("strict-rr", false, "use the paper's strict round-robin bus instead of the work-conserving one")
 		record     = flag.String("record", "", "record the generated workload to this trace file")
 		replay     = flag.String("replay", "", "replay a previously recorded trace file instead of -workload")
+
+		// Fault-injection / recovery flags. Setting any of them switches
+		// to the chaos harness (requires -controller vpnm), which checks
+		// the VPNM invariants end to end and exits nonzero on violation.
+		faultSingle = flag.Float64("fault-single", 0, "per-read single-bit fault probability (chaos mode)")
+		faultDouble = flag.Float64("fault-double", 0, "per-read double-bit fault probability (chaos mode)")
+		faultSeed   = flag.Uint64("fault-seed", 0, "fault injector seed (0 = use -seed)")
+		stuck       = flag.String("stuck", "", "comma-separated stuck data lines, each bank:bit[:0|1] (chaos mode)")
+		slowRate    = flag.Float64("slow-rate", 0, "per-access slow-bank probability (chaos mode)")
+		slowExtra   = flag.Int("slow-extra", 0, "extra memory cycles per slow access")
+		noECC       = flag.Bool("no-ecc", false, "disable ECC so faults escape (chaos mode; demonstrates detection)")
+		policy      = flag.String("policy", "", "stall recovery policy: retry | drop | backpressure (chaos mode)")
+		maxAttempts = flag.Int("max-attempts", 0, "retry budget per parked request (0 = default)")
 	)
 	flag.Parse()
+
+	chaos := *faultSingle > 0 || *faultDouble > 0 || *stuck != "" ||
+		*slowRate > 0 || *noECC || *policy != ""
 
 	cfg := core.Config{
 		Banks: *banks, AccessLatency: *l, QueueDepth: *q, DelayRows: *k,
 		RatioNum: *rnum, RatioDen: *rden, WordBytes: *word, HashSeed: *seed,
 		StrictRoundRobin: *strictRR,
+	}
+
+	var fcfg fault.Config
+	var rcfg recovery.Config
+	if chaos {
+		if *controller != "vpnm" {
+			log.Fatal("fault/recovery flags need -controller vpnm")
+		}
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		stuckBits, err := parseStuck(*stuck)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fcfg = fault.Config{
+			Seed:          fseed,
+			SingleBitRate: *faultSingle,
+			DoubleBitRate: *faultDouble,
+			StuckBits:     stuckBits,
+			SlowBankRate:  *slowRate,
+			SlowBankExtra: *slowExtra,
+			DisableECC:    *noECC,
+		}
+		pol, err := parsePolicy(*policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rcfg = recovery.Config{Policy: pol, MaxAttempts: *maxAttempts}
 	}
 
 	var mem sim.Memory
@@ -101,7 +151,11 @@ func main() {
 			}
 		}()
 		gen = rep
-		runAndReport(mem, vp, gen, *cycles, *drop, *record)
+		if chaos {
+			runChaos(cfg, gen, *cycles, fcfg, rcfg, *record)
+		} else {
+			runAndReport(mem, vp, gen, *cycles, *drop, *record)
+		}
 		return
 	}
 	switch *load {
@@ -128,32 +182,115 @@ func main() {
 		log.Fatalf("unknown workload %q", *load)
 	}
 
-	runAndReport(mem, vp, gen, *cycles, *drop, *record)
+	if chaos {
+		runChaos(cfg, gen, *cycles, fcfg, rcfg, *record)
+	} else {
+		runAndReport(mem, vp, gen, *cycles, *drop, *record)
+	}
+}
+
+// parsePolicy maps the -policy flag to a recovery policy; the empty
+// string selects the default (retry next cycle).
+func parsePolicy(s string) (recovery.Policy, error) {
+	switch s {
+	case "", "retry":
+		return recovery.RetryNextCycle, nil
+	case "drop":
+		return recovery.DropWithAccounting, nil
+	case "backpressure":
+		return recovery.Backpressure, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want retry, drop or backpressure)", s)
+}
+
+// parseStuck parses the -stuck flag: comma-separated bank:bit[:0|1]
+// entries, stuck-at-1 when the level is omitted.
+func parseStuck(s string) ([]fault.StuckBit, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []fault.StuckBit
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(entry, ":")
+		if len(parts) != 2 && len(parts) != 3 {
+			return nil, fmt.Errorf("stuck entry %q: want bank:bit[:0|1]", entry)
+		}
+		bank, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("stuck entry %q: bad bank: %v", entry, err)
+		}
+		bit, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("stuck entry %q: bad bit: %v", entry, err)
+		}
+		level := true
+		if len(parts) == 3 {
+			switch parts[2] {
+			case "0":
+				level = false
+			case "1":
+				level = true
+			default:
+				return nil, fmt.Errorf("stuck entry %q: level must be 0 or 1", entry)
+			}
+		}
+		out = append(out, fault.StuckBit{Bank: bank, Bit: bit, Value: level})
+	}
+	return out, nil
+}
+
+// withRecorder optionally tees gen to a trace file; the returned
+// closure flushes and reports at exit.
+func withRecorder(gen workload.Generator, record string) (workload.Generator, func()) {
+	if record == "" {
+		return gen, func() {}
+	}
+	f, err := os.Create(record)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := workload.NewRecorder(gen, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rec, func() {
+		if err := rec.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded %d ops to %s\n", rec.Recorded(), record)
+	}
+}
+
+// runChaos drives the fault-injected chaos harness and exits nonzero
+// if any VPNM invariant was violated.
+func runChaos(cfg core.Config, gen workload.Generator, cycles int, fcfg fault.Config, rcfg recovery.Config, record string) {
+	gen, done := withRecorder(gen, record)
+	res, err := sim.RunChaos(sim.ChaosOptions{
+		Cycles:   cycles,
+		Core:     cfg,
+		Fault:    fcfg,
+		Recovery: rcfg,
+		Gen:      gen,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	fmt.Println(res.Stats)
+	done()
+	if !res.Ok() {
+		os.Exit(1)
+	}
 }
 
 // runAndReport drives mem with gen (optionally teeing the workload to a
 // trace file) and prints the statistics.
 func runAndReport(mem sim.Memory, vp *core.Controller, gen workload.Generator, cycles int, drop bool, record string) {
-	if record != "" {
-		f, err := os.Create(record)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rec, err := workload.NewRecorder(gen, f)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer func() {
-			if err := rec.Flush(); err != nil {
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("recorded %d ops to %s\n", rec.Recorded(), record)
-		}()
-		gen = rec
-	}
+	gen, done := withRecorder(gen, record)
+	defer done()
 	policy := sim.Retry
 	if drop {
 		policy = sim.Drop

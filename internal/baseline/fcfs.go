@@ -223,7 +223,7 @@ func (f *FCFS) Tick() []core.Completion {
 				if req.isWrite {
 					doneAt = f.mod.IssueWrite(b, req.addr, req.data, m)
 				} else {
-					doneAt, _ = f.mod.IssueRead(b, req.addr, m)
+					doneAt, _, _ = f.mod.IssueRead(b, req.addr, m)
 				}
 				f.inflight[b].active = true
 				f.inflight[b].req = req

@@ -212,7 +212,7 @@ func (r *Reorder) issueFromWindow(now uint64) {
 		if req.isWrite {
 			doneAt = r.mod.IssueWrite(bank, req.addr, req.data, now)
 		} else {
-			doneAt, _ = r.mod.IssueRead(bank, req.addr, now)
+			doneAt, _, _ = r.mod.IssueRead(bank, req.addr, now)
 		}
 		r.inflight[bank] = struct {
 			active bool

@@ -43,6 +43,7 @@ type dsbRow struct {
 	addr      uint64
 	count     uint32 // pending playbacks referencing this row
 	dataReady bool   // the bank access has completed
+	corrupt   bool   // the fill failed ECC; every playback is poisoned
 	data      []byte
 }
 
@@ -120,6 +121,7 @@ func (b *bankController) allocRow(addr uint64) int {
 			r.addr = addr
 			r.count = 1
 			r.dataReady = false
+			r.corrupt = false
 			b.freeRows--
 			return i
 		}
@@ -133,6 +135,7 @@ func (b *bankController) freeRow(rowID int) {
 	r.addrValid = false
 	r.count = 0
 	r.dataReady = false
+	r.corrupt = false
 	b.freeRows++
 }
 
@@ -228,7 +231,7 @@ func (b *bankController) tryIssue(mod *dram.Module, memNow uint64, pool *bufPool
 		return true
 	}
 	row := &b.rows[head.rowID]
-	doneAt, data := mod.IssueRead(b.id, row.addr, memNow)
+	doneAt, data, status := mod.IssueRead(b.id, row.addr, memNow)
 	if b.trace != nil {
 		b.trace.OnIssue(memNow, b.id, false, row.addr)
 	}
@@ -236,6 +239,7 @@ func (b *bankController) tryIssue(mod *dram.Module, memNow uint64, pool *bufPool
 	// busy, and same-address writes always land on this same bank), so
 	// the model copies it now and reveals it at doneAt.
 	copy(row.data, data)
+	row.corrupt = status == dram.ReadUncorrectable
 	b.inflight = inflightAccess{active: true, rowID: head.rowID, doneAt: doneAt}
 	return true
 }
@@ -251,11 +255,12 @@ func (b *bankController) stepCDB() (playback, bool) {
 
 // deliver consumes one playback: it reads the data word from the row,
 // decrements the redundant-request counter, and frees the row when the
-// last pending playback has been served. The data must be ready — the
-// normalized delay D is chosen so that any request admitted without a
-// stall completes in time, and a violation here means that invariant
-// (not the workload) is broken.
-func (b *bankController) deliver(p playback, memNow uint64, dst []byte) {
+// last pending playback has been served. It reports whether the row's
+// fill failed ECC, in which case every playback it serves is poisoned.
+// The data must be ready — the normalized delay D is chosen so that any
+// request admitted without a stall completes in time, and a violation
+// here means that invariant (not the workload) is broken.
+func (b *bankController) deliver(p playback, memNow uint64, dst []byte) (corrupt bool) {
 	b.flushInflight(memNow)
 	r := &b.rows[p.rowID]
 	if !r.allocated || r.count == 0 {
@@ -265,10 +270,12 @@ func (b *bankController) deliver(p playback, memNow uint64, dst []byte) {
 		panic(fmt.Sprintf("core: playback for bank %d row %d before data ready (normalized delay too small)", b.id, p.rowID))
 	}
 	copy(dst, r.data)
+	corrupt = r.corrupt
 	r.count--
 	if r.count == 0 {
 		b.freeRow(p.rowID)
 	}
+	return corrupt
 }
 
 // rowsInUse reports the current delay storage buffer occupancy.

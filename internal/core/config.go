@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/dram"
 	"repro/internal/hash"
 )
 
@@ -83,6 +84,13 @@ type Config struct {
 	// request rate, so dual-port designs want the larger Table 2
 	// geometries.
 	DualPort bool
+	// Fault optionally interposes a fault-injection / ECC hook between
+	// the bank controllers and the DRAM model (package fault implements
+	// it). When the hook can inflate bank occupancy ("slow bank"
+	// faults), Delay must carry matching headroom: leave Delay zero and
+	// set it from AutoDelayWithSlack, or the delivery invariant will
+	// (deliberately) trip on late data.
+	Fault dram.Hook
 	// StrictRoundRobin, when true, restricts the memory-side bus to the
 	// paper's simple scheduler in which bank b may only issue on memory
 	// cycles congruent to b mod Banks, so unused slots are wasted. The
@@ -160,6 +168,21 @@ func (c Config) AutoDelay() int {
 	memCycles := (cc.QueueDepth + 1) * (cc.AccessLatency + cc.Banks)
 	ifCycles := (memCycles*cc.RatioDen + cc.RatioNum - 1) / cc.RatioNum
 	return ifCycles + cc.HashLatency
+}
+
+// AutoDelayWithSlack returns AutoDelay computed as if every bank access
+// took extra additional memory cycles: the delay headroom needed to
+// keep the fixed-D guarantee when a fault hook can inflate bank
+// occupancy by at most extra cycles per access (fault.Config's
+// SlowBankExtra).
+func (c Config) AutoDelayWithSlack(extra int) int {
+	cc := c
+	if cc.AccessLatency == 0 {
+		cc.AccessLatency = DefaultAccessLatency
+	}
+	cc.AccessLatency += extra
+	cc.Delay = 0
+	return cc.AutoDelay()
 }
 
 // Ratio returns R as a float for reporting.

@@ -18,6 +18,11 @@ type Completion struct {
 	// IssuedAt and DeliveredAt are interface cycles; their difference is
 	// always exactly the normalized delay D.
 	IssuedAt, DeliveredAt uint64
+	// Err is non-nil when the delivered word failed an integrity check:
+	// ErrUncorrectable means the ECC layer detected a multi-bit error it
+	// could not repair. Timing is unaffected — the word still arrives
+	// exactly D cycles after issue — only the payload is suspect.
+	Err error
 }
 
 // Controller is a virtually pipelined network memory: a front-end
@@ -69,6 +74,7 @@ func New(cfg Config) (*Controller, error) {
 		Banks:         cfg.Banks,
 		AccessLatency: cfg.AccessLatency,
 		WordBytes:     cfg.WordBytes,
+		Hook:          cfg.Fault,
 	})
 	if err != nil {
 		return nil, err
@@ -112,6 +118,8 @@ func (c *Controller) Cycle() uint64 { return c.cycle }
 func (c *Controller) Stats() Stats {
 	s := c.stats
 	s.BankRequests = append([]uint64(nil), c.stats.BankRequests...)
+	s.ECCCorrected = c.mod.Corrected()
+	s.ECCUncorrectable = c.mod.Uncorrectable()
 	return s
 }
 
@@ -218,9 +226,14 @@ func (c *Controller) Tick() []Completion {
 		if !ok {
 			continue
 		}
-		b.deliver(p, c.memTime, c.scratch)
+		corrupt := b.deliver(p, c.memTime, c.scratch)
 		if c.cfg.Trace != nil {
 			c.cfg.Trace.OnDeliver(c.cycle, b.id, p.addr, p.tag)
+		}
+		var cerr error
+		if corrupt {
+			cerr = ErrUncorrectable
+			c.stats.UncorrectableDelivered++
 		}
 		c.completions = append(c.completions, Completion{
 			Tag:         p.tag,
@@ -228,6 +241,7 @@ func (c *Controller) Tick() []Completion {
 			Data:        c.scratch,
 			IssuedAt:    p.issuedAt,
 			DeliveredAt: c.cycle,
+			Err:         cerr,
 		})
 		c.stats.Completions++
 	}
@@ -316,7 +330,17 @@ func (c *Controller) Outstanding() uint64 {
 
 // Flush ticks the controller until every queued access has been issued,
 // every bank is idle, and every outstanding read has been delivered. It
-// returns all completions observed while draining.
+// returns all completions observed while draining (with their Data
+// copied, so they stay valid after further ticks).
+//
+// Flush only drains work the controller has already accepted. A request
+// that stalled belongs to the client, not the controller: if a recovery
+// layer is holding it for retry (recovery.Retrier), call the Retrier's
+// Flush instead, which first resolves the parked request and then
+// drains. Either way the fixed-D contract holds during the drain —
+// draining ticks are ordinary interface cycles, so no completion can
+// arrive earlier or later than IssuedAt+D; the recovery tests assert
+// this cycle-exactly.
 func (c *Controller) Flush() []Completion {
 	var all []Completion
 	for c.Outstanding() > 0 || c.totalQueued > 0 || c.anyInflight() {

@@ -31,6 +31,14 @@ var (
 // at most one request per interface cycle.
 var ErrSecondRequest = errors.New("vpnm: more than one request in a single interface cycle")
 
+// ErrUncorrectable flags a completion whose data failed the ECC layer
+// with a multi-bit error: the word still arrives exactly D cycles after
+// issue — the pipeline never skips a beat — but its payload must not be
+// trusted (see Completion.Err). It is not a stall: the request was
+// accepted and completed, so IsStall reports false and the recovery
+// policies do not retry it.
+var ErrUncorrectable = errors.New("vpnm: uncorrectable memory error")
+
 // IsStall reports whether err is one of the stall conditions.
 func IsStall(err error) bool { return errors.Is(err, ErrStall) }
 

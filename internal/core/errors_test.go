@@ -1,0 +1,49 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestStallErrorTaxonomy pins the error taxonomy clients dispatch on:
+// every ErrStall* sentinel satisfies errors.Is(err, ErrStall) — even
+// when wrapped again by a caller — while the protocol and data errors
+// do not, so recovery policies never retry a non-stall.
+func TestStallErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		name  string
+		err   error
+		stall bool
+	}{
+		{"delay-buffer", ErrStallDelayBuffer, true},
+		{"bank-queue", ErrStallBankQueue, true},
+		{"write-buffer", ErrStallWriteBuffer, true},
+		{"counter", ErrStallCounter, true},
+		{"stall sentinel itself", ErrStall, true},
+		{"wrapped stall", fmt.Errorf("bank 3: %w", ErrStallBankQueue), true},
+		{"second request", ErrSecondRequest, false},
+		{"uncorrectable", ErrUncorrectable, false},
+		{"data too long", errDataTooLong(9, 8), false},
+		{"nil", nil, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := errors.Is(tc.err, ErrStall); got != tc.stall {
+				t.Errorf("errors.Is(%v, ErrStall) = %v want %v", tc.err, got, tc.stall)
+			}
+			if got := IsStall(tc.err); got != tc.stall {
+				t.Errorf("IsStall(%v) = %v want %v", tc.err, got, tc.stall)
+			}
+		})
+	}
+	// The specific sentinels stay distinguishable from each other.
+	specific := []error{ErrStallDelayBuffer, ErrStallBankQueue, ErrStallWriteBuffer, ErrStallCounter}
+	for i, a := range specific {
+		for j, b := range specific {
+			if (i == j) != errors.Is(a, b) {
+				t.Errorf("errors.Is(%v, %v) = %v", a, b, errors.Is(a, b))
+			}
+		}
+	}
+}

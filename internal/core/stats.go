@@ -52,6 +52,13 @@ type Stats struct {
 	RowOccupancySum uint64
 	// Rekeys counts completed Rekey operations.
 	Rekeys uint64
+	// ECCCorrected and ECCUncorrectable count DRAM reads whose data came
+	// back from the fault/ECC hook corrected or poisoned (zero without a
+	// hook). UncorrectableDelivered counts interface completions flagged
+	// with ErrUncorrectable; one poisoned row fill can serve several
+	// merged completions, so it is >= ECCUncorrectable whenever faults
+	// occur.
+	ECCCorrected, ECCUncorrectable, UncorrectableDelivered uint64
 }
 
 // MeanRowsInUse is the time-averaged number of reserved delay storage
@@ -82,6 +89,10 @@ func (s Stats) String() string {
 		s.Stalls.Total(), s.Stalls.DelayBuffer, s.Stalls.BankQueue, s.Stalls.WriteBuffer, s.Stalls.Counter)
 	if s.FirstStallCycle > 0 {
 		fmt.Fprintf(&b, " first-stall-cycle=%d", s.FirstStallCycle)
+	}
+	if s.ECCCorrected > 0 || s.ECCUncorrectable > 0 {
+		fmt.Fprintf(&b, "\necc: corrected=%d uncorrectable=%d poisoned-completions=%d",
+			s.ECCCorrected, s.ECCUncorrectable, s.UncorrectableDelivered)
 	}
 	return b.String()
 }

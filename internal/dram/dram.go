@@ -13,6 +13,42 @@ package dram
 
 import "fmt"
 
+// ReadStatus classifies the integrity of a read's data after the
+// fault-injection / ECC hook has processed it.
+type ReadStatus int
+
+const (
+	// ReadOK means the data passed through unmodified, or was never
+	// touched by a hook.
+	ReadOK ReadStatus = iota
+	// ReadCorrected means the hook detected an error and repaired it;
+	// the returned data is clean.
+	ReadCorrected
+	// ReadUncorrectable means the hook detected an error it could not
+	// repair; the returned data must not be trusted.
+	ReadUncorrectable
+)
+
+// Hook lets a fault-injection / ECC layer interpose on the module's
+// data and timing paths (package fault implements it). Every method is
+// called synchronously from IssueRead/IssueWrite in deterministic
+// order, so a seeded hook keeps simulations exactly reproducible.
+type Hook interface {
+	// OnWrite observes every stored word in issue order, already padded
+	// to the full word size; an ECC layer computes check bits here.
+	OnWrite(bank int, addr uint64, data []byte)
+	// OnRead receives a private copy of the stored word. It may mutate
+	// the copy in place (transient bit flips, stuck data lines) and then
+	// check/correct it (ECC), classifying the outcome.
+	OnRead(bank int, addr uint64, data []byte) ReadStatus
+	// AccessExtra returns extra bank-occupancy cycles for the access
+	// starting at memory cycle now — the "slow bank" fault. The VPNM
+	// fixed-delay guarantee only survives if the extra is bounded and
+	// the controller's Delay carries matching headroom (see
+	// core.Config.AutoDelayWithSlack).
+	AccessExtra(bank int, addr uint64, now uint64) uint64
+}
+
 // Config describes a DRAM module.
 type Config struct {
 	// Banks is the number of independently accessible banks (B).
@@ -35,6 +71,9 @@ type Config struct {
 	// addresses in the same aligned RowWords block share a row. Only
 	// meaningful when RowHitLatency > 0. Zero selects 128 words.
 	RowWords int
+	// Hook optionally interposes a fault-injection / ECC layer on every
+	// access. Nil leaves the module fault-free (the seed behaviour).
+	Hook Hook
 }
 
 // Validate reports whether the configuration is usable.
@@ -78,10 +117,13 @@ type Module struct {
 	openRow []uint64 // last-accessed row per bank (open-row model)
 	rowInit []bool   // whether openRow is meaningful yet
 	store   *Store
+	scratch []byte // private copy handed to the hook; valid until the next IssueRead
 
-	accesses  uint64
-	rowHits   uint64
-	conflicts uint64 // issue attempts that found the bank busy
+	accesses      uint64
+	rowHits       uint64
+	conflicts     uint64 // issue attempts that found the bank busy
+	corrected     uint64 // reads the hook repaired (ECC single-bit)
+	uncorrectable uint64 // reads the hook poisoned (ECC multi-bit)
 }
 
 // NewModule returns a module with all banks idle and empty contents.
@@ -130,26 +172,61 @@ func (m *Module) latencyFor(bank int, addr uint64) uint64 {
 }
 
 // IssueRead starts a read of addr on bank at memory cycle now. It
-// returns the cycle at which the data word is available and the data
-// itself (the simulator transfers the word logically at completion). It
-// panics if the bank is busy: the bank controller must check BankFree
-// first, exactly as the hardware scheduler does.
-func (m *Module) IssueRead(bank int, addr uint64, now uint64) (doneAt uint64, data []byte) {
+// returns the cycle at which the data word is available, the data
+// itself (the simulator transfers the word logically at completion) and
+// the integrity status assigned by the fault/ECC hook (ReadOK when no
+// hook is attached). With a hook the returned data is a private scratch
+// copy valid until the next IssueRead. It panics if the bank is busy:
+// the bank controller must check BankFree first, exactly as the
+// hardware scheduler does.
+func (m *Module) IssueRead(bank int, addr uint64, now uint64) (doneAt uint64, data []byte, status ReadStatus) {
 	m.checkIssue(bank, now)
-	m.freeAt[bank] = now + m.latencyFor(bank, addr)
+	lat := m.latencyFor(bank, addr)
+	if m.cfg.Hook != nil {
+		lat += m.cfg.Hook.AccessExtra(bank, addr, now)
+	}
+	m.freeAt[bank] = now + lat
 	m.accesses++
-	return m.freeAt[bank], m.store.Read(addr)
+	data = m.store.Read(addr)
+	if m.cfg.Hook != nil {
+		m.scratch = append(m.scratch[:0], data...)
+		data = m.scratch
+		status = m.cfg.Hook.OnRead(bank, addr, data)
+		switch status {
+		case ReadCorrected:
+			m.corrected++
+		case ReadUncorrectable:
+			m.uncorrectable++
+		}
+	}
+	return m.freeAt[bank], data, status
 }
 
 // IssueWrite starts a write of data to addr on bank at memory cycle now
 // and returns the cycle at which the bank becomes free again.
 func (m *Module) IssueWrite(bank int, addr uint64, data []byte, now uint64) (doneAt uint64) {
 	m.checkIssue(bank, now)
-	m.freeAt[bank] = now + m.latencyFor(bank, addr)
+	lat := m.latencyFor(bank, addr)
+	if m.cfg.Hook != nil {
+		lat += m.cfg.Hook.AccessExtra(bank, addr, now)
+	}
+	m.freeAt[bank] = now + lat
 	m.accesses++
 	m.store.Write(addr, data)
+	if m.cfg.Hook != nil {
+		// The hook sees the stored (zero-padded) word so ECC check bits
+		// always cover the full word.
+		m.cfg.Hook.OnWrite(bank, addr, m.store.Read(addr))
+	}
 	return m.freeAt[bank]
 }
+
+// Corrected reports reads whose data the hook repaired in flight.
+func (m *Module) Corrected() uint64 { return m.corrected }
+
+// Uncorrectable reports reads whose data the hook flagged as beyond
+// repair.
+func (m *Module) Uncorrectable() uint64 { return m.uncorrectable }
 
 // RowHits reports open-row hits (0 unless the open-row model is on).
 func (m *Module) RowHits() uint64 { return m.rowHits }

@@ -38,7 +38,7 @@ func TestModuleBankTiming(t *testing.T) {
 	if !m.BankFree(0, 0) {
 		t.Fatal("fresh bank should be free")
 	}
-	doneAt, _ := m.IssueRead(0, 100, 0)
+	doneAt, _, _ := m.IssueRead(0, 100, 0)
 	if doneAt != 20 {
 		t.Fatalf("doneAt = %d want 20", doneAt)
 	}
@@ -88,7 +88,7 @@ func TestModuleReadAfterWrite(t *testing.T) {
 	m, _ := NewModule(testConfig())
 	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
 	m.IssueWrite(0, 42, data, 0)
-	_, got := m.IssueRead(0, 42, 20)
+	_, got, _ := m.IssueRead(0, 42, 20)
 	if !bytes.Equal(got, data) {
 		t.Fatalf("read %v want %v", got, data)
 	}
@@ -173,17 +173,17 @@ func TestOpenRowModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	// First access opens the row: full latency.
-	doneAt, _ := m.IssueRead(0, 0, 0)
+	doneAt, _, _ := m.IssueRead(0, 0, 0)
 	if doneAt != 20 {
 		t.Fatalf("cold access doneAt = %d want 20", doneAt)
 	}
 	// Same row (addr 1 within words 0..7): hit latency.
-	doneAt, _ = m.IssueRead(0, 1, 20)
+	doneAt, _, _ = m.IssueRead(0, 1, 20)
 	if doneAt != 24 {
 		t.Fatalf("row hit doneAt = %d want 24", doneAt)
 	}
 	// Different row (addr 8): full latency again.
-	doneAt, _ = m.IssueRead(0, 8, 24)
+	doneAt, _, _ = m.IssueRead(0, 8, 24)
 	if doneAt != 44 {
 		t.Fatalf("row miss doneAt = %d want 44", doneAt)
 	}
@@ -191,7 +191,7 @@ func TestOpenRowModel(t *testing.T) {
 		t.Fatalf("row hits = %d want 1", m.RowHits())
 	}
 	// Banks have independent open rows.
-	doneAt, _ = m.IssueRead(1, 1, 0)
+	doneAt, _, _ = m.IssueRead(1, 1, 0)
 	if doneAt != 20 {
 		t.Fatalf("other bank cold access doneAt = %d want 20", doneAt)
 	}
@@ -200,7 +200,7 @@ func TestOpenRowModel(t *testing.T) {
 func TestOpenRowDisabledByDefault(t *testing.T) {
 	m, _ := NewModule(testConfig())
 	m.IssueRead(0, 0, 0)
-	doneAt, _ := m.IssueRead(0, 1, 20)
+	doneAt, _, _ := m.IssueRead(0, 1, 20)
 	if doneAt != 40 {
 		t.Fatalf("without open-row model doneAt = %d want 40", doneAt)
 	}
@@ -219,5 +219,112 @@ func TestOpenRowConfigValidation(t *testing.T) {
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("config %+v accepted", cfg)
 		}
+	}
+}
+
+// recordingHook counts calls and applies a scripted mutation/status.
+type recordingHook struct {
+	writes, reads []uint64
+	extra         uint64
+	status        ReadStatus
+	mutate        func(data []byte)
+}
+
+func (h *recordingHook) OnWrite(bank int, addr uint64, data []byte) {
+	h.writes = append(h.writes, addr)
+}
+
+func (h *recordingHook) OnRead(bank int, addr uint64, data []byte) ReadStatus {
+	h.reads = append(h.reads, addr)
+	if h.mutate != nil {
+		h.mutate(data)
+	}
+	return h.status
+}
+
+func (h *recordingHook) AccessExtra(bank int, addr uint64, now uint64) uint64 { return h.extra }
+
+func TestHookObservesAccesses(t *testing.T) {
+	h := &recordingHook{}
+	cfg := testConfig()
+	cfg.Hook = h
+	m, err := NewModule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.IssueWrite(0, 7, []byte{1}, 0)
+	_, _, status := m.IssueRead(0, 7, 20)
+	if status != ReadOK {
+		t.Fatalf("status = %v want ReadOK", status)
+	}
+	if len(h.writes) != 1 || h.writes[0] != 7 || len(h.reads) != 1 || h.reads[0] != 7 {
+		t.Fatalf("hook saw writes=%v reads=%v", h.writes, h.reads)
+	}
+}
+
+func TestHookWriteSeesPaddedWord(t *testing.T) {
+	var got []byte
+	cfg := testConfig()
+	cfg.Hook = hookFunc{onWrite: func(data []byte) { got = append([]byte(nil), data...) }}
+	m, _ := NewModule(cfg)
+	m.IssueWrite(0, 7, []byte{0xAB}, 0)
+	want := []byte{0xAB, 0, 0, 0, 0, 0, 0, 0}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("OnWrite saw %v want %v", got, want)
+	}
+}
+
+type hookFunc struct {
+	onWrite func(data []byte)
+}
+
+func (h hookFunc) OnWrite(bank int, addr uint64, data []byte)           { h.onWrite(data) }
+func (h hookFunc) OnRead(bank int, addr uint64, data []byte) ReadStatus { return ReadOK }
+func (h hookFunc) AccessExtra(bank int, addr uint64, now uint64) uint64 { return 0 }
+
+func TestHookMutatesPrivateCopyOnly(t *testing.T) {
+	h := &recordingHook{mutate: func(data []byte) { data[0] ^= 0xFF }, status: ReadCorrected}
+	cfg := testConfig()
+	cfg.Hook = h
+	m, _ := NewModule(cfg)
+	m.IssueWrite(0, 5, []byte{0x11, 0x22}, 0)
+	_, data, status := m.IssueRead(0, 5, 20)
+	if status != ReadCorrected {
+		t.Fatalf("status = %v want ReadCorrected", status)
+	}
+	if data[0] != 0x11^0xFF {
+		t.Fatalf("returned data not mutated: %v", data)
+	}
+	if stored := m.Store().Read(5); stored[0] != 0x11 {
+		t.Fatalf("stored word mutated: %v", stored)
+	}
+	if m.Corrected() != 1 || m.Uncorrectable() != 0 {
+		t.Fatalf("counters corrected=%d uncorrectable=%d", m.Corrected(), m.Uncorrectable())
+	}
+}
+
+func TestHookUncorrectableCounted(t *testing.T) {
+	h := &recordingHook{status: ReadUncorrectable}
+	cfg := testConfig()
+	cfg.Hook = h
+	m, _ := NewModule(cfg)
+	m.IssueRead(0, 1, 0)
+	if m.Uncorrectable() != 1 {
+		t.Fatalf("uncorrectable = %d want 1", m.Uncorrectable())
+	}
+}
+
+func TestHookAccessExtraInflatesOccupancy(t *testing.T) {
+	h := &recordingHook{extra: 13}
+	cfg := testConfig()
+	cfg.Hook = h
+	m, _ := NewModule(cfg)
+	doneAt, _, _ := m.IssueRead(0, 0, 0)
+	if doneAt != 20+13 {
+		t.Fatalf("slow read doneAt = %d want 33", doneAt)
+	}
+	doneAt = m.IssueWrite(1, 0, []byte{1}, 0)
+	if doneAt != 33 {
+		t.Fatalf("slow write doneAt = %d want 33", doneAt)
 	}
 }

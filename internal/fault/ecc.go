@@ -1,0 +1,134 @@
+// SECDED(72,64)-style error correction for DRAM words, modelled after
+// the extended Hamming codes ECC DIMMs carry per 64-bit lane: 7 Hamming
+// parity bits locate any single flipped bit and an eighth overall
+// parity bit distinguishes single-bit (correctable) from double-bit
+// (detectable but uncorrectable) errors. Words wider than 8 bytes are
+// protected lane by lane, exactly as a 72-bit-wide DIMM protects a
+// 64-byte burst in eight beats; a short final lane is zero-padded.
+package fault
+
+import "math/bits"
+
+// laneBytes is the protected data unit: one 64-bit ECC lane.
+const laneBytes = 8
+
+// codeBits is the number of codeword positions 1..71: the 7 Hamming
+// parity bits live at the power-of-two positions and the 64 data bits
+// fill the remaining positions. The overall parity bit sits outside the
+// positional code.
+const codeBits = 71
+
+var (
+	posOfDataBit [64]uint8 // codeword position of data bit i
+	dataBitOfPos [codeBits + 1]int8
+)
+
+func init() {
+	for i := range dataBitOfPos {
+		dataBitOfPos[i] = -1
+	}
+	i := 0
+	for p := 1; p <= codeBits; p++ {
+		if p&(p-1) == 0 { // power of two: a Hamming parity position
+			continue
+		}
+		posOfDataBit[i] = uint8(p)
+		dataBitOfPos[p] = int8(i)
+		i++
+	}
+}
+
+// LaneStatus is the outcome of checking one 64-bit lane.
+type LaneStatus int
+
+const (
+	// LaneOK: the lane matched its check byte.
+	LaneOK LaneStatus = iota
+	// LaneCorrected: a single-bit error (in the data or in the check
+	// bits themselves) was located and repaired.
+	LaneCorrected
+	// LaneUncorrectable: a double-bit error was detected; the lane
+	// cannot be repaired.
+	LaneUncorrectable
+)
+
+// hammingSyndrome is the XOR of the codeword positions of every set
+// data bit; its bit j equals Hamming parity bit p_{2^j}.
+func hammingSyndrome(d uint64) uint8 {
+	var syn uint8
+	for x := d; x != 0; x &= x - 1 {
+		syn ^= posOfDataBit[bits.TrailingZeros64(x)]
+	}
+	return syn
+}
+
+// EncodeLane returns the SECDED check byte for a 64-bit lane: bits 0-6
+// are the Hamming parity bits and bit 7 is the overall parity of data
+// plus parity bits. The all-zero lane encodes to a zero check byte, so
+// unwritten (zero-initialized) DRAM words verify against missing check
+// bytes for free.
+func EncodeLane(d uint64) uint8 {
+	check := hammingSyndrome(d) & 0x7f
+	par := (bits.OnesCount64(d) + bits.OnesCount8(check)) & 1
+	return check | uint8(par)<<7
+}
+
+// CorrectLane checks a received lane against its stored check byte. It
+// returns the (possibly repaired) data and the lane status; on
+// LaneUncorrectable the data is returned as received.
+func CorrectLane(d uint64, check uint8) (uint64, LaneStatus) {
+	syn := hammingSyndrome(d) ^ (check & 0x7f)
+	overall := (bits.OnesCount64(d) + bits.OnesCount8(check)) & 1
+	switch {
+	case syn == 0 && overall == 0:
+		return d, LaneOK
+	case syn == 0:
+		// Only the overall parity bit itself flipped; the data is fine.
+		return d, LaneCorrected
+	case overall == 0:
+		// Non-zero syndrome with clean overall parity: an even number of
+		// flips, i.e. a double-bit error.
+		return d, LaneUncorrectable
+	case syn&(syn-1) == 0 && int(syn) <= codeBits:
+		// The error is in a Hamming parity bit; the data is fine.
+		return d, LaneCorrected
+	case int(syn) <= codeBits && dataBitOfPos[syn] >= 0:
+		return d ^ 1<<uint(dataBitOfPos[syn]), LaneCorrected
+	default:
+		// The syndrome points outside the codeword: at least three flips
+		// aliased to an impossible position.
+		return d, LaneUncorrectable
+	}
+}
+
+// lanes returns the number of ECC lanes covering a word of n bytes.
+func lanes(n int) int { return (n + laneBytes - 1) / laneBytes }
+
+// laneAt extracts lane l of word as a little-endian 64-bit value,
+// zero-padding past the end of the word.
+func laneAt(word []byte, l int) uint64 {
+	var v uint64
+	for i := 0; i < laneBytes; i++ {
+		if off := l*laneBytes + i; off < len(word) {
+			v |= uint64(word[off]) << (8 * i)
+		}
+	}
+	return v
+}
+
+// storeLane writes v back into lane l of word, dropping padding bytes.
+func storeLane(word []byte, l int, v uint64) {
+	for i := 0; i < laneBytes; i++ {
+		if off := l*laneBytes + i; off < len(word) {
+			word[off] = byte(v >> (8 * i))
+		}
+	}
+}
+
+// encodeWordInto appends one check byte per lane of word to dst.
+func encodeWordInto(dst []byte, word []byte) []byte {
+	for l := 0; l < lanes(len(word)); l++ {
+		dst = append(dst, EncodeLane(laneAt(word, l)))
+	}
+	return dst
+}

@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func testWords() []uint64 {
+	rng := rand.New(rand.NewPCG(1, 2))
+	words := []uint64{0, ^uint64(0), 1, 1 << 63, 0xDEADBEEFCAFEBABE}
+	for i := 0; i < 16; i++ {
+		words = append(words, rng.Uint64())
+	}
+	return words
+}
+
+func TestEncodeLaneZeroWordZeroCheck(t *testing.T) {
+	// The store reads unwritten words as zero and the injector treats
+	// missing check bytes as zero; those two conventions must agree.
+	if c := EncodeLane(0); c != 0 {
+		t.Fatalf("EncodeLane(0) = %#x want 0", c)
+	}
+}
+
+func TestCleanLanesVerify(t *testing.T) {
+	for _, w := range testWords() {
+		got, st := CorrectLane(w, EncodeLane(w))
+		if st != LaneOK || got != w {
+			t.Fatalf("clean lane %#x: status %v data %#x", w, st, got)
+		}
+	}
+}
+
+func TestEverySingleBitErrorCorrected(t *testing.T) {
+	for _, w := range testWords() {
+		check := EncodeLane(w)
+		for bit := 0; bit < 64; bit++ {
+			got, st := CorrectLane(w^1<<uint(bit), check)
+			if st != LaneCorrected {
+				t.Fatalf("word %#x bit %d: status %v want LaneCorrected", w, bit, st)
+			}
+			if got != w {
+				t.Fatalf("word %#x bit %d: corrected to %#x", w, bit, got)
+			}
+		}
+	}
+}
+
+func TestCheckBitErrorsCorrected(t *testing.T) {
+	// A flip in the check byte itself must not damage the data.
+	for _, w := range testWords() {
+		check := EncodeLane(w)
+		for bit := 0; bit < 8; bit++ {
+			got, st := CorrectLane(w, check^1<<uint(bit))
+			if st != LaneCorrected || got != w {
+				t.Fatalf("word %#x check bit %d: status %v data %#x", w, bit, st, got)
+			}
+		}
+	}
+}
+
+func TestEveryDoubleBitErrorDetected(t *testing.T) {
+	for _, w := range testWords()[:8] {
+		check := EncodeLane(w)
+		for b1 := 0; b1 < 64; b1++ {
+			for b2 := b1 + 1; b2 < 64; b2++ {
+				_, st := CorrectLane(w^1<<uint(b1)^1<<uint(b2), check)
+				if st != LaneUncorrectable {
+					t.Fatalf("word %#x bits %d,%d: status %v want LaneUncorrectable", w, b1, b2, st)
+				}
+			}
+		}
+	}
+}
+
+func TestDataPlusCheckDoubleDetected(t *testing.T) {
+	// One data flip plus one check flip is still a double-bit error.
+	for _, w := range testWords()[:8] {
+		check := EncodeLane(w)
+		for db := 0; db < 64; db += 7 {
+			for cb := 0; cb < 8; cb++ {
+				_, st := CorrectLane(w^1<<uint(db), check^1<<uint(cb))
+				if st != LaneUncorrectable {
+					t.Fatalf("word %#x data bit %d check bit %d: status %v", w, db, cb, st)
+				}
+			}
+		}
+	}
+}
+
+func TestWordLaneRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 8, 9, 16, 64} {
+		word := make([]byte, n)
+		for i := range word {
+			word[i] = byte(0xA5 ^ i)
+		}
+		checks := encodeWordInto(nil, word)
+		if len(checks) != lanes(n) {
+			t.Fatalf("n=%d: %d check bytes want %d", n, len(checks), lanes(n))
+		}
+		for l := 0; l < lanes(n); l++ {
+			if _, st := CorrectLane(laneAt(word, l), checks[l]); st != LaneOK {
+				t.Fatalf("n=%d lane %d: status %v", n, l, st)
+			}
+		}
+		// storeLane(laneAt(...)) is the identity.
+		cp := append([]byte(nil), word...)
+		for l := 0; l < lanes(n); l++ {
+			storeLane(cp, l, laneAt(cp, l))
+		}
+		for i := range word {
+			if cp[i] != word[i] {
+				t.Fatalf("n=%d: lane round trip changed byte %d", n, i)
+			}
+		}
+	}
+}

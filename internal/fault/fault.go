@@ -1,0 +1,286 @@
+// Package fault is the chaos side of the VPNM robustness story: a
+// deterministic, seedable fault injector that plugs into the DRAM model
+// through the dram.Hook interface, paired with a SECDED(72,64)-style
+// ECC layer (ecc.go) that corrects what the injector breaks — or
+// surfaces it as an uncorrectable error when it cannot.
+//
+// Three fault classes are modelled, mirroring the failure modes the
+// paper's "retry next cycle or drop the packet" contract must survive:
+//
+//   - transient single- and double-bit flips on read data (cosmic-ray
+//     style soft errors; singles are corrected by ECC, doubles are
+//     detected and poisoned),
+//   - stuck-at data lines on individual banks (persistent hardware
+//     faults; every read of the bank is corrected, and the scrubbing
+//     counters show the repair traffic a real controller would emit),
+//   - slow banks, whose occupancy L is temporarily inflated (thermal
+//     throttling, refresh interference). These attack the *timing* side
+//     of the fixed-delay guarantee, so the controller must provision
+//     delay headroom: see core.Config.AutoDelayWithSlack.
+//
+// All randomness comes from one seeded PCG drawn in DRAM-issue order,
+// so a given (seed, workload) pair replays bit-for-bit.
+package fault
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/dram"
+)
+
+// StuckBit pins one data line of one bank: every word read from Bank
+// has bit Bit forced to Value, modelling a failed driver or via.
+type StuckBit struct {
+	// Bank is the bank whose data path carries the fault.
+	Bank int
+	// Bit indexes into the word: bit 0 is the least-significant bit of
+	// byte 0. Bits beyond the configured word are ignored.
+	Bit int
+	// Value is the level the line is stuck at.
+	Value bool
+}
+
+// Config describes the fault environment. The zero value injects
+// nothing (but still runs the ECC layer, encoding and checking every
+// word).
+type Config struct {
+	// Seed keys the injector's PRNG.
+	Seed uint64
+	// SingleBitRate is the probability, per DRAM read, that one random
+	// bit of the word flips in flight. SECDED corrects these.
+	SingleBitRate float64
+	// DoubleBitRate is the probability, per DRAM read, that two distinct
+	// bits of one ECC lane flip — guaranteed beyond single-bit
+	// correction, so SECDED detects and poisons the word.
+	// SingleBitRate + DoubleBitRate must not exceed 1.
+	DoubleBitRate float64
+	// StuckBits lists persistently faulted data lines.
+	StuckBits []StuckBit
+	// SlowBankRate is the probability, per access, that the bank is slow
+	// and its occupancy is inflated by SlowBankExtra memory cycles.
+	SlowBankRate float64
+	// SlowBankExtra is the occupancy inflation of a slow access. The
+	// controller's Delay must include this headroom (AutoDelayWithSlack)
+	// or late data will trip the delivery invariant, by design.
+	SlowBankExtra int
+	// DisableECC bypasses the SECDED layer so injected faults reach the
+	// payload unprotected — used to demonstrate that the chaos harness
+	// detects silent corruption.
+	DisableECC bool
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"SingleBitRate", c.SingleBitRate},
+		{"DoubleBitRate", c.DoubleBitRate},
+		{"SlowBankRate", c.SlowBankRate},
+	}
+	for _, r := range rates {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s %v must be in [0,1]", r.name, r.v)
+		}
+	}
+	if c.SingleBitRate+c.DoubleBitRate > 1 {
+		return fmt.Errorf("fault: SingleBitRate+DoubleBitRate %v exceeds 1", c.SingleBitRate+c.DoubleBitRate)
+	}
+	if c.SlowBankExtra < 0 {
+		return fmt.Errorf("fault: SlowBankExtra must be >= 0, got %d", c.SlowBankExtra)
+	}
+	if c.SlowBankRate > 0 && c.SlowBankExtra == 0 {
+		return fmt.Errorf("fault: SlowBankRate %v needs SlowBankExtra > 0", c.SlowBankRate)
+	}
+	for _, s := range c.StuckBits {
+		if s.Bank < 0 || s.Bit < 0 {
+			return fmt.Errorf("fault: stuck bit %+v must have non-negative bank and bit", s)
+		}
+	}
+	return nil
+}
+
+// Counters is the injector's own ledger; the chaos harness reconciles
+// it against the controller's Stats and the Retrier's counters.
+type Counters struct {
+	// Reads and Writes count hook invocations (i.e. DRAM accesses seen).
+	Reads, Writes uint64
+	// InjectedSingle and InjectedDouble count transient faults injected.
+	InjectedSingle, InjectedDouble uint64
+	// StuckApplied counts reads on which a stuck line actually inverted
+	// a bit (reads whose data already matched the stuck level pass
+	// through unchanged).
+	StuckApplied uint64
+	// CorrectedReads counts reads repaired by ECC; CorrectedLanes counts
+	// the individual 64-bit lanes repaired (one read can repair several).
+	CorrectedReads, CorrectedLanes uint64
+	// UncorrectableReads counts reads poisoned by a multi-bit error.
+	UncorrectableReads uint64
+	// Scrubs counts corrected lanes written back clean — the scrubbing
+	// traffic a real controller would generate toward the DIMM.
+	Scrubs uint64
+	// SlowAccesses counts accesses that hit a slow bank; ExtraCycles is
+	// the total occupancy added.
+	SlowAccesses, ExtraCycles uint64
+	// Escaped counts faults injected while ECC was disabled: an upper
+	// bound on silent corruption the harness must catch downstream.
+	Escaped uint64
+}
+
+// Injector implements dram.Hook. It is not safe for concurrent use;
+// like the module it instruments, it is driven by one clock.
+type Injector struct {
+	cfg   Config
+	rng   *rand.Rand
+	check map[uint64][]byte  // per-address ECC check bytes, one per lane
+	stuck map[int][]StuckBit // stuck lines grouped by bank
+	c     Counters
+}
+
+// New builds an injector; the same Config always yields the same fault
+// sequence for the same access sequence.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15)),
+		check: make(map[uint64][]byte),
+		stuck: make(map[int][]StuckBit),
+	}
+	for _, s := range cfg.StuckBits {
+		in.stuck[s.Bank] = append(in.stuck[s.Bank], s)
+	}
+	return in, nil
+}
+
+// Config returns the injector's configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Counters returns a snapshot of the injector's ledger.
+func (in *Injector) Counters() Counters { return in.c }
+
+// OnWrite implements dram.Hook: it records the check bytes protecting
+// the stored word.
+func (in *Injector) OnWrite(bank int, addr uint64, data []byte) {
+	in.c.Writes++
+	if in.cfg.DisableECC {
+		return
+	}
+	in.check[addr] = encodeWordInto(in.check[addr][:0], data)
+}
+
+// flipBit inverts bit i of data (bit 0 = LSB of byte 0).
+func flipBit(data []byte, i int) {
+	data[i/8] ^= 1 << uint(i%8)
+}
+
+// forceBit pins bit i of data to v, reporting whether it changed.
+func forceBit(data []byte, i int, v bool) bool {
+	mask := byte(1) << uint(i%8)
+	old := data[i/8]&mask != 0
+	if old == v {
+		return false
+	}
+	data[i/8] ^= mask
+	return true
+}
+
+// OnRead implements dram.Hook: it corrupts the in-flight copy of the
+// word according to the configured fault classes, then (unless ECC is
+// disabled) checks and corrects it, classifying the outcome.
+func (in *Injector) OnRead(bank int, addr uint64, data []byte) dram.ReadStatus {
+	in.c.Reads++
+	nbits := len(data) * 8
+	if nbits == 0 {
+		return dram.ReadOK
+	}
+	injected := false
+	stuckHere := false
+	for _, s := range in.stuck[bank] {
+		if s.Bit < nbits && forceBit(data, s.Bit, s.Value) {
+			in.c.StuckApplied++
+			stuckHere = true
+			injected = true
+		}
+	}
+	// Transient faults: at most one class per read, and none on a read a
+	// stuck line already corrupted — stacking independent faults in one
+	// ECC lane can exceed SECDED's two-error guarantee and alias into a
+	// bogus "correction", exactly as in real hardware.
+	if !stuckHere {
+		switch r := in.rng.Float64(); {
+		case r < in.cfg.DoubleBitRate:
+			l := 0
+			if n := lanes(len(data)); n > 1 {
+				l = in.rng.IntN(n)
+			}
+			lo := l * laneBytes * 8
+			hi := min((l+1)*laneBytes*8, nbits)
+			b1 := lo + in.rng.IntN(hi-lo)
+			b2 := lo + in.rng.IntN(hi-lo-1)
+			if b2 >= b1 {
+				b2++
+			}
+			flipBit(data, b1)
+			flipBit(data, b2)
+			in.c.InjectedDouble++
+			injected = true
+		case r < in.cfg.DoubleBitRate+in.cfg.SingleBitRate:
+			flipBit(data, in.rng.IntN(nbits))
+			in.c.InjectedSingle++
+			injected = true
+		}
+	}
+	if in.cfg.DisableECC {
+		if injected {
+			in.c.Escaped++
+		}
+		return dram.ReadOK
+	}
+	check := in.check[addr] // nil for never-written words: zero data, zero check bytes
+	status := dram.ReadOK
+	correctedAny := false
+	for l := 0; l < lanes(len(data)); l++ {
+		var cb uint8
+		if l < len(check) {
+			cb = check[l]
+		}
+		v := laneAt(data, l)
+		fixed, st := CorrectLane(v, cb)
+		switch st {
+		case LaneCorrected:
+			if fixed != v {
+				storeLane(data, l, fixed)
+			}
+			in.c.CorrectedLanes++
+			in.c.Scrubs++ // the corrected word is written back clean
+			correctedAny = true
+		case LaneUncorrectable:
+			status = dram.ReadUncorrectable
+		}
+	}
+	if status == dram.ReadUncorrectable {
+		in.c.UncorrectableReads++
+	} else if correctedAny {
+		in.c.CorrectedReads++
+		status = dram.ReadCorrected
+	}
+	return status
+}
+
+// AccessExtra implements dram.Hook: the slow-bank fault.
+func (in *Injector) AccessExtra(bank int, addr uint64, now uint64) uint64 {
+	if in.cfg.SlowBankRate <= 0 {
+		return 0
+	}
+	if in.rng.Float64() >= in.cfg.SlowBankRate {
+		return 0
+	}
+	in.c.SlowAccesses++
+	in.c.ExtraCycles += uint64(in.cfg.SlowBankExtra)
+	return uint64(in.cfg.SlowBankExtra)
+}

@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"rates", Config{SingleBitRate: 0.5, DoubleBitRate: 0.5}, true},
+		{"negative rate", Config{SingleBitRate: -0.1}, false},
+		{"rate above one", Config{DoubleBitRate: 1.5}, false},
+		{"rates sum above one", Config{SingleBitRate: 0.7, DoubleBitRate: 0.7}, false},
+		{"slow without extra", Config{SlowBankRate: 0.5}, false},
+		{"slow ok", Config{SlowBankRate: 0.5, SlowBankExtra: 4}, true},
+		{"negative extra", Config{SlowBankExtra: -1}, false},
+		{"bad stuck", Config{StuckBits: []StuckBit{{Bank: -1}}}, false},
+	}
+	for _, tc := range cases {
+		_, err := New(tc.cfg)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: New() err = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// roundTrip writes word through the hook and reads it back with faults.
+func roundTrip(t *testing.T, in *Injector, bank int, addr uint64, word []byte) ([]byte, dram.ReadStatus) {
+	t.Helper()
+	in.OnWrite(bank, addr, word)
+	data := append([]byte(nil), word...)
+	status := in.OnRead(bank, addr, data)
+	return data, status
+}
+
+func TestNoFaultsPassThrough(t *testing.T) {
+	in, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	word := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	data, status := roundTrip(t, in, 0, 42, word)
+	if status != dram.ReadOK || !bytes.Equal(data, word) {
+		t.Fatalf("status %v data %v", status, data)
+	}
+	c := in.Counters()
+	if c.Reads != 1 || c.Writes != 1 || c.CorrectedReads != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+func TestSingleBitFaultsCorrected(t *testing.T) {
+	in, _ := New(Config{Seed: 7, SingleBitRate: 1})
+	word := []byte{0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4}
+	for i := 0; i < 100; i++ {
+		data, status := roundTrip(t, in, 0, uint64(i), word)
+		if status != dram.ReadCorrected {
+			t.Fatalf("read %d: status %v want ReadCorrected", i, status)
+		}
+		if !bytes.Equal(data, word) {
+			t.Fatalf("read %d: corrected data %v != %v", i, data, word)
+		}
+	}
+	c := in.Counters()
+	if c.InjectedSingle != 100 || c.CorrectedReads != 100 || c.UncorrectableReads != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+	if c.Scrubs != c.CorrectedLanes || c.Scrubs == 0 {
+		t.Fatalf("scrubs %d lanes %d", c.Scrubs, c.CorrectedLanes)
+	}
+}
+
+func TestDoubleBitFaultsPoisoned(t *testing.T) {
+	in, _ := New(Config{Seed: 7, DoubleBitRate: 1})
+	word := make([]byte, 16) // two lanes
+	for i := range word {
+		word[i] = byte(i * 17)
+	}
+	for i := 0; i < 100; i++ {
+		_, status := roundTrip(t, in, 1, uint64(i), word)
+		if status != dram.ReadUncorrectable {
+			t.Fatalf("read %d: status %v want ReadUncorrectable", i, status)
+		}
+	}
+	c := in.Counters()
+	if c.InjectedDouble != 100 || c.UncorrectableReads != 100 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+func TestStuckBitCorrectedEveryRead(t *testing.T) {
+	in, _ := New(Config{Seed: 3, StuckBits: []StuckBit{{Bank: 2, Bit: 5, Value: true}}})
+	word := make([]byte, 8) // bit 5 is naturally 0, so the stuck line inverts it
+	for i := 0; i < 10; i++ {
+		data, status := roundTrip(t, in, 2, 9, word)
+		if status != dram.ReadCorrected {
+			t.Fatalf("read %d: status %v", i, status)
+		}
+		if !bytes.Equal(data, word) {
+			t.Fatalf("read %d: data %v", i, data)
+		}
+	}
+	// Other banks are untouched.
+	if _, status := roundTrip(t, in, 0, 10, word); status != dram.ReadOK {
+		t.Fatalf("unstuck bank status %v", status)
+	}
+	c := in.Counters()
+	if c.StuckApplied != 10 || c.CorrectedReads != 10 {
+		t.Fatalf("counters %+v", c)
+	}
+	// A word whose bit already sits at the stuck level is unaffected.
+	in2, _ := New(Config{StuckBits: []StuckBit{{Bank: 0, Bit: 0, Value: true}}})
+	one := []byte{1, 0, 0, 0, 0, 0, 0, 0}
+	if _, status := roundTrip(t, in2, 0, 1, one); status != dram.ReadOK {
+		t.Fatalf("matching stuck level: status %v", status)
+	}
+	if in2.Counters().StuckApplied != 0 {
+		t.Fatal("stuck counted without a flip")
+	}
+}
+
+func TestUnwrittenWordsVerifyAgainstMissingCheckBits(t *testing.T) {
+	in, _ := New(Config{Seed: 5, SingleBitRate: 1})
+	zero := make([]byte, 8)
+	data := append([]byte(nil), zero...)
+	if status := in.OnRead(0, 77, data); status != dram.ReadCorrected {
+		t.Fatalf("status %v want ReadCorrected", status)
+	}
+	if !bytes.Equal(data, zero) {
+		t.Fatalf("corrected zero word %v", data)
+	}
+}
+
+func TestDisableECCLetsFaultsEscape(t *testing.T) {
+	in, _ := New(Config{Seed: 5, SingleBitRate: 1, DisableECC: true})
+	word := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	data, status := roundTrip(t, in, 0, 1, word)
+	if status != dram.ReadOK {
+		t.Fatalf("status %v want ReadOK (undetected)", status)
+	}
+	if bytes.Equal(data, word) {
+		t.Fatal("fault was not injected")
+	}
+	if in.Counters().Escaped != 1 {
+		t.Fatalf("escaped = %d want 1", in.Counters().Escaped)
+	}
+}
+
+func TestSlowBankExtra(t *testing.T) {
+	in, _ := New(Config{Seed: 2, SlowBankRate: 1, SlowBankExtra: 9})
+	if extra := in.AccessExtra(0, 0, 0); extra != 9 {
+		t.Fatalf("extra = %d want 9", extra)
+	}
+	c := in.Counters()
+	if c.SlowAccesses != 1 || c.ExtraCycles != 9 {
+		t.Fatalf("counters %+v", c)
+	}
+	quiet, _ := New(Config{Seed: 2})
+	if extra := quiet.AccessExtra(0, 0, 0); extra != 0 {
+		t.Fatalf("quiet extra = %d", extra)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	run := func() (Counters, []byte) {
+		in, _ := New(Config{Seed: 11, SingleBitRate: 0.3, DoubleBitRate: 0.1, SlowBankRate: 0.2, SlowBankExtra: 3})
+		var last []byte
+		for i := 0; i < 500; i++ {
+			word := []byte{byte(i), byte(i >> 3), 0xAA, 0x55, byte(i * 7), 0, 1, 2}
+			in.AccessExtra(i%4, uint64(i), uint64(i))
+			data, _ := roundTrip(t, in, i%4, uint64(i%37), word)
+			last = append([]byte(nil), data...)
+		}
+		return in.Counters(), last
+	}
+	c1, d1 := run()
+	c2, d2 := run()
+	if c1 != c2 {
+		t.Fatalf("counters diverge:\n%+v\n%+v", c1, c2)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatalf("data diverges: %v vs %v", d1, d2)
+	}
+	if c1.InjectedSingle == 0 || c1.InjectedDouble == 0 || c1.SlowAccesses == 0 {
+		t.Fatalf("fault mix not exercised: %+v", c1)
+	}
+}

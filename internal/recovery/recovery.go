@@ -1,0 +1,378 @@
+// Package recovery implements the client side of the paper's stall
+// contract. Section 4.3 proves stalls are provably rare and says a
+// client handles one by "retrying next cycle or dropping the packet";
+// this package turns that sentence into first-class machinery: a
+// Retrier wraps a core.Controller and applies a configurable policy to
+// every stall, with per-condition accounting the chaos harness
+// reconciles against the controller's own counters.
+//
+// The Retrier models a single-ported device in front of the memory,
+// exactly like the hardware: at most one request occupies the interface
+// per cycle, and a parked (deferred) request holds the port until it
+// resolves.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Policy selects what the Retrier does when the controller stalls.
+type Policy int
+
+const (
+	// RetryNextCycle parks a stalled request and re-presents it at the
+	// start of each following interface cycle, up to MaxAttempts times —
+	// the paper's "simply stall the [device]" option. While a request is
+	// parked the interface port is held: new requests get ErrBusy.
+	RetryNextCycle Policy = iota
+	// DropWithAccounting abandons a stalled request immediately and
+	// counts it — the paper's "simply drop the packet" option.
+	DropWithAccounting
+	// Backpressure defers the whole interface cycle: the Retrier ticks
+	// the controller in place, buffering any completions, until the
+	// request is accepted (or MaxAttempts cycles pass, which drops it).
+	// The caller sees a Read/Write that practically never fails but may
+	// consume many interface cycles — time the device spends stalled.
+	Backpressure
+)
+
+// String names the policy for reports.
+func (p Policy) String() string {
+	switch p {
+	case RetryNextCycle:
+		return "retry-next-cycle"
+	case DropWithAccounting:
+		return "drop-with-accounting"
+	case Backpressure:
+		return "backpressure"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// DefaultMaxAttempts bounds retries when Config.MaxAttempts is zero.
+// The paper's MTS analysis makes consecutive stalls astronomically
+// unlikely in sane configurations, so a bound this size is only ever
+// hit under deliberately hostile traffic or tiny test geometries.
+const DefaultMaxAttempts = 256
+
+// Config tunes a Retrier.
+type Config struct {
+	// Policy selects stall handling; the zero value is RetryNextCycle.
+	Policy Policy
+	// MaxAttempts bounds how many times one request may be re-presented
+	// before it is dropped with accounting. Zero selects
+	// DefaultMaxAttempts.
+	MaxAttempts int
+	// OnAccept, when non-nil, observes every request the controller
+	// accepts, in acceptance order — including parked requests accepted
+	// during Tick, which the caller otherwise cannot see. For writes,
+	// tag is 0 and data is the written payload (valid only during the
+	// callback); for reads, data is nil.
+	OnAccept func(write bool, addr uint64, tag uint64, data []byte)
+	// OnDrop, when non-nil, observes every request abandoned — policy
+	// drops and exhausted retries — with the stall that caused it.
+	OnDrop func(write bool, addr uint64, cause error)
+}
+
+// Recovery-layer verdicts. ErrDropped wraps the underlying stall, so
+// errors.Is(err, core.ErrStall) still identifies the cause.
+var (
+	// ErrBusy: the single interface port is unavailable this cycle —
+	// a parked request holds it, or a successful retry during the last
+	// Tick already consumed it. Keep ticking and issue again.
+	ErrBusy = errors.New("recovery: deferred request holds the interface")
+	// ErrDeferred: the request was parked and will be re-presented on
+	// following cycles; the caller learns the outcome via OnAccept /
+	// OnDrop (reads additionally via their completion).
+	ErrDeferred = errors.New("recovery: request deferred for retry")
+	// ErrDropped: the request was abandoned, with accounting.
+	ErrDropped = errors.New("recovery: request dropped")
+)
+
+// Counters is the Retrier's ledger. In a run where every request goes
+// through the Retrier, Stalls must equal the controller's
+// Stats().Stalls exactly — the chaos harness asserts it.
+type Counters struct {
+	// Reads and Writes count accepted requests.
+	Reads, Writes uint64
+	// Stalls counts every stalled attempt by condition, initial
+	// presentations and retries alike.
+	Stalls core.StallCounts
+	// Retries counts re-presentations of parked requests; RetriedOK
+	// counts parked requests eventually accepted.
+	Retries, RetriedOK uint64
+	// Drops counts abandoned requests; Exhausted is the subset dropped
+	// because MaxAttempts ran out rather than by policy choice.
+	Drops, Exhausted uint64
+	// DeferredCycles counts interface cycles absorbed inside
+	// Backpressure calls — time the device spent stalled.
+	DeferredCycles uint64
+}
+
+// Retrier wraps a Controller with a stall-recovery policy. Like the
+// controller it fronts, it is single-ported and not safe for concurrent
+// use. Completions returned by Tick and Flush carry stable data copies,
+// so they remain valid even when Backpressure ticks the controller
+// mid-call.
+type Retrier struct {
+	ctrl *core.Controller
+	cfg  Config
+
+	parked    bool
+	portUsed  bool // a successful retry consumed the current cycle's port
+	pWrite    bool
+	pAddr     uint64
+	pData     []byte
+	pAttempts int
+
+	backlog []core.Completion // pending output, payloads in pooled buffers
+	out     []core.Completion // last Tick's returned slice (buffers recycled next Tick)
+	pool    [][]byte
+
+	c Counters
+}
+
+// NewRetrier wraps ctrl.
+func NewRetrier(ctrl *core.Controller, cfg Config) *Retrier {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	return &Retrier{ctrl: ctrl, cfg: cfg}
+}
+
+// Controller returns the wrapped controller.
+func (r *Retrier) Controller() *core.Controller { return r.ctrl }
+
+// Counters returns a snapshot of the recovery ledger.
+func (r *Retrier) Counters() Counters { return r.c }
+
+// Parked reports whether a deferred request currently holds the
+// interface port. While true, Read and Write return ErrBusy and the
+// device should simply keep calling Tick.
+func (r *Retrier) Parked() bool { return r.parked }
+
+// PortBusy reports whether the interface port is unavailable this
+// cycle: a parked request holds it, or a successful retry inside the
+// last Tick already consumed it (the retry IS this cycle's request).
+// While true, Read and Write return ErrBusy; issue again after the
+// next Tick.
+func (r *Retrier) PortBusy() bool { return r.parked || r.portUsed }
+
+// Delay returns the wrapped controller's normalized delay D.
+func (r *Retrier) Delay() int { return r.ctrl.Delay() }
+
+// Outstanding reports reads issued but not yet delivered.
+func (r *Retrier) Outstanding() uint64 { return r.ctrl.Outstanding() }
+
+// Read issues a read this interface cycle, applying the stall policy:
+//
+//   - accepted: returns the controller's tag.
+//   - RetryNextCycle stall: parks the request and returns ErrDeferred.
+//   - DropWithAccounting stall: counts it and returns ErrDropped
+//     (wrapping the stall condition).
+//   - Backpressure stall: ticks the controller in place until accepted,
+//     then returns the tag; completions observed meanwhile appear on the
+//     next Tick.
+//
+// Non-stall errors (ErrSecondRequest) pass through untouched.
+func (r *Retrier) Read(addr uint64) (uint64, error) {
+	if r.parked || r.portUsed {
+		return 0, ErrBusy
+	}
+	tag, err := r.ctrl.Read(addr)
+	if err == nil {
+		r.accept(false, addr, tag, nil)
+		return tag, nil
+	}
+	if !core.IsStall(err) {
+		return 0, err
+	}
+	r.noteStall(err)
+	return r.handleStall(false, addr, nil, err)
+}
+
+// Write issues a write this interface cycle, applying the stall policy
+// exactly as Read does. Writes complete silently, so a deferred write's
+// only externally visible outcome is OnAccept or OnDrop.
+func (r *Retrier) Write(addr uint64, data []byte) error {
+	if r.parked || r.portUsed {
+		return ErrBusy
+	}
+	err := r.ctrl.Write(addr, data)
+	if err == nil {
+		r.accept(true, addr, 0, data)
+		return nil
+	}
+	if !core.IsStall(err) {
+		return err
+	}
+	r.noteStall(err)
+	_, err = r.handleStall(true, addr, data, err)
+	return err
+}
+
+func (r *Retrier) handleStall(write bool, addr uint64, data []byte, cause error) (uint64, error) {
+	switch r.cfg.Policy {
+	case DropWithAccounting:
+		return 0, r.drop(write, addr, cause, false)
+	case Backpressure:
+		for attempt := 1; ; attempt++ {
+			if attempt >= r.cfg.MaxAttempts {
+				return 0, r.drop(write, addr, cause, true)
+			}
+			r.c.DeferredCycles++
+			r.collect(r.ctrl.Tick())
+			r.c.Retries++
+			var tag uint64
+			var err error
+			if write {
+				err = r.ctrl.Write(addr, data)
+			} else {
+				tag, err = r.ctrl.Read(addr)
+			}
+			if err == nil {
+				r.c.RetriedOK++
+				r.accept(write, addr, tag, data)
+				return tag, nil
+			}
+			if !core.IsStall(err) {
+				return 0, err
+			}
+			r.noteStall(err)
+			cause = err
+		}
+	default: // RetryNextCycle
+		r.parked = true
+		r.pWrite = write
+		r.pAddr = addr
+		r.pData = append(r.pData[:0], data...)
+		r.pAttempts = 0
+		return 0, ErrDeferred
+	}
+}
+
+// Tick advances one interface cycle: the controller ticks, then any
+// parked request is re-presented into the fresh cycle's open slot —
+// "retry next cycle", verbatim. Returned completions carry stable data
+// copies valid until the next Tick.
+func (r *Retrier) Tick() []core.Completion {
+	// Recycle the payload buffers handed out last Tick.
+	for _, comp := range r.out {
+		r.pool = append(r.pool, comp.Data)
+	}
+	r.out = r.out[:0]
+	r.portUsed = false
+	r.collect(r.ctrl.Tick())
+	if r.parked {
+		r.pAttempts++
+		r.c.Retries++
+		var tag uint64
+		var err error
+		if r.pWrite {
+			err = r.ctrl.Write(r.pAddr, r.pData)
+		} else {
+			tag, err = r.ctrl.Read(r.pAddr)
+		}
+		switch {
+		case err == nil:
+			r.parked = false
+			r.portUsed = true // the retry is this cycle's one request
+			r.c.RetriedOK++
+			r.accept(r.pWrite, r.pAddr, tag, r.pData)
+		case core.IsStall(err):
+			r.noteStall(err)
+			if r.pAttempts >= r.cfg.MaxAttempts {
+				r.parked = false
+				r.drop(r.pWrite, r.pAddr, err, true)
+			}
+		default:
+			// The slot is fresh after Tick, so ErrSecondRequest cannot
+			// occur; anything else is a protocol bug worth crashing on.
+			panic(fmt.Sprintf("recovery: retry failed with non-stall error %v", err))
+		}
+	}
+	r.out = append(r.out, r.backlog...)
+	r.backlog = r.backlog[:0]
+	return r.out
+}
+
+// Flush resolves any parked request and then drains the controller,
+// returning every completion observed. Draining ticks are ordinary
+// interface cycles, so the fixed-D contract holds throughout: every
+// completion still lands exactly Delay() cycles after its issue. A
+// parked request that exhausts MaxAttempts during the drain is dropped
+// with accounting, so Flush always terminates.
+func (r *Retrier) Flush() []core.Completion {
+	var all []core.Completion
+	// Deliver completions still buffered from Backpressure calls first —
+	// they predate anything the drain below will produce.
+	for _, comp := range r.backlog {
+		buf := comp.Data
+		comp.Data = append([]byte(nil), buf...)
+		all = append(all, comp)
+		r.pool = append(r.pool, buf)
+	}
+	r.backlog = r.backlog[:0]
+	for r.parked {
+		for _, comp := range r.Tick() {
+			comp.Data = append([]byte(nil), comp.Data...)
+			all = append(all, comp)
+		}
+	}
+	all = append(all, r.ctrl.Flush()...)
+	// The drain advanced many cycles past whatever consumed the port.
+	r.portUsed = false
+	return all
+}
+
+// collect stashes completions with payloads copied into pooled buffers.
+func (r *Retrier) collect(comps []core.Completion) {
+	for _, comp := range comps {
+		var buf []byte
+		if n := len(r.pool); n > 0 {
+			buf = r.pool[n-1][:0]
+			r.pool = r.pool[:n-1]
+		}
+		comp.Data = append(buf, comp.Data...)
+		r.backlog = append(r.backlog, comp)
+	}
+}
+
+func (r *Retrier) accept(write bool, addr uint64, tag uint64, data []byte) {
+	if write {
+		r.c.Writes++
+	} else {
+		r.c.Reads++
+	}
+	if r.cfg.OnAccept != nil {
+		r.cfg.OnAccept(write, addr, tag, data)
+	}
+}
+
+func (r *Retrier) drop(write bool, addr uint64, cause error, exhausted bool) error {
+	r.c.Drops++
+	if exhausted {
+		r.c.Exhausted++
+	}
+	if r.cfg.OnDrop != nil {
+		r.cfg.OnDrop(write, addr, cause)
+	}
+	return fmt.Errorf("%w: %w", ErrDropped, cause)
+}
+
+func (r *Retrier) noteStall(err error) {
+	switch {
+	case errors.Is(err, core.ErrStallDelayBuffer):
+		r.c.Stalls.DelayBuffer++
+	case errors.Is(err, core.ErrStallBankQueue):
+		r.c.Stalls.BankQueue++
+	case errors.Is(err, core.ErrStallWriteBuffer):
+		r.c.Stalls.WriteBuffer++
+	case errors.Is(err, core.ErrStallCounter):
+		r.c.Stalls.Counter++
+	}
+}

@@ -1,0 +1,292 @@
+package recovery
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// tinyConfig returns a geometry small enough to stall on demand:
+// one bank, a one-entry access queue and a long bank occupancy, so a
+// couple of back-to-back reads exhaust the queue for many cycles.
+func tinyConfig() core.Config {
+	return core.Config{
+		Banks:         1,
+		QueueDepth:    1,
+		DelayRows:     8,
+		AccessLatency: 200,
+		WordBytes:     4,
+		HashSeed:      1,
+	}
+}
+
+// stallRead drives ctrl through r until a read of a fresh address
+// stalls, returning the stalling address. Distinct addresses defeat
+// row merging so each read needs its own queue entry.
+func stallRead(t *testing.T, r *Retrier) (addr uint64, err error) {
+	t.Helper()
+	for addr = 0; addr < 100; addr++ {
+		_, err = r.Read(addr)
+		if err != nil {
+			return addr, err
+		}
+		r.Tick()
+	}
+	t.Fatal("no stall provoked")
+	return 0, nil
+}
+
+func TestRetryNextCycleEventuallyAccepts(t *testing.T) {
+	ctrl, err := core.New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted []uint64
+	r := NewRetrier(ctrl, Config{
+		Policy: RetryNextCycle,
+		OnAccept: func(write bool, addr uint64, tag uint64, data []byte) {
+			if !write {
+				accepted = append(accepted, addr)
+			}
+		},
+	})
+	addr, err := stallRead(t, r)
+	if !errors.Is(err, ErrDeferred) {
+		t.Fatalf("stall returned %v want ErrDeferred", err)
+	}
+	if !r.Parked() {
+		t.Fatal("retrier should be parked")
+	}
+	// The port is held while parked.
+	if _, err := r.Read(addr + 1000); !errors.Is(err, ErrBusy) {
+		t.Fatalf("parked Read returned %v want ErrBusy", err)
+	}
+	if err := r.Write(addr+1000, []byte{1}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("parked Write returned %v want ErrBusy", err)
+	}
+	for i := 0; i < 1000 && r.Parked(); i++ {
+		r.Tick()
+	}
+	if r.Parked() {
+		t.Fatal("parked request never resolved")
+	}
+	// The successful retry inside the last Tick WAS this cycle's request:
+	// the port stays busy until the next Tick, then frees.
+	if !r.PortBusy() {
+		t.Fatal("port should be busy on the cycle the retry consumed")
+	}
+	if _, err := r.Read(addr + 2000); !errors.Is(err, ErrBusy) {
+		t.Fatalf("retry-consumed cycle returned %v want ErrBusy", err)
+	}
+	r.Tick()
+	if r.PortBusy() {
+		t.Fatal("port should free after the next Tick")
+	}
+	c := r.Counters()
+	if c.RetriedOK != 1 || c.Retries == 0 || c.Drops != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+	if accepted[len(accepted)-1] != addr {
+		t.Fatalf("last accepted addr %d want %d", accepted[len(accepted)-1], addr)
+	}
+	// The recovered read completes with the exact fixed delay.
+	comps := r.Flush()
+	d := uint64(ctrl.Delay())
+	found := false
+	for _, comp := range comps {
+		if comp.DeliveredAt-comp.IssuedAt != d {
+			t.Fatalf("latency %d != D=%d", comp.DeliveredAt-comp.IssuedAt, d)
+		}
+		if comp.Addr == addr {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("retried read never completed")
+	}
+}
+
+func TestDropWithAccounting(t *testing.T) {
+	ctrl, _ := core.New(tinyConfig())
+	var dropped []error
+	r := NewRetrier(ctrl, Config{
+		Policy: DropWithAccounting,
+		OnDrop: func(write bool, addr uint64, cause error) { dropped = append(dropped, cause) },
+	})
+	_, err := stallRead(t, r)
+	if !errors.Is(err, ErrDropped) {
+		t.Fatalf("stall returned %v want ErrDropped", err)
+	}
+	// The wrapped error still identifies the stall condition.
+	if !errors.Is(err, core.ErrStall) || !errors.Is(err, core.ErrStallBankQueue) {
+		t.Fatalf("dropped error %v does not wrap the stall cause", err)
+	}
+	if r.Parked() {
+		t.Fatal("drop policy must not park")
+	}
+	c := r.Counters()
+	if c.Drops != 1 || c.Exhausted != 0 || len(dropped) != 1 {
+		t.Fatalf("counters %+v dropped %v", c, dropped)
+	}
+}
+
+func TestBackpressureAbsorbsCycles(t *testing.T) {
+	ctrl, _ := core.New(tinyConfig())
+	r := NewRetrier(ctrl, Config{Policy: Backpressure, MaxAttempts: 2000})
+	// Every read is accepted from the caller's point of view.
+	var comps []core.Completion
+	keep := func(batch []core.Completion) {
+		for _, comp := range batch {
+			comp.Data = append([]byte(nil), comp.Data...)
+			comps = append(comps, comp)
+		}
+	}
+	for addr := uint64(0); addr < 20; addr++ {
+		if _, err := r.Read(addr); err != nil {
+			t.Fatalf("backpressure read %d: %v", addr, err)
+		}
+		keep(r.Tick())
+	}
+	c := r.Counters()
+	if c.Reads != 20 || c.DeferredCycles == 0 || c.Stalls.Total() == 0 {
+		t.Fatalf("counters %+v (expected absorbed cycles and stalls)", c)
+	}
+	// Nothing lost, everything on time, including completions buffered
+	// while the controller ticked inside Read.
+	keep(r.Flush())
+	if len(comps) != 20 {
+		t.Fatalf("%d completions want 20", len(comps))
+	}
+	d := uint64(ctrl.Delay())
+	for _, comp := range comps {
+		if comp.DeliveredAt-comp.IssuedAt != d {
+			t.Fatalf("latency %d != D=%d", comp.DeliveredAt-comp.IssuedAt, d)
+		}
+	}
+}
+
+func TestExhaustedRetriesDrop(t *testing.T) {
+	ctrl, _ := core.New(tinyConfig())
+	var drops int
+	r := NewRetrier(ctrl, Config{
+		Policy:      RetryNextCycle,
+		MaxAttempts: 3,
+		OnDrop:      func(write bool, addr uint64, cause error) { drops++ },
+	})
+	if _, err := stallRead(t, r); !errors.Is(err, ErrDeferred) {
+		t.Fatalf("want ErrDeferred, got %v", err)
+	}
+	// The bank stays busy for ~200 memory cycles, far beyond 3 retries.
+	for i := 0; i < 10; i++ {
+		r.Tick()
+	}
+	if r.Parked() {
+		t.Fatal("request should have been dropped after MaxAttempts")
+	}
+	c := r.Counters()
+	if c.Drops != 1 || c.Exhausted != 1 || drops != 1 {
+		t.Fatalf("counters %+v drops=%d", c, drops)
+	}
+}
+
+func TestWriteRecoveryAndDataIntegrity(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.WriteBufferDepth = 1
+	ctrl, _ := core.New(cfg)
+	r := NewRetrier(ctrl, Config{Policy: RetryNextCycle})
+	// Provoke a write-buffer stall: distinct addresses, same (only) bank.
+	var deferredAddr uint64
+	var stalled bool
+	payload := func(a uint64) []byte { return []byte{byte(a), byte(a >> 8), 0xCC} }
+	for a := uint64(0); a < 50 && !stalled; a++ {
+		err := r.Write(a, payload(a))
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrDeferred):
+			deferredAddr, stalled = a, true
+		default:
+			t.Fatal(err)
+		}
+		r.Tick()
+	}
+	if !stalled {
+		t.Fatal("no write stall provoked")
+	}
+	for i := 0; i < 2000 && r.Parked(); i++ {
+		r.Tick()
+	}
+	if r.Parked() {
+		t.Fatal("deferred write never accepted")
+	}
+	// The deferred write's data must have survived parking intact.
+	r.Flush()
+	if _, err := r.Read(deferredAddr); err != nil {
+		t.Fatal(err)
+	}
+	comps := r.Flush()
+	if len(comps) != 1 {
+		t.Fatalf("%d completions want 1", len(comps))
+	}
+	want := payload(deferredAddr)
+	if got := comps[0].Data[:len(want)]; string(got) != string(want) {
+		t.Fatalf("deferred write data %v want %v", got, want)
+	}
+}
+
+func TestFlushWithParkedWorkKeepsFixedDelay(t *testing.T) {
+	ctrl, _ := core.New(tinyConfig())
+	r := NewRetrier(ctrl, Config{Policy: RetryNextCycle})
+	if _, err := stallRead(t, r); !errors.Is(err, ErrDeferred) {
+		t.Fatalf("want ErrDeferred, got %v", err)
+	}
+	comps := r.Flush()
+	if r.Parked() {
+		t.Fatal("Flush left a parked request")
+	}
+	if r.Outstanding() != 0 {
+		t.Fatalf("Flush left %d outstanding reads", r.Outstanding())
+	}
+	d := uint64(ctrl.Delay())
+	for _, comp := range comps {
+		if comp.DeliveredAt-comp.IssuedAt != d {
+			t.Fatalf("drain violated fixed D: latency %d != %d", comp.DeliveredAt-comp.IssuedAt, d)
+		}
+	}
+	// The parked read either completed or was dropped with accounting —
+	// exactly one of the two.
+	c := r.Counters()
+	if got := c.RetriedOK + c.Drops; got != 1 {
+		t.Fatalf("parked request resolved %d times: %+v", got, c)
+	}
+}
+
+func TestCountersReconcileWithController(t *testing.T) {
+	for _, policy := range []Policy{RetryNextCycle, DropWithAccounting, Backpressure} {
+		ctrl, _ := core.New(tinyConfig())
+		r := NewRetrier(ctrl, Config{Policy: policy, MaxAttempts: 4})
+		for i := 0; i < 400; i++ {
+			if !r.Parked() {
+				if i%3 == 0 {
+					r.Write(uint64(i%64), []byte{byte(i)})
+				} else {
+					r.Read(uint64(i % 64))
+				}
+			}
+			r.Tick()
+		}
+		r.Flush()
+		st := ctrl.Stats()
+		c := r.Counters()
+		if st.Stalls != c.Stalls {
+			t.Errorf("%v: stall ledgers diverge: controller %+v retrier %+v", policy, st.Stalls, c.Stalls)
+		}
+		if st.Reads != c.Reads || st.Writes != c.Writes {
+			t.Errorf("%v: accept ledgers diverge: controller r=%d w=%d retrier r=%d w=%d",
+				policy, st.Reads, st.Writes, c.Reads, c.Writes)
+		}
+		if c.Stalls.Total() == 0 {
+			t.Errorf("%v: workload provoked no stalls; test is vacuous", policy)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/recovery"
+	"repro/internal/workload"
+)
+
+// chaosCore returns a geometry small enough to stress in a few tens of
+// thousands of cycles while still exercising merging and queueing.
+func chaosCore() core.Config {
+	return core.Config{
+		Banks:      8,
+		QueueDepth: 8,
+		DelayRows:  8,
+		WordBytes:  16,
+		HashSeed:   0xC0FFEE,
+	}
+}
+
+// chaosGen draws addresses from a small space so writes and reads
+// collide, exercising the model check, with a write-heavy mix.
+func chaosGen(seed uint64) workload.Generator {
+	return workload.NewUniform(seed, 1<<12, 0.9, 0.3, 16)
+}
+
+func mustChaos(t *testing.T, opts ChaosOptions) *ChaosResult {
+	t.Helper()
+	res, err := RunChaos(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func assertOk(t *testing.T, res *ChaosResult) {
+	t.Helper()
+	if !res.Ok() {
+		t.Fatalf("invariant violations:\n%s", res)
+	}
+	if res.Sim.Completions == 0 {
+		t.Fatal("no reads completed; test is vacuous")
+	}
+	if res.Sim.DistinctLatencies > 1 {
+		t.Fatalf("%d distinct latencies want 1 (fixed D)", res.Sim.DistinctLatencies)
+	}
+}
+
+func TestChaosSingleBitFaultsCorrected(t *testing.T) {
+	// The ISSUE's headline scenario: seeded single-bit faults at a rate
+	// well above 1e-4 must leave every invariant intact — exact-D
+	// completions, zero undetected corruptions, reconciled counters.
+	res := mustChaos(t, ChaosOptions{
+		Cycles: 50_000,
+		Core:   chaosCore(),
+		Fault:  fault.Config{Seed: 42, SingleBitRate: 5e-3},
+		Gen:    chaosGen(42),
+	})
+	assertOk(t, res)
+	if res.Fault.InjectedSingle == 0 {
+		t.Fatal("no single-bit faults injected; test is vacuous")
+	}
+	if res.Fault.CorrectedReads != res.Fault.InjectedSingle {
+		t.Fatalf("corrected %d != injected %d", res.Fault.CorrectedReads, res.Fault.InjectedSingle)
+	}
+	if res.Flagged != 0 {
+		t.Fatalf("single-bit faults produced %d uncorrectable completions", res.Flagged)
+	}
+}
+
+func TestChaosDoubleBitFaultsFlagged(t *testing.T) {
+	res := mustChaos(t, ChaosOptions{
+		Cycles: 50_000,
+		Core:   chaosCore(),
+		Fault:  fault.Config{Seed: 7, SingleBitRate: 1e-3, DoubleBitRate: 1e-3},
+		Gen:    chaosGen(7),
+	})
+	assertOk(t, res)
+	if res.Fault.InjectedDouble == 0 {
+		t.Fatal("no double-bit faults injected; test is vacuous")
+	}
+	if res.Flagged == 0 {
+		t.Fatal("double-bit faults never surfaced as flagged completions")
+	}
+}
+
+func TestChaosStuckBankScrubs(t *testing.T) {
+	res := mustChaos(t, ChaosOptions{
+		Cycles: 30_000,
+		Core:   chaosCore(),
+		Fault: fault.Config{
+			Seed:      3,
+			StuckBits: []fault.StuckBit{{Bank: 2, Bit: 13, Value: true}, {Bank: 5, Bit: 0, Value: false}},
+		},
+		Gen: chaosGen(3),
+	})
+	assertOk(t, res)
+	if res.Fault.StuckApplied == 0 || res.Fault.Scrubs == 0 {
+		t.Fatalf("stuck lines never exercised: %+v", res.Fault)
+	}
+}
+
+func TestChaosSlowBanksKeepFixedDelay(t *testing.T) {
+	// Slow banks inflate occupancy; RunChaos provisions delay headroom
+	// via AutoDelayWithSlack, so D stays exact (just larger).
+	res := mustChaos(t, ChaosOptions{
+		Cycles: 30_000,
+		Core:   chaosCore(),
+		Fault:  fault.Config{Seed: 9, SlowBankRate: 0.2, SlowBankExtra: 4},
+		Gen:    chaosGen(9),
+	})
+	assertOk(t, res)
+	if res.Fault.SlowAccesses == 0 {
+		t.Fatal("no slow accesses; test is vacuous")
+	}
+	base := chaosCore().AutoDelay()
+	if lat := res.Sim.LatMin; lat <= uint64(base) {
+		t.Fatalf("latency %d does not include slow-bank headroom over base D=%d", lat, base)
+	}
+}
+
+func TestChaosEveryPolicy(t *testing.T) {
+	for _, policy := range []recovery.Policy{
+		recovery.RetryNextCycle, recovery.DropWithAccounting, recovery.Backpressure,
+	} {
+		t.Run(policy.String(), func(t *testing.T) {
+			cfg := chaosCore()
+			cfg.QueueDepth = 2 // provoke real stalls so recovery engages
+			cfg.DelayRows = 4
+			res := mustChaos(t, ChaosOptions{
+				Cycles:   40_000,
+				Core:     cfg,
+				Fault:    fault.Config{Seed: 11, SingleBitRate: 2e-3},
+				Recovery: recovery.Config{Policy: policy, MaxAttempts: 64},
+				Gen:      workload.NewUniform(11, 1<<10, 1, 0.3, 16),
+			})
+			assertOk(t, res)
+			if res.Recovery.Stalls.Total() == 0 {
+				t.Fatal("no stalls provoked; recovery path untested")
+			}
+			switch policy {
+			case recovery.RetryNextCycle:
+				if res.Deferred == 0 {
+					t.Fatal("retry policy never deferred")
+				}
+			case recovery.DropWithAccounting:
+				if res.Dropped == 0 {
+					t.Fatal("drop policy never dropped")
+				}
+			}
+		})
+	}
+}
+
+func TestChaosDetectsEscapesWhenECCDisabled(t *testing.T) {
+	// Negative control: with ECC off, injected flips must show up as
+	// "escaped undetected" violations — proving the harness actually
+	// checks data, not just counters.
+	res := mustChaos(t, ChaosOptions{
+		Cycles: 20_000,
+		Core:   chaosCore(),
+		Fault:  fault.Config{Seed: 13, SingleBitRate: 5e-3, DisableECC: true},
+		Gen:    chaosGen(13),
+	})
+	if res.Ok() {
+		t.Fatal("ECC disabled yet no violations recorded; harness is blind")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if strings.Contains(v, "escaped undetected") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations lack an escape report:\n%s", res)
+	}
+	if res.Fault.Escaped == 0 {
+		t.Fatal("injector recorded no escapes")
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	run := func() *ChaosResult {
+		return mustChaos(t, ChaosOptions{
+			Cycles: 10_000,
+			Core:   chaosCore(),
+			Fault:  fault.Config{Seed: 21, SingleBitRate: 1e-3, DoubleBitRate: 5e-4},
+			Recovery: recovery.Config{
+				Policy: recovery.RetryNextCycle,
+			},
+			Gen: chaosGen(21),
+		})
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Stats, b.Stats) || a.Fault != b.Fault || a.Recovery != b.Recovery {
+		t.Fatalf("chaos runs diverge:\n%v\nvs\n%v", a, b)
+	}
+	if a.Issued != b.Issued || a.Flagged != b.Flagged {
+		t.Fatalf("chaos tallies diverge: %+v vs %+v", a, b)
+	}
+}
+
+func TestChaosRejectsBadOptions(t *testing.T) {
+	if _, err := RunChaos(ChaosOptions{Cycles: 0, Gen: chaosGen(1)}); err == nil {
+		t.Fatal("zero cycles accepted")
+	}
+	if _, err := RunChaos(ChaosOptions{Cycles: 10}); err == nil {
+		t.Fatal("nil generator accepted")
+	}
+	if _, err := RunChaos(ChaosOptions{
+		Cycles: 10,
+		Gen:    chaosGen(1),
+		Fault:  fault.Config{SingleBitRate: 2},
+	}); err == nil {
+		t.Fatal("invalid fault config accepted")
+	}
+}

@@ -29,6 +29,7 @@ package vpnm
 import (
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/recovery"
 )
 
 // Core controller types, re-exported from the implementation package.
@@ -57,9 +58,59 @@ var (
 	ErrStallBankQueue = core.ErrStallBankQueue
 	// ErrStallWriteBuffer reports a full write buffer.
 	ErrStallWriteBuffer = core.ErrStallWriteBuffer
+	// ErrStallCounter reports a saturated redundant-request counter.
+	ErrStallCounter = core.ErrStallCounter
 	// ErrSecondRequest reports two requests in one interface cycle.
 	ErrSecondRequest = core.ErrSecondRequest
+	// ErrUncorrectable flags a completion whose data suffered a
+	// multi-bit memory error ECC detected but could not repair. The
+	// completion still arrives exactly D cycles after issue; only its
+	// payload is untrusted. It is not a stall.
+	ErrUncorrectable = core.ErrUncorrectable
 )
+
+// Stall recovery, re-exported from the recovery package. A Retrier
+// wraps a Controller and turns its stall errors into a policy: retry
+// next cycle with a bounded budget, drop with accounting, or absorb
+// cycles as backpressure.
+type (
+	// Retrier wraps Controller.Read/Write with a stall recovery policy.
+	Retrier = recovery.Retrier
+	// RetryPolicy selects how a Retrier handles stalls.
+	RetryPolicy = recovery.Policy
+	// RetrierConfig configures a Retrier.
+	RetrierConfig = recovery.Config
+	// RetrierCounters is the Retrier's accounting ledger.
+	RetrierCounters = recovery.Counters
+)
+
+// Retry policies.
+const (
+	// RetryNextCycle parks a stalled request and re-presents it each
+	// cycle until accepted or the attempt budget runs out.
+	RetryNextCycle = recovery.RetryNextCycle
+	// DropWithAccounting abandons stalled requests, counting them.
+	DropWithAccounting = recovery.DropWithAccounting
+	// Backpressure ticks the controller inside Read/Write until the
+	// request is accepted, modeling a stalled input interface.
+	Backpressure = recovery.Backpressure
+)
+
+// Retrier protocol errors.
+var (
+	// ErrRetrierBusy reports a request presented while one is parked.
+	ErrRetrierBusy = recovery.ErrBusy
+	// ErrDeferred reports a request parked for retry (it is not lost).
+	ErrDeferred = recovery.ErrDeferred
+	// ErrDropped wraps the stall condition of an abandoned request.
+	ErrDropped = recovery.ErrDropped
+)
+
+// NewRetrier wraps ctrl with a stall recovery policy. Tick the Retrier
+// (not the Controller) from then on.
+func NewRetrier(ctrl *Controller, cfg RetrierConfig) *Retrier {
+	return recovery.NewRetrier(ctrl, cfg)
+}
 
 // New builds a controller; zero-valued Config fields take the paper's
 // defaults (B=32, L=20, Q=24, K=48, R=1.3, 64-byte words).

@@ -61,6 +61,117 @@ func TestFacadeStallErrors(t *testing.T) {
 	}
 }
 
+// TestFacadeAllStallConditionsReachable proves every stall condition —
+// and its specific sentinel — is reachable and identifiable through the
+// public API alone. A regression test for the facade: ErrStallCounter
+// used to be missing from the re-exports, leaving clients unable to
+// distinguish counter stalls without importing internal packages.
+func TestFacadeAllStallConditionsReachable(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  vpnm.Config
+		op   func(ctrl *vpnm.Controller, i int) error
+		want error
+	}{
+		{
+			name: "delay-buffer",
+			cfg:  vpnm.Config{Banks: 1, DelayRows: 1, QueueDepth: 8, WordBytes: 8},
+			op: func(ctrl *vpnm.Controller, i int) error {
+				_, err := ctrl.Read(uint64(i)) // distinct rows, one-row DSB
+				return err
+			},
+			want: vpnm.ErrStallDelayBuffer,
+		},
+		{
+			name: "bank-queue",
+			cfg:  vpnm.Config{Banks: 1, QueueDepth: 1, DelayRows: 16, AccessLatency: 100, WordBytes: 8},
+			op: func(ctrl *vpnm.Controller, i int) error {
+				_, err := ctrl.Read(uint64(i)) // distinct addrs defeat merging
+				return err
+			},
+			want: vpnm.ErrStallBankQueue,
+		},
+		{
+			name: "write-buffer",
+			cfg:  vpnm.Config{Banks: 1, WriteBufferDepth: 1, QueueDepth: 8, AccessLatency: 100, WordBytes: 8},
+			op: func(ctrl *vpnm.Controller, i int) error {
+				return ctrl.Write(uint64(i), []byte{byte(i)})
+			},
+			want: vpnm.ErrStallWriteBuffer,
+		},
+		{
+			name: "counter",
+			cfg:  vpnm.Config{Banks: 1, CounterBits: 1, QueueDepth: 8, DelayRows: 8, AccessLatency: 100, WordBytes: 8},
+			op: func(ctrl *vpnm.Controller, i int) error {
+				_, err := ctrl.Read(0) // same row: merges until the counter saturates
+				return err
+			},
+			want: vpnm.ErrStallCounter,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctrl, err := vpnm.New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var stall error
+			for i := 0; i < 500 && stall == nil; i++ {
+				stall = tc.op(ctrl, i)
+				ctrl.Tick()
+			}
+			if stall == nil {
+				t.Fatalf("%s stall never provoked", tc.name)
+			}
+			if !errors.Is(stall, tc.want) {
+				t.Fatalf("stall %v is not %v", stall, tc.want)
+			}
+			if !errors.Is(stall, vpnm.ErrStall) || !vpnm.IsStall(stall) {
+				t.Fatalf("%v does not identify as a generic stall", stall)
+			}
+		})
+	}
+}
+
+// TestFacadeRetrier exercises the stall-recovery surface end to end
+// through the public API: a parked request defers, resolves, and its
+// completion still honors the fixed delay.
+func TestFacadeRetrier(t *testing.T) {
+	ctrl, err := vpnm.New(vpnm.Config{Banks: 1, QueueDepth: 1, DelayRows: 8, AccessLatency: 100, WordBytes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := vpnm.NewRetrier(ctrl, vpnm.RetrierConfig{Policy: vpnm.RetryNextCycle})
+	var deferred error
+	for i := 0; i < 200 && deferred == nil; i++ {
+		if _, err := r.Read(uint64(i)); err != nil {
+			deferred = err
+		}
+		r.Tick()
+	}
+	if !errors.Is(deferred, vpnm.ErrDeferred) {
+		t.Fatalf("stall surfaced as %v want ErrDeferred", deferred)
+	}
+	if _, err := r.Read(12345); !errors.Is(err, vpnm.ErrRetrierBusy) {
+		t.Fatalf("parked port returned %v want ErrRetrierBusy", err)
+	}
+	d := uint64(ctrl.Delay())
+	for _, c := range r.Flush() {
+		if c.DeliveredAt-c.IssuedAt != d {
+			t.Fatalf("latency %d != D=%d under recovery", c.DeliveredAt-c.IssuedAt, d)
+		}
+	}
+	rc := r.Counters()
+	if rc.Stalls.Total() == 0 || rc.RetriedOK+rc.Drops == 0 {
+		t.Fatalf("retrier counters %+v", rc)
+	}
+	// ErrUncorrectable is part of the facade but is not a stall: a
+	// poisoned completion still arrives on time.
+	if vpnm.IsStall(vpnm.ErrUncorrectable) {
+		t.Fatal("ErrUncorrectable must not be a stall")
+	}
+}
+
 func TestFacadeMTSHelpers(t *testing.T) {
 	if mts := vpnm.DelayBufferMTS(32, 32, 160); mts < 1e10 {
 		t.Fatalf("DelayBufferMTS = %.3g", mts)
