@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race chaos fuzz
+.PHONY: ci vet build test race chaos fuzz bench bench-gate lint
 
 ci: vet build test race chaos
 
@@ -28,3 +28,21 @@ chaos:
 fuzz:
 	$(GO) test ./internal/core -fuzz FuzzControllerOps -fuzztime 10s
 	$(GO) test ./internal/core -fuzz FuzzRetrierOps -fuzztime 10s
+
+# Gated benchmark set. BENCH_parallel.txt is benchstat-compatible raw
+# output; BENCH_parallel.json is the parsed form bench-gate compares
+# against bench/baseline.json. The one-shot benchmarks report
+# deterministic metrics (req/cycle, speedup-x) from a single run;
+# TickParallel needs iterations to reach its 0 allocs/op steady state.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkBaselineVsVPNM$$|BenchmarkSweepSpeedup$$' -benchmem -benchtime 1x -count=1 . | tee BENCH_parallel.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkTickParallel$$' -benchmem -benchtime 20000x -count=1 . | tee -a BENCH_parallel.txt
+	$(GO) run ./cmd/benchgate -parse -o BENCH_parallel.json BENCH_parallel.txt
+
+# Fail on >20% regression of any gated metric vs the committed baseline.
+bench-gate: bench
+	$(GO) run ./cmd/benchgate -gate -baseline bench/baseline.json -threshold 0.20 BENCH_parallel.json
+
+# Static analysis beyond `go vet`; CI runs this via golangci-lint-action.
+lint:
+	golangci-lint run ./...

@@ -1,0 +1,229 @@
+// Command benchgate turns `go test -bench` text output into a small
+// JSON document and gates it against a committed baseline.
+//
+// Two modes:
+//
+//	benchgate -parse -o BENCH_parallel.json BENCH_parallel.txt
+//	benchgate -gate BENCH_parallel.json -baseline bench/baseline.json -threshold 0.20
+//
+// The parse mode records every metric of every benchmark line (the
+// .txt input stays benchstat-compatible; the JSON is for the gate and
+// for diffing in CI logs). The gate mode walks the baseline — only
+// benchmarks and metrics present there are checked, so the baseline
+// file is also the gate's scope — and fails the build when a metric
+// regresses by more than the threshold.
+//
+// Machine-dependent metrics (ns/op, B/op on allocating paths) have no
+// gate direction and are never checked even if a baseline lists them;
+// the gated set is the deterministic metrics the benchmarks report:
+//
+//	req/cycle, comps/cycle, speedup-x   higher is better
+//	allocs/op, B/op                     lower is better (0-baselines
+//	                                    fail on any increase)
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Report is the JSON shape shared by parse output and the baseline.
+type Report struct {
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// direction maps a metric unit to its gate semantics: +1 means higher
+// is better, -1 means lower is better. Units not listed are recorded
+// but never gated (ns/op and friends vary with the machine).
+var direction = map[string]int{
+	"req/cycle":   +1,
+	"comps/cycle": +1,
+	"speedup-x":   +1,
+	"allocs/op":   -1,
+	"B/op":        -1,
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkTickParallel/parallel-4   20000   2504 ns/op   2.675 comps/cycle   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// procSuffix strips the trailing -GOMAXPROCS so names compare across
+// machines with different core counts.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	var (
+		parse     = flag.Bool("parse", false, "parse go-bench text into JSON")
+		gate      = flag.Bool("gate", false, "gate a parsed JSON report against -baseline")
+		out       = flag.String("o", "", "output path for -parse (default stdout)")
+		baseline  = flag.String("baseline", "bench/baseline.json", "baseline report for -gate")
+		threshold = flag.Float64("threshold", 0.20, "allowed relative regression for -gate")
+	)
+	flag.Parse()
+
+	switch {
+	case *parse == *gate:
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -parse or -gate is required")
+		os.Exit(2)
+	case *parse:
+		if err := runParse(flag.Args(), *out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+	case *gate:
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchgate: -gate needs exactly one parsed report argument")
+			os.Exit(2)
+		}
+		failures, err := runGate(flag.Arg(0), *baseline, *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "FAIL:", f)
+			}
+			fmt.Fprintf(os.Stderr, "benchgate: %d metric(s) regressed beyond %.0f%%\n", len(failures), *threshold*100)
+			os.Exit(1)
+		}
+		fmt.Println("benchgate: all gated metrics within threshold")
+	}
+}
+
+func runParse(paths []string, out string) error {
+	rep := Report{Benchmarks: map[string]map[string]float64{}}
+	if len(paths) == 0 {
+		if err := parseInto(&rep, os.Stdin); err != nil {
+			return err
+		}
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		if err := parseInto(&rep, bytes.NewReader(data)); err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found")
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(out, enc, 0o644)
+}
+
+func parseInto(rep *Report, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(m[1], "")
+		metrics := rep.Benchmarks[name]
+		if metrics == nil {
+			metrics = map[string]float64{}
+			rep.Benchmarks[name] = metrics
+		}
+		// The tail is value/unit pairs: "2504 ns/op  2.675 comps/cycle".
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return fmt.Errorf("%s: bad metric value %q", name, fields[i])
+			}
+			metrics[fields[i+1]] = v
+		}
+	}
+	return sc.Err()
+}
+
+func runGate(curPath, basePath string, threshold float64) ([]string, error) {
+	cur, err := readReport(curPath)
+	if err != nil {
+		return nil, err
+	}
+	base, err := readReport(basePath)
+	if err != nil {
+		return nil, err
+	}
+	var failures []string
+	checked := 0
+	for _, name := range sortedKeys(base.Benchmarks) {
+		baseMetrics := base.Benchmarks[name]
+		curMetrics, ok := cur.Benchmarks[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: benchmark missing from current run", name))
+			continue
+		}
+		for _, unit := range sortedKeys(baseMetrics) {
+			want := baseMetrics[unit]
+			dir, gated := direction[unit]
+			if !gated {
+				continue
+			}
+			got, ok := curMetrics[unit]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s %s: metric missing from current run", name, unit))
+				continue
+			}
+			checked++
+			switch {
+			case dir > 0 && got < want*(1-threshold):
+				failures = append(failures, fmt.Sprintf("%s %s: %g < baseline %g -%.0f%%", name, unit, got, want, threshold*100))
+			case dir < 0 && want == 0 && got > 0:
+				failures = append(failures, fmt.Sprintf("%s %s: %g > zero baseline", name, unit, got))
+			case dir < 0 && got > want*(1+threshold):
+				failures = append(failures, fmt.Sprintf("%s %s: %g > baseline %g +%.0f%%", name, unit, got, want, threshold*100))
+			default:
+				fmt.Printf("ok   %s %s: %g (baseline %g)\n", name, unit, got, want)
+			}
+		}
+	}
+	if checked == 0 && len(failures) == 0 {
+		return nil, fmt.Errorf("baseline %s gated nothing — empty or only ungated metrics", basePath)
+	}
+	return failures, nil
+}
+
+func readReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// sortedKeys makes gate output and failure lists deterministic.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTickParallel/sequential-4   	   20000	      2454 ns/op	         2.675 comps/cycle	       0 B/op	       0 allocs/op
+BenchmarkBaselineVsVPNM/vpnm-same-bank-attack   	       1	  83508634 ns/op	         1.000 req/cycle	 3758144 B/op	    4372 allocs/op
+PASS
+ok  	repro	3.743s
+`
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseStripsProcSuffixAndKeepsAllMetrics(t *testing.T) {
+	rep := Report{Benchmarks: map[string]map[string]float64{}}
+	if err := parseInto(&rep, strings.NewReader(sample)); err != nil {
+		t.Fatal(err)
+	}
+	seq, ok := rep.Benchmarks["BenchmarkTickParallel/sequential"]
+	if !ok {
+		t.Fatalf("-4 proc suffix not stripped: %v", rep.Benchmarks)
+	}
+	for unit, want := range map[string]float64{"ns/op": 2454, "comps/cycle": 2.675, "B/op": 0, "allocs/op": 0} {
+		if seq[unit] != want {
+			t.Errorf("sequential %s = %g, want %g", unit, seq[unit], want)
+		}
+	}
+	if got := rep.Benchmarks["BenchmarkBaselineVsVPNM/vpnm-same-bank-attack"]["req/cycle"]; got != 1 {
+		t.Errorf("req/cycle = %g, want 1", got)
+	}
+}
+
+func TestGateDirections(t *testing.T) {
+	base := `{"benchmarks": {
+		"BenchA": {"req/cycle": 1.0, "ns/op": 100},
+		"BenchB": {"allocs/op": 0},
+		"BenchC": {"allocs/op": 10}
+	}}`
+	cases := []struct {
+		name    string
+		current string
+		wantBad []string
+	}{
+		{
+			"all-within",
+			`{"benchmarks": {"BenchA": {"req/cycle": 0.9}, "BenchB": {"allocs/op": 0}, "BenchC": {"allocs/op": 11}}}`,
+			nil,
+		},
+		{
+			"higher-better-regressed",
+			`{"benchmarks": {"BenchA": {"req/cycle": 0.5}, "BenchB": {"allocs/op": 0}, "BenchC": {"allocs/op": 10}}}`,
+			[]string{"BenchA req/cycle"},
+		},
+		{
+			"zero-alloc-baseline-fails-any-increase",
+			`{"benchmarks": {"BenchA": {"req/cycle": 1}, "BenchB": {"allocs/op": 1}, "BenchC": {"allocs/op": 10}}}`,
+			[]string{"BenchB allocs/op"},
+		},
+		{
+			"lower-better-regressed",
+			`{"benchmarks": {"BenchA": {"req/cycle": 1}, "BenchB": {"allocs/op": 0}, "BenchC": {"allocs/op": 13}}}`,
+			[]string{"BenchC allocs/op"},
+		},
+		{
+			"missing-benchmark",
+			`{"benchmarks": {"BenchA": {"req/cycle": 1}, "BenchC": {"allocs/op": 10}}}`,
+			[]string{"BenchB: benchmark missing"},
+		},
+		{
+			// ns/op has no gate direction: a 10x slowdown must not fail.
+			"ns-op-never-gated",
+			`{"benchmarks": {"BenchA": {"req/cycle": 1, "ns/op": 1000}, "BenchB": {"allocs/op": 0}, "BenchC": {"allocs/op": 10}}}`,
+			nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			failures, err := runGate(
+				writeFile(t, "cur.json", tc.current),
+				writeFile(t, "base.json", base), 0.20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(failures) != len(tc.wantBad) {
+				t.Fatalf("failures = %v, want %d matching %v", failures, len(tc.wantBad), tc.wantBad)
+			}
+			for i, want := range tc.wantBad {
+				if !strings.Contains(failures[i], want) {
+					t.Errorf("failure[%d] = %q, want contains %q", i, failures[i], want)
+				}
+			}
+		})
+	}
+}
+
+func TestGateRejectsUselessBaseline(t *testing.T) {
+	cur := writeFile(t, "cur.json", `{"benchmarks": {"BenchA": {"ns/op": 1}}}`)
+	base := writeFile(t, "base.json", `{"benchmarks": {"BenchA": {"ns/op": 1}}}`)
+	if _, err := runGate(cur, base, 0.20); err == nil {
+		t.Fatal("baseline with only ungated metrics must error, not silently pass")
+	}
+}

@@ -8,15 +8,25 @@
 //	vpnmfig -reassembly         the Section 5.4.2 numbers
 //	vpnmfig -validate           simulation-vs-math validation
 //	vpnmfig -all                everything
+//	vpnmfig -all -workers 4     everything, bounded fan-out
+//
+// With -all the sections are independent computations, so they run
+// concurrently across a bounded worker pool; each section renders into
+// its own buffer and the buffers print in section order, so the output
+// is byte-identical to a sequential run.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"repro/internal/figures"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 )
 
@@ -31,97 +41,117 @@ func main() {
 		validate   = flag.Bool("validate", false, "run the simulation-vs-math validation suite")
 		seed       = flag.Uint64("seed", 1, "seed for the validation simulations")
 		all        = flag.Bool("all", false, "print everything")
+		workers    = flag.Int("workers", 0, "bound on concurrent sections/trials with -all (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	ran := false
-	run := func(want bool, f func() error) {
-		if !want && !*all {
-			return
-		}
-		ran = true
-		if err := f(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println()
+	type section struct {
+		want bool
+		f    func(io.Writer) error
+	}
+	sections := []section{
+		{*fig == 1, fig1},
+		{*fig == 4, fig4},
+		{*fig == 5, fig5},
+		{*fig == 6, fig6},
+		{*fig == 7, fig7},
+		{*table == 2, table2},
+		{*table == 3, table3},
+		{*reassembly, reassemblySummary},
+		{*efficiency, func(w io.Writer) error { return efficiencyTable(w, *seed) }},
+		{*validate, func(w io.Writer) error { return validation(w, *seed) }},
 	}
 
-	run(*fig == 1, fig1)
-	run(*fig == 4, fig4)
-	run(*fig == 5, fig5)
-	run(*fig == 6, fig6)
-	run(*fig == 7, fig7)
-	run(*table == 2, table2)
-	run(*table == 3, table3)
-	run(*reassembly, reassemblySummary)
-	run(*efficiency, func() error { return efficiencyTable(*seed) })
-	run(*validate, func() error { return validation(*seed) })
-
-	if !ran {
+	var selected []func(io.Writer) error
+	for _, s := range sections {
+		if s.want || *all {
+			selected = append(selected, s.f)
+		}
+	}
+	if len(selected) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// Render every selected section concurrently, print in order.
+	outs, err := parallel.Sweep(context.Background(), len(selected), parallel.Options{Workers: *workers},
+		func(_ context.Context, i int) ([]byte, error) {
+			var buf bytes.Buffer
+			if err := selected[i](&buf); err != nil {
+				return nil, err
+			}
+			buf.WriteByte('\n')
+			return buf.Bytes(), nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, out := range outs {
+		if _, err := os.Stdout.Write(out); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
-func fig1() error {
-	fmt.Println("# Figure 1: latency normalization to a fixed delay D")
+func fig1(w io.Writer) error {
+	fmt.Fprintln(w, "# Figure 1: latency normalization to a fixed delay D")
 	scs, err := trace.Figure1()
 	if err != nil {
 		return err
 	}
 	for _, s := range scs {
-		fmt.Printf("## %s\n%s\n%s\n", s.Name, s.Description, s.Render)
+		fmt.Fprintf(w, "## %s\n%s\n%s\n", s.Name, s.Description, s.Render)
 	}
 	return nil
 }
 
-func fig4() error {
-	fmt.Println("# Figure 4: MTS vs delay storage buffer entries (K), R=1.3")
+func fig4(w io.Writer) error {
+	fmt.Fprintln(w, "# Figure 4: MTS vs delay storage buffer entries (K), R=1.3")
 	ks, series := figures.Fig4()
-	return figures.WriteSeriesTSV(os.Stdout, "K", ks, series)
+	return figures.WriteSeriesTSV(w, "K", ks, series)
 }
 
-func fig5() error {
-	fmt.Println("# Figure 5: bank access queue Markov model (L=3, Q=2)")
+func fig5(w io.Writer) error {
+	fmt.Fprintln(w, "# Figure 5: bank access queue Markov model (L=3, Q=2)")
 	s, err := figures.Fig5(6)
 	if err != nil {
 		return err
 	}
-	fmt.Print(s)
+	fmt.Fprint(w, s)
 	return nil
 }
 
-func fig6() error {
-	fmt.Println("# Figure 6: MTS vs bank access queue entries (Q), R=1.3")
+func fig6(w io.Writer) error {
+	fmt.Fprintln(w, "# Figure 6: MTS vs bank access queue entries (Q), R=1.3")
 	qs, series := figures.Fig6()
-	return figures.WriteSeriesTSV(os.Stdout, "Q", qs, series)
+	return figures.WriteSeriesTSV(w, "Q", qs, series)
 }
 
-func fig7() error {
-	fmt.Println("# Figure 7: MTS vs area Pareto frontier per bus scaling ratio R")
-	fmt.Println("R\tarea_mm2\tMTS\tB\tQ\tK")
+func fig7(w io.Writer) error {
+	fmt.Fprintln(w, "# Figure 7: MTS vs area Pareto frontier per bus scaling ratio R")
+	fmt.Fprintln(w, "R\tarea_mm2\tMTS\tB\tQ\tK")
 	fronts := figures.Fig7(figures.Fig7Ratios())
 	for _, r := range figures.Fig7Ratios() {
 		for _, p := range fronts[r] {
-			fmt.Printf("%.1f\t%.2f\t%.4g\t%d\t%d\t%d\n", r, p.AreaMM2, p.MTS, p.B, p.Q, p.K)
+			fmt.Fprintf(w, "%.1f\t%.2f\t%.4g\t%d\t%d\t%d\n", r, p.AreaMM2, p.MTS, p.B, p.Q, p.K)
 		}
 	}
 	return nil
 }
 
-func table2() error {
-	fmt.Println("# Table 2: optimal design parameters (ours vs paper)")
-	fmt.Println("R\tB\tQ\tK\tarea_mm2\tpaper_area\tMTS\tpaper_MTS\tenergy_nJ\tpaper_energy")
+func table2(w io.Writer) error {
+	fmt.Fprintln(w, "# Table 2: optimal design parameters (ours vs paper)")
+	fmt.Fprintln(w, "R\tB\tQ\tK\tarea_mm2\tpaper_area\tMTS\tpaper_MTS\tenergy_nJ\tpaper_energy")
 	for _, r := range figures.Table2() {
-		fmt.Printf("%.1f\t%d\t%d\t%d\t%.1f\t%.1f\t%.3g\t%.3g\t%.2f\t%.2f\n",
+		fmt.Fprintf(w, "%.1f\t%d\t%d\t%d\t%.1f\t%.1f\t%.3g\t%.3g\t%.2f\t%.2f\n",
 			r.R, r.B, r.Q, r.K, r.AreaMM2, r.PaperArea, r.MTS, r.PaperMTS, r.EnergyNJ, r.PaperEnergy)
 	}
 	return nil
 }
 
-func table3() error {
-	fmt.Println("# Table 3: packet buffering scheme comparison")
-	fmt.Println("scheme\tmax_gbps\tSRAM_bytes\tarea_mm2\tdelay_ns\tinterfaces")
+func table3(w io.Writer) error {
+	fmt.Fprintln(w, "# Table 3: packet buffering scheme comparison")
+	fmt.Fprintln(w, "scheme\tmax_gbps\tSRAM_bytes\tarea_mm2\tdelay_ns\tinterfaces")
 	for _, s := range figures.Table3() {
 		sram, area, delay := "-", "-", "-"
 		if s.SRAMBytes >= 0 {
@@ -133,42 +163,42 @@ func table3() error {
 		if s.TotalDelayNS >= 0 {
 			delay = fmt.Sprintf("%.0f", s.TotalDelayNS)
 		}
-		fmt.Printf("%s\t%.0f\t%s\t%s\t%s\t%d\n", s.Name, s.MaxLineRateGbps, sram, area, delay, s.Interfaces)
+		fmt.Fprintf(w, "%s\t%.0f\t%s\t%s\t%s\t%d\n", s.Name, s.MaxLineRateGbps, sram, area, delay, s.Interfaces)
 	}
 	return nil
 }
 
-func reassemblySummary() error {
+func reassemblySummary(w io.Writer) error {
 	s := figures.Reassembly()
-	fmt.Println("# Section 5.4.2: packet reassembly on VPNM")
-	fmt.Printf("DRAM accesses per 64-byte chunk: %d\n", s.AccessesPerChunk)
-	fmt.Printf("throughput at %.0f MHz: %.2f gbps (paper: ~40)\n", s.ClockMHz, s.ThroughputGbps)
-	fmt.Printf("staging SRAM: %d KB (paper: 72)\n", s.StagingSRAMBytes>>10)
+	fmt.Fprintln(w, "# Section 5.4.2: packet reassembly on VPNM")
+	fmt.Fprintf(w, "DRAM accesses per 64-byte chunk: %d\n", s.AccessesPerChunk)
+	fmt.Fprintf(w, "throughput at %.0f MHz: %.2f gbps (paper: ~40)\n", s.ClockMHz, s.ThroughputGbps)
+	fmt.Fprintf(w, "staging SRAM: %d KB (paper: 72)\n", s.StagingSRAMBytes>>10)
 	return nil
 }
 
-func efficiencyTable(seed uint64) error {
-	fmt.Println("# Section 3.1: delivered bandwidth (fraction of one request/cycle)")
+func efficiencyTable(w io.Writer, seed uint64) error {
+	fmt.Fprintln(w, "# Section 3.1: delivered bandwidth (fraction of one request/cycle)")
 	rows, err := figures.Efficiency(100_000, seed)
 	if err != nil {
 		return err
 	}
-	fmt.Println("controller\tworkload\tthroughput\tbus_utilization")
+	fmt.Fprintln(w, "controller\tworkload\tthroughput\tbus_utilization")
 	for _, r := range rows {
-		fmt.Printf("%s\t%s\t%.3f\t%.3f\n", r.Controller, r.Workload, r.Throughput, r.BusUtilization)
+		fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\n", r.Controller, r.Workload, r.Throughput, r.BusUtilization)
 	}
 	return nil
 }
 
-func validation(seed uint64) error {
-	fmt.Println("# Validation: measured first-stall (median) vs mathematical MTS")
+func validation(w io.Writer, seed uint64) error {
+	fmt.Fprintln(w, "# Validation: measured first-stall (median) vs mathematical MTS")
 	rows, err := figures.DefaultValidation(seed)
 	if err != nil {
 		return err
 	}
-	fmt.Println("experiment\tanalytic_MTS\tmeasured_MTS\tratio\ttrials")
+	fmt.Fprintln(w, "experiment\tanalytic_MTS\tmeasured_MTS\tratio\ttrials")
 	for _, r := range rows {
-		fmt.Printf("%s\t%.4g\t%.4g\t%.2f\t%d\n", r.Desc, r.AnalyticMTS, r.MeasuredMTS, r.Ratio(), r.Trials)
+		fmt.Fprintf(w, "%s\t%.4g\t%.4g\t%.2f\t%d\n", r.Desc, r.AnalyticMTS, r.MeasuredMTS, r.Ratio(), r.Trials)
 	}
 	return nil
 }

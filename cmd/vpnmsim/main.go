@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/parallel"
 	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -56,6 +58,8 @@ func main() {
 		noECC       = flag.Bool("no-ecc", false, "disable ECC so faults escape (chaos mode; demonstrates detection)")
 		policy      = flag.String("policy", "", "stall recovery policy: retry | drop | backpressure (chaos mode)")
 		maxAttempts = flag.Int("max-attempts", 0, "retry budget per parked request (0 = default)")
+		trials      = flag.Int("trials", 1, "independent chaos trials with derived per-trial seeds (chaos mode)")
+		workers     = flag.Int("workers", 0, "bound on concurrent trials (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -158,34 +162,83 @@ func main() {
 		}
 		return
 	}
-	switch *load {
-	case "uniform":
-		gen = workload.NewUniform(*seed, 0, *duty, *writeFrac, *word)
-	case "stride":
-		gen = workload.NewStride(0, uint64(*banks))
-	case "repeat":
-		gen = workload.NewRepeat(42)
-	case "alternate":
-		gen = workload.NewCycle(0, uint64(*banks))
-	case "zipf":
-		gen = workload.NewZipf(*seed, 1<<16, 1.1, 0)
-	case "burst":
-		gen = workload.NewOnOff(workload.NewUniform(*seed, 0, 1, *writeFrac, *word), 64, 64)
-	case "adversary":
-		if vp == nil {
-			log.Fatal("the oracle adversary needs -controller vpnm (it attacks the hash)")
+	makeGen := func(s uint64) workload.Generator {
+		switch *load {
+		case "uniform":
+			return workload.NewUniform(s, 0, *duty, *writeFrac, *word)
+		case "stride":
+			return workload.NewStride(0, uint64(*banks))
+		case "repeat":
+			return workload.NewRepeat(42)
+		case "alternate":
+			return workload.NewCycle(0, uint64(*banks))
+		case "zipf":
+			return workload.NewZipf(s, 1<<16, 1.1, 0)
+		case "burst":
+			return workload.NewOnOff(workload.NewUniform(s, 0, 1, *writeFrac, *word), 64, 64)
+		case "adversary":
+			if vp == nil {
+				log.Fatal("the oracle adversary needs -controller vpnm (it attacks the hash)")
+			}
+			return workload.NewOracleAdversary(vp.Bank, 0, 4**q)
+		case "blind":
+			return workload.NewBlindAdversary(*banks, 0)
 		}
-		gen = workload.NewOracleAdversary(vp.Bank, 0, 4**q)
-	case "blind":
-		gen = workload.NewBlindAdversary(*banks, 0)
-	default:
 		log.Fatalf("unknown workload %q", *load)
+		return nil
 	}
+	gen = makeGen(*seed)
 
-	if chaos {
+	switch {
+	case chaos && *trials > 1:
+		if *load == "adversary" {
+			log.Fatal("-trials needs a self-contained workload (the oracle adversary binds to one controller)")
+		}
+		if *record != "" {
+			log.Fatal("-trials and -record are mutually exclusive")
+		}
+		runChaosTrials(cfg, makeGen, *cycles, *trials, *workers, *seed, fcfg, rcfg)
+	case chaos:
 		runChaos(cfg, gen, *cycles, fcfg, rcfg, *record)
-	} else {
+	default:
 		runAndReport(mem, vp, gen, *cycles, *drop, *record)
+	}
+}
+
+// runChaosTrials fans independent chaos trials across the worker pool:
+// each trial reruns the configured scenario with decorrelated workload,
+// hash and fault seeds. Trial results print in trial order (identical
+// at any worker count); the exit status is nonzero if any trial
+// violated an invariant.
+func runChaosTrials(cfg core.Config, makeGen func(uint64) workload.Generator,
+	cycles, trials, workers int, seed uint64, fcfg fault.Config, rcfg recovery.Config) {
+	results, err := sim.RunChaosTrials(context.Background(), trials, workers, func(trial int) sim.ChaosOptions {
+		s := parallel.Seed(seed, trial)
+		c := cfg
+		c.HashSeed = s
+		f := fcfg
+		f.Seed = parallel.Seed(fcfg.Seed, trial)
+		return sim.ChaosOptions{
+			Cycles:   cycles,
+			Core:     c,
+			Fault:    f,
+			Recovery: rcfg,
+			Gen:      makeGen(s),
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	violated := 0
+	for i, res := range results {
+		fmt.Printf("--- trial %d/%d ---\n%v\n", i+1, trials, res)
+		if !res.Ok() {
+			violated++
+		}
+	}
+	fmt.Printf("chaos batch: %d trials, %d with violations\n", trials, violated)
+	if violated > 0 {
+		os.Exit(1)
 	}
 }
 

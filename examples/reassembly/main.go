@@ -98,8 +98,13 @@ func main() {
 	segA, segB := evil[:reassembly.ChunkBytes], evil[reassembly.ChunkBytes:]
 	perPacket := len(scanner.ScanPacketwise([][]byte{segB, segA}))
 	r2 := reassembly.New(mem, reassembly.Config{})
-	r2.Submit(999, reassembly.ChunkBytes, segB) // attacker sends tail first
-	r2.Submit(999, 0, segA)
+	// The attacker sends the tail first.
+	if err := r2.Submit(999, reassembly.ChunkBytes, segB); err != nil {
+		log.Fatal(err)
+	}
+	if err := r2.Submit(999, 0, segA); err != nil {
+		log.Fatal(err)
+	}
 	if !r2.Drain(1_000_000) {
 		log.Fatal("drain failed")
 	}

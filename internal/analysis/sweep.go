@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"context"
+
+	"repro/internal/parallel"
+)
+
+// MTSSurface evaluates a bank-queue MTS model over a (B, Q) grid and
+// returns out[bi][qi] = MTS(bs[bi], qs[qi]). Each grid point is an
+// independent power iteration of its own Markov chain — no shared
+// state — so the points fan out across the worker pool and the surface
+// is identical at any worker count. workers <= 0 selects GOMAXPROCS.
+//
+// slotted selects the strict round-robin chain (S = max(L, B), the
+// paper's published model); otherwise the work-conserving chain (S = L,
+// the default simulator scheduler) is used.
+func MTSSurface(bs, qs []int, l int, r float64, slotted bool, workers int) [][]float64 {
+	n := len(bs) * len(qs)
+	if n == 0 {
+		return nil
+	}
+	flat, err := parallel.Sweep(context.Background(), n, parallel.Options{Workers: workers},
+		func(_ context.Context, i int) (float64, error) {
+			b, q := bs[i/len(qs)], qs[i%len(qs)]
+			if slotted {
+				return SlottedBankQueueMTS(b, q, l, r), nil
+			}
+			return BankQueueMTS(b, q, l, r), nil
+		})
+	if err != nil {
+		// The task funcs never fail and the context is never cancelled;
+		// any error here is a programming bug.
+		panic(err)
+	}
+	out := make([][]float64, len(bs))
+	for bi := range bs {
+		out[bi] = flat[bi*len(qs) : (bi+1)*len(qs)]
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestTickAllocationFree pins the hot-path contract behind the
+// repository's throughput claims: once the controller is warm (write
+// buffers pooled, the backing store's touched words populated), a full
+// interface cycle — request issue plus Tick — allocates nothing.
+func TestTickAllocationFree(t *testing.T) {
+	cases := []struct {
+		name       string
+		writeFrac  float64
+		cfg        Config
+		warmCycles int
+	}{
+		{"uniform-reads", 0, Config{WordBytes: 8, HashSeed: 1}, 2000},
+		{"read-write-mix", 0.25, Config{WordBytes: 8, HashSeed: 2}, 20000},
+		{"many-banks", 0, Config{Banks: 512, QueueDepth: 8, DelayRows: 16, WordBytes: 8, HashSeed: 3}, 2000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewPCG(11, 17))
+			data := []byte{0xab, 0xcd}
+			// Bound the address space so the warmup populates every
+			// word the measured phase can write to (map inserts are a
+			// cold-path cost, not a per-cycle one).
+			step := func() {
+				addr := rng.Uint64() & 0xffff
+				if rng.Float64() < tc.writeFrac {
+					c.Write(addr, data) //nolint:errcheck // a rare stall just wastes the slot
+				} else {
+					c.Read(addr) //nolint:errcheck // a rare stall just wastes the slot
+				}
+				c.Tick()
+			}
+			for i := 0; i < tc.warmCycles; i++ {
+				step()
+			}
+			if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+				t.Fatalf("steady-state request+Tick allocates %.2f objects/cycle, want 0", allocs)
+			}
+		})
+	}
+}

@@ -94,8 +94,12 @@ func New(cfg Config) (*Controller, error) {
 		banks:    make([]*bankController, cfg.Banks),
 		bankMask: uint64(cfg.Banks - 1),
 		maxCount: 1<<uint(cfg.CounterBits) - 1,
-		pool:     bufPool{word: cfg.WordBytes},
+		pool:     bufPool{word: cfg.WordBytes, bufs: make([][]byte, 0, cfg.Banks*cfg.WriteBufferDepth)},
 		scratch:  make([]byte, cfg.WordBytes),
+		// At most one playback comes due per interface cycle, so one
+		// slot keeps the per-cycle completion append allocation-free
+		// from the very first Tick.
+		completions: make([]Completion, 0, 1),
 	}
 	for i := range c.banks {
 		c.banks[i] = newBankController(i, cfg)

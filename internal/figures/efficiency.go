@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baseline"
@@ -28,56 +29,53 @@ type EfficiencyRow struct {
 
 // Efficiency measures delivered bandwidth for the conventional
 // controller on the few-bank organizations of Section 3.1 versus VPNM
-// on its 32-bank point, under random and sequential traffic.
+// on its 32-bank point, under random and sequential traffic. The five
+// measurements are independent simulations (each owns its controller
+// and generator), so they run as a sim.RunGrid across the worker pool;
+// row order is the grid order at any worker count.
 func Efficiency(cycles int, seed uint64) ([]EfficiencyRow, error) {
-	var rows []EfficiencyRow
-
-	type run struct {
-		name string
-		mk   func() (sim.Memory, func() float64, error)
-		load string
-		gen  func() workload.Generator
-	}
-	fcfs := func(banks, rowHit int) func() (sim.Memory, func() float64, error) {
-		return func() (sim.Memory, func() float64, error) {
-			f, err := baseline.NewFCFS(baseline.FCFSConfig{
+	fcfs := func(banks, rowHit int) func() (sim.Memory, error) {
+		return func() (sim.Memory, error) {
+			return baseline.NewFCFS(baseline.FCFSConfig{
 				Banks: banks, AccessLatency: 20, WordBytes: 8, QueueDepth: 24,
 				RowHitLatency: rowHit, RowWords: 128,
 			})
-			if err != nil {
-				return nil, nil, err
-			}
-			return f, f.BusUtilization, nil
 		}
 	}
-	vpnm := func() (sim.Memory, func() float64, error) {
-		c, err := core.New(core.Config{QueueDepth: 64, DelayRows: 128, WordBytes: 8, HashSeed: seed})
-		if err != nil {
-			return nil, nil, err
-		}
-		return c, func() float64 { return c.Stats().BusUtilization() }, nil
+	vpnm := func() (sim.Memory, error) {
+		return core.New(core.Config{QueueDepth: 64, DelayRows: 128, WordBytes: 8, HashSeed: seed})
 	}
 	uniform := func() workload.Generator { return workload.NewUniform(seed, 0, 1, 0.25, 8) }
 	sequential := func() workload.Generator { return workload.NewStride(0, 1) }
 
-	runs := []run{
-		{"conventional, 4 banks (SDRAM-class)", fcfs(4, 4), "uniform", uniform},
-		{"conventional, 4 banks (SDRAM-class)", fcfs(4, 4), "sequential", sequential},
-		{"conventional, 32 banks (RDRAM-class)", fcfs(32, 4), "uniform", uniform},
-		{"VPNM, 32 banks", vpnm, "uniform", uniform},
-		{"VPNM, 32 banks", vpnm, "sequential", sequential},
+	opts := sim.Options{Cycles: cycles, Policy: sim.Retry}
+	runs := []sim.GridRun{
+		{Name: "conventional, 4 banks (SDRAM-class)", Mem: fcfs(4, 4), Gen: uniform, Opts: opts},
+		{Name: "conventional, 4 banks (SDRAM-class)", Mem: fcfs(4, 4), Gen: sequential, Opts: opts},
+		{Name: "conventional, 32 banks (RDRAM-class)", Mem: fcfs(32, 4), Gen: uniform, Opts: opts},
+		{Name: "VPNM, 32 banks", Mem: vpnm, Gen: uniform, Opts: opts},
+		{Name: "VPNM, 32 banks", Mem: vpnm, Gen: sequential, Opts: opts},
 	}
-	for _, r := range runs {
-		mem, bus, err := r.mk()
-		if err != nil {
-			return nil, fmt.Errorf("figures: building %s: %w", r.name, err)
+	loads := []string{"uniform", "sequential", "uniform", "uniform", "sequential"}
+
+	results, err := sim.RunGrid(context.Background(), runs, 0)
+	if err != nil {
+		return nil, fmt.Errorf("figures: efficiency grid: %w", err)
+	}
+	rows := make([]EfficiencyRow, 0, len(results))
+	for i, r := range results {
+		var bus float64
+		switch m := r.Mem.(type) {
+		case *baseline.FCFS:
+			bus = m.BusUtilization()
+		case *core.Controller:
+			bus = m.Stats().BusUtilization()
 		}
-		res := sim.Run(mem, r.gen(), sim.Options{Cycles: cycles, Policy: sim.Retry})
 		rows = append(rows, EfficiencyRow{
-			Controller:     r.name,
-			Workload:       r.load,
-			Throughput:     res.Throughput(),
-			BusUtilization: bus(),
+			Controller:     r.Name,
+			Workload:       loads[i],
+			Throughput:     r.Res.Throughput(),
+			BusUtilization: bus,
 		})
 	}
 	return rows, nil

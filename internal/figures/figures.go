@@ -6,12 +6,14 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/hw"
+	"repro/internal/parallel"
 	"repro/internal/pktbuf"
 	"repro/internal/reassembly"
 )
@@ -25,7 +27,9 @@ type Series struct {
 // Fig4 computes Figure 4: MTS versus the number of delay storage
 // buffer entries K, for the paper's (B, Q) pairings at R = 1.3. The
 // observation window is the drain time Q*L of a worst-case backlog.
-// Values are capped at 1e16 as in the paper.
+// Values are capped at 1e16 as in the paper. The five curves are
+// independent closed-form evaluations, so they fan out across the
+// worker pool; series order is the pairing order at any worker count.
 func Fig4() (ks []int, series []Series) {
 	for k := 0; k <= 128; k += 4 {
 		if k == 0 {
@@ -34,17 +38,22 @@ func Fig4() (ks []int, series []Series) {
 		ks = append(ks, k)
 	}
 	pairs := []struct{ b, q int }{{4, 12}, {8, 12}, {16, 12}, {32, 8}, {64, 8}}
-	for _, p := range pairs {
-		s := Series{Label: fmt.Sprintf("B=%d,Q=%d", p.b, p.q)}
-		d := analysis.DelayWindow(p.q, hw.DefaultL)
-		for _, k := range ks {
-			mts := analysis.DelayBufferMTS(p.b, k, d)
-			if mts > analysis.MTSCap {
-				mts = analysis.MTSCap
+	series, err := parallel.Sweep(context.Background(), len(pairs), parallel.Options{},
+		func(_ context.Context, i int) (Series, error) {
+			p := pairs[i]
+			s := Series{Label: fmt.Sprintf("B=%d,Q=%d", p.b, p.q)}
+			d := analysis.DelayWindow(p.q, hw.DefaultL)
+			for _, k := range ks {
+				mts := analysis.DelayBufferMTS(p.b, k, d)
+				if mts > analysis.MTSCap {
+					mts = analysis.MTSCap
+				}
+				s.Y = append(s.Y, mts)
 			}
-			s.Y = append(s.Y, mts)
-		}
-		series = append(series, s)
+			return s, nil
+		})
+	if err != nil {
+		panic(err) // tasks are infallible
 	}
 	return ks, series
 }
@@ -85,15 +94,19 @@ func Fig5(b int) (string, error) {
 }
 
 // Fig6 computes Figure 6: MTS versus the bank access queue size Q for
-// B in {4, 8, 16, 32, 64} at R = 1.3.
+// B in {4, 8, 16, 32, 64} at R = 1.3. The 80 Markov solves behind the
+// figure are independent chains, evaluated across the worker pool by
+// analysis.MTSSurface.
 func Fig6() (qs []int, series []Series) {
 	for q := 4; q <= 64; q += 4 {
 		qs = append(qs, q)
 	}
-	for _, b := range []int{4, 8, 16, 32, 64} {
+	bs := []int{4, 8, 16, 32, 64}
+	surface := analysis.MTSSurface(bs, qs, hw.DefaultL, 1.3, true, 0)
+	for bi, b := range bs {
 		s := Series{Label: fmt.Sprintf("B=%d", b)}
-		for _, q := range qs {
-			mts := analysis.SlottedBankQueueMTS(b, q, hw.DefaultL, 1.3)
+		for qi := range qs {
+			mts := surface[bi][qi]
 			if mts > analysis.MTSCap {
 				mts = analysis.MTSCap
 			}
@@ -105,11 +118,20 @@ func Fig6() (qs []int, series []Series) {
 }
 
 // Fig7 computes Figure 7: the area/MTS Pareto frontier of the design
-// space sweep for each bus scaling ratio.
+// space sweep for each bus scaling ratio. The per-ratio sweeps are
+// independent design-space explorations, so they fan out across the
+// worker pool (each sweep also parallelizes its own Markov solves).
 func Fig7(rs []float64) map[float64][]hw.DesignPoint {
+	fronts, err := parallel.Sweep(context.Background(), len(rs), parallel.Options{},
+		func(_ context.Context, i int) ([]hw.DesignPoint, error) {
+			return hw.ParetoFront(hw.Sweep(hw.DefaultGrid(rs[i]))), nil
+		})
+	if err != nil {
+		panic(err) // tasks are infallible
+	}
 	out := make(map[float64][]hw.DesignPoint, len(rs))
-	for _, r := range rs {
-		out[r] = hw.ParetoFront(hw.Sweep(hw.DefaultGrid(r)))
+	for i, r := range rs {
+		out[r] = fronts[i]
 	}
 	return out
 }

@@ -1,11 +1,13 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
 
@@ -28,9 +30,12 @@ func (v ValidationRow) Ratio() float64 { return v.MeasuredMTS / v.AnalyticMTS }
 // ValidateBankQueue measures the bank-access-queue MTS of a real
 // controller under full-rate uniform reads and compares it to the
 // Markov model. DelayRows is made large so only the queue can stall.
+// The trials are independent Monte Carlo simulations with per-trial
+// seeds, so they fan out across the worker pool; the seed derivation is
+// unchanged from the sequential code, so the measured median is
+// identical at any worker count.
 func ValidateBankQueue(b, q, trials, maxCycles int, seed uint64) (ValidationRow, error) {
-	var firsts []float64
-	for tr := 0; tr < trials; tr++ {
+	firsts, err := measureFirstStalls(trials, maxCycles, func(tr int) core.Config {
 		cfg := core.Config{
 			Banks:      b,
 			QueueDepth: q,
@@ -41,11 +46,10 @@ func ValidateBankQueue(b, q, trials, maxCycles int, seed uint64) (ValidationRow,
 		// exactly D cycles and at most one request arrives per cycle),
 		// so the queue is the only thing that can stall.
 		cfg.DelayRows = cfg.AutoDelay() + 1
-		first, err := firstStall(cfg, maxCycles, seed+uint64(tr))
-		if err != nil {
-			return ValidationRow{}, err
-		}
-		firsts = append(firsts, first)
+		return cfg
+	}, seed)
+	if err != nil {
+		return ValidationRow{}, err
 	}
 	// The chain runs in memory cycles; the simulator counts interface
 	// cycles, which are R times longer.
@@ -64,8 +68,7 @@ func ValidateBankQueue(b, q, trials, maxCycles int, seed uint64) (ValidationRow,
 // interval max(L, B) matches the scheduler exactly when B >= L or when
 // B divides L.
 func ValidateBankQueueStrictRR(b, q, trials, maxCycles int, seed uint64) (ValidationRow, error) {
-	var firsts []float64
-	for tr := 0; tr < trials; tr++ {
+	firsts, err := measureFirstStalls(trials, maxCycles, func(tr int) core.Config {
 		cfg := core.Config{
 			Banks:            b,
 			QueueDepth:       q,
@@ -74,11 +77,10 @@ func ValidateBankQueueStrictRR(b, q, trials, maxCycles int, seed uint64) (Valida
 			StrictRoundRobin: true,
 		}
 		cfg.DelayRows = cfg.AutoDelay() + 1
-		first, err := firstStall(cfg, maxCycles, seed+uint64(tr))
-		if err != nil {
-			return ValidationRow{}, err
-		}
-		firsts = append(firsts, first)
+		return cfg
+	}, seed)
+	if err != nil {
+		return ValidationRow{}, err
 	}
 	analytic := analysis.SlottedBankQueueMTS(b, q, core.DefaultAccessLatency, 1.3) / 1.3
 	return ValidationRow{
@@ -94,9 +96,8 @@ func ValidateBankQueueStrictRR(b, q, trials, maxCycles int, seed uint64) (Valida
 // controller's actual normalized delay D (rows are held exactly D
 // cycles, so D is the window).
 func ValidateDelayBuffer(b, k, q, trials, maxCycles int, seed uint64) (ValidationRow, error) {
-	var firsts []float64
 	var window int
-	for tr := 0; tr < trials; tr++ {
+	firsts, err := measureFirstStalls(trials, maxCycles, func(tr int) core.Config {
 		cfg := core.Config{
 			Banks:      b,
 			QueueDepth: q,
@@ -104,13 +105,12 @@ func ValidateDelayBuffer(b, k, q, trials, maxCycles int, seed uint64) (Validatio
 			WordBytes:  8,
 			HashSeed:   seed + uint64(tr)*104729,
 		}
-		window = cfg.AutoDelay()
-		first, err := firstStall(cfg, maxCycles, seed+uint64(tr))
-		if err != nil {
-			return ValidationRow{}, err
-		}
-		firsts = append(firsts, first)
+		return cfg
+	}, seed)
+	if err != nil {
+		return ValidationRow{}, err
 	}
+	window = core.Config{Banks: b, QueueDepth: q, DelayRows: k, WordBytes: 8}.AutoDelay()
 	return ValidationRow{
 		Desc: fmt.Sprintf("delay buffer stall: B=%d K=%d (window D=%d)", b, k, window),
 		// The exact binomial tail, not the paper's union bound: the
@@ -120,6 +120,18 @@ func ValidateDelayBuffer(b, k, q, trials, maxCycles int, seed uint64) (Validatio
 		MeasuredMTS: median(firsts),
 		Trials:      trials,
 	}, nil
+}
+
+// measureFirstStalls runs `trials` independent first-stall simulations
+// across the worker pool and returns the samples in trial order. Each
+// trial gets its own controller (built by mkCfg) and its own workload
+// seed (seed + trial, the same derivation the sequential code used), so
+// the sample vector is byte-identical at any worker count.
+func measureFirstStalls(trials, maxCycles int, mkCfg func(trial int) core.Config, seed uint64) ([]float64, error) {
+	return parallel.Sweep(context.Background(), trials, parallel.Options{},
+		func(_ context.Context, tr int) (float64, error) {
+			return firstStall(mkCfg(tr), maxCycles, seed+uint64(tr))
+		})
 }
 
 // firstStall runs full-rate uniform random reads until the first stall

@@ -25,6 +25,10 @@ type SweepGrid struct {
 	Rows   []int
 	L      int
 	R      float64
+	// Workers bounds the fan-out of the Markov solves behind the sweep;
+	// <= 0 selects GOMAXPROCS. Every grid point is an independent chain,
+	// so the result is identical at any worker count.
+	Workers int
 }
 
 // DefaultGrid mirrors the ranges of Figures 4, 6 and 7.
@@ -39,21 +43,19 @@ func DefaultGrid(r float64) SweepGrid {
 }
 
 // Sweep evaluates every grid point. Bank-queue MTS depends only on
-// (B, Q, R), so it is memoized across the K axis.
+// (B, Q, R), so the expensive Markov solves run once per (B, Q) pair —
+// fanned across the worker pool, since every chain is independent —
+// and are shared across the K axis. Point order is the (B, Q, K)
+// nesting order regardless of worker count.
 func Sweep(g SweepGrid) []DesignPoint {
-	type bq struct{ b, q int }
-	bankqMTS := make(map[bq]float64)
-	var out []DesignPoint
-	for _, b := range g.Banks {
-		for _, q := range g.Queues {
-			key := bq{b, q}
-			if _, ok := bankqMTS[key]; !ok {
-				bankqMTS[key] = analysis.SlottedBankQueueMTS(b, q, g.L, g.R)
-			}
+	bankqMTS := analysis.MTSSurface(g.Banks, g.Queues, g.L, g.R, true, g.Workers)
+	out := make([]DesignPoint, 0, len(g.Banks)*len(g.Queues)*len(g.Rows))
+	for bi, b := range g.Banks {
+		for qi, q := range g.Queues {
 			for _, k := range g.Rows {
 				p := Params{B: b, Q: q, K: k, L: g.L, R: g.R}.WithDefaults()
 				dbuf := analysis.DelayBufferMTS(b, k, p.Delay())
-				mts := combineRates(dbuf, bankqMTS[key])
+				mts := combineRates(dbuf, bankqMTS[bi][qi])
 				out = append(out, DesignPoint{
 					Params:   p,
 					AreaMM2:  p.AreaMM2(),

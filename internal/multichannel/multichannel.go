@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hash"
+	"repro/internal/parallel"
 )
 
 // ErrChannelBusy reports that the target channel already accepted a
@@ -38,25 +39,67 @@ type Memory struct {
 	shift uint
 
 	reads, writes, busy uint64
-	comps               []core.Completion
+
+	// Completion staging. Each channel ticks into its own pre-sized
+	// buffer (at most one completion per channel per cycle), and Tick
+	// merges the buffers into comps in channel order — the same order
+	// the sequential loop produces, which is what makes the parallel
+	// path cycle-for-cycle identical to the sequential one. All slices
+	// are reused across ticks, so the steady state allocates nothing.
+	comps   []core.Completion
+	perChan [][]core.Completion
+
+	// Parallel dispatch. The C controllers share no state, so their
+	// ticks can run concurrently; pool is nil in sequential mode.
+	// tickFn is the method value bound once at construction — binding
+	// it per Tick would allocate a closure on every cycle.
+	pool   *parallel.Pool
+	tickFn func(int)
 }
+
+// Option configures optional Memory behaviour.
+type Option func(*options)
+
+type options struct {
+	parallel bool
+	workers  int
+}
+
+// Parallel dispatches the per-channel work of every Tick across a
+// persistent worker pool when on is true. The channels are fully
+// independent controllers, so parallel execution is exact: completions,
+// tags, statistics and timing are cycle-for-cycle identical to the
+// sequential path at any worker count (the differential test pins
+// this). Memories with a pool hold worker goroutines; call Close when
+// done with the Memory.
+func Parallel(on bool) Option { return func(o *options) { o.parallel = on } }
+
+// PoolWorkers bounds the tick pool size; <= 0 (the default) selects
+// GOMAXPROCS. It has no effect without Parallel(true).
+func PoolWorkers(n int) Option { return func(o *options) { o.workers = n } }
 
 // New builds a striped memory of `channels` (a power of two) identical
 // controllers. Each channel gets an independently seeded bank hash;
 // the channel selector is seeded separately so bank and channel
 // randomization are independent.
-func New(cfg core.Config, channels int, seed uint64) (*Memory, error) {
+func New(cfg core.Config, channels int, seed uint64, opts ...Option) (*Memory, error) {
 	if channels < 1 || channels&(channels-1) != 0 {
 		return nil, fmt.Errorf("multichannel: channels must be a positive power of two, got %d", channels)
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
 	}
 	bits := 1
 	for 1<<bits < channels {
 		bits++
 	}
 	m := &Memory{
-		sel:   hash.NewH3(bits, seed^0x5bd1e995),
-		mask:  uint64(channels - 1),
-		shift: uint(bits),
+		sel:     hash.NewH3(bits, seed^0x5bd1e995),
+		mask:    uint64(channels - 1),
+		shift:   uint(bits),
+		comps:   make([]core.Completion, 0, channels),
+		perChan: make([][]core.Completion, channels),
 	}
 	for i := 0; i < channels; i++ {
 		c := cfg
@@ -66,8 +109,25 @@ func New(cfg core.Config, channels int, seed uint64) (*Memory, error) {
 			return nil, err
 		}
 		m.chans = append(m.chans, ctrl)
+		m.perChan[i] = make([]core.Completion, 0, 1)
+	}
+	m.tickFn = m.tickChannel
+	if o.parallel && channels > 1 {
+		m.pool = parallel.NewPool(parallel.Workers(o.workers, channels))
 	}
 	return m, nil
+}
+
+// ParallelEnabled reports whether Tick dispatches across a worker pool.
+func (m *Memory) ParallelEnabled() bool { return m.pool != nil }
+
+// Close releases the tick pool's worker goroutines, if any. The Memory
+// itself stays usable (sequentially) after Close.
+func (m *Memory) Close() {
+	if m.pool != nil {
+		m.pool.Close()
+		m.pool = nil
+	}
 }
 
 // Channels reports the stripe width.
@@ -110,18 +170,36 @@ func (m *Memory) Write(addr uint64, data []byte) error {
 }
 
 // Tick advances every channel one cycle and merges their completions
-// (re-tagged with the channel id). Up to Channels() completions can
-// arrive per cycle; each Data slice is valid until the next Tick, as
-// with a single controller.
+// (re-tagged with the channel id) in channel order. Up to Channels()
+// completions can arrive per cycle; each Data slice is valid until the
+// next Tick, as with a single controller. With the Parallel option the
+// channel ticks run concurrently on the pool; the merge order and every
+// completion are identical to the sequential path.
 func (m *Memory) Tick() []core.Completion {
-	m.comps = m.comps[:0]
-	for ch, c := range m.chans {
-		for _, comp := range c.Tick() {
-			comp.Tag = comp.Tag<<m.shift | uint64(ch)
-			m.comps = append(m.comps, comp)
+	if m.pool != nil {
+		m.pool.Run(len(m.chans), m.tickFn)
+	} else {
+		for ch := range m.chans {
+			m.tickChannel(ch)
 		}
 	}
+	m.comps = m.comps[:0]
+	for ch := range m.chans {
+		m.comps = append(m.comps, m.perChan[ch]...)
+	}
 	return m.comps
+}
+
+// tickChannel advances one channel and stages its (re-tagged)
+// completions. Channels share no state, so distinct indices are safe to
+// run concurrently.
+func (m *Memory) tickChannel(ch int) {
+	buf := m.perChan[ch][:0]
+	for _, comp := range m.chans[ch].Tick() {
+		comp.Tag = comp.Tag<<m.shift | uint64(ch)
+		buf = append(buf, comp)
+	}
+	m.perChan[ch] = buf
 }
 
 // Outstanding sums undelivered reads across channels.

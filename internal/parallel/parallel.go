@@ -1,0 +1,253 @@
+// Package parallel is the bounded worker-pool execution engine behind
+// every fan-out in this repository. The structures it accelerates are
+// embarrassingly parallel by construction: the C channels of a
+// multichannel memory share no state (each owns its banks, queues and
+// delay buffers), and the trials of an MTS sweep, Pareto exploration,
+// Monte Carlo validation or chaos batch are independent simulations
+// with independent seeds. Because the tasks are independent, parallel
+// execution is *exact*, not approximate — the engine guarantees that
+// results are returned in task order regardless of worker count, so a
+// sweep at 1 worker and at GOMAXPROCS workers is byte-identical.
+//
+// Two entry points cover the two shapes of work:
+//
+//   - Sweep runs n one-shot tasks (simulation runs, grid points,
+//     trials) across a bounded pool spawned for the call, with context
+//     cancellation and first-error propagation.
+//   - Pool is a persistent pool for repeated small fan-outs on a hot
+//     path — the per-cycle channel dispatch in multichannel.Memory —
+//     where spawning goroutines every call would dominate. Its Run
+//     path performs no allocations.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count request: n <= 0 selects
+// runtime.GOMAXPROCS(0), and the result never exceeds limit when
+// limit > 0 (there is no point in more workers than tasks).
+func Workers(n, limit int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Seed derives a decorrelated per-task seed from a base seed and a task
+// index with the SplitMix64 finalizer, so neighbouring tasks do not get
+// neighbouring (and therefore correlated) PRNG streams. The mapping is
+// pure: the same (base, i) always yields the same seed, which is what
+// keeps seeded sweeps deterministic under any worker count.
+func Seed(base uint64, i int) uint64 {
+	z := base + (uint64(i)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Options configures a Sweep.
+type Options struct {
+	// Workers bounds the number of concurrent tasks; <= 0 means
+	// runtime.GOMAXPROCS(0). The worker count never changes the result,
+	// only the wall clock.
+	Workers int
+}
+
+// Sweep runs fn(ctx, i) for every i in [0, n) across a bounded worker
+// pool and returns the n results in task order — the same slice no
+// matter how many workers executed it. Tasks must be independent: fn
+// must not communicate between indices except through its own captured
+// state with proper synchronization.
+//
+// The first error (lowest task index among failures) cancels the
+// sweep's context and is returned; remaining queued tasks are skipped.
+// A nil ctx is treated as context.Background().
+func Sweep[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := Workers(opts.Workers, n)
+	results := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return nil, &TaskError{Index: i, Err: err}
+			}
+			results[i] = v
+		}
+		return results, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next atomic.Int64
+		mu   sync.Mutex
+		ferr *TaskError // failure with the lowest task index
+		wg   sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if ferr == nil || i < ferr.Index {
+			ferr = &TaskError{Index: i, Err: err}
+		}
+		mu.Unlock()
+		cancel()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(i, err)
+					return
+				}
+				v, err := fn(ctx, i)
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				results[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if ferr != nil {
+		return nil, ferr
+	}
+	return results, nil
+}
+
+// TaskError reports which task of a Sweep failed first (lowest index
+// among observed failures, so the reported error is deterministic when
+// the failing set is).
+type TaskError struct {
+	Index int
+	Err   error
+}
+
+func (e *TaskError) Error() string { return fmt.Sprintf("parallel: task %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the task's underlying error to errors.Is/As.
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// Pool is a persistent worker pool for repeated fan-outs over small
+// task sets — the per-interface-cycle channel dispatch in
+// multichannel.Memory, where a pool spawned per Tick would cost more
+// than the work. Workers are started once and parked between runs; the
+// Run path itself allocates nothing.
+//
+// A Pool is safe to share between sequential Runs but a single Run must
+// have exclusive use: like the single-ported hardware it accelerates,
+// Run is not safe for concurrent use on one Pool. Callers that tick
+// several memories concurrently give each its own Pool.
+type Pool struct {
+	workers int
+	fn      func(int) // task body for the current run
+	n       int64     // task count for the current run
+	next    atomic.Int64
+	start   chan struct{} // one token wakes one worker
+	done    chan struct{} // one token per worker that finished draining
+	quit    chan struct{}
+	once    sync.Once
+}
+
+// NewPool starts a pool of the given size; workers <= 0 selects
+// runtime.GOMAXPROCS(0). Close releases the worker goroutines.
+func NewPool(workers int) *Pool {
+	workers = Workers(workers, 0)
+	p := &Pool{
+		workers: workers,
+		start:   make(chan struct{}, workers),
+		done:    make(chan struct{}, workers),
+		quit:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) worker() {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.start:
+		}
+		// The channel receive orders this read after Run's writes.
+		n, fn := p.n, p.fn
+		for {
+			i := p.next.Add(1) - 1
+			if i >= n {
+				break
+			}
+			fn(int(i))
+		}
+		p.done <- struct{}{}
+	}
+}
+
+// Run executes fn(i) for every i in [0, n) on the pool and returns when
+// all n calls have completed. Work is claimed dynamically (an atomic
+// counter), so an expensive task does not serialize the cheap ones.
+// fn must be safe to call concurrently for distinct i. Run allocates
+// nothing; callers on a hot path should pass a pre-bound fn rather than
+// a fresh closure (a method value created at the call site allocates).
+func (p *Pool) Run(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 || p.workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	p.fn = fn
+	p.n = int64(n)
+	p.next.Store(0)
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	for i := 0; i < w; i++ {
+		p.start <- struct{}{}
+	}
+	for i := 0; i < w; i++ {
+		<-p.done
+	}
+	p.fn = nil
+}
+
+// Close shuts the pool down; parked workers exit. Close is idempotent
+// and must not race a Run.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.quit) })
+}

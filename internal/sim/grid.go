@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/workload"
+)
+
+// GridRun names one independent simulation in a parameter grid: a
+// factory for the memory under test, a factory for its workload (each
+// run needs its own generator — generators are stateful), and the run
+// options. Factories run on pool workers, so they must not share
+// mutable state across runs.
+type GridRun struct {
+	Name string
+	Mem  func() (Memory, error)
+	Gen  func() workload.Generator
+	Opts Options
+}
+
+// GridResult pairs a grid run's result with the memory that produced
+// it, so callers can pull controller-specific statistics (bus
+// utilization, stall breakdowns) after the sweep.
+type GridResult struct {
+	Name string
+	Mem  Memory
+	Res  *Result
+}
+
+// RunGrid executes independent simulation runs across a bounded worker
+// pool and returns their results in input order — the grid is
+// embarrassingly parallel because every run owns its memory and its
+// generator, so the worker count changes only the wall clock, never a
+// result. workers <= 0 selects GOMAXPROCS.
+func RunGrid(ctx context.Context, runs []GridRun, workers int) ([]GridResult, error) {
+	return parallel.Sweep(ctx, len(runs), parallel.Options{Workers: workers},
+		func(_ context.Context, i int) (GridResult, error) {
+			r := runs[i]
+			if r.Mem == nil || r.Gen == nil {
+				return GridResult{}, fmt.Errorf("sim: grid run %q needs Mem and Gen factories", r.Name)
+			}
+			mem, err := r.Mem()
+			if err != nil {
+				return GridResult{}, fmt.Errorf("sim: grid run %q: %w", r.Name, err)
+			}
+			res := Run(mem, r.Gen(), r.Opts)
+			return GridResult{Name: r.Name, Mem: mem, Res: res}, nil
+		})
+}
+
+// RunChaosTrials runs `trials` independent chaos runs across a bounded
+// worker pool, with mk building the (fully self-contained) options for
+// each trial — typically deriving per-trial fault and workload seeds
+// with parallel.Seed. Results are in trial order at any worker count.
+// The first failing trial cancels the batch.
+func RunChaosTrials(ctx context.Context, trials, workers int, mk func(trial int) ChaosOptions) ([]*ChaosResult, error) {
+	return parallel.Sweep(ctx, trials, parallel.Options{Workers: workers},
+		func(_ context.Context, i int) (*ChaosResult, error) {
+			return RunChaos(mk(i))
+		})
+}

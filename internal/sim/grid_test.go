@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/parallel"
+	"repro/internal/workload"
+)
+
+func gridRuns(seed uint64, n int) []GridRun {
+	runs := make([]GridRun, 0, n)
+	for i := 0; i < n; i++ {
+		s := parallel.Seed(seed, i)
+		runs = append(runs, GridRun{
+			Name: fmt.Sprintf("point-%d", i),
+			Mem: func() (Memory, error) {
+				return core.New(core.Config{Banks: 8, QueueDepth: 8, DelayRows: 32, WordBytes: 8, HashSeed: s})
+			},
+			Gen:  func() workload.Generator { return workload.NewUniform(s, 0, 1, 0.25, 8) },
+			Opts: Options{Cycles: 2000, Policy: Drop, Drain: true},
+		})
+	}
+	return runs
+}
+
+// TestRunGridDeterministicAcrossWorkers pins the engine's central
+// guarantee: the same seeded grid yields byte-identical results at
+// worker counts 1, 4 and GOMAXPROCS.
+func TestRunGridDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		res, err := RunGrid(context.Background(), gridRuns(99, 12), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out := ""
+		for _, r := range res {
+			out += r.Name + ": " + r.Res.String() + "\n"
+		}
+		return out
+	}
+	want := render(1)
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := render(w); got != want {
+			t.Fatalf("workers=%d diverged from sequential:\n--- got ---\n%s--- want ---\n%s", w, got, want)
+		}
+	}
+}
+
+func TestRunGridPropagatesFactoryError(t *testing.T) {
+	runs := gridRuns(1, 3)
+	runs[1].Mem = func() (Memory, error) {
+		return nil, errors.New("bad config")
+	}
+	if _, err := RunGrid(context.Background(), runs, 2); err == nil {
+		t.Fatal("factory error not propagated")
+	}
+	runs = gridRuns(1, 2)
+	runs[0].Gen = nil
+	if _, err := RunGrid(context.Background(), runs, 2); err == nil {
+		t.Fatal("missing generator not rejected")
+	}
+}
+
+func chaosOpts(seed uint64, trial int) ChaosOptions {
+	s := parallel.Seed(seed, trial)
+	return ChaosOptions{
+		Cycles: 1500,
+		Core:   core.Config{Banks: 8, QueueDepth: 8, DelayRows: 32, WordBytes: 8, HashSeed: s},
+		Fault: fault.Config{
+			Seed:          s ^ 0xfee1dead,
+			SingleBitRate: 0.01,
+			DoubleBitRate: 0.002,
+		},
+		Gen: workload.NewUniform(s, 1<<12, 1, 0.3, 8),
+	}
+}
+
+// TestRunChaosTrialsDeterministicAcrossWorkers: a seeded chaos batch is
+// byte-identical at any worker count, and every trial's invariants hold
+// under fault injection.
+func TestRunChaosTrialsDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		res, err := RunChaosTrials(context.Background(), 6, workers, func(trial int) ChaosOptions {
+			return chaosOpts(7, trial)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out := ""
+		for i, r := range res {
+			if !r.Ok() {
+				t.Fatalf("workers=%d trial %d violations: %v", workers, i, r.Violations)
+			}
+			out += fmt.Sprintf("trial %d: %s\n", i, r.String())
+		}
+		return out
+	}
+	want := render(1)
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := render(w); got != want {
+			t.Fatalf("workers=%d diverged:\n--- got ---\n%s--- want ---\n%s", w, got, want)
+		}
+	}
+}
+
+// TestGridHammerConcurrentCallers drives RunGrid and RunChaosTrials
+// from several goroutines at once under -race: the engine must be safe
+// for concurrent sweeps (each sweep owns its tasks' state).
+func TestGridHammerConcurrentCallers(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := RunGrid(context.Background(), gridRuns(uint64(g), 6), 3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(res) != 6 {
+				t.Errorf("goroutine %d: %d results", g, len(res))
+			}
+		}(g)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := RunChaosTrials(context.Background(), 3, 2, func(trial int) ChaosOptions {
+				return chaosOpts(uint64(g)+100, trial)
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i, r := range res {
+				if !r.Ok() {
+					t.Errorf("goroutine %d trial %d: %v", g, i, r.Violations)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
