@@ -16,18 +16,21 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the fault/recovery/chaos stack plus the core controller.
+# Race-check the fault/recovery/chaos stack, the core controller, and
+# the networked service (wire codec, vpnmd engine, batching client).
 race:
-	$(GO) test -race ./internal/core ./internal/dram ./internal/fault ./internal/recovery ./internal/sim
+	$(GO) test -race ./internal/core ./internal/dram ./internal/fault ./internal/recovery ./internal/sim ./internal/wire ./internal/server ./internal/client
 
 # Short chaos smoke: fault injection + recovery + invariant checks.
 chaos:
 	$(GO) test -race -run Chaos ./internal/sim ./internal/recovery ./internal/fault
 
-# Brief coverage-guided fuzz of the controller and retrier contracts.
+# Brief coverage-guided fuzz of the controller and retrier contracts,
+# plus the wire codec's hostile-input surface.
 fuzz:
 	$(GO) test ./internal/core -fuzz FuzzControllerOps -fuzztime 10s
 	$(GO) test ./internal/core -fuzz FuzzRetrierOps -fuzztime 10s
+	$(GO) test ./internal/wire -fuzz FuzzFrameDecode -fuzztime 10s
 
 # Gated benchmark set. BENCH_parallel.txt is benchstat-compatible raw
 # output; BENCH_parallel.json is the parsed form bench-gate compares
@@ -35,7 +38,7 @@ fuzz:
 # deterministic metrics (req/cycle, speedup-x) from a single run;
 # TickParallel needs iterations to reach its 0 allocs/op steady state.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkBaselineVsVPNM$$|BenchmarkSweepSpeedup$$' -benchmem -benchtime 1x -count=1 . | tee BENCH_parallel.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkBaselineVsVPNM$$|BenchmarkSweepSpeedup$$|BenchmarkServerLoopback$$' -benchmem -benchtime 1x -count=1 . | tee BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkTickParallel$$' -benchmem -benchtime 20000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) run ./cmd/benchgate -parse -o BENCH_parallel.json BENCH_parallel.txt
 

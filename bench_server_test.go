@@ -1,0 +1,87 @@
+// Networked-service benchmark: the full client → wire → vpnmd engine →
+// multichannel stack over an in-process pipe, measured in requests per
+// interface cycle so the number gates like the simulator benchmarks.
+//
+// Determinism is the point: the engine runs in Lockstep (frames admitted
+// one at a time in arrival order, fully drained, no idle ticks) and the
+// client in ManualBatch mode (frames cut at explicit Kick points), so
+// the cycle count is a pure function of the seeded request sequence and
+// the req/cycle metric is bit-stable across runs — -benchtime 1x is all
+// it needs, and bench/baseline.json can gate it at a tight threshold.
+package vpnm_test
+
+import (
+	"context"
+	"math/rand/v2"
+	"net"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/multichannel"
+	"repro/internal/server"
+)
+
+func BenchmarkServerLoopback(b *testing.B) {
+	const (
+		channels = 4
+		total    = 8192
+		batch    = 64
+	)
+	for i := 0; i < b.N; i++ {
+		cfg := core.Config{Banks: 8, QueueDepth: 16, DelayRows: 64, WordBytes: 8}
+		mem, err := multichannel.New(cfg, channels, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := server.New(server.Config{Mem: mem, Lockstep: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cn, sn := net.Pipe()
+		if err := eng.ServeConn(sn); err != nil {
+			b.Fatal(err)
+		}
+		// The window must exceed the request count: a lockstep engine
+		// never ticks while idle, so a client blocked mid-batch waiting
+		// for a completion would wait forever.
+		c := client.New(cn, client.Config{Window: total + 16, MaxBatch: batch, ManualBatch: true})
+
+		ctx := context.Background()
+		before, err := c.Stats(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(1, 2))
+		for n := 0; n < total; n += batch {
+			for j := 0; j < batch; j++ {
+				if err := c.Read(ctx, rng.Uint64N(1<<24), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := c.Kick(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := c.Flush(ctx); err != nil {
+			b.Fatal(err)
+		}
+		after, err := c.Stats(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctr := c.Counters()
+		if ctr.Completions != total || ctr.Drops != 0 {
+			b.Fatalf("ledger = %+v, want %d completions", ctr, total)
+		}
+		if ctr.LatencyViolations != 0 {
+			b.Fatalf("%d fixed-D violations", ctr.LatencyViolations)
+		}
+		cycles := after.Cycle - before.Cycle
+		b.ReportMetric(float64(total)/float64(cycles), "req/cycle")
+		b.ReportMetric(float64(cycles), "cycles")
+
+		c.Close()
+		eng.Close()
+	}
+}

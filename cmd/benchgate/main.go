@@ -11,7 +11,10 @@
 // for diffing in CI logs). The gate mode walks the baseline — only
 // benchmarks and metrics present there are checked, so the baseline
 // file is also the gate's scope — and fails the build when a metric
-// regresses by more than the threshold.
+// regresses by more than the threshold. Benchmarks present in the
+// current run but absent from the baseline are listed as
+// `UNKNOWN (not in baseline)` so new benchmarks don't silently run
+// ungated.
 //
 // Machine-dependent metrics (ns/op, B/op on allocating paths) have no
 // gate direction and are never checked even if a baseline lists them;
@@ -85,7 +88,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchgate: -gate needs exactly one parsed report argument")
 			os.Exit(2)
 		}
-		failures, err := runGate(flag.Arg(0), *baseline, *threshold)
+		failures, err := runGate(flag.Arg(0), *baseline, *threshold, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(1)
@@ -158,7 +161,7 @@ func parseInto(rep *Report, r io.Reader) error {
 	return sc.Err()
 }
 
-func runGate(curPath, basePath string, threshold float64) ([]string, error) {
+func runGate(curPath, basePath string, threshold float64, w io.Writer) ([]string, error) {
 	cur, err := readReport(curPath)
 	if err != nil {
 		return nil, err
@@ -196,8 +199,16 @@ func runGate(curPath, basePath string, threshold float64) ([]string, error) {
 			case dir < 0 && got > want*(1+threshold):
 				failures = append(failures, fmt.Sprintf("%s %s: %g > baseline %g +%.0f%%", name, unit, got, want, threshold*100))
 			default:
-				fmt.Printf("ok   %s %s: %g (baseline %g)\n", name, unit, got, want)
+				fmt.Fprintf(w, "ok   %s %s: %g (baseline %g)\n", name, unit, got, want)
 			}
+		}
+	}
+	// Surface current-run benchmarks the baseline says nothing about:
+	// not a failure (the baseline is the gate's scope), but a visible
+	// nudge that a new benchmark wants a baseline entry.
+	for _, name := range sortedKeys(cur.Benchmarks) {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Fprintf(w, "UNKNOWN (not in baseline): %s\n", name)
 		}
 	}
 	if checked == 0 && len(failures) == 0 {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -92,7 +94,7 @@ func TestGateDirections(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			failures, err := runGate(
 				writeFile(t, "cur.json", tc.current),
-				writeFile(t, "base.json", base), 0.20)
+				writeFile(t, "base.json", base), 0.20, io.Discard)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -111,7 +113,30 @@ func TestGateDirections(t *testing.T) {
 func TestGateRejectsUselessBaseline(t *testing.T) {
 	cur := writeFile(t, "cur.json", `{"benchmarks": {"BenchA": {"ns/op": 1}}}`)
 	base := writeFile(t, "base.json", `{"benchmarks": {"BenchA": {"ns/op": 1}}}`)
-	if _, err := runGate(cur, base, 0.20); err == nil {
+	if _, err := runGate(cur, base, 0.20, io.Discard); err == nil {
 		t.Fatal("baseline with only ungated metrics must error, not silently pass")
+	}
+}
+
+// TestGateReportsUnknownBenchmarks: a benchmark the baseline does not
+// mention passes the gate but is called out as UNKNOWN, so new
+// benchmarks don't run ungated in silence.
+func TestGateReportsUnknownBenchmarks(t *testing.T) {
+	cur := writeFile(t, "cur.json",
+		`{"benchmarks": {"BenchA": {"req/cycle": 1}, "BenchNew": {"req/cycle": 9}}}`)
+	base := writeFile(t, "base.json", `{"benchmarks": {"BenchA": {"req/cycle": 1}}}`)
+	var out bytes.Buffer
+	failures, err := runGate(cur, base, 0.20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("unknown benchmark must not fail the gate: %v", failures)
+	}
+	if want := "UNKNOWN (not in baseline): BenchNew"; !strings.Contains(out.String(), want) {
+		t.Fatalf("gate output %q missing %q", out.String(), want)
+	}
+	if strings.Contains(out.String(), "UNKNOWN (not in baseline): BenchA") {
+		t.Fatal("baselined benchmark reported as UNKNOWN")
 	}
 }

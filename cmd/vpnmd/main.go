@@ -1,0 +1,138 @@
+// Command vpnmd serves a virtually pipelined network memory over TCP:
+// the daemon the paper's line cards would talk to. It stripes the
+// configured geometry across C independent VPNM channels
+// (internal/multichannel), multiplexes every client connection onto
+// them through the vpnmd engine (internal/server), and speaks the
+// length-prefixed binary protocol of internal/wire.
+//
+//	vpnmd -addr :7450 -channels 4 -banks 32 -statsz :7451
+//
+// Clients (cmd/vpnmload, or anything built on internal/client) issue
+// pipelined reads and writes; every read completes exactly D interface
+// cycles after it issued, no matter the access pattern, and the
+// /statsz endpoint exposes the engine's ledger as JSON.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/multichannel"
+	"repro/internal/recovery"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7450", "TCP listen address for the memory service")
+		statsz   = flag.String("statsz", "", "HTTP listen address for /statsz (empty disables)")
+		channels = flag.Int("channels", 4, "channel count (power of two); up to this many requests are accepted per cycle")
+		banks    = flag.Int("banks", core.DefaultBanks, "banks per channel B")
+		latency  = flag.Int("latency", core.DefaultAccessLatency, "bank occupancy L in memory cycles")
+		queue    = flag.Int("queue", core.DefaultQueueDepth, "bank access queue depth Q")
+		rows     = flag.Int("rows", core.DefaultDelayRows, "delay storage buffer rows K")
+		word     = flag.Int("word", 8, "word size W in bytes")
+		ratio    = flag.Float64("ratio", 1.3, "bus scaling ratio R")
+		seed     = flag.Uint64("seed", 1, "universal hash seed (keep secret in anger)")
+		window   = flag.Int("window", server.DefaultWindow, "per-connection request window before TCP backpressure")
+		policy   = flag.String("policy", "backpressure", "stall policy: retry | drop | backpressure (drop surfaces stalls to clients)")
+		attempts = flag.Int("attempts", 0, "max hold-and-retry attempts per stalled request (0: default)")
+		tick     = flag.Duration("tick", 0, "wall-clock tick interval (0: free-running clock)")
+		quiet    = flag.Bool("q", false, "suppress connection lifecycle logging")
+	)
+	flag.Parse()
+
+	pol, err := recovery.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	num, den := ratioFrac(*ratio)
+	cfg := core.Config{
+		Banks:         *banks,
+		AccessLatency: *latency,
+		QueueDepth:    *queue,
+		DelayRows:     *rows,
+		WordBytes:     *word,
+		RatioNum:      num,
+		RatioDen:      den,
+	}
+	mem, err := multichannel.New(cfg, *channels, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	eng, err := server.New(server.Config{
+		Mem:          mem,
+		Window:       *window,
+		Policy:       pol,
+		MaxAttempts:  *attempts,
+		TickInterval: *tick,
+		Logf:         logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("vpnmd: serving %d channels x %d banks, D=%d cycles, word=%dB, policy=%s on %s\n",
+		*channels, *banks, mem.Delay(), *word, pol, ln.Addr())
+
+	if *statsz != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/statsz", eng.StatszHandler())
+		srv := &http.Server{Addr: *statsz, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "vpnmd: statsz:", err)
+			}
+		}()
+		fmt.Printf("vpnmd: /statsz on %s\n", *statsz)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("vpnmd: shutting down")
+		eng.Close()
+	}()
+
+	if err := eng.Serve(ln); err != nil {
+		fatal(err)
+	}
+	s := eng.Snapshot()
+	fmt.Printf("vpnmd: served %d reads, %d writes, %d completions over %d cycles\n",
+		s.Reads, s.Writes, s.Completions, s.Cycle)
+}
+
+// ratioFrac turns a decimal R into a small fraction (R >= 1, two
+// decimal places are plenty for the paper's 1.0-1.5 range).
+func ratioFrac(r float64) (num, den int) {
+	den = 100
+	num = int(r*float64(den) + 0.5)
+	for num%10 == 0 && den%10 == 0 {
+		num /= 10
+		den /= 10
+	}
+	return num, den
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vpnmd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,171 @@
+// Command vpnmload is a closed-loop load generator for vpnmd: it keeps
+// a configurable window of pipelined requests in flight against a live
+// server, then reports requests per second and the completion latency
+// distribution in interface cycles — which, this being a virtually
+// pipelined memory, must be a single spike at exactly D. Any completion
+// whose cycle stamps disagree with the server's advertised D counts as
+// a fixed-D violation and fails the run, so vpnmload doubles as the
+// end-to-end verifier for the service's headline invariant.
+//
+//	vpnmd -addr :7450 &
+//	vpnmload -addr localhost:7450 -duration 5s -window 512
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"os/signal"
+	"sort"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/recovery"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:7450", "vpnmd address")
+		duration  = flag.Duration("duration", 5*time.Second, "load duration")
+		window    = flag.Int("window", 512, "in-flight request window (closed loop)")
+		batch     = flag.Int("batch", 256, "max requests per frame")
+		writeFrac = flag.Float64("writefrac", 0.1, "fraction of requests that are writes")
+		addrSpace = flag.Uint64("addrspace", 1<<20, "address space to spray requests over")
+		seed      = flag.Uint64("seed", 1, "workload PRNG seed")
+		policy    = flag.String("policy", "retry", "stall policy: retry | drop | backpressure")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-call timeout for flush/stats")
+	)
+	flag.Parse()
+
+	pol, err := recovery.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := client.Dial(*addr, client.Config{Window: *window, MaxBatch: *batch, Policy: pol})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	// The opening Stats call teaches the client the server's D and arms
+	// its per-completion fixed-D check.
+	sctx, scancel := context.WithTimeout(ctx, *timeout)
+	before, err := c.Stats(sctx)
+	scancel()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("vpnmload: server D=%d cycles, %d channels, cycle=%d\n",
+		before.Delay, before.Channels, before.Cycle)
+
+	// Latency histogram in cycles, owned by the receive goroutine (all
+	// callbacks run there); read only after Flush has quiesced it.
+	hist := make(map[uint64]uint64)
+	var flagged, dropped uint64
+	cb := func(comp client.Completion) {
+		if comp.Err != nil {
+			if comp.Err == core.ErrUncorrectable {
+				flagged++
+				hist[comp.DeliveredAt-comp.IssuedAt]++
+			} else {
+				dropped++
+			}
+			return
+		}
+		hist[comp.DeliveredAt-comp.IssuedAt]++
+	}
+
+	rng := rand.New(rand.NewPCG(*seed, 0x9e3779b97f4a7c15))
+	word := make([]byte, 8)
+	var issued uint64
+	start := time.Now()
+	deadline := start.Add(*duration)
+	for {
+		// Check the clock (and the signal context) every 1024 requests.
+		if issued%1024 == 0 && (time.Now().After(deadline) || ctx.Err() != nil) {
+			break
+		}
+		a := rng.Uint64N(*addrSpace)
+		if *writeFrac > 0 && rng.Float64() < *writeFrac {
+			for i := range word {
+				word[i] = byte(rng.Uint64())
+			}
+			err = c.Write(ctx, a, word)
+		} else {
+			err = c.Read(ctx, a, cb)
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			fatal(err)
+		}
+		issued++
+	}
+	fctx, fcancel := context.WithTimeout(context.Background(), *timeout)
+	err = c.Flush(fctx)
+	fcancel()
+	elapsed := time.Since(start)
+	if err != nil {
+		fatal(fmt.Errorf("flush: %w", err))
+	}
+	sctx, scancel = context.WithTimeout(context.Background(), *timeout)
+	after, err := c.Stats(sctx)
+	scancel()
+	if err != nil {
+		fatal(err)
+	}
+
+	ctr := c.Counters()
+	cycles := after.Cycle - before.Cycle
+	rate := float64(issued) / elapsed.Seconds()
+	fmt.Printf("vpnmload: %d requests (%d reads, %d writes) in %.2fs = %.0f req/s\n",
+		issued, ctr.Reads, ctr.Writes, elapsed.Seconds(), rate)
+	fmt.Printf("vpnmload: server advanced %d cycles (%.3f req/cycle), %d stall(s) surfaced, %d channel-busy retried\n",
+		cycles, float64(issued)/float64(max(cycles, 1)), after.Stalls-before.Stalls, after.Busy-before.Busy)
+	p50, p99, p100 := percentiles(hist)
+	fmt.Printf("vpnmload: latency cycles p50=%d p99=%d p100=%d (D=%d)\n", p50, p99, p100, after.Delay)
+	fmt.Printf("vpnmload: completions=%d uncorrectable=%d retries=%d drops=%d fixed-D violations=%d\n",
+		ctr.Completions, flagged, ctr.Retries, dropped, ctr.LatencyViolations)
+	if ctr.LatencyViolations > 0 {
+		fmt.Fprintln(os.Stderr, "vpnmload: FIXED-D INVARIANT VIOLATED")
+		os.Exit(1)
+	}
+	fmt.Println("vpnmload: fixed-D invariant held for every completion")
+}
+
+// percentiles walks the cycle histogram for p50/p99/p100.
+func percentiles(hist map[uint64]uint64) (p50, p99, p100 uint64) {
+	if len(hist) == 0 {
+		return 0, 0, 0
+	}
+	keys := make([]uint64, 0, len(hist))
+	var total uint64
+	for k, n := range hist {
+		keys = append(keys, k)
+		total += n
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var cum uint64
+	for _, k := range keys {
+		cum += hist[k]
+		if p50 == 0 && cum*2 >= total {
+			p50 = k
+		}
+		if p99 == 0 && cum*100 >= total*99 {
+			p99 = k
+		}
+	}
+	return p50, p99, keys[len(keys)-1]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vpnmload:", err)
+	os.Exit(1)
+}

@@ -95,7 +95,7 @@ func main() {
 			SlowBankExtra: *slowExtra,
 			DisableECC:    *noECC,
 		}
-		pol, err := parsePolicy(*policy)
+		pol, err := recovery.ParsePolicy(*policy)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -240,20 +240,6 @@ func runChaosTrials(cfg core.Config, makeGen func(uint64) workload.Generator,
 	if violated > 0 {
 		os.Exit(1)
 	}
-}
-
-// parsePolicy maps the -policy flag to a recovery policy; the empty
-// string selects the default (retry next cycle).
-func parsePolicy(s string) (recovery.Policy, error) {
-	switch s {
-	case "", "retry":
-		return recovery.RetryNextCycle, nil
-	case "drop":
-		return recovery.DropWithAccounting, nil
-	case "backpressure":
-		return recovery.Backpressure, nil
-	}
-	return 0, fmt.Errorf("unknown policy %q (want retry, drop or backpressure)", s)
 }
 
 // parseStuck parses the -stuck flag: comma-separated bank:bit[:0|1]

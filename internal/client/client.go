@@ -1,0 +1,664 @@
+// Package client is the device side of the vpnmd wire protocol: a
+// batching, pipelining VPNM client. Reads and writes are queued,
+// batched into one request frame per flush of the send queue, and kept
+// in flight up to a configurable window — the network analogue of the
+// deeply pipelined interface the paper's line card drives. Each read
+// carries a completion callback that fires when the word arrives,
+// stamped with the server cycles that prove it landed exactly D cycles
+// after issue.
+//
+// Stalls surfaced by the server (StatusStall replies) are handled with
+// the same policies an in-process device uses (internal/recovery):
+// RetryNextCycle and Backpressure re-enqueue the request into the next
+// batch, DropWithAccounting abandons it, and either way the counters
+// ledger reconciles against the server's /statsz snapshot. Dropped
+// requests resolve their callback with an error wrapping
+// recovery.ErrDropped and the stall cause, so errors.Is works across
+// the wire exactly as it does in-process.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/recovery"
+	"repro/internal/wire"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultWindow   = 1024
+	DefaultMaxBatch = 512
+)
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// Completion is the outcome of one read. Data aliases the receive
+// buffer and is valid only during the callback; copy to keep it.
+type Completion struct {
+	Addr        uint64
+	Data        []byte
+	IssuedAt    uint64 // server interface cycle the read issued
+	DeliveredAt uint64 // server interface cycle the word arrived; always IssuedAt+D
+	Err         error  // nil, core.ErrUncorrectable, or a recovery.ErrDropped wrap
+}
+
+// Config tunes a Client.
+type Config struct {
+	// Window bounds requests in flight (issued, not yet resolved by an
+	// accept, completion or drop). Read and Write block while the window
+	// is full — the closed-loop backpressure path. Zero selects
+	// DefaultWindow.
+	Window int
+	// MaxBatch bounds requests per frame. Zero selects DefaultMaxBatch;
+	// values above wire.MaxBatch are clamped.
+	MaxBatch int
+	// Policy reacts to StatusStall replies: RetryNextCycle and
+	// Backpressure (and the zero value) re-enqueue the request,
+	// DropWithAccounting abandons it immediately.
+	Policy recovery.Policy
+	// MaxAttempts bounds stall retries per request. Zero selects
+	// recovery.DefaultMaxAttempts.
+	MaxAttempts int
+	// ManualBatch disables the background flusher: queued requests are
+	// sent only by Kick (or a Flush barrier). With deterministic Kick
+	// points the frame stream — and so, against a Lockstep server, the
+	// cycle count — is deterministic; the gated loopback benchmark runs
+	// this way.
+	ManualBatch bool
+}
+
+// pending is one in-flight request.
+type pending struct {
+	write    bool
+	addr     uint64
+	data     []byte // writes: stable copy for retries
+	cb       func(Completion)
+	attempts int
+}
+
+// Counters is the client's ledger.
+type Counters struct {
+	// Issued counts Read/Write calls accepted into the send queue;
+	// Reads/Writes partition it.
+	Issued, Reads, Writes uint64
+	// AcceptedWrites counts StatusAccepted write replies. Reads have no
+	// accept reply; Completions is their terminal count.
+	AcceptedWrites uint64
+	// Completions counts read completions; Uncorrectable the subset
+	// flagged by ECC.
+	Completions, Uncorrectable uint64
+	// Stalls counts StatusStall replies by cause; Retries the
+	// re-enqueues they triggered.
+	Stalls recoveryStallCounts
+	// Retries counts re-enqueued requests; Drops counts abandoned ones
+	// (policy drops, exhausted retries, and server-side drops);
+	// Exhausted is the subset dropped for running out of attempts
+	// client-side.
+	Retries, Drops, Exhausted uint64
+	// LatencyViolations counts completions whose DeliveredAt-IssuedAt
+	// differed from the server's advertised delay D — the end-to-end
+	// fixed-D check. Zero delay knowledge (no Stats call yet) skips the
+	// check.
+	LatencyViolations uint64
+}
+
+// recoveryStallCounts mirrors core.StallCounts across the wire.
+type recoveryStallCounts struct {
+	DelayBuffer, BankQueue, WriteBuffer, Counter, Other uint64
+}
+
+// Total sums the stall causes.
+func (s recoveryStallCounts) Total() uint64 {
+	return s.DelayBuffer + s.BankQueue + s.WriteBuffer + s.Counter + s.Other
+}
+
+// Client is a connection to a vpnmd server. All methods are safe for
+// concurrent use. Completion callbacks run on the receive goroutine:
+// they must not block, and may only issue new requests if the window
+// cannot be full (or they will deadlock the receive loop).
+type Client struct {
+	nc net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+	enc *wire.Encoder
+
+	mu      sync.Mutex
+	sendq   []wire.Request
+	pend    map[uint64]*pending
+	flushW  map[uint64]chan struct{}
+	statsW  map[uint64]chan wire.Stats
+	next    uint64
+	ctr     Counters
+	delay   uint64 // learned from the first Stats reply; 0 = unknown
+	err     error
+	closed  bool
+	scratch []wire.Request
+
+	policy      recovery.Policy
+	maxAttempts int
+	maxBatch    int
+	manual      bool
+
+	slots      chan struct{} // window semaphore
+	kick       chan struct{} // background flusher doorbell
+	dead       chan struct{} // closed when the connection fails
+	readerDone chan struct{}
+}
+
+// New wraps an established connection (TCP, net.Pipe, ...).
+func New(nc net.Conn, cfg Config) *Client {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxBatch > wire.MaxBatch {
+		cfg.MaxBatch = wire.MaxBatch
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = recovery.DefaultMaxAttempts
+	}
+	c := &Client{
+		nc:          nc,
+		enc:         wire.NewEncoder(nc),
+		pend:        make(map[uint64]*pending),
+		flushW:      make(map[uint64]chan struct{}),
+		statsW:      make(map[uint64]chan wire.Stats),
+		policy:      cfg.Policy,
+		maxAttempts: cfg.MaxAttempts,
+		maxBatch:    cfg.MaxBatch,
+		manual:      cfg.ManualBatch,
+		slots:       make(chan struct{}, cfg.Window),
+		kick:        make(chan struct{}, 1),
+		dead:        make(chan struct{}),
+		readerDone:  make(chan struct{}),
+	}
+	go c.readLoop()
+	if !c.manual {
+		go c.flushLoop()
+	}
+	return c
+}
+
+// Dial connects to a vpnmd server over TCP.
+func Dial(addr string, cfg Config) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return New(nc, cfg), nil
+}
+
+// Close tears the connection down; in-flight reads resolve their
+// callbacks with ErrClosed.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	<-c.readerDone
+	return nil
+}
+
+// Counters snapshots the client ledger.
+func (c *Client) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ctr
+}
+
+// Delay returns the server's normalized delay D, or 0 before the first
+// Stats reply taught the client what D is.
+func (c *Client) Delay() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.delay
+}
+
+// acquire takes one window slot.
+func (c *Client) acquire(ctx context.Context) error {
+	select {
+	case c.slots <- struct{}{}:
+		return nil
+	case <-c.dead:
+		return c.deadErr()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *Client) release() {
+	select {
+	case <-c.slots:
+	default:
+		panic("client: window release without acquire")
+	}
+}
+
+func (c *Client) deadErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Read queues a read of addr. cb fires exactly once — with the word and
+// its cycle stamps, or with a non-nil Err if the read was dropped — on
+// the receive goroutine. Read blocks while the in-flight window is
+// full; ctx bounds the wait.
+func (c *Client) Read(ctx context.Context, addr uint64, cb func(Completion)) error {
+	if err := c.acquire(ctx); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		c.release()
+		return err
+	}
+	seq := c.next
+	c.next++
+	c.pend[seq] = &pending{addr: addr, cb: cb}
+	c.sendq = append(c.sendq, wire.Request{Op: wire.OpRead, Seq: seq, Addr: addr})
+	c.ctr.Issued++
+	c.ctr.Reads++
+	c.mu.Unlock()
+	if !c.manual {
+		c.wakeFlusher()
+	}
+	return nil
+}
+
+// Write queues a write of data to addr. The slot frees when the server
+// accepts (or drops) the write; completion is otherwise silent, exactly
+// like the in-process interface.
+func (c *Client) Write(ctx context.Context, addr uint64, data []byte) error {
+	if len(data) > wire.MaxData {
+		return fmt.Errorf("client: write of %d bytes exceeds wire.MaxData", len(data))
+	}
+	if err := c.acquire(ctx); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		c.release()
+		return err
+	}
+	seq := c.next
+	c.next++
+	stable := append([]byte(nil), data...)
+	c.pend[seq] = &pending{write: true, addr: addr, data: stable}
+	c.sendq = append(c.sendq, wire.Request{Op: wire.OpWrite, Seq: seq, Addr: addr, Data: stable})
+	c.ctr.Issued++
+	c.ctr.Writes++
+	c.mu.Unlock()
+	if !c.manual {
+		c.wakeFlusher()
+	}
+	return nil
+}
+
+// Kick synchronously drains the send queue into request frames (at most
+// MaxBatch requests each). With ManualBatch this is the only trigger;
+// otherwise the background flusher makes it unnecessary.
+func (c *Client) Kick() error { return c.flushQueue() }
+
+// Flush is a barrier: it returns once every request issued before the
+// call has resolved — reads completed or dropped, writes accepted or
+// dropped. Stall retries re-enqueued behind the barrier are waited for
+// too (the barrier simply re-arms until the pipeline is empty).
+func (c *Client) Flush(ctx context.Context) error {
+	for {
+		c.mu.Lock()
+		if c.err != nil {
+			err := c.err
+			c.mu.Unlock()
+			return err
+		}
+		seq := c.next
+		c.next++
+		ch := make(chan struct{})
+		c.flushW[seq] = ch
+		c.sendq = append(c.sendq, wire.Request{Op: wire.OpFlush, Seq: seq})
+		c.mu.Unlock()
+		if err := c.flushQueue(); err != nil {
+			return err
+		}
+		select {
+		case <-ch:
+		case <-c.dead:
+			return c.deadErr()
+		case <-ctx.Done():
+			c.mu.Lock()
+			delete(c.flushW, seq)
+			c.mu.Unlock()
+			return ctx.Err()
+		}
+		c.mu.Lock()
+		err := c.err
+		done := len(c.pend) == 0 && len(c.sendq) == 0
+		c.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// Stats requests a server snapshot. The first reply also teaches the
+// client the server's delay D, arming the per-completion fixed-D check.
+func (c *Client) Stats(ctx context.Context) (wire.Stats, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return wire.Stats{}, err
+	}
+	seq := c.next
+	c.next++
+	ch := make(chan wire.Stats, 1)
+	c.statsW[seq] = ch
+	c.sendq = append(c.sendq, wire.Request{Op: wire.OpStats, Seq: seq})
+	c.mu.Unlock()
+	if err := c.flushQueue(); err != nil {
+		return wire.Stats{}, err
+	}
+	select {
+	case s := <-ch:
+		return s, nil
+	case <-c.dead:
+		return wire.Stats{}, c.deadErr()
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.statsW, seq)
+		c.mu.Unlock()
+		return wire.Stats{}, ctx.Err()
+	}
+}
+
+func (c *Client) wakeFlusher() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// flushLoop is the background flusher: every doorbell ring drains the
+// whole send queue, which batches naturally — requests queued while a
+// frame is being written ride the next frame.
+func (c *Client) flushLoop() {
+	for {
+		select {
+		case <-c.kick:
+			c.flushQueue() //nolint:errcheck // flushQueue fails the conn itself
+		case <-c.dead:
+			return
+		}
+	}
+}
+
+// flushQueue writes the send queue out as frames of at most MaxBatch.
+// It holds wmu for the whole drain, so concurrent flushers serialize
+// (and the scratch buffer has a single owner at a time). Lock order is
+// wmu before mu; nothing acquires them the other way around.
+func (c *Client) flushQueue() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	for {
+		c.mu.Lock()
+		if c.err != nil {
+			err := c.err
+			c.mu.Unlock()
+			return err
+		}
+		if len(c.sendq) == 0 {
+			c.mu.Unlock()
+			return nil
+		}
+		n := min(len(c.sendq), c.maxBatch)
+		batch := append(c.scratch[:0], c.sendq[:n]...)
+		c.scratch = batch
+		rest := copy(c.sendq, c.sendq[n:])
+		c.sendq = c.sendq[:rest]
+		c.mu.Unlock()
+
+		if err := c.enc.Requests(0, batch); err != nil {
+			c.fail(err)
+			return err
+		}
+	}
+}
+
+// invocation is a callback staged while holding c.mu, run after.
+type invocation struct {
+	cb   func(Completion)
+	comp Completion
+}
+
+// readLoop decodes server frames and resolves pending requests.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	dec := wire.NewDecoder(c.nc)
+	var cbs []invocation
+	for {
+		f, err := dec.Next()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		cbs = cbs[:0]
+		retry := false
+		switch f.Type {
+		case wire.FrameReplies:
+			cbs, retry, err = c.handleReplies(f.Replies, cbs)
+		case wire.FrameCompletions:
+			cbs, err = c.handleCompletions(f.Completions, cbs)
+		case wire.FrameStats:
+			err = c.handleStats(f.Stats)
+		default:
+			err = fmt.Errorf("client: server sent frame type %d", f.Type)
+		}
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		// Callbacks run outside c.mu but before the next frame decode,
+		// while their Data still aliases the decoder buffer.
+		for i := range cbs {
+			cbs[i].cb(cbs[i].comp)
+		}
+		if retry {
+			if c.manual {
+				// Manual mode has no background flusher; resend retries
+				// here so a stalled request cannot linger forever.
+				if err := c.flushQueue(); err != nil {
+					return
+				}
+			} else {
+				c.wakeFlusher()
+			}
+		}
+	}
+}
+
+func (c *Client) noteStall(code byte) {
+	switch code {
+	case wire.CodeDelayBuffer:
+		c.ctr.Stalls.DelayBuffer++
+	case wire.CodeBankQueue:
+		c.ctr.Stalls.BankQueue++
+	case wire.CodeWriteBuffer:
+		c.ctr.Stalls.WriteBuffer++
+	case wire.CodeCounter:
+		c.ctr.Stalls.Counter++
+	default:
+		c.ctr.Stalls.Other++
+	}
+}
+
+// dropLocked resolves p as dropped. Returns the callback to stage, if
+// any. Called with c.mu held.
+func (c *Client) dropLocked(seq uint64, p *pending, code byte, exhausted bool) (invocation, bool) {
+	delete(c.pend, seq)
+	c.ctr.Drops++
+	if exhausted {
+		c.ctr.Exhausted++
+	}
+	c.release()
+	if p.write || p.cb == nil {
+		return invocation{}, false
+	}
+	err := fmt.Errorf("%w: %w", recovery.ErrDropped, wire.ErrOf(code))
+	return invocation{cb: p.cb, comp: Completion{Addr: p.addr, Err: err}}, true
+}
+
+func (c *Client) handleReplies(reps []wire.Reply, cbs []invocation) ([]invocation, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	retry := false
+	for i := range reps {
+		rp := &reps[i]
+		switch rp.Status {
+		case wire.StatusFlushed:
+			ch, ok := c.flushW[rp.Seq]
+			if ok {
+				delete(c.flushW, rp.Seq)
+				close(ch)
+			}
+			continue
+		case wire.StatusAccepted:
+			p, ok := c.pend[rp.Seq]
+			if !ok || !p.write {
+				return cbs, retry, fmt.Errorf("client: stray accept for seq %d", rp.Seq)
+			}
+			delete(c.pend, rp.Seq)
+			c.ctr.AcceptedWrites++
+			c.release()
+		case wire.StatusStall:
+			p, ok := c.pend[rp.Seq]
+			if !ok {
+				return cbs, retry, fmt.Errorf("client: stray stall for seq %d", rp.Seq)
+			}
+			c.noteStall(rp.Code)
+			if c.policy == recovery.DropWithAccounting {
+				if inv, ok := c.dropLocked(rp.Seq, p, rp.Code, false); ok {
+					cbs = append(cbs, inv)
+				}
+				continue
+			}
+			p.attempts++
+			if p.attempts >= c.maxAttempts {
+				if inv, ok := c.dropLocked(rp.Seq, p, rp.Code, true); ok {
+					cbs = append(cbs, inv)
+				}
+				continue
+			}
+			c.ctr.Retries++
+			op := byte(wire.OpRead)
+			if p.write {
+				op = wire.OpWrite
+			}
+			c.sendq = append(c.sendq, wire.Request{Op: op, Seq: rp.Seq, Addr: p.addr, Data: p.data})
+			retry = true
+		case wire.StatusDropped:
+			p, ok := c.pend[rp.Seq]
+			if !ok {
+				return cbs, retry, fmt.Errorf("client: stray drop for seq %d", rp.Seq)
+			}
+			if inv, ok := c.dropLocked(rp.Seq, p, rp.Code, false); ok {
+				cbs = append(cbs, inv)
+			}
+		default:
+			return cbs, retry, fmt.Errorf("client: unknown reply status %d", rp.Status)
+		}
+	}
+	return cbs, retry, nil
+}
+
+func (c *Client) handleCompletions(comps []wire.Completion, cbs []invocation) ([]invocation, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range comps {
+		w := &comps[i]
+		p, ok := c.pend[w.Seq]
+		if !ok || p.write {
+			return cbs, fmt.Errorf("client: stray completion for seq %d", w.Seq)
+		}
+		delete(c.pend, w.Seq)
+		c.ctr.Completions++
+		var err error
+		if w.Flags&wire.FlagUncorrectable != 0 {
+			c.ctr.Uncorrectable++
+			err = core.ErrUncorrectable
+		}
+		if c.delay != 0 && w.DeliveredAt-w.IssuedAt != c.delay {
+			c.ctr.LatencyViolations++
+		}
+		c.release()
+		if p.cb != nil {
+			cbs = append(cbs, invocation{cb: p.cb, comp: Completion{
+				Addr:        w.Addr,
+				Data:        w.Data,
+				IssuedAt:    w.IssuedAt,
+				DeliveredAt: w.DeliveredAt,
+				Err:         err,
+			}})
+		}
+	}
+	return cbs, nil
+}
+
+func (c *Client) handleStats(s wire.Stats) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.delay = s.Delay
+	// A missing waiter means the Stats call timed out; the late reply
+	// is dropped, not fatal.
+	if ch, ok := c.statsW[s.Seq]; ok {
+		delete(c.statsW, s.Seq)
+		ch <- s
+	}
+	return nil
+}
+
+// fail makes err the client's terminal error (first one wins), closes
+// the connection, and resolves everything pending.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = err
+	var cbs []invocation
+	for seq, p := range c.pend {
+		delete(c.pend, seq)
+		c.release()
+		if !p.write && p.cb != nil {
+			cbs = append(cbs, invocation{cb: p.cb, comp: Completion{Addr: p.addr, Err: err}})
+		}
+	}
+	for seq, ch := range c.flushW {
+		delete(c.flushW, seq)
+		close(ch)
+	}
+	for seq := range c.statsW {
+		delete(c.statsW, seq)
+	}
+	c.sendq = c.sendq[:0]
+	close(c.dead)
+	c.mu.Unlock()
+	c.nc.Close()
+	for i := range cbs {
+		cbs[i].cb(cbs[i].comp)
+	}
+}

@@ -139,6 +139,10 @@ func (m *Memory) Channel(addr uint64) int { return int(m.sel.Hash(addr) & m.mask
 // Delay returns the uniform normalized delay of the channels.
 func (m *Memory) Delay() int { return m.chans[0].Delay() }
 
+// Cycle returns the current interface cycle. All channels share one
+// clock, so any channel's cycle is the memory's cycle.
+func (m *Memory) Cycle() uint64 { return m.chans[0].Cycle() }
+
 // Read issues a read on addr's channel. Up to Channels() reads and
 // writes can be accepted per cycle, at most one per channel.
 func (m *Memory) Read(addr uint64) (tag uint64, err error) {

@@ -39,6 +39,21 @@ const (
 	Backpressure
 )
 
+// ParsePolicy maps a flag value to a Policy; the empty string selects
+// the default (retry next cycle). vpnmsim, vpnmd and vpnmload all parse
+// their -policy flags through this, so the spelling is uniform.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "retry":
+		return RetryNextCycle, nil
+	case "drop":
+		return DropWithAccounting, nil
+	case "backpressure":
+		return Backpressure, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want retry, drop or backpressure)", s)
+}
+
 // String names the policy for reports.
 func (p Policy) String() string {
 	switch p {

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// conn is one client connection: a bounded queue of decoded requests on
+// the way in, and reply/completion buffers on the way out.
+//
+// Lock order: c.mu may be taken before e.mu (statsFor does), never the
+// other way around.
+type conn struct {
+	e  *Engine
+	nc net.Conn
+
+	mu    sync.Mutex
+	rcond *sync.Cond // reader waits here for queue space
+	wcond *sync.Cond // writer waits here for output
+
+	// pending[head:] is the queue of requests decoded but not yet
+	// issued; head-indexing keeps pops O(1) without reallocating.
+	pending []pendingReq
+	head    int
+
+	outstanding int // reads issued to the memory, completion not yet routed
+
+	outReplies []wire.Reply
+	outComps   []wire.Completion
+	outStats   []wire.Stats
+	freeBufs   [][]byte // recycled completion payload buffers
+
+	closed   bool
+	closeErr error
+}
+
+func (c *conn) queuedLocked() int { return len(c.pending) - c.head }
+
+// popLocked removes the queue head. Called with c.mu held.
+func (c *conn) popLocked() {
+	c.head++
+	if c.head == len(c.pending) {
+		c.pending = c.pending[:0]
+		c.head = 0
+	} else if c.head > 256 && c.head*2 > len(c.pending) {
+		n := copy(c.pending, c.pending[c.head:])
+		c.pending = c.pending[:n]
+		c.head = 0
+	}
+	c.e.pendingTot.Add(-1)
+	c.rcond.Signal()
+}
+
+func (c *conn) pushReply(r wire.Reply) {
+	c.outReplies = append(c.outReplies, r)
+	c.wcond.Signal()
+}
+
+func (c *conn) pushComp(comp wire.Completion) {
+	c.outComps = append(c.outComps, comp)
+	c.wcond.Signal()
+}
+
+func (c *conn) pushStats(s wire.Stats) {
+	c.outStats = append(c.outStats, s)
+	c.wcond.Signal()
+}
+
+// getBuf returns a recycled payload buffer. Called with c.mu held.
+func (c *conn) getBuf() []byte {
+	if n := len(c.freeBufs); n > 0 {
+		b := c.freeBufs[n-1]
+		c.freeBufs = c.freeBufs[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// close tears the connection down once; queued requests vanish, but
+// reads already issued to the memory stay routed until their
+// completions drain (deliver discards them for a closed conn).
+func (c *conn) close(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.closeErr = err
+	dropped := c.queuedLocked()
+	c.pending = c.pending[:0]
+	c.head = 0
+	c.rcond.Broadcast()
+	c.wcond.Broadcast()
+	c.mu.Unlock()
+	c.nc.Close()
+	if dropped > 0 {
+		c.e.pendingTot.Add(int64(-dropped))
+	}
+	c.e.removeConn(c)
+	c.e.logf("server: connection closed: %v", err)
+}
+
+// readLoop decodes request frames into the queue. In free-running mode
+// it appends directly (blocking when the window is full — that is the
+// backpressure path); in lockstep mode it hands whole frames to the
+// engine's admission queue.
+func (c *conn) readLoop() {
+	dec := wire.NewDecoder(c.nc)
+	for {
+		f, err := dec.Next()
+		if err != nil {
+			c.close(err)
+			return
+		}
+		if f.Type != wire.FrameRequests {
+			c.close(fmt.Errorf("server: client sent frame type %d", f.Type))
+			return
+		}
+		// Copy out of the decoder's buffer: the queue outlives the frame.
+		batch := make([]pendingReq, len(f.Requests))
+		for i := range f.Requests {
+			r := &f.Requests[i]
+			batch[i] = pendingReq{op: r.Op, seq: r.Seq, addr: r.Addr}
+			if len(r.Data) > 0 {
+				batch[i].data = append([]byte(nil), r.Data...)
+			}
+		}
+		if c.e.cfg.Lockstep {
+			select {
+			case c.e.frames <- inFrame{c: c, reqs: batch}:
+			case <-c.e.done:
+				c.close(fmt.Errorf("server: engine closed"))
+				return
+			}
+			continue
+		}
+		c.mu.Lock()
+		for !c.closed && c.queuedLocked() >= c.e.cfg.Window {
+			c.rcond.Wait()
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		c.pending = append(c.pending, batch...)
+		c.mu.Unlock()
+		c.e.pendingTot.Add(int64(len(batch)))
+		c.e.wake()
+	}
+}
+
+// writeLoop drains the output buffers into frames. Everything staged
+// since the last wake goes out in at most three frames (replies,
+// completions, stats), so under load the per-completion overhead
+// amortizes exactly like the request batching on the way in.
+func (c *conn) writeLoop() {
+	enc := wire.NewEncoder(c.nc)
+	var reps []wire.Reply
+	var comps []wire.Completion
+	var stats []wire.Stats
+	for {
+		c.mu.Lock()
+		for !c.closed && len(c.outReplies) == 0 && len(c.outComps) == 0 && len(c.outStats) == 0 {
+			c.wcond.Wait()
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		reps, c.outReplies = c.outReplies, reps[:0]
+		comps, c.outComps = c.outComps, comps[:0]
+		stats, c.outStats = c.outStats, stats[:0]
+		cycle := c.e.cycle.Load()
+		c.mu.Unlock()
+
+		err := c.writeFrames(enc, cycle, reps, comps, stats)
+
+		// Recycle completion payload buffers.
+		if len(comps) > 0 {
+			c.mu.Lock()
+			for i := range comps {
+				c.freeBufs = append(c.freeBufs, comps[i].Data)
+			}
+			c.mu.Unlock()
+		}
+		if err != nil {
+			c.close(err)
+			return
+		}
+	}
+}
+
+func (c *conn) writeFrames(enc *wire.Encoder, cycle uint64, reps []wire.Reply, comps []wire.Completion, stats []wire.Stats) error {
+	for len(reps) > 0 {
+		n := min(len(reps), wire.MaxBatch)
+		if err := enc.Replies(cycle, reps[:n]); err != nil {
+			return err
+		}
+		reps = reps[n:]
+	}
+	for len(comps) > 0 {
+		n := min(len(comps), wire.MaxBatch)
+		if err := enc.Completions(cycle, comps[:n]); err != nil {
+			return err
+		}
+		comps = comps[n:]
+	}
+	for _, s := range stats {
+		if err := enc.Stats(cycle, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

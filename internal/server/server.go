@@ -1,0 +1,558 @@
+// Package server implements the vpnmd engine: it serves a striped
+// multichannel.Memory to N concurrent network clients over the wire
+// protocol, turning the in-process VPNM controller into the
+// deterministic-latency memory *service* the paper describes — line
+// cards on one side of a link, the memory system on the other.
+//
+// One engine goroutine owns the memory and its clock. Each connection
+// gets a reader goroutine (decodes request frames into a bounded
+// per-connection queue) and a writer goroutine (encodes replies and
+// completions back out). Every interface cycle the engine drains as
+// many queued requests as the channels can accept — round-robin across
+// connections for fairness, FIFO within a connection so the VPNM
+// ordering contract (reads see prior writes to the same address)
+// survives the network — then ticks the memory and routes the cycle's
+// completions, still stamped with their IssuedAt/DeliveredAt cycles,
+// back to whichever connection issued them.
+//
+// Backpressure maps onto the paper's stall semantics at three levels:
+//
+//   - a channel that already accepted a request this cycle
+//     (multichannel.ErrChannelBusy) holds the connection's queue head
+//     for one cycle — the interface-level analogue of a bank conflict,
+//     absorbed invisibly;
+//   - a controller stall (core.ErrStall*) is handled by the configured
+//     recovery policy: hold-and-retry ("stall the device") or a
+//     StatusStall reply that surfaces the stall to the client's own
+//     recovery policy ("drop the packet", with the client free to
+//     re-issue);
+//   - a full per-connection queue stops the reader, so TCP flow
+//     control pushes the stall all the way back to the remote device.
+//
+// ErrUncorrectable crosses the wire as a completion flag: the word is
+// on time — the pipeline never skips a beat — but untrusted.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/multichannel"
+	"repro/internal/recovery"
+	"repro/internal/wire"
+)
+
+// DefaultWindow bounds the per-connection queue of decoded-but-unissued
+// requests when Config.Window is zero.
+const DefaultWindow = 1024
+
+// Config tunes an Engine.
+type Config struct {
+	// Mem is the striped memory to serve. Required. The engine owns its
+	// clock: nothing else may call Tick/Read/Write while the engine runs.
+	Mem *multichannel.Memory
+	// Window bounds the per-connection queue of requests decoded but not
+	// yet issued. When the queue is full the reader stops draining the
+	// socket, so backpressure propagates to the client through TCP flow
+	// control. Zero selects DefaultWindow.
+	Window int
+	// Policy maps controller stalls onto the connection.
+	// DropWithAccounting surfaces every stall as a StatusStall reply and
+	// lets the client's recovery policy decide; RetryNextCycle and
+	// Backpressure (the default) hold the stalled request at the queue
+	// head and re-present it each cycle, up to MaxAttempts.
+	Policy recovery.Policy
+	// MaxAttempts bounds hold-and-retry before the request is dropped
+	// with a StatusDropped reply. Zero selects
+	// recovery.DefaultMaxAttempts.
+	MaxAttempts int
+	// Lockstep, when true, makes throughput deterministic: the engine
+	// admits request frames one at a time in arrival order and fully
+	// drains each frame (every request issued, flush barriers resolved)
+	// before admitting the next, and it never ticks while idle. Given a
+	// deterministic frame stream, the cycle counter is a pure function
+	// of the request sequence — the mode the gated loopback benchmark
+	// and differential tests use. Clients must size their in-flight
+	// window so they never block waiting for a completion that only a
+	// future frame's ticks (or an OpFlush) would deliver.
+	Lockstep bool
+	// TickInterval, when positive, paces the clock in wall time: one
+	// interface cycle per interval, work or no work. Zero selects the
+	// free-running source, which ticks as fast as the host allows while
+	// work is pending and parks the clock when idle.
+	TickInterval time.Duration
+	// Logf, when non-nil, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Snapshot is the engine's ledger, exposed on /statsz and used by the
+// loopback tests to reconcile against client-side counters.
+type Snapshot struct {
+	Cycle         uint64 `json:"cycle"`
+	Delay         int    `json:"delay"`
+	Channels      int    `json:"channels"`
+	Conns         int    `json:"conns"`
+	Reads         uint64 `json:"reads"`
+	Writes        uint64 `json:"writes"`
+	Stalls        uint64 `json:"stalls_surfaced"`
+	StallRetries  uint64 `json:"stall_retries"`
+	Busy          uint64 `json:"channel_busy_retries"`
+	Dropped       uint64 `json:"dropped"`
+	Completions   uint64 `json:"completions"`
+	Uncorrectable uint64 `json:"uncorrectable"`
+	Flushes       uint64 `json:"flushes"`
+	Outstanding   uint64 `json:"outstanding"`
+	MemStalls     uint64 `json:"mem_stalls"`
+	MemBusy       uint64 `json:"mem_channel_busy"`
+}
+
+type counters struct {
+	reads, writes, stalls, stallRetries, busy    atomic.Uint64
+	dropped, completions, uncorrectable, flushes atomic.Uint64
+}
+
+// route remembers which connection issued the read behind a memory tag.
+type route struct {
+	c   *conn
+	seq uint64
+}
+
+// inFrame is one decoded request frame awaiting lockstep admission.
+type inFrame struct {
+	c    *conn
+	reqs []pendingReq
+}
+
+// pendingReq is one queued request; attempts counts hold-and-retry
+// re-presentations of a stalled queue head.
+type pendingReq struct {
+	op       byte
+	seq      uint64
+	addr     uint64
+	data     []byte
+	attempts int
+}
+
+// Engine multiplexes client connections onto one multichannel.Memory.
+type Engine struct {
+	cfg   Config
+	mem   *multichannel.Memory
+	delay uint64
+
+	mu    sync.Mutex // guards conns; never acquired while a conn's mu is held by us... see lock order note below
+	conns []*conn
+	rr    int
+
+	// Lock order: a goroutine may take c.mu then e.mu, never the
+	// reverse. The engine loop snapshots the conn list under e.mu,
+	// releases it, and only then touches per-conn state.
+
+	routes      map[uint64]route // engine-goroutine private
+	cycle       atomic.Uint64
+	outstanding atomic.Int64 // reads accepted, completion not yet routed
+	pendingTot  atomic.Int64 // queued requests across all conns
+	ctr         counters
+
+	work     chan struct{}
+	frames   chan inFrame
+	done     chan struct{}
+	loopDone chan struct{}
+	closed   atomic.Bool
+
+	connsBuf []*conn // engine-goroutine scratch
+}
+
+// New builds an engine around cfg.Mem and starts its clock goroutine.
+// Call Close to stop it.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Mem == nil {
+		return nil, fmt.Errorf("server: Config.Mem is required")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = recovery.DefaultMaxAttempts
+	}
+	e := &Engine{
+		cfg:      cfg,
+		mem:      cfg.Mem,
+		delay:    uint64(cfg.Mem.Delay()),
+		routes:   make(map[uint64]route),
+		work:     make(chan struct{}, 1),
+		frames:   make(chan inFrame, 16),
+		done:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	go e.loop()
+	return e, nil
+}
+
+// Close stops the clock and closes every connection. The memory is left
+// intact (the caller owns it).
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(e.done)
+	<-e.loopDone
+	e.mu.Lock()
+	conns := append([]*conn(nil), e.conns...)
+	e.mu.Unlock()
+	for _, c := range conns {
+		c.close(errors.New("server: engine closed"))
+	}
+	return nil
+}
+
+// ServeConn registers nc with the engine and starts its reader and
+// writer goroutines. It returns immediately; the connection lives until
+// it fails or the engine closes.
+func (e *Engine) ServeConn(nc net.Conn) error {
+	if e.closed.Load() {
+		nc.Close()
+		return fmt.Errorf("server: engine closed")
+	}
+	c := &conn{e: e, nc: nc}
+	c.rcond = sync.NewCond(&c.mu)
+	c.wcond = sync.NewCond(&c.mu)
+	e.mu.Lock()
+	e.conns = append(e.conns, c)
+	e.mu.Unlock()
+	go c.readLoop()
+	go c.writeLoop()
+	return nil
+}
+
+// Serve accepts connections from ln until the engine closes or the
+// listener fails, handing each to ServeConn.
+func (e *Engine) Serve(ln net.Listener) error {
+	go func() {
+		<-e.done
+		ln.Close()
+	}()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if e.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		e.ServeConn(nc)
+	}
+}
+
+// Snapshot returns the engine's ledger.
+func (e *Engine) Snapshot() Snapshot {
+	e.mu.Lock()
+	nconns := len(e.conns)
+	e.mu.Unlock()
+	_, _, mbusy, mstalls := e.mem.Stats()
+	out := e.outstanding.Load()
+	if out < 0 {
+		out = 0
+	}
+	return Snapshot{
+		Cycle:         e.cycle.Load(),
+		Delay:         int(e.delay),
+		Channels:      e.mem.Channels(),
+		Conns:         nconns,
+		Reads:         e.ctr.reads.Load(),
+		Writes:        e.ctr.writes.Load(),
+		Stalls:        e.ctr.stalls.Load(),
+		StallRetries:  e.ctr.stallRetries.Load(),
+		Busy:          e.ctr.busy.Load(),
+		Dropped:       e.ctr.dropped.Load(),
+		Completions:   e.ctr.completions.Load(),
+		Uncorrectable: e.ctr.uncorrectable.Load(),
+		Flushes:       e.ctr.flushes.Load(),
+		Outstanding:   uint64(out),
+		MemStalls:     mstalls,
+		MemBusy:       mbusy,
+	}
+}
+
+// StatszHandler serves the Snapshot as JSON — mount it at /statsz.
+func (e *Engine) StatszHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(e.Snapshot()) //nolint:errcheck // best-effort diagnostics
+	})
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	}
+}
+
+func (e *Engine) wake() {
+	select {
+	case e.work <- struct{}{}:
+	default:
+	}
+}
+
+func (e *Engine) removeConn(c *conn) {
+	e.mu.Lock()
+	for i, x := range e.conns {
+		if x == c {
+			e.conns = append(e.conns[:i], e.conns[i+1:]...)
+			break
+		}
+	}
+	e.mu.Unlock()
+}
+
+// loop is the engine's clock: one iteration per interface cycle.
+func (e *Engine) loop() {
+	defer close(e.loopDone)
+	var tick *time.Ticker
+	if e.cfg.TickInterval > 0 {
+		tick = time.NewTicker(e.cfg.TickInterval)
+		defer tick.Stop()
+	}
+	for {
+		if e.cfg.Lockstep {
+			// Admit the next frame only once the previous one is fully
+			// drained; never tick while idle.
+			if e.pendingTot.Load() == 0 {
+				select {
+				case fr := <-e.frames:
+					e.admit(fr)
+				case <-e.done:
+					return
+				}
+				continue // re-check: the frame may target a closed conn
+			}
+		} else if e.pendingTot.Load() == 0 && e.outstanding.Load() == 0 {
+			select {
+			case <-e.work:
+			case <-e.done:
+				return
+			}
+			continue
+		}
+		if tick != nil {
+			select {
+			case <-tick.C:
+			case <-e.done:
+				return
+			}
+		}
+		e.step()
+		select {
+		case <-e.done:
+			return
+		default:
+		}
+	}
+}
+
+// admit moves one lockstep frame into its connection's queue.
+func (e *Engine) admit(fr inFrame) {
+	c := fr.c
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.pending = append(c.pending, fr.reqs...)
+	c.mu.Unlock()
+	e.pendingTot.Add(int64(len(fr.reqs)))
+}
+
+// step advances one interface cycle: issue as many queued requests as
+// the channels accept, tick the memory, route the completions.
+func (e *Engine) step() {
+	e.mu.Lock()
+	conns := append(e.connsBuf[:0], e.conns...)
+	e.connsBuf = conns
+	rr := e.rr
+	e.rr++
+	e.mu.Unlock()
+
+	if n := len(conns); n > 0 {
+		// Up to Channels() requests can be accepted per cycle (one per
+		// channel). Round-robin across connections, FIFO within one;
+		// keep sweeping while somebody makes progress.
+		budget := e.mem.Channels()
+		progress := true
+		for budget > 0 && progress {
+			progress = false
+			for i := 0; i < n && budget > 0; i++ {
+				if e.issueFrom(conns[(rr+i)%n], &budget) {
+					progress = true
+				}
+			}
+		}
+	}
+
+	comps := e.mem.Tick()
+	e.cycle.Add(1)
+	for _, comp := range comps {
+		e.deliver(comp)
+	}
+}
+
+// issueFrom drains the head of one connection's queue into the memory
+// until the queue empties, the head must wait for a later cycle, or the
+// cycle's budget runs out. It reports whether any request was resolved.
+func (e *Engine) issueFrom(c *conn, budget *int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	progress := false
+	for *budget > 0 && c.head < len(c.pending) {
+		req := &c.pending[c.head]
+		switch req.op {
+		case wire.OpStats:
+			c.pushStats(e.statsFor(req.seq))
+			c.popLocked()
+			progress = true
+		case wire.OpFlush:
+			if c.outstanding > 0 {
+				return progress // barrier: wait for completions
+			}
+			e.ctr.flushes.Add(1)
+			c.pushReply(wire.Reply{Status: wire.StatusFlushed, Seq: req.seq})
+			c.popLocked()
+			progress = true
+		case wire.OpRead:
+			tag, err := e.mem.Read(req.addr)
+			if err == nil {
+				e.routes[tag] = route{c: c, seq: req.seq}
+				c.outstanding++
+				e.outstanding.Add(1)
+				e.ctr.reads.Add(1)
+				c.popLocked()
+				*budget--
+				progress = true
+				continue
+			}
+			if !e.refused(c, req, err) {
+				return progress
+			}
+			progress = true
+		case wire.OpWrite:
+			err := e.mem.Write(req.addr, req.data)
+			if err == nil {
+				e.ctr.writes.Add(1)
+				c.pushReply(wire.Reply{Status: wire.StatusAccepted, Seq: req.seq})
+				c.popLocked()
+				*budget--
+				progress = true
+				continue
+			}
+			if !e.refused(c, req, err) {
+				return progress
+			}
+			progress = true
+		default:
+			// The decoder validates opcodes; anything else is a bug.
+			panic(fmt.Sprintf("server: unknown queued opcode %d", req.op))
+		}
+	}
+	return progress
+}
+
+// refused handles a Read/Write the memory did not accept. It reports
+// true when the request was resolved (popped with a reply) and false
+// when it stays at the queue head for a later cycle. Called with c.mu
+// held.
+func (e *Engine) refused(c *conn, req *pendingReq, err error) bool {
+	switch {
+	case errors.Is(err, multichannel.ErrChannelBusy):
+		// Same-cycle channel collision — the interface analogue of a
+		// bank conflict. Absorb it: retry next cycle, no accounting
+		// toward the stall budget.
+		e.ctr.busy.Add(1)
+		return false
+	case core.IsStall(err):
+		if e.cfg.Policy == recovery.DropWithAccounting {
+			e.ctr.stalls.Add(1)
+			c.pushReply(wire.Reply{Status: wire.StatusStall, Code: wire.CodeOf(err), Seq: req.seq})
+			c.popLocked()
+			return true
+		}
+		req.attempts++
+		if req.attempts >= e.cfg.MaxAttempts {
+			e.ctr.dropped.Add(1)
+			c.pushReply(wire.Reply{Status: wire.StatusDropped, Code: wire.CodeOf(err), Seq: req.seq})
+			c.popLocked()
+			return true
+		}
+		e.ctr.stallRetries.Add(1)
+		return false
+	default:
+		// Malformed request (e.g. data wider than the memory word):
+		// drop it with accounting rather than kill the connection.
+		e.logf("server: dropping request seq %d: %v", req.seq, err)
+		e.ctr.dropped.Add(1)
+		c.pushReply(wire.Reply{Status: wire.StatusDropped, Code: wire.CodeOther, Seq: req.seq})
+		c.popLocked()
+		return true
+	}
+}
+
+// deliver routes one memory completion back to its connection.
+func (e *Engine) deliver(comp core.Completion) {
+	e.outstanding.Add(-1)
+	rt, ok := e.routes[comp.Tag]
+	if !ok {
+		panic(fmt.Sprintf("server: completion for unrouted tag %d", comp.Tag))
+	}
+	delete(e.routes, comp.Tag)
+	e.ctr.completions.Add(1)
+	var flags byte
+	if comp.Err != nil && errors.Is(comp.Err, core.ErrUncorrectable) {
+		flags |= wire.FlagUncorrectable
+		e.ctr.uncorrectable.Add(1)
+	}
+	c := rt.c
+	c.mu.Lock()
+	c.outstanding--
+	if !c.closed {
+		buf := append(c.getBuf(), comp.Data...)
+		c.pushComp(wire.Completion{
+			Seq:         rt.seq,
+			Addr:        comp.Addr,
+			IssuedAt:    comp.IssuedAt,
+			DeliveredAt: comp.DeliveredAt,
+			Flags:       flags,
+			Data:        buf,
+		})
+	}
+	c.mu.Unlock()
+}
+
+func (e *Engine) statsFor(seq uint64) wire.Stats {
+	s := e.Snapshot()
+	return wire.Stats{
+		Seq:           seq,
+		Cycle:         s.Cycle,
+		Delay:         uint64(s.Delay),
+		Channels:      uint64(s.Channels),
+		Conns:         uint64(s.Conns),
+		Reads:         s.Reads,
+		Writes:        s.Writes,
+		Stalls:        s.Stalls,
+		Busy:          s.Busy,
+		Dropped:       s.Dropped,
+		Completions:   s.Completions,
+		Uncorrectable: s.Uncorrectable,
+		Outstanding:   s.Outstanding,
+	}
+}

@@ -1,0 +1,171 @@
+package sim_test
+
+// The loopback chaos trial: the full client → wire → vpnmd engine →
+// multichannel memory stack, with the fault injector corrupting DRAM
+// underneath, proving the invariants the in-process chaos harness
+// checks survive the network layer:
+//
+//   - every read completes exactly D server cycles after issue, fault
+//     injection, stalls and retries notwithstanding;
+//   - data is correct unless the completion is flagged uncorrectable;
+//   - every request resolves exactly once;
+//   - the client's ledger reconciles against the engine's snapshot.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/multichannel"
+	"repro/internal/recovery"
+	"repro/internal/server"
+)
+
+func TestLoopbackChaos(t *testing.T) {
+	inj, err := fault.New(fault.Config{
+		Seed:          7,
+		SingleBitRate: 0.02,
+		DoubleBitRate: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Banks: 8, QueueDepth: 8, DelayRows: 64, WordBytes: 8, Fault: inj}
+	mem, err := multichannel.New(cfg, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server surfaces every stall; the client's RetryNextCycle
+	// policy re-issues until the read lands — the split-brain version of
+	// the in-process Retrier.
+	eng, err := server.New(server.Config{Mem: mem, Policy: recovery.DropWithAccounting})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	cn, sn := net.Pipe()
+	if err := eng.ServeConn(sn); err != nil {
+		t.Fatal(err)
+	}
+	c := client.New(cn, client.Config{Window: 128, Policy: recovery.RetryNextCycle})
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := c.Stats(ctx); err != nil { // arm the client's fixed-D check
+		t.Fatal(err)
+	}
+
+	// Phase 1: populate write-once addresses. (Write-once matters:
+	// client-side stall retries may reorder requests, which is only
+	// harmless when no address is written twice.)
+	const words = 256
+	rng := rand.New(rand.NewPCG(42, 99))
+	model := make(map[uint64][]byte, words)
+	addrs := make([]uint64, 0, words)
+	for len(model) < words {
+		a := rng.Uint64N(1 << 28)
+		if _, dup := model[a]; dup {
+			continue
+		}
+		w := make([]byte, 8)
+		for i := range w {
+			w[i] = byte(rng.Uint64())
+		}
+		model[a] = w
+		addrs = append(addrs, a)
+		if err := c.Write(ctx, a, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: hammer random reads through the faulty memory.
+	const reads = 4000
+	var mu sync.Mutex
+	var resolved, flagged, dropped, corrupt, multi int
+	for i := 0; i < reads; i++ {
+		addr := addrs[rng.IntN(len(addrs))]
+		want := model[addr]
+		seen := false
+		err := c.Read(ctx, addr, func(cm client.Completion) {
+			mu.Lock()
+			defer mu.Unlock()
+			if seen {
+				multi++
+				return
+			}
+			seen = true
+			resolved++
+			switch {
+			case cm.Err == nil:
+				if !bytes.Equal(cm.Data, want) {
+					corrupt++
+				}
+			case errors.Is(cm.Err, core.ErrUncorrectable):
+				flagged++ // on time but untrusted — data deliberately unchecked
+			default:
+				dropped++
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if resolved != reads || multi != 0 {
+		t.Fatalf("%d/%d reads resolved, %d resolved twice", resolved, reads, multi)
+	}
+	if corrupt != 0 {
+		t.Fatalf("%d unflagged corrupt words crossed the wire", corrupt)
+	}
+	if flagged == 0 {
+		t.Fatal("a 1%% double-bit rate over 4000 reads injected nothing — injector not wired through")
+	}
+
+	ctr := c.Counters()
+	if ctr.LatencyViolations != 0 {
+		t.Fatalf("%d fixed-D violations under chaos", ctr.LatencyViolations)
+	}
+	if ctr.Uncorrectable != uint64(flagged) || ctr.Drops != uint64(dropped) {
+		t.Fatalf("client ledger %+v disagrees with callbacks (flagged=%d dropped=%d)", ctr, flagged, dropped)
+	}
+	if got := ctr.Completions + ctr.AcceptedWrites + ctr.Drops; got != ctr.Issued {
+		t.Fatalf("client ledger leaks: issued=%d but completions+accepts+drops=%d", ctr.Issued, got)
+	}
+
+	// Reconcile against the engine's ledger.
+	snap := eng.Snapshot()
+	if snap.Outstanding != 0 {
+		t.Fatalf("engine still has %d reads outstanding after Flush", snap.Outstanding)
+	}
+	if snap.Completions != ctr.Completions {
+		t.Fatalf("completions: engine %d, client %d", snap.Completions, ctr.Completions)
+	}
+	if snap.Uncorrectable != ctr.Uncorrectable {
+		t.Fatalf("uncorrectable: engine %d, client %d", snap.Uncorrectable, ctr.Uncorrectable)
+	}
+	if snap.Writes != ctr.AcceptedWrites {
+		t.Fatalf("writes: engine accepted %d, client saw %d accepts", snap.Writes, ctr.AcceptedWrites)
+	}
+	if snap.Stalls != ctr.Stalls.Total() {
+		t.Fatalf("stalls: engine surfaced %d, client counted %d", snap.Stalls, ctr.Stalls.Total())
+	}
+	t.Logf("loopback chaos: %d reads, %d flagged uncorrectable, %d stalls surfaced, %d retries, %d cycles",
+		reads, flagged, snap.Stalls, ctr.Retries, snap.Cycle)
+}

@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzFrameDecode throws arbitrary payloads at the strict decoder. The
+// invariants under test: decoding either fails with an error or yields a
+// frame the encoder reproduces byte-for-byte (the encoding is canonical,
+// so strict decode + re-encode must be the identity); the decoder never
+// panics; and it never allocates more than the input justifies — the
+// record count is validated against the payload length before any slice
+// grows, so a hostile 4-byte "count" field cannot force a huge append.
+func FuzzFrameDecode(f *testing.F) {
+	seed := func(fn func(e *Encoder) error) {
+		var buf bytes.Buffer
+		if err := fn(NewEncoder(&buf)); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes()[lenPrefix:]) // corpus holds payloads, sans prefix
+	}
+	seed(func(e *Encoder) error {
+		return e.Requests(3, []Request{
+			{Op: OpRead, Seq: 1, Addr: 0xabc},
+			{Op: OpWrite, Seq: 2, Addr: 0xdef, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+			{Op: OpFlush, Seq: 3},
+			{Op: OpStats, Seq: 4},
+		})
+	})
+	seed(func(e *Encoder) error {
+		return e.Replies(9, []Reply{{Status: StatusStall, Code: CodeBankQueue, Seq: 7}})
+	})
+	seed(func(e *Encoder) error {
+		return e.Completions(54, []Completion{
+			{Seq: 5, Addr: 6, IssuedAt: 0, DeliveredAt: 54, Flags: FlagUncorrectable, Data: []byte{0xaa}},
+		})
+	})
+	seed(func(e *Encoder) error {
+		return e.Stats(100, Stats{Seq: 1, Cycle: 100, Delay: 54, Channels: 4})
+	})
+	f.Add([]byte{})
+	f.Add([]byte{FrameRequests, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var fr Frame
+		if err := DecodeFrame(payload, &fr); err != nil {
+			// Rejected input must also be rejected by the streaming path.
+			if _, serr := streamDecode(payload); serr == nil {
+				t.Fatal("Decoder.Next accepted a payload DecodeFrame rejected")
+			}
+			return
+		}
+		// Accepted: re-encoding must reproduce the payload exactly.
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		var err error
+		switch fr.Type {
+		case FrameRequests:
+			err = e.Requests(fr.Cycle, fr.Requests)
+		case FrameReplies:
+			err = e.Replies(fr.Cycle, fr.Replies)
+		case FrameCompletions:
+			err = e.Completions(fr.Cycle, fr.Completions)
+		case FrameStats:
+			err = e.Stats(fr.Cycle, fr.Stats)
+		default:
+			t.Fatalf("decoder accepted unknown frame type %d", fr.Type)
+		}
+		if err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		if got := buf.Bytes()[lenPrefix:]; !bytes.Equal(got, payload) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", got, payload)
+		}
+		// The streaming path must agree with the pure function.
+		if _, serr := streamDecode(payload); serr != nil {
+			t.Fatalf("Decoder.Next rejected a payload DecodeFrame accepted: %v", serr)
+		}
+	})
+}
+
+// streamDecode runs a payload through the length-prefixed stream path.
+func streamDecode(payload []byte) (*Frame, error) {
+	raw := make([]byte, lenPrefix+len(payload))
+	binary.BigEndian.PutUint32(raw, uint32(len(payload)))
+	copy(raw[lenPrefix:], payload)
+	d := NewDecoder(bytes.NewReader(raw))
+	fr, err := d.Next()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.Next(); err != io.EOF {
+		return nil, err
+	}
+	return fr, nil
+}

@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// encodeOne runs one encoder call and returns the raw bytes.
+func encodeOne(t *testing.T, f func(e *Encoder) error) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f(NewEncoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	in := []Request{
+		{Op: OpRead, Seq: 1, Addr: 0xdeadbeef},
+		{Op: OpWrite, Seq: 2, Addr: 42, Data: []byte{1, 2, 3}},
+		{Op: OpFlush, Seq: 3},
+		{Op: OpStats, Seq: 1<<64 - 1},
+	}
+	raw := encodeOne(t, func(e *Encoder) error { return e.Requests(7, in) })
+	dec := NewDecoder(bytes.NewReader(raw))
+	f, err := dec.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameRequests || f.Cycle != 7 {
+		t.Fatalf("header = (%d, %d), want (%d, 7)", f.Type, f.Cycle, FrameRequests)
+	}
+	if !reflect.DeepEqual(f.Requests, in) {
+		t.Fatalf("requests = %+v, want %+v", f.Requests, in)
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestReplyAndCompletionRoundTrip(t *testing.T) {
+	reps := []Reply{
+		{Status: StatusAccepted, Seq: 9},
+		{Status: StatusStall, Code: CodeBankQueue, Seq: 10},
+		{Status: StatusDropped, Code: CodeDelayBuffer, Seq: 11},
+		{Status: StatusFlushed, Seq: 12},
+	}
+	comps := []Completion{
+		{Seq: 5, Addr: 77, IssuedAt: 100, DeliveredAt: 154, Data: []byte{0xff}},
+		{Seq: 6, Addr: 78, IssuedAt: 101, DeliveredAt: 155, Flags: FlagUncorrectable, Data: []byte{}},
+	}
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	if err := e.Replies(3, reps); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Completions(4, comps); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(&buf)
+	f, err := dec.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f.Replies, reps) {
+		t.Fatalf("replies = %+v, want %+v", f.Replies, reps)
+	}
+	f, err = dec.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Completions) != 2 || f.Completions[0].DeliveredAt != 154 ||
+		f.Completions[1].Flags != FlagUncorrectable || !bytes.Equal(f.Completions[0].Data, []byte{0xff}) {
+		t.Fatalf("completions = %+v, want %+v", f.Completions, comps)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	in := Stats{
+		Seq: 1, Cycle: 2, Delay: 54, Channels: 4, Conns: 5,
+		Reads: 6, Writes: 7, Stalls: 8, Busy: 9, Dropped: 10,
+		Completions: 11, Uncorrectable: 12, Outstanding: 13,
+	}
+	raw := encodeOne(t, func(e *Encoder) error { return e.Stats(99, in) })
+	var f Frame
+	if err := DecodeFrame(raw[4:], &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats != in {
+		t.Fatalf("stats = %+v, want %+v", f.Stats, in)
+	}
+}
+
+func TestCodeErrRoundTrip(t *testing.T) {
+	for _, err := range []error{
+		core.ErrStallDelayBuffer, core.ErrStallBankQueue,
+		core.ErrStallWriteBuffer, core.ErrStallCounter,
+	} {
+		if got := ErrOf(CodeOf(err)); got != err { //nolint:errorlint // sentinel identity is the contract
+			t.Errorf("ErrOf(CodeOf(%v)) = %v", err, got)
+		}
+	}
+	if !errors.Is(ErrOf(CodeOther), core.ErrStall) {
+		t.Error("CodeOther must still map to a stall")
+	}
+	if ErrOf(CodeNone) != nil {
+		t.Error("CodeNone must map to nil")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid := encodeOne(t, func(e *Encoder) error {
+		return e.Requests(0, []Request{{Op: OpWrite, Seq: 1, Addr: 2, Data: []byte{9, 9}}})
+	})
+	corrupt := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		mut(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"empty payload", []byte{0, 0, 0, 0}},
+		{"short header", []byte{0, 0, 0, 3, 1, 0, 0}},
+		{"oversized length", func() []byte {
+			b := corrupt(func(b []byte) { binary.BigEndian.PutUint32(b, MaxFrame+1) })
+			return b
+		}()},
+		{"unknown frame type", corrupt(func(b []byte) { b[4] = 0x7f })},
+		{"unknown opcode", corrupt(func(b []byte) { b[17] = 0x7f })},
+		{"zero count", corrupt(func(b []byte) { binary.BigEndian.PutUint32(b[13:], 0) })},
+		{"count overruns frame", corrupt(func(b []byte) { binary.BigEndian.PutUint32(b[13:], 1000) })},
+		{"data on a read", corrupt(func(b []byte) { b[17] = OpRead })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewDecoder(bytes.NewReader(tc.raw)).Next()
+			if err == nil {
+				t.Fatal("decode succeeded on malformed input")
+			}
+		})
+	}
+	t.Run("trailing garbage", func(t *testing.T) {
+		raw := append([]byte(nil), valid...)
+		raw = append(raw, 0xAA)
+		binary.BigEndian.PutUint32(raw, uint32(len(raw)-4))
+		if err := DecodeFrame(raw[4:], &Frame{}); err == nil {
+			t.Fatal("trailing garbage accepted")
+		}
+	})
+	t.Run("truncated stream", func(t *testing.T) {
+		_, err := NewDecoder(bytes.NewReader(valid[:len(valid)-1])).Next()
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+		}
+	})
+}
+
+func TestEncodeRejectsOversize(t *testing.T) {
+	e := NewEncoder(io.Discard)
+	if err := e.Requests(0, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if err := e.Requests(0, make([]Request, MaxBatch+1)); err == nil {
+		t.Error("oversized batch accepted")
+	}
+	if err := e.Requests(0, []Request{{Op: OpWrite, Data: make([]byte, MaxData+1)}}); err == nil {
+		t.Error("oversized data accepted")
+	}
+}
