@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race chaos fuzz bench bench-gate lint
+.PHONY: ci vet build test race chaos fuzz bench bench-gate trace-sample lint
 
 ci: vet build test race chaos
 
@@ -16,10 +16,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the fault/recovery/chaos stack, the core controller, and
-# the networked service (wire codec, vpnmd engine, batching client).
+# Race-check the fault/recovery/chaos stack, the core controller, the
+# networked service (wire codec, vpnmd engine, batching client), and the
+# telemetry plane (metrics registry, event trace, probed multichannel).
 race:
-	$(GO) test -race ./internal/core ./internal/dram ./internal/fault ./internal/recovery ./internal/sim ./internal/wire ./internal/server ./internal/client
+	$(GO) test -race ./internal/core ./internal/dram ./internal/fault ./internal/recovery ./internal/sim ./internal/wire ./internal/server ./internal/client ./internal/telemetry ./internal/multichannel
 
 # Short chaos smoke: fault injection + recovery + invariant checks.
 chaos:
@@ -40,11 +41,17 @@ fuzz:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkBaselineVsVPNM$$|BenchmarkSweepSpeedup$$|BenchmarkServerLoopback$$' -benchmem -benchtime 1x -count=1 . | tee BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkTickParallel$$' -benchmem -benchtime 20000x -count=1 . | tee -a BENCH_parallel.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkProbeOverhead$$' -benchmem -benchtime 20000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) run ./cmd/benchgate -parse -o BENCH_parallel.json BENCH_parallel.txt
 
 # Fail on >20% regression of any gated metric vs the committed baseline.
 bench-gate: bench
 	$(GO) run ./cmd/benchgate -gate -baseline bench/baseline.json -threshold 0.20 BENCH_parallel.json
+
+# Sample Chrome trace artifact: 512 random reads through a small
+# controller, dumped as trace_event JSON for chrome://tracing.
+trace-sample:
+	$(GO) run ./cmd/vpnmtrace -rand 512 -chrome trace.json
 
 # Static analysis beyond `go vet`; CI runs this via golangci-lint-action.
 lint:

@@ -9,8 +9,12 @@
 //
 // Clients (cmd/vpnmload, or anything built on internal/client) issue
 // pipelined reads and writes; every read completes exactly D interface
-// cycles after it issued, no matter the access pattern, and the
-// /statsz endpoint exposes the engine's ledger as JSON.
+// cycles after it issued, no matter the access pattern. The -statsz
+// address serves the observability suite: /statsz (engine ledger as
+// JSON), /metricsz (engine plus per-channel controller metrics as
+// Prometheus text, including the live MTS estimate), /tracez
+// (start/stop/download a cycle-stamped Chrome trace window), and
+// /debug/pprof.
 package main
 
 import (
@@ -18,8 +22,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -27,12 +33,14 @@ import (
 	"repro/internal/multichannel"
 	"repro/internal/recovery"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", ":7450", "TCP listen address for the memory service")
-		statsz   = flag.String("statsz", "", "HTTP listen address for /statsz (empty disables)")
+		statsz   = flag.String("statsz", "", "HTTP listen address for /statsz, /metricsz, /tracez and /debug/pprof (empty disables)")
+		traceCap = flag.Int("trace-events", 1<<16, "event trace ring capacity (events kept for /tracez downloads)")
 		channels = flag.Int("channels", 4, "channel count (power of two); up to this many requests are accepted per cycle")
 		banks    = flag.Int("banks", core.DefaultBanks, "banks per channel B")
 		latency  = flag.Int("latency", core.DefaultAccessLatency, "bank occupancy L in memory cycles")
@@ -63,7 +71,25 @@ func main() {
 		RatioNum:      num,
 		RatioDen:      den,
 	}
-	mem, err := multichannel.New(cfg, *channels, *seed)
+	// Telemetry: one probe (and MTS estimator) per channel publishing
+	// into a shared registry, and one event trace ring shared by every
+	// channel's tracer. Both are armed only through the HTTP endpoints;
+	// until then the probes cost a few stores per cycle and the disarmed
+	// trace a single atomic load per event.
+	reg := telemetry.NewRegistry()
+	trace := telemetry.NewEventTrace(*traceCap)
+	trace.SetRatio(num, den)
+	mem, err := multichannel.New(cfg, *channels, *seed,
+		multichannel.WithProbes(func(ch int) telemetry.Probe {
+			label := strconv.Itoa(ch)
+			p := telemetry.NewMemProbe(reg, label, *banks, *queue, *banks**rows)
+			est := telemetry.NewMTSEstimator(*queue)
+			est.Model(*banks, *latency, float64(num)/float64(den))
+			p.AttachEstimator(reg, est, label)
+			return p
+		}),
+		multichannel.WithTracers(func(ch int) core.Tracer { return trace.ForChannel(ch) }),
+	)
 	if err != nil {
 		fatal(err)
 	}
@@ -95,13 +121,20 @@ func main() {
 	if *statsz != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/statsz", eng.StatszHandler())
+		mux.Handle("/metricsz", eng.MetricsHandler(reg))
+		mux.Handle("/tracez", telemetry.TraceHandler(trace, eng.Cycle))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		srv := &http.Server{Addr: *statsz, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "vpnmd: statsz:", err)
 			}
 		}()
-		fmt.Printf("vpnmd: /statsz on %s\n", *statsz)
+		fmt.Printf("vpnmd: /statsz /metricsz /tracez /debug/pprof on %s\n", *statsz)
 	}
 
 	sig := make(chan os.Signal, 1)

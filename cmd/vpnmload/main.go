@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand/v2"
@@ -24,7 +25,32 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/recovery"
+	"repro/internal/telemetry"
 )
+
+// summary is the -json run report: one object on stdout, machine-ready.
+type summary struct {
+	Requests        uint64                      `json:"requests"`
+	Reads           uint64                      `json:"reads"`
+	Writes          uint64                      `json:"writes"`
+	ElapsedSeconds  float64                     `json:"elapsed_seconds"`
+	ReqPerSecond    float64                     `json:"req_per_second"`
+	Cycles          uint64                      `json:"cycles"`
+	ReqPerCycle     float64                     `json:"req_per_cycle"`
+	Delay           uint64                      `json:"delay_cycles"`
+	LatencyP50      uint64                      `json:"latency_p50_cycles"`
+	LatencyP99      uint64                      `json:"latency_p99_cycles"`
+	LatencyP100     uint64                      `json:"latency_p100_cycles"`
+	Completions     uint64                      `json:"completions"`
+	Uncorrectable   uint64                      `json:"uncorrectable"`
+	Retries         uint64                      `json:"retries"`
+	Drops           uint64                      `json:"drops"`
+	Violations      uint64                      `json:"fixed_d_violations"`
+	StallsSurfaced  uint64                      `json:"stalls_surfaced"`
+	ChannelBusy     uint64                      `json:"channel_busy_retries"`
+	LatencyCycles   map[uint64]uint64           `json:"latency_histogram_cycles"`
+	IssueRatePerSec telemetry.HistogramSnapshot `json:"issue_rate_per_second"`
+}
 
 func main() {
 	var (
@@ -37,8 +63,16 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "workload PRNG seed")
 		policy    = flag.String("policy", "retry", "stall policy: retry | drop | backpressure")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-call timeout for flush/stats")
+		jsonOut   = flag.Bool("json", false, "emit the final run summary as one JSON object on stdout (human output moves to stderr)")
 	)
 	flag.Parse()
+
+	// With -json, stdout carries exactly one JSON object; everything a
+	// human reads goes to stderr so pipelines stay parseable.
+	human := os.Stdout
+	if *jsonOut {
+		human = os.Stderr
+	}
 
 	pol, err := recovery.ParsePolicy(*policy)
 	if err != nil {
@@ -61,7 +95,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("vpnmload: server D=%d cycles, %d channels, cycle=%d\n",
+	fmt.Fprintf(human, "vpnmload: server D=%d cycles, %d channels, cycle=%d\n",
 		before.Delay, before.Channels, before.Cycle)
 
 	// Latency histogram in cycles, owned by the receive goroutine (all
@@ -84,12 +118,25 @@ func main() {
 	rng := rand.New(rand.NewPCG(*seed, 0x9e3779b97f4a7c15))
 	word := make([]byte, 8)
 	var issued uint64
+	// Issue-rate histogram: requests per second, sampled over ~100ms
+	// windows — the client-side view of how evenly load was offered.
+	issueRate := telemetry.NewHistogram(telemetry.ExponentialBounds(1000, 2, 16))
+	var windowIssued uint64
+	windowStart := time.Now()
 	start := time.Now()
 	deadline := start.Add(*duration)
 	for {
 		// Check the clock (and the signal context) every 1024 requests.
-		if issued%1024 == 0 && (time.Now().After(deadline) || ctx.Err() != nil) {
-			break
+		if issued%1024 == 0 {
+			now := time.Now()
+			if w := now.Sub(windowStart); w >= 100*time.Millisecond {
+				issueRate.Observe(uint64(float64(windowIssued) / w.Seconds()))
+				windowIssued = 0
+				windowStart = now
+			}
+			if now.After(deadline) || ctx.Err() != nil {
+				break
+			}
 		}
 		a := rng.Uint64N(*addrSpace)
 		if *writeFrac > 0 && rng.Float64() < *writeFrac {
@@ -107,6 +154,7 @@ func main() {
 			fatal(err)
 		}
 		issued++
+		windowIssued++
 	}
 	fctx, fcancel := context.WithTimeout(context.Background(), *timeout)
 	err = c.Flush(fctx)
@@ -125,19 +173,71 @@ func main() {
 	ctr := c.Counters()
 	cycles := after.Cycle - before.Cycle
 	rate := float64(issued) / elapsed.Seconds()
-	fmt.Printf("vpnmload: %d requests (%d reads, %d writes) in %.2fs = %.0f req/s\n",
+	fmt.Fprintf(human, "vpnmload: %d requests (%d reads, %d writes) in %.2fs = %.0f req/s\n",
 		issued, ctr.Reads, ctr.Writes, elapsed.Seconds(), rate)
-	fmt.Printf("vpnmload: server advanced %d cycles (%.3f req/cycle), %d stall(s) surfaced, %d channel-busy retried\n",
+	fmt.Fprintf(human, "vpnmload: server advanced %d cycles (%.3f req/cycle), %d stall(s) surfaced, %d channel-busy retried\n",
 		cycles, float64(issued)/float64(max(cycles, 1)), after.Stalls-before.Stalls, after.Busy-before.Busy)
 	p50, p99, p100 := percentiles(hist)
-	fmt.Printf("vpnmload: latency cycles p50=%d p99=%d p100=%d (D=%d)\n", p50, p99, p100, after.Delay)
-	fmt.Printf("vpnmload: completions=%d uncorrectable=%d retries=%d drops=%d fixed-D violations=%d\n",
+	fmt.Fprintf(human, "vpnmload: latency cycles p50=%d p99=%d p100=%d (D=%d)\n", p50, p99, p100, after.Delay)
+	printLatencyHistogram(human, hist)
+	irs := issueRate.Snapshot()
+	if irs.Count > 0 {
+		fmt.Fprintf(human, "vpnmload: issue rate per 100ms window: p50<=%d/s p99<=%d/s over %d windows\n",
+			irs.Quantile(0.5), irs.Quantile(0.99), irs.Count)
+	}
+	fmt.Fprintf(human, "vpnmload: completions=%d uncorrectable=%d retries=%d drops=%d fixed-D violations=%d\n",
 		ctr.Completions, flagged, ctr.Retries, dropped, ctr.LatencyViolations)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summary{
+			Requests:        issued,
+			Reads:           ctr.Reads,
+			Writes:          ctr.Writes,
+			ElapsedSeconds:  elapsed.Seconds(),
+			ReqPerSecond:    rate,
+			Cycles:          cycles,
+			ReqPerCycle:     float64(issued) / float64(max(cycles, 1)),
+			Delay:           after.Delay,
+			LatencyP50:      p50,
+			LatencyP99:      p99,
+			LatencyP100:     p100,
+			Completions:     ctr.Completions,
+			Uncorrectable:   flagged,
+			Retries:         ctr.Retries,
+			Drops:           dropped,
+			Violations:      ctr.LatencyViolations,
+			StallsSurfaced:  after.Stalls - before.Stalls,
+			ChannelBusy:     after.Busy - before.Busy,
+			LatencyCycles:   hist,
+			IssueRatePerSec: irs,
+		}); err != nil {
+			fatal(err)
+		}
+	}
 	if ctr.LatencyViolations > 0 {
 		fmt.Fprintln(os.Stderr, "vpnmload: FIXED-D INVARIANT VIOLATED")
 		os.Exit(1)
 	}
-	fmt.Println("vpnmload: fixed-D invariant held for every completion")
+	fmt.Fprintln(human, "vpnmload: fixed-D invariant held for every completion")
+}
+
+// printLatencyHistogram dumps the cycle histogram, which for a healthy
+// run is a single line: every completion at exactly D.
+func printLatencyHistogram(w *os.File, hist map[uint64]uint64) {
+	if len(hist) == 0 {
+		return
+	}
+	keys := make([]uint64, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	fmt.Fprintln(w, "vpnmload: latency histogram (cycles: completions):")
+	for _, k := range keys {
+		fmt.Fprintf(w, "vpnmload:   %6d: %d\n", k, hist[k])
+	}
 }
 
 // percentiles walks the cycle histogram for p50/p99/p100.

@@ -5,18 +5,24 @@
 //
 // With no flags it reproduces the paper's three Figure 1 scenarios.
 // With -pattern it traces a custom comma-separated address list
-// (one read per cycle) through a small controller.
+// (one read per cycle) through a small controller. With -rand N it
+// traces N random reads instead; add -chrome out.json to either traced
+// mode to dump the run as Chrome trace_event JSON for
+// chrome://tracing or https://ui.perfetto.dev.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand/v2"
+	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/hash"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -25,6 +31,8 @@ func main() {
 	log.SetPrefix("vpnmtrace: ")
 	var (
 		pattern = flag.String("pattern", "", "comma-separated addresses to read, one per cycle (empty: the three Figure 1 scenarios)")
+		random  = flag.Int("rand", 0, "trace this many random reads instead of -pattern")
+		chrome  = flag.String("chrome", "", "also write the traced run as Chrome trace_event JSON to this file")
 		banks   = flag.Int("banks", 4, "banks for -pattern mode")
 		l       = flag.Int("l", 15, "bank access latency for -pattern mode")
 		q       = flag.Int("q", 2, "bank access queue depth for -pattern mode")
@@ -32,7 +40,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if *pattern == "" {
+	if *pattern == "" && *random == 0 {
 		scs, err := trace.Figure1()
 		if err != nil {
 			log.Fatal(err)
@@ -44,14 +52,31 @@ func main() {
 	}
 
 	var addrs []uint64
-	for _, f := range strings.Split(*pattern, ",") {
-		a, err := strconv.ParseUint(strings.TrimSpace(f), 0, 64)
-		if err != nil {
-			log.Fatalf("bad address %q: %v", f, err)
+	if *random > 0 {
+		rng := rand.New(rand.NewPCG(7, 13))
+		for i := 0; i < *random; i++ {
+			addrs = append(addrs, rng.Uint64()&0xff)
 		}
-		addrs = append(addrs, a)
+	} else {
+		for _, f := range strings.Split(*pattern, ",") {
+			a, err := strconv.ParseUint(strings.TrimSpace(f), 0, 64)
+			if err != nil {
+				log.Fatalf("bad address %q: %v", f, err)
+			}
+			addrs = append(addrs, a)
+		}
 	}
 	rec := &trace.Recorder{}
+	var tracer core.Tracer = rec
+	var events *telemetry.EventTrace
+	if *chrome != "" {
+		// Tee the controller's events into a Chrome trace ring big
+		// enough to keep the whole run.
+		events = telemetry.NewEventTrace(16 * (len(addrs) + 1))
+		events.SetRatio(1, 1)
+		events.Start(0, 0)
+		tracer = teeTracer{rec, events.ForChannel(0)}
+	}
 	bits := 1
 	for 1<<bits < *banks {
 		bits++
@@ -66,7 +91,7 @@ func main() {
 		WordBytes:     8,
 		HashLatency:   1,
 		Hash:          hash.NewIdentity(bits), // addresses name their banks directly
-		Trace:         rec,
+		Trace:         tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -78,6 +103,55 @@ func main() {
 		ctrl.Tick()
 	}
 	ctrl.Flush()
-	fmt.Printf("D = %d interface cycles; '|' issue, '#' bank access, '.' pipeline, 'D' delivery, 'X' stall\n\n", ctrl.Delay())
-	fmt.Print(rec.Timeline(1, 1, *scale))
+	if *random == 0 || len(addrs) <= 64 {
+		fmt.Printf("D = %d interface cycles; '|' issue, '#' bank access, '.' pipeline, 'D' delivery, 'X' stall\n\n", ctrl.Delay())
+		fmt.Print(rec.Timeline(1, 1, *scale))
+	} else {
+		fmt.Printf("D = %d interface cycles; traced %d random reads (timeline suppressed past 64 requests)\n", ctrl.Delay(), len(addrs))
+	}
+	if events != nil {
+		events.Stop()
+		f, err := os.Create(*chrome)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := events.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d trace events to %s (open in chrome://tracing or ui.perfetto.dev)\n", events.Recorded(), *chrome)
+	}
+}
+
+// teeTracer fans controller events out to both the ASCII timeline
+// recorder and the Chrome trace ring.
+type teeTracer struct {
+	a, b core.Tracer
+}
+
+func (t teeTracer) OnRequest(cycle uint64, bank int, isWrite, merged bool, addr, tag uint64) {
+	t.a.OnRequest(cycle, bank, isWrite, merged, addr, tag)
+	t.b.OnRequest(cycle, bank, isWrite, merged, addr, tag)
+}
+
+func (t teeTracer) OnStall(cycle uint64, bank int, addr uint64, err error) {
+	t.a.OnStall(cycle, bank, addr, err)
+	t.b.OnStall(cycle, bank, addr, err)
+}
+
+func (t teeTracer) OnIssue(memCycle uint64, bank int, isWrite bool, addr uint64) {
+	t.a.OnIssue(memCycle, bank, isWrite, addr)
+	t.b.OnIssue(memCycle, bank, isWrite, addr)
+}
+
+func (t teeTracer) OnDataReady(memCycle uint64, bank int, addr uint64) {
+	t.a.OnDataReady(memCycle, bank, addr)
+	t.b.OnDataReady(memCycle, bank, addr)
+}
+
+func (t teeTracer) OnDeliver(cycle uint64, bank int, addr, tag uint64) {
+	t.a.OnDeliver(cycle, bank, addr, tag)
+	t.b.OnDeliver(cycle, bank, addr, tag)
 }

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExcursionMTSStallRate(t *testing.T) {
+	counts := []uint64{900, 80, 15, 4, 1}
+	if got := ExcursionMTS(counts, 10); got != 100 {
+		t.Fatalf("with 10 stalls in 1000 cycles, MTS = %g, want 100", got)
+	}
+}
+
+func TestExcursionMTSFullLevelVisits(t *testing.T) {
+	// No stalls, but the full level was reached 5 times in 1000 cycles.
+	counts := []uint64{900, 80, 15, 0, 5}
+	if got := ExcursionMTS(counts, 0); got != 200 {
+		t.Fatalf("MTS = %g, want cycles-per-full-visit 200", got)
+	}
+}
+
+func TestExcursionMTSGeometricTail(t *testing.T) {
+	// counts[k] = 1e6 * 10^-(k-1) for k in 1..3, full level Q=6 never
+	// seen. Ratio 1/10 per level, so P(full) = (1e4/total) * 10^-(6-3)
+	// ~ 9e-6 and MTS = 1/P(full) ~ 1.1e5.
+	counts := []uint64{0, 1_000_000, 100_000, 10_000, 0, 0, 0}
+	got := ExcursionMTS(counts, 0)
+	if got >= MTSCap {
+		t.Fatalf("tail fit returned the cap")
+	}
+	want := 1.11e5
+	if got < want/3 || got > want*3 {
+		t.Fatalf("MTS = %g, want within 3x of %g", got, want)
+	}
+}
+
+func TestExcursionMTSMonotoneInTailDecay(t *testing.T) {
+	// A faster-decaying tail must predict a larger MTS.
+	slow := []uint64{0, 1000, 500, 250, 0, 0} // ratio 1/2
+	fast := []uint64{0, 1000, 100, 10, 0, 0}  // ratio 1/10
+	if ExcursionMTS(fast, 0) <= ExcursionMTS(slow, 0) {
+		t.Fatalf("faster decay gave smaller MTS: fast=%g slow=%g",
+			ExcursionMTS(fast, 0), ExcursionMTS(slow, 0))
+	}
+}
+
+func TestExcursionMTSNoSignal(t *testing.T) {
+	for name, counts := range map[string][]uint64{
+		"empty":        {},
+		"single-level": {100},
+		"all-zero":     {0, 0, 0, 0},
+		"only-idle":    {1000, 0, 0, 0},
+		"one-level":    {1000, 5, 0, 0}, // one populated tail level: no slope
+	} {
+		if got := ExcursionMTS(counts, 0); got != MTSCap {
+			t.Errorf("%s: MTS = %g, want MTSCap", name, got)
+		}
+	}
+}
+
+func TestExcursionMTSSaturatedTail(t *testing.T) {
+	// Non-decaying tail (ratio >= 1): treat reaching the highest seen
+	// level as reaching full — 1/pHi, not the cap.
+	counts := []uint64{0, 10, 10, 10, 0, 0}
+	got := ExcursionMTS(counts, 0)
+	if got != 3 {
+		t.Fatalf("saturated tail MTS = %g, want total/counts[hi] = 3", got)
+	}
+}
+
+func TestExcursionMTSCapsAndFloors(t *testing.T) {
+	// Stall every cycle: MTS floors at 1.
+	if got := ExcursionMTS([]uint64{10, 0, 0}, 20); got != 1 {
+		t.Fatalf("MTS = %g, want floor 1", got)
+	}
+	// Astronomically rare: capped, never Inf/NaN.
+	huge := []uint64{0, math.MaxUint64 / 2, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0}
+	got := ExcursionMTS(huge, 0)
+	if math.IsInf(got, 0) || math.IsNaN(got) || got > MTSCap {
+		t.Fatalf("MTS = %g, want capped finite value", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/hash"
+	"repro/internal/telemetry"
 )
 
 // Default microarchitectural parameters. The defaults follow the
@@ -76,6 +77,13 @@ type Config struct {
 	// Trace optionally receives the controller's internal events (see
 	// Tracer). Nil disables tracing.
 	Trace Tracer
+	// Probe optionally receives one telemetry.TickSample per interface
+	// cycle: per-bank queue depth, delay-buffer and write-buffer
+	// occupancy, merge/replay counts and the stall ledger. Nil disables
+	// sampling entirely — the hot path is bit-for-bit the same as
+	// before the field existed, which the differential test and the
+	// 0 allocs/op benchmark pin.
+	Probe telemetry.Probe
 	// DualPort, when true, accepts one read AND one write per interface
 	// cycle instead of a single request — the configuration Section
 	// 5.4.1's packet buffering assumes ("one write access and one read

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/dram"
 	"repro/internal/hash"
+	"repro/internal/telemetry"
 )
 
 // Completion reports one data word delivered on the interface. The
@@ -60,6 +61,13 @@ type Controller struct {
 	scratch     []byte // backs Completion.Data until the next Tick
 	completions []Completion
 
+	// Telemetry sampling state, allocated only when cfg.Probe is set.
+	// The sample and its per-bank slices are reused every cycle so
+	// publishing stays allocation-free.
+	sample       telemetry.TickSample
+	perBankQueue []int32
+	perBankRows  []int32
+
 	stats Stats
 }
 
@@ -105,6 +113,12 @@ func New(cfg Config) (*Controller, error) {
 		c.banks[i] = newBankController(i, cfg)
 	}
 	c.stats.BankRequests = make([]uint64, cfg.Banks)
+	if cfg.Probe != nil {
+		c.perBankQueue = make([]int32, cfg.Banks)
+		c.perBankRows = make([]int32, cfg.Banks)
+		c.sample.PerBankQueue = c.perBankQueue
+		c.sample.PerBankRows = c.perBankRows
+	}
 	return c, nil
 }
 
@@ -254,7 +268,44 @@ func (c *Controller) Tick() []Completion {
 	}
 	c.readReq = false
 	c.writeReq = false
+	if c.cfg.Probe != nil {
+		c.publishProbe()
+	}
 	return c.completions
+}
+
+// publishProbe fills the reusable TickSample from the cycle just
+// completed and hands it to the probe. Only reached with a non-nil
+// probe; the nil-probe Tick path is untouched.
+func (c *Controller) publishProbe() {
+	s := &c.sample
+	s.Cycle = c.cycle
+	totalQ, rows, wb, maxQ := 0, 0, 0, 0
+	for i, b := range c.banks {
+		q := b.baq.Len()
+		r := b.rowsInUse()
+		c.perBankQueue[i] = int32(q)
+		c.perBankRows[i] = int32(r)
+		totalQ += q
+		rows += r
+		wb += b.wb.Len()
+		if q > maxQ {
+			maxQ = q
+		}
+	}
+	s.QueueDepth = totalQ
+	s.MaxBankQueue = maxQ
+	s.DelayRowsInUse = rows
+	s.WriteBufInUse = wb
+	s.Reads = c.stats.Reads
+	s.Writes = c.stats.Writes
+	s.MergedReads = c.stats.MergedReads
+	s.Replays = c.stats.Completions
+	s.Stalls[telemetry.CauseDelayBuffer] = c.stats.Stalls.DelayBuffer
+	s.Stalls[telemetry.CauseBankQueue] = c.stats.Stalls.BankQueue
+	s.Stalls[telemetry.CauseWriteBuffer] = c.stats.Stalls.WriteBuffer
+	s.Stalls[telemetry.CauseCounter] = c.stats.Stalls.Counter
+	c.cfg.Probe.ObserveTick(s)
 }
 
 // advanceMemory runs the memory-side bus up to the cycle budget earned
@@ -331,6 +382,11 @@ func (c *Controller) noteStall(err error) {
 func (c *Controller) Outstanding() uint64 {
 	return c.stats.Reads - c.stats.Completions
 }
+
+// StallsTotal reports the cumulative stall count without copying the
+// full Stats snapshot — cheap enough to call every cycle (the serving
+// engine publishes it into its seqlocked ledger each step).
+func (c *Controller) StallsTotal() uint64 { return c.stats.Stalls.Total() }
 
 // Flush ticks the controller until every queued access has been issued,
 // every bank is idle, and every outstanding read has been delivered. It

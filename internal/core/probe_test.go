@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// recordingProbe keeps a copy of the last sample (slices included) plus
+// invariant checks on every tick.
+type recordingProbe struct {
+	t     *testing.T
+	cfg   Config
+	ticks uint64
+	last  telemetry.TickSample
+	pbq   []int32
+	pbr   []int32
+}
+
+func (p *recordingProbe) ObserveTick(s *telemetry.TickSample) {
+	p.ticks++
+	if s.Cycle != p.ticks {
+		p.t.Fatalf("sample cycle %d on tick %d", s.Cycle, p.ticks)
+	}
+	if len(s.PerBankQueue) != p.cfg.Banks || len(s.PerBankRows) != p.cfg.Banks {
+		p.t.Fatalf("per-bank slices sized %d/%d, want %d", len(s.PerBankQueue), len(s.PerBankRows), p.cfg.Banks)
+	}
+	var q, r int
+	maxQ := 0
+	for i := range s.PerBankQueue {
+		q += int(s.PerBankQueue[i])
+		r += int(s.PerBankRows[i])
+		if int(s.PerBankQueue[i]) > maxQ {
+			maxQ = int(s.PerBankQueue[i])
+		}
+		if int(s.PerBankQueue[i]) > p.cfg.QueueDepth {
+			p.t.Fatalf("bank %d queue %d exceeds Q=%d", i, s.PerBankQueue[i], p.cfg.QueueDepth)
+		}
+		if int(s.PerBankRows[i]) > p.cfg.DelayRows {
+			p.t.Fatalf("bank %d rows %d exceed K=%d", i, s.PerBankRows[i], p.cfg.DelayRows)
+		}
+	}
+	if q != s.QueueDepth || r != s.DelayRowsInUse || maxQ != s.MaxBankQueue {
+		p.t.Fatalf("per-bank totals %d/%d/%d disagree with sample %d/%d/%d",
+			q, r, maxQ, s.QueueDepth, s.DelayRowsInUse, s.MaxBankQueue)
+	}
+	// Copy: the slices are only valid during the call.
+	p.pbq = append(p.pbq[:0], s.PerBankQueue...)
+	p.pbr = append(p.pbr[:0], s.PerBankRows...)
+	p.last = *s
+	p.last.PerBankQueue, p.last.PerBankRows = p.pbq, p.pbr
+}
+
+// TestProbeDifferential drives two same-seed controllers — one with a
+// probe, one without — through an identical hot workload and demands
+// cycle-for-cycle identical completions and identical final statistics:
+// attaching a probe observes the machine without perturbing it.
+func TestProbeDifferential(t *testing.T) {
+	cfg := Config{Banks: 8, QueueDepth: 4, DelayRows: 8, WordBytes: 8, HashSeed: 77}
+	plain, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &recordingProbe{t: t, cfg: cfg.withDefaults()}
+	pcfg := cfg
+	pcfg.Probe = probe
+	probed, err := New(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewPCG(5, 9))
+	data := []byte{1, 2, 3}
+	const cycles = 30000
+	for i := 0; i < cycles; i++ {
+		// Narrow address space + write mix: force merges, write-buffer
+		// pressure and stalls so every ledger field moves.
+		addr := rng.Uint64() & 0x3f
+		if rng.Float64() < 0.3 {
+			err1 := plain.Write(addr, data)
+			err2 := probed.Write(addr, data)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("cycle %d: write diverged: %v vs %v", i, err1, err2)
+			}
+		} else {
+			_, err1 := plain.Read(addr)
+			_, err2 := probed.Read(addr)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("cycle %d: read diverged: %v vs %v", i, err1, err2)
+			}
+		}
+		c1 := plain.Tick()
+		c2 := probed.Tick()
+		if len(c1) != len(c2) {
+			t.Fatalf("cycle %d: completion count diverged: %d vs %d", i, len(c1), len(c2))
+		}
+		for j := range c1 {
+			if c1[j].Tag != c2[j].Tag || c1[j].Addr != c2[j].Addr ||
+				c1[j].IssuedAt != c2[j].IssuedAt || c1[j].DeliveredAt != c2[j].DeliveredAt {
+				t.Fatalf("cycle %d: completion %d diverged: %+v vs %+v", i, j, c1[j], c2[j])
+			}
+		}
+	}
+
+	s1, s2 := plain.Stats(), probed.Stats()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("final stats diverged:\nnil probe: %+v\nprobed:    %+v", s1, s2)
+	}
+	if s1.Stalls.Total() == 0 || s1.MergedReads == 0 {
+		t.Fatalf("workload too gentle to exercise the ledger: %+v", s1)
+	}
+	if probe.ticks != cycles {
+		t.Fatalf("probe saw %d ticks, want %d", probe.ticks, cycles)
+	}
+}
+
+// TestProbeReconcilesWithStats pins the TickSample cumulative ledger to
+// the controller's own Stats, field for field, after every tick's dust
+// settles.
+func TestProbeReconcilesWithStats(t *testing.T) {
+	cfg := Config{Banks: 8, QueueDepth: 4, DelayRows: 8, WordBytes: 8, HashSeed: 3}
+	probe := &recordingProbe{t: t, cfg: cfg.withDefaults()}
+	cfg.Probe = probe
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(21, 43))
+	data := []byte{9}
+	for i := 0; i < 20000; i++ {
+		addr := rng.Uint64() & 0x3f
+		if rng.Float64() < 0.3 {
+			c.Write(addr, data) //nolint:errcheck // stalls are part of the point
+		} else {
+			c.Read(addr) //nolint:errcheck // stalls are part of the point
+		}
+		c.Tick()
+	}
+	s := c.Stats()
+	last := probe.last
+	if last.Reads != s.Reads || last.Writes != s.Writes ||
+		last.MergedReads != s.MergedReads || last.Replays != s.Completions {
+		t.Fatalf("ledger mismatch: sample %+v vs stats %+v", last, s)
+	}
+	if last.Stalls[telemetry.CauseDelayBuffer] != s.Stalls.DelayBuffer ||
+		last.Stalls[telemetry.CauseBankQueue] != s.Stalls.BankQueue ||
+		last.Stalls[telemetry.CauseWriteBuffer] != s.Stalls.WriteBuffer ||
+		last.Stalls[telemetry.CauseCounter] != s.Stalls.Counter {
+		t.Fatalf("stall ledger mismatch: sample %v vs stats %+v", last.Stalls, s.Stalls)
+	}
+	if c.StallsTotal() != s.Stalls.Total() {
+		t.Fatalf("StallsTotal() = %d, Stats().Stalls.Total() = %d", c.StallsTotal(), s.Stalls.Total())
+	}
+}
+
+// TestTickAllocationFreeWithProbe extends the hot-path allocation
+// contract to a probed controller: a full MemProbe (gauges, counters,
+// histograms, MTS estimator) observing every cycle still allocates
+// nothing in the steady state.
+func TestTickAllocationFreeWithProbe(t *testing.T) {
+	cfg := Config{WordBytes: 8, HashSeed: 1}
+	filled := cfg.withDefaults()
+	reg := telemetry.NewRegistry()
+	probe := telemetry.NewMemProbe(reg, "0", filled.Banks, filled.QueueDepth, filled.Banks*filled.DelayRows)
+	est := telemetry.NewMTSEstimator(filled.QueueDepth)
+	est.Model(filled.Banks, filled.AccessLatency, filled.Ratio())
+	probe.AttachEstimator(reg, est, "0")
+	cfg.Probe = probe
+
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(11, 17))
+	step := func() {
+		c.Read(rng.Uint64() & 0xffff) //nolint:errcheck // a rare stall just wastes the slot
+		c.Tick()
+	}
+	for i := 0; i < 2000; i++ {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+		t.Fatalf("probed request+Tick allocates %.2f objects/cycle, want 0", allocs)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 )
 
 // ErrChannelBusy reports that the target channel already accepted a
@@ -63,6 +64,8 @@ type Option func(*options)
 type options struct {
 	parallel bool
 	workers  int
+	probes   func(ch int) telemetry.Probe
+	tracers  func(ch int) core.Tracer
 }
 
 // Parallel dispatches the per-channel work of every Tick across a
@@ -77,6 +80,22 @@ func Parallel(on bool) Option { return func(o *options) { o.parallel = on } }
 // PoolWorkers bounds the tick pool size; <= 0 (the default) selects
 // GOMAXPROCS. It has no effect without Parallel(true).
 func PoolWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithProbes attaches a telemetry probe to each channel's controller: f
+// is called once per channel at construction and may return nil to
+// leave that channel unprobed. With Parallel(true) the probes are
+// updated from pool workers, so implementations must be safe for
+// concurrent use across channels (telemetry.MemProbe is).
+func WithProbes(f func(ch int) telemetry.Probe) Option {
+	return func(o *options) { o.probes = f }
+}
+
+// WithTracers attaches a core.Tracer to each channel's controller, the
+// event-trace analogue of WithProbes (telemetry.EventTrace.ForChannel
+// is the standard source).
+func WithTracers(f func(ch int) core.Tracer) Option {
+	return func(o *options) { o.tracers = f }
+}
 
 // New builds a striped memory of `channels` (a power of two) identical
 // controllers. Each channel gets an independently seeded bank hash;
@@ -104,6 +123,12 @@ func New(cfg core.Config, channels int, seed uint64, opts ...Option) (*Memory, e
 	for i := 0; i < channels; i++ {
 		c := cfg
 		c.HashSeed = seed + uint64(i)*0x9e3779b9
+		if o.probes != nil {
+			c.Probe = o.probes(i)
+		}
+		if o.tracers != nil {
+			c.Trace = o.tracers(i)
+		}
 		ctrl, err := core.New(c)
 		if err != nil {
 			return nil, err
@@ -216,10 +241,16 @@ func (m *Memory) Outstanding() uint64 {
 }
 
 // Stats aggregates per-channel statistics plus the channel-conflict
-// count.
+// count. It is allocation-free, so the serving engine can publish it
+// into its ledger every cycle.
 func (m *Memory) Stats() (reads, writes, channelBusy, stalls uint64) {
 	for _, c := range m.chans {
-		stalls += c.Stats().Stalls.Total()
+		stalls += c.StallsTotal()
 	}
 	return m.reads, m.writes, m.busy, stalls
 }
+
+// ChannelStats snapshots channel ch's full controller ledger — the
+// ground truth the telemetry reconciliation tests compare probe
+// counters against.
+func (m *Memory) ChannelStats(ch int) core.Stats { return m.chans[ch].Stats() }

@@ -1,0 +1,161 @@
+package multichannel
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// buildProbed wires one MemProbe per channel into a striped memory.
+func buildProbed(t *testing.T, channels int, opts ...Option) (*Memory, *telemetry.Registry, []*telemetry.MemProbe) {
+	t.Helper()
+	c := cfg()
+	filled := core.Config{Banks: c.Banks, QueueDepth: c.QueueDepth, DelayRows: c.DelayRows}
+	reg := telemetry.NewRegistry()
+	probes := make([]*telemetry.MemProbe, channels)
+	opts = append(opts, WithProbes(func(ch int) telemetry.Probe {
+		probes[ch] = telemetry.NewMemProbe(reg, strconv.Itoa(ch),
+			filled.Banks, filled.QueueDepth, filled.Banks*filled.DelayRows)
+		return probes[ch]
+	}))
+	m, err := New(c, channels, 42, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, reg, probes
+}
+
+func driveHot(t *testing.T, m *Memory, cycles int) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(3, 7))
+	data := []byte{5}
+	for i := 0; i < cycles; i++ {
+		for r := 0; r < m.Channels(); r++ {
+			addr := rng.Uint64() & 0x3ff
+			if rng.Float64() < 0.25 {
+				m.Write(addr, data) //nolint:errcheck // conflicts/stalls are expected
+			} else {
+				m.Read(addr) //nolint:errcheck // conflicts/stalls are expected
+			}
+		}
+		m.Tick()
+	}
+}
+
+// TestWithProbesReconciles drives a probed striped memory and checks
+// every channel's probe counters against that channel's own Stats
+// ledger — and the channel gauges against the shared clock.
+func TestWithProbesReconciles(t *testing.T) {
+	const channels = 4
+	for _, par := range []bool{false, true} {
+		name := "sequential"
+		if par {
+			name = "parallel"
+		}
+		t.Run(name, func(t *testing.T) {
+			m, reg, _ := buildProbed(t, channels, Parallel(par))
+			defer m.Close()
+			driveHot(t, m, 5000)
+
+			var buf bytes.Buffer
+			if _, err := reg.WriteTo(&buf); err != nil {
+				t.Fatalf("WriteTo: %v", err)
+			}
+			parsed, err := telemetry.ParseText(&buf)
+			if err != nil {
+				t.Fatalf("ParseText: %v", err)
+			}
+			for ch := 0; ch < channels; ch++ {
+				s := m.ChannelStats(ch)
+				label := strconv.Itoa(ch)
+				for key, want := range map[string]uint64{
+					`vpnm_cycle{channel="` + label + `"}`:              m.Cycle(),
+					`vpnm_reads_total{channel="` + label + `"}`:        s.Reads,
+					`vpnm_writes_total{channel="` + label + `"}`:       s.Writes,
+					`vpnm_merged_reads_total{channel="` + label + `"}`: s.MergedReads,
+					`vpnm_replays_total{channel="` + label + `"}`:      s.Completions,
+				} {
+					got, ok := parsed[key]
+					if !ok {
+						t.Fatalf("exposition missing %s", key)
+					}
+					if uint64(got) != want {
+						t.Errorf("%s = %g, want %d", key, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWithTracersRecordsAllChannels attaches an EventTrace across
+// channels (parallel mode, under -race in CI) and checks every channel
+// contributed events.
+func TestWithTracersRecordsAllChannels(t *testing.T) {
+	const channels = 4
+	tr := telemetry.NewEventTrace(1 << 16)
+	m, err := New(cfg(), channels, 42,
+		Parallel(true),
+		WithTracers(func(ch int) core.Tracer { return tr.ForChannel(ch) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	tr.Start(0, 0)
+	driveHot(t, m, 3000)
+	tr.Stop()
+
+	seen := map[int16]bool{}
+	for _, ev := range tr.Snapshot() {
+		seen[ev.Chan] = true
+	}
+	for ch := 0; ch < channels; ch++ {
+		if !seen[int16(ch)] {
+			t.Errorf("channel %d recorded no events", ch)
+		}
+	}
+}
+
+// TestProbedParallelMatchesSequential extends the parallel/sequential
+// differential to probed memories: completions must stay cycle-for-cycle
+// identical, and the per-channel probes of both runs must agree.
+func TestProbedParallelMatchesSequential(t *testing.T) {
+	const channels = 4
+	seqM, seqReg, _ := buildProbed(t, channels)
+	parM, parReg, _ := buildProbed(t, channels, Parallel(true))
+	defer parM.Close()
+
+	rng := rand.New(rand.NewPCG(8, 1))
+	for i := 0; i < 4000; i++ {
+		addr := rng.Uint64() & 0x3ff
+		_, e1 := seqM.Read(addr)
+		_, e2 := parM.Read(addr)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("cycle %d: issue diverged: %v vs %v", i, e1, e2)
+		}
+		c1, c2 := seqM.Tick(), parM.Tick()
+		if len(c1) != len(c2) {
+			t.Fatalf("cycle %d: completions diverged: %d vs %d", i, len(c1), len(c2))
+		}
+		for j := range c1 {
+			if c1[j].Tag != c2[j].Tag || c1[j].Addr != c2[j].Addr {
+				t.Fatalf("cycle %d: completion %d diverged", i, j)
+			}
+		}
+	}
+
+	var b1, b2 bytes.Buffer
+	if _, err := seqReg.WriteTo(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parReg.WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("sequential and parallel probed runs rendered different expositions")
+	}
+}

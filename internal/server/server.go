@@ -109,6 +109,8 @@ type Snapshot struct {
 	Uncorrectable uint64 `json:"uncorrectable"`
 	Flushes       uint64 `json:"flushes"`
 	Outstanding   uint64 `json:"outstanding"`
+	MemReads      uint64 `json:"mem_reads"`
+	MemWrites     uint64 `json:"mem_writes"`
 	MemStalls     uint64 `json:"mem_stalls"`
 	MemBusy       uint64 `json:"mem_channel_busy"`
 }
@@ -159,6 +161,18 @@ type Engine struct {
 	outstanding atomic.Int64 // reads accepted, completion not yet routed
 	pendingTot  atomic.Int64 // queued requests across all conns
 	ctr         counters
+
+	// Snapshot seqlock. step() bumps snapSeq to odd on entry and back to
+	// even on exit, publishing the memory's ledger into the mem* atomics
+	// just before the closing bump. Snapshot spins until it reads the
+	// same even value on both sides of its field reads, so every
+	// published snapshot is a point-in-time view from a step boundary —
+	// the only instants at which the engine's invariants (for one,
+	// reads == completions + outstanding) hold. The memory itself is
+	// never touched from the scrape goroutine: multichannel.Memory is
+	// single-owner and the engine goroutine is that owner.
+	snapSeq                                atomic.Uint64
+	memReads, memWrites, memBusy, memStall atomic.Uint64
 
 	work     chan struct{}
 	frames   chan inFrame
@@ -250,12 +264,32 @@ func (e *Engine) Serve(ln net.Listener) error {
 	}
 }
 
-// Snapshot returns the engine's ledger.
+// Snapshot returns a point-in-time copy of the engine's ledger, taken
+// at a step (cycle) boundary: the seqlock retries until a read lands
+// entirely between steps, so the counters in one Snapshot are mutually
+// consistent — reads always equal completions plus outstanding — even
+// while the engine is running flat out. Safe from any goroutine.
 func (e *Engine) Snapshot() Snapshot {
+	for {
+		seq := e.snapSeq.Load()
+		if seq&1 != 0 {
+			continue // a step is in flight; its counters are mid-mutation
+		}
+		s := e.readSnapshot()
+		if e.snapSeq.Load() == seq {
+			return s
+		}
+	}
+}
+
+// readSnapshot reads the ledger fields with no consistency guard. The
+// engine goroutine uses it directly (it cannot race itself, and
+// spinning on the seqlock mid-step would deadlock); everyone else goes
+// through Snapshot.
+func (e *Engine) readSnapshot() Snapshot {
 	e.mu.Lock()
 	nconns := len(e.conns)
 	e.mu.Unlock()
-	_, _, mbusy, mstalls := e.mem.Stats()
 	out := e.outstanding.Load()
 	if out < 0 {
 		out = 0
@@ -275,10 +309,15 @@ func (e *Engine) Snapshot() Snapshot {
 		Uncorrectable: e.ctr.uncorrectable.Load(),
 		Flushes:       e.ctr.flushes.Load(),
 		Outstanding:   uint64(out),
-		MemStalls:     mstalls,
-		MemBusy:       mbusy,
+		MemReads:      e.memReads.Load(),
+		MemWrites:     e.memWrites.Load(),
+		MemStalls:     e.memStall.Load(),
+		MemBusy:       e.memBusy.Load(),
 	}
 }
+
+// Cycle reports the current interface cycle.
+func (e *Engine) Cycle() uint64 { return e.cycle.Load() }
 
 // StatszHandler serves the Snapshot as JSON — mount it at /statsz.
 func (e *Engine) StatszHandler() http.Handler {
@@ -375,6 +414,16 @@ func (e *Engine) admit(fr inFrame) {
 // step advances one interface cycle: issue as many queued requests as
 // the channels accept, tick the memory, route the completions.
 func (e *Engine) step() {
+	e.snapSeq.Add(1) // odd: counters are in motion
+	defer func() {
+		reads, writes, busy, stalls := e.mem.Stats()
+		e.memReads.Store(reads)
+		e.memWrites.Store(writes)
+		e.memBusy.Store(busy)
+		e.memStall.Store(stalls)
+		e.snapSeq.Add(1) // even: boundary reached, snapshot away
+	}()
+
 	e.mu.Lock()
 	conns := append(e.connsBuf[:0], e.conns...)
 	e.connsBuf = conns
@@ -539,7 +588,9 @@ func (e *Engine) deliver(comp core.Completion) {
 }
 
 func (e *Engine) statsFor(seq uint64) wire.Stats {
-	s := e.Snapshot()
+	// Engine goroutine, mid-step: the seqlock is odd, so use the direct
+	// read (which is exact here — nothing races the engine with itself).
+	s := e.readSnapshot()
 	return wire.Stats{
 		Seq:           seq,
 		Cycle:         s.Cycle,

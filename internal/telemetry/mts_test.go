@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func feed(e *MTSEstimator, k int, n int) {
+	var noStalls [NumStallCauses]uint64
+	for i := 0; i < n; i++ {
+		e.Observe(k, 1, noStalls)
+	}
+}
+
+func TestMTSEstimatorStallRate(t *testing.T) {
+	e := NewMTSEstimator(8)
+	var stalls [NumStallCauses]uint64
+	for i := 0; i < 1000; i++ {
+		if i%100 == 99 {
+			stalls[CauseBankQueue]++
+		}
+		e.Observe(2, uint64(i), stalls)
+	}
+	r := e.Report()
+	if r.Ticks != 1000 || r.Stalls != 10 {
+		t.Fatalf("ticks/stalls = %d/%d, want 1000/10", r.Ticks, r.Stalls)
+	}
+	if r.Excursion != 100 {
+		t.Fatalf("Excursion = %g, want 100 (cycles per observed stall)", r.Excursion)
+	}
+}
+
+func TestMTSEstimatorGeometricTail(t *testing.T) {
+	// Synthetic geometric occupancy: counts[k] ~ 1e6 * (1/10)^k, never
+	// reaching the full level 8. The tail fit should land near
+	// 1/P(full) = total / (1e6 * 10^-8) ~ 1.1e8, certainly within an
+	// order of magnitude and far below the no-signal cap.
+	e := NewMTSEstimator(8)
+	n := 1_000_000
+	for k := 0; k <= 5; k++ {
+		feed(e, k, n)
+		n /= 10
+	}
+	r := e.Report()
+	if r.Stalls != 0 {
+		t.Fatalf("unexpected stalls: %d", r.Stalls)
+	}
+	if r.Excursion >= analysis.MTSCap {
+		t.Fatalf("Excursion hit the cap; tail fit produced no estimate")
+	}
+	if r.Excursion < 1e7 || r.Excursion > 1e10 {
+		t.Fatalf("Excursion = %g, want ~1e8 (within [1e7, 1e10])", r.Excursion)
+	}
+}
+
+func TestMTSEstimatorNoSignal(t *testing.T) {
+	e := NewMTSEstimator(8)
+	feed(e, 0, 100) // backlog never leaves zero: nothing to extrapolate
+	if r := e.Report(); r.Excursion != analysis.MTSCap {
+		t.Fatalf("Excursion = %g with no signal, want MTSCap", r.Excursion)
+	}
+}
+
+func TestMTSEstimatorClampsLevel(t *testing.T) {
+	e := NewMTSEstimator(4)
+	var noStalls [NumStallCauses]uint64
+	e.Observe(100, 1, noStalls) // above Q: clamps to the full level
+	e.Observe(-1, 1, noStalls)  // defensive: clamps to zero
+	r := e.Report()
+	if r.Ticks != 2 {
+		t.Fatalf("Ticks = %d, want 2", r.Ticks)
+	}
+	// One full-level visit in two cycles: regime 2 gives total/counts[Q].
+	if r.Excursion != 2 {
+		t.Fatalf("Excursion = %g, want 2 (cycles per full-queue visit)", r.Excursion)
+	}
+}
+
+func TestMTSEstimatorModel(t *testing.T) {
+	e := NewMTSEstimator(8)
+	if e.modeled() {
+		t.Fatal("estimator modeled before Model was called")
+	}
+	e.Model(16, 20, 1.3)
+	if !e.modeled() {
+		t.Fatal("estimator not modeled after Model")
+	}
+	// Light load, shallow backlog: the chain at the observed rate must
+	// produce a positive, capped estimate.
+	var noStalls [NumStallCauses]uint64
+	for i := 0; i < 1000; i++ {
+		e.Observe(i%2, uint64(i/2), noStalls)
+	}
+	r := e.Report()
+	if r.Model <= 0 || r.Model > analysis.MTSCap {
+		t.Fatalf("Model = %g, want in (0, MTSCap]", r.Model)
+	}
+	// The memo holds until ticks double, then recomputes without error.
+	first := r.Model
+	for i := 0; i < 3000; i++ {
+		e.Observe(i%2, uint64(500+i/2), noStalls)
+	}
+	r2 := e.Report()
+	if r2.Model <= 0 {
+		t.Fatalf("recomputed Model = %g, want > 0 (memo refresh; first was %g)", r2.Model, first)
+	}
+}
+
+func TestMTSEstimatorObserveAllocationFree(t *testing.T) {
+	e := NewMTSEstimator(16)
+	e.Model(16, 20, 1.3)
+	var stalls [NumStallCauses]uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Observe(3, 12345, stalls)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,188 @@
+package telemetry
+
+import "strconv"
+
+// StallCause enumerates the controller's stall conditions (Section 4.3
+// of the paper) for metric labelling. The order matches
+// core.StallCounts field order.
+type StallCause int
+
+// Stall causes, in core.StallCounts order.
+const (
+	CauseDelayBuffer StallCause = iota
+	CauseBankQueue
+	CauseWriteBuffer
+	CauseCounter
+	NumStallCauses
+)
+
+// String returns the metric label value for the cause.
+func (c StallCause) String() string {
+	switch c {
+	case CauseDelayBuffer:
+		return "delay-buffer"
+	case CauseBankQueue:
+		return "bank-queue"
+	case CauseWriteBuffer:
+		return "write-buffer"
+	case CauseCounter:
+		return "counter"
+	default:
+		return "other"
+	}
+}
+
+// TickSample is one interface cycle's view of a controller, published
+// through Probe.ObserveTick at the end of every Tick. Occupancy fields
+// are instantaneous; Reads/Writes/MergedReads/Replays/Stalls are the
+// controller's cumulative ledger, so a probe can reconcile its own
+// counters against core.Stats exactly.
+//
+// The PerBank slices are owned by the controller and valid only for the
+// duration of the ObserveTick call; probes that keep per-bank state
+// across cycles must copy.
+type TickSample struct {
+	// Cycle is the interface cycle just completed.
+	Cycle uint64
+	// QueueDepth is the total bank access queue occupancy across banks;
+	// MaxBankQueue is the deepest single bank's queue — the quantity
+	// whose excursions the MTS estimator extrapolates from.
+	QueueDepth   int
+	MaxBankQueue int
+	// DelayRowsInUse is the total delay storage buffer occupancy, the
+	// paper's buffer-occupancy quantity (Little's-law bounded by D).
+	DelayRowsInUse int
+	// WriteBufInUse is the total write buffer FIFO occupancy.
+	WriteBufInUse int
+	// PerBankQueue and PerBankRows break QueueDepth and DelayRowsInUse
+	// down by bank. Aliased; valid only during ObserveTick.
+	PerBankQueue []int32
+	PerBankRows  []int32
+	// Cumulative controller ledger at this cycle.
+	Reads, Writes, MergedReads uint64
+	// Replays counts playbacks delivered on the interface (the
+	// controller's Completions counter).
+	Replays uint64
+	// Stalls is the cumulative stall ledger by cause.
+	Stalls [NumStallCauses]uint64
+}
+
+// Probe receives one TickSample per interface cycle from a controller
+// whose Config.Probe is set. Implementations must be allocation-free
+// and must not retain the sample's slices. A nil probe costs nothing:
+// the controller skips sampling entirely, and the differential tests
+// prove the nil path is cycle-for-cycle identical to the probed one.
+type Probe interface {
+	ObserveTick(s *TickSample)
+}
+
+// MemProbe is the standard Probe: it publishes a controller's per-cycle
+// state into a Registry as Prometheus series, maintains occupancy
+// histograms, and optionally feeds an MTSEstimator. Updates are
+// allocation-free; the gated BenchmarkProbeOverhead pins the overhead.
+type MemProbe struct {
+	cycle     *Gauge
+	queue     *Gauge
+	rows      *Gauge
+	wb        *Gauge
+	bankQueue []*Gauge
+	bankRows  []*Gauge
+
+	reads, writes, merged, replays *Counter
+	stalls                         [NumStallCauses]*Counter
+
+	occHist   *Histogram // delay-buffer occupancy per tick
+	queueHist *Histogram // max single-bank queue depth per tick
+
+	est *MTSEstimator
+}
+
+// NewMemProbe registers a probe's series under reg with a channel
+// label, including one queue-depth and one delay-rows gauge per bank.
+// rowBound sizes the occupancy histogram (pass the configured
+// Banks*DelayRows, or 0 for a generic range).
+func NewMemProbe(reg *Registry, channel string, banks, queueDepth, rowBound int) *MemProbe {
+	if rowBound <= 0 {
+		rowBound = 256
+	}
+	if queueDepth <= 0 {
+		queueDepth = 32
+	}
+	p := &MemProbe{
+		cycle:     reg.Gauge("vpnm_cycle", "Interface cycles completed.", "channel", channel),
+		queue:     reg.Gauge("vpnm_queue_depth", "Total bank access queue occupancy.", "channel", channel),
+		rows:      reg.Gauge("vpnm_delay_rows_in_use", "Total delay storage buffer rows reserved.", "channel", channel),
+		wb:        reg.Gauge("vpnm_write_buffer_in_use", "Total write buffer FIFO occupancy.", "channel", channel),
+		reads:     reg.Counter("vpnm_reads_total", "Accepted read requests.", "channel", channel),
+		writes:    reg.Counter("vpnm_writes_total", "Accepted write requests.", "channel", channel),
+		merged:    reg.Counter("vpnm_merged_reads_total", "Reads satisfied by an existing delay storage buffer row.", "channel", channel),
+		replays:   reg.Counter("vpnm_replays_total", "Playbacks delivered on the interface (completions).", "channel", channel),
+		occHist:   reg.Histogram("vpnm_occupancy_rows", "Per-cycle delay storage buffer occupancy (rows).", occupancyBounds(rowBound), "channel", channel),
+		queueHist: reg.Histogram("vpnm_max_bank_queue_depth", "Per-cycle deepest bank access queue.", LinearBounds(0, 1, queueDepth+1), "channel", channel),
+		bankQueue: make([]*Gauge, banks),
+		bankRows:  make([]*Gauge, banks),
+	}
+	for cause := StallCause(0); cause < NumStallCauses; cause++ {
+		p.stalls[cause] = reg.Counter("vpnm_stalls_total", "Refused requests by stall cause.",
+			"channel", channel, "cause", cause.String())
+	}
+	for b := 0; b < banks; b++ {
+		bank := strconv.Itoa(b)
+		p.bankQueue[b] = reg.Gauge("vpnm_bank_queue_depth", "Bank access queue occupancy.", "channel", channel, "bank", bank)
+		p.bankRows[b] = reg.Gauge("vpnm_bank_delay_rows", "Delay storage buffer rows reserved in one bank.", "channel", channel, "bank", bank)
+	}
+	return p
+}
+
+// occupancyBounds spreads ~16 buckets over [0, max].
+func occupancyBounds(max int) []uint64 {
+	step := max / 16
+	if step < 1 {
+		step = 1
+	}
+	n := max/step + 1
+	return LinearBounds(0, uint64(step), n)
+}
+
+// AttachEstimator feeds every sample's occupancy excursion into est and
+// registers the live MTS estimates as gauge functions under reg.
+func (p *MemProbe) AttachEstimator(reg *Registry, est *MTSEstimator, channel string) {
+	p.est = est
+	reg.GaugeFunc("vpnm_mts_estimate_cycles",
+		"Live MTS estimate in interface cycles, extrapolated from observed occupancy excursions.",
+		func() float64 { return est.Report().Excursion }, "channel", channel, "method", "excursion")
+	if est.modeled() {
+		reg.GaugeFunc("vpnm_mts_estimate_cycles",
+			"Live MTS estimate in interface cycles, extrapolated from observed occupancy excursions.",
+			func() float64 { return est.Report().Model }, "channel", channel, "method", "model")
+	}
+}
+
+// Estimator returns the attached MTS estimator, or nil.
+func (p *MemProbe) Estimator() *MTSEstimator { return p.est }
+
+// ObserveTick implements Probe.
+func (p *MemProbe) ObserveTick(s *TickSample) {
+	p.cycle.Set(int64(s.Cycle))
+	p.queue.Set(int64(s.QueueDepth))
+	p.rows.Set(int64(s.DelayRowsInUse))
+	p.wb.Set(int64(s.WriteBufInUse))
+	for i, q := range s.PerBankQueue {
+		p.bankQueue[i].Set(int64(q))
+	}
+	for i, r := range s.PerBankRows {
+		p.bankRows[i].Set(int64(r))
+	}
+	p.reads.Store(s.Reads)
+	p.writes.Store(s.Writes)
+	p.merged.Store(s.MergedReads)
+	p.replays.Store(s.Replays)
+	for cause := StallCause(0); cause < NumStallCauses; cause++ {
+		p.stalls[cause].Store(s.Stalls[cause])
+	}
+	p.occHist.Observe(uint64(s.DelayRowsInUse))
+	p.queueHist.Observe(uint64(s.MaxBankQueue))
+	if p.est != nil {
+		p.est.Observe(s.MaxBankQueue, s.Reads+s.Writes, s.Stalls)
+	}
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMemProbeObserveTick(t *testing.T) {
+	reg := NewRegistry()
+	p := NewMemProbe(reg, "0", 4, 8, 32)
+	est := NewMTSEstimator(8)
+	p.AttachEstimator(reg, est, "0")
+	if p.Estimator() != est {
+		t.Fatal("Estimator() did not return the attached estimator")
+	}
+
+	s := &TickSample{
+		Cycle:          99,
+		QueueDepth:     5,
+		MaxBankQueue:   3,
+		DelayRowsInUse: 7,
+		WriteBufInUse:  2,
+		PerBankQueue:   []int32{3, 2, 0, 0},
+		PerBankRows:    []int32{4, 2, 1, 0},
+		Reads:          100,
+		Writes:         20,
+		MergedReads:    11,
+		Replays:        90,
+	}
+	s.Stalls[CauseBankQueue] = 3
+	s.Stalls[CauseDelayBuffer] = 1
+	p.ObserveTick(s)
+
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	parsed, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	for key, want := range map[string]float64{
+		`vpnm_cycle{channel="0"}`:                             99,
+		`vpnm_queue_depth{channel="0"}`:                       5,
+		`vpnm_delay_rows_in_use{channel="0"}`:                 7,
+		`vpnm_write_buffer_in_use{channel="0"}`:               2,
+		`vpnm_reads_total{channel="0"}`:                       100,
+		`vpnm_writes_total{channel="0"}`:                      20,
+		`vpnm_merged_reads_total{channel="0"}`:                11,
+		`vpnm_replays_total{channel="0"}`:                     90,
+		`vpnm_stalls_total{channel="0",cause="bank-queue"}`:   3,
+		`vpnm_stalls_total{channel="0",cause="delay-buffer"}`: 1,
+		`vpnm_stalls_total{channel="0",cause="write-buffer"}`: 0,
+		`vpnm_stalls_total{channel="0",cause="counter"}`:      0,
+		`vpnm_bank_queue_depth{channel="0",bank="0"}`:         3,
+		`vpnm_bank_queue_depth{channel="0",bank="1"}`:         2,
+		`vpnm_bank_delay_rows{channel="0",bank="0"}`:          4,
+		`vpnm_occupancy_rows_count{channel="0"}`:              1,
+		`vpnm_max_bank_queue_depth_count{channel="0"}`:        1,
+	} {
+		got, ok := parsed[key]
+		if !ok {
+			t.Errorf("exposition missing series %s", key)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %g, want %g", key, got, want)
+		}
+	}
+	if r := est.Report(); r.Ticks != 1 || r.Requests != 120 || r.Stalls != 4 {
+		t.Errorf("estimator fed ticks/reqs/stalls = %d/%d/%d, want 1/120/4", r.Ticks, r.Requests, r.Stalls)
+	}
+	// The MTS gauge function renders without panicking.
+	var buf2 bytes.Buffer
+	if _, err := reg.WriteTo(&buf2); err != nil {
+		t.Fatalf("second WriteTo: %v", err)
+	}
+	if !strings.Contains(buf2.String(), `vpnm_mts_estimate_cycles{channel="0",method="excursion"}`) {
+		t.Error("exposition missing the MTS excursion gauge")
+	}
+}
+
+func TestMemProbeObserveTickAllocationFree(t *testing.T) {
+	reg := NewRegistry()
+	p := NewMemProbe(reg, "0", 8, 16, 64)
+	est := NewMTSEstimator(16)
+	est.Model(8, 20, 1.3)
+	p.AttachEstimator(reg, est, "0")
+	s := &TickSample{
+		PerBankQueue: make([]int32, 8),
+		PerBankRows:  make([]int32, 8),
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Cycle++
+		s.Reads += 2
+		s.Replays++
+		p.ObserveTick(s)
+	})
+	if allocs != 0 {
+		t.Fatalf("ObserveTick allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestStallCauseStrings(t *testing.T) {
+	want := map[StallCause]string{
+		CauseDelayBuffer: "delay-buffer",
+		CauseBankQueue:   "bank-queue",
+		CauseWriteBuffer: "write-buffer",
+		CauseCounter:     "counter",
+		NumStallCauses:   "other",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+}

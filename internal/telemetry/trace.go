@@ -1,0 +1,320 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EventKind labels one traced controller event.
+type EventKind uint8
+
+// Event kinds, one per core.Tracer callback (reads and writes split).
+const (
+	EvRead EventKind = iota
+	EvWrite
+	EvMergedRead
+	EvStall
+	EvIssueRead
+	EvIssueWrite
+	EvDataReady
+	EvDeliver
+)
+
+// String returns the Chrome trace event name for the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvRead:
+		return "read"
+	case EvWrite:
+		return "write"
+	case EvMergedRead:
+		return "merged-read"
+	case EvStall:
+		return "stall"
+	case EvIssueRead:
+		return "issue-read"
+	case EvIssueWrite:
+		return "issue-write"
+	case EvDataReady:
+		return "data-ready"
+	case EvDeliver:
+		return "deliver"
+	default:
+		return "unknown"
+	}
+}
+
+// memDomain reports whether the kind's Cycle field is in memory-bus
+// cycles (the memory clock runs R times faster than the interface).
+func (k EventKind) memDomain() bool {
+	return k == EvIssueRead || k == EvIssueWrite || k == EvDataReady
+}
+
+// Event is one cycle-stamped controller event. Err is non-nil only for
+// EvStall, holding the (sentinel) stall cause — storing the interface
+// allocates nothing.
+type Event struct {
+	Kind  EventKind
+	Chan  int16
+	Bank  int32
+	Cycle uint64 // interface cycles, or memory cycles for memDomain kinds
+	Addr  uint64
+	Tag   uint64
+	Err   error
+}
+
+// EventTrace is a bounded ring buffer of Events with start/stop
+// control. Recording is allocation-free and safe from concurrent
+// channel goroutines: a disarmed trace costs one atomic load per event
+// source call; an armed one takes a mutex for the slot claim and store
+// (slots that wrap the ring can collide between writers, so the claim
+// cannot be lock-free without per-slot sequencing — and a diagnostic
+// tracer does not need to be). When the ring fills, the oldest events
+// are overwritten — a trace window always holds the most recent
+// happenings.
+//
+// Events from the memory clock domain are rescaled to interface cycles
+// at dump time using the ratio set by SetRatio, so all events share one
+// timeline in the Chrome trace.
+type EventTrace struct {
+	mu     sync.Mutex // guards events; armed.Load() is the lock-free gate
+	events []Event
+	next   atomic.Uint64 // total events recorded since Start
+	armed  atomic.Bool
+
+	startCycle atomic.Uint64 // interface cycle at Start
+	window     atomic.Uint64 // auto-stop after this many interface cycles; 0 = manual
+
+	ratioNum, ratioDen int64
+}
+
+// NewEventTrace builds a disarmed trace holding up to capacity events.
+func NewEventTrace(capacity int) *EventTrace {
+	if capacity < 1 {
+		panic("telemetry: event trace capacity must be >= 1")
+	}
+	return &EventTrace{events: make([]Event, capacity), ratioNum: 1, ratioDen: 1}
+}
+
+// SetRatio records the bus scaling ratio R = num/den used to map
+// memory-cycle timestamps onto the interface timeline at dump time.
+func (t *EventTrace) SetRatio(num, den int) {
+	if num < 1 || den < 1 {
+		panic("telemetry: trace clock ratio terms must be >= 1")
+	}
+	t.ratioNum, t.ratioDen = int64(num), int64(den)
+}
+
+// Capacity reports the ring size.
+func (t *EventTrace) Capacity() int { return len(t.events) }
+
+// Start arms the trace at the given interface cycle, clearing any prior
+// window. With window > 0 the trace disarms itself once it sees an
+// interface-domain event more than window cycles past fromCycle.
+func (t *EventTrace) Start(fromCycle, window uint64) {
+	t.mu.Lock()
+	t.next.Store(0)
+	t.startCycle.Store(fromCycle)
+	t.window.Store(window)
+	t.armed.Store(true)
+	t.mu.Unlock()
+}
+
+// Stop disarms the trace; recorded events stay available to Snapshot
+// and WriteChromeTrace.
+func (t *EventTrace) Stop() { t.armed.Store(false) }
+
+// Active reports whether the trace is armed.
+func (t *EventTrace) Active() bool { return t.armed.Load() }
+
+// Recorded reports how many events have been recorded since Start
+// (including any the ring has since overwritten).
+func (t *EventTrace) Recorded() uint64 { return t.next.Load() }
+
+// record claims a ring slot and stores ev. The unarmed fast path is a
+// single atomic load.
+func (t *EventTrace) record(ev Event) {
+	if !t.armed.Load() {
+		return
+	}
+	if w := t.window.Load(); w > 0 && !ev.Kind.memDomain() && ev.Cycle > t.startCycle.Load()+w {
+		t.Stop()
+		return
+	}
+	t.mu.Lock()
+	if t.armed.Load() {
+		slot := t.next.Add(1) - 1
+		t.events[slot%uint64(len(t.events))] = ev
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot copies the recorded events oldest-first. It excludes writers
+// for the duration of the copy, so the result is consistent even while
+// the trace is armed.
+func (t *EventTrace) Snapshot() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next.Load()
+	capacity := uint64(len(t.events))
+	if n <= capacity {
+		return append([]Event(nil), t.events[:n]...)
+	}
+	out := make([]Event, 0, capacity)
+	start := n % capacity
+	out = append(out, t.events[start:]...)
+	out = append(out, t.events[:start]...)
+	return out
+}
+
+// ForChannel returns a recorder for one channel that satisfies
+// core.Tracer (structurally — telemetry cannot import core), stamping
+// every event with the channel id. Distinct channels may record
+// concurrently.
+func (t *EventTrace) ForChannel(ch int) *ChannelTracer {
+	return &ChannelTracer{t: t, ch: int16(ch)}
+}
+
+// ChannelTracer adapts an EventTrace to one channel's controller. Its
+// method set matches core.Tracer.
+type ChannelTracer struct {
+	t  *EventTrace
+	ch int16
+}
+
+// OnRequest records an accepted read or write.
+func (c *ChannelTracer) OnRequest(cycle uint64, bank int, isWrite, merged bool, addr, tag uint64) {
+	kind := EvRead
+	switch {
+	case isWrite:
+		kind = EvWrite
+	case merged:
+		kind = EvMergedRead
+	}
+	c.t.record(Event{Kind: kind, Chan: c.ch, Bank: int32(bank), Cycle: cycle, Addr: addr, Tag: tag})
+}
+
+// OnStall records a refused request with its stall cause.
+func (c *ChannelTracer) OnStall(cycle uint64, bank int, addr uint64, err error) {
+	c.t.record(Event{Kind: EvStall, Chan: c.ch, Bank: int32(bank), Cycle: cycle, Addr: addr, Err: err})
+}
+
+// OnIssue records a bank access starting on the memory bus.
+func (c *ChannelTracer) OnIssue(memCycle uint64, bank int, isWrite bool, addr uint64) {
+	kind := EvIssueRead
+	if isWrite {
+		kind = EvIssueWrite
+	}
+	c.t.record(Event{Kind: kind, Chan: c.ch, Bank: int32(bank), Cycle: memCycle, Addr: addr})
+}
+
+// OnDataReady records a read access completing at the bank.
+func (c *ChannelTracer) OnDataReady(memCycle uint64, bank int, addr uint64) {
+	c.t.record(Event{Kind: EvDataReady, Chan: c.ch, Bank: int32(bank), Cycle: memCycle, Addr: addr})
+}
+
+// OnDeliver records a playback on the interface.
+func (c *ChannelTracer) OnDeliver(cycle uint64, bank int, addr, tag uint64) {
+	c.t.record(Event{Kind: EvDeliver, Chan: c.ch, Bank: int32(bank), Cycle: cycle, Addr: addr, Tag: tag})
+}
+
+// WriteChromeTrace renders the recorded events as Chrome trace_event
+// JSON, loadable in chrome://tracing or https://ui.perfetto.dev. One
+// trace process per channel, one thread per bank; timestamps are
+// interface cycles (1 cycle = 1 "microsecond" on the trace timeline;
+// memory-domain events are rescaled by 1/R). Read lifetimes appear as
+// async begin/end pairs keyed by tag, everything else as instant
+// events.
+func (t *EventTrace) WriteChromeTrace(w io.Writer) error {
+	events := t.Snapshot()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',') //nolint:errcheck // flushed below
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...) //nolint:errcheck // flushed below
+	}
+	for i := range events {
+		ev := &events[i]
+		ts := ev.Cycle
+		if ev.Kind.memDomain() {
+			ts = ev.Cycle * uint64(t.ratioDen) / uint64(t.ratioNum)
+		}
+		switch ev.Kind {
+		case EvRead, EvMergedRead:
+			emit(`{"name":%q,"cat":"vpnm","ph":"b","id":%d,"ts":%d,"pid":%d,"tid":%d,"args":{"addr":%d}}`,
+				ev.Kind, ev.Tag, ts, ev.Chan, ev.Bank, ev.Addr)
+		case EvDeliver:
+			emit(`{"name":"read","cat":"vpnm","ph":"e","id":%d,"ts":%d,"pid":%d,"tid":%d,"args":{"addr":%d}}`,
+				ev.Tag, ts, ev.Chan, ev.Bank, ev.Addr)
+		case EvStall:
+			cause := ""
+			if ev.Err != nil {
+				cause = ev.Err.Error()
+			}
+			emit(`{"name":"stall","cat":"vpnm","ph":"i","s":"p","ts":%d,"pid":%d,"tid":%d,"args":{"addr":%d,"cause":%q}}`,
+				ts, ev.Chan, ev.Bank, ev.Addr, cause)
+		default:
+			emit(`{"name":%q,"cat":"vpnm","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"addr":%d}}`,
+				ev.Kind, ts, ev.Chan, ev.Bank, ev.Addr)
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// TraceHandler exposes an EventTrace over HTTP (mount at /tracez).
+// cycle supplies the current interface cycle for window arithmetic.
+//
+//	GET /tracez                     status
+//	GET /tracez?action=start        arm (optional &cycles=N window)
+//	GET /tracez?action=stop         disarm
+//	GET /tracez?action=download     download trace.json (Chrome format)
+func TraceHandler(t *EventTrace, cycle func() uint64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("action") {
+		case "", "status":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			state := "stopped"
+			if t.Active() {
+				state = "recording"
+			}
+			fmt.Fprintf(w, "trace: %s\nevents recorded: %d (ring capacity %d)\ncycle: %d\n",
+				state, t.Recorded(), t.Capacity(), cycle())
+			fmt.Fprintf(w, "\nactions: ?action=start[&cycles=N]  ?action=stop  ?action=download\n")
+		case "start":
+			var window uint64
+			if s := r.URL.Query().Get("cycles"); s != "" {
+				v, err := strconv.ParseUint(s, 10, 64)
+				if err != nil {
+					http.Error(w, "bad cycles parameter: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+				window = v
+			}
+			t.Start(cycle(), window)
+			fmt.Fprintf(w, "trace started at cycle %d (window %d cycles; 0 = until stop)\n", t.startCycle.Load(), window)
+		case "stop":
+			t.Stop()
+			fmt.Fprintf(w, "trace stopped with %d events recorded\n", t.Recorded())
+		case "download":
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+			t.WriteChromeTrace(w) //nolint:errcheck // best-effort download
+		default:
+			http.Error(w, "unknown action (want start, stop, download or status)", http.StatusBadRequest)
+		}
+	})
+}

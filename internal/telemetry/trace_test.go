@@ -1,0 +1,240 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventTraceRingWrap(t *testing.T) {
+	tr := NewEventTrace(4)
+	tr.Start(0, 0)
+	for i := 0; i < 10; i++ {
+		tr.record(Event{Kind: EvRead, Cycle: uint64(i), Tag: uint64(i)})
+	}
+	if got := tr.Recorded(); got != 10 {
+		t.Fatalf("Recorded = %d, want 10", got)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot length = %d, want ring capacity 4", len(snap))
+	}
+	// Oldest-first: the surviving events are cycles 6..9.
+	for i, ev := range snap {
+		if want := uint64(6 + i); ev.Cycle != want {
+			t.Errorf("snapshot[%d].Cycle = %d, want %d", i, ev.Cycle, want)
+		}
+	}
+}
+
+func TestEventTracePartialRing(t *testing.T) {
+	tr := NewEventTrace(8)
+	tr.Start(0, 0)
+	tr.record(Event{Kind: EvRead, Cycle: 1})
+	tr.record(Event{Kind: EvDeliver, Cycle: 2})
+	snap := tr.Snapshot()
+	if len(snap) != 2 || snap[0].Cycle != 1 || snap[1].Cycle != 2 {
+		t.Fatalf("partial snapshot = %+v, want cycles [1 2]", snap)
+	}
+}
+
+func TestEventTraceDisarmed(t *testing.T) {
+	tr := NewEventTrace(4)
+	tr.record(Event{Kind: EvRead, Cycle: 1})
+	if tr.Recorded() != 0 {
+		t.Fatal("disarmed trace recorded an event")
+	}
+	tr.Start(0, 0)
+	tr.record(Event{Kind: EvRead, Cycle: 1})
+	tr.Stop()
+	tr.record(Event{Kind: EvRead, Cycle: 2})
+	if tr.Recorded() != 1 {
+		t.Fatalf("Recorded = %d after Stop, want 1", tr.Recorded())
+	}
+}
+
+func TestEventTraceWindowAutoStop(t *testing.T) {
+	tr := NewEventTrace(64)
+	tr.Start(100, 50)
+	tr.record(Event{Kind: EvRead, Cycle: 120})
+	tr.record(Event{Kind: EvRead, Cycle: 150}) // exactly at edge: in window
+	if !tr.Active() {
+		t.Fatal("trace stopped inside its window")
+	}
+	// Memory-domain events never trigger the window (different clock).
+	tr.record(Event{Kind: EvIssueRead, Cycle: 100000})
+	if !tr.Active() {
+		t.Fatal("memory-domain event tripped the interface-cycle window")
+	}
+	tr.record(Event{Kind: EvRead, Cycle: 151}) // past the window: auto-stop
+	if tr.Active() {
+		t.Fatal("trace still active past its window")
+	}
+	if got := tr.Recorded(); got != 3 {
+		t.Fatalf("Recorded = %d, want 3 (the out-of-window event is dropped)", got)
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	tr := NewEventTrace(64)
+	tr.SetRatio(13, 10)
+	tr.Start(0, 0)
+	ct := tr.ForChannel(2)
+	ct.OnRequest(5, 3, false, false, 0xabc, 7)
+	ct.OnRequest(6, 1, true, false, 0xdef, 0)
+	ct.OnRequest(7, 3, false, true, 0xabc, 8)
+	ct.OnStall(8, 0, 0x123, errors.New("delay storage buffer full"))
+	ct.OnIssue(13, 3, false, 0xabc)
+	ct.OnDataReady(33, 3, 0xabc)
+	ct.OnDeliver(1005, 3, 0xabc, 7)
+	tr.Stop()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string         `json:"name"`
+			Ph    string         `json:"ph"`
+			ID    *uint64        `json:"id"`
+			TS    uint64         `json:"ts"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+			Scope string         `json:"s"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("traceEvents = %d, want 7", len(doc.TraceEvents))
+	}
+	byName := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byName[ev.Name+"/"+ev.Ph]++
+		if ev.PID != 2 {
+			t.Errorf("event %s pid = %d, want channel 2", ev.Name, ev.PID)
+		}
+	}
+	for _, want := range []string{"read/b", "read/e", "write/i", "merged-read/b", "stall/i", "issue-read/i", "data-ready/i"} {
+		if byName[want] != 1 {
+			t.Errorf("want exactly one %q event, got %d (all: %v)", want, byName[want], byName)
+		}
+	}
+	// Memory-domain timestamps are rescaled into interface cycles by 1/R.
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "issue-read" && ev.TS != 13*10/13 {
+			t.Errorf("issue-read ts = %d, want %d (memory cycle 13 / R)", ev.TS, 13*10/13)
+		}
+		if ev.Name == "stall" {
+			if cause, _ := ev.Args["cause"].(string); !strings.Contains(cause, "delay storage buffer") {
+				t.Errorf("stall cause = %q, want the sentinel error text", cause)
+			}
+		}
+	}
+}
+
+// TestEventTraceConcurrentRecord drives recorders from several channel
+// goroutines while snapshots and stop/start churn — run under -race
+// this pins the claimed concurrency safety.
+func TestEventTraceConcurrentRecord(t *testing.T) {
+	tr := NewEventTrace(256)
+	tr.Start(0, 0)
+	const channels, events = 4, 2000
+	var wg sync.WaitGroup
+	for ch := 0; ch < channels; ch++ {
+		wg.Add(1)
+		go func(ch int) {
+			defer wg.Done()
+			ct := tr.ForChannel(ch)
+			for i := 0; i < events; i++ {
+				ct.OnRequest(uint64(i), ch, false, false, uint64(i), uint64(i))
+				ct.OnDeliver(uint64(i+1000), ch, uint64(i), uint64(i))
+			}
+		}(ch)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		tr.Snapshot()
+		select {
+		case <-done:
+			if got := tr.Recorded(); got != channels*events*2 {
+				t.Fatalf("Recorded = %d, want %d", got, channels*events*2)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestTraceRecordAllocationFree(t *testing.T) {
+	tr := NewEventTrace(1024)
+	ct := tr.ForChannel(0)
+	stall := errors.New("bank queue full")
+	// Disarmed: the fast path is one atomic load.
+	allocs := testing.AllocsPerRun(1000, func() {
+		ct.OnRequest(1, 0, false, false, 2, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("disarmed record allocates %v allocs/op, want 0", allocs)
+	}
+	tr.Start(0, 0)
+	allocs = testing.AllocsPerRun(1000, func() {
+		ct.OnRequest(1, 0, false, false, 2, 3)
+		ct.OnStall(1, 0, 2, stall)
+		ct.OnIssue(2, 0, false, 2)
+		ct.OnDeliver(3, 0, 2, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("armed record allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	tr := NewEventTrace(16)
+	tr.SetRatio(13, 10)
+	cycle := uint64(500)
+	h := TraceHandler(tr, func() uint64 { return cycle })
+
+	get := func(target string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", target, nil))
+		return w
+	}
+
+	if w := get("/tracez"); w.Code != 200 || !strings.Contains(w.Body.String(), "stopped") {
+		t.Fatalf("status: code %d body %q", w.Code, w.Body.String())
+	}
+	if w := get("/tracez?action=start&cycles=100"); w.Code != 200 {
+		t.Fatalf("start: code %d", w.Code)
+	}
+	if !tr.Active() {
+		t.Fatal("trace not armed after start")
+	}
+	tr.ForChannel(0).OnDeliver(501, 1, 2, 3)
+	if w := get("/tracez?action=stop"); w.Code != 200 {
+		t.Fatalf("stop: code %d", w.Code)
+	}
+	w := get("/tracez?action=download")
+	if w.Code != 200 {
+		t.Fatalf("download: code %d", w.Code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("downloaded trace is not JSON: %v", err)
+	}
+	if w := get("/tracez?action=start&cycles=nope"); w.Code != 400 {
+		t.Fatalf("bad cycles: code %d, want 400", w.Code)
+	}
+	if w := get("/tracez?action=bogus"); w.Code != 400 {
+		t.Fatalf("bogus action: code %d, want 400", w.Code)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/recovery"
+	"repro/internal/telemetry"
 )
 
 // Core controller types, re-exported from the implementation package.
@@ -129,3 +130,58 @@ func DelayBufferMTS(b, k, d int) float64 { return analysis.DelayBufferMTS(b, k, 
 // memory cycles) to a bank-access-queue stall for B banks, queue depth
 // Q, bank occupancy L and bus scaling ratio R.
 func BankQueueMTS(b, q, l int, r float64) float64 { return analysis.BankQueueMTS(b, q, l, r) }
+
+// Observability, re-exported from the telemetry package. Set
+// Config.Probe to observe the controller's per-cycle state — queue
+// depths, buffer occupancies, stall causes — without touching the hot
+// path's allocation behaviour (a nil Probe costs nothing), and
+// Config.Trace to stream cycle-stamped events into an EventTrace ring
+// for Chrome trace_event dumps.
+type (
+	// Probe receives one TickSample per interface cycle.
+	Probe = telemetry.Probe
+	// TickSample is the controller state published to a Probe each cycle.
+	TickSample = telemetry.TickSample
+	// StallCause labels the four stall conditions in telemetry.
+	StallCause = telemetry.StallCause
+	// MetricsRegistry holds allocation-free counters, gauges and
+	// histograms and renders them in Prometheus text format.
+	MetricsRegistry = telemetry.Registry
+	// MemProbe is the standard Probe: it mirrors every TickSample into
+	// registry metrics (and optionally an MTS estimator).
+	MemProbe = telemetry.MemProbe
+	// EventTrace is a bounded ring of cycle-stamped controller events
+	// that dumps as Chrome trace_event JSON.
+	EventTrace = telemetry.EventTrace
+	// MTSEstimator estimates Mean Time to Stall live, from observed
+	// occupancy excursions and from the paper's Markov model.
+	MTSEstimator = telemetry.MTSEstimator
+	// MTSReport is an MTSEstimator's point-in-time estimate pair.
+	MTSReport = telemetry.MTSReport
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewMemProbe registers a controller's metric series (labelled with
+// channel) in reg and returns the Probe to set as Config.Probe. banks,
+// queueDepth and rowBound size the per-bank series and histogram
+// buckets; pass the controller's B, Q and B*K.
+func NewMemProbe(reg *MetricsRegistry, channel string, banks, queueDepth, rowBound int) *MemProbe {
+	return telemetry.NewMemProbe(reg, channel, banks, queueDepth, rowBound)
+}
+
+// NewEventTrace builds a bounded event ring holding the last capacity
+// controller events while armed.
+func NewEventTrace(capacity int) *EventTrace { return telemetry.NewEventTrace(capacity) }
+
+// NewMTSEstimator builds a live MTS estimator for bank queues of depth
+// queueDepth. Feed it through MemProbe.AttachEstimator.
+func NewMTSEstimator(queueDepth int) *MTSEstimator { return telemetry.NewMTSEstimator(queueDepth) }
+
+// ExcursionMTS estimates Mean Time to Stall (in cycles) from an
+// observed occupancy histogram — counts[k] cycles spent at occupancy
+// level k, the last level meaning full — and the observed stall count.
+func ExcursionMTS(counts []uint64, stalls uint64) float64 {
+	return analysis.ExcursionMTS(counts, stalls)
+}
