@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race chaos fuzz bench bench-gate trace-sample lint
+.PHONY: ci vet build test race chaos fuzz bench bench-gate bench-diff trace-sample lint
 
 ci: vet build test race chaos
 
@@ -42,11 +42,19 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkBaselineVsVPNM$$|BenchmarkSweepSpeedup$$|BenchmarkServerLoopback$$' -benchmem -benchtime 1x -count=1 . | tee BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkTickParallel$$' -benchmem -benchtime 20000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkProbeOverhead$$' -benchmem -benchtime 20000x -count=1 . | tee -a BENCH_parallel.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkTickSparse$$|BenchmarkTickDense$$' -benchmem -benchtime 50000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) run ./cmd/benchgate -parse -o BENCH_parallel.json BENCH_parallel.txt
 
 # Fail on >20% regression of any gated metric vs the committed baseline.
 bench-gate: bench
 	$(GO) run ./cmd/benchgate -gate -baseline bench/baseline.json -threshold 0.20 BENCH_parallel.json
+
+# Benchstat-style old/new table of the fresh report against the
+# committed baseline. Informational — it never fails the build — and
+# uploaded as a CI artifact next to the gate verdict; it is where the
+# machine-dependent ns/op numbers the gate ignores stay visible.
+bench-diff: bench
+	$(GO) run ./cmd/benchgate -diff bench/baseline.json BENCH_parallel.json | tee BENCH_diff.txt
 
 # Sample Chrome trace artifact: 512 random reads through a small
 # controller, dumped as trace_event JSON for chrome://tracing.

@@ -1,10 +1,12 @@
 // Command benchgate turns `go test -bench` text output into a small
-// JSON document and gates it against a committed baseline.
+// JSON document, gates it against a committed baseline, and renders
+// benchstat-style old/new comparisons.
 //
-// Two modes:
+// Three modes:
 //
 //	benchgate -parse -o BENCH_parallel.json BENCH_parallel.txt
 //	benchgate -gate BENCH_parallel.json -baseline bench/baseline.json -threshold 0.20
+//	benchgate -diff bench/baseline.json BENCH_parallel.json
 //
 // The parse mode records every metric of every benchmark line (the
 // .txt input stays benchstat-compatible; the JSON is for the gate and
@@ -23,6 +25,21 @@
 //	req/cycle, comps/cycle, speedup-x   higher is better
 //	allocs/op, B/op                     lower is better (0-baselines
 //	                                    fail on any increase)
+//
+// A baseline entry may carry a `cores` metric (GOMAXPROCS at record
+// time, reported by the speedup benchmarks). `cores` is never gated
+// itself; instead it scopes the gate: when the recorded core count
+// differs from the current run's, the whole benchmark is reported as
+// SKIPPED rather than compared — parallel-speedup numbers only mean
+// something on the machine shape that produced them. For the same
+// reason speedup-x is skipped outright when the current run has fewer
+// than two cores: a GOMAXPROCS=1 fan-out measures scheduler noise, not
+// speedup (the in-tree TestSweepSpeedup skips on small hosts too).
+//
+// The -diff mode prints a benchstat-style table of every benchmark and
+// metric in either report — including the machine-dependent ns/op the
+// gate ignores — so CI can publish an at-a-glance old/new comparison
+// artifact next to the pass/fail gate.
 package main
 
 import (
@@ -37,6 +54,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Report is the JSON shape shared by parse output and the baseline.
@@ -68,16 +86,32 @@ func main() {
 	var (
 		parse     = flag.Bool("parse", false, "parse go-bench text into JSON")
 		gate      = flag.Bool("gate", false, "gate a parsed JSON report against -baseline")
+		diff      = flag.Bool("diff", false, "print a benchstat-style old/new table from two parsed reports")
 		out       = flag.String("o", "", "output path for -parse (default stdout)")
 		baseline  = flag.String("baseline", "bench/baseline.json", "baseline report for -gate")
 		threshold = flag.Float64("threshold", 0.20, "allowed relative regression for -gate")
 	)
 	flag.Parse()
 
+	modes := 0
+	for _, on := range []bool{*parse, *gate, *diff} {
+		if on {
+			modes++
+		}
+	}
 	switch {
-	case *parse == *gate:
-		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -parse or -gate is required")
+	case modes != 1:
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -parse, -gate or -diff is required")
 		os.Exit(2)
+	case *diff:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchgate: -diff needs exactly two parsed reports: old new")
+			os.Exit(2)
+		}
+		if err := runDiff(flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
 	case *parse:
 		if err := runParse(flag.Args(), *out); err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
@@ -179,6 +213,17 @@ func runGate(curPath, basePath string, threshold float64, w io.Writer) ([]string
 			failures = append(failures, fmt.Sprintf("%s: benchmark missing from current run", name))
 			continue
 		}
+		// A baseline recorded on a different machine shape is not
+		// comparable: skip the whole benchmark, loudly, instead of
+		// failing (or vacuously passing) a core-count-dependent metric.
+		if baseCores, scoped := baseMetrics["cores"]; scoped {
+			curCores, have := curMetrics["cores"]
+			if !have || curCores != baseCores {
+				fmt.Fprintf(w, "SKIPPED (baseline recorded on %g cores, this run has %s): %s\n",
+					baseCores, coresString(curMetrics), name)
+				continue
+			}
+		}
 		for _, unit := range sortedKeys(baseMetrics) {
 			want := baseMetrics[unit]
 			dir, gated := direction[unit]
@@ -189,6 +234,12 @@ func runGate(curPath, basePath string, threshold float64, w io.Writer) ([]string
 			if !ok {
 				failures = append(failures, fmt.Sprintf("%s %s: metric missing from current run", name, unit))
 				continue
+			}
+			if unit == "speedup-x" {
+				if c, have := curMetrics["cores"]; have && c < 2 {
+					fmt.Fprintf(w, "SKIPPED (speedup needs >=2 cores, this run has %g): %s %s\n", c, name, unit)
+					continue
+				}
 			}
 			checked++
 			switch {
@@ -215,6 +266,74 @@ func runGate(curPath, basePath string, threshold float64, w io.Writer) ([]string
 		return nil, fmt.Errorf("baseline %s gated nothing — empty or only ungated metrics", basePath)
 	}
 	return failures, nil
+}
+
+// coresString renders a run's cores metric for SKIPPED messages.
+func coresString(metrics map[string]float64) string {
+	if c, ok := metrics["cores"]; ok {
+		return strconv.FormatFloat(c, 'g', -1, 64)
+	}
+	return "no cores metric"
+}
+
+// runDiff renders a benchstat-style old/new/delta table over the union
+// of benchmarks and metrics in two parsed reports. Nothing is gated
+// here — ns/op and friends appear alongside the deterministic metrics —
+// the table exists for humans and CI artifacts.
+func runDiff(oldPath, newPath string, w io.Writer) error {
+	oldR, err := readReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := readReport(newPath)
+	if err != nil {
+		return err
+	}
+	names := map[string]struct{}{}
+	for n := range oldR.Benchmarks {
+		names[n] = struct{}{}
+	}
+	for n := range newR.Benchmarks {
+		names[n] = struct{}{}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\tmetric\told\tnew\tdelta\n")
+	for _, name := range sortedKeys(names) {
+		units := map[string]struct{}{}
+		for u := range oldR.Benchmarks[name] {
+			units[u] = struct{}{}
+		}
+		for u := range newR.Benchmarks[name] {
+			units[u] = struct{}{}
+		}
+		for _, unit := range sortedKeys(units) {
+			o, oOK := oldR.Benchmarks[name][unit]
+			n, nOK := newR.Benchmarks[name][unit]
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n",
+				name, unit, cell(o, oOK), cell(n, nOK), delta(o, oOK, n, nOK))
+		}
+	}
+	return tw.Flush()
+}
+
+func cell(v float64, ok bool) string {
+	if !ok {
+		return "—"
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+func delta(o float64, oOK bool, n float64, nOK bool) string {
+	switch {
+	case !oOK || !nOK:
+		return "n/a"
+	case o == n:
+		return "~"
+	case o == 0:
+		return "+inf"
+	default:
+		return fmt.Sprintf("%+.2f%%", (n-o)/o*100)
+	}
 }
 
 func readReport(path string) (Report, error) {

@@ -118,6 +118,118 @@ func TestGateRejectsUselessBaseline(t *testing.T) {
 	}
 }
 
+// TestGateSkipsOnCoreMismatch: a baseline entry carrying a `cores`
+// metric is only compared on a host with the same core count; anywhere
+// else the whole benchmark is SKIPPED, loudly, instead of gating a
+// core-count-dependent number against the wrong machine shape.
+func TestGateSkipsOnCoreMismatch(t *testing.T) {
+	base := `{"benchmarks": {
+		"BenchSpeed": {"cores": 8, "speedup-x": 3.5},
+		"BenchA": {"req/cycle": 1.0}
+	}}`
+	cases := []struct {
+		name     string
+		current  string
+		wantBad  int
+		wantSkip string
+	}{
+		{
+			// 4 != 8: a 10x speedup regression must not fail, only skip.
+			"mismatch-skips",
+			`{"benchmarks": {"BenchSpeed": {"cores": 4, "speedup-x": 0.3}, "BenchA": {"req/cycle": 1}}}`,
+			0,
+			"SKIPPED (baseline recorded on 8 cores, this run has 4): BenchSpeed",
+		},
+		{
+			// No cores metric in the current run: same treatment.
+			"missing-cores-skips",
+			`{"benchmarks": {"BenchSpeed": {"speedup-x": 0.3}, "BenchA": {"req/cycle": 1}}}`,
+			0,
+			"SKIPPED (baseline recorded on 8 cores, this run has no cores metric): BenchSpeed",
+		},
+		{
+			// Matching core count: the speedup gate applies again.
+			"match-compares",
+			`{"benchmarks": {"BenchSpeed": {"cores": 8, "speedup-x": 0.3}, "BenchA": {"req/cycle": 1}}}`,
+			1,
+			"",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			failures, err := runGate(
+				writeFile(t, "cur.json", tc.current),
+				writeFile(t, "base.json", base), 0.20, &out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(failures) != tc.wantBad {
+				t.Fatalf("failures = %v, want %d", failures, tc.wantBad)
+			}
+			if tc.wantSkip != "" && !strings.Contains(out.String(), tc.wantSkip) {
+				t.Fatalf("gate output %q missing %q", out.String(), tc.wantSkip)
+			}
+		})
+	}
+}
+
+// TestGateSkipsSpeedupOnOneCore: even with matching core counts, a
+// speedup measured under GOMAXPROCS=1 is scheduler noise — there is
+// nothing to fan across — so speedup-x is skipped, mirroring the
+// in-tree TestSweepSpeedup's own small-host skip.
+func TestGateSkipsSpeedupOnOneCore(t *testing.T) {
+	base := `{"benchmarks": {
+		"BenchSpeed": {"cores": 1, "speedup-x": 1.5},
+		"BenchA": {"req/cycle": 1.0}
+	}}`
+	cur := `{"benchmarks": {
+		"BenchSpeed": {"cores": 1, "speedup-x": 0.5},
+		"BenchA": {"req/cycle": 1.0}
+	}}`
+	var out bytes.Buffer
+	failures, err := runGate(writeFile(t, "cur.json", cur), writeFile(t, "base.json", base), 0.20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("one-core speedup must skip, not fail: %v", failures)
+	}
+	if want := "SKIPPED (speedup needs >=2 cores, this run has 1): BenchSpeed speedup-x"; !strings.Contains(out.String(), want) {
+		t.Fatalf("gate output %q missing %q", out.String(), want)
+	}
+}
+
+// TestDiffTable: -diff renders the union of benchmarks and metrics,
+// including ungated ns/op, with per-metric deltas and placeholders for
+// values only one side has.
+func TestDiffTable(t *testing.T) {
+	old := `{"benchmarks": {
+		"BenchA": {"ns/op": 1000, "comps/cycle": 2.5},
+		"BenchGone": {"ns/op": 7}
+	}}`
+	cur := `{"benchmarks": {
+		"BenchA": {"ns/op": 500, "comps/cycle": 2.5},
+		"BenchNew": {"ns/op": 42}
+	}}`
+	var out bytes.Buffer
+	if err := runDiff(writeFile(t, "old.json", old), writeFile(t, "new.json", cur), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"-50.00%", // BenchA ns/op halved
+		"~",       // BenchA comps/cycle unchanged
+		"—",       // one-sided values render as placeholders
+		"n/a",     // ...and their delta is not a number
+		"BenchGone", "BenchNew",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff output missing %q:\n%s", want, got)
+		}
+	}
+}
+
 // TestGateReportsUnknownBenchmarks: a benchmark the baseline does not
 // mention passes the gate but is called out as UNKNOWN, so new
 // benchmarks don't run ungated in silence.

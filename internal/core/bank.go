@@ -57,38 +57,40 @@ type inflightAccess struct {
 
 // bankController implements Figure 3 of the paper: one controller per
 // bank, owning a delay storage buffer (K rows), a bank access queue
-// (Q entries), a write buffer FIFO (Q/2 entries), a circular delay
-// buffer (D slots) and the control logic tying them together. Requests
-// pass through the four states pending (queued), accessing (issued to
-// the bank), waiting (data buffered until D elapses) and completed.
+// (Q entries), a write buffer FIFO (Q/2 entries) and the control logic
+// tying them together. Requests pass through the four states pending
+// (queued), accessing (issued to the bank), waiting (data buffered until
+// D elapses) and completed.
+//
+// The circular delay buffer of Section 4.1 is not stored per bank: at
+// most one read is accepted per interface cycle across the whole
+// controller, so the union of all banks' delay buffers holds at most one
+// valid slot per delivery cycle, and the controller models them together
+// as one due-ordered playback queue (Controller.due). Every state change
+// that affects the controller's active-bank sets or occupancy totals is
+// reported through the owner back-pointer, which is what lets Tick visit
+// only banks with work.
 type bankController struct {
 	id       int
+	owner    *Controller
 	rows     []dsbRow
 	freeRows int
 	baq      *queue.Ring[baqEntry]
 	wb       *queue.Ring[wbEntry]
-	cdb      *queue.DelayBuffer[playback]
-
-	// pending is the playback entry recorded by a read accepted this
-	// interface cycle; it is written into the delay buffer at the next
-	// Tick. At most one request per cycle reaches the whole controller,
-	// so at most one bank has a valid pending entry.
-	pending      playback
-	pendingValid bool
 
 	inflight inflightAccess
 
 	trace Tracer // nil unless Config.Trace is set
 }
 
-func newBankController(id int, cfg Config) *bankController {
+func newBankController(id int, cfg Config, owner *Controller) *bankController {
 	b := &bankController{
 		id:       id,
+		owner:    owner,
 		rows:     make([]dsbRow, cfg.DelayRows),
 		freeRows: cfg.DelayRows,
 		baq:      queue.NewRing[baqEntry](cfg.QueueDepth),
 		wb:       queue.NewRing[wbEntry](cfg.WriteBufferDepth),
-		cdb:      queue.NewDelayBuffer[playback](cfg.Delay - 1),
 		trace:    cfg.Trace,
 	}
 	for i := range b.rows {
@@ -123,6 +125,7 @@ func (b *bankController) allocRow(addr uint64) int {
 			r.dataReady = false
 			r.corrupt = false
 			b.freeRows--
+			b.owner.noteRowAlloc(b.id)
 			return i
 		}
 	}
@@ -137,33 +140,34 @@ func (b *bankController) freeRow(rowID int) {
 	r.dataReady = false
 	r.corrupt = false
 	b.freeRows++
+	b.owner.noteRowFree(b.id)
 }
 
 // acceptRead handles an incoming read request. On a CAM match the
 // request is redundant: the row counter is incremented and only a
-// playback entry is created (the short-cut path of Figure 1). On a miss
+// playback entry is needed (the short-cut path of Figure 1). On a miss
 // a row and a bank access queue entry are needed; if either resource is
-// exhausted the request stalls.
-func (b *bankController) acceptRead(addr uint64, tag, cycle uint64, maxCount uint32) (merged bool, err error) {
+// exhausted the request stalls. The returned row id is what the
+// controller schedules into the due queue.
+func (b *bankController) acceptRead(addr uint64, maxCount uint32) (rowID int, merged bool, err error) {
 	if rowID := b.lookup(addr); rowID >= 0 {
 		r := &b.rows[rowID]
 		if r.count >= maxCount {
-			return false, ErrStallCounter
+			return 0, false, ErrStallCounter
 		}
 		r.count++
-		b.setPending(playback{rowID: rowID, tag: tag, addr: addr, issuedAt: cycle})
-		return true, nil
+		return rowID, true, nil
 	}
 	if b.freeRows == 0 {
-		return false, ErrStallDelayBuffer
+		return 0, false, ErrStallDelayBuffer
 	}
 	if b.baq.Full() {
-		return false, ErrStallBankQueue
+		return 0, false, ErrStallBankQueue
 	}
-	rowID := b.allocRow(addr)
+	rowID = b.allocRow(addr)
 	b.baq.Push(baqEntry{isWrite: false, rowID: rowID})
-	b.setPending(playback{rowID: rowID, tag: tag, addr: addr, issuedAt: cycle})
-	return false, nil
+	b.owner.noteQueuePush(b.id)
+	return rowID, false, nil
 }
 
 // acceptWrite handles an incoming write request: the address and data
@@ -184,14 +188,9 @@ func (b *bankController) acceptWrite(addr uint64, data []byte) error {
 	}
 	b.wb.Push(wbEntry{addr: addr, data: data})
 	b.baq.Push(baqEntry{isWrite: true})
+	b.owner.noteQueuePush(b.id)
+	b.owner.noteWBPush(b.id)
 	return nil
-}
-
-func (b *bankController) setPending(p playback) {
-	if b.pendingValid {
-		panic("core: two reads accepted by one bank in a single interface cycle")
-	}
-	b.pending, b.pendingValid = p, true
 }
 
 // flushInflight completes an outstanding read access whose bank time
@@ -200,6 +199,7 @@ func (b *bankController) flushInflight(memNow uint64) {
 	if b.inflight.active && memNow >= b.inflight.doneAt {
 		b.rows[b.inflight.rowID].dataReady = true
 		b.inflight.active = false
+		b.owner.inflightBanks.remove(b.id)
 		if b.trace != nil {
 			b.trace.OnDataReady(b.inflight.doneAt, b.id, b.rows[b.inflight.rowID].addr)
 		}
@@ -218,11 +218,13 @@ func (b *bankController) tryIssue(mod *dram.Module, memNow uint64, pool *bufPool
 		return false
 	}
 	head, _ := b.baq.Pop()
+	b.owner.noteQueuePop(b.id)
 	if head.isWrite {
 		e, ok := b.wb.Pop()
 		if !ok {
 			panic("core: write marker in bank access queue with empty write buffer")
 		}
+		b.owner.noteWBPop(b.id)
 		mod.IssueWrite(b.id, e.addr, e.data, memNow)
 		pool.put(e.data)
 		if b.trace != nil {
@@ -241,16 +243,8 @@ func (b *bankController) tryIssue(mod *dram.Module, memNow uint64, pool *bufPool
 	copy(row.data, data)
 	row.corrupt = status == dram.ReadUncorrectable
 	b.inflight = inflightAccess{active: true, rowID: head.rowID, doneAt: doneAt}
+	b.owner.inflightBanks.add(b.id)
 	return true
-}
-
-// stepCDB advances the circular delay buffer one interface cycle,
-// recording this cycle's pending entry (or an invalid slot) and
-// returning the playback that comes due, if any.
-func (b *bankController) stepCDB() (playback, bool) {
-	in, valid := b.pending, b.pendingValid
-	b.pendingValid = false
-	return b.cdb.Step(in, valid)
 }
 
 // deliver consumes one playback: it reads the data word from the row,

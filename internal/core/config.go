@@ -99,6 +99,14 @@ type Config struct {
 	// set it from AutoDelayWithSlack, or the delivery invariant will
 	// (deliberately) trip on late data.
 	Fault dram.Hook
+	// DenseScan, when true, selects the dense reference implementation
+	// of Tick: the original O(Banks)-per-cycle full-bank scans instead
+	// of the event-driven active-set bookkeeping. The two paths operate
+	// on the same state and are cycle-for-cycle bit-identical (the
+	// differential tests enforce it); DenseScan exists for those tests
+	// and for the gated sparse/dense benchmark pair, not for production
+	// use.
+	DenseScan bool
 	// StrictRoundRobin, when true, restricts the memory-side bus to the
 	// paper's simple scheduler in which bank b may only issue on memory
 	// cycles congruent to b mod Banks, so unused slots are wasted. The

@@ -86,8 +86,16 @@ func (c *Controller) Rekey(newSeed uint64) (moved int, cycles uint64, drained []
 	}
 	c.cfg.HashSeed = newSeed
 	c.h = hash.NewH3(bits, newSeed)
-	for i := uint64(0); i < RekeyCost(c.mod.Store().Populated()); i++ {
+	// The pipeline is quiescent after the drain, so the relocation span
+	// fast-forwards in O(1) (per-cycle probe samples aside) rather than
+	// paying one empty Tick per moved word.
+	for left := RekeyCost(c.mod.Store().Populated()); left > 0; {
+		if k := c.SkipIdle(left); k > 0 {
+			left -= k
+			continue
+		}
 		c.Tick()
+		left--
 	}
 	c.stats.Rekeys++
 	c.windowStart = c.cycle

@@ -231,6 +231,45 @@ func (m *Memory) tickChannel(ch int) {
 	m.perChan[ch] = buf
 }
 
+// IdleCycles reports how many upcoming interface cycles are guaranteed
+// event-free on every channel: the minimum of the channels' own idle
+// spans (0 as soon as any channel has queued or in-flight work,
+// ^uint64(0) when the whole memory is quiescent).
+func (m *Memory) IdleCycles() uint64 {
+	span := ^uint64(0)
+	for _, c := range m.chans {
+		if s := c.IdleCycles(); s < span {
+			if s == 0 {
+				return 0
+			}
+			span = s
+		}
+	}
+	return span
+}
+
+// SkipIdle fast-forwards every channel by min(n, IdleCycles()) cycles —
+// the channels share one clock, so they always skip in unison — and
+// returns the cycles skipped. It is exactly equivalent to ticking that
+// many times (no completion can occur inside an idle span) at O(1) cost
+// per channel; the sim drain loop and the serving engine use it to skip
+// the dead cycles of a delivery wait.
+func (m *Memory) SkipIdle(n uint64) uint64 {
+	k := m.IdleCycles()
+	if k > n {
+		k = n
+	}
+	if k == 0 {
+		return 0
+	}
+	for _, c := range m.chans {
+		if got := c.SkipIdle(k); got != k {
+			panic("multichannel: channel refused an idle skip within its reported span")
+		}
+	}
+	return k
+}
+
 // Outstanding sums undelivered reads across channels.
 func (m *Memory) Outstanding() uint64 {
 	var n uint64

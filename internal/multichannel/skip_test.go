@@ -1,0 +1,81 @@
+package multichannel
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestSkipIdleMatchesTicking pins the striped memory's fast-forward:
+// draining a mid-flight multichannel memory with SkipIdle spans must
+// deliver exactly the completions, at exactly the cycles, that a
+// tick-by-tick drain of an identical twin delivers.
+func TestSkipIdleMatchesTicking(t *testing.T) {
+	mk := func() *Memory {
+		m, err := New(cfg(), 4, 424242)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	skip, tick := mk(), mk()
+
+	rng := rand.New(rand.NewPCG(17, 29))
+	for i := 0; i < 2000; i++ {
+		v := rng.Uint64()
+		if v%4 != 3 { // 3/4 load, leaving some same-cycle channel conflicts
+			addr := v >> 8
+			t1, e1 := skip.Read(addr)
+			t2, e2 := tick.Read(addr)
+			if t1 != t2 || (e1 == nil) != (e2 == nil) {
+				t.Fatalf("cycle %d: read diverged: (%d,%v) vs (%d,%v)", i, t1, e1, t2, e2)
+			}
+		}
+		c1, c2 := skip.Tick(), tick.Tick()
+		if len(c1) != len(c2) {
+			t.Fatalf("cycle %d: %d vs %d completions", i, len(c1), len(c2))
+		}
+	}
+	if skip.Outstanding() == 0 {
+		t.Fatal("warmup left nothing outstanding")
+	}
+
+	type comp struct {
+		tag, issued, delivered uint64
+		data                   []byte
+	}
+	var a, b []comp
+	for skip.Outstanding() > 0 {
+		if k := skip.SkipIdle(^uint64(0)); k > 0 {
+			continue
+		}
+		for _, c := range skip.Tick() {
+			a = append(a, comp{c.Tag, c.IssuedAt, c.DeliveredAt, append([]byte(nil), c.Data...)})
+		}
+	}
+	for tick.Outstanding() > 0 {
+		for _, c := range tick.Tick() {
+			b = append(b, comp{c.Tag, c.IssuedAt, c.DeliveredAt, append([]byte(nil), c.Data...)})
+		}
+	}
+	if len(a) != len(b) {
+		t.Fatalf("drains delivered %d vs %d completions", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].tag != b[i].tag || a[i].issued != b[i].issued ||
+			a[i].delivered != b[i].delivered || !bytes.Equal(a[i].data, b[i].data) {
+			t.Fatalf("completion %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// The skipping drain must land on the same clock as the ticking one
+	// once both have delivered everything and gone quiescent.
+	for skip.IdleCycles() != ^uint64(0) {
+		skip.Tick()
+	}
+	for tick.IdleCycles() != ^uint64(0) {
+		tick.Tick()
+	}
+	if skip.Cycle() != tick.Cycle() {
+		t.Fatalf("drain clocks diverged: skip %d tick %d", skip.Cycle(), tick.Cycle())
+	}
+}

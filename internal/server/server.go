@@ -452,6 +452,43 @@ func (e *Engine) step() {
 	for _, comp := range comps {
 		e.deliver(comp)
 	}
+	e.skipIdleSpan(conns)
+}
+
+// skipIdleSpan fast-forwards the clock across cycles in which the
+// engine provably cannot make progress: completions are outstanding,
+// but every connection's queue is empty or parked at a flush barrier
+// that only a completion can release, so the cycles between now and the
+// memory's next scheduled delivery are dead time. The memory skips them
+// in O(1) (SkipIdle is cycle-exact — every skipped cycle is an ordinary
+// interface cycle, just not paid for one Tick at a time), which turns
+// the D-cycle drain behind every flush barrier and end-of-burst wait
+// from D engine iterations into one.
+//
+// Only the free-running clock skips: a paced clock (TickInterval > 0)
+// owes the wall-clock wait, and a stalled or retryable queue head means
+// the memory has queued work, so IdleCycles is 0 and nothing is skipped
+// (hold-and-retry re-presentation still happens every cycle, keeping
+// MaxAttempts accounting exact).
+func (e *Engine) skipIdleSpan(conns []*conn) {
+	if e.cfg.TickInterval > 0 || e.outstanding.Load() == 0 {
+		return
+	}
+	for _, c := range conns {
+		c.mu.Lock()
+		blocked := c.head >= len(c.pending) ||
+			(c.pending[c.head].op == wire.OpFlush && c.outstanding > 0)
+		c.mu.Unlock()
+		if !blocked {
+			return
+		}
+	}
+	k := e.mem.IdleCycles()
+	if k == 0 || k == ^uint64(0) {
+		return
+	}
+	e.mem.SkipIdle(k)
+	e.cycle.Add(k)
 }
 
 // issueFrom drains the head of one connection's queue into the memory
