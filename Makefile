@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race chaos fuzz bench bench-gate bench-diff trace-sample lint
+.PHONY: ci vet build test race chaos netchaos fuzz bench bench-gate bench-diff trace-sample lint
 
-ci: vet build test race chaos
+ci: vet build test race chaos netchaos
 
 vet:
 	$(GO) vet ./...
@@ -20,18 +20,25 @@ test:
 # networked service (wire codec, vpnmd engine, batching client), and the
 # telemetry plane (metrics registry, event trace, probed multichannel).
 race:
-	$(GO) test -race ./internal/core ./internal/dram ./internal/fault ./internal/recovery ./internal/sim ./internal/wire ./internal/server ./internal/client ./internal/telemetry ./internal/multichannel
+	$(GO) test -race ./internal/core ./internal/dram ./internal/fault ./internal/recovery ./internal/sim ./internal/wire ./internal/server ./internal/client ./internal/qos ./internal/telemetry ./internal/multichannel
 
 # Short chaos smoke: fault injection + recovery + invariant checks.
 chaos:
 	$(GO) test -race -run Chaos ./internal/sim ./internal/recovery ./internal/fault
+
+# End-to-end tenant-isolation smoke: a regulated two-tenant engine over
+# a real TCP loopback with FlakyConn weather on both transports, one
+# forced mid-run cut, and exact ledger reconciliation after drain.
+netchaos:
+	$(GO) test -race -run NetChaos -count=1 ./internal/sim
 
 # Brief coverage-guided fuzz of the controller and retrier contracts,
 # plus the wire codec's hostile-input surface.
 fuzz:
 	$(GO) test ./internal/core -fuzz FuzzControllerOps -fuzztime 10s
 	$(GO) test ./internal/core -fuzz FuzzRetrierOps -fuzztime 10s
-	$(GO) test ./internal/wire -fuzz FuzzFrameDecode -fuzztime 10s
+	$(GO) test ./internal/wire -fuzz 'FuzzFrameDecode$$' -fuzztime 10s
+	$(GO) test ./internal/wire -fuzz 'FuzzFrameDecodeShortReads$$' -fuzztime 10s
 
 # Gated benchmark set. BENCH_parallel.txt is benchstat-compatible raw
 # output; BENCH_parallel.json is the parsed form bench-gate compares
@@ -43,6 +50,8 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkTickParallel$$' -benchmem -benchtime 20000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkProbeOverhead$$' -benchmem -benchtime 20000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkTickSparse$$|BenchmarkTickDense$$' -benchmem -benchtime 50000x -count=1 . | tee -a BENCH_parallel.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkServerRegulated/loopback$$' -benchmem -benchtime 1x -count=1 . | tee -a BENCH_parallel.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkServerRegulated/regulator$$' -benchmem -benchtime 100000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) run ./cmd/benchgate -parse -o BENCH_parallel.json BENCH_parallel.txt
 
 # Fail on >20% regression of any gated metric vs the committed baseline.

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -26,15 +27,67 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/multichannel"
+	"repro/internal/qos"
 	"repro/internal/recovery"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 )
+
+// limitsFlag parses repeated -qos tenant=rate[:burst] flags into a
+// per-tenant limit map (rate in requests per interface cycle, burst in
+// requests).
+type limitsFlag struct {
+	m map[string]qos.Limit
+}
+
+func (f *limitsFlag) String() string {
+	if f == nil || len(f.m) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(f.m))
+	for name, l := range f.m {
+		parts = append(parts, fmt.Sprintf("%s=%g:%g", name, l.Rate, l.Burst))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *limitsFlag) Set(v string) error {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want tenant=rate[:burst], got %q", v)
+	}
+	l, err := parseLimit(spec)
+	if err != nil {
+		return err
+	}
+	if f.m == nil {
+		f.m = make(map[string]qos.Limit)
+	}
+	f.m[name] = l
+	return nil
+}
+
+// parseLimit parses "rate" or "rate:burst" into a qos.Limit.
+func parseLimit(spec string) (qos.Limit, error) {
+	rs, bs, hasBurst := strings.Cut(spec, ":")
+	var l qos.Limit
+	var err error
+	if l.Rate, err = strconv.ParseFloat(rs, 64); err != nil {
+		return l, fmt.Errorf("bad rate %q: %v", rs, err)
+	}
+	if hasBurst {
+		if l.Burst, err = strconv.ParseFloat(bs, 64); err != nil {
+			return l, fmt.Errorf("bad burst %q: %v", bs, err)
+		}
+	}
+	return l, l.Validate()
+}
 
 func main() {
 	var (
@@ -54,7 +107,13 @@ func main() {
 		attempts = flag.Int("attempts", 0, "max hold-and-retry attempts per stalled request (0: default)")
 		tick     = flag.Duration("tick", 0, "wall-clock tick interval (0: free-running clock)")
 		quiet    = flag.Bool("q", false, "suppress connection lifecycle logging")
+
+		qosDefault = flag.String("qos-default", "", "default tenant token bucket as rate[:burst] in req/cycle (empty: unlimited)")
+		wtimeout   = flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline to a client; a peer that stops reading is detached (0 disables)")
+		drainT     = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM before forced shutdown")
 	)
+	var qosLimits limitsFlag
+	flag.Var(&qosLimits, "qos", "per-tenant token bucket as tenant=rate[:burst], repeatable")
 	flag.Parse()
 
 	pol, err := recovery.ParsePolicy(*policy)
@@ -99,11 +158,31 @@ func main() {
 	if *quiet {
 		logf = nil
 	}
+	// QoS: one regulator shared by every session, publishing per-tenant
+	// vpnm_tenant_* series into the same registry /metricsz serves. It
+	// is built whenever any limit is configured; without limits every
+	// tenant is unlimited and the engine skips regulation entirely.
+	var regulator *qos.Regulator
+	if *qosDefault != "" || len(qosLimits.m) > 0 {
+		qcfg := qos.Config{Limits: qosLimits.m, Registry: reg}
+		if *qosDefault != "" {
+			l, err := parseLimit(*qosDefault)
+			if err != nil {
+				fatal(fmt.Errorf("-qos-default: %w", err))
+			}
+			qcfg.Default = l
+		}
+		if regulator, err = qos.NewRegulator(qcfg); err != nil {
+			fatal(err)
+		}
+	}
 	eng, err := server.New(server.Config{
 		Mem:          mem,
 		Window:       *window,
 		Policy:       pol,
 		MaxAttempts:  *attempts,
+		QoS:          regulator,
+		WriteTimeout: *wtimeout,
 		TickInterval: *tick,
 		Logf:         logf,
 	})
@@ -120,6 +199,7 @@ func main() {
 
 	if *statsz != "" {
 		mux := http.NewServeMux()
+		mux.Handle("/healthz", eng.HealthzHandler())
 		mux.Handle("/statsz", eng.StatszHandler())
 		mux.Handle("/metricsz", eng.MetricsHandler(reg))
 		mux.Handle("/tracez", telemetry.TraceHandler(trace, eng.Cycle))
@@ -137,20 +217,41 @@ func main() {
 		fmt.Printf("vpnmd: /statsz /metricsz /tracez /debug/pprof on %s\n", *statsz)
 	}
 
-	sig := make(chan os.Signal, 1)
+	// First signal: graceful drain — stop accepting, refuse new work
+	// with CodeDraining, run everything admitted to completion, report
+	// the final ledger. Second signal (or an expired -drain budget):
+	// forced shutdown.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	shutdownDone := make(chan struct{})
 	go func() {
+		defer close(shutdownDone)
 		<-sig
-		fmt.Println("vpnmd: shutting down")
+		fmt.Printf("vpnmd: draining (budget %v; signal again to force shutdown)\n", *drainT)
+		go func() {
+			<-sig
+			fmt.Println("vpnmd: forced shutdown")
+			eng.Close()
+		}()
+		dctx, dcancel := context.WithTimeout(context.Background(), *drainT)
+		snap, err := eng.Drain(dctx)
+		dcancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpnmd: drain:", err)
+		} else {
+			fmt.Printf("vpnmd: drained clean: %d completions, 0 outstanding, %d refused during drain\n",
+				snap.Completions, snap.DrainRefused)
+		}
 		eng.Close()
 	}()
 
 	if err := eng.Serve(ln); err != nil {
 		fatal(err)
 	}
+	<-shutdownDone // Serve returns at drain start; the ledger below is final
 	s := eng.Snapshot()
-	fmt.Printf("vpnmd: served %d reads, %d writes, %d completions over %d cycles\n",
-		s.Reads, s.Writes, s.Completions, s.Cycle)
+	fmt.Printf("vpnmd: served %d reads, %d writes, %d completions (%d throttled) over %d cycles\n",
+		s.Reads, s.Writes, s.Completions, s.Throttled, s.Cycle)
 }
 
 // ratioFrac turns a decimal R into a small fraction (R >= 1, two

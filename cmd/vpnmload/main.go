@@ -46,6 +46,9 @@ type summary struct {
 	Retries         uint64                      `json:"retries"`
 	Drops           uint64                      `json:"drops"`
 	Violations      uint64                      `json:"fixed_d_violations"`
+	DeadlineExpired uint64                      `json:"deadline_exceeded"`
+	Reconnects      uint64                      `json:"reconnects"`
+	Retransmits     uint64                      `json:"retransmits"`
 	StallsSurfaced  uint64                      `json:"stalls_surfaced"`
 	ChannelBusy     uint64                      `json:"channel_busy_retries"`
 	LatencyCycles   map[uint64]uint64           `json:"latency_histogram_cycles"`
@@ -54,16 +57,19 @@ type summary struct {
 
 func main() {
 	var (
-		addr      = flag.String("addr", "localhost:7450", "vpnmd address")
-		duration  = flag.Duration("duration", 5*time.Second, "load duration")
-		window    = flag.Int("window", 512, "in-flight request window (closed loop)")
-		batch     = flag.Int("batch", 256, "max requests per frame")
-		writeFrac = flag.Float64("writefrac", 0.1, "fraction of requests that are writes")
-		addrSpace = flag.Uint64("addrspace", 1<<20, "address space to spray requests over")
-		seed      = flag.Uint64("seed", 1, "workload PRNG seed")
-		policy    = flag.String("policy", "retry", "stall policy: retry | drop | backpressure")
-		timeout   = flag.Duration("timeout", 30*time.Second, "per-call timeout for flush/stats")
-		jsonOut   = flag.Bool("json", false, "emit the final run summary as one JSON object on stdout (human output moves to stderr)")
+		addr       = flag.String("addr", "localhost:7450", "vpnmd address")
+		duration   = flag.Duration("duration", 5*time.Second, "load duration")
+		window     = flag.Int("window", 512, "in-flight request window (closed loop)")
+		batch      = flag.Int("batch", 256, "max requests per frame")
+		writeFrac  = flag.Float64("writefrac", 0.1, "fraction of requests that are writes")
+		addrSpace  = flag.Uint64("addrspace", 1<<20, "address space to spray requests over")
+		seed       = flag.Uint64("seed", 1, "workload PRNG seed")
+		policy     = flag.String("policy", "retry", "stall policy: retry | drop | backpressure")
+		timeout    = flag.Duration("timeout", time.Minute, "overall run budget; on expiry the run exits nonzero with a partial ledger dump (0 disables)")
+		tenant     = flag.String("tenant", "", "tenant name presented in the Hello (the server-side QoS principal)")
+		session    = flag.Uint64("session", 0, "nonzero session id: reconnect with backoff on transport failure and resume the in-flight window")
+		reqTimeout = flag.Duration("reqtimeout", 0, "per-request deadline; expiries resolve locally as ErrDeadlineExceeded (0 disables)")
+		jsonOut    = flag.Bool("json", false, "emit the final run summary as one JSON object on stdout (human output moves to stderr)")
 	)
 	flag.Parse()
 
@@ -78,18 +84,65 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	c, err := client.Dial(*addr, client.Config{Window: *window, MaxBatch: *batch, Policy: pol})
+	c, err := client.Dial(*addr, client.Config{
+		Window:         *window,
+		MaxBatch:       *batch,
+		Policy:         pol,
+		Tenant:         *tenant,
+		SessionID:      *session,
+		RequestTimeout: *reqTimeout,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	defer c.Close()
 
+	// fatalPartial is the -timeout escape hatch: whatever the ledger
+	// holds right now goes out before the nonzero exit, so a wedged
+	// server still yields a diagnosable report instead of a hung pipe.
+	fatalPartial := func(err error) {
+		ctr := c.Counters()
+		fmt.Fprintln(os.Stderr, "vpnmload:", err)
+		fmt.Fprintf(os.Stderr, "vpnmload: PARTIAL ledger: issued=%d completions=%d accepted-writes=%d drops=%d stalls=%d retries=%d deadline-expiries=%d reconnects=%d retransmits=%d fixed-D-violations=%d\n",
+			ctr.Issued, ctr.Completions, ctr.AcceptedWrites, ctr.Drops, ctr.Stalls.Total(),
+			ctr.Retries, ctr.DeadlineExceeded, ctr.Reconnects, ctr.Retransmits, ctr.LatencyViolations)
+		if *jsonOut {
+			json.NewEncoder(os.Stdout).Encode(map[string]any{ //nolint:errcheck // already failing
+				"partial": true, "error": err.Error(), "counters": ctr,
+			})
+		}
+		os.Exit(1)
+	}
+
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
+	// The overall budget bounds every blocking call — issue (which can
+	// park on the window), flush and stats — so a server that stops
+	// completing cannot hang the run.
+	var wall time.Time
+	runCtx := ctx
+	if *timeout > 0 {
+		wall = time.Now().Add(*timeout)
+		var tcancel context.CancelFunc
+		runCtx, tcancel = context.WithDeadline(ctx, wall)
+		defer tcancel()
+	}
+	// budgeted derives a per-call context that never outlives the wall.
+	budgeted := func(d time.Duration) (context.Context, context.CancelFunc) {
+		if !wall.IsZero() {
+			if r := time.Until(wall); r < d {
+				d = r
+			}
+		}
+		if d <= 0 {
+			return context.WithCancel(runCtx) // already expired; fail fast
+		}
+		return context.WithTimeout(context.Background(), d)
+	}
 
 	// The opening Stats call teaches the client the server's D and arms
 	// its per-completion fixed-D check.
-	sctx, scancel := context.WithTimeout(ctx, *timeout)
+	sctx, scancel := budgeted(30 * time.Second)
 	before, err := c.Stats(sctx)
 	scancel()
 	if err != nil {
@@ -134,7 +187,7 @@ func main() {
 				windowIssued = 0
 				windowStart = now
 			}
-			if now.After(deadline) || ctx.Err() != nil {
+			if now.After(deadline) || runCtx.Err() != nil {
 				break
 			}
 		}
@@ -143,12 +196,15 @@ func main() {
 			for i := range word {
 				word[i] = byte(rng.Uint64())
 			}
-			err = c.Write(ctx, a, word)
+			err = c.Write(runCtx, a, word)
 		} else {
-			err = c.Read(ctx, a, cb)
+			err = c.Read(runCtx, a, cb)
 		}
 		if err != nil {
-			if ctx.Err() != nil {
+			if runCtx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+				fatalPartial(fmt.Errorf("overall -timeout %v expired with the issue window wedged", *timeout))
+			}
+			if runCtx.Err() != nil {
 				break
 			}
 			fatal(err)
@@ -156,18 +212,21 @@ func main() {
 		issued++
 		windowIssued++
 	}
-	fctx, fcancel := context.WithTimeout(context.Background(), *timeout)
+	if runCtx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+		fatalPartial(fmt.Errorf("overall -timeout %v expired during issue", *timeout))
+	}
+	fctx, fcancel := budgeted(30 * time.Second)
 	err = c.Flush(fctx)
 	fcancel()
 	elapsed := time.Since(start)
 	if err != nil {
-		fatal(fmt.Errorf("flush: %w", err))
+		fatalPartial(fmt.Errorf("flush: %w", err))
 	}
-	sctx, scancel = context.WithTimeout(context.Background(), *timeout)
+	sctx, scancel = budgeted(30 * time.Second)
 	after, err := c.Stats(sctx)
 	scancel()
 	if err != nil {
-		fatal(err)
+		fatalPartial(fmt.Errorf("stats: %w", err))
 	}
 
 	ctr := c.Counters()
@@ -185,8 +244,8 @@ func main() {
 		fmt.Fprintf(human, "vpnmload: issue rate per 100ms window: p50<=%d/s p99<=%d/s over %d windows\n",
 			irs.Quantile(0.5), irs.Quantile(0.99), irs.Count)
 	}
-	fmt.Fprintf(human, "vpnmload: completions=%d uncorrectable=%d retries=%d drops=%d fixed-D violations=%d\n",
-		ctr.Completions, flagged, ctr.Retries, dropped, ctr.LatencyViolations)
+	fmt.Fprintf(human, "vpnmload: completions=%d uncorrectable=%d retries=%d drops=%d deadline-expiries=%d reconnects=%d fixed-D violations=%d\n",
+		ctr.Completions, flagged, ctr.Retries, dropped, ctr.DeadlineExceeded, ctr.Reconnects, ctr.LatencyViolations)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -208,6 +267,9 @@ func main() {
 			Retries:         ctr.Retries,
 			Drops:           dropped,
 			Violations:      ctr.LatencyViolations,
+			DeadlineExpired: ctr.DeadlineExceeded,
+			Reconnects:      ctr.Reconnects,
+			Retransmits:     ctr.Retransmits,
 			StallsSurfaced:  after.Stalls - before.Stalls,
 			ChannelBusy:     after.Busy - before.Busy,
 			LatencyCycles:   hist,

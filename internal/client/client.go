@@ -15,14 +15,42 @@
 // requests resolve their callback with an error wrapping
 // recovery.ErrDropped and the stall cause, so errors.Is works across
 // the wire exactly as it does in-process.
+//
+// # Fault tolerance
+//
+// With the zero Config the client is a thin wrapper over one
+// connection: the first transport error is terminal and resolves
+// everything pending. Three knobs arm the resilient path:
+//
+//   - SessionID/Tenant send a Hello frame before any request, naming
+//     the server-side session to (re)bind and the QoS principal whose
+//     token bucket regulates it.
+//   - Dialer (which requires a nonzero SessionID) turns transport
+//     errors into reconnects: the client redials under capped
+//     exponential backoff with seeded jitter, re-sends its Hello, and
+//     retransmits every unresolved request. The server's session layer
+//     deduplicates replays by seq, so a request executes once no
+//     matter how many times the wire made the client send it.
+//   - RequestTimeout bounds each request's wall-clock lifetime;
+//     overdue requests resolve with ErrDeadlineExceeded — deliberately
+//     NOT a stall, so recovery policies and SLA accounting can tell
+//     "the memory pushed back" from "the network went away".
+//
+// In any of these modes the client tolerates duplicate or stray
+// verdicts (a resumed server transport may re-send records that were
+// already on the wire when it died); in the strict zero-Config mode a
+// stray verdict is still a protocol error.
 package client
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/recovery"
@@ -31,12 +59,22 @@ import (
 
 // Defaults for Config zero values.
 const (
-	DefaultWindow   = 1024
-	DefaultMaxBatch = 512
+	DefaultWindow        = 1024
+	DefaultMaxBatch      = 512
+	DefaultMaxReconnects = 8
+	DefaultBackoffBase   = 5 * time.Millisecond
+	DefaultBackoffMax    = time.Second
 )
 
 // ErrClosed reports use of a closed client.
 var ErrClosed = errors.New("client: closed")
+
+// ErrDeadlineExceeded resolves a request that outlived
+// Config.RequestTimeout. It is distinct from the stall taxonomy —
+// errors.Is(ErrDeadlineExceeded, core.ErrStall) is false — because a
+// deadline says nothing about the memory: the request may be parked
+// behind a dead transport, lost, or simply slow.
+var ErrDeadlineExceeded = errors.New("client: request deadline exceeded")
 
 // Completion is the outcome of one read. Data aliases the receive
 // buffer and is valid only during the callback; copy to keep it.
@@ -71,6 +109,40 @@ type Config struct {
 	// cycle count — is deterministic; the gated loopback benchmark runs
 	// this way.
 	ManualBatch bool
+
+	// SessionID names the server-side session this client binds to. A
+	// nonzero id makes the client send a Hello frame before any request
+	// and lets a reconnect resume the same session — parked output,
+	// in-flight window and replay dedup included. Zero keeps the
+	// anonymous pre-Hello protocol.
+	SessionID uint64
+	// Tenant is the QoS principal named in the Hello; empty selects the
+	// server's default tenant limit.
+	Tenant string
+	// Dialer, when non-nil, arms reconnection: a transport error closes
+	// the old conn and redials through this function under capped
+	// exponential backoff instead of failing the client. Requires a
+	// nonzero SessionID — resuming the in-flight window against a fresh
+	// anonymous session would re-execute requests.
+	Dialer func() (net.Conn, error)
+	// MaxReconnects caps consecutive failed dial attempts per outage
+	// before the client fails terminally. Zero selects
+	// DefaultMaxReconnects; negative means retry forever.
+	MaxReconnects int
+	// BackoffBase and BackoffMax shape the reconnect backoff: attempt n
+	// waits about BackoffBase<<n, jittered, capped at BackoffMax. Zeros
+	// select DefaultBackoffBase and DefaultBackoffMax.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed seeds the backoff jitter so failure schedules are
+	// reproducible; zero selects 1.
+	Seed int64
+	// RequestTimeout bounds each request's wall-clock lifetime from
+	// issue to resolution. Overdue requests resolve locally with
+	// ErrDeadlineExceeded (reads via their callback) and free their
+	// window slot; a verdict that arrives later is ignored. Zero
+	// disables deadlines.
+	RequestTimeout time.Duration
 }
 
 // pending is one in-flight request.
@@ -80,6 +152,7 @@ type pending struct {
 	data     []byte // writes: stable copy for retries
 	cb       func(Completion)
 	attempts int
+	deadline time.Time // zero when RequestTimeout is unset
 }
 
 // Counters is the client's ledger.
@@ -106,6 +179,12 @@ type Counters struct {
 	// fixed-D check. Zero delay knowledge (no Stats call yet) skips the
 	// check.
 	LatencyViolations uint64
+	// Reconnects counts transports successfully re-established after a
+	// failure; Retransmits counts unresolved requests re-queued across
+	// those reconnects. DeadlineExceeded counts requests resolved
+	// locally by RequestTimeout — deliberately not folded into Drops,
+	// because the server may still have executed them.
+	Reconnects, Retransmits, DeadlineExceeded uint64
 }
 
 // recoveryStallCounts mirrors core.StallCounts across the wire.
@@ -123,32 +202,43 @@ func (s recoveryStallCounts) Total() uint64 {
 // they must not block, and may only issue new requests if the window
 // cannot be full (or they will deadlock the receive loop).
 type Client struct {
-	nc net.Conn
-
-	wmu sync.Mutex // serializes frame writes
+	wmu sync.Mutex // serializes frame writes (and transport swaps)
 	enc *wire.Encoder
 
-	mu      sync.Mutex
-	sendq   []wire.Request
-	pend    map[uint64]*pending
-	flushW  map[uint64]chan struct{}
-	statsW  map[uint64]chan wire.Stats
-	next    uint64
-	ctr     Counters
-	delay   uint64 // learned from the first Stats reply; 0 = unknown
-	err     error
-	closed  bool
-	scratch []wire.Request
+	mu           sync.Mutex
+	nc           net.Conn
+	gen          uint64 // bumps per transport; ties errors to the conn they came from
+	reconnecting bool
+	sendq        []wire.Request
+	pend         map[uint64]*pending
+	flushW       map[uint64]chan struct{}
+	statsW       map[uint64]chan wire.Stats
+	next         uint64
+	ctr          Counters
+	delay        uint64 // learned from the first Stats reply; 0 = unknown
+	err          error
+	closed       bool
+	scratch      []wire.Request
+	readerDone   chan struct{} // current transport's reader; swapped per conn
 
 	policy      recovery.Policy
 	maxAttempts int
 	maxBatch    int
 	manual      bool
 
-	slots      chan struct{} // window semaphore
-	kick       chan struct{} // background flusher doorbell
-	dead       chan struct{} // closed when the connection fails
-	readerDone chan struct{}
+	sessionID  uint64
+	tenant     string
+	dialer     func() (net.Conn, error)
+	maxReconn  int
+	backBase   time.Duration
+	backMax    time.Duration
+	reqTimeout time.Duration
+	rng        *rand.Rand // jitter; only the (single) reconnect goroutine uses it
+	lenient    bool       // tolerate duplicate/stray verdicts
+
+	slots chan struct{} // window semaphore
+	kick  chan struct{} // background flusher doorbell
+	dead  chan struct{} // closed when the client fails terminally
 }
 
 // New wraps an established connection (TCP, net.Pipe, ...).
@@ -165,6 +255,21 @@ func New(nc net.Conn, cfg Config) *Client {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = recovery.DefaultMaxAttempts
 	}
+	if cfg.Dialer != nil && cfg.SessionID == 0 {
+		panic("client: Config.Dialer requires a nonzero SessionID (a reconnect resumes a server session)")
+	}
+	if cfg.MaxReconnects == 0 {
+		cfg.MaxReconnects = DefaultMaxReconnects
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = DefaultBackoffBase
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = DefaultBackoffMax
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
 	c := &Client{
 		nc:          nc,
 		enc:         wire.NewEncoder(nc),
@@ -175,20 +280,45 @@ func New(nc net.Conn, cfg Config) *Client {
 		maxAttempts: cfg.MaxAttempts,
 		maxBatch:    cfg.MaxBatch,
 		manual:      cfg.ManualBatch,
+		sessionID:   cfg.SessionID,
+		tenant:      cfg.Tenant,
+		dialer:      cfg.Dialer,
+		maxReconn:   cfg.MaxReconnects,
+		backBase:    cfg.BackoffBase,
+		backMax:     cfg.BackoffMax,
+		reqTimeout:  cfg.RequestTimeout,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		lenient:     cfg.Dialer != nil || cfg.SessionID != 0 || cfg.RequestTimeout > 0,
 		slots:       make(chan struct{}, cfg.Window),
 		kick:        make(chan struct{}, 1),
 		dead:        make(chan struct{}),
 		readerDone:  make(chan struct{}),
 	}
-	go c.readLoop()
+	var herr error
+	if c.sessionID != 0 || c.tenant != "" {
+		c.wmu.Lock()
+		herr = c.enc.Hello(wire.Hello{SessionID: c.sessionID, Tenant: c.tenant})
+		c.wmu.Unlock()
+	}
+	go c.readLoop(nc, 0, c.readerDone)
 	if !c.manual {
 		go c.flushLoop()
+	}
+	if c.reqTimeout > 0 {
+		go c.deadlineLoop()
+	}
+	if herr != nil {
+		c.transportErr(0, herr)
 	}
 	return c
 }
 
-// Dial connects to a vpnmd server over TCP.
+// Dial connects to a vpnmd server over TCP. When cfg names a session
+// but no Dialer, reconnects redial the same address.
 func Dial(addr string, cfg Config) (*Client, error) {
+	if cfg.Dialer == nil && cfg.SessionID != 0 {
+		cfg.Dialer = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -200,7 +330,10 @@ func Dial(addr string, cfg Config) (*Client, error) {
 // callbacks with ErrClosed.
 func (c *Client) Close() error {
 	c.fail(ErrClosed)
-	<-c.readerDone
+	c.mu.Lock()
+	done := c.readerDone
+	c.mu.Unlock()
+	<-done
 	return nil
 }
 
@@ -262,7 +395,7 @@ func (c *Client) Read(ctx context.Context, addr uint64, cb func(Completion)) err
 	}
 	seq := c.next
 	c.next++
-	c.pend[seq] = &pending{addr: addr, cb: cb}
+	c.pend[seq] = &pending{addr: addr, cb: cb, deadline: c.deadlineFrom()}
 	c.sendq = append(c.sendq, wire.Request{Op: wire.OpRead, Seq: seq, Addr: addr})
 	c.ctr.Issued++
 	c.ctr.Reads++
@@ -293,7 +426,7 @@ func (c *Client) Write(ctx context.Context, addr uint64, data []byte) error {
 	seq := c.next
 	c.next++
 	stable := append([]byte(nil), data...)
-	c.pend[seq] = &pending{write: true, addr: addr, data: stable}
+	c.pend[seq] = &pending{write: true, addr: addr, data: stable, deadline: c.deadlineFrom()}
 	c.sendq = append(c.sendq, wire.Request{Op: wire.OpWrite, Seq: seq, Addr: addr, Data: stable})
 	c.ctr.Issued++
 	c.ctr.Writes++
@@ -302,6 +435,14 @@ func (c *Client) Write(ctx context.Context, addr uint64, data []byte) error {
 		c.wakeFlusher()
 	}
 	return nil
+}
+
+// deadlineFrom stamps a new request's deadline. Called with c.mu held.
+func (c *Client) deadlineFrom() time.Time {
+	if c.reqTimeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(c.reqTimeout)
 }
 
 // Kick synchronously drains the send queue into request frames (at most
@@ -409,6 +550,10 @@ func (c *Client) flushLoop() {
 // It holds wmu for the whole drain, so concurrent flushers serialize
 // (and the scratch buffer has a single owner at a time). Lock order is
 // wmu before mu; nothing acquires them the other way around.
+//
+// During a reconnect it returns immediately: every queued request is
+// also tracked in pend/flushW/statsW, and the reconnect rebuilds the
+// send queue from those maps once the new transport is up.
 func (c *Client) flushQueue() error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
@@ -419,7 +564,7 @@ func (c *Client) flushQueue() error {
 			c.mu.Unlock()
 			return err
 		}
-		if len(c.sendq) == 0 {
+		if c.reconnecting || len(c.sendq) == 0 {
 			c.mu.Unlock()
 			return nil
 		}
@@ -428,10 +573,14 @@ func (c *Client) flushQueue() error {
 		c.scratch = batch
 		rest := copy(c.sendq, c.sendq[n:])
 		c.sendq = c.sendq[:rest]
+		gen := c.gen
 		c.mu.Unlock()
 
 		if err := c.enc.Requests(0, batch); err != nil {
-			c.fail(err)
+			c.transportErr(gen, err)
+			if c.dialer != nil {
+				return nil // the batch lives on in pend; the reconnect re-sends it
+			}
 			return err
 		}
 	}
@@ -443,15 +592,17 @@ type invocation struct {
 	comp Completion
 }
 
-// readLoop decodes server frames and resolves pending requests.
-func (c *Client) readLoop() {
-	defer close(c.readerDone)
-	dec := wire.NewDecoder(c.nc)
+// readLoop decodes server frames and resolves pending requests. One
+// runs per transport; gen ties its errors to that transport so a stale
+// reader cannot kill a healthy successor.
+func (c *Client) readLoop(nc net.Conn, gen uint64, done chan struct{}) {
+	defer close(done)
+	dec := wire.NewDecoder(nc)
 	var cbs []invocation
 	for {
 		f, err := dec.Next()
 		if err != nil {
-			c.fail(err)
+			c.transportErr(gen, err)
 			return
 		}
 		cbs = cbs[:0]
@@ -489,6 +640,167 @@ func (c *Client) readLoop() {
 	}
 }
 
+// transportErr reacts to a dead transport: terminal without a Dialer,
+// otherwise the start of a reconnect. gen identifies the transport the
+// error came from; errors from an already-replaced transport are noise
+// and are dropped.
+func (c *Client) transportErr(gen uint64, err error) {
+	if c.dialer == nil {
+		c.fail(err)
+		return
+	}
+	c.mu.Lock()
+	if c.closed || gen != c.gen || c.reconnecting {
+		c.mu.Unlock()
+		return
+	}
+	c.reconnecting = true
+	nc := c.nc
+	c.mu.Unlock()
+	nc.Close()
+	go c.reconnectLoop(err)
+}
+
+// reconnectLoop redials under capped exponential backoff with seeded
+// jitter. Exactly one instance runs at a time (the reconnecting flag
+// gates entry), so the jitter rng needs no lock.
+func (c *Client) reconnectLoop(cause error) {
+	for attempt := 0; ; attempt++ {
+		if c.maxReconn >= 0 && attempt >= c.maxReconn {
+			c.fail(fmt.Errorf("client: gave up after %d reconnect attempts: %w", attempt, cause))
+			return
+		}
+		nc, err := c.dialer()
+		if err == nil {
+			c.install(nc)
+			return
+		}
+		cause = err
+		select {
+		case <-time.After(c.backoff(attempt)):
+		case <-c.dead:
+			return
+		}
+	}
+}
+
+// backoff is attempt n's wait: base<<n jittered into [d/2, d], capped.
+func (c *Client) backoff(attempt int) time.Duration {
+	if attempt > 30 {
+		attempt = 30
+	}
+	d := c.backBase << uint(attempt)
+	if d <= 0 || d > c.backMax {
+		d = c.backMax
+	}
+	half := d / 2
+	return half + time.Duration(c.rng.Int63n(int64(half)+1))
+}
+
+// install makes nc the client's transport: Hello goes out first, then
+// the send queue is rebuilt from every unresolved request so the new
+// connection resumes exactly where the old one died. Holding wmu across
+// the swap keeps the Hello ahead of any request frame.
+func (c *Client) install(nc net.Conn) {
+	c.wmu.Lock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wmu.Unlock()
+		nc.Close()
+		return
+	}
+	c.nc = nc
+	c.enc = wire.NewEncoder(nc)
+	c.gen++
+	gen := c.gen
+	c.reconnecting = false
+	c.ctr.Reconnects++
+	c.rebuildSendqLocked()
+	done := make(chan struct{})
+	c.readerDone = done
+	c.mu.Unlock()
+	herr := c.enc.Hello(wire.Hello{SessionID: c.sessionID, Tenant: c.tenant})
+	c.wmu.Unlock()
+	go c.readLoop(nc, gen, done)
+	if herr != nil {
+		c.transportErr(gen, herr)
+		return
+	}
+	if c.manual {
+		go c.flushQueue() //nolint:errcheck // flushQueue fails the conn itself
+	} else {
+		c.wakeFlusher()
+	}
+}
+
+// rebuildSendqLocked reconstructs the send queue from the unresolved
+// request maps in seq order: reads and writes from pend, barriers from
+// flushW, stats waiters from statsW. Anything the old transport may
+// have delivered is sent again — the server's replay cache makes the
+// duplicates harmless. Called with c.mu held.
+func (c *Client) rebuildSendqLocked() {
+	c.sendq = c.sendq[:0]
+	for seq, p := range c.pend {
+		op := byte(wire.OpRead)
+		if p.write {
+			op = wire.OpWrite
+		}
+		c.sendq = append(c.sendq, wire.Request{Op: op, Seq: seq, Addr: p.addr, Data: p.data})
+	}
+	c.ctr.Retransmits += uint64(len(c.pend))
+	for seq := range c.flushW {
+		c.sendq = append(c.sendq, wire.Request{Op: wire.OpFlush, Seq: seq})
+	}
+	for seq := range c.statsW {
+		c.sendq = append(c.sendq, wire.Request{Op: wire.OpStats, Seq: seq})
+	}
+	sort.Slice(c.sendq, func(i, j int) bool { return c.sendq[i].Seq < c.sendq[j].Seq })
+}
+
+// deadlineLoop scans for overdue requests. It keeps running across
+// reconnects — a request parked behind a dead transport times out on
+// the same clock as one the server is merely slow to answer.
+func (c *Client) deadlineLoop() {
+	period := c.reqTimeout / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			c.expire(now)
+		case <-c.dead:
+			return
+		}
+	}
+}
+
+// expire resolves every pending request whose deadline has passed with
+// ErrDeadlineExceeded. The server may still execute the request; its
+// late verdict is tolerated as a stray and ignored.
+func (c *Client) expire(now time.Time) {
+	c.mu.Lock()
+	var cbs []invocation
+	for seq, p := range c.pend {
+		if p.deadline.IsZero() || now.Before(p.deadline) {
+			continue
+		}
+		delete(c.pend, seq)
+		c.ctr.DeadlineExceeded++
+		c.release()
+		if !p.write && p.cb != nil {
+			cbs = append(cbs, invocation{cb: p.cb, comp: Completion{Addr: p.addr, Err: ErrDeadlineExceeded}})
+		}
+	}
+	c.mu.Unlock()
+	for i := range cbs {
+		cbs[i].cb(cbs[i].comp)
+	}
+}
+
 func (c *Client) noteStall(code byte) {
 	switch code {
 	case wire.CodeDelayBuffer:
@@ -520,6 +832,19 @@ func (c *Client) dropLocked(seq uint64, p *pending, code byte, exhausted bool) (
 	return invocation{cb: p.cb, comp: Completion{Addr: p.addr, Err: err}}, true
 }
 
+// strayErr reacts to a verdict with no matching pending request. In
+// lenient mode (sessions, reconnects or deadlines armed) duplicates are
+// expected — a resumed server transport re-sends anything that was in
+// flight when the old one died, and a deadline-expired request's
+// verdict can arrive after the client resolved it locally — so the
+// verdict is silently ignored. In strict mode it is a protocol error.
+func (c *Client) strayErr(kind string, seq uint64) error {
+	if c.lenient {
+		return nil
+	}
+	return fmt.Errorf("client: stray %s for seq %d", kind, seq)
+}
+
 func (c *Client) handleReplies(reps []wire.Reply, cbs []invocation) ([]invocation, bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -537,7 +862,10 @@ func (c *Client) handleReplies(reps []wire.Reply, cbs []invocation) ([]invocatio
 		case wire.StatusAccepted:
 			p, ok := c.pend[rp.Seq]
 			if !ok || !p.write {
-				return cbs, retry, fmt.Errorf("client: stray accept for seq %d", rp.Seq)
+				if err := c.strayErr("accept", rp.Seq); err != nil {
+					return cbs, retry, err
+				}
+				continue
 			}
 			delete(c.pend, rp.Seq)
 			c.ctr.AcceptedWrites++
@@ -545,7 +873,10 @@ func (c *Client) handleReplies(reps []wire.Reply, cbs []invocation) ([]invocatio
 		case wire.StatusStall:
 			p, ok := c.pend[rp.Seq]
 			if !ok {
-				return cbs, retry, fmt.Errorf("client: stray stall for seq %d", rp.Seq)
+				if err := c.strayErr("stall", rp.Seq); err != nil {
+					return cbs, retry, err
+				}
+				continue
 			}
 			c.noteStall(rp.Code)
 			if c.policy == recovery.DropWithAccounting {
@@ -571,7 +902,10 @@ func (c *Client) handleReplies(reps []wire.Reply, cbs []invocation) ([]invocatio
 		case wire.StatusDropped:
 			p, ok := c.pend[rp.Seq]
 			if !ok {
-				return cbs, retry, fmt.Errorf("client: stray drop for seq %d", rp.Seq)
+				if err := c.strayErr("drop", rp.Seq); err != nil {
+					return cbs, retry, err
+				}
+				continue
 			}
 			if inv, ok := c.dropLocked(rp.Seq, p, rp.Code, false); ok {
 				cbs = append(cbs, inv)
@@ -590,7 +924,10 @@ func (c *Client) handleCompletions(comps []wire.Completion, cbs []invocation) ([
 		w := &comps[i]
 		p, ok := c.pend[w.Seq]
 		if !ok || p.write {
-			return cbs, fmt.Errorf("client: stray completion for seq %d", w.Seq)
+			if err := c.strayErr("completion", w.Seq); err != nil {
+				return cbs, err
+			}
+			continue
 		}
 		delete(c.pend, w.Seq)
 		c.ctr.Completions++
@@ -655,9 +992,10 @@ func (c *Client) fail(err error) {
 		delete(c.statsW, seq)
 	}
 	c.sendq = c.sendq[:0]
+	nc := c.nc
 	close(c.dead)
 	c.mu.Unlock()
-	c.nc.Close()
+	nc.Close()
 	for i := range cbs {
 		cbs[i].cb(cbs[i].comp)
 	}

@@ -1,0 +1,235 @@
+// Wire-level fault injection: FlakyConn wraps a net.Conn the way the
+// Injector wraps the DRAM data path — a deterministic, seedable layer
+// that fragments, delays, truncates and severs the byte stream so the
+// protocol above (internal/wire framing, client reconnect, server
+// session resume) can prove it survives a hostile network. Each
+// direction draws from its own seeded PCG, so a connection served by
+// concurrent reader and writer goroutines still replays its fault
+// sequence deterministically per direction.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedReset is returned (wrapped) by FlakyConn reads and writes
+// that hit an injected connection reset or mid-frame drop. The
+// underlying connection is closed, so the peer observes a real EOF or
+// reset — both sides see the failure, like a genuine network cut.
+var ErrInjectedReset = errors.New("fault: injected connection reset")
+
+// NetConfig describes the network fault environment. The zero value
+// injects nothing. All rates are probabilities per Read/Write call.
+type NetConfig struct {
+	// Seed keys the two per-direction PRNGs.
+	Seed uint64
+	// PartialReadRate truncates the caller's read buffer to a random
+	// shorter length before reading, forcing worst-case short reads on
+	// the frame decoder. Legal per io.Reader, invisible to a correct
+	// peer.
+	PartialReadRate float64
+	// FragmentWriteRate splits one Write into several smaller writes,
+	// so frames cross the wire in arbitrary pieces. Legal per
+	// io.Writer, invisible to a correct peer.
+	FragmentWriteRate float64
+	// LatencyRate injects a sleep of up to MaxLatency before the call —
+	// a slow peer, not a broken one.
+	LatencyRate float64
+	// MaxLatency bounds one injected delay. Required when LatencyRate
+	// is non-zero.
+	MaxLatency time.Duration
+	// DropRate cuts the connection mid-Write: a random strict prefix of
+	// the buffer is written, then the conn is closed and the write
+	// fails — the mid-frame cut that leaves the peer holding a
+	// truncated frame.
+	DropRate float64
+	// ResetRate severs the connection at a call boundary: the conn is
+	// closed and the call fails without transferring anything.
+	ResetRate float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c NetConfig) Validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"PartialReadRate", c.PartialReadRate},
+		{"FragmentWriteRate", c.FragmentWriteRate},
+		{"LatencyRate", c.LatencyRate},
+		{"DropRate", c.DropRate},
+		{"ResetRate", c.ResetRate},
+	}
+	for _, r := range rates {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s %v must be in [0,1]", r.name, r.v)
+		}
+	}
+	if c.LatencyRate > 0 && c.MaxLatency <= 0 {
+		return fmt.Errorf("fault: LatencyRate %v needs MaxLatency > 0", c.LatencyRate)
+	}
+	if c.MaxLatency < 0 {
+		return fmt.Errorf("fault: MaxLatency must be >= 0, got %v", c.MaxLatency)
+	}
+	return nil
+}
+
+// NetCounters is the wrapper's ledger, updated atomically so either
+// side of the test harness can read it while the connection is live.
+type NetCounters struct {
+	// Reads and Writes count calls that reached the underlying conn.
+	Reads, Writes uint64
+	// PartialReads counts truncated read buffers; Fragments counts
+	// extra segments produced by split writes.
+	PartialReads, Fragments uint64
+	// Delays counts injected latencies; Drops counts mid-frame cuts;
+	// Resets counts call-boundary severs.
+	Delays, Drops, Resets uint64
+}
+
+// FlakyConn wraps a net.Conn with seeded fault injection. Safe for one
+// concurrent reader plus one concurrent writer (the standard net.Conn
+// usage); each direction has its own PRNG and lock.
+type FlakyConn struct {
+	net.Conn
+	cfg NetConfig
+
+	rmu sync.Mutex
+	rrd *rand.Rand
+	wmu sync.Mutex
+	wrd *rand.Rand
+
+	off atomic.Bool // StopInjecting: pass-through mode
+
+	reads, writes, partialReads, fragments atomic.Uint64
+	delays, drops, resets                  atomic.Uint64
+}
+
+// NewFlakyConn wraps nc; the same NetConfig and per-direction call
+// sequence always yields the same fault sequence.
+func NewFlakyConn(nc net.Conn, cfg NetConfig) (*FlakyConn, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &FlakyConn{
+		Conn: nc,
+		cfg:  cfg,
+		rrd:  rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15)),
+		wrd:  rand.New(rand.NewPCG(cfg.Seed, 0xc2b2ae3d27d4eb4f)),
+	}, nil
+}
+
+// StopInjecting switches the wrapper to transparent pass-through — the
+// chaos scenarios stop the weather before the clean drain phase, so
+// the final reconciliation measures recovery, not luck.
+func (f *FlakyConn) StopInjecting() { f.off.Store(true) }
+
+// Counters returns a snapshot of the ledger.
+func (f *FlakyConn) Counters() NetCounters {
+	return NetCounters{
+		Reads:        f.reads.Load(),
+		Writes:       f.writes.Load(),
+		PartialReads: f.partialReads.Load(),
+		Fragments:    f.fragments.Load(),
+		Delays:       f.delays.Load(),
+		Drops:        f.drops.Load(),
+		Resets:       f.resets.Load(),
+	}
+}
+
+// Read implements net.Conn with injected short reads, latency and
+// resets.
+func (f *FlakyConn) Read(p []byte) (int, error) {
+	if f.off.Load() || len(p) == 0 {
+		return f.Conn.Read(p)
+	}
+	f.rmu.Lock()
+	var delay time.Duration
+	reset := false
+	if f.rrd.Float64() < f.cfg.LatencyRate {
+		delay = time.Duration(1 + f.rrd.Int64N(int64(f.cfg.MaxLatency)))
+	}
+	if f.rrd.Float64() < f.cfg.ResetRate {
+		reset = true
+	} else if len(p) > 1 && f.rrd.Float64() < f.cfg.PartialReadRate {
+		p = p[:1+f.rrd.IntN(len(p)-1)]
+		f.partialReads.Add(1)
+	}
+	f.rmu.Unlock()
+	if delay > 0 {
+		f.delays.Add(1)
+		time.Sleep(delay)
+	}
+	if reset {
+		f.resets.Add(1)
+		f.Conn.Close()
+		return 0, fmt.Errorf("read: %w", ErrInjectedReset)
+	}
+	f.reads.Add(1)
+	return f.Conn.Read(p)
+}
+
+// Write implements net.Conn with injected fragmentation, latency,
+// mid-frame drops and resets.
+func (f *FlakyConn) Write(p []byte) (int, error) {
+	if f.off.Load() || len(p) == 0 {
+		return f.Conn.Write(p)
+	}
+	f.wmu.Lock()
+	var delay time.Duration
+	const (
+		passthrough = iota
+		reset
+		drop
+		fragment
+	)
+	kind := passthrough
+	cut, frag := 0, 0
+	switch {
+	case f.wrd.Float64() < f.cfg.ResetRate:
+		kind = reset
+	case f.wrd.Float64() < f.cfg.DropRate:
+		kind = drop
+		cut = f.wrd.IntN(len(p)) // strict prefix: the frame never completes
+	case len(p) > 1 && f.wrd.Float64() < f.cfg.FragmentWriteRate:
+		kind = fragment
+		frag = 1 + f.wrd.IntN(len(p)-1)
+	}
+	if f.wrd.Float64() < f.cfg.LatencyRate {
+		delay = time.Duration(1 + f.wrd.Int64N(int64(f.cfg.MaxLatency)))
+	}
+	f.wmu.Unlock()
+	if delay > 0 {
+		f.delays.Add(1)
+		time.Sleep(delay)
+	}
+	switch kind {
+	case reset:
+		f.resets.Add(1)
+		f.Conn.Close()
+		return 0, fmt.Errorf("write: %w", ErrInjectedReset)
+	case drop:
+		f.drops.Add(1)
+		n, _ := f.Conn.Write(p[:cut])
+		f.Conn.Close()
+		return n, fmt.Errorf("write after %d of %d bytes: %w", n, len(p), ErrInjectedReset)
+	case fragment:
+		f.fragments.Add(1)
+		f.writes.Add(1)
+		n, err := f.Conn.Write(p[:frag])
+		if err != nil {
+			return n, err
+		}
+		m, err := f.Write(p[frag:]) // recurse: long buffers may split again
+		return n + m, err
+	default:
+		f.writes.Add(1)
+		return f.Conn.Write(p)
+	}
+}

@@ -1,0 +1,198 @@
+package fault_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/wire"
+)
+
+// sink is a minimal non-blocking net.Conn for determinism tests.
+type sink struct {
+	net.Conn
+	buf bytes.Buffer
+}
+
+func (s *sink) Write(p []byte) (int, error) { return s.buf.Write(p) }
+func (s *sink) Read(p []byte) (int, error)  { return s.buf.Read(p) }
+func (s *sink) Close() error                { return nil }
+
+// TestFlakyConnTransparent proves the legal fault classes — write
+// fragmentation, short reads, latency — are invisible to a correct
+// frame decoder: every frame crosses intact, in order.
+func TestFlakyConnTransparent(t *testing.T) {
+	cn, sn := net.Pipe()
+	fc, err := fault.NewFlakyConn(cn, fault.NetConfig{
+		Seed:              11,
+		FragmentWriteRate: 0.9,
+		LatencyRate:       0.05,
+		MaxLatency:        100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := fault.NewFlakyConn(sn, fault.NetConfig{Seed: 12, PartialReadRate: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const frames = 50
+	errc := make(chan error, 1)
+	go func() {
+		e := wire.NewEncoder(fc)
+		for i := 0; i < frames; i++ {
+			if err := e.Requests(uint64(i), []wire.Request{
+				{Op: wire.OpRead, Seq: uint64(i), Addr: uint64(i) * 64},
+				{Op: wire.OpWrite, Seq: uint64(i) + frames, Addr: 7, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+			}); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- fc.Close()
+	}()
+
+	d := wire.NewDecoder(fs)
+	for i := 0; i < frames; i++ {
+		f, err := d.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Cycle != uint64(i) || len(f.Requests) != 2 || f.Requests[0].Seq != uint64(i) {
+			t.Fatalf("frame %d arrived corrupted: %+v", i, f)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if c := fc.Counters(); c.Fragments == 0 {
+		t.Fatal("90% fragmentation over 50 frames split nothing — injector not wired")
+	}
+	if c := fs.Counters(); c.PartialReads == 0 {
+		t.Fatal("90% short reads over 50 frames truncated nothing — injector not wired")
+	}
+}
+
+// TestFlakyConnDrop proves a mid-frame cut is visible on BOTH sides:
+// the writer gets ErrInjectedReset, the reader a truncated stream.
+func TestFlakyConnDrop(t *testing.T) {
+	cn, sn := net.Pipe()
+	fc, err := fault.NewFlakyConn(cn, fault.NetConfig{Seed: 3, DropRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, werr := fc.Write(bytes.Repeat([]byte{0xab}, 64))
+		errc <- werr
+	}()
+	// Drain the truncated prefix; the injected close ends the stream.
+	if _, err := io.ReadAll(sn); err != nil {
+		t.Fatalf("reader saw %v, want clean EOF after the cut", err)
+	}
+	if werr := <-errc; !errors.Is(werr, fault.ErrInjectedReset) {
+		t.Fatalf("dropped write returned %v, want ErrInjectedReset", werr)
+	}
+	if c := fc.Counters(); c.Drops != 1 {
+		t.Fatalf("counters %+v, want exactly one drop", c)
+	}
+	if _, err := fc.Write([]byte{1}); err == nil {
+		t.Fatal("write after injected drop succeeded — conn must be severed")
+	}
+}
+
+// TestFlakyConnReset proves a call-boundary sever transfers nothing.
+func TestFlakyConnReset(t *testing.T) {
+	fc, err := fault.NewFlakyConn(&sink{}, fault.NetConfig{Seed: 5, ResetRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, werr := fc.Write([]byte{1, 2, 3}); n != 0 || !errors.Is(werr, fault.ErrInjectedReset) {
+		t.Fatalf("reset write = (%d, %v), want (0, ErrInjectedReset)", n, werr)
+	}
+	if c := fc.Counters(); c.Resets != 1 || c.Writes != 0 {
+		t.Fatalf("counters %+v, want one reset, zero completed writes", c)
+	}
+}
+
+// TestFlakyConnDeterminism: same seed + same call sequence = same
+// bytes, same faults, same ledger — per direction.
+func TestFlakyConnDeterminism(t *testing.T) {
+	run := func() (fault.NetCounters, []byte, []int) {
+		s := &sink{}
+		fc, err := fault.NewFlakyConn(s, fault.NetConfig{
+			Seed:              42,
+			FragmentWriteRate: 0.5,
+			PartialReadRate:   0.5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lens []int
+		for i := 0; i < 100; i++ {
+			payload := bytes.Repeat([]byte{byte(i)}, 32)
+			if _, err := fc.Write(payload); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 32)
+			n, err := fc.Read(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lens = append(lens, n)
+		}
+		return fc.Counters(), s.buf.Bytes(), lens
+	}
+	c1, b1, l1 := run()
+	c2, b2, l2 := run()
+	if c1 != c2 || !bytes.Equal(b1, b2) || !reflect.DeepEqual(l1, l2) {
+		t.Fatalf("same seed diverged: counters %+v vs %+v", c1, c2)
+	}
+	if c1.Fragments == 0 || c1.PartialReads == 0 {
+		t.Fatalf("faults not exercised: %+v", c1)
+	}
+}
+
+// TestFlakyConnStopInjecting: pass-through mode is total — no faults,
+// no accounting, bytes flow untouched.
+func TestFlakyConnStopInjecting(t *testing.T) {
+	s := &sink{}
+	fc, err := fault.NewFlakyConn(s, fault.NetConfig{Seed: 9, DropRate: 1, ResetRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.StopInjecting()
+	if _, err := fc.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatalf("pass-through write failed: %v", err)
+	}
+	buf := make([]byte, 3)
+	if n, _ := fc.Read(buf); n != 3 || !bytes.Equal(buf, []byte{1, 2, 3}) {
+		t.Fatalf("pass-through read = %d %v", n, buf)
+	}
+	if c := fc.Counters(); c != (fault.NetCounters{}) {
+		t.Fatalf("pass-through mode touched the ledger: %+v", c)
+	}
+}
+
+// TestNetConfigValidate rejects bad rates up front.
+func TestNetConfigValidate(t *testing.T) {
+	bad := []fault.NetConfig{
+		{DropRate: -0.1},
+		{ResetRate: 1.5},
+		{LatencyRate: 0.5},          // needs MaxLatency
+		{MaxLatency: -time.Second},  // negative
+		{PartialReadRate: 2},        // out of range
+		{FragmentWriteRate: -1e-09}, // out of range
+	}
+	for _, cfg := range bad {
+		if _, err := fault.NewFlakyConn(&sink{}, cfg); err == nil {
+			t.Errorf("NewFlakyConn accepted bad config %+v", cfg)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package qos regulates per-tenant issue rates in front of the VPNM
+// memory, following the per-bank bandwidth-regulation literature: each
+// tenant owns a token bucket refilled by the server clock (in interface
+// cycles, not wall time, so regulation is exact and replayable), and a
+// request may issue only when its tenant holds a token. The paper's
+// fixed-D guarantee is distribution-free per request, but a shared
+// server multiplexing many tenants has a finite issue budget per cycle;
+// without regulation one adversarial tenant replaying the same-bank
+// attack can occupy every bank queue and starve everyone. Token buckets
+// bound what any tenant can inject over any window of N cycles to
+// N*rate + burst — an arithmetic identity the tests assert exactly —
+// which turns the per-request guarantee into a multi-tenant SLA.
+//
+// Refusals are stalls: ErrThrottled wraps core.ErrStall, so the whole
+// existing recovery taxonomy (retry next cycle, drop with accounting,
+// backpressure) applies to an over-rate tenant exactly as it does to a
+// full bank queue, and the wire layer carries the cause as a one-byte
+// code like the core sentinels.
+//
+// The hot path — Advance and TryTake — is allocation-free and uses
+// 32.32 fixed-point token arithmetic with a round-to-nearest rate, so
+// fractional rates like 0.05 tokens/cycle regulate with drift bounded
+// by one token per 2^32 cycles: a greedy consumer over N cycles is
+// granted burst + floor(N*rate) tokens, give or take at most one.
+package qos
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// ErrThrottled reports that a tenant exceeded its issue-rate budget.
+// It wraps core.ErrStall, so core.IsStall reports true and every
+// recovery policy treats it like any other stall condition.
+var ErrThrottled = fmt.Errorf("%w: tenant over issue-rate budget", core.ErrStall)
+
+// tokenScale is the 32.32 fixed-point scale for bucket arithmetic.
+const tokenScale = 1 << 32
+
+// Limit is a token-bucket configuration. The zero value means
+// unlimited: a tenant with a zero Limit is never throttled.
+type Limit struct {
+	// Rate is the sustained budget in requests per interface cycle.
+	// Fractional rates are carried in 32.32 fixed point (rounded to
+	// nearest), so 0.05 grants one token every 20 cycles with drift
+	// bounded by one token per 2^32 cycles.
+	Rate float64
+	// Burst is the bucket depth in requests — how far a tenant may get
+	// ahead of its sustained rate. Zero with a non-zero Rate selects a
+	// burst of one token (a pure rate limiter must still be able to
+	// grant a token at all).
+	Burst float64
+}
+
+// Unlimited reports whether the limit disables regulation.
+func (l Limit) Unlimited() bool { return l.Rate <= 0 }
+
+// Validate rejects non-finite or negative parameters.
+func (l Limit) Validate() error {
+	if math.IsNaN(l.Rate) || math.IsInf(l.Rate, 0) || l.Rate < 0 {
+		return fmt.Errorf("qos: rate %v must be finite and >= 0", l.Rate)
+	}
+	if math.IsNaN(l.Burst) || math.IsInf(l.Burst, 0) || l.Burst < 0 {
+		return fmt.Errorf("qos: burst %v must be finite and >= 0", l.Burst)
+	}
+	if l.Rate > float64(1<<20) || l.Burst > float64(1<<20) {
+		return fmt.Errorf("qos: rate %v / burst %v exceed the 2^20 fixed-point headroom", l.Rate, l.Burst)
+	}
+	return nil
+}
+
+// Bucket is one token bucket in 32.32 fixed point. It is not safe for
+// concurrent use: like the controller it guards, it belongs to the
+// clock-owning goroutine. The zero value is an unlimited bucket.
+type Bucket struct {
+	rate   uint64 // tokens added per cycle, fixed point
+	burst  uint64 // capacity, fixed point
+	tokens uint64 // current level, fixed point
+}
+
+// NewBucket builds a bucket that starts full (a fresh tenant may spend
+// its whole burst immediately — the standard token-bucket contract).
+func NewBucket(l Limit) Bucket {
+	if l.Unlimited() {
+		return Bucket{}
+	}
+	b := Bucket{
+		rate:  uint64(l.Rate*tokenScale + 0.5),
+		burst: uint64(l.Burst * tokenScale),
+	}
+	if b.burst < tokenScale {
+		b.burst = tokenScale // a rate limiter must be able to hold >= 1 token
+	}
+	b.tokens = b.burst
+	return b
+}
+
+// Unlimited reports whether the bucket never throttles.
+func (b *Bucket) Unlimited() bool { return b.rate == 0 && b.burst == 0 }
+
+// Advance refills the bucket for n elapsed interface cycles.
+func (b *Bucket) Advance(n uint64) {
+	if b.burst == 0 {
+		return
+	}
+	// Saturating add: n*rate can overflow only under absurd skip spans;
+	// the bucket tops out at burst either way.
+	add := n * b.rate
+	if b.rate != 0 && add/b.rate != n {
+		add = math.MaxUint64
+	}
+	t := b.tokens + add
+	if t < b.tokens || t > b.burst {
+		t = b.burst
+	}
+	b.tokens = t
+}
+
+// TryTake consumes one token, reporting false (throttled) when less
+// than a whole token is available. Unlimited buckets always grant.
+func (b *Bucket) TryTake() bool {
+	if b.burst == 0 {
+		return true
+	}
+	if b.tokens < tokenScale {
+		return false
+	}
+	b.tokens -= tokenScale
+	return true
+}
+
+// Tokens returns the current level in whole tokens (floor).
+func (b *Bucket) Tokens() uint64 { return b.tokens / tokenScale }
+
+// latencyBounds cover completion latencies from D-ish up through deep
+// queue-wait excursions; the last finite bound is 2^15 cycles.
+var latencyBounds = telemetry.ExponentialBounds(1, 2, 16)
+
+// Tenant is one regulated principal: a token bucket plus its ledger.
+// The bucket side (Advance/TryTake via the Regulator) belongs to the
+// clock goroutine; the counters are atomics, safe to read anywhere and
+// mirrored into vpnm_tenant_* telemetry series when the Regulator was
+// built with a registry.
+type Tenant struct {
+	name   string
+	bucket Bucket
+
+	// The ledger handles are telemetry primitives even without a
+	// registry, so the registered series and Counters() share storage
+	// and cannot diverge.
+	issued    *telemetry.Counter // requests granted a token and issued
+	throttled *telemetry.Counter // issue attempts refused for want of a token
+	queue     *telemetry.Gauge   // requests queued (enqueued, not yet resolved)
+
+	latency *telemetry.Histogram // completion latency, enqueue -> delivery cycles
+}
+
+// Name returns the tenant's name.
+func (t *Tenant) Name() string { return t.name }
+
+// Limited reports whether the tenant has a finite rate budget.
+func (t *Tenant) Limited() bool { return !t.bucket.Unlimited() }
+
+// TryIssue consumes one token, counting the grant or the refusal.
+// Clock-goroutine only.
+func (t *Tenant) TryIssue() bool {
+	if t.bucket.TryTake() {
+		t.issued.Inc()
+		return true
+	}
+	t.throttled.Inc()
+	return false
+}
+
+// NoteQueued adjusts the tenant's queued-request gauge.
+func (t *Tenant) NoteQueued(delta int64) { t.queue.Add(delta) }
+
+// NoteLatency records one completion latency in interface cycles,
+// measured from enqueue to delivery — the user-visible latency, which
+// for a well-behaved tenant stays pinned near D while an over-rate
+// tenant's grows with its self-inflicted queue wait.
+func (t *Tenant) NoteLatency(cycles uint64) {
+	if t.latency != nil {
+		t.latency.Observe(cycles)
+	}
+}
+
+// Counters is a point-in-time copy of a tenant's ledger.
+type Counters struct {
+	// Issued counts requests granted a token; Throttled counts refused
+	// issue attempts (each queue-head re-presentation counts once).
+	Issued, Throttled uint64
+	// Queued is the current queued-request gauge.
+	Queued int64
+}
+
+// Counters snapshots the tenant ledger. Safe from any goroutine.
+func (t *Tenant) Counters() Counters {
+	return Counters{
+		Issued:    t.issued.Load(),
+		Throttled: t.throttled.Load(),
+		Queued:    t.queue.Load(),
+	}
+}
+
+// Latency snapshots the tenant's completion-latency histogram, or a
+// zero snapshot when the Regulator has no registry.
+func (t *Tenant) Latency() telemetry.HistogramSnapshot {
+	if t.latency == nil {
+		return telemetry.HistogramSnapshot{}
+	}
+	return t.latency.Snapshot()
+}
+
+// Config tunes a Regulator.
+type Config struct {
+	// Default is the limit applied to tenants with no explicit entry in
+	// Limits. The zero value leaves unknown tenants unregulated.
+	Default Limit
+	// Limits maps tenant names to their limits, overriding Default.
+	Limits map[string]Limit
+	// Registry, when non-nil, receives per-tenant vpnm_tenant_* series
+	// (issued/throttled counters, queue-depth gauge, completion-latency
+	// histogram) as tenants are created.
+	Registry *telemetry.Registry
+}
+
+// Validate checks every limit.
+func (c Config) Validate() error {
+	if err := c.Default.Validate(); err != nil {
+		return fmt.Errorf("qos: default limit: %w", err)
+	}
+	for name, l := range c.Limits {
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("qos: tenant %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Regulator manages the tenant set. Tenant lookup/creation takes a
+// lock (registration path); Advance iterates a snapshot slice and is
+// allocation-free in steady state, so the per-cycle cost of regulation
+// is a few adds per live tenant.
+type Regulator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	byName  map[string]*Tenant
+	tenants []*Tenant    // snapshot source for Advance
+	list    atomic.Value // []*Tenant, read by Advance without the lock
+}
+
+// NewRegulator builds a regulator.
+func NewRegulator(cfg Config) (*Regulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Regulator{cfg: cfg, byName: make(map[string]*Tenant)}
+	r.list.Store([]*Tenant(nil))
+	return r, nil
+}
+
+// LimitFor returns the limit a tenant of this name would receive.
+func (r *Regulator) LimitFor(name string) Limit {
+	if l, ok := r.cfg.Limits[name]; ok {
+		return l
+	}
+	return r.cfg.Default
+}
+
+// Tenant returns the named tenant, creating (and registering its
+// telemetry series) on first use.
+func (r *Regulator) Tenant(name string) *Tenant {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.byName[name]; ok {
+		return t
+	}
+	lim := r.LimitFor(name)
+	t := &Tenant{name: name, bucket: NewBucket(lim)}
+	if reg := r.cfg.Registry; reg != nil {
+		reg.GaugeFunc("vpnm_tenant_rate_limit", "Configured sustained issue budget in requests per cycle (0 = unlimited).",
+			func() float64 { return lim.Rate }, "tenant", name)
+		t.issued = reg.Counter("vpnm_tenant_issued_total", "Requests granted an issue token.", "tenant", name)
+		t.throttled = reg.Counter("vpnm_tenant_throttled_total", "Issue attempts refused by the token bucket.", "tenant", name)
+		t.queue = reg.Gauge("vpnm_tenant_queue_depth", "Requests queued (enqueued, not yet resolved).", "tenant", name)
+		t.latency = reg.Histogram("vpnm_tenant_completion_latency_cycles",
+			"Completion latency from enqueue to delivery, in interface cycles.", latencyBounds, "tenant", name)
+	} else {
+		t.issued, t.throttled, t.queue = &telemetry.Counter{}, &telemetry.Counter{}, &telemetry.Gauge{}
+	}
+	r.byName[name] = t
+	r.tenants = append(r.tenants, t)
+	r.list.Store(append([]*Tenant(nil), r.tenants...))
+	return t
+}
+
+// Advance refills every tenant's bucket for n elapsed cycles.
+// Clock-goroutine only; allocation-free.
+func (r *Regulator) Advance(n uint64) {
+	for _, t := range r.list.Load().([]*Tenant) {
+		t.bucket.Advance(n)
+	}
+}
+
+// Tenants returns a snapshot of the live tenant set.
+func (r *Regulator) Tenants() []*Tenant {
+	return r.list.Load().([]*Tenant)
+}

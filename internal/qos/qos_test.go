@@ -1,0 +1,241 @@
+package qos
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+func TestThrottledIsStall(t *testing.T) {
+	if !core.IsStall(ErrThrottled) {
+		t.Fatal("ErrThrottled must wrap core.ErrStall so every recovery policy applies")
+	}
+	if !errors.Is(ErrThrottled, core.ErrStall) {
+		t.Fatal("errors.Is(ErrThrottled, core.ErrStall) = false")
+	}
+}
+
+// TestBucketGrantBound asserts the defining token-bucket identity: over
+// any span of N cycles a bucket grants at most floor(N*rate) + burst
+// tokens, and a greedy consumer achieves that bound exactly.
+func TestBucketGrantBound(t *testing.T) {
+	cases := []struct {
+		rate  float64
+		burst float64
+		n     uint64
+	}{
+		{0.05, 8, 1000},
+		{0.5, 1, 999},
+		{1.0 / 3.0, 4, 3000},
+		{2.5, 16, 100},
+		{1, 1, 57},
+	}
+	for _, tc := range cases {
+		b := NewBucket(Limit{Rate: tc.rate, Burst: tc.burst})
+		granted := uint64(0)
+		for b.TryTake() { // drain the initial burst
+			granted++
+		}
+		burst := granted
+		if want := uint64(math.Max(tc.burst, 1)); burst != want {
+			t.Errorf("rate=%v burst=%v: initial burst granted %d tokens, want %d", tc.rate, tc.burst, granted, want)
+		}
+		for c := uint64(0); c < tc.n; c++ {
+			b.Advance(1)
+			for b.TryTake() {
+				granted++
+			}
+		}
+		// Fixed-point precision: greedy consumption after draining the
+		// burst yields floor(N*rate) more tokens, give or take one for
+		// rates not representable in 32.32 binary (1/3, 0.05) — and
+		// NEVER more than one above, which is the isolation bound.
+		want := burst + uint64(float64(tc.n)*tc.rate+1e-9)
+		if granted > want+1 || granted+1 < want {
+			t.Errorf("rate=%v burst=%v n=%d: granted %d tokens, want %d +/- 1",
+				tc.rate, tc.burst, tc.n, granted, want)
+		}
+	}
+}
+
+func TestBucketBurstCap(t *testing.T) {
+	b := NewBucket(Limit{Rate: 1, Burst: 4})
+	b.Advance(1 << 40) // a long idle span must not bank more than burst
+	if got := b.Tokens(); got != 4 {
+		t.Fatalf("after idle span bucket holds %d tokens, want burst=4", got)
+	}
+	b.Advance(math.MaxUint64) // saturating refill must not wrap
+	if got := b.Tokens(); got != 4 {
+		t.Fatalf("after MaxUint64 refill bucket holds %d tokens, want burst=4", got)
+	}
+}
+
+func TestBucketUnlimited(t *testing.T) {
+	var b Bucket // zero value
+	for i := 0; i < 1000; i++ {
+		if !b.TryTake() {
+			t.Fatal("unlimited bucket refused a token")
+		}
+	}
+	nb := NewBucket(Limit{})
+	if !nb.Unlimited() || !nb.TryTake() {
+		t.Fatal("NewBucket(Limit{}) must be unlimited")
+	}
+}
+
+func TestLimitValidate(t *testing.T) {
+	bad := []Limit{
+		{Rate: -1},
+		{Rate: math.NaN()},
+		{Rate: math.Inf(1)},
+		{Rate: 1, Burst: -1},
+		{Rate: 1, Burst: math.NaN()},
+		{Rate: float64(1 << 21)},
+		{Rate: 1, Burst: float64(1 << 21)},
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted a bad limit", l)
+		}
+	}
+	if err := (Limit{Rate: 0.25, Burst: 8}).Validate(); err != nil {
+		t.Fatalf("valid limit rejected: %v", err)
+	}
+	if err := (Config{Limits: map[string]Limit{"x": {Rate: -1}}}).Validate(); err == nil {
+		t.Fatal("Config.Validate missed a bad tenant limit")
+	}
+}
+
+func TestRegulatorTenantsAndLimits(t *testing.T) {
+	reg, err := NewRegulator(Config{
+		Default: Limit{Rate: 1, Burst: 2},
+		Limits:  map[string]Limit{"attacker": {Rate: 0.05, Burst: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := reg.Tenant("attacker")
+	v := reg.Tenant("victim")
+	if reg.Tenant("attacker") != a {
+		t.Fatal("Tenant is not idempotent")
+	}
+	if got := reg.LimitFor("attacker"); got.Rate != 0.05 {
+		t.Fatalf("attacker limit = %+v", got)
+	}
+	if got := reg.LimitFor("victim"); got.Rate != 1 {
+		t.Fatalf("victim gets default limit, got %+v", got)
+	}
+	if len(reg.Tenants()) != 2 {
+		t.Fatalf("Tenants() = %d, want 2", len(reg.Tenants()))
+	}
+
+	// attacker: burst 1, rate 1/20 — two immediate issues, one granted.
+	if !a.TryIssue() {
+		t.Fatal("first issue within burst must succeed")
+	}
+	if a.TryIssue() {
+		t.Fatal("second immediate issue must throttle")
+	}
+	reg.Advance(20)
+	if !a.TryIssue() {
+		t.Fatal("after 20 cycles at rate 0.05 a token must be available")
+	}
+	c := a.Counters()
+	if c.Issued != 2 || c.Throttled != 1 {
+		t.Fatalf("attacker counters = %+v, want issued=2 throttled=1", c)
+	}
+	a.NoteQueued(3)
+	a.NoteQueued(-1)
+	if got := a.Counters().Queued; got != 2 {
+		t.Fatalf("queue gauge = %d, want 2", got)
+	}
+	if !v.TryIssue() || v.Name() != "victim" || !v.Limited() {
+		t.Fatal("victim tenant misconfigured")
+	}
+}
+
+func TestRegulatorTelemetrySeries(t *testing.T) {
+	tel := telemetry.NewRegistry()
+	reg, err := NewRegulator(Config{
+		Default:  Limit{Rate: 0.5, Burst: 4},
+		Registry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := reg.Tenant("a")
+	for i := 0; i < 6; i++ {
+		a.TryIssue()
+	}
+	a.NoteQueued(5)
+	a.NoteLatency(10)
+	a.NoteLatency(100)
+
+	var b strings.Builder
+	if _, err := tel.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	series, err := telemetry.ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	want := map[string]float64{
+		`vpnm_tenant_issued_total{tenant="a"}`:                    4, // burst of 4
+		`vpnm_tenant_throttled_total{tenant="a"}`:                 2,
+		`vpnm_tenant_queue_depth{tenant="a"}`:                     5,
+		`vpnm_tenant_rate_limit{tenant="a"}`:                      0.5,
+		`vpnm_tenant_completion_latency_cycles_count{tenant="a"}`: 2,
+		`vpnm_tenant_completion_latency_cycles_sum{tenant="a"}`:   110,
+	}
+	for k, v := range want {
+		if got, ok := series[k]; !ok || got != v {
+			t.Errorf("series %s = %v (present=%v), want %v", k, got, ok, v)
+		}
+	}
+	// The exposition and the ledger share storage.
+	if c := a.Counters(); c.Issued != 4 || c.Throttled != 2 || c.Queued != 5 {
+		t.Fatalf("ledger %+v diverges from exposition", c)
+	}
+	if lat := a.Latency(); lat.Count != 2 || lat.Sum != 110 {
+		t.Fatalf("latency snapshot %+v", lat)
+	}
+}
+
+// TestHotPathAllocationFree pins the regulator's per-cycle cost: the
+// Advance + TryIssue path must not allocate, with or without telemetry.
+func TestHotPathAllocationFree(t *testing.T) {
+	for _, withReg := range []bool{false, true} {
+		cfg := Config{Default: Limit{Rate: 0.5, Burst: 8}}
+		if withReg {
+			cfg.Registry = telemetry.NewRegistry()
+		}
+		reg, err := NewRegulator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ten := []*Tenant{reg.Tenant("a"), reg.Tenant("b"), reg.Tenant("c")}
+		allocs := testing.AllocsPerRun(1000, func() {
+			reg.Advance(1)
+			for _, tn := range ten {
+				if tn.TryIssue() {
+					tn.NoteQueued(1)
+					tn.NoteQueued(-1)
+					tn.NoteLatency(7)
+				}
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("registry=%v: regulator hot path allocates %.1f allocs/op, want 0", withReg, allocs)
+		}
+	}
+}
+
+func TestRegulatorRejectsBadConfig(t *testing.T) {
+	if _, err := NewRegulator(Config{Default: Limit{Rate: -2}}); err == nil {
+		t.Fatal("NewRegulator accepted a bad default limit")
+	}
+}

@@ -91,6 +91,14 @@ type Config struct {
 	// OnDrop, when non-nil, observes every request abandoned — policy
 	// drops and exhausted retries — with the stall that caused it.
 	OnDrop func(write bool, addr uint64, cause error)
+	// Admit, when non-nil, gates every presentation to the controller —
+	// initial issues and retries alike — before the controller sees the
+	// request. A refusal must be nil or an error wrapping core.ErrStall
+	// (qos.ErrThrottled is the canonical gate refusal); it is handled by
+	// the same policy as a controller stall but counted separately, in
+	// Counters.Throttled, so Counters.Stalls still reconciles exactly
+	// with the controller's own ledger.
+	Admit func(write bool, addr uint64) error
 }
 
 // Recovery-layer verdicts. ErrDropped wraps the underlying stall, so
@@ -126,6 +134,11 @@ type Counters struct {
 	// DeferredCycles counts interface cycles absorbed inside
 	// Backpressure calls — time the device spent stalled.
 	DeferredCycles uint64
+	// Throttled counts presentations refused by Config.Admit. These
+	// never reach the controller, so they are deliberately NOT in
+	// Stalls — Stalls reconciles with Stats() and Throttled with the
+	// admission gate's own ledger.
+	Throttled uint64
 }
 
 // Retrier wraps a Controller with a stall-recovery policy. Like the
@@ -198,7 +211,7 @@ func (r *Retrier) Read(addr uint64) (uint64, error) {
 	if r.parked || r.portUsed {
 		return 0, ErrBusy
 	}
-	tag, err := r.ctrl.Read(addr)
+	tag, err := r.present(false, addr, nil)
 	if err == nil {
 		r.accept(false, addr, tag, nil)
 		return tag, nil
@@ -217,7 +230,7 @@ func (r *Retrier) Write(addr uint64, data []byte) error {
 	if r.parked || r.portUsed {
 		return ErrBusy
 	}
-	err := r.ctrl.Write(addr, data)
+	_, err := r.present(true, addr, data)
 	if err == nil {
 		r.accept(true, addr, 0, data)
 		return nil
@@ -242,13 +255,7 @@ func (r *Retrier) handleStall(write bool, addr uint64, data []byte, cause error)
 			r.c.DeferredCycles++
 			r.collect(r.ctrl.Tick())
 			r.c.Retries++
-			var tag uint64
-			var err error
-			if write {
-				err = r.ctrl.Write(addr, data)
-			} else {
-				tag, err = r.ctrl.Read(addr)
-			}
+			tag, err := r.present(write, addr, data)
 			if err == nil {
 				r.c.RetriedOK++
 				r.accept(write, addr, tag, data)
@@ -285,13 +292,7 @@ func (r *Retrier) Tick() []core.Completion {
 	if r.parked {
 		r.pAttempts++
 		r.c.Retries++
-		var tag uint64
-		var err error
-		if r.pWrite {
-			err = r.ctrl.Write(r.pAddr, r.pData)
-		} else {
-			tag, err = r.ctrl.Read(r.pAddr)
-		}
+		tag, err := r.present(r.pWrite, r.pAddr, r.pData)
 		switch {
 		case err == nil:
 			r.parked = false
@@ -342,6 +343,22 @@ func (r *Retrier) Flush() []core.Completion {
 	// The drain advanced many cycles past whatever consumed the port.
 	r.portUsed = false
 	return all
+}
+
+// present runs one request past the admission gate and, if admitted,
+// into the controller. Gate refusals are counted in Throttled and
+// returned for the caller's stall policy to handle.
+func (r *Retrier) present(write bool, addr uint64, data []byte) (uint64, error) {
+	if r.cfg.Admit != nil {
+		if err := r.cfg.Admit(write, addr); err != nil {
+			r.c.Throttled++
+			return 0, err
+		}
+	}
+	if write {
+		return 0, r.ctrl.Write(addr, data)
+	}
+	return r.ctrl.Read(addr)
 }
 
 // collect stashes completions with payloads copied into pooled buffers.

@@ -1,0 +1,156 @@
+package recovery
+
+// Retrier × ErrThrottled: the admission gate (Config.Admit) refuses a
+// presentation before the controller sees it, and every policy must
+// handle the refusal exactly as it handles a controller stall — while
+// the ledgers stay separable: Throttled counts gate refusals, Stalls
+// reconciles with the controller's own Stats(), and the two never mix.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/qos"
+)
+
+// roomyConfig returns a geometry with enough slack that the controller
+// itself never stalls in these tests — every refusal is the gate's.
+func roomyConfig() core.Config {
+	return core.Config{
+		Banks:      8,
+		QueueDepth: 16,
+		DelayRows:  64,
+		WordBytes:  4,
+		HashSeed:   1,
+	}
+}
+
+func TestAdmitGateThrottlePolicies(t *testing.T) {
+	cases := []struct {
+		name   string
+		policy Policy
+
+		wantErr       error
+		wantReads     uint64 // accepted reads after the run
+		wantThrottled uint64
+		wantRetries   uint64
+		wantRetriedOK uint64
+		wantDrops     uint64
+		wantDeferred  uint64
+	}{
+		{
+			// Parks on the refusal, re-presents each Tick; the bucket
+			// (rate 1/4, burst 1) grants on the 4th retry.
+			name: "retry-next-cycle", policy: RetryNextCycle,
+			wantErr: ErrDeferred, wantReads: 2,
+			wantThrottled: 4, wantRetries: 4, wantRetriedOK: 1,
+		},
+		{
+			// Abandons immediately: one refusal, one drop, the
+			// controller never sees the request.
+			name: "drop-with-accounting", policy: DropWithAccounting,
+			wantErr: ErrDropped, wantReads: 1,
+			wantThrottled: 1, wantDrops: 1,
+		},
+		{
+			// Ticks in place until the bucket refills — the caller's
+			// Read succeeds after absorbing four deferred cycles.
+			name: "backpressure", policy: Backpressure,
+			wantErr: nil, wantReads: 2,
+			wantThrottled: 4, wantRetries: 4, wantRetriedOK: 1, wantDeferred: 4,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctrl, err := core.New(roomyConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Burst 1, rate 1/4: the first issue drains the bucket and the
+			// next needs four elapsed cycles. The gate advances the bucket
+			// one cycle per refusal, mirroring the server clock's refill
+			// (every policy re-presents at most once per interface cycle).
+			b := qos.NewBucket(qos.Limit{Rate: 0.25, Burst: 1})
+			r := NewRetrier(ctrl, Config{Policy: tc.policy, MaxAttempts: 64,
+				Admit: func(write bool, addr uint64) error {
+					if b.TryTake() {
+						return nil
+					}
+					b.Advance(1)
+					return qos.ErrThrottled
+				}})
+
+			if _, err := r.Read(0x10); err != nil {
+				t.Fatalf("first read within burst: %v", err)
+			}
+			r.Tick()
+			_, err = r.Read(0x20)
+			if !errors.Is(err, tc.wantErr) && err != tc.wantErr {
+				t.Fatalf("throttled read returned %v, want %v", err, tc.wantErr)
+			}
+			if tc.policy == DropWithAccounting {
+				if !errors.Is(err, qos.ErrThrottled) || !errors.Is(err, core.ErrStall) {
+					t.Fatalf("drop verdict %v must wrap qos.ErrThrottled and core.ErrStall", err)
+				}
+			}
+			for i := 0; i < 100 && r.Parked(); i++ {
+				r.Tick()
+			}
+			if r.Parked() {
+				t.Fatal("throttled request never resolved")
+			}
+			r.Flush()
+
+			c := r.Counters()
+			if c.Reads != tc.wantReads || c.Throttled != tc.wantThrottled ||
+				c.Retries != tc.wantRetries || c.RetriedOK != tc.wantRetriedOK ||
+				c.Drops != tc.wantDrops || c.DeferredCycles != tc.wantDeferred {
+				t.Fatalf("counters %+v, want reads=%d throttled=%d retries=%d retriedOK=%d drops=%d deferred=%d",
+					c, tc.wantReads, tc.wantThrottled, tc.wantRetries, tc.wantRetriedOK, tc.wantDrops, tc.wantDeferred)
+			}
+			// Gate refusals never reach the controller: its ledger sees
+			// only the admitted reads and zero stalls, and the Retrier's
+			// stall counts reconcile with it exactly.
+			st := ctrl.Stats()
+			if st.Reads != tc.wantReads {
+				t.Fatalf("controller accepted %d reads, want %d", st.Reads, tc.wantReads)
+			}
+			if got, want := c.Stalls.Total(), st.Stalls.Total(); got != want || got != 0 {
+				t.Fatalf("stall ledgers: retrier %d, controller %d, want 0 (throttles are not stalls)", got, want)
+			}
+		})
+	}
+}
+
+// TestAdmitGateWrites mirrors the read path: a throttled write under
+// RetryNextCycle parks and eventually lands, and the accepted write is
+// visible in the controller ledger.
+func TestAdmitGateWrites(t *testing.T) {
+	ctrl, err := core.New(roomyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refusals := 2
+	r := NewRetrier(ctrl, Config{Policy: RetryNextCycle,
+		Admit: func(write bool, addr uint64) error {
+			if refusals > 0 {
+				refusals--
+				return qos.ErrThrottled
+			}
+			return nil
+		}})
+	if err := r.Write(0x30, []byte{1, 2, 3, 4}); !errors.Is(err, ErrDeferred) {
+		t.Fatalf("throttled write returned %v, want ErrDeferred", err)
+	}
+	for i := 0; i < 10 && r.Parked(); i++ {
+		r.Tick()
+	}
+	c := r.Counters()
+	if c.Writes != 1 || c.Throttled != 2 || c.RetriedOK != 1 {
+		t.Fatalf("counters %+v, want writes=1 throttled=2 retriedOK=1", c)
+	}
+	if st := ctrl.Stats(); st.Writes != 1 || st.Stalls.Total() != 0 {
+		t.Fatalf("controller ledger %+v, want 1 write, 0 stalls", st.Stalls)
+	}
+}

@@ -3,122 +3,73 @@ package server
 import (
 	"fmt"
 	"net"
-	"sync"
+	"time"
 
 	"repro/internal/wire"
 )
 
-// conn is one client connection: a bounded queue of decoded requests on
-// the way in, and reply/completion buffers on the way out.
+// conn is pure transport: one net.Conn plus the reader and writer
+// goroutines that shuttle frames between it and a session. Everything
+// durable — the request queue, the in-flight window, the replay cache,
+// the staged output — lives in the session, so a conn dying loses
+// nothing but the socket.
 //
-// Lock order: c.mu may be taken before e.mu (statsFor does), never the
-// other way around.
+// A connection binds to its session on the first frame: a FrameHello
+// resolves (or resumes) the session it names; any other frame type
+// first binds an anonymous, non-resumable session, preserving the
+// pre-Hello protocol exactly.
 type conn struct {
 	e  *Engine
 	nc net.Conn
+	s  *session // set at attach; nil until the first frame
 
-	mu    sync.Mutex
-	rcond *sync.Cond // reader waits here for queue space
-	wcond *sync.Cond // writer waits here for output
-
-	// pending[head:] is the queue of requests decoded but not yet
-	// issued; head-indexing keeps pops O(1) without reallocating.
-	pending []pendingReq
-	head    int
-
-	outstanding int // reads issued to the memory, completion not yet routed
-
-	outReplies []wire.Reply
-	outComps   []wire.Completion
-	outStats   []wire.Stats
-	freeBufs   [][]byte // recycled completion payload buffers
-
-	closed   bool
-	closeErr error
+	dead bool // guarded by s.mu once attached
 }
 
-func (c *conn) queuedLocked() int { return len(c.pending) - c.head }
-
-// popLocked removes the queue head. Called with c.mu held.
-func (c *conn) popLocked() {
-	c.head++
-	if c.head == len(c.pending) {
-		c.pending = c.pending[:0]
-		c.head = 0
-	} else if c.head > 256 && c.head*2 > len(c.pending) {
-		n := copy(c.pending, c.pending[c.head:])
-		c.pending = c.pending[:n]
-		c.head = 0
-	}
-	c.e.pendingTot.Add(-1)
-	c.rcond.Signal()
-}
-
-func (c *conn) pushReply(r wire.Reply) {
-	c.outReplies = append(c.outReplies, r)
-	c.wcond.Signal()
-}
-
-func (c *conn) pushComp(comp wire.Completion) {
-	c.outComps = append(c.outComps, comp)
-	c.wcond.Signal()
-}
-
-func (c *conn) pushStats(s wire.Stats) {
-	c.outStats = append(c.outStats, s)
-	c.wcond.Signal()
-}
-
-// getBuf returns a recycled payload buffer. Called with c.mu held.
-func (c *conn) getBuf() []byte {
-	if n := len(c.freeBufs); n > 0 {
-		b := c.freeBufs[n-1]
-		c.freeBufs = c.freeBufs[:n-1]
-		return b[:0]
-	}
-	return nil
-}
-
-// close tears the connection down once; queued requests vanish, but
-// reads already issued to the memory stay routed until their
-// completions drain (deliver discards them for a closed conn).
-func (c *conn) close(err error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+// fail tears the transport down after a fatal error. The session (if
+// any) survives for resume when it is resumable.
+func (c *conn) fail(err error) {
+	if c.s != nil {
+		c.s.detach(c, err)
 		return
 	}
-	c.closed = true
-	c.closeErr = err
-	dropped := c.queuedLocked()
-	c.pending = c.pending[:0]
-	c.head = 0
-	c.rcond.Broadcast()
-	c.wcond.Broadcast()
-	c.mu.Unlock()
 	c.nc.Close()
-	if dropped > 0 {
-		c.e.pendingTot.Add(int64(-dropped))
-	}
-	c.e.removeConn(c)
-	c.e.logf("server: connection closed: %v", err)
+	c.e.logf("server: connection closed before session bind: %v", err)
 }
 
-// readLoop decodes request frames into the queue. In free-running mode
-// it appends directly (blocking when the window is full — that is the
-// backpressure path); in lockstep mode it hands whole frames to the
-// engine's admission queue.
+// readLoop decodes request frames into the session queue. In
+// free-running mode it appends directly (blocking when the window is
+// full — that is the backpressure path); in lockstep mode it hands
+// whole frames to the engine's admission queue.
 func (c *conn) readLoop() {
 	dec := wire.NewDecoder(c.nc)
 	for {
 		f, err := dec.Next()
 		if err != nil {
-			c.close(err)
+			c.fail(err)
 			return
 		}
-		if f.Type != wire.FrameRequests {
-			c.close(fmt.Errorf("server: client sent frame type %d", f.Type))
+		switch f.Type {
+		case wire.FrameHello:
+			if c.s != nil {
+				c.fail(fmt.Errorf("server: duplicate Hello on one connection"))
+				return
+			}
+			if !c.e.adopt(c, f.Hello) {
+				c.fail(fmt.Errorf("server: engine not accepting sessions"))
+				return
+			}
+			continue
+		case wire.FrameRequests:
+		default:
+			c.fail(fmt.Errorf("server: client sent frame type %d", f.Type))
 			return
+		}
+		if c.s == nil {
+			if !c.e.adopt(c, wire.Hello{}) {
+				c.fail(fmt.Errorf("server: engine not accepting sessions"))
+				return
+			}
 		}
 		// Copy out of the decoder's buffer: the queue outlives the frame.
 		batch := make([]pendingReq, len(f.Requests))
@@ -129,74 +80,112 @@ func (c *conn) readLoop() {
 				batch[i].data = append([]byte(nil), r.Data...)
 			}
 		}
+		if c.e.draining.Load() {
+			// Graceful degradation: refuse new work outright, but keep
+			// serving flushes and stats so clients can drain what they
+			// already have in flight.
+			kept := batch[:0]
+			c.s.mu.Lock()
+			for _, req := range batch {
+				if req.op == wire.OpRead || req.op == wire.OpWrite {
+					c.e.ctr.drainRefused.Add(1)
+					c.s.pushReply(wire.Reply{Status: wire.StatusDropped, Code: wire.CodeDraining, Seq: req.seq})
+					continue
+				}
+				kept = append(kept, req)
+			}
+			c.s.mu.Unlock()
+			batch = kept
+			if len(batch) == 0 {
+				continue
+			}
+		}
 		if c.e.cfg.Lockstep {
 			select {
-			case c.e.frames <- inFrame{c: c, reqs: batch}:
+			case c.e.frames <- inFrame{s: c.s, reqs: batch}:
 			case <-c.e.done:
-				c.close(fmt.Errorf("server: engine closed"))
+				c.fail(fmt.Errorf("server: engine closed"))
 				return
 			}
 			continue
 		}
-		c.mu.Lock()
-		for !c.closed && c.queuedLocked() >= c.e.cfg.Window {
-			c.rcond.Wait()
-		}
-		if c.closed {
-			c.mu.Unlock()
+		if !c.s.ingest(c, batch) {
+			c.fail(fmt.Errorf("server: session closed"))
 			return
 		}
-		c.pending = append(c.pending, batch...)
-		c.mu.Unlock()
-		c.e.pendingTot.Add(int64(len(batch)))
-		c.e.wake()
 	}
 }
 
-// writeLoop drains the output buffers into frames. Everything staged
-// since the last wake goes out in at most three frames (replies,
+// writeLoop drains the session's output buffers into frames. Everything
+// staged since the last wake goes out in at most three frames (replies,
 // completions, stats), so under load the per-completion overhead
 // amortizes exactly like the request batching on the way in.
+//
+// On a write error the swapped-out records are pushed back to the FRONT
+// of the session buffers before detaching: a resolution is never lost
+// to a dead socket, only delayed until the next transport attaches.
+// Records already on the wire when the error hit may be sent again
+// after resume — the client side deduplicates by seq.
 func (c *conn) writeLoop() {
+	s := c.s
 	enc := wire.NewEncoder(c.nc)
 	var reps []wire.Reply
 	var comps []wire.Completion
 	var stats []wire.Stats
 	for {
-		c.mu.Lock()
-		for !c.closed && len(c.outReplies) == 0 && len(c.outComps) == 0 && len(c.outStats) == 0 {
-			c.wcond.Wait()
+		s.mu.Lock()
+		for s.cur == c && !s.closed && len(s.outReplies) == 0 && len(s.outComps) == 0 && len(s.outStats) == 0 {
+			s.wcond.Wait()
 		}
-		if c.closed {
-			c.mu.Unlock()
+		if s.cur != c || s.closed {
+			s.mu.Unlock()
 			return
 		}
-		reps, c.outReplies = c.outReplies, reps[:0]
-		comps, c.outComps = c.outComps, comps[:0]
-		stats, c.outStats = c.outStats, stats[:0]
+		reps, s.outReplies = s.outReplies, reps[:0]
+		comps, s.outComps = s.outComps, comps[:0]
+		stats, s.outStats = s.outStats, stats[:0]
 		cycle := c.e.cycle.Load()
-		c.mu.Unlock()
+		s.mu.Unlock()
 
 		err := c.writeFrames(enc, cycle, reps, comps, stats)
+		if err != nil {
+			s.mu.Lock()
+			s.outReplies = append(append([]wire.Reply(nil), reps...), s.outReplies...)
+			s.outComps = append(append([]wire.Completion(nil), comps...), s.outComps...)
+			s.outStats = append(append([]wire.Stats(nil), stats...), s.outStats...)
+			s.wcond.Broadcast() // a resumed transport may already be waiting
+			s.mu.Unlock()
+			s.detach(c, err)
+			return
+		}
 
 		// Recycle completion payload buffers.
 		if len(comps) > 0 {
-			c.mu.Lock()
+			s.mu.Lock()
 			for i := range comps {
-				c.freeBufs = append(c.freeBufs, comps[i].Data)
+				s.freeBufs = append(s.freeBufs, comps[i].Data)
 			}
-			c.mu.Unlock()
-		}
-		if err != nil {
-			c.close(err)
-			return
+			s.mu.Unlock()
 		}
 	}
 }
 
+// writeFrames encodes one drained batch, arming the per-connection
+// write deadline (Config.WriteTimeout) before each frame so one wedged
+// peer cannot park the writer forever — the deadline fires, the conn
+// detaches, and the session keeps the undelivered output for resume.
 func (c *conn) writeFrames(enc *wire.Encoder, cycle uint64, reps []wire.Reply, comps []wire.Completion, stats []wire.Stats) error {
+	arm := func() error {
+		if c.e.cfg.WriteTimeout > 0 {
+			return c.nc.SetWriteDeadline(time.Now().Add(c.e.cfg.WriteTimeout))
+		}
+		return nil
+	}
 	for len(reps) > 0 {
 		n := min(len(reps), wire.MaxBatch)
+		if err := arm(); err != nil {
+			return err
+		}
 		if err := enc.Replies(cycle, reps[:n]); err != nil {
 			return err
 		}
@@ -204,12 +193,18 @@ func (c *conn) writeFrames(enc *wire.Encoder, cycle uint64, reps []wire.Reply, c
 	}
 	for len(comps) > 0 {
 		n := min(len(comps), wire.MaxBatch)
+		if err := arm(); err != nil {
+			return err
+		}
 		if err := enc.Completions(cycle, comps[:n]); err != nil {
 			return err
 		}
 		comps = comps[n:]
 	}
 	for _, s := range stats {
+		if err := arm(); err != nil {
+			return err
+		}
 		if err := enc.Stats(cycle, s); err != nil {
 			return err
 		}

@@ -22,6 +22,8 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 		{"vpnmd_delay_cycles", "gauge", "The fixed delay D every read pays, in interface cycles.", uint64(s.Delay)},
 		{"vpnmd_channels", "gauge", "Striped VPNM channels served.", uint64(s.Channels)},
 		{"vpnmd_conns", "gauge", "Live client connections.", uint64(s.Conns)},
+		{"vpnmd_sessions", "gauge", "Client sessions, attached or awaiting resume.", uint64(s.Sessions)},
+		{"vpnmd_draining", "gauge", "1 while the engine refuses new work.", b2u(s.Draining)},
 		{"vpnmd_outstanding_reads", "gauge", "Reads accepted whose completion has not yet been routed.", s.Outstanding},
 		{"vpnmd_reads_total", "counter", "Reads accepted by the memory.", s.Reads},
 		{"vpnmd_writes_total", "counter", "Writes accepted by the memory.", s.Writes},
@@ -29,7 +31,11 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 		{"vpnmd_stalls_surfaced_total", "counter", "Controller stalls surfaced to clients as StatusStall.", s.Stalls},
 		{"vpnmd_stall_retries_total", "counter", "Hold-and-retry re-presentations of stalled requests.", s.StallRetries},
 		{"vpnmd_channel_busy_retries_total", "counter", "Same-cycle channel collisions absorbed by retrying.", s.Busy},
+		{"vpnmd_throttled_total", "counter", "Tenant token refusals (one per cycle a head is held or surfaced).", s.Throttled},
 		{"vpnmd_dropped_total", "counter", "Requests dropped after exhausting retry attempts.", s.Dropped},
+		{"vpnmd_drain_refused_total", "counter", "Reads and writes refused with CodeDraining during drain.", s.DrainRefused},
+		{"vpnmd_replays_served_total", "counter", "Replayed requests answered from the session replay cache.", s.ReplaysServed},
+		{"vpnmd_replays_deduped_total", "counter", "Replayed requests swallowed because the original is still live.", s.ReplaysDeduped},
 		{"vpnmd_uncorrectable_total", "counter", "Completions delivered with the uncorrectable-ECC flag.", s.Uncorrectable},
 		{"vpnmd_flushes_total", "counter", "Flush barriers resolved.", s.Flushes},
 		{"vpnmd_mem_reads_total", "counter", "Reads recorded by the striped memory itself.", s.MemReads},
@@ -43,6 +49,13 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // MetricsHandler serves the engine ledger plus every series in reg (the

@@ -4,36 +4,56 @@
 // deterministic-latency memory *service* the paper describes — line
 // cards on one side of a link, the memory system on the other.
 //
-// One engine goroutine owns the memory and its clock. Each connection
-// gets a reader goroutine (decodes request frames into a bounded
-// per-connection queue) and a writer goroutine (encodes replies and
-// completions back out). Every interface cycle the engine drains as
-// many queued requests as the channels can accept — round-robin across
-// connections for fairness, FIFO within a connection so the VPNM
-// ordering contract (reads see prior writes to the same address)
-// survives the network — then ticks the memory and routes the cycle's
-// completions, still stamped with their IssuedAt/DeliveredAt cycles,
-// back to whichever connection issued them.
+// One engine goroutine owns the memory and its clock. Client state is
+// split in two: a *session* is the durable half (request queue,
+// in-flight window, replay cache, staged output) and a *conn* is the
+// disposable transport half (one net.Conn plus its reader and writer
+// goroutines). A client that announces a nonzero SessionID in a Hello
+// frame can lose its transport and reconnect: the new conn attaches to
+// the old session, parked output flushes, still-queued work keeps
+// executing, and replayed requests are answered from the replay cache
+// instead of re-executing — so a flaky network changes *when* verdicts
+// arrive, never *how many times* they are counted.
 //
-// Backpressure maps onto the paper's stall semantics at three levels:
+// Every interface cycle the engine drains as many queued requests as
+// the channels can accept — round-robin across sessions for fairness,
+// FIFO within a session so the VPNM ordering contract (reads see prior
+// writes to the same address) survives the network — then ticks the
+// memory and routes the cycle's completions, still stamped with their
+// IssuedAt/DeliveredAt cycles, back to whichever session issued them.
 //
+// Backpressure maps onto the paper's stall semantics at four levels:
+//
+//   - a tenant over its provisioned rate (Config.QoS) has its queue
+//     head refused a token: under DropWithAccounting the refusal
+//     surfaces as StatusStall/CodeThrottled, otherwise the head is held
+//     until the bucket refills — the adversary pays, the victims don't
+//     (the paper's provisioning argument turned into an enforced
+//     contract);
 //   - a channel that already accepted a request this cycle
-//     (multichannel.ErrChannelBusy) holds the connection's queue head
-//     for one cycle — the interface-level analogue of a bank conflict,
+//     (multichannel.ErrChannelBusy) holds the session's queue head for
+//     one cycle — the interface-level analogue of a bank conflict,
 //     absorbed invisibly;
 //   - a controller stall (core.ErrStall*) is handled by the configured
 //     recovery policy: hold-and-retry ("stall the device") or a
 //     StatusStall reply that surfaces the stall to the client's own
 //     recovery policy ("drop the packet", with the client free to
 //     re-issue);
-//   - a full per-connection queue stops the reader, so TCP flow
-//     control pushes the stall all the way back to the remote device.
+//   - a full per-session queue stops the reader, so TCP flow control
+//     pushes the stall all the way back to the remote device.
 //
 // ErrUncorrectable crosses the wire as a completion flag: the word is
 // on time — the pipeline never skips a beat — but untrusted.
+//
+// Drain (the graceful half of fault tolerance) flips the engine into a
+// refuse-new/finish-old mode: Serve stops accepting, new reads and
+// writes come back StatusDropped/CodeDraining, flushes and stats still
+// work so clients can collect what they are owed, and Drain returns the
+// final ledger once the pipeline is provably empty.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -45,11 +65,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/multichannel"
+	"repro/internal/qos"
 	"repro/internal/recovery"
 	"repro/internal/wire"
 )
 
-// DefaultWindow bounds the per-connection queue of decoded-but-unissued
+// DefaultWindow bounds the per-session queue of decoded-but-unissued
 // requests when Config.Window is zero.
 const DefaultWindow = 1024
 
@@ -58,7 +79,7 @@ type Config struct {
 	// Mem is the striped memory to serve. Required. The engine owns its
 	// clock: nothing else may call Tick/Read/Write while the engine runs.
 	Mem *multichannel.Memory
-	// Window bounds the per-connection queue of requests decoded but not
+	// Window bounds the per-session queue of requests decoded but not
 	// yet issued. When the queue is full the reader stops draining the
 	// socket, so backpressure propagates to the client through TCP flow
 	// control. Zero selects DefaultWindow.
@@ -73,6 +94,21 @@ type Config struct {
 	// with a StatusDropped reply. Zero selects
 	// recovery.DefaultMaxAttempts.
 	MaxAttempts int
+	// QoS, when non-nil, regulates tenants: every session's Hello tenant
+	// name maps to a token bucket, and a queue head is only presented to
+	// the memory once its tenant holds a token. The regulator's clock is
+	// the engine clock — buckets refill one interface cycle at a time
+	// (idle skips included), so rate limits are in requests per
+	// interface cycle, the same unit the paper provisions banks in.
+	QoS *qos.Regulator
+	// WriteTimeout, when positive, bounds each frame write to a client.
+	// A peer that stops reading trips the deadline; the conn detaches
+	// and the session keeps the undelivered output for resume.
+	WriteTimeout time.Duration
+	// DedupWindow bounds the per-session replay cache of positive
+	// verdicts (write accepts and read completions). Zero selects
+	// DefaultDedupWindow.
+	DedupWindow int
 	// Lockstep, when true, makes throughput deterministic: the engine
 	// admits request frames one at a time in arrival order and fully
 	// drains each frame (every request issued, flush barriers resolved)
@@ -95,71 +131,90 @@ type Config struct {
 // Snapshot is the engine's ledger, exposed on /statsz and used by the
 // loopback tests to reconcile against client-side counters.
 type Snapshot struct {
-	Cycle         uint64 `json:"cycle"`
-	Delay         int    `json:"delay"`
-	Channels      int    `json:"channels"`
-	Conns         int    `json:"conns"`
-	Reads         uint64 `json:"reads"`
-	Writes        uint64 `json:"writes"`
-	Stalls        uint64 `json:"stalls_surfaced"`
-	StallRetries  uint64 `json:"stall_retries"`
-	Busy          uint64 `json:"channel_busy_retries"`
-	Dropped       uint64 `json:"dropped"`
-	Completions   uint64 `json:"completions"`
-	Uncorrectable uint64 `json:"uncorrectable"`
-	Flushes       uint64 `json:"flushes"`
-	Outstanding   uint64 `json:"outstanding"`
-	MemReads      uint64 `json:"mem_reads"`
-	MemWrites     uint64 `json:"mem_writes"`
-	MemStalls     uint64 `json:"mem_stalls"`
-	MemBusy       uint64 `json:"mem_channel_busy"`
+	Cycle          uint64 `json:"cycle"`
+	Delay          int    `json:"delay"`
+	Channels       int    `json:"channels"`
+	Conns          int    `json:"conns"`
+	Sessions       int    `json:"sessions"`
+	Draining       bool   `json:"draining"`
+	Reads          uint64 `json:"reads"`
+	Writes         uint64 `json:"writes"`
+	Stalls         uint64 `json:"stalls_surfaced"`
+	StallRetries   uint64 `json:"stall_retries"`
+	Busy           uint64 `json:"channel_busy_retries"`
+	Throttled      uint64 `json:"throttled"`
+	Dropped        uint64 `json:"dropped"`
+	DrainRefused   uint64 `json:"drain_refused"`
+	Completions    uint64 `json:"completions"`
+	Uncorrectable  uint64 `json:"uncorrectable"`
+	Flushes        uint64 `json:"flushes"`
+	Outstanding    uint64 `json:"outstanding"`
+	ReplaysServed  uint64 `json:"replays_served"`
+	ReplaysDeduped uint64 `json:"replays_deduped"`
+	MemReads       uint64 `json:"mem_reads"`
+	MemWrites      uint64 `json:"mem_writes"`
+	MemStalls      uint64 `json:"mem_stalls"`
+	MemBusy        uint64 `json:"mem_channel_busy"`
 }
 
 type counters struct {
 	reads, writes, stalls, stallRetries, busy    atomic.Uint64
 	dropped, completions, uncorrectable, flushes atomic.Uint64
+	throttled, drainRefused                      atomic.Uint64
+	replaysServed, replaysDeduped                atomic.Uint64
 }
 
-// route remembers which connection issued the read behind a memory tag.
+// route remembers which session issued the read behind a memory tag,
+// and at which cycle the request was enqueued (for tenant latency
+// accounting).
 type route struct {
-	c   *conn
+	s   *session
 	seq uint64
+	enq uint64
 }
 
 // inFrame is one decoded request frame awaiting lockstep admission.
 type inFrame struct {
-	c    *conn
+	s    *session
 	reqs []pendingReq
 }
 
 // pendingReq is one queued request; attempts counts hold-and-retry
-// re-presentations of a stalled queue head.
+// re-presentations of a stalled queue head, paid records that its
+// tenant's token has already been charged (a head held by a memory
+// stall is not re-charged on re-presentation), enq is the enqueue
+// cycle.
 type pendingReq struct {
 	op       byte
 	seq      uint64
 	addr     uint64
+	enq      uint64
 	data     []byte
 	attempts int
+	paid     bool
 }
 
-// Engine multiplexes client connections onto one multichannel.Memory.
+// Engine multiplexes client sessions onto one multichannel.Memory.
 type Engine struct {
 	cfg   Config
 	mem   *multichannel.Memory
+	reg   *qos.Regulator
 	delay uint64
 
-	mu    sync.Mutex // guards conns; never acquired while a conn's mu is held by us... see lock order note below
-	conns []*conn
-	rr    int
+	mu       sync.Mutex // guards sessions and sessByID
+	sessions []*session
+	sessByID map[uint64]*session
+	rr       int
 
-	// Lock order: a goroutine may take c.mu then e.mu, never the
-	// reverse. The engine loop snapshots the conn list under e.mu,
-	// releases it, and only then touches per-conn state.
+	// Lock order: a goroutine may take s.mu then e.mu (statsFor does),
+	// never the reverse. The engine loop snapshots the session list
+	// under e.mu, releases it, and only then touches per-session state.
 
 	routes      map[uint64]route // engine-goroutine private
 	cycle       atomic.Uint64
 	outstanding atomic.Int64 // reads accepted, completion not yet routed
-	pendingTot  atomic.Int64 // queued requests across all conns
+	pendingTot  atomic.Int64 // queued requests across all sessions
+	attached    atomic.Int64 // sessions currently holding a transport
 	ctr         counters
 
 	// Snapshot seqlock. step() bumps snapSeq to odd on entry and back to
@@ -180,7 +235,13 @@ type Engine struct {
 	loopDone chan struct{}
 	closed   atomic.Bool
 
-	connsBuf []*conn // engine-goroutine scratch
+	draining   atomic.Bool
+	drainStart chan struct{} // closed when drain begins (stops Serve)
+	drainDone  chan struct{} // closed when the pipeline is empty
+	drainOnce  sync.Once
+	pruneReq   atomic.Bool
+
+	sessBuf []*session // engine-goroutine scratch
 }
 
 // New builds an engine around cfg.Mem and starts its clock goroutine.
@@ -195,22 +256,29 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = recovery.DefaultMaxAttempts
 	}
+	if cfg.DedupWindow <= 0 {
+		cfg.DedupWindow = DefaultDedupWindow
+	}
 	e := &Engine{
-		cfg:      cfg,
-		mem:      cfg.Mem,
-		delay:    uint64(cfg.Mem.Delay()),
-		routes:   make(map[uint64]route),
-		work:     make(chan struct{}, 1),
-		frames:   make(chan inFrame, 16),
-		done:     make(chan struct{}),
-		loopDone: make(chan struct{}),
+		cfg:        cfg,
+		mem:        cfg.Mem,
+		reg:        cfg.QoS,
+		delay:      uint64(cfg.Mem.Delay()),
+		sessByID:   make(map[uint64]*session),
+		routes:     make(map[uint64]route),
+		work:       make(chan struct{}, 1),
+		frames:     make(chan inFrame, 16),
+		done:       make(chan struct{}),
+		loopDone:   make(chan struct{}),
+		drainStart: make(chan struct{}),
+		drainDone:  make(chan struct{}),
 	}
 	go e.loop()
 	return e, nil
 }
 
-// Close stops the clock and closes every connection. The memory is left
-// intact (the caller owns it).
+// Close stops the clock and closes every session and connection. The
+// memory is left intact (the caller owns it).
 func (e *Engine) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
@@ -218,44 +286,42 @@ func (e *Engine) Close() error {
 	close(e.done)
 	<-e.loopDone
 	e.mu.Lock()
-	conns := append([]*conn(nil), e.conns...)
+	sessions := append([]*session(nil), e.sessions...)
 	e.mu.Unlock()
-	for _, c := range conns {
-		c.close(errors.New("server: engine closed"))
+	for _, s := range sessions {
+		s.shutdown()
 	}
 	return nil
 }
 
-// ServeConn registers nc with the engine and starts its reader and
-// writer goroutines. It returns immediately; the connection lives until
-// it fails or the engine closes.
+// ServeConn starts serving nc. The connection binds to a session on its
+// first frame (a Hello resumes the named session; anything else gets an
+// anonymous one). It returns immediately; the connection lives until it
+// fails or the engine closes or drains.
 func (e *Engine) ServeConn(nc net.Conn) error {
-	if e.closed.Load() {
+	if e.closed.Load() || e.draining.Load() {
 		nc.Close()
-		return fmt.Errorf("server: engine closed")
+		return fmt.Errorf("server: engine not accepting connections")
 	}
 	c := &conn{e: e, nc: nc}
-	c.rcond = sync.NewCond(&c.mu)
-	c.wcond = sync.NewCond(&c.mu)
-	e.mu.Lock()
-	e.conns = append(e.conns, c)
-	e.mu.Unlock()
 	go c.readLoop()
-	go c.writeLoop()
 	return nil
 }
 
-// Serve accepts connections from ln until the engine closes or the
-// listener fails, handing each to ServeConn.
+// Serve accepts connections from ln until the engine closes, drains, or
+// the listener fails, handing each to ServeConn.
 func (e *Engine) Serve(ln net.Listener) error {
 	go func() {
-		<-e.done
+		select {
+		case <-e.done:
+		case <-e.drainStart:
+		}
 		ln.Close()
 	}()
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
-			if e.closed.Load() {
+			if e.closed.Load() || e.draining.Load() {
 				return nil
 			}
 			return err
@@ -263,6 +329,60 @@ func (e *Engine) Serve(ln net.Listener) error {
 		e.ServeConn(nc)
 	}
 }
+
+// adopt resolves the session named by h — creating it, or resuming the
+// one a previous connection left behind — and attaches c as its
+// transport. A zero SessionID yields an anonymous session that dies
+// with its conn. It reports false when the engine is closed or the
+// session cannot accept a transport.
+func (e *Engine) adopt(c *conn, h wire.Hello) bool {
+	if e.closed.Load() {
+		return false
+	}
+	var s *session
+	e.mu.Lock()
+	if h.SessionID != 0 {
+		s = e.sessByID[h.SessionID]
+		if s == nil {
+			s = newSession(e, h.SessionID, h.Tenant)
+			e.sessByID[h.SessionID] = s
+			e.sessions = append(e.sessions, s)
+		}
+	} else {
+		s = newSession(e, 0, h.Tenant)
+		e.sessions = append(e.sessions, s)
+	}
+	e.mu.Unlock()
+	return s.attach(c)
+}
+
+// Drain flips the engine into graceful-shutdown mode: Serve stops
+// accepting connections, new reads and writes are refused with
+// StatusDropped/CodeDraining, and everything already admitted runs to
+// completion. It blocks until the pipeline is provably empty (no
+// queued requests, no outstanding reads) and returns the final ledger,
+// or ctx's error. Safe to call from multiple goroutines; all of them
+// wait for the same drain.
+func (e *Engine) Drain(ctx context.Context) (Snapshot, error) {
+	if e.closed.Load() {
+		return Snapshot{}, fmt.Errorf("server: engine closed")
+	}
+	if e.draining.CompareAndSwap(false, true) {
+		close(e.drainStart)
+	}
+	e.wake()
+	select {
+	case <-e.drainDone:
+		return e.Snapshot(), nil
+	case <-ctx.Done():
+		return Snapshot{}, ctx.Err()
+	case <-e.done:
+		return Snapshot{}, fmt.Errorf("server: engine closed during drain")
+	}
+}
+
+// Draining reports whether the engine is refusing new work.
+func (e *Engine) Draining() bool { return e.draining.Load() }
 
 // Snapshot returns a point-in-time copy of the engine's ledger, taken
 // at a step (cycle) boundary: the seqlock retries until a read lands
@@ -288,31 +408,37 @@ func (e *Engine) Snapshot() Snapshot {
 // through Snapshot.
 func (e *Engine) readSnapshot() Snapshot {
 	e.mu.Lock()
-	nconns := len(e.conns)
+	nsess := len(e.sessions)
 	e.mu.Unlock()
 	out := e.outstanding.Load()
 	if out < 0 {
 		out = 0
 	}
 	return Snapshot{
-		Cycle:         e.cycle.Load(),
-		Delay:         int(e.delay),
-		Channels:      e.mem.Channels(),
-		Conns:         nconns,
-		Reads:         e.ctr.reads.Load(),
-		Writes:        e.ctr.writes.Load(),
-		Stalls:        e.ctr.stalls.Load(),
-		StallRetries:  e.ctr.stallRetries.Load(),
-		Busy:          e.ctr.busy.Load(),
-		Dropped:       e.ctr.dropped.Load(),
-		Completions:   e.ctr.completions.Load(),
-		Uncorrectable: e.ctr.uncorrectable.Load(),
-		Flushes:       e.ctr.flushes.Load(),
-		Outstanding:   uint64(out),
-		MemReads:      e.memReads.Load(),
-		MemWrites:     e.memWrites.Load(),
-		MemStalls:     e.memStall.Load(),
-		MemBusy:       e.memBusy.Load(),
+		Cycle:          e.cycle.Load(),
+		Delay:          int(e.delay),
+		Channels:       e.mem.Channels(),
+		Conns:          int(e.attached.Load()),
+		Sessions:       nsess,
+		Draining:       e.draining.Load(),
+		Reads:          e.ctr.reads.Load(),
+		Writes:         e.ctr.writes.Load(),
+		Stalls:         e.ctr.stalls.Load(),
+		StallRetries:   e.ctr.stallRetries.Load(),
+		Busy:           e.ctr.busy.Load(),
+		Throttled:      e.ctr.throttled.Load(),
+		Dropped:        e.ctr.dropped.Load(),
+		DrainRefused:   e.ctr.drainRefused.Load(),
+		Completions:    e.ctr.completions.Load(),
+		Uncorrectable:  e.ctr.uncorrectable.Load(),
+		Flushes:        e.ctr.flushes.Load(),
+		Outstanding:    uint64(out),
+		ReplaysServed:  e.ctr.replaysServed.Load(),
+		ReplaysDeduped: e.ctr.replaysDeduped.Load(),
+		MemReads:       e.memReads.Load(),
+		MemWrites:      e.memWrites.Load(),
+		MemStalls:      e.memStall.Load(),
+		MemBusy:        e.memBusy.Load(),
 	}
 }
 
@@ -329,6 +455,27 @@ func (e *Engine) StatszHandler() http.Handler {
 	})
 }
 
+// HealthzHandler serves readiness: 200 while the engine accepts work,
+// 503 once it is draining, drained, or closed — mount it at /healthz so
+// a load balancer stops routing to an instance the moment Drain begins.
+func (e *Engine) HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		switch {
+		case e.closed.Load():
+			http.Error(w, "closed", http.StatusServiceUnavailable)
+		case e.draining.Load():
+			select {
+			case <-e.drainDone:
+				http.Error(w, "drained", http.StatusServiceUnavailable)
+			default:
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+			}
+		default:
+			fmt.Fprintln(w, "ok")
+		}
+	})
+}
+
 func (e *Engine) logf(format string, args ...any) {
 	if e.cfg.Logf != nil {
 		e.cfg.Logf(format, args...)
@@ -342,15 +489,12 @@ func (e *Engine) wake() {
 	}
 }
 
-func (e *Engine) removeConn(c *conn) {
-	e.mu.Lock()
-	for i, x := range e.conns {
-		if x == c {
-			e.conns = append(e.conns[:i], e.conns[i+1:]...)
-			break
-		}
+// checkDrained closes drainDone once a requested drain has emptied the
+// pipeline. Engine goroutine only.
+func (e *Engine) checkDrained() {
+	if e.draining.Load() && e.pendingTot.Load() == 0 && e.outstanding.Load() == 0 {
+		e.drainOnce.Do(func() { close(e.drainDone) })
 	}
-	e.mu.Unlock()
 }
 
 // loop is the engine's clock: one iteration per interface cycle.
@@ -366,15 +510,18 @@ func (e *Engine) loop() {
 			// Admit the next frame only once the previous one is fully
 			// drained; never tick while idle.
 			if e.pendingTot.Load() == 0 {
+				e.checkDrained()
 				select {
 				case fr := <-e.frames:
 					e.admit(fr)
+				case <-e.work:
 				case <-e.done:
 					return
 				}
-				continue // re-check: the frame may target a closed conn
+				continue // re-check: the frame may target a closed session
 			}
 		} else if e.pendingTot.Load() == 0 && e.outstanding.Load() == 0 {
+			e.checkDrained()
 			select {
 			case <-e.work:
 			case <-e.done:
@@ -398,17 +545,17 @@ func (e *Engine) loop() {
 	}
 }
 
-// admit moves one lockstep frame into its connection's queue.
+// admit moves one lockstep frame into its session's queue.
 func (e *Engine) admit(fr inFrame) {
-	c := fr.c
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	s := fr.s
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
 		return
 	}
-	c.pending = append(c.pending, fr.reqs...)
-	c.mu.Unlock()
-	e.pendingTot.Add(int64(len(fr.reqs)))
+	n := s.ingestLocked(fr.reqs)
+	s.mu.Unlock()
+	e.pendingTot.Add(int64(n))
 }
 
 // step advances one interface cycle: issue as many queued requests as
@@ -425,22 +572,22 @@ func (e *Engine) step() {
 	}()
 
 	e.mu.Lock()
-	conns := append(e.connsBuf[:0], e.conns...)
-	e.connsBuf = conns
+	sessions := append(e.sessBuf[:0], e.sessions...)
+	e.sessBuf = sessions
 	rr := e.rr
 	e.rr++
 	e.mu.Unlock()
 
-	if n := len(conns); n > 0 {
+	if n := len(sessions); n > 0 {
 		// Up to Channels() requests can be accepted per cycle (one per
-		// channel). Round-robin across connections, FIFO within one;
-		// keep sweeping while somebody makes progress.
+		// channel). Round-robin across sessions, FIFO within one; keep
+		// sweeping while somebody makes progress.
 		budget := e.mem.Channels()
 		progress := true
 		for budget > 0 && progress {
 			progress = false
 			for i := 0; i < n && budget > 0; i++ {
-				if e.issueFrom(conns[(rr+i)%n], &budget) {
+				if e.issueFrom(sessions[(rr+i)%n], &budget) {
 					progress = true
 				}
 			}
@@ -449,36 +596,44 @@ func (e *Engine) step() {
 
 	comps := e.mem.Tick()
 	e.cycle.Add(1)
+	if e.reg != nil {
+		e.reg.Advance(1)
+	}
 	for _, comp := range comps {
 		e.deliver(comp)
 	}
-	e.skipIdleSpan(conns)
+	e.skipIdleSpan(sessions)
+	if e.pruneReq.CompareAndSwap(true, false) {
+		e.prune(sessions)
+	}
+	e.checkDrained()
 }
 
 // skipIdleSpan fast-forwards the clock across cycles in which the
 // engine provably cannot make progress: completions are outstanding,
-// but every connection's queue is empty or parked at a flush barrier
-// that only a completion can release, so the cycles between now and the
+// but every session's queue is empty or parked at a flush barrier that
+// only a completion can release, so the cycles between now and the
 // memory's next scheduled delivery are dead time. The memory skips them
 // in O(1) (SkipIdle is cycle-exact — every skipped cycle is an ordinary
 // interface cycle, just not paid for one Tick at a time), which turns
 // the D-cycle drain behind every flush barrier and end-of-burst wait
-// from D engine iterations into one.
+// from D engine iterations into one. Tenant buckets refill across the
+// skip exactly as if the cycles had been ticked one at a time.
 //
 // Only the free-running clock skips: a paced clock (TickInterval > 0)
-// owes the wall-clock wait, and a stalled or retryable queue head means
-// the memory has queued work, so IdleCycles is 0 and nothing is skipped
+// owes the wall-clock wait, and a stalled, throttled or retryable queue
+// head means the next cycle could accept work, so nothing is skipped
 // (hold-and-retry re-presentation still happens every cycle, keeping
-// MaxAttempts accounting exact).
-func (e *Engine) skipIdleSpan(conns []*conn) {
+// MaxAttempts and refill accounting exact).
+func (e *Engine) skipIdleSpan(sessions []*session) {
 	if e.cfg.TickInterval > 0 || e.outstanding.Load() == 0 {
 		return
 	}
-	for _, c := range conns {
-		c.mu.Lock()
-		blocked := c.head >= len(c.pending) ||
-			(c.pending[c.head].op == wire.OpFlush && c.outstanding > 0)
-		c.mu.Unlock()
+	for _, s := range sessions {
+		s.mu.Lock()
+		blocked := s.head >= len(s.pending) ||
+			(s.pending[s.head].op == wire.OpFlush && s.outstanding > 0)
+		s.mu.Unlock()
 		if !blocked {
 			return
 		}
@@ -489,46 +644,95 @@ func (e *Engine) skipIdleSpan(conns []*conn) {
 	}
 	e.mem.SkipIdle(k)
 	e.cycle.Add(k)
+	if e.reg != nil {
+		e.reg.Advance(k)
+	}
 }
 
-// issueFrom drains the head of one connection's queue into the memory
+// prune forgets sessions that can never produce or receive anything
+// again (closed, detached, empty). Engine goroutine only.
+func (e *Engine) prune(sessions []*session) {
+	var dead []*session
+	for _, s := range sessions {
+		if s.prunable() {
+			dead = append(dead, s)
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	e.mu.Lock()
+	for _, d := range dead {
+		for i, x := range e.sessions {
+			if x == d {
+				e.sessions = append(e.sessions[:i], e.sessions[i+1:]...)
+				break
+			}
+		}
+		if d.id != 0 {
+			delete(e.sessByID, d.id)
+		}
+	}
+	e.mu.Unlock()
+}
+
+// issueFrom drains the head of one session's queue into the memory
 // until the queue empties, the head must wait for a later cycle, or the
 // cycle's budget runs out. It reports whether any request was resolved.
-func (e *Engine) issueFrom(c *conn, budget *int) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+func (e *Engine) issueFrom(s *session, budget *int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
 		return false
 	}
 	progress := false
-	for *budget > 0 && c.head < len(c.pending) {
-		req := &c.pending[c.head]
+	for *budget > 0 && s.head < len(s.pending) {
+		req := &s.pending[s.head]
+		if s.tenant != nil && !req.paid && (req.op == wire.OpRead || req.op == wire.OpWrite) {
+			// Tenant admission gate: one token per request, charged once
+			// (a head later held by a memory stall is not re-charged).
+			// Refusals consume no channel budget — a throttled tenant
+			// cannot congest the cycle for anyone else.
+			cyc := e.cycle.Load()
+			if s.thrCycle == cyc && s.thrSeq == req.seq {
+				return progress // already refused this cycle; hold
+			}
+			if !s.tenant.TryIssue() {
+				s.thrCycle, s.thrSeq = cyc, req.seq
+				if !e.throttledHead(s, req) {
+					return progress
+				}
+				progress = true
+				continue
+			}
+			req.paid = true
+		}
 		switch req.op {
 		case wire.OpStats:
-			c.pushStats(e.statsFor(req.seq))
-			c.popLocked()
+			s.pushStats(e.statsFor(req.seq))
+			s.popLocked()
 			progress = true
 		case wire.OpFlush:
-			if c.outstanding > 0 {
+			if s.outstanding > 0 {
 				return progress // barrier: wait for completions
 			}
 			e.ctr.flushes.Add(1)
-			c.pushReply(wire.Reply{Status: wire.StatusFlushed, Seq: req.seq})
-			c.popLocked()
+			s.pushReply(wire.Reply{Status: wire.StatusFlushed, Seq: req.seq})
+			s.popLocked()
 			progress = true
 		case wire.OpRead:
 			tag, err := e.mem.Read(req.addr)
 			if err == nil {
-				e.routes[tag] = route{c: c, seq: req.seq}
-				c.outstanding++
+				e.routes[tag] = route{s: s, seq: req.seq, enq: req.enq}
+				s.outstanding++
 				e.outstanding.Add(1)
 				e.ctr.reads.Add(1)
-				c.popLocked()
+				s.popLocked()
 				*budget--
 				progress = true
 				continue
 			}
-			if !e.refused(c, req, err) {
+			if !e.refused(s, req, err) {
 				return progress
 			}
 			progress = true
@@ -536,13 +740,17 @@ func (e *Engine) issueFrom(c *conn, budget *int) bool {
 			err := e.mem.Write(req.addr, req.data)
 			if err == nil {
 				e.ctr.writes.Add(1)
-				c.pushReply(wire.Reply{Status: wire.StatusAccepted, Seq: req.seq})
-				c.popLocked()
+				if s.resumable() {
+					s.resolveLocked(req.seq)
+					s.rememberLocked(req.seq, doneEntry{write: true})
+				}
+				s.pushReply(wire.Reply{Status: wire.StatusAccepted, Seq: req.seq})
+				s.popLocked()
 				*budget--
 				progress = true
 				continue
 			}
-			if !e.refused(c, req, err) {
+			if !e.refused(s, req, err) {
 				return progress
 			}
 			progress = true
@@ -554,11 +762,41 @@ func (e *Engine) issueFrom(c *conn, budget *int) bool {
 	return progress
 }
 
+// throttledHead handles a queue head whose tenant was refused a token,
+// mirroring refused(): under DropWithAccounting the refusal surfaces
+// immediately as StatusStall/CodeThrottled and the client's recovery
+// policy decides; otherwise the head is held and re-presented — charged
+// one refusal per cycle — until the bucket refills or MaxAttempts drops
+// it. It reports true when the request was resolved (popped with a
+// reply). Called with s.mu held.
+func (e *Engine) throttledHead(s *session, req *pendingReq) bool {
+	e.ctr.throttled.Add(1)
+	if e.cfg.Policy == recovery.DropWithAccounting {
+		if s.resumable() {
+			s.resolveLocked(req.seq)
+		}
+		s.pushReply(wire.Reply{Status: wire.StatusStall, Code: wire.CodeThrottled, Seq: req.seq})
+		s.popLocked()
+		return true
+	}
+	req.attempts++
+	if req.attempts >= e.cfg.MaxAttempts {
+		e.ctr.dropped.Add(1)
+		if s.resumable() {
+			s.resolveLocked(req.seq)
+		}
+		s.pushReply(wire.Reply{Status: wire.StatusDropped, Code: wire.CodeThrottled, Seq: req.seq})
+		s.popLocked()
+		return true
+	}
+	return false
+}
+
 // refused handles a Read/Write the memory did not accept. It reports
 // true when the request was resolved (popped with a reply) and false
-// when it stays at the queue head for a later cycle. Called with c.mu
+// when it stays at the queue head for a later cycle. Called with s.mu
 // held.
-func (e *Engine) refused(c *conn, req *pendingReq, err error) bool {
+func (e *Engine) refused(s *session, req *pendingReq, err error) bool {
 	switch {
 	case errors.Is(err, multichannel.ErrChannelBusy):
 		// Same-cycle channel collision — the interface analogue of a
@@ -569,15 +807,21 @@ func (e *Engine) refused(c *conn, req *pendingReq, err error) bool {
 	case core.IsStall(err):
 		if e.cfg.Policy == recovery.DropWithAccounting {
 			e.ctr.stalls.Add(1)
-			c.pushReply(wire.Reply{Status: wire.StatusStall, Code: wire.CodeOf(err), Seq: req.seq})
-			c.popLocked()
+			if s.resumable() {
+				s.resolveLocked(req.seq)
+			}
+			s.pushReply(wire.Reply{Status: wire.StatusStall, Code: wire.CodeOf(err), Seq: req.seq})
+			s.popLocked()
 			return true
 		}
 		req.attempts++
 		if req.attempts >= e.cfg.MaxAttempts {
 			e.ctr.dropped.Add(1)
-			c.pushReply(wire.Reply{Status: wire.StatusDropped, Code: wire.CodeOf(err), Seq: req.seq})
-			c.popLocked()
+			if s.resumable() {
+				s.resolveLocked(req.seq)
+			}
+			s.pushReply(wire.Reply{Status: wire.StatusDropped, Code: wire.CodeOf(err), Seq: req.seq})
+			s.popLocked()
 			return true
 		}
 		e.ctr.stallRetries.Add(1)
@@ -587,13 +831,16 @@ func (e *Engine) refused(c *conn, req *pendingReq, err error) bool {
 		// drop it with accounting rather than kill the connection.
 		e.logf("server: dropping request seq %d: %v", req.seq, err)
 		e.ctr.dropped.Add(1)
-		c.pushReply(wire.Reply{Status: wire.StatusDropped, Code: wire.CodeOther, Seq: req.seq})
-		c.popLocked()
+		if s.resumable() {
+			s.resolveLocked(req.seq)
+		}
+		s.pushReply(wire.Reply{Status: wire.StatusDropped, Code: wire.CodeOther, Seq: req.seq})
+		s.popLocked()
 		return true
 	}
 }
 
-// deliver routes one memory completion back to its connection.
+// deliver routes one memory completion back to its session.
 func (e *Engine) deliver(comp core.Completion) {
 	e.outstanding.Add(-1)
 	rt, ok := e.routes[comp.Tag]
@@ -607,21 +854,38 @@ func (e *Engine) deliver(comp core.Completion) {
 		flags |= wire.FlagUncorrectable
 		e.ctr.uncorrectable.Add(1)
 	}
-	c := rt.c
-	c.mu.Lock()
-	c.outstanding--
-	if !c.closed {
-		buf := append(c.getBuf(), comp.Data...)
-		c.pushComp(wire.Completion{
-			Seq:         rt.seq,
-			Addr:        comp.Addr,
-			IssuedAt:    comp.IssuedAt,
-			DeliveredAt: comp.DeliveredAt,
-			Flags:       flags,
-			Data:        buf,
-		})
+	s := rt.s
+	s.mu.Lock()
+	s.outstanding--
+	if s.tenant != nil {
+		s.tenant.NoteLatency(comp.DeliveredAt - rt.enq)
 	}
-	c.mu.Unlock()
+	if s.closed && s.cur == nil {
+		// Orphaned anonymous session: nobody will ever read this output.
+		// The completion is still counted — it happened — but the bytes
+		// are dropped, and once the last one lands the session can go.
+		if s.outstanding == 0 {
+			e.pruneReq.Store(true)
+		}
+		s.mu.Unlock()
+		return
+	}
+	out := wire.Completion{
+		Seq:         rt.seq,
+		Addr:        comp.Addr,
+		IssuedAt:    comp.IssuedAt,
+		DeliveredAt: comp.DeliveredAt,
+		Flags:       flags,
+		Data:        append(s.getBuf(), comp.Data...),
+	}
+	if s.resumable() {
+		s.resolveLocked(rt.seq)
+		cached := out
+		cached.Data = append([]byte(nil), comp.Data...)
+		s.rememberLocked(rt.seq, doneEntry{comp: cached})
+	}
+	s.pushComp(out)
+	s.mu.Unlock()
 }
 
 func (e *Engine) statsFor(seq uint64) wire.Stats {

@@ -41,6 +41,9 @@ func FuzzFrameDecode(f *testing.F) {
 	seed(func(e *Encoder) error {
 		return e.Stats(100, Stats{Seq: 1, Cycle: 100, Delay: 54, Channels: 4})
 	})
+	seed(func(e *Encoder) error {
+		return e.Hello(Hello{SessionID: 0xbeef, Tenant: "victim"})
+	})
 	f.Add([]byte{})
 	f.Add([]byte{FrameRequests, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
 
@@ -66,6 +69,14 @@ func FuzzFrameDecode(f *testing.F) {
 			err = e.Completions(fr.Cycle, fr.Completions)
 		case FrameStats:
 			err = e.Stats(fr.Cycle, fr.Stats)
+		case FrameHello:
+			// Encoder.Hello pins cycle to 0; reproduce a decoded nonzero
+			// cycle through the internal path so the identity check holds.
+			e.header(FrameHello, fr.Cycle, 1)
+			e.buf = binary.BigEndian.AppendUint64(e.buf, fr.Hello.SessionID)
+			e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(len(fr.Hello.Tenant)))
+			e.buf = append(e.buf, fr.Hello.Tenant...)
+			err = e.flush()
 		default:
 			t.Fatalf("decoder accepted unknown frame type %d", fr.Type)
 		}

@@ -1,0 +1,152 @@
+package wire
+
+// The network never promises whole frames per Read call: a TCP segment
+// boundary, a slow peer, or the fault injector's FlakyConn can split a
+// frame anywhere — mid length-prefix, mid header, mid record. The
+// decoder must produce byte-identical results however the stream is
+// chunked, and a connection cut mid-frame must surface as
+// io.ErrUnexpectedEOF (never a panic, never a silently short frame),
+// while a cut at a frame boundary is a clean io.EOF.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// chunkReader yields at most n bytes per Read call.
+type chunkReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(p) > c.n {
+		p = p[:c.n]
+	}
+	return c.r.Read(p)
+}
+
+// drainStream decodes frames until error, returning a deep copy of each
+// decoded frame's payload bytes and the terminal error.
+func drainStream(r io.Reader) ([][]byte, error) {
+	d := NewDecoder(r)
+	var payloads [][]byte
+	for {
+		if _, err := d.Next(); err != nil {
+			return payloads, err
+		}
+		payloads = append(payloads, append([]byte(nil), d.payload...))
+	}
+}
+
+// sampleStream encodes one frame of every type back to back.
+func sampleStream(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	steps := []func() error{
+		func() error { return e.Hello(Hello{SessionID: 0xabcdef, Tenant: "victim"}) },
+		func() error {
+			return e.Requests(1, []Request{
+				{Op: OpRead, Seq: 1, Addr: 0x1000},
+				{Op: OpWrite, Seq: 2, Addr: 0x2000, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+				{Op: OpFlush, Seq: 3},
+			})
+		},
+		func() error {
+			return e.Replies(2, []Reply{
+				{Status: StatusAccepted, Seq: 2},
+				{Status: StatusStall, Code: CodeThrottled, Seq: 4},
+				{Status: StatusDropped, Code: CodeDraining, Seq: 5},
+			})
+		},
+		func() error {
+			return e.Completions(54, []Completion{
+				{Seq: 1, Addr: 0x1000, IssuedAt: 0, DeliveredAt: 54, Data: []byte{9, 8, 7, 6, 5, 4, 3, 2}},
+			})
+		},
+		func() error { return e.Stats(55, Stats{Seq: 6, Cycle: 55, Delay: 54}) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestDecoderShortReads(t *testing.T) {
+	stream := sampleStream(t)
+	want, werr := drainStream(bytes.NewReader(stream))
+	if werr != io.EOF || len(want) != 5 {
+		t.Fatalf("baseline decode: %d frames, err %v", len(want), werr)
+	}
+
+	for _, n := range []int{1, 2, 3, 5, 7, 13} {
+		got, gerr := drainStream(&chunkReader{bytes.NewReader(stream), n})
+		if gerr != io.EOF {
+			t.Fatalf("chunk=%d: terminal error %v, want io.EOF", n, gerr)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("chunk=%d: decoded %d frames, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("chunk=%d: frame %d payload differs from whole-stream decode", n, i)
+			}
+		}
+	}
+
+	// Frame boundaries, derived from the baseline payload lengths.
+	bounds := map[int]bool{0: true}
+	off := 0
+	for _, p := range want {
+		off += lenPrefix + len(p)
+		bounds[off] = true
+	}
+	// A stream cut at any offset must end in io.EOF exactly at frame
+	// boundaries and io.ErrUnexpectedEOF everywhere else — fed one byte
+	// at a time, so every ReadFull sees the worst-case fragmentation.
+	for cut := 0; cut <= len(stream); cut++ {
+		_, err := drainStream(&chunkReader{bytes.NewReader(stream[:cut]), 1})
+		if bounds[cut] {
+			if err != io.EOF {
+				t.Fatalf("cut at frame boundary %d: err %v, want io.EOF", cut, err)
+			}
+		} else if err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut mid-frame at %d: err %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+// FuzzFrameDecodeShortReads feeds an arbitrary byte stream to the
+// decoder twice — whole, and through an adversarially small chunked
+// reader — and requires identical frames and an equivalent terminal
+// error. Any divergence means frame boundaries depend on how the
+// network fragments the stream, which would corrupt the protocol under
+// a flaky connection.
+func FuzzFrameDecodeShortReads(f *testing.F) {
+	f.Add(sampleStream(f), uint8(1))
+	f.Add(sampleStream(f)[:11], uint8(1)) // mid-header truncation
+	f.Add(sampleStream(f)[:2], uint8(2))  // mid length-prefix truncation
+	f.Add([]byte{0, 0, 0, 13, FrameRequests, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}, uint8(1))
+
+	f.Fuzz(func(t *testing.T, stream []byte, chunk uint8) {
+		n := int(chunk%8) + 1
+		want, werr := drainStream(bytes.NewReader(stream))
+		got, gerr := drainStream(&chunkReader{bytes.NewReader(stream), n})
+		if len(got) != len(want) {
+			t.Fatalf("chunk=%d: %d frames, whole-stream %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("chunk=%d: frame %d payload differs from whole-stream decode", n, i)
+			}
+		}
+		if (werr == nil) != (gerr == nil) || (werr != nil && !errors.Is(gerr, werr) && werr.Error() != gerr.Error()) {
+			t.Fatalf("chunk=%d: terminal error %v, whole-stream %v", n, gerr, werr)
+		}
+	})
+}

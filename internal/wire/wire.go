@@ -28,15 +28,17 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/qos"
 )
 
 // Protocol limits. A frame longer than MaxFrame or a batch larger than
 // MaxBatch is rejected outright; MaxData bounds a single record's
-// payload (a memory word).
+// payload (a memory word) and MaxTenant a tenant name.
 const (
-	MaxFrame = 1 << 20
-	MaxBatch = 8192
-	MaxData  = 4096
+	MaxFrame  = 1 << 20
+	MaxBatch  = 8192
+	MaxData   = 4096
+	MaxTenant = 256
 
 	headerLen = 1 + 8 + 4 // type, cycle, count
 
@@ -44,6 +46,7 @@ const (
 	replyLen   = 1 + 1 + 8             // status, code, seq
 	compFixed  = 1 + 8 + 8 + 8 + 8 + 2 // flags, seq, addr, issued, delivered, data length
 	statsLen   = 13 * 8                // thirteen u64 fields, in order
+	helloFixed = 8 + 2                 // session id, tenant name length
 	lenPrefix  = 4
 	maxPayload = MaxFrame - lenPrefix
 )
@@ -59,6 +62,14 @@ const (
 	FrameCompletions
 	// FrameStats carries one server statistics snapshot.
 	FrameStats
+	// FrameHello identifies the client to the server: a session id (so
+	// a reconnecting client resumes its in-flight window against the
+	// same server-side session, with replays deduplicated by seq) and a
+	// tenant name (the QoS principal whose token bucket regulates the
+	// connection). Sent once, before any request frame; optional — a
+	// connection that opens with requests gets an anonymous,
+	// non-resumable session under the default tenant limit.
+	FrameHello
 )
 
 // Request opcodes.
@@ -99,7 +110,20 @@ const (
 	CodeWriteBuffer
 	CodeCounter
 	CodeOther
+	// CodeThrottled carries qos.ErrThrottled: the tenant's token bucket
+	// refused the issue. It is a stall cause like the others — the
+	// client's recovery policy decides whether to retry or drop.
+	CodeThrottled
+	// CodeDraining reports that the server is draining and refuses new
+	// work; unlike a stall this is terminal for the request on this
+	// server, so it travels with StatusDropped.
+	CodeDraining
 )
+
+// ErrDraining is the cause attached to requests refused because the
+// server is draining. It is deliberately NOT a stall: retrying against
+// a draining server is futile, so clients surface it as a drop.
+var ErrDraining = errors.New("wire: server draining")
 
 // Completion flag bits.
 const (
@@ -121,6 +145,10 @@ func CodeOf(err error) byte {
 		return CodeWriteBuffer
 	case errors.Is(err, core.ErrStallCounter):
 		return CodeCounter
+	case errors.Is(err, qos.ErrThrottled):
+		return CodeThrottled
+	case errors.Is(err, ErrDraining):
+		return CodeDraining
 	default:
 		return CodeOther
 	}
@@ -141,9 +169,23 @@ func ErrOf(code byte) error {
 		return core.ErrStallWriteBuffer
 	case CodeCounter:
 		return core.ErrStallCounter
+	case CodeThrottled:
+		return qos.ErrThrottled
+	case CodeDraining:
+		return ErrDraining
 	default:
 		return core.ErrStall
 	}
+}
+
+// Hello is the connection-opening identification record.
+type Hello struct {
+	// SessionID names the server-side session this connection binds to.
+	// A reconnecting client presents the same id to resume its in-flight
+	// window; zero requests a fresh anonymous session.
+	SessionID uint64
+	// Tenant is the QoS principal; empty selects the default tenant.
+	Tenant string
 }
 
 // Request is one client request record.
@@ -205,6 +247,7 @@ type Frame struct {
 	Replies     []Reply
 	Completions []Completion
 	Stats       Stats
+	Hello       Hello
 }
 
 // Encoder writes frames to a stream. It is not safe for concurrent use;
@@ -305,6 +348,18 @@ func (e *Encoder) Stats(cycle uint64, s Stats) error {
 	return e.flush()
 }
 
+// Hello encodes one FrameHello frame.
+func (e *Encoder) Hello(h Hello) error {
+	if len(h.Tenant) > MaxTenant {
+		return fmt.Errorf("wire: tenant name %d bytes exceeds MaxTenant", len(h.Tenant))
+	}
+	e.header(FrameHello, 0, 1)
+	e.buf = binary.BigEndian.AppendUint64(e.buf, h.SessionID)
+	e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(len(h.Tenant)))
+	e.buf = append(e.buf, h.Tenant...)
+	return e.flush()
+}
+
 func (s *Stats) fields() [13]uint64 {
 	return [13]uint64{
 		s.Seq, s.Cycle, s.Delay, s.Channels, s.Conns,
@@ -377,6 +432,7 @@ func DecodeFrame(payload []byte, f *Frame) error {
 	f.Replies = f.Replies[:0]
 	f.Completions = f.Completions[:0]
 	f.Stats = Stats{}
+	f.Hello = Hello{}
 	if err := checkBatch(count); err != nil {
 		return fmt.Errorf("%w: %v", ErrFrame, err)
 	}
@@ -391,6 +447,8 @@ func DecodeFrame(payload []byte, f *Frame) error {
 		min = compFixed
 	case FrameStats:
 		min = statsLen
+	case FrameHello:
+		min = helloFixed
 	default:
 		return fmt.Errorf("%w: unknown frame type %d", ErrFrame, f.Type)
 	}
@@ -415,6 +473,21 @@ func DecodeFrame(payload []byte, f *Frame) error {
 		}
 		f.Stats.setFields(v)
 		b = b[statsLen:]
+	case FrameHello:
+		if count != 1 {
+			return fmt.Errorf("%w: hello frame with %d records", ErrFrame, count)
+		}
+		f.Hello.SessionID = binary.BigEndian.Uint64(b[:8])
+		tlen := int(binary.BigEndian.Uint16(b[8:helloFixed]))
+		b = b[helloFixed:]
+		if tlen > MaxTenant {
+			return fmt.Errorf("%w: tenant name %d bytes exceeds MaxTenant", ErrFrame, tlen)
+		}
+		if tlen > len(b) {
+			return fmt.Errorf("%w: hello tenant name overruns frame", ErrFrame)
+		}
+		f.Hello.Tenant = string(b[:tlen])
+		b = b[tlen:]
 	}
 	if err != nil {
 		return err

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/qos"
 )
 
 // encodeOne runs one encoder call and returns the raw bytes.
@@ -102,6 +103,7 @@ func TestCodeErrRoundTrip(t *testing.T) {
 	for _, err := range []error{
 		core.ErrStallDelayBuffer, core.ErrStallBankQueue,
 		core.ErrStallWriteBuffer, core.ErrStallCounter,
+		qos.ErrThrottled, ErrDraining,
 	} {
 		if got := ErrOf(CodeOf(err)); got != err { //nolint:errorlint // sentinel identity is the contract
 			t.Errorf("ErrOf(CodeOf(%v)) = %v", err, got)
@@ -112,6 +114,60 @@ func TestCodeErrRoundTrip(t *testing.T) {
 	}
 	if ErrOf(CodeNone) != nil {
 		t.Error("CodeNone must map to nil")
+	}
+	// The throttle code is a stall (recovery policies apply); the
+	// draining code is terminal — retrying against a draining server is
+	// futile, so it must NOT read as a stall.
+	if !errors.Is(ErrOf(CodeThrottled), core.ErrStall) {
+		t.Error("CodeThrottled must map to a stall cause")
+	}
+	if errors.Is(ErrOf(CodeDraining), core.ErrStall) {
+		t.Error("CodeDraining must not be a stall")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	for _, in := range []Hello{
+		{},
+		{SessionID: 0xfeedface, Tenant: "attacker"},
+		{SessionID: 1, Tenant: string(make([]byte, MaxTenant))},
+	} {
+		raw := encodeOne(t, func(e *Encoder) error { return e.Hello(in) })
+		dec := NewDecoder(bytes.NewReader(raw))
+		f, err := dec.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != FrameHello || f.Hello != in {
+			t.Fatalf("hello = %+v (type %d), want %+v", f.Hello, f.Type, in)
+		}
+	}
+	if err := NewEncoder(io.Discard).Hello(Hello{Tenant: string(make([]byte, MaxTenant+1))}); err == nil {
+		t.Fatal("oversized tenant name accepted")
+	}
+}
+
+func TestHelloDecodeErrors(t *testing.T) {
+	valid := encodeOne(t, func(e *Encoder) error { return e.Hello(Hello{SessionID: 7, Tenant: "ab"}) })
+	corrupt := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		mut(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"two records", corrupt(func(b []byte) { binary.BigEndian.PutUint32(b[13:], 2) })},
+		{"tenant overruns frame", corrupt(func(b []byte) { binary.BigEndian.PutUint16(b[25:], 200) })},
+		{"trailing bytes", corrupt(func(b []byte) { binary.BigEndian.PutUint16(b[25:], 1) })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewDecoder(bytes.NewReader(tc.raw)).Next(); err == nil {
+				t.Fatal("decode succeeded on malformed hello")
+			}
+		})
 	}
 }
 
