@@ -39,22 +39,28 @@ fuzz:
 	$(GO) test ./internal/core -fuzz FuzzRetrierOps -fuzztime 10s
 	$(GO) test ./internal/wire -fuzz 'FuzzFrameDecode$$' -fuzztime 10s
 	$(GO) test ./internal/wire -fuzz 'FuzzFrameDecodeShortReads$$' -fuzztime 10s
+	$(GO) test ./internal/wire -fuzz 'FuzzPooledRoundTrip$$' -fuzztime 10s
 
 # Gated benchmark set. BENCH_parallel.txt is benchstat-compatible raw
 # output; BENCH_parallel.json is the parsed form bench-gate compares
 # against bench/baseline.json. The one-shot benchmarks report
-# deterministic metrics (req/cycle, speedup-x) from a single run;
-# TickParallel needs iterations to reach its 0 allocs/op steady state.
+# deterministic metrics (req/cycle, speedup-x) from a single run; the
+# steady-state benchmarks (loopback, TickParallel, regulator) need a
+# pinned iteration count both to reach their gated 0 allocs/op steady
+# state and to keep the deterministic cycle counts reproducible.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkBaselineVsVPNM$$|BenchmarkSweepSpeedup$$|BenchmarkServerLoopback$$' -benchmem -benchtime 1x -count=1 . | tee BENCH_parallel.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkBaselineVsVPNM$$|BenchmarkSweepSpeedup$$' -benchmem -benchtime 1x -count=1 . | tee BENCH_parallel.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkServerLoopback$$' -benchmem -benchtime 2000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkTickParallel$$' -benchmem -benchtime 20000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkProbeOverhead$$' -benchmem -benchtime 20000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkTickSparse$$|BenchmarkTickDense$$' -benchmem -benchtime 50000x -count=1 . | tee -a BENCH_parallel.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkServerRegulated/loopback$$' -benchmem -benchtime 1x -count=1 . | tee -a BENCH_parallel.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkServerRegulated/loopback$$' -benchmem -benchtime 2000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkServerRegulated/regulator$$' -benchmem -benchtime 100000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) run ./cmd/benchgate -parse -o BENCH_parallel.json BENCH_parallel.txt
 
-# Fail on >20% regression of any gated metric vs the committed baseline.
+# Fail on regression vs the committed baseline: >20% on throughput
+# metrics, ANY increase on allocs/op and B/op (strict units — see
+# cmd/benchgate).
 bench-gate: bench
 	$(GO) run ./cmd/benchgate -gate -baseline bench/baseline.json -threshold 0.20 BENCH_parallel.json
 

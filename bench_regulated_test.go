@@ -1,97 +1,39 @@
 // Regulated-service benchmark: the loopback stack with a QoS regulator
 // in the issue path, plus a microbenchmark of the per-request regulator
-// work itself. The loopback sub-benchmark is deterministic (lockstep +
-// manual batching, like BenchmarkServerLoopback) and gates req/cycle:
-// an over-provisioned tenant must cost no throughput. The regulator
+// work itself. The loopback sub-benchmark is the steady-state driver
+// from bench_server_test.go (lockstep + manual batching, warmup outside
+// the timer) and gates req/cycle AND allocs/op == 0: an over-provisioned
+// tenant must cost neither throughput nor allocation. The regulator
 // sub-benchmark gates allocs/op at zero: the token-bucket accounting
 // runs on the engine's clock goroutine, where one allocation per
 // request would dominate the event-driven tick.
 package vpnm_test
 
 import (
-	"context"
-	"math/rand/v2"
-	"net"
 	"testing"
 
-	"repro/internal/client"
-	"repro/internal/core"
-	"repro/internal/multichannel"
 	"repro/internal/qos"
-	"repro/internal/server"
 	"repro/internal/telemetry"
 )
 
 func BenchmarkServerRegulated(b *testing.B) {
 	b.Run("loopback", func(b *testing.B) {
-		const (
-			channels = 4
-			total    = 8192
-			batch    = 64
-		)
-		for i := 0; i < b.N; i++ {
-			cfg := core.Config{Banks: 8, QueueDepth: 16, DelayRows: 64, WordBytes: 8}
-			mem, err := multichannel.New(cfg, channels, 1)
-			if err != nil {
-				b.Fatal(err)
-			}
-			// Over-provisioned bucket: regulation is in the path (every
-			// request pays a token) but never engages, so the req/cycle
-			// metric must match the unregulated loopback.
-			reg, err := qos.NewRegulator(qos.Config{
-				Default:  qos.Limit{Rate: float64(2 * channels), Burst: float64(2 * batch)},
-				Registry: telemetry.NewRegistry(),
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			eng, err := server.New(server.Config{Mem: mem, QoS: reg, Lockstep: true})
-			if err != nil {
-				b.Fatal(err)
-			}
-			cn, sn := net.Pipe()
-			if err := eng.ServeConn(sn); err != nil {
-				b.Fatal(err)
-			}
-			c := client.New(cn, client.Config{Window: total + 16, MaxBatch: batch, ManualBatch: true, Tenant: "bench"})
-
-			ctx := context.Background()
-			before, err := c.Stats(ctx)
-			if err != nil {
-				b.Fatal(err)
-			}
-			rng := rand.New(rand.NewPCG(1, 2))
-			for n := 0; n < total; n += batch {
-				for j := 0; j < batch; j++ {
-					if err := c.Read(ctx, rng.Uint64N(1<<24), nil); err != nil {
-						b.Fatal(err)
-					}
-				}
-				if err := c.Kick(); err != nil {
-					b.Fatal(err)
-				}
-			}
-			if err := c.Flush(ctx); err != nil {
-				b.Fatal(err)
-			}
-			after, err := c.Stats(ctx)
-			if err != nil {
-				b.Fatal(err)
-			}
-			ctr := c.Counters()
-			if ctr.Completions != total || ctr.Drops != 0 || ctr.LatencyViolations != 0 {
-				b.Fatalf("ledger = %+v, want %d clean completions", ctr, total)
-			}
-			t := reg.Tenant("bench").Counters()
-			if t.Issued != total || t.Throttled != 0 {
-				b.Fatalf("tenant ledger = %+v, want %d issues and no throttles", t, total)
-			}
-			cycles := after.Cycle - before.Cycle
-			b.ReportMetric(float64(total)/float64(cycles), "req/cycle")
-			b.ReportMetric(float64(cycles), "cycles")
-
-			c.Close()
-			eng.Close()
+		// Over-provisioned bucket: regulation is in the path (every
+		// request pays a token) but never engages — the bucket refills
+		// at 2× the memory's peak issue rate — so the req/cycle metric
+		// must match the unregulated loopback.
+		reg, err := qos.NewRegulator(qos.Config{
+			Default:  qos.Limit{Rate: float64(2 * loopChannels), Burst: float64(2 * loopBatch)},
+			Registry: telemetry.NewRegistry(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := runServerLoopback(b, reg, "bench")
+		t := reg.Tenant("bench").Counters()
+		want := total + loopWarmup*loopBatch
+		if t.Issued != want || t.Throttled != 0 {
+			b.Fatalf("tenant ledger = %+v, want %d issues and no throttles", t, want)
 		}
 	})
 

@@ -22,9 +22,17 @@
 // gate direction and are never checked even if a baseline lists them;
 // the gated set is the deterministic metrics the benchmarks report:
 //
-//	req/cycle, comps/cycle, speedup-x   higher is better
-//	allocs/op, B/op                     lower is better (0-baselines
-//	                                    fail on any increase)
+//	req/cycle, comps/cycle, speedup-x   higher is better, -threshold slack
+//	allocs/op, B/op                     lower is better, STRICT: any
+//	                                    increase over the baseline fails,
+//	                                    the threshold does not apply
+//
+// Allocation metrics are gated strictly because they are deterministic
+// outputs of the code, not of the machine: a benchmark that allocated
+// 0 times per op yesterday and 1 time per op today has regressed no
+// matter how fast the host is, and a 20% grace on "allocations per
+// operation" would let per-request allocations creep back one site at
+// a time.
 //
 // A baseline entry may carry a `cores` metric (GOMAXPROCS at record
 // time, reported by the speedup benchmarks). `cores` is never gated
@@ -71,6 +79,15 @@ var direction = map[string]int{
 	"speedup-x":   +1,
 	"allocs/op":   -1,
 	"B/op":        -1,
+}
+
+// strictUnits are gated with zero tolerance: any regression past the
+// baseline fails, the -threshold flag notwithstanding. Allocation
+// counts are deterministic per-op properties of the code under test,
+// so a "small" regression is still a regression.
+var strictUnits = map[string]bool{
+	"allocs/op": true,
+	"B/op":      true,
 }
 
 // benchLine matches one result line of `go test -bench` output, e.g.
@@ -242,13 +259,20 @@ func runGate(curPath, basePath string, threshold float64, w io.Writer) ([]string
 				}
 			}
 			checked++
+			// Allocation metrics gate strictly: any increase fails. They
+			// are properties of the code, not the machine, so there is no
+			// noise for a threshold to absorb.
+			eff := threshold
+			if strictUnits[unit] {
+				eff = 0
+			}
 			switch {
-			case dir > 0 && got < want*(1-threshold):
-				failures = append(failures, fmt.Sprintf("%s %s: %g < baseline %g -%.0f%%", name, unit, got, want, threshold*100))
+			case dir > 0 && got < want*(1-eff):
+				failures = append(failures, fmt.Sprintf("%s %s: %g < baseline %g -%.0f%%", name, unit, got, want, eff*100))
 			case dir < 0 && want == 0 && got > 0:
 				failures = append(failures, fmt.Sprintf("%s %s: %g > zero baseline", name, unit, got))
-			case dir < 0 && got > want*(1+threshold):
-				failures = append(failures, fmt.Sprintf("%s %s: %g > baseline %g +%.0f%%", name, unit, got, want, threshold*100))
+			case dir < 0 && got > want*(1+eff):
+				failures = append(failures, fmt.Sprintf("%s %s: %g > baseline %g +%.0f%%", name, unit, got, want, eff*100))
 			default:
 				fmt.Fprintf(w, "ok   %s %s: %g (baseline %g)\n", name, unit, got, want)
 			}

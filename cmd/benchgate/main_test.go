@@ -60,7 +60,21 @@ func TestGateDirections(t *testing.T) {
 	}{
 		{
 			"all-within",
-			`{"benchmarks": {"BenchA": {"req/cycle": 0.9}, "BenchB": {"allocs/op": 0}, "BenchC": {"allocs/op": 11}}}`,
+			`{"benchmarks": {"BenchA": {"req/cycle": 0.9}, "BenchB": {"allocs/op": 0}, "BenchC": {"allocs/op": 10}}}`,
+			nil,
+		},
+		{
+			// Allocation metrics gate strictly: 10 -> 11 is within the 20%
+			// threshold but still fails, because allocs/op is a property
+			// of the code, not the machine.
+			"alloc-increase-fails-within-threshold",
+			`{"benchmarks": {"BenchA": {"req/cycle": 1}, "BenchB": {"allocs/op": 0}, "BenchC": {"allocs/op": 11}}}`,
+			[]string{"BenchC allocs/op"},
+		},
+		{
+			// ...and an improvement still passes.
+			"alloc-decrease-passes",
+			`{"benchmarks": {"BenchA": {"req/cycle": 1}, "BenchB": {"allocs/op": 0}, "BenchC": {"allocs/op": 9}}}`,
 			nil,
 		},
 		{
@@ -107,6 +121,20 @@ func TestGateDirections(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestGateStrictBytes: B/op is strict like allocs/op — a 4% creep over
+// a nonzero baseline fails even though req/cycle gets 20% slack.
+func TestGateStrictBytes(t *testing.T) {
+	base := writeFile(t, "base.json", `{"benchmarks": {"BenchD": {"B/op": 100}}}`)
+	cur := writeFile(t, "cur.json", `{"benchmarks": {"BenchD": {"B/op": 104}}}`)
+	failures, err := runGate(cur, base, 0.20, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchD B/op") {
+		t.Fatalf("B/op creep must fail strictly, got %v", failures)
 	}
 }
 

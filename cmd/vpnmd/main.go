@@ -107,6 +107,7 @@ func main() {
 		attempts = flag.Int("attempts", 0, "max hold-and-retry attempts per stalled request (0: default)")
 		tick     = flag.Duration("tick", 0, "wall-clock tick interval (0: free-running clock)")
 		quiet    = flag.Bool("q", false, "suppress connection lifecycle logging")
+		poolchk  = flag.Bool("poolcheck", false, "arm the frame-buffer pool's leak/double-put detector; hygiene is reported after drain")
 
 		qosDefault = flag.String("qos-default", "", "default tenant token bucket as rate[:burst] in req/cycle (empty: unlimited)")
 		wtimeout   = flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline to a client; a peer that stops reading is detached (0 disables)")
@@ -185,6 +186,7 @@ func main() {
 		WriteTimeout: *wtimeout,
 		TickInterval: *tick,
 		Logf:         logf,
+		PoolCheck:    *poolchk,
 	})
 	if err != nil {
 		fatal(err)
@@ -241,6 +243,14 @@ func main() {
 		} else {
 			fmt.Printf("vpnmd: drained clean: %d completions, 0 outstanding, %d refused during drain\n",
 				snap.Completions, snap.DrainRefused)
+		}
+		if *poolchk {
+			if err := eng.PoolClean(); err != nil {
+				fmt.Fprintln(os.Stderr, "vpnmd: pool:", err)
+			} else {
+				ps := eng.PoolStats()
+				fmt.Printf("vpnmd: pool clean: %d gets, %d misses, 0 live\n", ps.Gets, ps.Misses)
+			}
 		}
 		eng.Close()
 	}()

@@ -143,13 +143,19 @@ type Config struct {
 	// window slot; a verdict that arrives later is ignored. Zero
 	// disables deadlines.
 	RequestTimeout time.Duration
+	// PoolCheck arms the client buffer pool's leak/double-put detector
+	// (write payload copies). The chaos harness asserts PoolClean after
+	// a drained run; leave off outside tests.
+	PoolCheck bool
 }
 
-// pending is one in-flight request.
+// pending is one in-flight request. Instances are recycled through a
+// freelist: the request path pops one, the terminal verdict pushes it
+// back, so the steady-state hot path never allocates a tracking node.
 type pending struct {
 	write    bool
 	addr     uint64
-	data     []byte // writes: stable copy for retries
+	data     []byte // writes: stable pooled copy, owned until the verdict
 	cb       func(Completion)
 	attempts int
 	deadline time.Time // zero when RequestTimeout is unset
@@ -202,8 +208,8 @@ func (s recoveryStallCounts) Total() uint64 {
 // they must not block, and may only issue new requests if the window
 // cannot be full (or they will deadlock the receive loop).
 type Client struct {
-	wmu sync.Mutex // serializes frame writes (and transport swaps)
-	enc *wire.Encoder
+	wmu  sync.Mutex // serializes frame writes (and transport swaps)
+	wbuf []byte     // reused frame-build buffer; guarded by wmu
 
 	mu           sync.Mutex
 	nc           net.Conn
@@ -211,6 +217,7 @@ type Client struct {
 	reconnecting bool
 	sendq        []wire.Request
 	pend         map[uint64]*pending
+	freePend     []*pending // recycled tracking nodes
 	flushW       map[uint64]chan struct{}
 	statsW       map[uint64]chan wire.Stats
 	next         uint64
@@ -218,8 +225,12 @@ type Client struct {
 	delay        uint64 // learned from the first Stats reply; 0 = unknown
 	err          error
 	closed       bool
-	scratch      []wire.Request
 	readerDone   chan struct{} // current transport's reader; swapped per conn
+
+	// pool recycles write payload copies: Write moves the caller's data
+	// into a pooled buffer that survives retries and retransmits, and
+	// the terminal verdict returns it.
+	pool wire.Pool
 
 	policy      recovery.Policy
 	maxAttempts int
@@ -272,8 +283,7 @@ func New(nc net.Conn, cfg Config) *Client {
 	}
 	c := &Client{
 		nc:          nc,
-		enc:         wire.NewEncoder(nc),
-		pend:        make(map[uint64]*pending),
+		pend:        make(map[uint64]*pending, cfg.Window),
 		flushW:      make(map[uint64]chan struct{}),
 		statsW:      make(map[uint64]chan wire.Stats),
 		policy:      cfg.Policy,
@@ -294,10 +304,21 @@ func New(nc net.Conn, cfg Config) *Client {
 		dead:        make(chan struct{}),
 		readerDone:  make(chan struct{}),
 	}
+	c.pool.SetCheck(cfg.PoolCheck)
+	// The window semaphore caps in-flight requests at cfg.Window, so the
+	// tracking-node population can never exceed it: preallocate the whole
+	// fleet as one block (and size the pending map to match) so the
+	// request path never allocates a node, no matter how deep the
+	// pipeline runs.
+	nodes := make([]pending, cfg.Window)
+	c.freePend = make([]*pending, 0, cfg.Window)
+	for i := range nodes {
+		c.freePend = append(c.freePend, &nodes[i])
+	}
 	var herr error
 	if c.sessionID != 0 || c.tenant != "" {
 		c.wmu.Lock()
-		herr = c.enc.Hello(wire.Hello{SessionID: c.sessionID, Tenant: c.tenant})
+		herr = c.sendHello(nc)
 		c.wmu.Unlock()
 	}
 	go c.readLoop(nc, 0, c.readerDone)
@@ -352,6 +373,47 @@ func (c *Client) Delay() uint64 {
 	return c.delay
 }
 
+// PoolStats snapshots the client's buffer pool ledger.
+func (c *Client) PoolStats() wire.PoolStats { return c.pool.Stats() }
+
+// PoolClean reports buffer-pool hygiene: nil when no pooled buffer is
+// outstanding and no double put was recorded. Meaningful only under
+// Config.PoolCheck, after the pipeline has drained.
+func (c *Client) PoolClean() error { return c.pool.CheckClean() }
+
+// sendHello writes the session-binding Hello frame. Called with wmu
+// held, before any request frame reaches the same transport.
+func (c *Client) sendHello(nc net.Conn) error {
+	b, err := wire.AppendHello(c.wbuf[:0], wire.Hello{SessionID: c.sessionID, Tenant: c.tenant})
+	c.wbuf = b
+	if err != nil {
+		return err
+	}
+	_, err = nc.Write(b)
+	return err
+}
+
+// getPendLocked pops a recycled tracking node. Called with c.mu held.
+func (c *Client) getPendLocked() *pending {
+	if n := len(c.freePend); n > 0 {
+		p := c.freePend[n-1]
+		c.freePend[n-1] = nil
+		c.freePend = c.freePend[:n-1]
+		return p
+	}
+	return new(pending)
+}
+
+// retirePendLocked recycles a resolved request's resources: the pooled
+// write payload goes back to the pool, the node to the freelist. The
+// caller must already have staged any callback it needs — the node's
+// fields are dead after this. Called with c.mu held.
+func (c *Client) retirePendLocked(p *pending) {
+	c.pool.Put(p.data)
+	*p = pending{}
+	c.freePend = append(c.freePend, p)
+}
+
 // acquire takes one window slot.
 func (c *Client) acquire(ctx context.Context) error {
 	select {
@@ -395,7 +457,9 @@ func (c *Client) Read(ctx context.Context, addr uint64, cb func(Completion)) err
 	}
 	seq := c.next
 	c.next++
-	c.pend[seq] = &pending{addr: addr, cb: cb, deadline: c.deadlineFrom()}
+	p := c.getPendLocked()
+	p.addr, p.cb, p.deadline = addr, cb, c.deadlineFrom()
+	c.pend[seq] = p
 	c.sendq = append(c.sendq, wire.Request{Op: wire.OpRead, Seq: seq, Addr: addr})
 	c.ctr.Issued++
 	c.ctr.Reads++
@@ -425,8 +489,13 @@ func (c *Client) Write(ctx context.Context, addr uint64, data []byte) error {
 	}
 	seq := c.next
 	c.next++
-	stable := append([]byte(nil), data...)
-	c.pend[seq] = &pending{write: true, addr: addr, data: stable, deadline: c.deadlineFrom()}
+	// The payload must survive until the verdict (retries and reconnect
+	// retransmits re-send it), so move it into a pooled buffer the
+	// verdict path releases.
+	stable := append(c.pool.Get(len(data)), data...)
+	p := c.getPendLocked()
+	p.write, p.addr, p.data, p.deadline = true, addr, stable, c.deadlineFrom()
+	c.pend[seq] = p
 	c.sendq = append(c.sendq, wire.Request{Op: wire.OpWrite, Seq: seq, Addr: addr, Data: stable})
 	c.ctr.Issued++
 	c.ctr.Writes++
@@ -546,10 +615,19 @@ func (c *Client) flushLoop() {
 	}
 }
 
-// flushQueue writes the send queue out as frames of at most MaxBatch.
-// It holds wmu for the whole drain, so concurrent flushers serialize
-// (and the scratch buffer has a single owner at a time). Lock order is
-// wmu before mu; nothing acquires them the other way around.
+// flushQueue drains the whole send queue in one vectored shot: every
+// queued request is encoded — in frames of at most MaxBatch — into the
+// reused write buffer, and the lot goes to the kernel as ONE write, so
+// the syscall cost per flush is constant no matter how many frames the
+// queue filled. It holds wmu for the whole drain, so concurrent
+// flushers serialize. Lock order is wmu before mu; nothing acquires
+// them the other way around.
+//
+// Encoding happens under c.mu: every path that releases a write
+// payload back to the pool (accept, drop, expiry, failure) also holds
+// c.mu, so no payload can be recycled — and its buffer handed to a new
+// Write — while the encoder is still copying it. The write syscall
+// itself runs outside c.mu, under wmu alone.
 //
 // During a reconnect it returns immediately: every queued request is
 // also tracked in pend/flushW/statsW, and the reconnect rebuilds the
@@ -568,15 +646,31 @@ func (c *Client) flushQueue() error {
 			c.mu.Unlock()
 			return nil
 		}
-		n := min(len(c.sendq), c.maxBatch)
-		batch := append(c.scratch[:0], c.sendq[:n]...)
-		c.scratch = batch
-		rest := copy(c.sendq, c.sendq[n:])
-		c.sendq = c.sendq[:rest]
+		buf := c.wbuf[:0]
+		q := c.sendq
+		for len(q) > 0 {
+			n := wire.FitRequests(q)
+			if n > c.maxBatch {
+				n = c.maxBatch
+			}
+			var err error
+			if buf, err = wire.AppendRequests(buf, 0, q[:n]); err != nil {
+				// Can't happen: Read/Write validate every record against
+				// the protocol bounds before queueing it.
+				c.wbuf = buf
+				c.mu.Unlock()
+				c.fail(err)
+				return err
+			}
+			q = q[n:]
+		}
+		c.sendq = c.sendq[:0]
+		c.wbuf = buf
+		nc := c.nc
 		gen := c.gen
 		c.mu.Unlock()
 
-		if err := c.enc.Requests(0, batch); err != nil {
+		if _, err := nc.Write(buf); err != nil {
 			c.transportErr(gen, err)
 			if c.dialer != nil {
 				return nil // the batch lives on in pend; the reconnect re-sends it
@@ -711,7 +805,6 @@ func (c *Client) install(nc net.Conn) {
 		return
 	}
 	c.nc = nc
-	c.enc = wire.NewEncoder(nc)
 	c.gen++
 	gen := c.gen
 	c.reconnecting = false
@@ -720,7 +813,7 @@ func (c *Client) install(nc net.Conn) {
 	done := make(chan struct{})
 	c.readerDone = done
 	c.mu.Unlock()
-	herr := c.enc.Hello(wire.Hello{SessionID: c.sessionID, Tenant: c.tenant})
+	herr := c.sendHello(nc)
 	c.wmu.Unlock()
 	go c.readLoop(nc, gen, done)
 	if herr != nil {
@@ -794,6 +887,7 @@ func (c *Client) expire(now time.Time) {
 		if !p.write && p.cb != nil {
 			cbs = append(cbs, invocation{cb: p.cb, comp: Completion{Addr: p.addr, Err: ErrDeadlineExceeded}})
 		}
+		c.retirePendLocked(p)
 	}
 	c.mu.Unlock()
 	for i := range cbs {
@@ -825,11 +919,15 @@ func (c *Client) dropLocked(seq uint64, p *pending, code byte, exhausted bool) (
 		c.ctr.Exhausted++
 	}
 	c.release()
-	if p.write || p.cb == nil {
-		return invocation{}, false
+	inv := invocation{}
+	staged := false
+	if !p.write && p.cb != nil {
+		err := fmt.Errorf("%w: %w", recovery.ErrDropped, wire.ErrOf(code))
+		inv = invocation{cb: p.cb, comp: Completion{Addr: p.addr, Err: err}}
+		staged = true
 	}
-	err := fmt.Errorf("%w: %w", recovery.ErrDropped, wire.ErrOf(code))
-	return invocation{cb: p.cb, comp: Completion{Addr: p.addr, Err: err}}, true
+	c.retirePendLocked(p)
+	return inv, staged
 }
 
 // strayErr reacts to a verdict with no matching pending request. In
@@ -870,6 +968,7 @@ func (c *Client) handleReplies(reps []wire.Reply, cbs []invocation) ([]invocatio
 			delete(c.pend, rp.Seq)
 			c.ctr.AcceptedWrites++
 			c.release()
+			c.retirePendLocked(p)
 		case wire.StatusStall:
 			p, ok := c.pend[rp.Seq]
 			if !ok {
@@ -949,6 +1048,7 @@ func (c *Client) handleCompletions(comps []wire.Completion, cbs []invocation) ([
 				Err:         err,
 			}})
 		}
+		c.retirePendLocked(p)
 	}
 	return cbs, nil
 }
@@ -983,6 +1083,7 @@ func (c *Client) fail(err error) {
 		if !p.write && p.cb != nil {
 			cbs = append(cbs, invocation{cb: p.cb, comp: Completion{Addr: p.addr, Err: err}})
 		}
+		c.retirePendLocked(p)
 	}
 	for seq, ch := range c.flushW {
 		delete(c.flushW, seq)

@@ -39,8 +39,20 @@ var ErrSecondRequest = errors.New("vpnm: more than one request in a single inter
 // policies do not retry it.
 var ErrUncorrectable = errors.New("vpnm: uncorrectable memory error")
 
-// IsStall reports whether err is one of the stall conditions.
-func IsStall(err error) bool { return errors.Is(err, ErrStall) }
+// IsStall reports whether err is one of the stall conditions. The
+// identity switch covers every value this package returns — it keeps
+// the per-cycle retry path off errors.Is, whose unwrap walk is
+// measurable when stalls are a steady fraction of issue attempts — and
+// the errors.Is fallback still recognizes externally wrapped stalls.
+func IsStall(err error) bool {
+	switch err {
+	case ErrStall, ErrStallDelayBuffer, ErrStallBankQueue, ErrStallWriteBuffer, ErrStallCounter:
+		return true
+	case nil, ErrSecondRequest, ErrUncorrectable:
+		return false
+	}
+	return errors.Is(err, ErrStall)
+}
 
 // errDataTooLong reports a write wider than the configured word.
 func errDataTooLong(got, word int) error {

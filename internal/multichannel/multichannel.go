@@ -174,7 +174,7 @@ func (m *Memory) Read(addr uint64) (tag uint64, err error) {
 	ch := m.Channel(addr)
 	t, err := m.chans[ch].Read(addr)
 	if err != nil {
-		if errors.Is(err, core.ErrSecondRequest) {
+		if err == core.ErrSecondRequest {
 			m.busy++
 			return 0, ErrChannelBusy
 		}
@@ -188,7 +188,7 @@ func (m *Memory) Read(addr uint64) (tag uint64, err error) {
 func (m *Memory) Write(addr uint64, data []byte) error {
 	ch := m.Channel(addr)
 	if err := m.chans[ch].Write(addr, data); err != nil {
-		if errors.Is(err, core.ErrSecondRequest) {
+		if err == core.ErrSecondRequest {
 			m.busy++
 			return ErrChannelBusy
 		}

@@ -41,8 +41,16 @@ func (c *conn) fail(err error) {
 // free-running mode it appends directly (blocking when the window is
 // full — that is the backpressure path); in lockstep mode it hands
 // whole frames to the engine's admission queue.
+//
+// The copy out of the decoder's buffer is allocation-free in steady
+// state: request records land in a reused batch slice (a per-session
+// freelist in lockstep mode, where batches are handed off to the
+// engine; a loop-local slice otherwise) and write payloads in pooled
+// buffers whose ownership travels with the queued request until its
+// terminal verdict releases them.
 func (c *conn) readLoop() {
 	dec := wire.NewDecoder(c.nc)
+	var local []pendingReq // reused batch for the non-handoff path
 	for {
 		f, err := dec.Next()
 		if err != nil {
@@ -71,55 +79,77 @@ func (c *conn) readLoop() {
 				return
 			}
 		}
-		// Copy out of the decoder's buffer: the queue outlives the frame.
-		batch := make([]pendingReq, len(f.Requests))
-		for i := range f.Requests {
-			r := &f.Requests[i]
-			batch[i] = pendingReq{op: r.Op, seq: r.Seq, addr: r.Addr}
-			if len(r.Data) > 0 {
-				batch[i].data = append([]byte(nil), r.Data...)
-			}
+		batch := local[:0]
+		if c.e.cfg.Lockstep {
+			batch = c.s.getBatch()
 		}
 		if c.e.draining.Load() {
-			// Graceful degradation: refuse new work outright, but keep
-			// serving flushes and stats so clients can drain what they
-			// already have in flight.
-			kept := batch[:0]
+			// Graceful degradation: refuse new work outright — before its
+			// payload is even copied — but keep serving flushes and stats
+			// so clients can drain what they already have in flight.
+			refused := 0
 			c.s.mu.Lock()
-			for _, req := range batch {
-				if req.op == wire.OpRead || req.op == wire.OpWrite {
+			for i := range f.Requests {
+				r := &f.Requests[i]
+				if r.Op == wire.OpRead || r.Op == wire.OpWrite {
 					c.e.ctr.drainRefused.Add(1)
-					c.s.pushReply(wire.Reply{Status: wire.StatusDropped, Code: wire.CodeDraining, Seq: req.seq})
+					c.s.stageReply(wire.Reply{Status: wire.StatusDropped, Code: wire.CodeDraining, Seq: r.Seq})
+					refused++
 					continue
 				}
-				kept = append(kept, req)
+				batch = append(batch, pendingReq{op: r.Op, seq: r.Seq, addr: r.Addr})
 			}
 			c.s.mu.Unlock()
-			batch = kept
-			if len(batch) == 0 {
-				continue
+			if refused > 0 {
+				c.s.wcond.Signal()
 			}
+		} else {
+			for i := range f.Requests {
+				r := &f.Requests[i]
+				pr := pendingReq{op: r.Op, seq: r.Seq, addr: r.Addr}
+				if len(r.Data) > 0 {
+					// The queue outlives the frame: move the payload into a
+					// pooled buffer the verdict path will release.
+					pr.data = append(c.e.pool.Get(len(r.Data)), r.Data...)
+				}
+				batch = append(batch, pr)
+			}
+		}
+		if len(batch) == 0 {
+			if c.e.cfg.Lockstep {
+				c.s.putBatch(batch)
+			}
+			continue
 		}
 		if c.e.cfg.Lockstep {
 			select {
 			case c.e.frames <- inFrame{s: c.s, reqs: batch}:
 			case <-c.e.done:
+				c.s.releaseBatch(batch)
 				c.fail(fmt.Errorf("server: engine closed"))
 				return
 			}
 			continue
 		}
 		if !c.s.ingest(c, batch) {
+			c.s.releaseBatch(batch)
 			c.fail(fmt.Errorf("server: session closed"))
 			return
 		}
+		local = batch
 	}
 }
 
 // writeLoop drains the session's output buffers into frames. Everything
-// staged since the last wake goes out in at most three frames (replies,
-// completions, stats), so under load the per-completion overhead
-// amortizes exactly like the request batching on the way in.
+// staged since the last wake — under load, a whole clock step's worth
+// of verdicts, because the engine signals each touched session once per
+// step — is encoded into pooled frame buffers and handed to the kernel
+// as ONE vectored write (net.Buffers → writev on TCP), so the syscall
+// cost per step per connection is constant no matter how many replies,
+// completions and stats snapshots the step produced. Frame boundaries
+// and record order are exactly what the per-frame path produced: writev
+// preserves byte order, so the client-visible stream (and with it the
+// fixed-D delivery order) is unchanged.
 //
 // On a write error the swapped-out records are pushed back to the FRONT
 // of the session buffers before detaching: a resolution is never lost
@@ -128,10 +158,12 @@ func (c *conn) readLoop() {
 // after resume — the client side deduplicates by seq.
 func (c *conn) writeLoop() {
 	s := c.s
-	enc := wire.NewEncoder(c.nc)
 	var reps []wire.Reply
 	var comps []wire.Completion
 	var stats []wire.Stats
+	var bufs [][]byte    // pooled frame buffers, owned until Put
+	var iovBack [][]byte // reusable backing for the net.Buffers scratch
+	var iov net.Buffers  // escapes via writeBatch; hoisted so it heap-allocates once
 	for {
 		s.mu.Lock()
 		for s.cur == c && !s.closed && len(s.outReplies) == 0 && len(s.outComps) == 0 && len(s.outStats) == 0 {
@@ -147,7 +179,18 @@ func (c *conn) writeLoop() {
 		cycle := c.e.cycle.Load()
 		s.mu.Unlock()
 
-		err := c.writeFrames(enc, cycle, reps, comps, stats)
+		bufs = c.buildFrames(bufs[:0], cycle, reps, comps, stats)
+		// WriteTo consumes the net.Buffers header it is handed, so give
+		// it a view over a persistent backing slice: iovBack keeps its
+		// capacity across batches while bufs retains the frames for the
+		// Put-back below.
+		iovBack = append(iovBack[:0], bufs...)
+		iov = net.Buffers(iovBack)
+		err := c.writeBatch(&iov)
+		for i := range bufs {
+			c.e.pool.Put(bufs[i])
+			bufs[i] = nil
+		}
 		if err != nil {
 			s.mu.Lock()
 			s.outReplies = append(append([]wire.Reply(nil), reps...), s.outReplies...)
@@ -159,55 +202,77 @@ func (c *conn) writeLoop() {
 			return
 		}
 
-		// Recycle completion payload buffers.
-		if len(comps) > 0 {
-			s.mu.Lock()
-			for i := range comps {
-				s.freeBufs = append(s.freeBufs, comps[i].Data)
-			}
-			s.mu.Unlock()
+		// Delivered: the completion payload buffers go back to the pool.
+		for i := range comps {
+			c.e.pool.Put(comps[i].Data)
+			comps[i].Data = nil
 		}
 	}
 }
 
-// writeFrames encodes one drained batch, arming the per-connection
-// write deadline (Config.WriteTimeout) before each frame so one wedged
-// peer cannot park the writer forever — the deadline fires, the conn
-// detaches, and the session keeps the undelivered output for resume.
-func (c *conn) writeFrames(enc *wire.Encoder, cycle uint64, reps []wire.Reply, comps []wire.Completion, stats []wire.Stats) error {
-	arm := func() error {
-		if c.e.cfg.WriteTimeout > 0 {
-			return c.nc.SetWriteDeadline(time.Now().Add(c.e.cfg.WriteTimeout))
-		}
-		return nil
-	}
+// buildFrames encodes one drained batch into pooled buffers, one frame
+// writerChunk caps the records encoded into a single egress frame.
+// Deliberately far below wire.MaxBatch: the coalesced staging depth
+// varies with scheduling, and letting it pick the frame size would
+// spread buffer demand across many pool size classes, each missing
+// (allocating) on first touch. A fixed small chunk keeps every frame
+// buffer in one class that is warm after the first batch. The number of
+// frames per flush grows instead, but they all leave in the same
+// vectored write, so the syscall count per clock step is unchanged.
+const writerChunk = 256
+
+// buildFrames encodes one drained batch into pooled buffers, one frame
+// per buffer: reply and completion frames chunked to writerChunk (and
+// the protocol limits), then one stats frame per snapshot. Every buffer
+// is sized exactly before encoding, so the appends never reallocate;
+// encoding cannot fail because the engine only stages records it built
+// within the protocol bounds.
+func (c *conn) buildFrames(bufs [][]byte, cycle uint64, reps []wire.Reply, comps []wire.Completion, stats []wire.Stats) [][]byte {
+	var err error
 	for len(reps) > 0 {
-		n := min(len(reps), wire.MaxBatch)
-		if err := arm(); err != nil {
-			return err
+		n := min(len(reps), writerChunk)
+		b := c.e.pool.Get(wire.SizeReplies(n))
+		if b, err = wire.AppendReplies(b, cycle, reps[:n]); err != nil {
+			panic(fmt.Sprintf("server: staged replies unencodable: %v", err))
 		}
-		if err := enc.Replies(cycle, reps[:n]); err != nil {
-			return err
-		}
+		bufs = append(bufs, b)
 		reps = reps[n:]
 	}
 	for len(comps) > 0 {
-		n := min(len(comps), wire.MaxBatch)
-		if err := arm(); err != nil {
-			return err
+		n := min(wire.FitCompletions(comps), writerChunk)
+		b := c.e.pool.Get(wire.SizeCompletions(comps[:n]))
+		if b, err = wire.AppendCompletions(b, cycle, comps[:n]); err != nil {
+			panic(fmt.Sprintf("server: staged completions unencodable: %v", err))
 		}
-		if err := enc.Completions(cycle, comps[:n]); err != nil {
-			return err
-		}
+		bufs = append(bufs, b)
 		comps = comps[n:]
 	}
-	for _, s := range stats {
-		if err := arm(); err != nil {
-			return err
+	if len(stats) > 0 {
+		b := c.e.pool.Get(len(stats) * wire.SizeStats)
+		for _, st := range stats {
+			if b, err = wire.AppendStats(b, cycle, st); err != nil {
+				panic(fmt.Sprintf("server: staged stats unencodable: %v", err))
+			}
 		}
-		if err := enc.Stats(cycle, s); err != nil {
+		bufs = append(bufs, b)
+	}
+	return bufs
+}
+
+// writeBatch sends one batch of frames as a single vectored write,
+// arming the per-connection write deadline (Config.WriteTimeout) once
+// for the whole batch so one wedged peer cannot park the writer forever
+// — the deadline fires, the conn detaches, and the session keeps the
+// undelivered output for resume.
+func (c *conn) writeBatch(iov *net.Buffers) error {
+	if len(*iov) == 0 {
+		return nil
+	}
+	if c.e.cfg.WriteTimeout > 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(c.e.cfg.WriteTimeout)); err != nil {
 			return err
 		}
 	}
-	return nil
+	_, err := iov.WriteTo(c.nc)
+	return err
 }

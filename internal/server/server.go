@@ -124,6 +124,13 @@ type Config struct {
 	// free-running source, which ticks as fast as the host allows while
 	// work is pending and parks the clock when idle.
 	TickInterval time.Duration
+	// PoolCheck arms the buffer pool's leak/double-put detector: every
+	// pooled buffer (request payloads, completion payloads, outgoing
+	// frames) is tracked by identity, and PoolClean reports whether the
+	// pool drained back to empty. The chaos harness asserts this after
+	// every run; it costs a map operation per pooled Get/Put, so leave
+	// it off outside tests.
+	PoolCheck bool
 	// Logf, when non-nil, receives connection lifecycle diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -241,7 +248,15 @@ type Engine struct {
 	drainOnce  sync.Once
 	pruneReq   atomic.Bool
 
+	// pool backs every transient buffer on the data plane: request
+	// payloads (reader → verdict), completion payloads (deliver →
+	// writer) and outgoing frame images (writer). Steady state runs
+	// entirely on recycled buffers — the zero-alloc invariant the
+	// loopback benchmarks gate.
+	pool wire.Pool
+
 	sessBuf []*session // engine-goroutine scratch
+	touched []*session // sessions with output staged this step
 }
 
 // New builds an engine around cfg.Mem and starts its clock goroutine.
@@ -273,9 +288,18 @@ func New(cfg Config) (*Engine, error) {
 		drainStart: make(chan struct{}),
 		drainDone:  make(chan struct{}),
 	}
+	e.pool.SetCheck(cfg.PoolCheck)
 	go e.loop()
 	return e, nil
 }
+
+// PoolStats snapshots the engine's buffer pool ledger.
+func (e *Engine) PoolStats() wire.PoolStats { return e.pool.Stats() }
+
+// PoolClean reports buffer-pool hygiene: nil when nothing is live and
+// no double put was ever recorded. Meaningful only under
+// Config.PoolCheck, and only at quiescent points (after a drain).
+func (e *Engine) PoolClean() error { return e.pool.CheckClean() }
 
 // Close stops the clock and closes every session and connection. The
 // memory is left intact (the caller owns it).
@@ -285,6 +309,18 @@ func (e *Engine) Close() error {
 	}
 	close(e.done)
 	<-e.loopDone
+	// Return the pooled payloads of lockstep frames the loop never
+	// admitted. Best effort: a reader blocked on the hand-off select
+	// takes its done branch and releases its own batch.
+	for {
+		select {
+		case fr := <-e.frames:
+			fr.s.releaseBatch(fr.reqs)
+			continue
+		default:
+		}
+		break
+	}
 	e.mu.Lock()
 	sessions := append([]*session(nil), e.sessions...)
 	e.mu.Unlock()
@@ -545,15 +581,18 @@ func (e *Engine) loop() {
 	}
 }
 
-// admit moves one lockstep frame into its session's queue.
+// admit moves one lockstep frame into its session's queue and returns
+// the hand-off slice to the reader's freelist.
 func (e *Engine) admit(fr inFrame) {
 	s := fr.s
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.releaseBatch(fr.reqs)
 		return
 	}
 	n := s.ingestLocked(fr.reqs)
+	s.freeBatches = append(s.freeBatches, fr.reqs[:0])
 	s.mu.Unlock()
 	e.pendingTot.Add(int64(n))
 }
@@ -602,11 +641,33 @@ func (e *Engine) step() {
 	for _, comp := range comps {
 		e.deliver(comp)
 	}
+	// Wake each touched session's writer exactly once, now that every
+	// verdict of the step is staged: the writer drains the whole step's
+	// output in one vectored write instead of being signalled (and
+	// making a syscall) per record.
+	for i, s := range e.touched {
+		s.mu.Lock()
+		s.outDirty = false
+		s.mu.Unlock()
+		s.wcond.Signal()
+		e.touched[i] = nil
+	}
+	e.touched = e.touched[:0]
 	e.skipIdleSpan(sessions)
 	if e.pruneReq.CompareAndSwap(true, false) {
 		e.prune(sessions)
 	}
 	e.checkDrained()
+}
+
+// noteOut marks s as having staged output this step; the end-of-step
+// sweep signals each marked session once. Engine goroutine only, called
+// with s.mu held.
+func (e *Engine) noteOut(s *session) {
+	if !s.outDirty {
+		s.outDirty = true
+		e.touched = append(e.touched, s)
+	}
 }
 
 // skipIdleSpan fast-forwards the clock across cycles in which the
@@ -709,7 +770,8 @@ func (e *Engine) issueFrom(s *session, budget *int) bool {
 		}
 		switch req.op {
 		case wire.OpStats:
-			s.pushStats(e.statsFor(req.seq))
+			s.stageStats(e.statsFor(req.seq))
+			e.noteOut(s)
 			s.popLocked()
 			progress = true
 		case wire.OpFlush:
@@ -717,7 +779,8 @@ func (e *Engine) issueFrom(s *session, budget *int) bool {
 				return progress // barrier: wait for completions
 			}
 			e.ctr.flushes.Add(1)
-			s.pushReply(wire.Reply{Status: wire.StatusFlushed, Seq: req.seq})
+			s.stageReply(wire.Reply{Status: wire.StatusFlushed, Seq: req.seq})
+			e.noteOut(s)
 			s.popLocked()
 			progress = true
 		case wire.OpRead:
@@ -739,12 +802,17 @@ func (e *Engine) issueFrom(s *session, budget *int) bool {
 		case wire.OpWrite:
 			err := e.mem.Write(req.addr, req.data)
 			if err == nil {
+				// The controller copied the payload on accept; the pooled
+				// buffer's work is done.
+				e.pool.Put(req.data)
+				req.data = nil
 				e.ctr.writes.Add(1)
 				if s.resumable() {
 					s.resolveLocked(req.seq)
 					s.rememberLocked(req.seq, doneEntry{write: true})
 				}
-				s.pushReply(wire.Reply{Status: wire.StatusAccepted, Seq: req.seq})
+				s.stageReply(wire.Reply{Status: wire.StatusAccepted, Seq: req.seq})
+				e.noteOut(s)
 				s.popLocked()
 				*budget--
 				progress = true
@@ -772,24 +840,30 @@ func (e *Engine) issueFrom(s *session, budget *int) bool {
 func (e *Engine) throttledHead(s *session, req *pendingReq) bool {
 	e.ctr.throttled.Add(1)
 	if e.cfg.Policy == recovery.DropWithAccounting {
-		if s.resumable() {
-			s.resolveLocked(req.seq)
-		}
-		s.pushReply(wire.Reply{Status: wire.StatusStall, Code: wire.CodeThrottled, Seq: req.seq})
-		s.popLocked()
+		e.resolveHeadLocked(s, req, wire.Reply{Status: wire.StatusStall, Code: wire.CodeThrottled, Seq: req.seq})
 		return true
 	}
 	req.attempts++
 	if req.attempts >= e.cfg.MaxAttempts {
 		e.ctr.dropped.Add(1)
-		if s.resumable() {
-			s.resolveLocked(req.seq)
-		}
-		s.pushReply(wire.Reply{Status: wire.StatusDropped, Code: wire.CodeThrottled, Seq: req.seq})
-		s.popLocked()
+		e.resolveHeadLocked(s, req, wire.Reply{Status: wire.StatusDropped, Code: wire.CodeThrottled, Seq: req.seq})
 		return true
 	}
 	return false
+}
+
+// resolveHeadLocked retires the queue head with a terminal reply:
+// forget the live seq, return the pooled payload, stage the verdict and
+// pop. Called with s.mu held.
+func (e *Engine) resolveHeadLocked(s *session, req *pendingReq, rep wire.Reply) {
+	if s.resumable() {
+		s.resolveLocked(req.seq)
+	}
+	e.pool.Put(req.data)
+	req.data = nil
+	s.stageReply(rep)
+	e.noteOut(s)
+	s.popLocked()
 }
 
 // refused handles a Read/Write the memory did not accept. It reports
@@ -798,7 +872,7 @@ func (e *Engine) throttledHead(s *session, req *pendingReq) bool {
 // held.
 func (e *Engine) refused(s *session, req *pendingReq, err error) bool {
 	switch {
-	case errors.Is(err, multichannel.ErrChannelBusy):
+	case err == multichannel.ErrChannelBusy:
 		// Same-cycle channel collision — the interface analogue of a
 		// bank conflict. Absorb it: retry next cycle, no accounting
 		// toward the stall budget.
@@ -807,21 +881,13 @@ func (e *Engine) refused(s *session, req *pendingReq, err error) bool {
 	case core.IsStall(err):
 		if e.cfg.Policy == recovery.DropWithAccounting {
 			e.ctr.stalls.Add(1)
-			if s.resumable() {
-				s.resolveLocked(req.seq)
-			}
-			s.pushReply(wire.Reply{Status: wire.StatusStall, Code: wire.CodeOf(err), Seq: req.seq})
-			s.popLocked()
+			e.resolveHeadLocked(s, req, wire.Reply{Status: wire.StatusStall, Code: wire.CodeOf(err), Seq: req.seq})
 			return true
 		}
 		req.attempts++
 		if req.attempts >= e.cfg.MaxAttempts {
 			e.ctr.dropped.Add(1)
-			if s.resumable() {
-				s.resolveLocked(req.seq)
-			}
-			s.pushReply(wire.Reply{Status: wire.StatusDropped, Code: wire.CodeOf(err), Seq: req.seq})
-			s.popLocked()
+			e.resolveHeadLocked(s, req, wire.Reply{Status: wire.StatusDropped, Code: wire.CodeOf(err), Seq: req.seq})
 			return true
 		}
 		e.ctr.stallRetries.Add(1)
@@ -831,11 +897,7 @@ func (e *Engine) refused(s *session, req *pendingReq, err error) bool {
 		// drop it with accounting rather than kill the connection.
 		e.logf("server: dropping request seq %d: %v", req.seq, err)
 		e.ctr.dropped.Add(1)
-		if s.resumable() {
-			s.resolveLocked(req.seq)
-		}
-		s.pushReply(wire.Reply{Status: wire.StatusDropped, Code: wire.CodeOther, Seq: req.seq})
-		s.popLocked()
+		e.resolveHeadLocked(s, req, wire.Reply{Status: wire.StatusDropped, Code: wire.CodeOther, Seq: req.seq})
 		return true
 	}
 }
@@ -876,15 +938,18 @@ func (e *Engine) deliver(comp core.Completion) {
 		IssuedAt:    comp.IssuedAt,
 		DeliveredAt: comp.DeliveredAt,
 		Flags:       flags,
-		Data:        append(s.getBuf(), comp.Data...),
+		Data:        append(e.pool.Get(len(comp.Data)), comp.Data...),
 	}
 	if s.resumable() {
 		s.resolveLocked(rt.seq)
+		// The replay cache owns plain (unpooled) copies: cached verdicts
+		// live until FIFO eviction, far past any pooled buffer's scope.
 		cached := out
 		cached.Data = append([]byte(nil), comp.Data...)
 		s.rememberLocked(rt.seq, doneEntry{comp: cached})
 	}
-	s.pushComp(out)
+	s.stageComp(out)
+	e.noteOut(s)
 	s.mu.Unlock()
 }
 

@@ -66,7 +66,17 @@ type session struct {
 	outReplies []wire.Reply
 	outComps   []wire.Completion
 	outStats   []wire.Stats
-	freeBufs   [][]byte // recycled completion payload buffers
+
+	// freeBatches recycles the lockstep reader's hand-off slices: the
+	// reader takes one, fills it, and sends it to the engine, which
+	// returns it after admission. Guarded by s.mu.
+	freeBatches [][]pendingReq
+
+	// outDirty marks the session as having staged output the engine has
+	// not yet signalled; set via Engine.noteOut during a step, cleared
+	// when the end-of-step sweep signals the writer. Guarded by s.mu,
+	// engine goroutine only.
+	outDirty bool
 
 	rcond *sync.Cond // readers wait here for queue space
 	wcond *sync.Cond // the attached conn's writer waits here for output
@@ -142,29 +152,57 @@ func (s *session) rememberLocked(seq uint64, ent doneEntry) {
 	}
 }
 
-func (s *session) pushReply(r wire.Reply) {
+// The stage* helpers append to the output buffers WITHOUT waking the
+// writer. The caller decides when to signal: the engine marks the
+// session touched (Engine.noteOut) and signals every touched session
+// once at the end of the step — that coalescing is what lets the writer
+// ship a whole step's verdicts in one vectored write — while
+// conn-goroutine paths (drain refusals, replay cache hits) signal
+// immediately themselves. All three are called with s.mu held.
+
+func (s *session) stageReply(r wire.Reply) {
 	s.outReplies = append(s.outReplies, r)
-	s.wcond.Signal()
 }
 
-func (s *session) pushComp(comp wire.Completion) {
+func (s *session) stageComp(comp wire.Completion) {
 	s.outComps = append(s.outComps, comp)
-	s.wcond.Signal()
 }
 
-func (s *session) pushStats(st wire.Stats) {
+func (s *session) stageStats(st wire.Stats) {
 	s.outStats = append(s.outStats, st)
-	s.wcond.Signal()
 }
 
-// getBuf returns a recycled payload buffer. Called with s.mu held.
-func (s *session) getBuf() []byte {
-	if n := len(s.freeBufs); n > 0 {
-		b := s.freeBufs[n-1]
-		s.freeBufs = s.freeBufs[:n-1]
+// getBatch returns a recycled hand-off slice (lockstep mode only).
+func (s *session) getBatch() []pendingReq {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.freeBatches); n > 0 {
+		b := s.freeBatches[n-1]
+		s.freeBatches[n-1] = nil
+		s.freeBatches = s.freeBatches[:n-1]
 		return b[:0]
 	}
 	return nil
+}
+
+// putBatch files a hand-off slice for reuse. The queued copies own any
+// pooled payloads by now, so the slice is returned as bare capacity.
+func (s *session) putBatch(b []pendingReq) {
+	if cap(b) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.freeBatches = append(s.freeBatches, b[:0])
+	s.mu.Unlock()
+}
+
+// releaseBatch abandons a filled batch that never reached the queue,
+// returning its pooled payloads. Used on the reader's failure paths.
+func (s *session) releaseBatch(b []pendingReq) {
+	for i := range b {
+		s.e.pool.Put(b[i].data)
+		b[i].data = nil
+	}
 }
 
 // ingestLocked screens one decoded batch through the replay cache and
@@ -187,8 +225,9 @@ func (s *session) ingestLocked(batch []pendingReq) int {
 			if _, alive := s.live[req.seq]; alive {
 				// Still queued or in the memory: the original will
 				// resolve through this session's output. Swallow the
-				// replay entirely.
+				// replay entirely — its payload copy goes straight back.
 				s.e.ctr.replaysDeduped.Add(1)
+				s.e.pool.Put(req.data)
 				continue
 			}
 			if ent, ok := s.done[req.seq]; ok {
@@ -197,13 +236,15 @@ func (s *session) ingestLocked(batch []pendingReq) int {
 				// once however many times the network made the client
 				// send it.
 				s.e.ctr.replaysServed.Add(1)
+				s.e.pool.Put(req.data)
 				if ent.write {
-					s.pushReply(wire.Reply{Status: wire.StatusAccepted, Seq: req.seq})
+					s.stageReply(wire.Reply{Status: wire.StatusAccepted, Seq: req.seq})
 				} else {
 					comp := ent.comp
-					comp.Data = append(s.getBuf(), ent.comp.Data...)
-					s.pushComp(comp)
+					comp.Data = append(s.e.pool.Get(len(ent.comp.Data)), ent.comp.Data...)
+					s.stageComp(comp)
 				}
+				s.wcond.Signal()
 				continue
 			}
 			s.live[req.seq] = struct{}{}
@@ -281,12 +322,19 @@ func (s *session) detach(c *conn, err error) {
 		if s.tenant != nil && dropped > 0 {
 			s.tenant.NoteQueued(int64(-dropped))
 		}
-		for _, req := range s.pending[s.head:] {
+		for i := range s.pending[s.head:] {
+			req := &s.pending[s.head+i]
 			delete(s.live, req.seq)
+			s.e.pool.Put(req.data)
+			req.data = nil
 		}
 		s.pending = s.pending[:0]
 		s.head = 0
 		s.closed = true
+	}
+	if s.closed && s.cur == nil {
+		// Nobody will ever drain this output; return its pooled buffers.
+		s.releaseOutputLocked()
 	}
 	orphaned := s.closed
 	s.rcond.Broadcast()
@@ -303,7 +351,22 @@ func (s *session) detach(c *conn, err error) {
 	s.e.logf("server: conn detached from session %d (tenant %q): %v", s.id, s.name, err)
 }
 
-// shutdown closes the session for engine teardown.
+// releaseOutputLocked returns the pooled payloads of staged output that
+// will never be drained and clears the buffers. Only legal on a closed
+// session (a resumable session parks its output for resume instead).
+// Called with s.mu held.
+func (s *session) releaseOutputLocked() {
+	for i := range s.outComps {
+		s.e.pool.Put(s.outComps[i].Data)
+		s.outComps[i].Data = nil
+	}
+	s.outReplies = s.outReplies[:0]
+	s.outComps = s.outComps[:0]
+	s.outStats = s.outStats[:0]
+}
+
+// shutdown closes the session for engine teardown, returning every
+// pooled buffer it still owns (queued write payloads, staged output).
 func (s *session) shutdown() {
 	s.mu.Lock()
 	s.closed = true
@@ -313,6 +376,12 @@ func (s *session) shutdown() {
 		s.cur = nil
 		s.e.attached.Add(-1)
 	}
+	for i := range s.pending[s.head:] {
+		req := &s.pending[s.head+i]
+		s.e.pool.Put(req.data)
+		req.data = nil
+	}
+	s.releaseOutputLocked()
 	s.rcond.Broadcast()
 	s.wcond.Broadcast()
 	s.mu.Unlock()

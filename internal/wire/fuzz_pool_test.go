@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPooledRoundTrip drives the zero-alloc encode path the way the
+// data plane does: frames are appended into exactly-sized pooled
+// buffers, recycled through Put/Get, and overwritten by later frames.
+// The invariants under test:
+//
+//   - Encode-into never grows a pooled buffer. Size* is exact, so the
+//     Append* family must produce the frame in place — a reallocation
+//     would mean the data plane silently falls back to per-frame makes.
+//   - The pooled bytes are canonical: decode + re-encode through the
+//     classic Encoder reproduces them exactly.
+//   - No aliasing survives a Put: bytes snapshotted from a pooled
+//     buffer stay intact after the buffer is recycled and overwritten
+//     by a different frame, and two live buffers of the same class
+//     never share storage.
+//   - The pool's ledger balances: with check mode on, every buffer the
+//     round trip takes is returned and CheckClean reports no leaks or
+//     double puts.
+func FuzzPooledRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint16(3), uint16(2), uint64(54))
+	f.Add([]byte{}, uint16(1), uint16(1), uint64(0))
+	f.Add(bytes.Repeat([]byte{0xab}, 300), uint16(8), uint16(5), uint64(1<<40))
+	f.Add(bytes.Repeat([]byte{0xff}, 64), uint16(64), uint16(64), uint64(7))
+
+	f.Fuzz(func(t *testing.T, raw []byte, nreq, ncomp uint16, cycle uint64) {
+		var pool Pool
+		pool.SetCheck(true)
+
+		reqs := synthRequests(raw, int(nreq)%64+1)
+		comps := synthCompletions(raw, int(ncomp)%64+1, cycle)
+
+		// Frame one: requests, encoded into an exactly-sized pooled buffer.
+		b1 := pool.Get(SizeRequests(reqs))
+		id1, cap1 := bufID(b1), cap(b1)
+		b1, err := AppendRequests(b1, cycle, reqs)
+		if err != nil {
+			t.Fatalf("AppendRequests rejected synthesized batch: %v", err)
+		}
+		if bufID(b1) != id1 || cap(b1) != cap1 {
+			t.Fatal("AppendRequests grew an exactly-sized pooled buffer")
+		}
+		snap := append([]byte(nil), b1...)
+
+		// Round trip the pooled bytes: strict decode, classic re-encode.
+		var fr Frame
+		if err := DecodeFrame(b1[lenPrefix:], &fr); err != nil {
+			t.Fatalf("pooled frame does not decode: %v", err)
+		}
+		var enc bytes.Buffer
+		if err := NewEncoder(&enc).Requests(fr.Cycle, fr.Requests); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc.Bytes(), b1) {
+			t.Fatalf("pooled encode is not canonical:\n got %x\nwant %x", b1, enc.Bytes())
+		}
+
+		// Recycle and overwrite with a different frame. The snapshot must
+		// not notice: nothing handed out of the pool may alias it.
+		pool.Put(b1)
+		b2 := pool.Get(SizeCompletions(comps))
+		b2, err = AppendCompletions(b2, cycle, comps)
+		if err != nil {
+			t.Fatalf("AppendCompletions rejected synthesized batch: %v", err)
+		}
+		if !bytes.Equal(snap, enc.Bytes()) {
+			t.Fatal("recycling a pooled buffer corrupted a snapshot of its previous contents")
+		}
+
+		// Two live buffers of one class must not share storage even
+		// after the Put/Get churn above.
+		b3 := pool.Get(SizeCompletions(comps))
+		if bufID(b3) == bufID(b2) {
+			t.Fatal("pool handed out the same storage twice without an intervening Put")
+		}
+		var fr2 Frame
+		if err := DecodeFrame(b2[lenPrefix:], &fr2); err != nil {
+			t.Fatalf("pooled completions frame does not decode: %v", err)
+		}
+		enc.Reset()
+		if err := NewEncoder(&enc).Completions(fr2.Cycle, fr2.Completions); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc.Bytes(), b2) {
+			t.Fatalf("pooled completions encode is not canonical:\n got %x\nwant %x", b2, enc.Bytes())
+		}
+
+		pool.Put(b2)
+		pool.Put(b3)
+		if err := pool.CheckClean(); err != nil {
+			t.Fatalf("pool ledger after balanced round trip: %v", err)
+		}
+
+		// A double put must be refused (not filed twice) and must leave a
+		// permanent mark: CheckClean flags the run as dirty even though
+		// no buffer leaked.
+		b4 := pool.Get(32)
+		pool.Put(b4)
+		pool.Put(b4)
+		if st := pool.Stats(); st.DoublePuts != 1 {
+			t.Fatalf("DoublePuts = %d after one double put", st.DoublePuts)
+		}
+		if err := pool.CheckClean(); err == nil {
+			t.Fatal("CheckClean ignored a double put")
+		}
+	})
+}
+
+// synthRequests derives a valid request batch from fuzz bytes: ops
+// cycle through the full opcode set and payloads are windows of raw.
+func synthRequests(raw []byte, n int) []Request {
+	ops := []byte{OpRead, OpWrite, OpFlush, OpStats}
+	reqs := make([]Request, n)
+	for i := range reqs {
+		op := ops[i%len(ops)]
+		reqs[i] = Request{Op: op, Seq: uint64(i + 1), Addr: windowWord(raw, i)}
+		if op == OpWrite {
+			reqs[i].Data = window(raw, i, MaxData)
+		}
+	}
+	return reqs
+}
+
+// synthCompletions derives a valid completion batch: DeliveredAt keeps
+// a fixed offset from IssuedAt, as the engine's fixed-D contract would.
+func synthCompletions(raw []byte, n int, cycle uint64) []Completion {
+	comps := make([]Completion, n)
+	for i := range comps {
+		comps[i] = Completion{
+			Seq:         uint64(i + 1),
+			Addr:        windowWord(raw, i),
+			IssuedAt:    cycle,
+			DeliveredAt: cycle + 54,
+			Data:        window(raw, i, MaxData),
+		}
+		if i%7 == 3 {
+			comps[i].Flags = FlagUncorrectable
+		}
+	}
+	return comps
+}
+
+// window slices up to max bytes out of raw at a position derived from i.
+func window(raw []byte, i, max int) []byte {
+	if len(raw) == 0 {
+		return nil
+	}
+	start := (i * 13) % len(raw)
+	end := start + 1 + (i*7)%8
+	if end > len(raw) {
+		end = len(raw)
+	}
+	w := raw[start:end]
+	if len(w) > max {
+		w = w[:max]
+	}
+	return w
+}
+
+// windowWord folds a window of raw into an address.
+func windowWord(raw []byte, i int) uint64 {
+	var v uint64
+	for _, b := range window(raw, i, 8) {
+		v = v<<8 | uint64(b)
+	}
+	return v + uint64(i)
+}

@@ -72,11 +72,15 @@ func FuzzFrameDecode(f *testing.F) {
 		case FrameHello:
 			// Encoder.Hello pins cycle to 0; reproduce a decoded nonzero
 			// cycle through the internal path so the identity check holds.
-			e.header(FrameHello, fr.Cycle, 1)
-			e.buf = binary.BigEndian.AppendUint64(e.buf, fr.Hello.SessionID)
-			e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(len(fr.Hello.Tenant)))
-			e.buf = append(e.buf, fr.Hello.Tenant...)
-			err = e.flush()
+			var b []byte
+			var start int
+			b, start = appendHeader(nil, FrameHello, fr.Cycle, 1)
+			b = binary.BigEndian.AppendUint64(b, fr.Hello.SessionID)
+			b = binary.BigEndian.AppendUint16(b, uint16(len(fr.Hello.Tenant)))
+			b = append(b, fr.Hello.Tenant...)
+			if b, err = finishFrame(b, start); err == nil {
+				_, err = buf.Write(b)
+			}
 		default:
 			t.Fatalf("decoder accepted unknown frame type %d", fr.Type)
 		}

@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Pool is a size-classed free list of frame and payload buffers — the
+// allocation backstop of the zero-alloc data plane. Buffers are handed
+// out at a power-of-two capacity class and returned whole; once the
+// working set has been visited, every Get is served from a free list
+// and the steady-state data path performs no allocation at all.
+//
+// Ownership discipline (the same on both ends of the wire):
+//
+//   - Get hands the caller exclusive ownership of a zero-length buffer.
+//   - Exactly one Put returns it; after Put the caller must not retain
+//     any alias (the next Get of the class may hand the same memory to
+//     someone else).
+//   - Buffers may cross goroutines (a conn reader fills one, the engine
+//     releases it); the pool is safe for concurrent use.
+//
+// SetCheck arms a leak/double-put detector: every outstanding buffer is
+// tracked by identity, a second Put of the same buffer is counted (and
+// refused, so the free list never holds an alias twice), and Stats
+// exposes the live count — the chaos harness asserts Live == 0 and
+// DoublePuts == 0 after a full drain. Check mode costs a map operation
+// per Get/Put, so it is off by default and the benchmarks run without
+// it.
+type Pool struct {
+	mu      sync.Mutex
+	classes [poolClasses][][]byte
+	stats   PoolStats
+	check   bool
+	live    map[*byte]struct{}
+}
+
+// PoolStats is a point-in-time pool ledger. Live and DoublePuts are
+// only meaningful while check mode is armed.
+type PoolStats struct {
+	// Gets and Puts count successful hand-outs and returns; Misses the
+	// subset of Gets that had to allocate a fresh buffer.
+	Gets, Puts, Misses uint64
+	// Live is the number of buffers currently out (check mode only).
+	Live int
+	// DoublePuts counts returns of a buffer the pool did not consider
+	// out (check mode only). Any nonzero value is a caller bug.
+	DoublePuts uint64
+}
+
+const (
+	// poolMinShift is the smallest class (256 B): a full MaxBatch reply
+	// frame is ~82 KB, a single-record frame a few dozen bytes.
+	poolMinShift = 8
+	poolMaxShift = 20 // MaxFrame
+	poolClasses  = poolMaxShift - poolMinShift + 1
+)
+
+// poolClass maps a requested size to its class index, or -1 when the
+// request exceeds MaxFrame (the caller gets a plain allocation the pool
+// never sees again).
+func poolClass(n int) int {
+	if n > 1<<poolMaxShift {
+		return -1
+	}
+	s := bits.Len(uint(n - 1))
+	if n <= 1<<poolMinShift {
+		return 0
+	}
+	return s - poolMinShift
+}
+
+// Get returns a zero-length buffer with capacity at least n, owned
+// exclusively by the caller until Put.
+func (p *Pool) Get(n int) []byte {
+	if n < 1 {
+		n = 1
+	}
+	cls := poolClass(n)
+	p.mu.Lock()
+	p.stats.Gets++
+	var b []byte
+	if cls >= 0 {
+		if free := p.classes[cls]; len(free) > 0 {
+			b = free[len(free)-1]
+			free[len(free)-1] = nil
+			p.classes[cls] = free[:len(free)-1]
+		}
+	}
+	if b == nil {
+		p.stats.Misses++
+		size := n
+		if cls >= 0 {
+			size = 1 << (poolMinShift + cls)
+		}
+		b = make([]byte, 0, size)
+	}
+	if p.check {
+		p.live[bufID(b)] = struct{}{}
+		p.stats.Live = len(p.live)
+	}
+	p.mu.Unlock()
+	return b
+}
+
+// Put returns a buffer obtained from Get. nil is a no-op, so release
+// paths can Put unconditionally. Buffers whose capacity is not an exact
+// class size (oversized one-off allocations) are dropped rather than
+// filed under the wrong class.
+func (p *Pool) Put(b []byte) {
+	if b == nil {
+		return
+	}
+	cls := poolClass(cap(b))
+	p.mu.Lock()
+	if p.check {
+		id := bufID(b)
+		if _, out := p.live[id]; !out {
+			p.stats.DoublePuts++
+			p.mu.Unlock()
+			return
+		}
+		delete(p.live, id)
+		p.stats.Live = len(p.live)
+	}
+	p.stats.Puts++
+	if cls >= 0 && cap(b) == 1<<(poolMinShift+cls) {
+		p.classes[cls] = append(p.classes[cls], b[:0])
+	}
+	p.mu.Unlock()
+}
+
+// SetCheck arms or disarms the leak/double-put detector. Arming it
+// while buffers are already out would report them as double puts, so
+// flip it before the first Get (the chaos harness arms it at engine
+// construction).
+func (p *Pool) SetCheck(on bool) {
+	p.mu.Lock()
+	p.check = on
+	if on && p.live == nil {
+		p.live = make(map[*byte]struct{})
+	}
+	if !on {
+		p.live = nil
+		p.stats.Live = 0
+	}
+	p.mu.Unlock()
+}
+
+// Stats snapshots the pool ledger.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// CheckClean returns nil when no buffers are outstanding and no double
+// put was ever recorded; otherwise it describes the hygiene breach.
+// Only meaningful in check mode.
+func (p *Pool) CheckClean() error {
+	s := p.Stats()
+	if s.Live != 0 || s.DoublePuts != 0 {
+		return fmt.Errorf("wire: pool not clean: %d buffers live, %d double puts (gets=%d puts=%d)",
+			s.Live, s.DoublePuts, s.Gets, s.Puts)
+	}
+	return nil
+}
+
+// bufID is the identity a buffer is tracked under in check mode: the
+// address of its first storage byte. Get/Put always exchange buffers at
+// their full class capacity with len 0, so the first byte of storage is
+// stable across the hand-off.
+func bufID(b []byte) *byte {
+	return &b[:1][0]
+}

@@ -1,0 +1,228 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPoolClassSizes(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{1, 256}, {255, 256}, {256, 256},
+		{257, 512}, {512, 512},
+		{4096, 4096}, {4097, 8192},
+		{MaxFrame, MaxFrame},
+	}
+	var p Pool
+	for _, c := range cases {
+		b := p.Get(c.n)
+		if len(b) != 0 {
+			t.Fatalf("Get(%d): len %d, want 0", c.n, len(b))
+		}
+		if cap(b) != c.wantCap {
+			t.Fatalf("Get(%d): cap %d, want %d", c.n, cap(b), c.wantCap)
+		}
+		p.Put(b)
+	}
+	if b := p.Get(MaxFrame + 1); cap(b) < MaxFrame+1 {
+		t.Fatalf("oversized Get: cap %d < %d", cap(b), MaxFrame+1)
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	var p Pool
+	b := p.Get(1000)
+	b = append(b, bytes.Repeat([]byte{0xAA}, 777)...)
+	p.Put(b)
+	b2 := p.Get(900)
+	if &b[:1][0] != &b2[:1][0] {
+		t.Fatal("same-class Get after Put did not reuse the buffer")
+	}
+	if len(b2) != 0 {
+		t.Fatalf("reused buffer has len %d, want 0", len(b2))
+	}
+	s := p.Stats()
+	if s.Gets != 2 || s.Puts != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want gets=2 puts=1 misses=1", s)
+	}
+}
+
+func TestPoolSteadyStateAllocFree(t *testing.T) {
+	var p Pool
+	// Prime every class touched by the loop.
+	p.Put(p.Get(512))
+	allocs := testing.AllocsPerRun(200, func() {
+		b := p.Get(512)
+		b = append(b, 1, 2, 3)
+		p.Put(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Get/Put allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestPoolCheckMode(t *testing.T) {
+	var p Pool
+	p.SetCheck(true)
+
+	a := p.Get(100)
+	b := p.Get(100)
+	if err := p.CheckClean(); err == nil {
+		t.Fatal("CheckClean passed with 2 buffers live")
+	}
+	if s := p.Stats(); s.Live != 2 {
+		t.Fatalf("Live = %d, want 2", s.Live)
+	}
+
+	p.Put(a)
+	p.Put(a) // double put: must be counted and refused
+	if s := p.Stats(); s.DoublePuts != 1 {
+		t.Fatalf("DoublePuts = %d, want 1", s.DoublePuts)
+	}
+	// The refused second Put must not have filed an alias: the one free
+	// buffer is a, so two Gets must return distinct storage.
+	c := p.Get(100)
+	d := p.Get(100)
+	if &c[:1][0] == &d[:1][0] {
+		t.Fatal("double put filed the same buffer twice")
+	}
+
+	p.Put(b)
+	p.Put(c)
+	p.Put(d)
+	if err := p.CheckClean(); err == nil {
+		t.Fatal("CheckClean must keep reporting the recorded double put")
+	}
+	if s := p.Stats(); s.Live != 0 {
+		t.Fatalf("Live = %d after returning everything, want 0", s.Live)
+	}
+}
+
+func TestPoolCheckCleanAfterBalancedUse(t *testing.T) {
+	var p Pool
+	p.SetCheck(true)
+	var out [][]byte
+	for i := 0; i < 50; i++ {
+		out = append(out, p.Get(64<<(i%5)))
+	}
+	for _, b := range out {
+		p.Put(b)
+	}
+	if err := p.CheckClean(); err != nil {
+		t.Fatalf("CheckClean: %v", err)
+	}
+}
+
+// TestAppendMatchesEncoder pins the Append* functions to the Encoder
+// byte for byte: the stream a batching writer builds from pooled
+// buffers must be indistinguishable from the classic per-frame path.
+func TestAppendMatchesEncoder(t *testing.T) {
+	reqs := []Request{
+		{Op: OpRead, Seq: 1, Addr: 42},
+		{Op: OpWrite, Seq: 2, Addr: 43, Data: []byte("payload")},
+		{Op: OpFlush, Seq: 3},
+		{Op: OpStats, Seq: 4},
+	}
+	reps := []Reply{
+		{Status: StatusAccepted, Seq: 2},
+		{Status: StatusStall, Code: CodeBankQueue, Seq: 5},
+	}
+	comps := []Completion{
+		{Seq: 1, Addr: 42, IssuedAt: 7, DeliveredAt: 19, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Seq: 9, Addr: 40, IssuedAt: 8, DeliveredAt: 20, Flags: FlagUncorrectable, Data: []byte{0xFF}},
+	}
+	st := Stats{Seq: 4, Cycle: 99, Delay: 12, Reads: 3}
+	hello := Hello{SessionID: 0xDEAD, Tenant: "tenant-a"}
+
+	var want bytes.Buffer
+	enc := NewEncoder(&want)
+	if err := enc.Hello(hello); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Requests(5, reqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Replies(6, reps); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Completions(7, comps); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Stats(8, st); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []byte
+	var err error
+	for _, step := range []func([]byte) ([]byte, error){
+		func(b []byte) ([]byte, error) { return AppendHello(b, hello) },
+		func(b []byte) ([]byte, error) { return AppendRequests(b, 5, reqs) },
+		func(b []byte) ([]byte, error) { return AppendReplies(b, 6, reps) },
+		func(b []byte) ([]byte, error) { return AppendCompletions(b, 7, comps) },
+		func(b []byte) ([]byte, error) { return AppendStats(b, 8, st) },
+	} {
+		if got, err = step(got); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("Append* stream (%d bytes) differs from Encoder stream (%d bytes)", len(got), want.Len())
+	}
+}
+
+// TestAppendErrorRestoresDst verifies a failed Append leaves dst exactly
+// as it was, so a batching writer can keep appending after a rejection.
+func TestAppendErrorRestoresDst(t *testing.T) {
+	dst, err := AppendReplies(nil, 1, []Reply{{Status: StatusAccepted, Seq: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]byte(nil), dst...)
+
+	big := make([]byte, MaxData+1)
+	dst2, err := AppendRequests(dst, 2, []Request{{Op: OpWrite, Seq: 9, Data: big}})
+	if err == nil {
+		t.Fatal("oversized request data must fail")
+	}
+	if !bytes.Equal(dst2[:len(before)], before) || len(dst2) != len(before) {
+		t.Fatalf("failed Append mutated dst: len %d, want %d", len(dst2), len(before))
+	}
+
+	if _, err := AppendCompletions(dst2, 3, nil); err == nil {
+		t.Fatal("empty batch must fail")
+	}
+}
+
+// TestSizeFunctions pins Size* against the encoded output.
+func TestSizeFunctions(t *testing.T) {
+	reqs := []Request{{Op: OpRead, Seq: 1}, {Op: OpWrite, Seq: 2, Data: []byte("abcd")}}
+	b, err := AppendRequests(nil, 1, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SizeRequests(reqs); got != len(b) {
+		t.Fatalf("SizeRequests = %d, want %d", got, len(b))
+	}
+
+	reps := []Reply{{Status: StatusAccepted, Seq: 1}, {Status: StatusDropped, Code: CodeDraining, Seq: 2}, {Status: StatusFlushed, Seq: 3}}
+	if b, err = AppendReplies(nil, 1, reps); err != nil {
+		t.Fatal(err)
+	}
+	if got := SizeReplies(len(reps)); got != len(b) {
+		t.Fatalf("SizeReplies = %d, want %d", got, len(b))
+	}
+
+	comps := []Completion{{Seq: 1, Data: make([]byte, 8)}, {Seq: 2, Data: make([]byte, 16)}}
+	if b, err = AppendCompletions(nil, 1, comps); err != nil {
+		t.Fatal(err)
+	}
+	if got := SizeCompletions(comps); got != len(b) {
+		t.Fatalf("SizeCompletions = %d, want %d", got, len(b))
+	}
+
+	if b, err = AppendStats(nil, 1, Stats{}); err != nil {
+		t.Fatal(err)
+	}
+	if SizeStats != len(b) {
+		t.Fatalf("SizeStats = %d, want %d", SizeStats, len(b))
+	}
+}

@@ -252,6 +252,13 @@ type Frame struct {
 
 // Encoder writes frames to a stream. It is not safe for concurrent use;
 // callers serialize writers per connection.
+//
+// Each method appends the frame into a reused internal buffer (via the
+// Append* functions below) and hands it to the stream as one Write, so
+// steady-state encoding is allocation-free once the buffer has grown to
+// the working frame size. Callers that batch several frames into one
+// syscall (the data-plane hot path) skip the Encoder and use Append*
+// with pooled buffers directly.
 type Encoder struct {
 	w   io.Writer
 	buf []byte
@@ -260,22 +267,6 @@ type Encoder struct {
 // NewEncoder wraps w.
 func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
 
-func (e *Encoder) header(typ byte, cycle uint64, count int) {
-	e.buf = append(e.buf[:0], 0, 0, 0, 0, typ)
-	e.buf = binary.BigEndian.AppendUint64(e.buf, cycle)
-	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(count))
-}
-
-func (e *Encoder) flush() error {
-	n := len(e.buf) - lenPrefix
-	if n > maxPayload {
-		return fmt.Errorf("wire: frame payload %d exceeds MaxFrame", n)
-	}
-	binary.BigEndian.PutUint32(e.buf[:lenPrefix], uint32(n))
-	_, err := e.w.Write(e.buf)
-	return err
-}
-
 func checkBatch(n int) error {
 	if n < 1 || n > MaxBatch {
 		return fmt.Errorf("wire: batch of %d records outside [1, %d]", n, MaxBatch)
@@ -283,81 +274,209 @@ func checkBatch(n int) error {
 	return nil
 }
 
-// Requests encodes one FrameRequests frame.
-func (e *Encoder) Requests(cycle uint64, reqs []Request) error {
-	if err := checkBatch(len(reqs)); err != nil {
-		return err
+// The Append* functions encode one complete frame — length prefix
+// included — onto the end of dst and return the extended slice, exactly
+// the bytes the corresponding Encoder method would have written. They
+// are the allocation-free core of the codec: given a dst with enough
+// capacity (see the Size* functions, typically a pooled buffer from
+// Pool.Get), they never allocate. On a validation error dst is returned
+// truncated to its original length, so a partially appended frame never
+// leaks into the stream.
+
+// appendHeader opens a frame: a zero length prefix to be patched by
+// finishFrame, then the fixed payload header.
+func appendHeader(dst []byte, typ byte, cycle uint64, count int) ([]byte, int) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, typ)
+	dst = binary.BigEndian.AppendUint64(dst, cycle)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(count))
+	return dst, start
+}
+
+// finishFrame patches the length prefix of the frame opened at start.
+func finishFrame(dst []byte, start int) ([]byte, error) {
+	n := len(dst) - start - lenPrefix
+	if n > maxPayload {
+		return dst[:start], fmt.Errorf("wire: frame payload %d exceeds MaxFrame", n)
 	}
-	e.header(FrameRequests, cycle, len(reqs))
+	binary.BigEndian.PutUint32(dst[start:], uint32(n))
+	return dst, nil
+}
+
+// SizeRequests returns the exact encoded size of a FrameRequests frame
+// carrying reqs, length prefix included.
+func SizeRequests(reqs []Request) int {
+	n := lenPrefix + headerLen + len(reqs)*reqFixed
+	for i := range reqs {
+		n += len(reqs[i].Data)
+	}
+	return n
+}
+
+// SizeReplies returns the exact encoded size of a FrameReplies frame
+// carrying n records, length prefix included.
+func SizeReplies(n int) int { return lenPrefix + headerLen + n*replyLen }
+
+// SizeCompletions returns the exact encoded size of a FrameCompletions
+// frame carrying comps, length prefix included.
+func SizeCompletions(comps []Completion) int {
+	n := lenPrefix + headerLen + len(comps)*compFixed
+	for i := range comps {
+		n += len(comps[i].Data)
+	}
+	return n
+}
+
+// SizeStats is the exact encoded size of a FrameStats frame.
+const SizeStats = lenPrefix + headerLen + statsLen
+
+// FitRequests returns the largest n, at least 1 and at most
+// min(len(reqs), MaxBatch), such that reqs[:n] encodes into a single
+// frame within MaxFrame.
+func FitRequests(reqs []Request) int {
+	size := lenPrefix + headerLen
+	for i := range reqs {
+		if i == MaxBatch {
+			return i
+		}
+		rec := reqFixed + len(reqs[i].Data)
+		if i > 0 && size+rec > MaxFrame {
+			return i
+		}
+		size += rec
+	}
+	return len(reqs)
+}
+
+// FitCompletions returns the largest n, at least 1 and at most
+// min(len(comps), MaxBatch), such that comps[:n] encodes into a single
+// frame within MaxFrame. Batching writers use it to chunk a drained
+// completion backlog: a chunk of FitCompletions records always encodes
+// without error.
+func FitCompletions(comps []Completion) int {
+	size := lenPrefix + headerLen
+	for i := range comps {
+		if i == MaxBatch {
+			return i
+		}
+		rec := compFixed + len(comps[i].Data)
+		if i > 0 && size+rec > MaxFrame {
+			return i
+		}
+		size += rec
+	}
+	return len(comps)
+}
+
+// AppendRequests appends one encoded FrameRequests frame to dst.
+func AppendRequests(dst []byte, cycle uint64, reqs []Request) ([]byte, error) {
+	if err := checkBatch(len(reqs)); err != nil {
+		return dst, err
+	}
+	dst, start := appendHeader(dst, FrameRequests, cycle, len(reqs))
 	for i := range reqs {
 		r := &reqs[i]
 		if len(r.Data) > MaxData {
-			return fmt.Errorf("wire: request data %d exceeds MaxData", len(r.Data))
+			return dst[:start], fmt.Errorf("wire: request data %d exceeds MaxData", len(r.Data))
 		}
-		e.buf = append(e.buf, r.Op)
-		e.buf = binary.BigEndian.AppendUint64(e.buf, r.Seq)
-		e.buf = binary.BigEndian.AppendUint64(e.buf, r.Addr)
-		e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(len(r.Data)))
-		e.buf = append(e.buf, r.Data...)
+		dst = append(dst, r.Op)
+		dst = binary.BigEndian.AppendUint64(dst, r.Seq)
+		dst = binary.BigEndian.AppendUint64(dst, r.Addr)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Data)))
+		dst = append(dst, r.Data...)
 	}
-	return e.flush()
+	return finishFrame(dst, start)
+}
+
+// AppendReplies appends one encoded FrameReplies frame to dst.
+func AppendReplies(dst []byte, cycle uint64, reps []Reply) ([]byte, error) {
+	if err := checkBatch(len(reps)); err != nil {
+		return dst, err
+	}
+	dst, start := appendHeader(dst, FrameReplies, cycle, len(reps))
+	for i := range reps {
+		r := &reps[i]
+		dst = append(dst, r.Status, r.Code)
+		dst = binary.BigEndian.AppendUint64(dst, r.Seq)
+	}
+	return finishFrame(dst, start)
+}
+
+// AppendCompletions appends one encoded FrameCompletions frame to dst.
+func AppendCompletions(dst []byte, cycle uint64, comps []Completion) ([]byte, error) {
+	if err := checkBatch(len(comps)); err != nil {
+		return dst, err
+	}
+	dst, start := appendHeader(dst, FrameCompletions, cycle, len(comps))
+	for i := range comps {
+		c := &comps[i]
+		if len(c.Data) > MaxData {
+			return dst[:start], fmt.Errorf("wire: completion data %d exceeds MaxData", len(c.Data))
+		}
+		dst = append(dst, c.Flags)
+		dst = binary.BigEndian.AppendUint64(dst, c.Seq)
+		dst = binary.BigEndian.AppendUint64(dst, c.Addr)
+		dst = binary.BigEndian.AppendUint64(dst, c.IssuedAt)
+		dst = binary.BigEndian.AppendUint64(dst, c.DeliveredAt)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(c.Data)))
+		dst = append(dst, c.Data...)
+	}
+	return finishFrame(dst, start)
+}
+
+// AppendStats appends one encoded FrameStats frame to dst.
+func AppendStats(dst []byte, cycle uint64, s Stats) ([]byte, error) {
+	dst, start := appendHeader(dst, FrameStats, cycle, 1)
+	for _, v := range s.fields() {
+		dst = binary.BigEndian.AppendUint64(dst, v)
+	}
+	return finishFrame(dst, start)
+}
+
+// AppendHello appends one encoded FrameHello frame to dst.
+func AppendHello(dst []byte, h Hello) ([]byte, error) {
+	if len(h.Tenant) > MaxTenant {
+		return dst, fmt.Errorf("wire: tenant name %d bytes exceeds MaxTenant", len(h.Tenant))
+	}
+	dst, start := appendHeader(dst, FrameHello, 0, 1)
+	dst = binary.BigEndian.AppendUint64(dst, h.SessionID)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(h.Tenant)))
+	dst = append(dst, h.Tenant...)
+	return finishFrame(dst, start)
+}
+
+func (e *Encoder) send(b []byte, err error) error {
+	e.buf = b
+	if err != nil {
+		return err
+	}
+	_, err = e.w.Write(b)
+	return err
+}
+
+// Requests encodes one FrameRequests frame.
+func (e *Encoder) Requests(cycle uint64, reqs []Request) error {
+	return e.send(AppendRequests(e.buf[:0], cycle, reqs))
 }
 
 // Replies encodes one FrameReplies frame.
 func (e *Encoder) Replies(cycle uint64, reps []Reply) error {
-	if err := checkBatch(len(reps)); err != nil {
-		return err
-	}
-	e.header(FrameReplies, cycle, len(reps))
-	for i := range reps {
-		r := &reps[i]
-		e.buf = append(e.buf, r.Status, r.Code)
-		e.buf = binary.BigEndian.AppendUint64(e.buf, r.Seq)
-	}
-	return e.flush()
+	return e.send(AppendReplies(e.buf[:0], cycle, reps))
 }
 
 // Completions encodes one FrameCompletions frame.
 func (e *Encoder) Completions(cycle uint64, comps []Completion) error {
-	if err := checkBatch(len(comps)); err != nil {
-		return err
-	}
-	e.header(FrameCompletions, cycle, len(comps))
-	for i := range comps {
-		c := &comps[i]
-		if len(c.Data) > MaxData {
-			return fmt.Errorf("wire: completion data %d exceeds MaxData", len(c.Data))
-		}
-		e.buf = append(e.buf, c.Flags)
-		e.buf = binary.BigEndian.AppendUint64(e.buf, c.Seq)
-		e.buf = binary.BigEndian.AppendUint64(e.buf, c.Addr)
-		e.buf = binary.BigEndian.AppendUint64(e.buf, c.IssuedAt)
-		e.buf = binary.BigEndian.AppendUint64(e.buf, c.DeliveredAt)
-		e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(len(c.Data)))
-		e.buf = append(e.buf, c.Data...)
-	}
-	return e.flush()
+	return e.send(AppendCompletions(e.buf[:0], cycle, comps))
 }
 
 // Stats encodes one FrameStats frame.
 func (e *Encoder) Stats(cycle uint64, s Stats) error {
-	e.header(FrameStats, cycle, 1)
-	for _, v := range s.fields() {
-		e.buf = binary.BigEndian.AppendUint64(e.buf, v)
-	}
-	return e.flush()
+	return e.send(AppendStats(e.buf[:0], cycle, s))
 }
 
 // Hello encodes one FrameHello frame.
 func (e *Encoder) Hello(h Hello) error {
-	if len(h.Tenant) > MaxTenant {
-		return fmt.Errorf("wire: tenant name %d bytes exceeds MaxTenant", len(h.Tenant))
-	}
-	e.header(FrameHello, 0, 1)
-	e.buf = binary.BigEndian.AppendUint64(e.buf, h.SessionID)
-	e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(len(h.Tenant)))
-	e.buf = append(e.buf, h.Tenant...)
-	return e.flush()
+	return e.send(AppendHello(e.buf[:0], h))
 }
 
 func (s *Stats) fields() [13]uint64 {
@@ -380,6 +499,10 @@ type Decoder struct {
 	r       *bufio.Reader
 	payload []byte
 	f       Frame
+	// lb is the length-prefix scratch. A field rather than a local:
+	// passing a stack array's slice to the io.Reader interface makes it
+	// escape, which would cost one heap allocation per frame.
+	lb [lenPrefix]byte
 }
 
 // NewDecoder wraps r.
@@ -390,11 +513,10 @@ func NewDecoder(r io.Reader) *Decoder {
 // Next reads and decodes one frame. It returns io.EOF on a clean close
 // at a frame boundary and io.ErrUnexpectedEOF on a mid-frame close.
 func (d *Decoder) Next() (*Frame, error) {
-	var lb [lenPrefix]byte
-	if _, err := io.ReadFull(d.r, lb[:]); err != nil {
+	if _, err := io.ReadFull(d.r, d.lb[:]); err != nil {
 		return nil, err
 	}
-	n := int(binary.BigEndian.Uint32(lb[:]))
+	n := int(binary.BigEndian.Uint32(d.lb[:]))
 	if n < headerLen || n > maxPayload {
 		return nil, fmt.Errorf("%w: payload length %d outside [%d, %d]", ErrFrame, n, headerLen, maxPayload)
 	}
