@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race chaos netchaos fuzz bench bench-gate bench-diff trace-sample lint
+.PHONY: ci vet build test race chaos netchaos fleetchaos fuzz bench bench-gate bench-diff trace-sample lint
 
-ci: vet build test race chaos netchaos
+ci: vet build test race chaos netchaos fleetchaos
 
 vet:
 	$(GO) vet ./...
@@ -20,7 +20,7 @@ test:
 # networked service (wire codec, vpnmd engine, batching client), and the
 # telemetry plane (metrics registry, event trace, probed multichannel).
 race:
-	$(GO) test -race ./internal/core ./internal/dram ./internal/fault ./internal/recovery ./internal/sim ./internal/wire ./internal/server ./internal/client ./internal/qos ./internal/telemetry ./internal/multichannel
+	$(GO) test -race ./internal/core ./internal/dram ./internal/fault ./internal/recovery ./internal/sim ./internal/wire ./internal/server ./internal/client ./internal/qos ./internal/telemetry ./internal/multichannel ./internal/shard
 
 # Short chaos smoke: fault injection + recovery + invariant checks.
 chaos:
@@ -30,7 +30,15 @@ chaos:
 # a real TCP loopback with FlakyConn weather on both transports, one
 # forced mid-run cut, and exact ledger reconciliation after drain.
 netchaos:
-	$(GO) test -race -run NetChaos -count=1 ./internal/sim
+	$(GO) test -race -run 'NetChaos$$' -count=1 ./internal/sim
+
+# Fleet-scale chaos smoke: a 4-shard consistent-hash fleet over real TCP
+# with FlakyConn weather on a shard subset, one forced cut, and one live
+# shard drain mid-traffic. Gates exactly-once delivery per key, zero
+# fixed-D violations on every shard, and exact fleet-wide ledger
+# reconciliation across five seeds.
+fleetchaos:
+	$(GO) test -race -run 'FleetChaos$$' -count=1 ./internal/sim
 
 # Brief coverage-guided fuzz of the controller and retrier contracts,
 # plus the wire codec's hostile-input surface.
@@ -56,6 +64,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkTickSparse$$|BenchmarkTickDense$$' -benchmem -benchtime 50000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkServerRegulated/loopback$$' -benchmem -benchtime 2000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkServerRegulated/regulator$$' -benchmem -benchtime 100000x -count=1 . | tee -a BENCH_parallel.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetLoopback$$' -benchmem -benchtime 2000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) run ./cmd/benchgate -parse -o BENCH_parallel.json BENCH_parallel.txt
 
 # Fail on regression vs the committed baseline: >20% on throughput

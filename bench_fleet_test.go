@@ -1,0 +1,146 @@
+// Fleet benchmark: the sharded data plane — client batches fanned out
+// by the consistent-hash router over N in-process vpnmd engines —
+// measured in requests per interface cycle, like the single-shard
+// loopback benchmark it extends.
+//
+// Each shard engine runs in Lockstep and the router's per-shard
+// sessions in ManualBatch mode, so per-shard cycle counts are pure
+// functions of the seeded request sequence and the ring assignment.
+// The reported req/cycle uses the SLOWEST shard's cycle span (the
+// fleet is done when its last shard is done), which makes the metric
+// a direct read on routing balance: perfect balance at K shards would
+// approach K× the single-shard number.
+//
+// The steady-state contract matches BenchmarkServerLoopback: the stack
+// is saturated outside the timer and the timed loop — one 64-request
+// batch per iteration, routed by address — runs entirely on recycled
+// memory. bench/baseline.json gates allocs/op == 0 for every shard
+// count: the router's route-and-enqueue path must not allocate.
+package vpnm_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/multichannel"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// runFleetLoopback drives a nShards-wide in-process fleet to steady
+// state, times b.N batches of reads through the router, and reports
+// req/cycle on the slowest shard plus wall-clock req/s.
+func runFleetLoopback(b *testing.B, nShards int) {
+	b.Helper()
+	cfg := core.Config{Banks: 8, QueueDepth: 16, DelayRows: 64, WordBytes: 8}
+	engines := make([]*server.Engine, nShards)
+	specs := make([]shard.Spec, nShards)
+	for i := 0; i < nShards; i++ {
+		mem, err := multichannel.New(cfg, loopChannels, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := server.New(server.Config{Mem: mem, Lockstep: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		engines[i] = eng
+		specs[i] = shard.Spec{
+			Name: fmt.Sprintf("s%d", i),
+			Dial: func() (net.Conn, error) {
+				cn, sn := net.Pipe()
+				if err := eng.ServeConn(sn); err != nil {
+					return nil, err
+				}
+				return cn, nil
+			},
+		}
+	}
+	ctx := context.Background()
+	rt, err := shard.NewRouter(ctx, shard.RouterConfig{
+		Ring:   shard.RingConfig{VNodes: 64, Seed: 3},
+		Client: client.Config{Window: 4096, MaxBatch: loopBatch, ManualBatch: true},
+	}, specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		rt.Close()
+		for _, eng := range engines {
+			eng.Close()
+		}
+	}()
+
+	rng := rand.New(rand.NewPCG(1, 2))
+	send := func(batches int) {
+		for n := 0; n < batches; n++ {
+			for j := 0; j < loopBatch; j++ {
+				if err := rt.Read(ctx, rng.Uint64N(1<<24), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := rt.Kick(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	send(loopWarmup)
+	if err := rt.Flush(ctx); err != nil {
+		b.Fatal(err)
+	}
+	before, err := rt.Stats(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send(1)
+	}
+	b.StopTimer()
+
+	if err := rt.Flush(ctx); err != nil {
+		b.Fatal(err)
+	}
+	after, err := rt.Stats(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := uint64(b.N) * loopBatch
+	want := total + loopWarmup*loopBatch
+	fleet := rt.Counters()
+	if fleet.Total.Completions != want || fleet.Total.Drops != 0 {
+		b.Fatalf("fleet ledger = %+v, want %d completions", fleet.Total, want)
+	}
+	if v := fleet.Violations(); v != 0 {
+		b.Fatalf("%d fixed-D violations across fleet", v)
+	}
+	// The fleet is as fast as its slowest shard: gate on the maximum
+	// per-shard cycle span.
+	var cycles uint64
+	for name, bst := range before {
+		if span := after[name].Cycle - bst.Cycle; span > cycles {
+			cycles = span
+		}
+	}
+	b.ReportMetric(float64(total)/float64(cycles), "req/cycle")
+	b.ReportMetric(float64(cycles), "cycles")
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "req/s")
+}
+
+func BenchmarkFleetLoopback(b *testing.B) {
+	// Names put the digit first ("2-shards"): a trailing -N would be
+	// eaten by benchgate's GOMAXPROCS-suffix stripping.
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("%d-shards", n), func(b *testing.B) {
+			runFleetLoopback(b, n)
+		})
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/qos"
 	"repro/internal/recovery"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
 
@@ -112,6 +113,11 @@ func main() {
 		qosDefault = flag.String("qos-default", "", "default tenant token bucket as rate[:burst] in req/cycle (empty: unlimited)")
 		wtimeout   = flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline to a client; a peer that stops reading is detached (0 disables)")
 		drainT     = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM before forced shutdown")
+
+		shardName    = flag.String("shard-name", "", "this daemon's name in a sharded fleet; arms the /statsz shard block (requires -shard-members)")
+		shardMembers = flag.String("shard-members", "", "comma-separated fleet membership (must include -shard-name and match the router's)")
+		shardVNodes  = flag.Int("shard-vnodes", 0, "ring virtual nodes per member (0: library default; must match the router's)")
+		shardSeed    = flag.Uint64("shard-seed", 0, "ring permutation seed (0: library default; must match the router's)")
 	)
 	var qosLimits limitsFlag
 	flag.Var(&qosLimits, "qos", "per-tenant token bucket as tenant=rate[:burst], repeatable")
@@ -190,6 +196,28 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	// Shard identity: a fleet member daemon computes its ring view once
+	// (membership is static from flags; cmd/vpnmfleet installs a live
+	// provider instead) and serves it as the /statsz "shard" block.
+	if *shardName != "" {
+		members := strings.Split(*shardMembers, ",")
+		ring, err := shard.NewRing(shard.RingConfig{VNodes: *shardVNodes, Seed: *shardSeed}, members)
+		if err != nil {
+			fatal(fmt.Errorf("-shard-members: %w", err))
+		}
+		found := false
+		for _, m := range ring.Members() {
+			found = found || m == *shardName
+		}
+		if !found {
+			fatal(fmt.Errorf("-shard-name %q is not in -shard-members %q", *shardName, *shardMembers))
+		}
+		state := shard.Node(ring, *shardName)
+		eng.SetShardState(func() any { return state })
+	} else if *shardMembers != "" {
+		fatal(fmt.Errorf("-shard-members requires -shard-name"))
 	}
 
 	ln, err := net.Listen("tcp", *addr)

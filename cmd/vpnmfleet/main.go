@@ -1,0 +1,350 @@
+// Command vpnmfleet spawns and supervises an N-shard vpnmd fleet behind
+// one shard.Router — the one-process dev harness for the cluster story.
+//
+//	vpnmfleet -shards 4 -statsz :7460
+//
+// spawns four engines on loopback listeners, partitions the address
+// space over them with the deterministic ring, and serves fleet
+// observability plus live membership control over HTTP:
+//
+//	GET  /statsz            fleet ledger, ring, per-shard engine ledgers
+//	POST /drainz?shard=s2   live-drain a shard (relocates its keys, retires it)
+//	POST /addz?shard=s9&addr=host:port   grow the fleet onto a running daemon
+//
+// With -join the fleet wraps daemons that are already running elsewhere
+// instead of spawning its own:
+//
+//	vpnmfleet -join host1:7450,host2:7450 -statsz :7460
+//
+// Shard names in -join mode are the addresses themselves unless
+// overridden as name=addr pairs. An optional -smoke N drives N writes
+// and N verified reads through the router at startup and reports the
+// fleet reconciliation, so "is the fleet healthy" is one flag away.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/multichannel"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+// localShard is one spawned in-process daemon.
+type localShard struct {
+	name string
+	eng  *server.Engine
+	ln   net.Listener
+}
+
+func main() {
+	var (
+		shards   = flag.Int("shards", 4, "shards to spawn in-process (ignored with -join)")
+		join     = flag.String("join", "", "comma-separated remote shards as addr or name=addr; replaces spawning")
+		statsz   = flag.String("statsz", ":7460", "HTTP listen address for fleet /statsz and membership control (empty disables)")
+		channels = flag.Int("channels", 2, "channels per spawned shard (power of two)")
+		banks    = flag.Int("banks", core.DefaultBanks, "banks per channel per spawned shard")
+		word     = flag.Int("word", 8, "word size in bytes (spawned shards)")
+		window   = flag.Int("window", 256, "per-shard client window")
+		vnodes   = flag.Int("vnodes", 0, "ring virtual nodes per member (0: library default)")
+		ringSeed = flag.Uint64("ring-seed", 0, "ring permutation seed (0: library default)")
+		seed     = flag.Uint64("seed", 1, "engine hash seed base (spawned shards)")
+		session  = flag.Uint64("session", 1, "durable session id the router uses on every shard")
+		smoke    = flag.Int("smoke", 0, "startup smoke workload: N writes + N verified reads through the router")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline on the shard clients")
+	)
+	flag.Parse()
+
+	var locals []*localShard
+	var specs []shard.Spec
+	if *join != "" {
+		for _, part := range strings.Split(*join, ",") {
+			name, addr, ok := strings.Cut(part, "=")
+			if !ok {
+				name, addr = part, part
+			}
+			dialAddr := addr
+			specs = append(specs, shard.Spec{Name: name, Dial: func() (net.Conn, error) {
+				return net.Dial("tcp", dialAddr)
+			}})
+		}
+	} else {
+		if *shards < 1 {
+			fatal(fmt.Errorf("-shards must be >= 1, got %d", *shards))
+		}
+		for i := 0; i < *shards; i++ {
+			name := fmt.Sprintf("s%d", i)
+			mem, err := multichannel.New(core.Config{Banks: *banks, WordBytes: *word}, *channels, *seed+uint64(i)*7919)
+			if err != nil {
+				fatal(err)
+			}
+			eng, err := server.New(server.Config{Mem: mem, Window: *window})
+			if err != nil {
+				fatal(err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fatal(err)
+			}
+			go eng.Serve(ln) //nolint:errcheck // exits with the engine
+			locals = append(locals, &localShard{name: name, eng: eng, ln: ln})
+			addr := ln.Addr().String()
+			specs = append(specs, shard.Spec{Name: name, Dial: func() (net.Conn, error) {
+				return net.Dial("tcp", addr)
+			}})
+			fmt.Printf("vpnmfleet: shard %s on %s (D=%d)\n", name, addr, mem.Delay())
+		}
+	}
+
+	reg := telemetry.NewRegistry()
+	ctx := context.Background()
+	router, err := shard.NewRouter(ctx, shard.RouterConfig{
+		Ring: shard.RingConfig{VNodes: *vnodes, Seed: *ringSeed},
+		Client: client.Config{
+			Window:         *window,
+			SessionID:      *session,
+			RequestTimeout: *timeout,
+			MaxReconnects:  -1,
+			BackoffBase:    5 * time.Millisecond,
+			BackoffMax:     200 * time.Millisecond,
+		},
+		Registry: reg,
+	}, specs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("vpnmfleet: %d shards, ring fingerprint %#x\n", len(router.Members()), router.Ring().Fingerprint())
+
+	// Spawned engines serve their fleet view in their own /statsz-style
+	// block; refreshed on scrape so membership changes show up live.
+	refreshNodeStates(router, locals)
+
+	if *smoke > 0 {
+		if err := runSmoke(ctx, router, *smoke); err != nil {
+			fatal(err)
+		}
+		refreshNodeStates(router, locals)
+	}
+
+	if *statsz != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/statsz", func(w http.ResponseWriter, _ *http.Request) {
+			serveFleetStatsz(w, router, locals)
+		})
+		mux.HandleFunc("/metricsz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			reg.WriteTo(w) //nolint:errcheck // best-effort diagnostics
+		})
+		mux.HandleFunc("/drainz", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST only", http.StatusMethodNotAllowed)
+				return
+			}
+			name := r.URL.Query().Get("shard")
+			dctx, cancel := context.WithTimeout(r.Context(), 5*time.Minute)
+			defer cancel()
+			moved, err := router.DrainShard(dctx, name)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			refreshNodeStates(router, locals)
+			fmt.Fprintf(w, "drained %s: %d keys relocated; members now %v\n", name, moved, router.Members())
+		})
+		mux.HandleFunc("/addz", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST only", http.StatusMethodNotAllowed)
+				return
+			}
+			name, addr := r.URL.Query().Get("shard"), r.URL.Query().Get("addr")
+			if name == "" || addr == "" {
+				http.Error(w, "need ?shard=name&addr=host:port", http.StatusBadRequest)
+				return
+			}
+			dctx, cancel := context.WithTimeout(r.Context(), 5*time.Minute)
+			defer cancel()
+			moved, err := router.AddShard(dctx, shard.Spec{Name: name, Dial: func() (net.Conn, error) {
+				return net.Dial("tcp", addr)
+			}})
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			refreshNodeStates(router, locals)
+			fmt.Fprintf(w, "added %s: %d keys relocated; members now %v\n", name, moved, router.Members())
+		})
+		srv := &http.Server{Addr: *statsz, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "vpnmfleet: statsz:", err)
+			}
+		}()
+		fmt.Printf("vpnmfleet: /statsz /metricsz /drainz /addz on %s\n", *statsz)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	fmt.Println("vpnmfleet: flushing and draining")
+	fctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := router.Flush(fctx); err != nil {
+		fmt.Fprintln(os.Stderr, "vpnmfleet: flush:", err)
+	}
+	fc := router.Counters()
+	router.Close()
+	for _, l := range locals {
+		snap, err := l.eng.Drain(fctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vpnmfleet: drain", l.name+":", err)
+		} else {
+			fmt.Printf("vpnmfleet: %s drained clean: reads=%d writes=%d outstanding=%d\n",
+				l.name, snap.Reads, snap.Writes, snap.Outstanding)
+		}
+		l.eng.Close()
+		l.ln.Close()
+	}
+	fmt.Printf("vpnmfleet: fleet ledger: issued=%d completions=%d accepted-writes=%d fixed-D-violations=%d migrations=%d moved-keys=%d\n",
+		fc.Total.Issued, fc.Total.Completions, fc.Total.AcceptedWrites, fc.Violations(), fc.Migrations, fc.MovedKeys)
+}
+
+// refreshNodeStates reinstalls each spawned engine's /statsz shard
+// block from the router's current ring. Remote daemons maintain their
+// own (via vpnmd -shard-* flags).
+func refreshNodeStates(router *shard.Router, locals []*localShard) {
+	ring := router.Ring()
+	migrating := router.Migrating()
+	for _, l := range locals {
+		l := l
+		if !ringHasMember(ring, l.name) {
+			st := shard.NodeState{Name: l.name, Migrating: migrating}
+			l.eng.SetShardState(func() any { return st })
+			continue
+		}
+		st := shard.Node(ring, l.name)
+		st.Migrating = migrating
+		l.eng.SetShardState(func() any { return st })
+	}
+}
+
+func ringHasMember(ring *shard.Ring, name string) bool {
+	for _, m := range ring.Members() {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// serveFleetStatsz renders the fleet-wide view: ledger, ring and every
+// spawned shard's engine snapshot.
+func serveFleetStatsz(w http.ResponseWriter, router *shard.Router, locals []*localShard) {
+	type shardView struct {
+		shard.ShardCounters
+		Engine *server.Snapshot `json:"engine,omitempty"`
+	}
+	fc := router.Counters()
+	views := make([]shardView, 0, len(fc.Shards))
+	engines := make(map[string]*server.Snapshot, len(locals))
+	for _, l := range locals {
+		snap := l.eng.Snapshot()
+		engines[l.name] = &snap
+	}
+	for _, sc := range fc.Shards {
+		views = append(views, shardView{ShardCounters: sc, Engine: engines[sc.Name]})
+	}
+	ring := router.Ring()
+	out := struct {
+		Members     []string        `json:"members"`
+		Ring        string          `json:"ring_fingerprint"`
+		Migrating   bool            `json:"migrating"`
+		Total       client.Counters `json:"total"`
+		Migrations  uint64          `json:"migrations"`
+		MovedKeys   uint64          `json:"moved_keys"`
+		DoubleReads uint64          `json:"double_reads"`
+		DualWrites  uint64          `json:"dual_writes"`
+		Shards      []shardView     `json:"shards"`
+	}{
+		Members:     ring.Members(),
+		Ring:        fmt.Sprintf("%#x", ring.Fingerprint()),
+		Migrating:   router.Migrating(),
+		Total:       fc.Total,
+		Migrations:  fc.Migrations,
+		MovedKeys:   fc.MovedKeys,
+		DoubleReads: fc.DoubleReads,
+		DualWrites:  fc.DualWrites,
+		Shards:      views,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out) //nolint:errcheck // best-effort diagnostics
+}
+
+// runSmoke pushes a write/verify workload through the router and
+// reports the reconciliation.
+func runSmoke(ctx context.Context, router *shard.Router, n int) error {
+	sctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	word := func(i uint64) []byte {
+		b := make([]byte, 8)
+		for j := range b {
+			b[j] = byte(i + uint64(j)*131)
+		}
+		return b
+	}
+	start := time.Now()
+	for i := uint64(0); i < uint64(n); i++ {
+		if err := router.Write(sctx, i, word(i)); err != nil {
+			return fmt.Errorf("smoke write %d: %w", i, err)
+		}
+	}
+	if err := router.Flush(sctx); err != nil {
+		return fmt.Errorf("smoke write flush: %w", err)
+	}
+	var bad, resolved atomic.Uint64
+	for i := uint64(0); i < uint64(n); i++ {
+		want := word(i)
+		err := router.Read(sctx, i, func(cm client.Completion) {
+			resolved.Add(1)
+			if cm.Err != nil || !bytes.Equal(cm.Data, want) {
+				bad.Add(1)
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("smoke read %d: %w", i, err)
+		}
+	}
+	if err := router.Flush(sctx); err != nil {
+		return fmt.Errorf("smoke read flush: %w", err)
+	}
+	fc := router.Counters()
+	if resolved.Load() != uint64(n) || bad.Load() != 0 || fc.Violations() != 0 {
+		return fmt.Errorf("smoke failed: resolved %d/%d, %d bad, %d fixed-D violations",
+			resolved.Load(), n, bad.Load(), fc.Violations())
+	}
+	fmt.Printf("vpnmfleet: smoke ok: %d writes + %d verified reads in %v, 0 fixed-D violations across %d shards\n",
+		n, n, time.Since(start).Round(time.Millisecond), len(fc.Shards))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vpnmfleet:", err)
+	os.Exit(1)
+}

@@ -9,6 +9,14 @@
 //
 //	vpnmd -addr :7450 &
 //	vpnmload -addr localhost:7450 -duration 5s -window 512
+//
+// With -shards the load rides shard.Router over an N-shard fleet
+// instead of one daemon: requests route by address over the
+// deterministic ring, the fixed-D check runs per shard, and the report
+// gains a per-shard breakdown. Any shard violating its fixed D fails
+// the run, exactly as a single daemon would:
+//
+//	vpnmload -shards host1:7450,host2:7450 -duration 5s
 package main
 
 import (
@@ -17,15 +25,19 @@ import (
 	"flag"
 	"fmt"
 	"math/rand/v2"
+	"net"
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/recovery"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // summary is the -json run report: one object on stdout, machine-ready.
@@ -53,11 +65,31 @@ type summary struct {
 	ChannelBusy     uint64                      `json:"channel_busy_retries"`
 	LatencyCycles   map[uint64]uint64           `json:"latency_histogram_cycles"`
 	IssueRatePerSec telemetry.HistogramSnapshot `json:"issue_rate_per_second"`
+	Shards          []shardSummary              `json:"shards,omitempty"`
+}
+
+// shardSummary is one shard's slice of the -shards -json breakdown.
+type shardSummary struct {
+	Name           string `json:"name"`
+	Delay          uint64 `json:"delay_cycles"`
+	Cycles         uint64 `json:"cycles"`
+	Issued         uint64 `json:"issued"`
+	Reads          uint64 `json:"reads"`
+	Writes         uint64 `json:"writes"`
+	Completions    uint64 `json:"completions"`
+	AcceptedWrites uint64 `json:"accepted_writes"`
+	Retries        uint64 `json:"retries"`
+	Drops          uint64 `json:"drops"`
+	Violations     uint64 `json:"fixed_d_violations"`
+	Reconnects     uint64 `json:"reconnects"`
+	StallsSurfaced uint64 `json:"stalls_surfaced"`
+	ChannelBusy    uint64 `json:"channel_busy_retries"`
 }
 
 func main() {
 	var (
 		addr       = flag.String("addr", "localhost:7450", "vpnmd address")
+		shardsList = flag.String("shards", "", "comma-separated fleet as addr or name=addr; load rides the shard router over every member instead of -addr")
 		duration   = flag.Duration("duration", 5*time.Second, "load duration")
 		window     = flag.Int("window", 512, "in-flight request window (closed loop)")
 		batch      = flag.Int("batch", 256, "max requests per frame")
@@ -85,7 +117,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	c, err := client.Dial(*addr, client.Config{
+	ccfg := client.Config{
 		Window:         *window,
 		MaxBatch:       *batch,
 		Policy:         pol,
@@ -93,17 +125,54 @@ func main() {
 		SessionID:      *session,
 		RequestTimeout: *reqTimeout,
 		PoolCheck:      *poolchk,
-	})
-	if err != nil {
-		fatal(err)
 	}
-	defer c.Close()
+	// target is what the issue loop talks to: one client, or the fleet
+	// router (which satisfies the same Read/Write/Flush shape).
+	type target interface {
+		Read(ctx context.Context, addr uint64, cb func(client.Completion)) error
+		Write(ctx context.Context, addr uint64, data []byte) error
+		Flush(ctx context.Context) error
+	}
+	var (
+		c      *client.Client // single-daemon mode
+		router *shard.Router  // -shards fleet mode
+		tgt    target
+	)
+	if *shardsList != "" {
+		if *poolchk {
+			fatal(fmt.Errorf("-poolcheck is not supported with -shards"))
+		}
+		specs, err := parseShards(*shardsList)
+		if err != nil {
+			fatal(err)
+		}
+		rctx, rcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		router, err = shard.NewRouter(rctx, shard.RouterConfig{Client: ccfg}, specs)
+		rcancel()
+		if err != nil {
+			fatal(err)
+		}
+		defer router.Close()
+		tgt = router
+	} else {
+		if c, err = client.Dial(*addr, ccfg); err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		tgt = c
+	}
+	counters := func() client.Counters {
+		if router != nil {
+			return router.Counters().Total
+		}
+		return c.Counters()
+	}
 
 	// fatalPartial is the -timeout escape hatch: whatever the ledger
 	// holds right now goes out before the nonzero exit, so a wedged
 	// server still yields a diagnosable report instead of a hung pipe.
 	fatalPartial := func(err error) {
-		ctr := c.Counters()
+		ctr := counters()
 		fmt.Fprintln(os.Stderr, "vpnmload:", err)
 		fmt.Fprintf(os.Stderr, "vpnmload: PARTIAL ledger: issued=%d completions=%d accepted-writes=%d drops=%d stalls=%d retries=%d deadline-expiries=%d reconnects=%d retransmits=%d fixed-D-violations=%d\n",
 			ctr.Issued, ctr.Completions, ctr.AcceptedWrites, ctr.Drops, ctr.Stalls.Total(),
@@ -143,15 +212,30 @@ func main() {
 	}
 
 	// The opening Stats call teaches the client the server's D and arms
-	// its per-completion fixed-D check.
+	// its per-completion fixed-D check (the router already did this per
+	// shard at attach; here it snapshots the starting cycle counts).
+	var before, after wire.Stats
+	var beforeShards, afterShards map[string]wire.Stats
 	sctx, scancel := budgeted(30 * time.Second)
-	before, err := c.Stats(sctx)
+	if router != nil {
+		beforeShards, err = router.Stats(sctx)
+	} else {
+		before, err = c.Stats(sctx)
+	}
 	scancel()
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(human, "vpnmload: server D=%d cycles, %d channels, cycle=%d\n",
-		before.Delay, before.Channels, before.Cycle)
+	if router != nil {
+		for _, name := range router.Members() {
+			st := beforeShards[name]
+			fmt.Fprintf(human, "vpnmload: shard %s D=%d cycles, %d channels, cycle=%d\n",
+				name, st.Delay, st.Channels, st.Cycle)
+		}
+	} else {
+		fmt.Fprintf(human, "vpnmload: server D=%d cycles, %d channels, cycle=%d\n",
+			before.Delay, before.Channels, before.Cycle)
+	}
 
 	// Latency histogram in cycles, owned by the receive goroutine (all
 	// callbacks run there); read only after Flush has quiesced it.
@@ -198,9 +282,9 @@ func main() {
 			for i := range word {
 				word[i] = byte(rng.Uint64())
 			}
-			err = c.Write(runCtx, a, word)
+			err = tgt.Write(runCtx, a, word)
 		} else {
-			err = c.Read(runCtx, a, cb)
+			err = tgt.Read(runCtx, a, cb)
 		}
 		if err != nil {
 			if runCtx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
@@ -218,28 +302,85 @@ func main() {
 		fatalPartial(fmt.Errorf("overall -timeout %v expired during issue", *timeout))
 	}
 	fctx, fcancel := budgeted(30 * time.Second)
-	err = c.Flush(fctx)
+	err = tgt.Flush(fctx)
 	fcancel()
 	elapsed := time.Since(start)
 	if err != nil {
 		fatalPartial(fmt.Errorf("flush: %w", err))
 	}
 	sctx, scancel = budgeted(30 * time.Second)
-	after, err := c.Stats(sctx)
+	if router != nil {
+		afterShards, err = router.Stats(sctx)
+	} else {
+		after, err = c.Stats(sctx)
+	}
 	scancel()
 	if err != nil {
 		fatalPartial(fmt.Errorf("stats: %w", err))
 	}
 
-	ctr := c.Counters()
+	ctr := counters()
+	// Fleet mode folds the per-shard views into the run aggregates: the
+	// cycle span is the widest shard's (shards tick independently), the
+	// stall/busy deltas sum, and the headline D is the common one (0 if
+	// the shards disagree — per-shard Ds are in the breakdown).
+	var perShard []shardSummary
 	cycles := after.Cycle - before.Cycle
+	stallsSurfaced := after.Stalls - before.Stalls
+	channelBusy := after.Busy - before.Busy
+	delay := after.Delay
+	if router != nil {
+		cycles, stallsSurfaced, channelBusy, delay = 0, 0, 0, 0
+		fc := router.Counters()
+		common := true
+		for _, sc := range fc.Shards {
+			b, a := beforeShards[sc.Name], afterShards[sc.Name]
+			span := a.Cycle - b.Cycle
+			if sc.Retired { // drained mid-run: no after snapshot
+				span = 0
+			}
+			if span > cycles {
+				cycles = span
+			}
+			stallsSurfaced += a.Stalls - b.Stalls
+			channelBusy += a.Busy - b.Busy
+			if delay == 0 {
+				delay = sc.Delay
+			} else if sc.Delay != delay {
+				common = false
+			}
+			perShard = append(perShard, shardSummary{
+				Name:           sc.Name,
+				Delay:          sc.Delay,
+				Cycles:         span,
+				Issued:         sc.Issued,
+				Reads:          sc.Reads,
+				Writes:         sc.Writes,
+				Completions:    sc.Completions,
+				AcceptedWrites: sc.AcceptedWrites,
+				Retries:        sc.Retries,
+				Drops:          sc.Drops,
+				Violations:     sc.LatencyViolations,
+				Reconnects:     sc.Reconnects,
+				StallsSurfaced: a.Stalls - b.Stalls,
+				ChannelBusy:    a.Busy - b.Busy,
+			})
+		}
+		if !common {
+			delay = 0
+		}
+	}
 	rate := float64(issued) / elapsed.Seconds()
 	fmt.Fprintf(human, "vpnmload: %d requests (%d reads, %d writes) in %.2fs = %.0f req/s\n",
 		issued, ctr.Reads, ctr.Writes, elapsed.Seconds(), rate)
 	fmt.Fprintf(human, "vpnmload: server advanced %d cycles (%.3f req/cycle), %d stall(s) surfaced, %d channel-busy retried\n",
-		cycles, float64(issued)/float64(max(cycles, 1)), after.Stalls-before.Stalls, after.Busy-before.Busy)
+		cycles, float64(issued)/float64(max(cycles, 1)), stallsSurfaced, channelBusy)
+	for _, ss := range perShard {
+		fmt.Fprintf(human, "vpnmload: shard %s: issued=%d completions=%d accepted-writes=%d retries=%d drops=%d reconnects=%d fixed-D-violations=%d\n",
+			ss.Name, ss.Issued, ss.Completions, ss.AcceptedWrites, ss.Retries, ss.Drops, ss.Reconnects, ss.Violations)
+	}
 	p50, p99, p100 := percentiles(hist)
-	fmt.Fprintf(human, "vpnmload: latency cycles p50=%d p99=%d p100=%d (D=%d)\n", p50, p99, p100, after.Delay)
+	fmt.Fprintf(human, "vpnmload: latency cycles p50=%d p99=%d p100=%d (D=%d)\n", p50, p99, p100, delay)
 	printLatencyHistogram(human, hist)
 	irs := issueRate.Snapshot()
 	if irs.Count > 0 {
@@ -267,7 +408,7 @@ func main() {
 			ReqPerSecond:    rate,
 			Cycles:          cycles,
 			ReqPerCycle:     float64(issued) / float64(max(cycles, 1)),
-			Delay:           after.Delay,
+			Delay:           delay,
 			LatencyP50:      p50,
 			LatencyP99:      p99,
 			LatencyP100:     p100,
@@ -279,15 +420,21 @@ func main() {
 			DeadlineExpired: ctr.DeadlineExceeded,
 			Reconnects:      ctr.Reconnects,
 			Retransmits:     ctr.Retransmits,
-			StallsSurfaced:  after.Stalls - before.Stalls,
-			ChannelBusy:     after.Busy - before.Busy,
+			StallsSurfaced:  stallsSurfaced,
+			ChannelBusy:     channelBusy,
 			LatencyCycles:   hist,
 			IssueRatePerSec: irs,
+			Shards:          perShard,
 		}); err != nil {
 			fatal(err)
 		}
 	}
 	if ctr.LatencyViolations > 0 {
+		for _, ss := range perShard {
+			if ss.Violations > 0 {
+				fmt.Fprintf(os.Stderr, "vpnmload: shard %s: %d fixed-D violations\n", ss.Name, ss.Violations)
+			}
+		}
 		fmt.Fprintln(os.Stderr, "vpnmload: FIXED-D INVARIANT VIOLATED")
 		os.Exit(1)
 	}
@@ -334,6 +481,28 @@ func percentiles(hist map[uint64]uint64) (p50, p99, p100 uint64) {
 		}
 	}
 	return p50, p99, keys[len(keys)-1]
+}
+
+// parseShards turns "-shards a:7450,b=host:7450" into router specs:
+// each element is an address (doubling as the shard name) or an
+// explicit name=addr pair. Names must match the daemons' -shard-name
+// flags if those are set.
+func parseShards(list string) ([]shard.Spec, error) {
+	var specs []shard.Spec
+	for _, part := range strings.Split(list, ",") {
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			name, addr = part, part
+		}
+		if name == "" || addr == "" {
+			return nil, fmt.Errorf("bad -shards element %q: want addr or name=addr", part)
+		}
+		dialAddr := addr
+		specs = append(specs, shard.Spec{Name: name, Dial: func() (net.Conn, error) {
+			return net.Dial("tcp", dialAddr)
+		}})
+	}
+	return specs, nil
 }
 
 func fatal(err error) {

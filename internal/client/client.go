@@ -193,14 +193,16 @@ type Counters struct {
 	Reconnects, Retransmits, DeadlineExceeded uint64
 }
 
-// recoveryStallCounts mirrors core.StallCounts across the wire.
+// recoveryStallCounts mirrors core.StallCounts across the wire, plus
+// the server-side causes (QoS throttling) that have no in-process
+// analogue.
 type recoveryStallCounts struct {
-	DelayBuffer, BankQueue, WriteBuffer, Counter, Other uint64
+	DelayBuffer, BankQueue, WriteBuffer, Counter, Throttled, Other uint64
 }
 
 // Total sums the stall causes.
 func (s recoveryStallCounts) Total() uint64 {
-	return s.DelayBuffer + s.BankQueue + s.WriteBuffer + s.Counter + s.Other
+	return s.DelayBuffer + s.BankQueue + s.WriteBuffer + s.Counter + s.Throttled + s.Other
 }
 
 // Client is a connection to a vpnmd server. All methods are safe for
@@ -905,6 +907,8 @@ func (c *Client) noteStall(code byte) {
 		c.ctr.Stalls.WriteBuffer++
 	case wire.CodeCounter:
 		c.ctr.Stalls.Counter++
+	case wire.CodeThrottled:
+		c.ctr.Stalls.Throttled++
 	default:
 		c.ctr.Stalls.Other++
 	}

@@ -257,6 +257,13 @@ type Engine struct {
 
 	sessBuf []*session // engine-goroutine scratch
 	touched []*session // sessions with output staged this step
+
+	// shardState, when set, is called at /statsz scrape time and its
+	// value served as the snapshot's "shard" block — the daemon's view
+	// of fleet membership (ring position, owned ranges, migration
+	// state). The engine does not interpret it.
+	shardMu    sync.Mutex
+	shardState func() any
 }
 
 // New builds an engine around cfg.Mem and starts its clock goroutine.
@@ -481,13 +488,36 @@ func (e *Engine) readSnapshot() Snapshot {
 // Cycle reports the current interface cycle.
 func (e *Engine) Cycle() uint64 { return e.cycle.Load() }
 
-// StatszHandler serves the Snapshot as JSON — mount it at /statsz.
+// SetShardState installs (or, with nil, removes) the provider for the
+// "shard" block in /statsz: a daemon serving as a fleet member exposes
+// its ring position, key-range ownership and migration state through
+// it. The provider is called on the scrape goroutine and must be safe
+// for concurrent use.
+func (e *Engine) SetShardState(fn func() any) {
+	e.shardMu.Lock()
+	e.shardState = fn
+	e.shardMu.Unlock()
+}
+
+// StatszHandler serves the Snapshot as JSON — mount it at /statsz. A
+// daemon with shard state installed (SetShardState) serves it with an
+// extra "shard" block alongside the engine fields.
 func (e *Engine) StatszHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(e.Snapshot()) //nolint:errcheck // best-effort diagnostics
+		e.shardMu.Lock()
+		provider := e.shardState
+		e.shardMu.Unlock()
+		if provider == nil {
+			enc.Encode(e.Snapshot()) //nolint:errcheck // best-effort diagnostics
+			return
+		}
+		enc.Encode(struct { //nolint:errcheck // best-effort diagnostics
+			Snapshot
+			Shard any `json:"shard"`
+		}{e.Snapshot(), provider()})
 	})
 }
 

@@ -1,0 +1,396 @@
+// Package shard is the fleet layer: it spreads the VPNM address space
+// over N vpnmd shards, each preserving the paper's fixed-D determinism
+// locally, behind one Router that looks to the application like a
+// single (much larger) virtually pipelined memory.
+//
+// The partition is a consistent-hash ring. Every shard owns a fixed
+// number of virtual nodes; a key belongs to the shard owning the first
+// virtual node at or clockwise from the key's point. Points come from
+// the same Feistel mixing internal/hash gives the controller: a keyed
+// permutation of the 64-bit point space, so both key placement and
+// virtual-node placement are deterministic in the ring seed, and an
+// adversary who cannot observe shard assignments cannot aim load at one
+// shard any better than at one bank.
+//
+// Construction is order-independent by design: the ring is a sorted
+// table of (point, member) pairs, ties broken by member name then
+// virtual-node index, so the same member set yields a byte-identical
+// ring no matter the insertion or discovery order — every router in a
+// fleet that agrees on the member list and seed agrees on every key's
+// owner with no coordination.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/hash"
+)
+
+// DefaultVNodes is the virtual-node count per member when RingConfig
+// leaves it zero. With V vnodes a member's share of the ring has
+// relative spread ~1/sqrt(V); 512 points per member keeps every shard
+// within ±15% of uniform with margin (≈3.4σ) at the fleet sizes this
+// repo targets, while keeping ring construction and Moved() range
+// lists cheap.
+const DefaultVNodes = 512
+
+// feistelRounds is the mixing depth for both key and vnode placement.
+const feistelRounds = 4
+
+// RingConfig parameterizes a Ring. Two routers with equal configs and
+// member sets produce byte-identical rings.
+type RingConfig struct {
+	// VNodes is the virtual-node count per member. Zero selects
+	// DefaultVNodes.
+	VNodes int
+	// Seed keys the Feistel permutation that places members and keys on
+	// the ring. Zero selects 1.
+	Seed uint64
+}
+
+func (c RingConfig) withDefaults() RingConfig {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// vnode is one virtual node: a point on the ring owned by a member.
+type vnode struct {
+	point  uint64
+	member int // index into Ring.members
+	index  int // virtual-node ordinal within the member
+}
+
+// Ring is an immutable consistent-hash partition of the 64-bit point
+// space over a set of named members. Build one with NewRing; derive
+// changed fleets with Add and Remove. All methods are safe for
+// concurrent use (the ring never mutates).
+type Ring struct {
+	cfg     RingConfig
+	members []string // sorted
+	nodes   []vnode  // sorted by (point, member name, index)
+	mix     *hash.Feistel
+}
+
+// NewRing builds the ring for the given member set. Members are
+// deduplicated and sorted internally, so any insertion order yields the
+// identical ring. An empty member set is allowed (Owner reports -1).
+func NewRing(cfg RingConfig, members []string) (*Ring, error) {
+	cfg = cfg.withDefaults()
+	seen := make(map[string]bool, len(members))
+	sorted := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("shard: empty member name")
+		}
+		if strings.ContainsAny(m, ",= \t\n") {
+			return nil, fmt.Errorf("shard: member name %q contains a delimiter", m)
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("shard: duplicate member %q", m)
+		}
+		seen[m] = true
+		sorted = append(sorted, m)
+	}
+	sort.Strings(sorted)
+
+	r := &Ring{
+		cfg:     cfg,
+		members: sorted,
+		mix:     hash.NewFeistel(64, feistelRounds, cfg.Seed),
+	}
+	r.nodes = make([]vnode, 0, len(sorted)*cfg.VNodes)
+	for mi, name := range sorted {
+		base := fnv64(name)
+		for v := 0; v < cfg.VNodes; v++ {
+			// Mix the member identity and vnode ordinal through the keyed
+			// permutation. splitmix decorrelates the inputs first so two
+			// members with related names do not land in related points.
+			p := r.mix.Permute(splitmix64(base + uint64(v)*0x9e3779b97f4a7c15))
+			r.nodes = append(r.nodes, vnode{point: p, member: mi, index: v})
+		}
+	}
+	sort.Slice(r.nodes, func(i, j int) bool {
+		a, b := r.nodes[i], r.nodes[j]
+		if a.point != b.point {
+			return a.point < b.point
+		}
+		if r.members[a.member] != r.members[b.member] {
+			return r.members[a.member] < r.members[b.member]
+		}
+		return a.index < b.index
+	})
+	return r, nil
+}
+
+// Add returns a new ring with member added.
+func (r *Ring) Add(member string) (*Ring, error) {
+	return NewRing(r.cfg, append(append([]string(nil), r.members...), member))
+}
+
+// Remove returns a new ring with member removed.
+func (r *Ring) Remove(member string) (*Ring, error) {
+	out := make([]string, 0, len(r.members))
+	found := false
+	for _, m := range r.members {
+		if m == member {
+			found = true
+			continue
+		}
+		out = append(out, m)
+	}
+	if !found {
+		return nil, fmt.Errorf("shard: member %q not in ring", member)
+	}
+	return NewRing(r.cfg, out)
+}
+
+// Members returns the sorted member set. The slice is shared; do not
+// mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Config reports the ring's (defaulted) configuration.
+func (r *Ring) Config() RingConfig { return r.cfg }
+
+// Point maps a key to its point on the ring — the keyed permutation of
+// the address. Exported so owners of the same config can reason about
+// key ranges without private access.
+func (r *Ring) Point(addr uint64) uint64 { return r.mix.Permute(addr) }
+
+// ownerAt returns the index into r.nodes of the vnode owning point p:
+// the first node at or clockwise from p, wrapping at the top.
+func (r *Ring) ownerAt(p uint64) int {
+	i := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].point >= p })
+	if i == len(r.nodes) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the member that owns addr, or "" for an empty ring.
+func (r *Ring) Owner(addr uint64) string {
+	i := r.OwnerIndex(addr)
+	if i < 0 {
+		return ""
+	}
+	return r.members[i]
+}
+
+// OwnerIndex returns the member index (into Members()) owning addr, or
+// -1 for an empty ring.
+func (r *Ring) OwnerIndex(addr uint64) int {
+	if len(r.nodes) == 0 {
+		return -1
+	}
+	return r.nodes[r.ownerAt(r.Point(addr))].member
+}
+
+// OwnerOfPoint returns the member owning ring point p (already mixed),
+// or "" for an empty ring.
+func (r *Ring) OwnerOfPoint(p uint64) string {
+	if len(r.nodes) == 0 {
+		return ""
+	}
+	return r.members[r.nodes[r.ownerAt(p)].member]
+}
+
+// Range is a half-open arc [Start, End) in point space. A range with
+// End <= Start wraps through the top of the space; End == Start means
+// the full circle (only possible on a single-vnode ring).
+type Range struct {
+	Start, End uint64
+}
+
+// Contains reports whether point p lies on the arc.
+func (a Range) Contains(p uint64) bool {
+	if a.Start < a.End {
+		return p >= a.Start && p < a.End
+	}
+	return p >= a.Start || p < a.End // wrapped (or full-circle)
+}
+
+// Width returns the arc length in points (2^64 reads as 0 for the
+// full-circle arc; callers summing widths over a partition of the ring
+// get a 64-bit wraparound total of 0, which is exact mod 2^64).
+func (a Range) Width() uint64 { return a.End - a.Start }
+
+// Ranges returns the arcs of point space owned by member, sorted by
+// Start. The arc ending at a vnode's point starts at the previous
+// vnode's point (exclusive start convention: a key exactly on a point
+// belongs to that point's vnode).
+func (r *Ring) Ranges(member string) []Range {
+	mi := -1
+	for i, m := range r.members {
+		if m == member {
+			mi = i
+			break
+		}
+	}
+	if mi < 0 || len(r.nodes) == 0 {
+		return nil
+	}
+	var out []Range
+	n := len(r.nodes)
+	for i, nd := range r.nodes {
+		if nd.member != mi {
+			continue
+		}
+		prev := r.nodes[(i+n-1)%n].point
+		// The arc (prev, point] in the exclusive-start convention is the
+		// half-open [prev+1, point+1) in Range's convention.
+		out = append(out, Range{Start: prev + 1, End: nd.point + 1})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return coalesce(out)
+}
+
+// coalesce merges adjacent arcs ([a,b) followed by [b,c) becomes
+// [a,c)), keeping range lists minimal.
+func coalesce(in []Range) []Range {
+	if len(in) < 2 {
+		return in
+	}
+	out := in[:1]
+	for _, a := range in[1:] {
+		last := &out[len(out)-1]
+		if last.End == a.Start {
+			last.End = a.End
+			continue
+		}
+		out = append(out, a)
+	}
+	// The first and last arcs may meet through the wrap point.
+	if len(out) > 1 {
+		first, last := &out[0], &out[len(out)-1]
+		if last.End == first.Start {
+			first.Start = last.Start
+			out = out[:len(out)-1]
+		}
+	}
+	return out
+}
+
+// Movement is one arc of point space whose owner changes between two
+// rings.
+type Movement struct {
+	Range
+	From, To string
+}
+
+// Moved computes the exact, minimal set of arcs whose owner differs
+// between rings a and b (which must share a config). The returned
+// movements are disjoint, sorted by Start, and adjacent arcs with the
+// same (From, To) pair are merged — for a single-member add or drain,
+// every movement names that member as To or From respectively, and the
+// union of the arcs is exactly the key set that must relocate.
+func Moved(a, b *Ring) ([]Movement, error) {
+	if a.cfg != b.cfg {
+		return nil, fmt.Errorf("shard: Moved across ring configs %+v vs %+v", a.cfg, b.cfg)
+	}
+	// Sweep the union of both rings' boundary points: ownership on
+	// either ring is constant on each elementary arc between adjacent
+	// boundaries, so comparing one representative point per arc is
+	// exact.
+	cuts := make([]uint64, 0, len(a.nodes)+len(b.nodes))
+	for _, nd := range a.nodes {
+		cuts = append(cuts, nd.point+1) // exclusive-start convention
+	}
+	for _, nd := range b.nodes {
+		cuts = append(cuts, nd.point+1)
+	}
+	if len(cuts) == 0 {
+		return nil, nil
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	cuts = dedupU64(cuts)
+
+	var out []Movement
+	for i, start := range cuts {
+		end := cuts[(i+1)%len(cuts)] // wraps: last arc runs through the top
+		fo, to := a.OwnerOfPoint(start), b.OwnerOfPoint(start)
+		if fo == to {
+			continue
+		}
+		out = append(out, Movement{Range: Range{Start: start, End: end}, From: fo, To: to})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	// Merge adjacent movements with identical endpoints (including
+	// through the wrap point) so the list is minimal.
+	merged := out[:0]
+	for _, m := range out {
+		if n := len(merged); n > 0 && merged[n-1].End == m.Start &&
+			merged[n-1].From == m.From && merged[n-1].To == m.To {
+			merged[n-1].End = m.End
+			continue
+		}
+		merged = append(merged, m)
+	}
+	if n := len(merged); n > 1 {
+		first, last := &merged[0], &merged[n-1]
+		if last.End == first.Start && last.From == first.From && last.To == first.To {
+			first.Start = last.Start
+			merged = merged[:n-1]
+		}
+	}
+	return merged, nil
+}
+
+// dedupU64 removes adjacent duplicates from a sorted slice in place.
+func dedupU64(s []uint64) []uint64 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Fingerprint is a deterministic digest of the ring table — config,
+// member list and every (point, member, index) triple — so two routers
+// can cheaply agree they hold byte-identical rings.
+func (r *Ring) Fingerprint() uint64 {
+	h := fnv64(fmt.Sprintf("v=%d s=%d", r.cfg.VNodes, r.cfg.Seed))
+	for _, m := range r.members {
+		h = fnvMix(h, fnv64(m))
+	}
+	for _, nd := range r.nodes {
+		h = fnvMix(h, nd.point)
+		h = fnvMix(h, uint64(nd.member)<<32|uint64(nd.index))
+	}
+	return h
+}
+
+// fnv64 is FNV-1a over a string.
+func fnv64(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// fnvMix folds one word into an FNV-style accumulator.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to decorrelate vnode
+// inputs before the keyed permutation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

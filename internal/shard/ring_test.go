@@ -1,0 +1,251 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+// TestRingOrderIndependence: the same member set in any insertion order
+// yields a byte-identical ring — node table, fingerprint and every
+// ownership decision agree.
+func TestRingOrderIndependence(t *testing.T) {
+	members := []string{"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7"}
+	ref, err := NewRing(RingConfig{Seed: 7}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 8; trial++ {
+		perm := append([]string(nil), members...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		r, err := NewRing(RingConfig{Seed: 7}, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r.nodes, ref.nodes) || !reflect.DeepEqual(r.Members(), ref.Members()) {
+			t.Fatalf("trial %d: ring built from %v differs from reference", trial, perm)
+		}
+		if r.Fingerprint() != ref.Fingerprint() {
+			t.Fatalf("trial %d: fingerprint mismatch", trial)
+		}
+	}
+	// A different seed or vnode count must not collide.
+	other, err := NewRing(RingConfig{Seed: 8}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Fingerprint() == ref.Fingerprint() {
+		t.Fatal("different seeds produced equal fingerprints")
+	}
+}
+
+// TestRingBalance: key distribution over 16 shards stays within ±15% of
+// uniform, and the arc-width view of the same partition agrees with the
+// sampled view.
+func TestRingBalance(t *testing.T) {
+	const shards = 16
+	members := make([]string, shards)
+	for i := range members {
+		members[i] = fmt.Sprintf("shard-%02d", i)
+	}
+	r, err := NewRing(RingConfig{Seed: 1}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const keys = 1 << 18
+	counts := make(map[string]int, shards)
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(rng.Uint64())]++
+	}
+	want := float64(keys) / shards
+	for _, m := range members {
+		got := float64(counts[m])
+		if got < want*0.85 || got > want*1.15 {
+			t.Errorf("member %s owns %.0f keys, outside ±15%% of uniform %.0f", m, got, want)
+		}
+	}
+
+	// Arc widths partition the full 2^64 space exactly (the sum wraps to
+	// 0 mod 2^64) and each member's share stays within the same bound.
+	var total uint64
+	for _, m := range members {
+		var width uint64
+		for _, a := range r.Ranges(m) {
+			width += a.Width()
+		}
+		total += width
+		frac := float64(width) / (1 << 64)
+		if frac < 0.85/shards || frac > 1.15/shards {
+			t.Errorf("member %s owns %.4f of point space, outside ±15%% of 1/%d", m, frac, shards)
+		}
+	}
+	if total != 0 { // 2^64 ≡ 0
+		t.Errorf("arc widths sum to %d mod 2^64, want exact cover (0)", total)
+	}
+}
+
+// TestRingOwnershipMatchesRanges: Owner and Ranges are two views of one
+// partition — every sampled key's owner contains the key's point in one
+// of its arcs.
+func TestRingOwnershipMatchesRanges(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	r, err := NewRing(RingConfig{VNodes: 32, Seed: 5}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := make(map[string][]Range, len(members))
+	for _, m := range members {
+		ranges[m] = r.Ranges(m)
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 4096; i++ {
+		addr := rng.Uint64()
+		owner := r.Owner(addr)
+		p := r.Point(addr)
+		found := false
+		for _, a := range ranges[owner] {
+			if a.Contains(p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("addr %#x: owner %s's ranges do not contain point %#x", addr, owner, p)
+		}
+		for m, rs := range ranges {
+			if m == owner {
+				continue
+			}
+			for _, a := range rs {
+				if a.Contains(p) {
+					t.Fatalf("addr %#x: point %#x owned by %s but also in %s's arc %+v", addr, p, owner, m, a)
+				}
+			}
+		}
+	}
+}
+
+// TestMovedAddDrain: moved-range computation on a single-member add or
+// drain is minimal and exact — every movement names the changed member,
+// the arcs agree with brute-force ownership comparison on sampled keys,
+// and the unchanged members trade nothing among themselves.
+func TestMovedAddDrain(t *testing.T) {
+	base := []string{"s0", "s1", "s2", "s3"}
+	cfg := RingConfig{VNodes: 64, Seed: 11}
+	cur, err := NewRing(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name   string
+		next   func() (*Ring, error)
+		member string
+		adding bool
+	}{
+		{"add-s4", func() (*Ring, error) { return cur.Add("s4") }, "s4", true},
+		{"drain-s2", func() (*Ring, error) { return cur.Remove("s2") }, "s2", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			next, err := tc.next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved, err := Moved(cur, next)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(moved) == 0 {
+				t.Fatal("no moved ranges for a membership change")
+			}
+			// Minimality: every movement involves exactly the changed
+			// member (as destination on add, source on drain), and no two
+			// adjacent movements with equal endpoints were left unmerged.
+			for i, m := range moved {
+				if tc.adding && m.To != tc.member {
+					t.Errorf("movement %d: add moved %+v to %s, want only into %s", i, m.Range, m.To, tc.member)
+				}
+				if !tc.adding && m.From != tc.member {
+					t.Errorf("movement %d: drain moved %+v from %s, want only out of %s", i, m.Range, m.From, tc.member)
+				}
+				if m.From == m.To {
+					t.Errorf("movement %d: degenerate %s -> %s", i, m.From, m.To)
+				}
+				if i > 0 && moved[i-1].End == m.Start && moved[i-1].From == m.From && moved[i-1].To == m.To {
+					t.Errorf("movements %d and %d should have been merged", i-1, i)
+				}
+			}
+			// Exactness: for sampled keys, ownership changed iff the key's
+			// point lies in a moved arc, and the arc's From/To match.
+			rng := rand.New(rand.NewPCG(21, 22))
+			for i := 0; i < 8192; i++ {
+				addr := rng.Uint64()
+				p := cur.Point(addr)
+				was, now := cur.Owner(addr), next.Owner(addr)
+				var hit *Movement
+				for j := range moved {
+					if moved[j].Contains(p) {
+						hit = &moved[j]
+						break
+					}
+				}
+				if was == now {
+					if hit != nil {
+						t.Fatalf("addr %#x: unmoved key inside movement %+v", addr, *hit)
+					}
+					continue
+				}
+				if hit == nil {
+					t.Fatalf("addr %#x: owner changed %s -> %s but no movement covers point %#x", addr, was, now, p)
+				}
+				if hit.From != was || hit.To != now {
+					t.Fatalf("addr %#x: movement says %s -> %s, ownership says %s -> %s", addr, hit.From, hit.To, was, now)
+				}
+			}
+		})
+	}
+}
+
+// TestMovedIdentity: no membership change, no movements.
+func TestMovedIdentity(t *testing.T) {
+	r, err := NewRing(RingConfig{Seed: 2}, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(RingConfig{Seed: 2}, []string{"y", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := Moved(r, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) != 0 {
+		t.Fatalf("identical rings moved %d ranges", len(moved))
+	}
+}
+
+// TestRingValidation: bad member names and duplicates are rejected.
+func TestRingValidation(t *testing.T) {
+	for _, bad := range [][]string{
+		{""},
+		{"a", "a"},
+		{"a,b"},
+		{"a b"},
+	} {
+		if _, err := NewRing(RingConfig{}, bad); err == nil {
+			t.Errorf("NewRing(%q) accepted invalid members", bad)
+		}
+	}
+	r, err := NewRing(RingConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Owner(42) != "" || r.OwnerIndex(42) != -1 {
+		t.Fatal("empty ring should own nothing")
+	}
+}

@@ -1,0 +1,915 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/client"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// ErrNoShards reports a request routed through an empty fleet.
+var ErrNoShards = errors.New("shard: fleet has no members")
+
+// ErrMigrating reports an Add/Drain attempted while another membership
+// change is still in its migration window.
+var ErrMigrating = errors.New("shard: a migration window is already open")
+
+// Dialer opens one transport to a shard's vpnmd.
+type Dialer func() (net.Conn, error)
+
+// Spec names one shard and how to reach it.
+type Spec struct {
+	// Name is the shard's ring identity. Every router in a fleet must
+	// use the same name for the same daemon.
+	Name string
+	// Dial opens a transport to the shard. Required.
+	Dial Dialer
+}
+
+// RouterConfig tunes a Router.
+type RouterConfig struct {
+	// Ring parameterizes the consistent-hash partition. Every router
+	// and daemon in the fleet must agree on it.
+	Ring RingConfig
+	// Client is the per-shard client template: every shard session is
+	// built from it, with Dialer replaced by the shard's own Dial and
+	// the jitter Seed decorrelated per shard. A nonzero SessionID arms
+	// durable sessions on every shard (shards are distinct servers, so
+	// one id does not collide across them).
+	Client client.Config
+	// Registry, when non-nil, receives per-shard vpnm_shard_* telemetry
+	// series.
+	Registry *telemetry.Registry
+	// CopyWorkers bounds concurrent key relocations during a migration
+	// window. Zero selects 16.
+	CopyWorkers int
+}
+
+// shardMetrics is the telemetry set for one shard name, cached so a
+// drained shard re-added under the same name reuses its series instead
+// of colliding in the registry.
+type shardMetrics struct {
+	reads, writes, doubleReads, dualWrites, migratedIn, migratedOut *telemetry.Counter
+	attached                                                        *telemetry.Gauge
+}
+
+// handle is one shard's live state: the client session plus routing
+// metadata. Handles are immutable after attach except for the retired
+// flag (guarded by Router.mu).
+type handle struct {
+	name    string
+	c       *client.Client
+	dial    Dialer
+	delay   uint64 // advertised fixed D, learned at attach
+	m       *shardMetrics
+	retired bool
+}
+
+// ShardCounters is one shard's slice of the fleet ledger.
+type ShardCounters struct {
+	Name    string
+	Delay   uint64
+	Retired bool
+	client.Counters
+}
+
+// FleetCounters reconciles the per-shard ledgers into one fleet-wide
+// view: Shards lists every member the router ever spoke to (live first,
+// then retired, each sorted by name) and Total is the field-wise sum —
+// exact, because every request the router issued is in exactly one
+// shard's ledger.
+type FleetCounters struct {
+	Shards []ShardCounters
+	Total  client.Counters
+	// Migrations counts completed membership changes; MovedKeys the
+	// tracked keys relocated by their copy phases; SkippedDirty the
+	// relocations skipped because a live write already refreshed the
+	// destination; DoubleReads and DualWrites the extra reads/writes
+	// issued inside migration windows. The extras are deliberately NOT
+	// folded into Total: Total reconciles against the per-shard server
+	// ledgers, which do observe the extras in their own counts.
+	Migrations, MovedKeys, SkippedDirty, DoubleReads, DualWrites uint64
+}
+
+// Violations sums fixed-D violations across every shard, live and
+// retired. Zero is the fleet-wide determinism contract.
+func (f FleetCounters) Violations() uint64 {
+	var n uint64
+	for _, s := range f.Shards {
+		n += s.LatencyViolations
+	}
+	return n
+}
+
+// addCounters is the field-wise sum used for the fleet total.
+func addCounters(t *client.Counters, c client.Counters) {
+	t.Issued += c.Issued
+	t.Reads += c.Reads
+	t.Writes += c.Writes
+	t.AcceptedWrites += c.AcceptedWrites
+	t.Completions += c.Completions
+	t.Uncorrectable += c.Uncorrectable
+	t.Stalls.DelayBuffer += c.Stalls.DelayBuffer
+	t.Stalls.BankQueue += c.Stalls.BankQueue
+	t.Stalls.WriteBuffer += c.Stalls.WriteBuffer
+	t.Stalls.Counter += c.Stalls.Counter
+	t.Stalls.Throttled += c.Stalls.Throttled
+	t.Stalls.Other += c.Stalls.Other
+	t.Retries += c.Retries
+	t.Drops += c.Drops
+	t.Exhausted += c.Exhausted
+	t.LatencyViolations += c.LatencyViolations
+	t.Reconnects += c.Reconnects
+	t.Retransmits += c.Retransmits
+	t.DeadlineExceeded += c.DeadlineExceeded
+}
+
+// Router is the fleet frontend: it partitions the address space over N
+// vpnmd shards with a deterministic consistent-hash ring and routes
+// every request to its owner, preserving each shard's fixed-D check,
+// stall policy and per-request deadlines (all inherited from the client
+// template). All methods are safe for concurrent use.
+//
+// Membership is live: AddShard and DrainShard recompute the ring,
+// relocate exactly the moved key ranges through the affected shards,
+// and keep serving throughout — reads of moved keys double-read (the
+// old owner stays authoritative until the window closes), writes
+// dual-write so neither owner is ever stale.
+//
+// The router tracks the set of keys written through it; that registry
+// is what the migration copy phase enumerates. The contract is
+// therefore single-frontend: a migration relocates every key written
+// through THIS router. Fleets with many frontends must route membership
+// changes through one of them (or an external driver replaying the
+// union of key registries).
+type Router struct {
+	cfg     RouterConfig
+	workers int
+
+	// mu guards the routing topology: ring, shards, retired and the
+	// migration window state. Read/Write hold it shared across routing
+	// AND client enqueue, so a flip (which takes it exclusively) cannot
+	// land between "route chosen" and "request queued" — after a flip
+	// returns, every request routed by the old ring is already inside
+	// its shard's session queue, where a final Flush covers it.
+	mu       sync.RWMutex
+	ring     *Ring
+	shards   map[string]*handle
+	retired  []*handle
+	mig      *migration // nil outside a window
+	nextSeed int64      // per-shard jitter decorrelation
+	// live is the cached fan-out list (ring members in sorted order,
+	// then any mid-window destination), rebuilt on every membership
+	// change so the per-batch Kick/Flush paths allocate nothing. The
+	// slice is immutable once published; readers may iterate it after
+	// dropping mu.
+	live []*handle
+
+	// keysMu guards the written-key registry.
+	keysMu sync.Mutex
+	keys   map[uint64]struct{}
+
+	metricsMu sync.Mutex
+	metrics   map[string]*shardMetrics
+
+	ctrMigrations, ctrMoved, ctrSkipped atomic.Uint64
+	ctrDoubleReads, ctrDualWrites       atomic.Uint64
+}
+
+// migration is one open membership-change window.
+type migration struct {
+	next  *Ring
+	moved []Movement
+	to    map[string]*handle // destination handles by name
+
+	// copyMu serializes destination writes for moved keys: a live
+	// dual-write marks the key dirty and enqueues under it, the copier
+	// checks dirty and enqueues under it — so a relocated (stale) image
+	// can never be enqueued after a live write it would overwrite.
+	copyMu sync.Mutex
+	dirty  map[uint64]struct{}
+}
+
+// NewRouter connects to every shard in specs and assembles the fleet.
+// Each attach performs a Stats round trip, arming that shard's
+// client-side fixed-D check before any data moves.
+func NewRouter(ctx context.Context, cfg RouterConfig, specs []Spec) (*Router, error) {
+	r := &Router{
+		cfg:     cfg,
+		workers: cfg.CopyWorkers,
+		shards:  make(map[string]*handle, len(specs)),
+		keys:    make(map[uint64]struct{}),
+		metrics: make(map[string]*shardMetrics),
+	}
+	if r.workers <= 0 {
+		r.workers = 16
+	}
+	names := make([]string, 0, len(specs))
+	for _, sp := range specs {
+		names = append(names, sp.Name)
+	}
+	ring, err := NewRing(cfg.Ring, names)
+	if err != nil {
+		return nil, err
+	}
+	r.ring = ring
+	for _, sp := range specs {
+		h, err := r.attach(ctx, sp)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		r.shards[sp.Name] = h
+	}
+	r.mu.Lock()
+	r.rebuildLiveLocked()
+	r.mu.Unlock()
+	return r, nil
+}
+
+// attach dials one shard, builds its client from the template and arms
+// its fixed-D check. It does not install the handle in the ring.
+func (r *Router) attach(ctx context.Context, sp Spec) (*handle, error) {
+	if sp.Name == "" || sp.Dial == nil {
+		return nil, fmt.Errorf("shard: spec needs a name and a dialer")
+	}
+	nc, err := sp.Dial()
+	if err != nil {
+		return nil, fmt.Errorf("shard: dial %s: %w", sp.Name, err)
+	}
+	ccfg := r.cfg.Client
+	if ccfg.SessionID != 0 {
+		// Arm reconnection: a nonzero SessionID makes the session durable
+		// on the daemon, and redialing through the shard's own Dial
+		// resumes it there after a transport fault.
+		ccfg.Dialer = func() (net.Conn, error) { return sp.Dial() }
+	}
+	ccfg.Seed = r.cfg.Client.Seed + int64(fnv64(sp.Name)>>1) + atomic.AddInt64(&r.nextSeed, 1)
+	c := client.New(nc, ccfg)
+	st, err := c.Stats(ctx)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("shard: arming %s: %w", sp.Name, err)
+	}
+	h := &handle{name: sp.Name, c: c, dial: sp.Dial, delay: st.Delay, m: r.metricsFor(sp.Name)}
+	if h.m != nil {
+		h.m.attached.Set(1)
+	}
+	return h, nil
+}
+
+// metricsFor returns (building once) the telemetry set for a shard
+// name. Nil without a registry.
+func (r *Router) metricsFor(name string) *shardMetrics {
+	reg := r.cfg.Registry
+	if reg == nil {
+		return nil
+	}
+	r.metricsMu.Lock()
+	defer r.metricsMu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := &shardMetrics{
+		reads:       reg.Counter("vpnm_shard_reads_total", "Reads routed to the shard.", "shard", name),
+		writes:      reg.Counter("vpnm_shard_writes_total", "Writes routed to the shard.", "shard", name),
+		doubleReads: reg.Counter("vpnm_shard_double_reads_total", "Warming reads issued to the shard as migration destination.", "shard", name),
+		dualWrites:  reg.Counter("vpnm_shard_dual_writes_total", "Duplicate writes issued to the shard as migration destination.", "shard", name),
+		migratedIn:  reg.Counter("vpnm_shard_migrated_keys_in_total", "Keys relocated onto the shard by membership changes.", "shard", name),
+		migratedOut: reg.Counter("vpnm_shard_migrated_keys_out_total", "Keys relocated off the shard by membership changes.", "shard", name),
+		attached:    reg.Gauge("vpnm_shard_attached", "1 while the shard is a live ring member (0 once retired).", "shard", name),
+	}
+	r.metrics[name] = m
+	return m
+}
+
+// Members returns the live ring membership, sorted.
+func (r *Router) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.ring.Members()...)
+}
+
+// Ring returns the current (immutable) ring.
+func (r *Router) Ring() *Ring {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring
+}
+
+// Migrating reports whether a membership-change window is open.
+func (r *Router) Migrating() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.mig != nil
+}
+
+// DelayOf reports the fixed D the named shard advertised at attach, or
+// 0 for an unknown shard. Fixed-D is a per-shard contract: shards with
+// different geometries advertise different Ds, and each client checks
+// its own.
+func (r *Router) DelayOf(name string) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if h, ok := r.shards[name]; ok {
+		return h.delay
+	}
+	for _, h := range r.retired {
+		if h.name == name {
+			return h.delay
+		}
+	}
+	return 0
+}
+
+// Owner reports which live shard owns addr (the routing decision a
+// Read/Write would make right now, ignoring any open window's
+// double-routing).
+func (r *Router) Owner(addr uint64) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring.Owner(addr)
+}
+
+// routeLocked resolves addr under r.mu (shared): the authoritative
+// handle, plus the migration destination when addr sits in a moved arc
+// of the open window.
+func (r *Router) routeLocked(addr uint64) (primary, secondary *handle, mig *migration, err error) {
+	owner := r.ring.Owner(addr)
+	if owner == "" {
+		return nil, nil, nil, ErrNoShards
+	}
+	primary = r.shards[owner]
+	if primary == nil {
+		return nil, nil, nil, fmt.Errorf("shard: ring member %s has no attached client", owner)
+	}
+	if r.mig != nil {
+		p := r.ring.Point(addr)
+		for i := range r.mig.moved {
+			m := &r.mig.moved[i]
+			if m.Contains(p) {
+				return primary, r.mig.to[m.To], r.mig, nil
+			}
+		}
+	}
+	return primary, nil, nil, nil
+}
+
+// Read routes a read of addr to its owner shard. cb fires exactly once
+// with the authoritative completion (the old owner's, during a
+// migration window). Inside a window, a moved key is double-read: a
+// warming read goes to the destination shard too, its verdict counted
+// and discarded — it keeps the mover's pipeline warm and exercises the
+// destination's fixed-D path before it takes ownership.
+func (r *Router) Read(ctx context.Context, addr uint64, cb func(client.Completion)) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	primary, secondary, _, err := r.routeLocked(addr)
+	if err != nil {
+		return err
+	}
+	if secondary != nil {
+		r.ctrDoubleReads.Add(1)
+		if secondary.m != nil {
+			secondary.m.doubleReads.Inc()
+		}
+		// Best-effort: a warming-read error must not fail the caller's
+		// authoritative read.
+		_ = secondary.c.Read(ctx, addr, nil) //nolint:errcheck
+	}
+	if primary.m != nil {
+		primary.m.reads.Inc()
+	}
+	return primary.c.Read(ctx, addr, cb)
+}
+
+// Write routes a write of data to addr's owner shard. Inside a window,
+// a moved key is dual-written — the destination gets the same word —
+// so neither owner is stale whenever the window closes.
+func (r *Router) Write(ctx context.Context, addr uint64, data []byte) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	primary, secondary, mig, err := r.routeLocked(addr)
+	if err != nil {
+		return err
+	}
+	r.keysMu.Lock()
+	r.keys[addr] = struct{}{}
+	r.keysMu.Unlock()
+	if primary.m != nil {
+		primary.m.writes.Inc()
+	}
+	if err := primary.c.Write(ctx, addr, data); err != nil {
+		return err
+	}
+	if secondary != nil {
+		r.ctrDualWrites.Add(1)
+		if secondary.m != nil {
+			secondary.m.dualWrites.Inc()
+		}
+		// The dirty mark and the destination enqueue are atomic under
+		// copyMu: the copier can never enqueue a stale image after this
+		// write (it either sees the mark and skips, or enqueued first
+		// and this fresher write lands behind it in session FIFO order).
+		mig.copyMu.Lock()
+		mig.dirty[addr] = struct{}{}
+		err := secondary.c.Write(ctx, addr, data)
+		mig.copyMu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Flush barriers every live shard: it returns once each shard has
+// resolved everything issued to it before the call.
+func (r *Router) Flush(ctx context.Context) error {
+	for _, h := range r.liveHandles() {
+		if err := h.c.Flush(ctx); err != nil {
+			return fmt.Errorf("shard: flush %s: %w", h.name, err)
+		}
+	}
+	return nil
+}
+
+// Kick flushes every live shard's send queue once (ManualBatch mode).
+func (r *Router) Kick() error {
+	for _, h := range r.liveHandles() {
+		if err := h.c.Kick(); err != nil {
+			return fmt.Errorf("shard: kick %s: %w", h.name, err)
+		}
+	}
+	return nil
+}
+
+// Stats snapshots every live shard's server ledger.
+func (r *Router) Stats(ctx context.Context) (map[string]wire.Stats, error) {
+	out := make(map[string]wire.Stats)
+	for _, h := range r.liveHandles() {
+		st, err := h.c.Stats(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("shard: stats %s: %w", h.name, err)
+		}
+		out[h.name] = st
+	}
+	return out, nil
+}
+
+func (r *Router) liveHandles() []*handle {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.live
+}
+
+// rebuildLiveLocked recomputes the cached fan-out list. Caller holds
+// r.mu exclusively.
+func (r *Router) rebuildLiveLocked() {
+	out := make([]*handle, 0, len(r.shards))
+	for _, name := range r.ring.Members() {
+		if h := r.shards[name]; h != nil {
+			out = append(out, h)
+		}
+	}
+	// A mid-window destination is live too (it is already receiving
+	// dual-writes and copies) even though it is not a ring member yet.
+	names := make([]string, 0, len(r.shards))
+	for name := range r.shards {
+		if !ringHas(r.ring, name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out = append(out, r.shards[name])
+	}
+	r.live = out
+}
+
+func ringHas(ring *Ring, name string) bool {
+	for _, m := range ring.Members() {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Counters reconciles the per-shard ledgers into the fleet ledger.
+func (r *Router) Counters() FleetCounters {
+	r.mu.RLock()
+	live := make([]*handle, 0, len(r.shards))
+	for _, h := range r.shards {
+		live = append(live, h)
+	}
+	ret := append([]*handle(nil), r.retired...)
+	r.mu.RUnlock()
+	sort.Slice(live, func(i, j int) bool { return live[i].name < live[j].name })
+	sort.Slice(ret, func(i, j int) bool { return ret[i].name < ret[j].name })
+
+	var f FleetCounters
+	for _, h := range live {
+		c := h.c.Counters()
+		f.Shards = append(f.Shards, ShardCounters{Name: h.name, Delay: h.delay, Counters: c})
+		addCounters(&f.Total, c)
+	}
+	for _, h := range ret {
+		c := h.c.Counters()
+		f.Shards = append(f.Shards, ShardCounters{Name: h.name, Delay: h.delay, Retired: true, Counters: c})
+		addCounters(&f.Total, c)
+	}
+	f.Migrations = r.ctrMigrations.Load()
+	f.MovedKeys = r.ctrMoved.Load()
+	f.SkippedDirty = r.ctrSkipped.Load()
+	f.DoubleReads = r.ctrDoubleReads.Load()
+	f.DualWrites = r.ctrDualWrites.Load()
+	return f
+}
+
+// TrackedKeys reports the size of the written-key registry (the set a
+// migration copy phase enumerates).
+func (r *Router) TrackedKeys() int {
+	r.keysMu.Lock()
+	defer r.keysMu.Unlock()
+	return len(r.keys)
+}
+
+// AddShard grows the fleet: it dials the new shard, opens a migration
+// window mapping the moved arcs onto it, relocates every tracked key in
+// those arcs (read from the current owner, write to the new shard),
+// then flips the ring so the new shard owns its arcs. Serving continues
+// throughout; moved keys are double-read and dual-written inside the
+// window. Returns the number of keys relocated.
+func (r *Router) AddShard(ctx context.Context, sp Spec) (moved int, err error) {
+	h, err := r.attach(ctx, sp)
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	if r.mig != nil {
+		r.mu.Unlock()
+		h.c.Close()
+		return 0, ErrMigrating
+	}
+	if _, dup := r.shards[sp.Name]; dup {
+		r.mu.Unlock()
+		h.c.Close()
+		return 0, fmt.Errorf("shard: %s already in the fleet", sp.Name)
+	}
+	next, err := r.ring.Add(sp.Name)
+	if err == nil {
+		var movements []Movement
+		movements, err = Moved(r.ring, next)
+		if err == nil {
+			r.shards[sp.Name] = h
+			r.mig = &migration{
+				next:  next,
+				moved: movements,
+				to:    map[string]*handle{sp.Name: h},
+				dirty: make(map[uint64]struct{}),
+			}
+			r.rebuildLiveLocked()
+		}
+	}
+	if err != nil {
+		r.mu.Unlock()
+		h.c.Close()
+		return 0, err
+	}
+	r.mu.Unlock()
+	return r.runWindow(ctx, nil)
+}
+
+// DrainShard shrinks the fleet: it opens a migration window reassigning
+// every arc the named shard owns, relocates the tracked keys in those
+// arcs to their new owners, flips the ring, then barriers the drained
+// shard so nothing the router ever routed to it is left unresolved —
+// at return, the daemon behind it can be server.Drain()ed and its
+// ledger reconciled against the retired shard's entry in Counters().
+// Returns the number of keys relocated.
+func (r *Router) DrainShard(ctx context.Context, name string) (moved int, err error) {
+	r.mu.Lock()
+	if r.mig != nil {
+		r.mu.Unlock()
+		return 0, ErrMigrating
+	}
+	h := r.shards[name]
+	if h == nil {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("shard: %s not in the fleet", name)
+	}
+	if len(r.ring.Members()) == 1 {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("shard: cannot drain the last member %s", name)
+	}
+	next, err := r.ring.Remove(name)
+	var movements []Movement
+	if err == nil {
+		movements, err = Moved(r.ring, next)
+	}
+	if err != nil {
+		r.mu.Unlock()
+		return 0, err
+	}
+	to := make(map[string]*handle)
+	for _, m := range movements {
+		dst := r.shards[m.To]
+		if dst == nil {
+			r.mu.Unlock()
+			return 0, fmt.Errorf("shard: movement destination %s has no attached client", m.To)
+		}
+		to[m.To] = dst
+	}
+	r.mig = &migration{next: next, moved: movements, to: to, dirty: make(map[uint64]struct{})}
+	r.mu.Unlock()
+	return r.runWindow(ctx, h)
+}
+
+// runWindow executes the open migration window: copy phase, flush,
+// flip. drained is non-nil for a drain (the handle leaving the fleet).
+func (r *Router) runWindow(ctx context.Context, drained *handle) (int, error) {
+	r.mu.RLock()
+	mig := r.mig
+	ring := r.ring
+	r.mu.RUnlock()
+
+	// Enumerate the tracked keys that sit in moved arcs. The snapshot
+	// is taken once; keys written after it are dual-written by the
+	// serving path, which is exactly why the copy can be stale-skipped.
+	r.keysMu.Lock()
+	var work []uint64
+	for k := range r.keys {
+		p := ring.Point(k)
+		for i := range mig.moved {
+			if mig.moved[i].Contains(p) {
+				work = append(work, k)
+				break
+			}
+		}
+	}
+	r.keysMu.Unlock()
+	sort.Slice(work, func(i, j int) bool { return work[i] < work[j] })
+
+	moved, err := r.copyKeys(ctx, mig, ring, work)
+	if err != nil {
+		r.abortWindow(drained)
+		return moved, err
+	}
+
+	// Barrier every shard that participated, so all copies and
+	// dual-writes are resolved before ownership flips.
+	flush := func(h *handle) error {
+		if err := h.c.Flush(ctx); err != nil {
+			return fmt.Errorf("shard: migration flush %s: %w", h.name, err)
+		}
+		return nil
+	}
+	for _, h := range mig.to {
+		if err := flush(h); err != nil {
+			r.abortWindow(drained)
+			return moved, err
+		}
+	}
+
+	// Flip: the new ring takes over atomically with respect to the
+	// serving paths (they hold mu shared across route + enqueue).
+	r.mu.Lock()
+	r.ring = mig.next
+	r.mig = nil
+	if drained != nil {
+		drained.retired = true
+		delete(r.shards, drained.name)
+		r.retired = append(r.retired, drained)
+		if drained.m != nil {
+			drained.m.attached.Set(0)
+		}
+	}
+	r.rebuildLiveLocked()
+	r.mu.Unlock()
+	r.ctrMigrations.Add(1)
+
+	if drained != nil {
+		// Everything the router ever routed to the drained shard was
+		// enqueued before the flip (enqueues hold mu shared); this final
+		// barrier resolves it all, leaving the daemon idle.
+		if err := drained.c.Flush(ctx); err != nil {
+			return moved, fmt.Errorf("shard: drained-shard barrier %s: %w", drained.name, err)
+		}
+	}
+	return moved, nil
+}
+
+// abortWindow closes a failed window without flipping: the old ring
+// stays authoritative (it never stopped being), and a drain target
+// stays in the fleet. Copied keys are harmless: their destinations only
+// become authoritative after a successful flip.
+func (r *Router) abortWindow(drained *handle) {
+	r.mu.Lock()
+	mig := r.mig
+	r.mig = nil
+	if mig != nil && drained == nil {
+		// A failed add leaves the new shard attached but outside the
+		// ring; retire it so its ledger stays visible.
+		for name := range mig.to {
+			if h := r.shards[name]; h != nil && !ringHas(r.ring, name) {
+				delete(r.shards, name)
+				h.retired = true
+				r.retired = append(r.retired, h)
+				if h.m != nil {
+					h.m.attached.Set(0)
+				}
+			}
+		}
+	}
+	r.rebuildLiveLocked()
+	r.mu.Unlock()
+}
+
+// copyKeys relocates the enumerated keys: read the authoritative image
+// from the current owner, write it to the destination — skipping any
+// key a live dual-write already refreshed. Workers bound concurrency;
+// every read waits for its completion before the destination write, so
+// a copy never writes a word it has not fully received.
+func (r *Router) copyKeys(ctx context.Context, mig *migration, ring *Ring, work []uint64) (int, error) {
+	if len(work) == 0 {
+		return 0, nil
+	}
+	var movedN atomic.Uint64
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() error {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr
+	}
+	sem := make(chan struct{}, r.workers)
+	var wg sync.WaitGroup
+	for _, k := range work {
+		if failed() != nil {
+			break
+		}
+		k := k
+		p := ring.Point(k)
+		var mv *Movement
+		for i := range mig.moved {
+			if mig.moved[i].Contains(p) {
+				mv = &mig.moved[i]
+				break
+			}
+		}
+		if mv == nil {
+			continue
+		}
+		r.mu.RLock()
+		src := r.shards[mv.From]
+		r.mu.RUnlock()
+		dst := mig.to[mv.To]
+		if src == nil || dst == nil {
+			fail(fmt.Errorf("shard: movement %s->%s lost a handle mid-window", mv.From, mv.To))
+			break
+		}
+		mig.copyMu.Lock()
+		_, dirty := mig.dirty[k]
+		mig.copyMu.Unlock()
+		if dirty {
+			r.ctrSkipped.Add(1)
+			continue
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(src, dst *handle) {
+			defer func() { <-sem; wg.Done() }()
+			img, err := r.readKey(ctx, src, k)
+			if err != nil {
+				fail(err)
+				return
+			}
+			mig.copyMu.Lock()
+			if _, dirty := mig.dirty[k]; dirty {
+				mig.copyMu.Unlock()
+				r.ctrSkipped.Add(1)
+				return
+			}
+			err = dst.c.Write(ctx, k, img)
+			mig.copyMu.Unlock()
+			if err != nil {
+				fail(fmt.Errorf("shard: relocating %#x to %s: %w", k, dst.name, err))
+				return
+			}
+			movedN.Add(1)
+			r.ctrMoved.Add(1)
+			if dst.m != nil {
+				dst.m.migratedIn.Inc()
+			}
+			if src.m != nil {
+				src.m.migratedOut.Inc()
+			}
+		}(src, dst)
+	}
+	wg.Wait()
+	return int(movedN.Load()), failed()
+}
+
+// readKey reads one word synchronously from a shard.
+func (r *Router) readKey(ctx context.Context, h *handle, addr uint64) ([]byte, error) {
+	type verdict struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan verdict, 1)
+	err := h.c.Read(ctx, addr, func(cm client.Completion) {
+		// Completion data aliases the decoder buffer; copy before the
+		// callback returns.
+		ch <- verdict{data: append([]byte(nil), cm.Data...), err: cm.Err}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard: relocation read %#x from %s: %w", addr, h.name, err)
+	}
+	select {
+	case v := <-ch:
+		if v.err != nil {
+			return nil, fmt.Errorf("shard: relocation read %#x from %s: %w", addr, h.name, v.err)
+		}
+		return v.data, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close closes every shard client, live and retired.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	hs := make([]*handle, 0, len(r.shards)+len(r.retired))
+	for _, h := range r.shards {
+		hs = append(hs, h)
+	}
+	hs = append(hs, r.retired...)
+	r.shards = map[string]*handle{}
+	r.retired = nil
+	r.mu.Unlock()
+	for _, h := range hs {
+		h.c.Close()
+	}
+	return nil
+}
+
+// NodeState is the per-daemon view of fleet membership, served inside
+// vpnmd's /statsz as the "shard" block so fleet state is inspectable
+// per daemon: which member this daemon is, the ring it believes in, the
+// arcs it owns and whether a migration window is open.
+type NodeState struct {
+	Name      string      `json:"name"`
+	Members   []string    `json:"members"`
+	VNodes    int         `json:"vnodes"`
+	Seed      uint64      `json:"seed"`
+	Ring      uint64      `json:"ring_fingerprint"`
+	Ranges    []RangeJSON `json:"owned_ranges"`
+	OwnedFrac float64     `json:"owned_fraction"`
+	Migrating bool        `json:"migrating"`
+	MovedIn   uint64      `json:"moved_keys_in"`
+	MovedOut  uint64      `json:"moved_keys_out"`
+}
+
+// RangeJSON renders a point-space arc with hex endpoints.
+type RangeJSON struct {
+	Start string `json:"start"`
+	End   string `json:"end"`
+}
+
+// Node builds the NodeState for one member of a ring. Counters (moved
+// in/out, migrating) are the caller's to maintain; the ring geometry is
+// computed here.
+func Node(ring *Ring, name string) NodeState {
+	st := NodeState{
+		Name:    name,
+		Members: append([]string(nil), ring.Members()...),
+		VNodes:  ring.Config().VNodes,
+		Seed:    ring.Config().Seed,
+		Ring:    ring.Fingerprint(),
+	}
+	var width uint64
+	ranges := ring.Ranges(name)
+	for _, a := range ranges {
+		st.Ranges = append(st.Ranges, RangeJSON{Start: fmt.Sprintf("%#016x", a.Start), End: fmt.Sprintf("%#016x", a.End)})
+		width += a.Width()
+	}
+	if len(ranges) > 0 {
+		st.OwnedFrac = float64(width) / (1 << 64)
+		if width == 0 { // full circle (single member)
+			st.OwnedFrac = 1
+		}
+	}
+	return st
+}

@@ -1,0 +1,386 @@
+package shard_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/multichannel"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+// testShard is one in-process daemon behind a real TCP listener.
+type testShard struct {
+	name string
+	eng  *server.Engine
+	ln   net.Listener
+}
+
+func (s *testShard) spec() shard.Spec {
+	addr := s.ln.Addr().String()
+	return shard.Spec{Name: s.name, Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) }}
+}
+
+func startShard(t *testing.T, name string, seed uint64) *testShard {
+	t.Helper()
+	mem, err := multichannel.New(core.Config{Banks: 8, QueueDepth: 16, DelayRows: 64, WordBytes: 8}, 2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := server.New(server.Config{Mem: mem, Window: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
+	go eng.Serve(ln) //nolint:errcheck // exits with the engine
+	s := &testShard{name: name, eng: eng, ln: ln}
+	t.Cleanup(func() { ln.Close(); eng.Close() })
+	return s
+}
+
+func startFleet(t *testing.T, n int) ([]*testShard, []shard.Spec) {
+	t.Helper()
+	shards := make([]*testShard, n)
+	specs := make([]shard.Spec, n)
+	for i := range shards {
+		shards[i] = startShard(t, fmt.Sprintf("s%d", i), uint64(i+1))
+		specs[i] = shards[i].spec()
+	}
+	return shards, specs
+}
+
+func testRouter(t *testing.T, specs []shard.Spec, reg *telemetry.Registry) *shard.Router {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	r, err := shard.NewRouter(ctx, shard.RouterConfig{
+		Ring:     shard.RingConfig{VNodes: 64, Seed: 3},
+		Client:   client.Config{Window: 128, SessionID: 9, RequestTimeout: 20 * time.Second},
+		Registry: reg,
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func word(i uint64) []byte {
+	b := make([]byte, 8)
+	for j := range b {
+		b[j] = byte(i + uint64(j)*17 + 1)
+	}
+	return b
+}
+
+// writeAll writes keys [0,n), flushes, and returns ctx.
+func writeAll(t *testing.T, r *shard.Router, n uint64) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	for i := uint64(0); i < n; i++ {
+		if err := r.Write(ctx, i, word(i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := r.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// verifyAll reads keys [0,n) back and checks every word.
+func verifyAll(t *testing.T, ctx context.Context, r *shard.Router, n uint64) {
+	t.Helper()
+	var bad atomic.Uint64
+	var resolved atomic.Uint64
+	for i := uint64(0); i < n; i++ {
+		want := word(i)
+		err := r.Read(ctx, i, func(cm client.Completion) {
+			resolved.Add(1)
+			if cm.Err != nil || !bytes.Equal(cm.Data, want) {
+				bad.Add(1)
+			}
+		})
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if err := r.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := resolved.Load(); got != n {
+		t.Fatalf("resolved %d of %d reads", got, n)
+	}
+	if b := bad.Load(); b != 0 {
+		t.Fatalf("%d reads returned wrong data or errors", b)
+	}
+}
+
+// TestRouterRoutesAndReconciles: a 4-shard fleet serves a write/read
+// workload spread over every shard, with the fleet ledger reconciling
+// exactly against both the per-shard client ledgers and the per-shard
+// server ledgers.
+func TestRouterRoutesAndReconciles(t *testing.T) {
+	shards, specs := startFleet(t, 4)
+	reg := telemetry.NewRegistry()
+	r := testRouter(t, specs, reg)
+
+	const keys = 512
+	ctx := writeAll(t, r, keys)
+	verifyAll(t, ctx, r, keys)
+
+	// Every shard served some of the workload (the ring balance test
+	// guarantees no member owns < 85% of uniform, so 512 keys cannot
+	// miss a 4-member fleet).
+	fc := r.Counters()
+	if len(fc.Shards) != 4 {
+		t.Fatalf("fleet ledger has %d shards, want 4", len(fc.Shards))
+	}
+	var sumIssued, sumComps, sumAccW uint64
+	for _, sc := range fc.Shards {
+		if sc.Issued == 0 {
+			t.Errorf("shard %s saw no traffic — routing is not spreading", sc.Name)
+		}
+		if sc.LatencyViolations != 0 {
+			t.Errorf("shard %s: %d fixed-D violations", sc.Name, sc.LatencyViolations)
+		}
+		if sc.Delay == 0 {
+			t.Errorf("shard %s advertised no fixed D", sc.Name)
+		}
+		sumIssued += sc.Issued
+		sumComps += sc.Completions
+		sumAccW += sc.AcceptedWrites
+	}
+	if fc.Total.Issued != sumIssued || fc.Total.Completions != sumComps || fc.Total.AcceptedWrites != sumAccW {
+		t.Fatalf("fleet total does not reconcile: total{%d %d %d} sums{%d %d %d}",
+			fc.Total.Issued, fc.Total.Completions, fc.Total.AcceptedWrites, sumIssued, sumComps, sumAccW)
+	}
+	if fc.Total.Issued != 2*keys {
+		t.Fatalf("fleet issued %d, want %d", fc.Total.Issued, 2*keys)
+	}
+	if fc.Violations() != 0 {
+		t.Fatalf("fleet saw %d fixed-D violations", fc.Violations())
+	}
+
+	// The routing decision matches ring ownership: each server's ledger
+	// counts exactly the keys the ring assigns it.
+	ring := r.Ring()
+	perOwner := map[string]uint64{}
+	for i := uint64(0); i < keys; i++ {
+		perOwner[ring.Owner(i)]++
+	}
+	stats, err := r.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range shards {
+		st := stats[s.name]
+		if st.Reads != perOwner[s.name] || st.Writes != perOwner[s.name] {
+			t.Errorf("shard %d (%s): server reads=%d writes=%d, ring assigns %d keys",
+				i, s.name, st.Reads, st.Writes, perOwner[s.name])
+		}
+	}
+
+	// Telemetry: the per-shard series carried the same counts.
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`vpnm_shard_reads_total{shard="s0"}`)) {
+		t.Error("vpnm_shard_reads_total series missing from registry exposition")
+	}
+}
+
+// TestRouterDrainShard: draining a member mid-life relocates exactly its
+// keys, keeps every key readable with the right data, retires its
+// ledger into the fleet view, and leaves the daemon cleanly drainable.
+func TestRouterDrainShard(t *testing.T) {
+	shards, specs := startFleet(t, 4)
+	r := testRouter(t, specs, nil)
+
+	const keys = 512
+	ctx := writeAll(t, r, keys)
+
+	victim := shards[2]
+	ring := r.Ring()
+	var owned uint64
+	for i := uint64(0); i < keys; i++ {
+		if ring.Owner(i) == victim.name {
+			owned++
+		}
+	}
+	moved, err := r.DrainShard(ctx, victim.name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(moved) != owned {
+		t.Fatalf("drain relocated %d keys, ring said %s owned %d", moved, victim.name, owned)
+	}
+	if got := r.Members(); len(got) != 3 {
+		t.Fatalf("post-drain members %v, want 3", got)
+	}
+	if r.Ring().Owner(0) == victim.name {
+		t.Fatal("drained shard still owns keys")
+	}
+
+	verifyAll(t, ctx, r, keys)
+
+	fc := r.Counters()
+	var retired *shard.ShardCounters
+	for i := range fc.Shards {
+		if fc.Shards[i].Name == victim.name {
+			retired = &fc.Shards[i]
+		}
+	}
+	if retired == nil || !retired.Retired {
+		t.Fatal("drained shard's ledger not retired in the fleet view")
+	}
+	if fc.Violations() != 0 {
+		t.Fatalf("fleet saw %d fixed-D violations", fc.Violations())
+	}
+	if fc.Migrations != 1 || uint64(moved) != fc.MovedKeys {
+		t.Fatalf("migration counters {migrations=%d moved=%d}, want {1 %d}", fc.Migrations, fc.MovedKeys, moved)
+	}
+
+	// The daemon behind the drained shard is idle: a server drain
+	// reconciles with zero outstanding and its ledger matches the
+	// retired client's.
+	snap, err := victim.eng.Drain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Outstanding != 0 {
+		t.Fatalf("drained daemon still has %d outstanding", snap.Outstanding)
+	}
+	if snap.Reads != retired.Completions || snap.Writes != retired.AcceptedWrites {
+		t.Fatalf("drained daemon ledger {reads=%d writes=%d} != retired client {comps=%d accw=%d}",
+			snap.Reads, snap.Writes, retired.Completions, retired.AcceptedWrites)
+	}
+}
+
+// TestRouterAddShard: growing the fleet relocates only the new member's
+// arcs, the new member starts serving its share, and every key stays
+// readable with the right data.
+func TestRouterAddShard(t *testing.T) {
+	_, specs := startFleet(t, 3)
+	r := testRouter(t, specs, nil)
+
+	const keys = 512
+	ctx := writeAll(t, r, keys)
+
+	joiner := startShard(t, "s9", 99)
+	moved, err := r.AddShard(ctx, joiner.spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Members(); len(got) != 4 {
+		t.Fatalf("post-add members %v, want 4", got)
+	}
+	var owned uint64
+	for i := uint64(0); i < keys; i++ {
+		if r.Ring().Owner(i) == "s9" {
+			owned++
+		}
+	}
+	if owned == 0 {
+		t.Fatal("new shard owns no keys")
+	}
+	if uint64(moved) != owned {
+		t.Fatalf("add relocated %d keys, new ring assigns s9 %d", moved, owned)
+	}
+
+	verifyAll(t, ctx, r, keys)
+
+	stats, err := r.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := stats["s9"]; st.Reads < owned {
+		t.Fatalf("new shard served %d reads, owns %d keys", st.Reads, owned)
+	}
+	if fc := r.Counters(); fc.Violations() != 0 {
+		t.Fatalf("fleet saw %d fixed-D violations", fc.Violations())
+	}
+
+	// A second membership change on the grown fleet still works.
+	if _, err := r.DrainShard(ctx, "s9"); err != nil {
+		t.Fatal(err)
+	}
+	verifyAll(t, ctx, r, keys)
+}
+
+// TestRouterConcurrentTrafficDuringDrain: a writer/reader pair keeps
+// issuing while a drain runs; every read observes the latest write for
+// its key (the dual-write/double-read window) and nothing violates
+// fixed D.
+func TestRouterConcurrentTrafficDuringDrain(t *testing.T) {
+	_, specs := startFleet(t, 4)
+	r := testRouter(t, specs, nil)
+
+	const keys = 256
+	ctx := writeAll(t, r, keys)
+
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	var issued atomic.Uint64
+	go func() {
+		var i uint64
+		for {
+			select {
+			case <-stop:
+				done <- nil
+				return
+			default:
+			}
+			k := i % keys
+			if err := r.Write(ctx, k, word(k)); err != nil {
+				done <- fmt.Errorf("live write %d: %w", k, err)
+				return
+			}
+			issued.Add(1)
+			err := r.Read(ctx, k, func(cm client.Completion) {})
+			if err != nil {
+				done <- fmt.Errorf("live read %d: %w", k, err)
+				return
+			}
+			issued.Add(1)
+			i++
+		}
+	}()
+
+	time.Sleep(10 * time.Millisecond)
+	if _, err := r.DrainShard(ctx, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	verifyAll(t, ctx, r, keys)
+	fc := r.Counters()
+	if fc.Violations() != 0 {
+		t.Fatalf("fleet saw %d fixed-D violations", fc.Violations())
+	}
+	if fc.Total.Drops != 0 || fc.Total.DeadlineExceeded != 0 {
+		t.Fatalf("live traffic dropped=%d expired=%d during drain", fc.Total.Drops, fc.Total.DeadlineExceeded)
+	}
+	t.Logf("drain under load: issued=%d moved=%d double-reads=%d dual-writes=%d skipped-dirty=%d",
+		issued.Load(), fc.MovedKeys, fc.DoubleReads, fc.DualWrites, fc.SkippedDirty)
+}

@@ -1,0 +1,493 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/multichannel"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// FleetChaosOptions configures an end-to-end sharded-serving run: an
+// N-shard fleet behind real TCP listeners, FlakyConn weather on a
+// subset of the shards, a write-then-verify workload riding the shard
+// router, and one live shard drain in the middle of the read phase —
+// the full cluster story under the same storm the single-daemon
+// netchaos run survives.
+type FleetChaosOptions struct {
+	// Shards is the fleet size (default 4). ChaosShards of them (default
+	// 2, clamped to Shards) get fault-injected transports; the rest ride
+	// clean TCP. The drained shard is always one of the chaotic ones, so
+	// the relocation machinery itself is exercised under weather.
+	Shards, ChaosShards int
+	// Core configures each shard's controller geometry. Zero selects the
+	// small test geometry (8 banks, depth 16, 64 delay rows, 8-byte
+	// words). Channels is each shard's fan-out (default 2).
+	Core     core.Config
+	Channels int
+	// Net configures the wire fault injector for the chaotic shards.
+	// Zero selects the netchaos default storm.
+	Net fault.NetConfig
+	// Keys is the workload footprint (default 384). Every key is written
+	// once, then read back and verified twice: once during the chaos +
+	// drain phase, once after the fleet has settled.
+	Keys int
+	// VNodes and RingSeed parameterize the ring (defaults 64, 3).
+	VNodes   int
+	RingSeed uint64
+	// Window is the per-shard client window (default 128).
+	Window int
+	// RequestTimeout arms each shard client's per-request deadline
+	// (default 30s); an expiry is a violation. Timeout bounds the whole
+	// run including drains (default 120s).
+	RequestTimeout time.Duration
+	Timeout        time.Duration
+	// Seed keys every PRNG in the run (default 1).
+	Seed uint64
+	// MaxViolations caps recorded invariant violations (default 16).
+	MaxViolations int
+}
+
+// FleetChaosResult aggregates a fleet-chaos run. The run is judged by
+// Violations: empty means every invariant held.
+type FleetChaosResult struct {
+	// Fleet is the router's reconciled ledger, one entry per shard the
+	// fleet ever had (the drained shard appears retired).
+	Fleet shard.FleetCounters
+	// Servers maps shard name to its engine ledger after a full drain.
+	Servers map[string]server.Snapshot
+	// Drained names the shard removed mid-run; Moved counts the keys its
+	// drain relocated.
+	Drained string
+	Moved   int
+	// Net sums fault counters across every chaotic connection.
+	Net fault.NetCounters
+	// Violations lists every invariant breach, capped at MaxViolations.
+	Violations []string
+}
+
+// Ok reports whether the run upheld every invariant.
+func (r *FleetChaosResult) Ok() bool { return len(r.Violations) == 0 }
+
+// String renders a multi-line report.
+func (r *FleetChaosResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleetchaos: drained=%s moved=%d migrations=%d double-reads=%d dual-writes=%d skipped-dirty=%d\n",
+		r.Drained, r.Moved, r.Fleet.Migrations, r.Fleet.DoubleReads, r.Fleet.DualWrites, r.Fleet.SkippedDirty)
+	for _, sc := range r.Fleet.Shards {
+		tag := ""
+		if sc.Retired {
+			tag = " retired"
+		}
+		fmt.Fprintf(&b, "  shard %s%s: D=%d issued=%d comps=%d accw=%d stalls=%d reconns=%d rexmit=%d latviol=%d\n",
+			sc.Name, tag, sc.Delay, sc.Issued, sc.Completions, sc.AcceptedWrites,
+			sc.Stalls.Total(), sc.Reconnects, sc.Retransmits, sc.LatencyViolations)
+	}
+	names := make([]string, 0, len(r.Servers))
+	for n := range r.Servers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := r.Servers[n]
+		fmt.Fprintf(&b, "  server %s: reads=%d writes=%d comps=%d outstanding=%d replays{served=%d deduped=%d}\n",
+			n, s.Reads, s.Writes, s.Completions, s.Outstanding, s.ReplaysServed, s.ReplaysDeduped)
+	}
+	fmt.Fprintf(&b, "  net: reads=%d writes=%d partial=%d frag=%d delays=%d drops=%d resets=%d\n",
+		r.Net.Reads, r.Net.Writes, r.Net.PartialReads, r.Net.Fragments,
+		r.Net.Delays, r.Net.Drops, r.Net.Resets)
+	if r.Ok() {
+		fmt.Fprintf(&b, "  invariants: all held")
+	} else {
+		fmt.Fprintf(&b, "  invariants: %d VIOLATIONS\n", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "    - %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// RunFleetChaos drives the sharded-serving stack end to end: an N-shard
+// fleet assembled by shard.Router, connection chaos on a subset of the
+// shards (with one forced transport cut so the session-resume path
+// always runs), a write-once/verify-twice workload, and one live shard
+// drain — of a chaotic shard — in the middle of the first read pass.
+// After the weather calms and every window flushes, each engine drains
+// and the invariants are checked:
+//
+//   - every key resolves exactly once per read issued, always with the
+//     data written — across routing, double-reads, dual-writes and the
+//     relocation itself (warming reads are internal and never surface);
+//   - zero fixed-D violations on any shard, live or retired;
+//   - no drops, deadline expiries or surfaced stalls anywhere;
+//   - the fleet ledger reconciles exactly: the router's total is the
+//     field-wise sum of the per-shard client ledgers, and each shard's
+//     engine ledger matches its client ledger (reads==completions,
+//     writes==accepted) after drain, including the drained shard;
+//   - every engine drains to zero outstanding;
+//   - the fault injector actually fired.
+//
+// Violations are recorded, not fatal, so tests can assert on them.
+func RunFleetChaos(opts FleetChaosOptions) (*FleetChaosResult, error) {
+	nShards := opts.Shards
+	if nShards <= 0 {
+		nShards = 4
+	}
+	if nShards < 2 {
+		return nil, fmt.Errorf("sim: fleet chaos needs >= 2 shards, got %d", nShards)
+	}
+	nChaos := opts.ChaosShards
+	if nChaos <= 0 {
+		nChaos = 2
+	}
+	if nChaos > nShards {
+		nChaos = nShards
+	}
+	cfg := opts.Core
+	if cfg.Banks == 0 {
+		cfg = core.Config{Banks: 8, QueueDepth: 16, DelayRows: 64, WordBytes: 8}
+	}
+	channels := opts.Channels
+	if channels <= 0 {
+		channels = 2
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	weather := opts.Net
+	if weather == (fault.NetConfig{}) {
+		weather = fault.NetConfig{
+			PartialReadRate:   0.25,
+			FragmentWriteRate: 0.25,
+			LatencyRate:       0.05,
+			MaxLatency:        100 * time.Microsecond,
+			DropRate:          0.01,
+			ResetRate:         0.01,
+		}
+	}
+	if weather.Seed == 0 {
+		weather.Seed = seed
+	}
+	keys := opts.Keys
+	if keys <= 0 {
+		keys = 384
+	}
+	vnodes := opts.VNodes
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	ringSeed := opts.RingSeed
+	if ringSeed == 0 {
+		ringSeed = 3
+	}
+	window := opts.Window
+	if window <= 0 {
+		window = 128
+	}
+	reqTimeout := opts.RequestTimeout
+	if reqTimeout <= 0 {
+		reqTimeout = 30 * time.Second
+	}
+	budget := opts.Timeout
+	if budget <= 0 {
+		budget = 120 * time.Second
+	}
+	maxV := opts.MaxViolations
+	if maxV <= 0 {
+		maxV = 16
+	}
+
+	res := &FleetChaosResult{Servers: make(map[string]server.Snapshot)}
+	var violateMu sync.Mutex // the drain runs concurrently with the read pass
+	violate := func(format string, a ...any) {
+		violateMu.Lock()
+		if len(res.Violations) < maxV {
+			res.Violations = append(res.Violations, fmt.Sprintf(format, a...))
+		}
+		violateMu.Unlock()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+
+	// --- Fleet bring-up ----------------------------------------------
+
+	type daemon struct {
+		name  string
+		eng   *server.Engine
+		ln    net.Listener
+		chaos *chaosDialer // nil for clean shards
+	}
+	daemons := make([]*daemon, 0, nShards)
+	defer func() {
+		for _, d := range daemons {
+			d.ln.Close()
+			d.eng.Close()
+		}
+	}()
+	specs := make([]shard.Spec, 0, nShards)
+	for i := 0; i < nShards; i++ {
+		mem, err := multichannel.New(cfg, channels, seed+uint64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := server.New(server.Config{Mem: mem, Window: window})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		go eng.Serve(ln) //nolint:errcheck // exits with the engine
+		d := &daemon{name: fmt.Sprintf("shard-%d", i), eng: eng, ln: ln}
+		addr := ln.Addr().String()
+		dial := func() (net.Conn, error) { return net.Dial("tcp", addr) }
+		if i < nChaos {
+			w := weather
+			w.Seed = weather.Seed + uint64(i)*0x9e3779b97f4a7c15
+			d.chaos = &chaosDialer{addr: addr, cfg: w}
+			dial = d.chaos.dial
+		}
+		daemons = append(daemons, d)
+		specs = append(specs, shard.Spec{Name: d.name, Dial: dial})
+	}
+
+	router, err := shard.NewRouter(ctx, shard.RouterConfig{
+		Ring: shard.RingConfig{VNodes: vnodes, Seed: ringSeed},
+		Client: client.Config{
+			Window:         window,
+			SessionID:      seed | 1, // durable sessions arm reconnection on every shard
+			RequestTimeout: reqTimeout,
+			MaxReconnects:  -1, // the weather cuts repeatedly; the listeners are always up
+			BackoffBase:    time.Millisecond,
+			BackoffMax:     20 * time.Millisecond,
+			Seed:           int64(seed),
+		},
+	}, specs)
+	if err != nil {
+		return nil, err
+	}
+	defer router.Close()
+
+	// --- Write phase --------------------------------------------------
+
+	word := func(i uint64) []byte {
+		b := make([]byte, cfg.WordBytes)
+		for j := range b {
+			b[j] = byte(i + uint64(j)*131 + seed)
+		}
+		return b
+	}
+	for i := uint64(0); i < uint64(keys); i++ {
+		if err := router.Write(ctx, i, word(i)); err != nil {
+			violate("write %d failed: %v", i, err)
+			break
+		}
+	}
+	if err := router.Flush(ctx); err != nil {
+		violate("write flush failed: %v", err)
+	}
+
+	// --- Chaos + drain phase -----------------------------------------
+
+	// Each key is read exactly once per pass; the callback counts per
+	// key, so any duplicate or lost completion is attributable. The
+	// drain runs CONCURRENTLY with the first pass, so reads and
+	// (idempotent) re-writes land inside the migration window and
+	// exercise the double-read/dual-write path for real.
+	resolved := make([]atomic.Uint32, keys)
+	var corrupt atomic.Uint64
+	var drainDone chan struct{}
+	readAll := func(pass string, cut, drainAt int, rewrite bool) {
+		for i := 0; i < keys; i++ {
+			if i == cut && daemons[0].chaos != nil {
+				daemons[0].chaos.cut() // force the session-resume path
+			}
+			if i == drainAt {
+				d := daemons[nChaos-1] // a chaotic shard: relocate under weather
+				res.Drained = d.name
+				drainDone = make(chan struct{})
+				go func() {
+					defer close(drainDone)
+					moved, err := router.DrainShard(ctx, d.name)
+					if err != nil {
+						violate("mid-run drain of %s failed: %v", d.name, err)
+					}
+					res.Moved = moved
+				}()
+			}
+			k := uint64(i)
+			want := word(k)
+			if rewrite && i%3 == 0 {
+				// Same data, so verification is unaffected — but inside
+				// the window the write dual-writes and dirties the key.
+				if err := router.Write(ctx, k, want); err != nil {
+					violate("%s re-write %d failed: %v", pass, i, err)
+					return
+				}
+			}
+			err := router.Read(ctx, k, func(cm client.Completion) {
+				resolved[k].Add(1)
+				if cm.Err != nil || !bytes.Equal(cm.Data, want) {
+					corrupt.Add(1)
+				}
+			})
+			if err != nil {
+				violate("%s read %d failed: %v", pass, i, err)
+				return
+			}
+		}
+	}
+	readAll("chaos-pass", keys/4, keys/3, true)
+	if drainDone != nil {
+		<-drainDone
+	}
+	if err := router.Flush(ctx); err != nil {
+		violate("chaos-pass flush failed: %v", err)
+	}
+
+	// --- Settled pass -------------------------------------------------
+
+	for _, d := range daemons {
+		if d.chaos != nil {
+			d.chaos.calmDown()
+		}
+	}
+	readAll("settled-pass", -1, -1, false)
+	if err := router.Flush(ctx); err != nil {
+		violate("settled-pass flush failed: %v", err)
+	}
+
+	// --- Drain + reconcile -------------------------------------------
+
+	res.Fleet = router.Counters()
+	for _, d := range daemons {
+		snap, err := d.eng.Drain(ctx)
+		if err != nil {
+			violate("drain of %s failed: %v", d.name, err)
+			snap = d.eng.Snapshot()
+		}
+		res.Servers[d.name] = snap
+		if d.chaos != nil {
+			c := d.chaos.counters()
+			res.Net.Reads += c.Reads
+			res.Net.Writes += c.Writes
+			res.Net.PartialReads += c.PartialReads
+			res.Net.Fragments += c.Fragments
+			res.Net.Delays += c.Delays
+			res.Net.Drops += c.Drops
+			res.Net.Resets += c.Resets
+		}
+	}
+
+	// --- Invariants ---------------------------------------------------
+
+	// Exactly-once per key: two read passes, two completions per key,
+	// always with the written data.
+	for i := range resolved {
+		if got := resolved[i].Load(); got != 2 {
+			violate("key %d resolved %d times, want exactly 2", i, got)
+		}
+	}
+	if n := corrupt.Load(); n != 0 {
+		violate("%d reads returned wrong data or errors", n)
+	}
+	if res.Drained == "" {
+		violate("the mid-run drain never happened")
+	}
+	if res.Fleet.Migrations != 1 {
+		violate("fleet recorded %d migrations, want 1", res.Fleet.Migrations)
+	}
+
+	// Per-shard determinism and service contracts.
+	var sum client.Counters
+	seen := make(map[string]bool)
+	for _, sc := range res.Fleet.Shards {
+		seen[sc.Name] = true
+		if sc.LatencyViolations != 0 {
+			violate("shard %s: %d fixed-D violations", sc.Name, sc.LatencyViolations)
+		}
+		if sc.Drops != 0 || sc.DeadlineExceeded != 0 || sc.Stalls.Total() != 0 {
+			violate("shard %s saw drops=%d deadline-expiries=%d stalls=%d, want all zero",
+				sc.Name, sc.Drops, sc.DeadlineExceeded, sc.Stalls.Total())
+		}
+		if sc.Completions+sc.AcceptedWrites+sc.Drops+sc.DeadlineExceeded != sc.Issued {
+			violate("shard %s ledger leaks: comps=%d + accw=%d + drops=%d + ddl=%d != issued=%d",
+				sc.Name, sc.Completions, sc.AcceptedWrites, sc.Drops, sc.DeadlineExceeded, sc.Issued)
+		}
+		if sc.Name == res.Drained && !sc.Retired {
+			violate("drained shard %s not retired in the fleet ledger", sc.Name)
+		}
+		// Client ledger vs that shard's engine ledger, exact after drain.
+		snap, ok := res.Servers[sc.Name]
+		if !ok {
+			violate("no engine ledger for shard %s", sc.Name)
+			continue
+		}
+		if snap.Reads != sc.Completions {
+			violate("shard %s: engine executed %d reads, client delivered %d — replay dedup leaked",
+				sc.Name, snap.Reads, sc.Completions)
+		}
+		if snap.Writes != sc.AcceptedWrites {
+			violate("shard %s: engine executed %d writes, client had %d accepted",
+				sc.Name, snap.Writes, sc.AcceptedWrites)
+		}
+		if snap.Outstanding != 0 || snap.Dropped != 0 || snap.DrainRefused != 0 {
+			violate("shard %s engine not clean: outstanding=%d dropped=%d drain-refused=%d",
+				sc.Name, snap.Outstanding, snap.Dropped, snap.DrainRefused)
+		}
+		addSum(&sum, sc.Counters)
+	}
+	for _, d := range daemons {
+		if !seen[d.name] {
+			violate("shard %s missing from the fleet ledger", d.name)
+		}
+	}
+	// The fleet total is the field-wise sum of the per-shard ledgers.
+	if res.Fleet.Total != sum {
+		violate("fleet total does not reconcile with the per-shard sum:\n  total %+v\n  sum   %+v", res.Fleet.Total, sum)
+	}
+	if res.Fleet.Total.Reconnects == 0 {
+		violate("forced transport cut produced no reconnect anywhere")
+	}
+	if res.Net.PartialReads+res.Net.Fragments+res.Net.Delays+res.Net.Drops+res.Net.Resets == 0 {
+		violate("fault injector never fired — the run proved nothing")
+	}
+	return res, nil
+}
+
+// addSum is the field-wise client-ledger sum used for reconciliation.
+func addSum(t *client.Counters, c client.Counters) {
+	t.Issued += c.Issued
+	t.Reads += c.Reads
+	t.Writes += c.Writes
+	t.AcceptedWrites += c.AcceptedWrites
+	t.Completions += c.Completions
+	t.Uncorrectable += c.Uncorrectable
+	t.Stalls.DelayBuffer += c.Stalls.DelayBuffer
+	t.Stalls.BankQueue += c.Stalls.BankQueue
+	t.Stalls.WriteBuffer += c.Stalls.WriteBuffer
+	t.Stalls.Counter += c.Stalls.Counter
+	t.Stalls.Throttled += c.Stalls.Throttled
+	t.Stalls.Other += c.Stalls.Other
+	t.Retries += c.Retries
+	t.Drops += c.Drops
+	t.Exhausted += c.Exhausted
+	t.LatencyViolations += c.LatencyViolations
+	t.Reconnects += c.Reconnects
+	t.Retransmits += c.Retransmits
+	t.DeadlineExceeded += c.DeadlineExceeded
+}
