@@ -20,7 +20,7 @@ test:
 # networked service (wire codec, vpnmd engine, batching client), and the
 # telemetry plane (metrics registry, event trace, probed multichannel).
 race:
-	$(GO) test -race ./internal/core ./internal/dram ./internal/fault ./internal/recovery ./internal/sim ./internal/wire ./internal/server ./internal/client ./internal/qos ./internal/telemetry ./internal/multichannel ./internal/shard
+	$(GO) test -race ./internal/core ./internal/coded ./internal/dram ./internal/fault ./internal/recovery ./internal/sim ./internal/wire ./internal/server ./internal/client ./internal/qos ./internal/telemetry ./internal/multichannel ./internal/shard
 
 # Short chaos smoke: fault injection + recovery + invariant checks.
 chaos:
@@ -45,6 +45,7 @@ fleetchaos:
 fuzz:
 	$(GO) test ./internal/core -fuzz FuzzControllerOps -fuzztime 10s
 	$(GO) test ./internal/core -fuzz FuzzRetrierOps -fuzztime 10s
+	$(GO) test ./internal/core -fuzz 'FuzzParityReconstruct$$' -fuzztime 10s
 	$(GO) test ./internal/wire -fuzz 'FuzzFrameDecode$$' -fuzztime 10s
 	$(GO) test ./internal/wire -fuzz 'FuzzFrameDecodeShortReads$$' -fuzztime 10s
 	$(GO) test ./internal/wire -fuzz 'FuzzPooledRoundTrip$$' -fuzztime 10s
@@ -59,9 +60,11 @@ fuzz:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkBaselineVsVPNM$$|BenchmarkSweepSpeedup$$' -benchmem -benchtime 1x -count=1 . | tee BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkServerLoopback$$' -benchmem -benchtime 2000x -count=1 . | tee -a BENCH_parallel.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkServerLoopbackCoded$$' -benchmem -benchtime 6000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkTickParallel$$' -benchmem -benchtime 20000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkProbeOverhead$$' -benchmem -benchtime 20000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkTickSparse$$|BenchmarkTickDense$$' -benchmem -benchtime 50000x -count=1 . | tee -a BENCH_parallel.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkTickCoded$$' -benchmem -benchtime 50000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkServerRegulated/loopback$$' -benchmem -benchtime 2000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkServerRegulated/regulator$$' -benchmem -benchtime 100000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkFleetLoopback$$' -benchmem -benchtime 2000x -count=1 . | tee -a BENCH_parallel.txt

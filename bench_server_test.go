@@ -23,6 +23,7 @@ import (
 	"testing"
 
 	"repro/internal/client"
+	"repro/internal/coded"
 	"repro/internal/core"
 	"repro/internal/multichannel"
 	"repro/internal/qos"
@@ -39,13 +40,18 @@ const (
 	loopWarmup = 2048
 )
 
+// loopbackCfg is the per-channel controller configuration the loopback
+// benchmarks share. Variants (coded banks) copy and extend it.
+func loopbackCfg() core.Config {
+	return core.Config{Banks: 8, QueueDepth: 16, DelayRows: 64, WordBytes: 8}
+}
+
 // runServerLoopback drives the loopback stack to a steady state, times
 // b.N batches of reads through it, and reports req/cycle (deterministic,
 // gated), cycles, and wall-clock req/s. It returns the number of timed
 // requests for caller-side ledger checks.
-func runServerLoopback(b *testing.B, reg *qos.Regulator, tenant string) uint64 {
+func runServerLoopback(b *testing.B, cfg core.Config, reg *qos.Regulator, tenant string) uint64 {
 	b.Helper()
-	cfg := core.Config{Banks: 8, QueueDepth: 16, DelayRows: 64, WordBytes: 8}
 	mem, err := multichannel.New(cfg, loopChannels, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -127,5 +133,18 @@ func runServerLoopback(b *testing.B, reg *qos.Regulator, tenant string) uint64 {
 }
 
 func BenchmarkServerLoopback(b *testing.B) {
-	runServerLoopback(b, nil, "")
+	runServerLoopback(b, loopbackCfg(), nil, "")
+}
+
+// BenchmarkServerLoopbackCoded is the multi-port variant: the same
+// loopback stack with XOR-parity coded banks (group=4, K=2), so each
+// channel admits up to two reads per interface cycle — direct copies
+// plus parity decodes — and the engine's per-cycle budget doubles. The
+// req/cycle gate pins the coded speedup over the 1.821 uncoded
+// baseline; allocs/op stays 0 because decode rows and parity scratch
+// are preallocated.
+func BenchmarkServerLoopbackCoded(b *testing.B) {
+	cfg := loopbackCfg()
+	cfg.Coded = coded.Geometry{Group: 4, K: 2}
+	runServerLoopback(b, cfg, nil, "")
 }

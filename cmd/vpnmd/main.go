@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/coded"
 	"repro/internal/core"
 	"repro/internal/multichannel"
 	"repro/internal/qos"
@@ -101,6 +102,7 @@ func main() {
 		queue    = flag.Int("queue", core.DefaultQueueDepth, "bank access queue depth Q")
 		rows     = flag.Int("rows", core.DefaultDelayRows, "delay storage buffer rows K")
 		word     = flag.Int("word", 8, "word size W in bytes")
+		codedStr = flag.String("coded", "", "XOR-parity coded bank groups per channel, e.g. group=4,k=2 (empty/off = disabled)")
 		ratio    = flag.Float64("ratio", 1.3, "bus scaling ratio R")
 		seed     = flag.Uint64("seed", 1, "universal hash seed (keep secret in anger)")
 		window   = flag.Int("window", server.DefaultWindow, "per-connection request window before TCP backpressure")
@@ -128,6 +130,10 @@ func main() {
 		fatal(err)
 	}
 	num, den := ratioFrac(*ratio)
+	geo, err := coded.ParseFlag(*codedStr)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := core.Config{
 		Banks:         *banks,
 		AccessLatency: *latency,
@@ -136,6 +142,7 @@ func main() {
 		WordBytes:     *word,
 		RatioNum:      num,
 		RatioDen:      den,
+		Coded:         geo,
 	}
 	// Telemetry: one probe (and MTS estimator) per channel publishing
 	// into a shared registry, and one event trace ring shared by every
@@ -149,6 +156,9 @@ func main() {
 		multichannel.WithProbes(func(ch int) telemetry.Probe {
 			label := strconv.Itoa(ch)
 			p := telemetry.NewMemProbe(reg, label, *banks, *queue, *banks**rows)
+			if geo.Enabled() {
+				p.EnableCoded(reg, label, geo.ReadPorts())
+			}
 			est := telemetry.NewMTSEstimator(*queue)
 			est.Model(*banks, *latency, float64(num)/float64(den))
 			p.AttachEstimator(reg, est, label)
@@ -224,8 +234,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("vpnmd: serving %d channels x %d banks, D=%d cycles, word=%dB, policy=%s on %s\n",
-		*channels, *banks, mem.Delay(), *word, pol, ln.Addr())
+	codedNote := ""
+	if geo.Enabled() {
+		codedNote = fmt.Sprintf(", coded %s (%d read ports/cycle)", geo, mem.Ports())
+	}
+	fmt.Printf("vpnmd: serving %d channels x %d banks, D=%d cycles, word=%dB, policy=%s%s on %s\n",
+		*channels, *banks, mem.Delay(), *word, pol, codedNote, ln.Addr())
 
 	if *statsz != "" {
 		mux := http.NewServeMux()

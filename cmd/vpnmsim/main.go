@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/baseline"
+	"repro/internal/coded"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/parallel"
@@ -43,6 +44,7 @@ func main() {
 		duty       = flag.Float64("duty", 1.0, "request duty cycle for the uniform workload")
 		drop       = flag.Bool("drop", false, "drop stalled requests instead of retrying")
 		strictRR   = flag.Bool("strict-rr", false, "use the paper's strict round-robin bus instead of the work-conserving one")
+		codedFlag  = flag.String("coded", "", "XOR-parity coded bank groups, e.g. group=4,k=2 (empty/off = disabled; needs -controller vpnm)")
 		record     = flag.String("record", "", "record the generated workload to this trace file")
 		replay     = flag.String("replay", "", "replay a previously recorded trace file instead of -workload")
 
@@ -66,10 +68,18 @@ func main() {
 	chaos := *faultSingle > 0 || *faultDouble > 0 || *stuck != "" ||
 		*slowRate > 0 || *noECC || *policy != ""
 
+	geo, err := coded.ParseFlag(*codedFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if geo.Enabled() && *controller != "vpnm" {
+		log.Fatal("-coded needs -controller vpnm")
+	}
+
 	cfg := core.Config{
 		Banks: *banks, AccessLatency: *l, QueueDepth: *q, DelayRows: *k,
 		RatioNum: *rnum, RatioDen: *rden, WordBytes: *word, HashSeed: *seed,
-		StrictRoundRobin: *strictRR,
+		StrictRoundRobin: *strictRR, Coded: geo,
 	}
 
 	var fcfg fault.Config
@@ -158,7 +168,7 @@ func main() {
 		if chaos {
 			runChaos(cfg, gen, *cycles, fcfg, rcfg, *record)
 		} else {
-			runAndReport(mem, vp, gen, *cycles, *drop, *record)
+			runAndReport(mem, vp, gen, *cycles, geo.ReadPorts(), *drop, *record)
 		}
 		return
 	}
@@ -201,7 +211,7 @@ func main() {
 	case chaos:
 		runChaos(cfg, gen, *cycles, fcfg, rcfg, *record)
 	default:
-		runAndReport(mem, vp, gen, *cycles, *drop, *record)
+		runAndReport(mem, vp, gen, *cycles, geo.ReadPorts(), *drop, *record)
 	}
 }
 
@@ -326,19 +336,24 @@ func runChaos(cfg core.Config, gen workload.Generator, cycles int, fcfg fault.Co
 }
 
 // runAndReport drives mem with gen (optionally teeing the workload to a
-// trace file) and prints the statistics.
-func runAndReport(mem sim.Memory, vp *core.Controller, gen workload.Generator, cycles int, drop bool, record string) {
+// trace file) and prints the statistics. issue is the per-cycle offer
+// count: the coded read-port count K, or 1 for the paper's single-
+// request interface.
+func runAndReport(mem sim.Memory, vp *core.Controller, gen workload.Generator, cycles, issue int, drop bool, record string) {
 	gen, done := withRecorder(gen, record)
 	defer done()
 	policy := sim.Retry
 	if drop {
 		policy = sim.Drop
 	}
-	res := sim.Run(mem, gen, sim.Options{Cycles: cycles, Policy: policy, Drain: true})
+	res := sim.Run(mem, gen, sim.Options{Cycles: cycles, Policy: policy, Drain: true, IssuePerCycle: issue})
 	fmt.Println(res)
 	if vp != nil {
 		fmt.Println(vp.Stats())
 		fmt.Printf("normalized delay D = %d interface cycles\n", vp.Delay())
+		if g := vp.Config().Coded; g.Enabled() {
+			fmt.Printf("coded banks: %s\n", g)
+		}
 	}
 	if f, ok := mem.(*baseline.FCFS); ok {
 		fmt.Printf("bus utilization = %.3f\n", f.BusUtilization())

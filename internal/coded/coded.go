@@ -1,0 +1,309 @@
+// Package coded implements XOR-parity bank groups: the coding scheme of
+// "Achieving Multi-Port Memory Performance on Single-Port Memory with
+// Coding Techniques" (arXiv 2001.09599) applied to the VPNM bank array.
+//
+// The address space is striped across each group's data banks: stripe
+// s = addr >> log2(n) holds the n consecutive words {s*n .. s*n+n-1},
+// word lane l = addr & (n-1) living in data bank l of whichever group
+// the controller's universal hash assigns to stripe s. Alongside the n
+// data banks every group owns a parity replica storing, per stripe,
+//
+//	p[s] = d[s*n] XOR d[s*n+1] XOR ... XOR d[s*n+n-1]
+//
+// maintained write-through: every accepted write performs a
+// read-modify-write of the parity word (old data XOR new data folded
+// in), which is the write-amplification cost this package accounts for.
+// The payoff is a second effective read port per group: a read whose
+// home bank port is already claimed this cycle can be served by reading
+// the other n-1 data banks plus the parity bank and XOR-ing the words —
+// a parity decode — so a multi-port arbiter can grant several reads per
+// interface cycle whenever direct copies and decode combinations cover
+// the candidate set (the arbitration interface of arXiv 1712.03477).
+//
+// The parity word is a pure function of the stripe's data, independent
+// of which group the hash currently assigns the stripe to, so re-keying
+// the hash relocates parity exactly like data: contents keyed by
+// stripe, placement by hash.
+package coded
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/dram"
+)
+
+// Geometry configures coded bank groups.
+type Geometry struct {
+	// Group is n, the number of data banks per parity group. Must be a
+	// power of two in [2, Banks]; each group additionally owns one
+	// parity replica bank. Zero disables coding entirely.
+	Group int
+	// K is the maximum number of reads granted per interface cycle by
+	// the multi-port arbiter (the interface ceiling; 1.0 in the paper).
+	K int
+}
+
+// Enabled reports whether coding is configured.
+func (g Geometry) Enabled() bool { return g.Group > 0 }
+
+// ReadPorts is the per-cycle read admission cap: K when coding is
+// enabled, the paper's 1 otherwise.
+func (g Geometry) ReadPorts() int {
+	if g.Enabled() && g.K > 0 {
+		return g.K
+	}
+	return 1
+}
+
+// LaneBits is log2(Group).
+func (g Geometry) LaneBits() uint {
+	b := uint(0)
+	for 1<<b < g.Group {
+		b++
+	}
+	return b
+}
+
+// Lane returns addr's data-bank lane within its group.
+func (g Geometry) Lane(addr uint64) int { return int(addr & uint64(g.Group-1)) }
+
+// Stripe returns addr's stripe index: the codeword it belongs to.
+func (g Geometry) Stripe(addr uint64) uint64 { return addr >> g.LaneBits() }
+
+// Groups returns the number of parity groups for a bank count.
+func (g Geometry) Groups(banks int) int { return banks / g.Group }
+
+// Validate checks the geometry against a controller's bank count.
+func (g Geometry) Validate(banks int) error {
+	if !g.Enabled() {
+		return nil
+	}
+	if g.Group < 2 || g.Group&(g.Group-1) != 0 {
+		return fmt.Errorf("coded: Group must be a power of two >= 2, got %d", g.Group)
+	}
+	if g.Group > banks {
+		return fmt.Errorf("coded: Group %d exceeds bank count %d", g.Group, banks)
+	}
+	if g.K < 1 || g.K > 64 {
+		return fmt.Errorf("coded: K must be in [1,64], got %d", g.K)
+	}
+	return nil
+}
+
+// String renders the geometry in -coded flag form.
+func (g Geometry) String() string {
+	if !g.Enabled() {
+		return "off"
+	}
+	return fmt.Sprintf("group=%d,k=%d", g.Group, g.K)
+}
+
+// ParseFlag parses the "-coded group=N,k=K" flag value. An empty string
+// or "off" disables coding.
+func ParseFlag(s string) (Geometry, error) {
+	var g Geometry
+	if s == "" || s == "off" {
+		return g, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return g, fmt.Errorf("coded: want group=N,k=K, got %q", s)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return g, fmt.Errorf("coded: bad %s value %q: %v", key, val, err)
+		}
+		switch key {
+		case "group":
+			g.Group = n
+		case "k":
+			g.K = n
+		default:
+			return g, fmt.Errorf("coded: unknown key %q (want group, k)", key)
+		}
+	}
+	if g.Group == 0 {
+		return g, fmt.Errorf("coded: missing group=N in %q", s)
+	}
+	if g.K == 0 {
+		g.K = 2 // one parity replica buys one extra read per group
+	}
+	return g, nil
+}
+
+// Counters is the coded subsystem's cumulative ledger.
+type Counters struct {
+	// Decodes counts reads served by parity reconstruction instead of a
+	// direct bank copy.
+	Decodes uint64
+	// DecodeReads counts the physical words fetched to serve those
+	// decodes: n-1 sibling data words plus the parity word per decode —
+	// the read-amplification side of the coding bargain.
+	DecodeReads uint64
+	// ParityWrites counts parity words written through; every accepted
+	// data write performs exactly one, so physical write traffic is
+	// Writes + ParityWrites (write amplification 2.0).
+	ParityWrites uint64
+	// RMWReads counts the extra reads behind the parity read-modify-
+	// write: the old data word and the old parity word, two per write.
+	RMWReads uint64
+}
+
+// Banks maintains the parity replicas and the write-through shadow of
+// the logical memory contents over internal/dram stores. The shadow is
+// what the controller's accept-order semantics deliver: a read accepted
+// on cycle t returns the value after every write accepted before it, so
+// reconstructing from the admission-time shadow is bit-identical to the
+// direct bank path (the differential and fuzz tests pin this).
+type Banks struct {
+	geo      Geometry
+	laneBits uint
+	// shadow mirrors logical contents at write-admission time; parity
+	// holds one XOR word per stripe. Both are dram.Stores, so unwritten
+	// words read as zero and the all-zero parity invariant holds from
+	// reset.
+	shadow  *dram.Store
+	parity  *dram.Store
+	scratch []byte
+	ctr     Counters
+}
+
+// NewBanks builds the parity/shadow state for a geometry.
+func NewBanks(geo Geometry, wordBytes int) *Banks {
+	return &Banks{
+		geo:      geo,
+		laneBits: geo.LaneBits(),
+		shadow:   dram.NewStore(wordBytes),
+		parity:   dram.NewStore(wordBytes),
+		scratch:  make([]byte, wordBytes),
+	}
+}
+
+// Counters returns the cumulative ledger.
+func (b *Banks) Counters() Counters { return b.ctr }
+
+// NoteWrite folds an accepted write into the shadow and its stripe's
+// parity word: p' = p XOR old XOR new, the read-modify-write every
+// coded write pays. data must already be padded to the word size.
+func (b *Banks) NoteWrite(addr uint64, data []byte) {
+	old := b.shadow.Read(addr)
+	par := b.parity.Read(addr >> b.laneBits)
+	for i := range b.scratch {
+		b.scratch[i] = par[i] ^ old[i] ^ data[i]
+	}
+	b.parity.Write(addr>>b.laneBits, b.scratch)
+	b.shadow.Write(addr, data)
+	b.ctr.ParityWrites++
+	b.ctr.RMWReads += 2
+}
+
+// Reconstruct serves a read of addr by parity decode: the stripe's
+// parity word XOR the n-1 sibling data words, written into dst. By the
+// parity invariant the result is exactly the shadow word at addr.
+func (b *Banks) Reconstruct(addr uint64, dst []byte) {
+	stripe := addr >> b.laneBits
+	copy(dst, b.parity.Read(stripe))
+	base := stripe << b.laneBits
+	for l := 0; l < b.geo.Group; l++ {
+		sib := base | uint64(l)
+		if sib == addr {
+			continue
+		}
+		w := b.shadow.Read(sib)
+		for i := range dst {
+			dst[i] ^= w[i]
+		}
+	}
+	b.ctr.Decodes++
+	b.ctr.DecodeReads += uint64(b.geo.Group) // n-1 siblings + parity
+}
+
+// Ports tracks which bank and parity read ports are claimed within one
+// interface cycle, so the arbiter can decide whether a candidate read
+// is coverable by a direct copy or a parity decode. Reset is O(ports
+// claimed), not O(banks), via dirty lists.
+type Ports struct {
+	geo      Geometry
+	laneBits uint
+	bank     []bool // data bank port claimed this cycle
+	parity   []bool // group parity port claimed this cycle
+	dirtyB   []int
+	dirtyP   []int
+}
+
+// NewPorts builds the per-cycle port state for banks data banks.
+func NewPorts(geo Geometry, banks int) *Ports {
+	return &Ports{
+		geo:      geo,
+		laneBits: geo.LaneBits(),
+		bank:     make([]bool, banks),
+		parity:   make([]bool, geo.Groups(banks)),
+		dirtyB:   make([]int, 0, banks),
+		dirtyP:   make([]int, 0, geo.Groups(banks)),
+	}
+}
+
+// BankFree reports whether bank's read port is still unclaimed.
+func (p *Ports) BankFree(bank int) bool { return !p.bank[bank] }
+
+// UseBank claims bank's port (idempotent within the cycle).
+func (p *Ports) UseBank(bank int) {
+	if !p.bank[bank] {
+		p.bank[bank] = true
+		p.dirtyB = append(p.dirtyB, bank)
+	}
+}
+
+// UseParity claims the parity port of bank's group (idempotent).
+func (p *Ports) UseParity(bank int) {
+	g := bank >> p.laneBits
+	if !p.parity[g] {
+		p.parity[g] = true
+		p.dirtyP = append(p.dirtyP, g)
+	}
+}
+
+// DecodeFree reports whether a parity decode can cover a read homed on
+// bank: the group's parity port and every sibling data bank port must
+// be unclaimed.
+func (p *Ports) DecodeFree(bank int) bool {
+	g := bank >> p.laneBits
+	if p.parity[g] {
+		return false
+	}
+	base := g << p.laneBits
+	for l := 0; l < p.geo.Group; l++ {
+		if sib := base | l; sib != bank && p.bank[sib] {
+			return false
+		}
+	}
+	return true
+}
+
+// UseDecode claims the decode cover for a read homed on bank: the
+// parity port plus all n-1 sibling bank ports. The caller must have
+// checked DecodeFree.
+func (p *Ports) UseDecode(bank int) {
+	p.UseParity(bank)
+	base := (bank >> p.laneBits) << p.laneBits
+	for l := 0; l < p.geo.Group; l++ {
+		if sib := base | l; sib != bank {
+			p.UseBank(sib)
+		}
+	}
+}
+
+// Reset releases every claimed port for the next interface cycle.
+func (p *Ports) Reset() {
+	for _, b := range p.dirtyB {
+		p.bank[b] = false
+	}
+	for _, g := range p.dirtyP {
+		p.parity[g] = false
+	}
+	p.dirtyB = p.dirtyB[:0]
+	p.dirtyP = p.dirtyP[:0]
+}

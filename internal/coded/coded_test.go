@@ -1,0 +1,162 @@
+package coded
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestParseFlag(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Geometry
+		wantErr bool
+	}{
+		{"", Geometry{}, false},
+		{"off", Geometry{}, false},
+		{"group=4,k=2", Geometry{Group: 4, K: 2}, false},
+		{"group=8", Geometry{Group: 8, K: 2}, false}, // k defaults to 2
+		{"k=2,group=2", Geometry{Group: 2, K: 2}, false},
+		{"k=3", Geometry{}, true}, // group required
+		{"group=four", Geometry{}, true},
+		{"group=4,q=9", Geometry{}, true},
+		{"bogus", Geometry{}, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseFlag(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParseFlag(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseFlag(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := (Geometry{}).Validate(8); err != nil {
+		t.Errorf("disabled geometry must validate: %v", err)
+	}
+	if err := (Geometry{Group: 4, K: 2}).Validate(8); err != nil {
+		t.Errorf("group=4,k=2 over 8 banks: %v", err)
+	}
+	for _, bad := range []Geometry{
+		{Group: 3, K: 2},  // not a power of two
+		{Group: 1, K: 2},  // too small
+		{Group: 16, K: 2}, // exceeds banks
+		{Group: 4, K: 0},  // no ports
+		{Group: 4, K: 65}, // absurd port count
+	} {
+		if err := bad.Validate(8); err == nil {
+			t.Errorf("%+v.Validate(8) = nil, want error", bad)
+		}
+	}
+}
+
+func TestGeometryMapping(t *testing.T) {
+	g := Geometry{Group: 4, K: 2}
+	if g.LaneBits() != 2 {
+		t.Fatalf("LaneBits = %d, want 2", g.LaneBits())
+	}
+	if g.Groups(32) != 8 {
+		t.Fatalf("Groups(32) = %d, want 8", g.Groups(32))
+	}
+	// The four words of stripe s are s*4..s*4+3, one per lane.
+	for addr := uint64(0); addr < 64; addr++ {
+		if got, want := g.Stripe(addr), addr/4; got != want {
+			t.Fatalf("Stripe(%d) = %d, want %d", addr, got, want)
+		}
+		if got, want := g.Lane(addr), int(addr%4); got != want {
+			t.Fatalf("Lane(%d) = %d, want %d", addr, got, want)
+		}
+	}
+}
+
+// TestParityInvariant checks that after any write sequence the parity
+// word of every touched stripe equals the XOR of its lanes' shadow
+// words, and that Reconstruct returns the shadow word exactly.
+func TestParityInvariant(t *testing.T) {
+	const word = 8
+	geo := Geometry{Group: 4, K: 2}
+	b := NewBanks(geo, word)
+	ref := map[uint64][]byte{}
+	rng := rand.New(rand.NewPCG(42, 1))
+	data := make([]byte, word)
+	for i := 0; i < 4000; i++ {
+		addr := rng.Uint64() & 0xff
+		for j := range data {
+			data[j] = byte(rng.Uint64())
+		}
+		b.NoteWrite(addr, data)
+		ref[addr] = append(ref[addr][:0], data...)
+	}
+	dst := make([]byte, word)
+	zero := make([]byte, word)
+	for addr := uint64(0); addr <= 0xff+4; addr++ { // includes never-written words
+		b.Reconstruct(addr, dst)
+		want := ref[addr]
+		if want == nil {
+			want = zero
+		}
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("Reconstruct(%d) = %x, want %x", addr, dst, want)
+		}
+	}
+	ctr := b.Counters()
+	if ctr.ParityWrites != 4000 || ctr.RMWReads != 8000 {
+		t.Fatalf("write-amplification ledger = %+v, want 4000 parity writes / 8000 RMW reads", ctr)
+	}
+	if ctr.Decodes == 0 || ctr.DecodeReads != ctr.Decodes*uint64(geo.Group) {
+		t.Fatalf("decode ledger = %+v, want DecodeReads = Decodes * %d", ctr, geo.Group)
+	}
+}
+
+// TestPortsCover checks the grant-cover rules: one direct read per data
+// bank per cycle, one decode per group per cycle, decode blocked by any
+// claimed sibling or parity port, O(claimed) reset.
+func TestPortsCover(t *testing.T) {
+	geo := Geometry{Group: 4, K: 3}
+	p := NewPorts(geo, 8) // groups: banks 0-3 and 4-7
+
+	if !p.BankFree(2) {
+		t.Fatal("fresh ports must be free")
+	}
+	p.UseBank(2)
+	if p.BankFree(2) {
+		t.Fatal("claimed bank port still reports free")
+	}
+	// A second read homed on bank 2 decodes via banks 0,1,3 + parity 0.
+	if !p.DecodeFree(2) {
+		t.Fatal("decode cover should be free with only the home port claimed")
+	}
+	p.UseDecode(2)
+	for _, b := range []int{0, 1, 3} {
+		if p.BankFree(b) {
+			t.Fatalf("decode should have claimed sibling bank %d", b)
+		}
+	}
+	// Group 0 is now exhausted: no direct port and no decode cover.
+	if p.DecodeFree(0) || p.DecodeFree(2) {
+		t.Fatal("group 0 decode cover should be exhausted")
+	}
+	// Group 1 is untouched.
+	if !p.BankFree(5) || !p.DecodeFree(5) {
+		t.Fatal("group 1 must be unaffected")
+	}
+	// A claimed sibling alone blocks the decode cover.
+	p.Reset()
+	p.UseBank(1)
+	if p.DecodeFree(2) {
+		t.Fatal("decode for bank 2 must be blocked by claimed sibling bank 1")
+	}
+	if !p.DecodeFree(1) {
+		t.Fatal("decode for bank 1 itself should still be coverable")
+	}
+	p.Reset()
+	for b := 0; b < 8; b++ {
+		if !p.BankFree(b) || !p.DecodeFree(b) {
+			t.Fatalf("Reset left bank %d claimed", b)
+		}
+	}
+}

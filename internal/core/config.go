@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/coded"
 	"repro/internal/dram"
 	"repro/internal/hash"
 	"repro/internal/telemetry"
@@ -107,6 +108,16 @@ type Config struct {
 	// and for the gated sparse/dense benchmark pair, not for production
 	// use.
 	DenseScan bool
+	// Coded enables XOR-parity bank groups (package coded): the banks are
+	// partitioned into groups of Coded.Group data banks, each with a
+	// parity replica maintained write-through, and the interface accepts
+	// up to Coded.K reads per cycle whenever direct bank ports and
+	// parity-decode combinations cover the candidate set. Addresses are
+	// striped — the hash places whole stripes (codewords), not individual
+	// words, so the words of one stripe always land on distinct banks of
+	// one group. The zero Geometry keeps the paper's single-read
+	// interface, bit-for-bit.
+	Coded coded.Geometry
 	// StrictRoundRobin, when true, restricts the memory-side bus to the
 	// paper's simple scheduler in which bank b may only issue on memory
 	// cycles congruent to b mod Banks, so unused slots are wasted. The
@@ -240,8 +251,17 @@ func (c Config) Validate() error {
 	if min := c.minDelay(); c.Delay < min {
 		return fmt.Errorf("core: Delay %d is below the safe minimum %d for this configuration (use AutoDelay)", c.Delay, min)
 	}
-	if c.Hash != nil && (1<<c.Hash.Bits()) < c.Banks {
-		return fmt.Errorf("core: hash output width %d bits cannot address %d banks", c.Hash.Bits(), c.Banks)
+	if err := c.Coded.Validate(c.Banks); err != nil {
+		return err
+	}
+	if c.Coded.Enabled() && c.Coded.Group == c.Banks && c.Banks > 1 {
+		// One group means one hash bit would address two groups; with a
+		// single group the hash degenerates to the constant 0, which the
+		// H3 constructor rejects. Keep at least two groups.
+		return fmt.Errorf("core: coded Group %d must leave at least two groups over %d banks", c.Coded.Group, c.Banks)
+	}
+	if c.Hash != nil && (1<<c.Hash.Bits()) < c.hashSlots() {
+		return fmt.Errorf("core: hash output width %d bits cannot address %d %s", c.Hash.Bits(), c.hashSlots(), c.hashUnit())
 	}
 	return nil
 }
@@ -259,6 +279,36 @@ func (c Config) minDelay() int {
 func (c Config) bankBits() int {
 	b := 0
 	for 1<<b < c.Banks {
+		b++
+	}
+	return b
+}
+
+// hashSlots is the number of placement targets the hash must address:
+// parity groups when coding is enabled (the hash places whole stripes
+// into groups; the lane bits pick the bank within the group), banks
+// otherwise.
+func (c Config) hashSlots() int {
+	if c.Coded.Enabled() {
+		return c.Coded.Groups(c.Banks)
+	}
+	return c.Banks
+}
+
+// hashUnit names hashSlots for error messages.
+func (c Config) hashUnit() string {
+	if c.Coded.Enabled() {
+		return "groups"
+	}
+	return "banks"
+}
+
+// hashBits returns log2(hashSlots): the width of the hash the
+// controller builds when Config.Hash is nil, and the width Rekey
+// rebuilds.
+func (c Config) hashBits() int {
+	b := 0
+	for 1<<b < c.hashSlots() {
 		b++
 	}
 	return b

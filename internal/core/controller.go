@@ -28,16 +28,24 @@ type Completion struct {
 
 // dueEntry is one scheduled playback: the interface cycle at which it
 // must appear on the interface, the bank whose delay storage buffer row
-// holds the data, and the playback payload itself. Because at most one
-// read is accepted per interface cycle and every read is due exactly D
-// cycles later, due cycles are strictly increasing in acceptance order —
-// a FIFO of dueEntries is therefore exactly the union of the per-bank
-// circular delay buffers of Section 4.1, checked in O(1) per cycle
-// instead of one rotation per bank.
+// holds the data, and the playback payload itself. Because at most K
+// reads are accepted per interface cycle (K = 1 unless coded bank
+// groups raise the admission cap) and every read is due exactly D
+// cycles later, due cycles are non-decreasing in acceptance order —
+// strictly increasing for K = 1 — so a FIFO of dueEntries is exactly
+// the union of the per-bank circular delay buffers of Section 4.1,
+// checked in O(deliveries) per cycle instead of one rotation per bank.
+//
+// A coded entry is a parity-decode playback: its word was reconstructed
+// at accept time into row (owned by the codedState freelist) and never
+// touches a delay storage buffer, so bank is only the home bank for
+// trace labelling.
 type dueEntry struct {
-	at   uint64
-	bank int
-	p    playback
+	at    uint64
+	bank  int
+	coded bool
+	row   []byte
+	p     playback
 }
 
 // Controller is a virtually pipelined network memory: a front-end
@@ -67,12 +75,19 @@ type Controller struct {
 	memTime uint64 // memory-bus cycles completed
 	rrPtr   int    // work-conserving round-robin pointer
 
-	nextTag     uint64
-	readReq     bool // a read was accepted this interface cycle
-	writeReq    bool // a write was accepted this interface cycle
-	totalQueued int  // sum of bank access queue occupancies
-	rowsUse     int  // sum of delay storage buffer occupancies
-	wbUse       int  // sum of write buffer FIFO occupancies
+	nextTag        uint64
+	readsThisCycle int  // reads accepted this interface cycle (cap maxReads)
+	maxReads       int  // per-cycle read admission cap: Coded.ReadPorts()
+	lastGrants     int  // readsThisCycle of the cycle just completed
+	writeReq       bool // a write was accepted this interface cycle
+	totalQueued    int  // sum of bank access queue occupancies
+	rowsUse        int  // sum of delay storage buffer occupancies
+	wbUse          int  // sum of write buffer FIFO occupancies
+
+	// coded is the XOR-parity bank-group state (parity replicas, shadow,
+	// per-cycle ports, decode-row freelist); nil unless cfg.Coded is
+	// enabled. See coded.go for the multi-port arbitration path.
+	coded *codedState
 
 	// Active-bank sets: queuedBanks holds banks with a non-empty access
 	// queue (the arbiter's candidates), inflightBanks holds banks with a
@@ -93,7 +108,7 @@ type Controller struct {
 	prevWindowStalls uint64
 
 	pool        bufPool
-	scratch     []byte // backs Completion.Data until the next Tick
+	scratch     [][]byte // scratch[i] backs completions[i].Data until the next Tick
 	completions []Completion
 
 	// Telemetry sampling state, allocated only when cfg.Probe is set.
@@ -127,12 +142,13 @@ func New(cfg Config) (*Controller, error) {
 	}
 	h := cfg.Hash
 	if h == nil {
-		bits := cfg.bankBits()
+		bits := cfg.hashBits()
 		if bits == 0 {
 			bits = 1 // a 1-bank system still needs a well-formed hash
 		}
 		h = hash.NewH3(bits, cfg.HashSeed)
 	}
+	maxReads := cfg.Coded.ReadPorts()
 	c := &Controller{
 		cfg:           cfg,
 		h:             h,
@@ -140,16 +156,22 @@ func New(cfg Config) (*Controller, error) {
 		banks:         make([]*bankController, cfg.Banks),
 		bankMask:      uint64(cfg.Banks - 1),
 		maxCount:      1<<uint(cfg.CounterBits) - 1,
+		maxReads:      maxReads,
 		dense:         cfg.DenseScan,
 		queuedBanks:   newBankSet(cfg.Banks),
 		inflightBanks: newBankSet(cfg.Banks),
-		dueBuf:        make([]dueEntry, cfg.Delay),
-		pool:          bufPool{word: cfg.WordBytes, bufs: make([][]byte, 0, cfg.Banks*cfg.WriteBufferDepth)},
-		scratch:       make([]byte, cfg.WordBytes),
-		// At most one playback comes due per interface cycle, so one
-		// slot keeps the per-cycle completion append allocation-free
-		// from the very first Tick.
-		completions: make([]Completion, 0, 1),
+		// Up to maxReads playbacks can be scheduled per cycle, each due
+		// within Delay cycles.
+		dueBuf: make([]dueEntry, maxReads*cfg.Delay),
+		pool:   bufPool{word: cfg.WordBytes, bufs: make([][]byte, 0, cfg.Banks*cfg.WriteBufferDepth)},
+		// At most maxReads playbacks come due per interface cycle, so
+		// maxReads scratch words and completion slots keep the per-cycle
+		// delivery path allocation-free from the very first Tick.
+		scratch:     makeScratch(maxReads, cfg.WordBytes),
+		completions: make([]Completion, 0, maxReads),
+	}
+	if cfg.Coded.Enabled() {
+		c.coded = newCodedState(cfg)
 	}
 	for i := range c.banks {
 		c.banks[i] = newBankController(i, cfg, c)
@@ -182,13 +204,23 @@ func (c *Controller) Stats() Stats {
 	s.BankRequests = append([]uint64(nil), c.stats.BankRequests...)
 	s.ECCCorrected = c.mod.Corrected()
 	s.ECCUncorrectable = c.mod.Uncorrectable()
+	if c.coded != nil {
+		s.Coded = c.coded.banks.Counters()
+	}
 	return s
 }
 
 // Bank returns the bank index the controller's hash assigns to addr.
 // Exposed for the oracle-adversary experiments, which model an attacker
-// who has somehow learned the mapping.
+// who has somehow learned the mapping. In coded mode the hash places
+// whole stripes into parity groups — the low lane bits select the bank
+// within the group — so the words of one codeword always land on
+// distinct banks of one group.
 func (c *Controller) Bank(addr uint64) int {
+	if st := c.coded; st != nil {
+		g := c.h.Hash(addr>>st.laneBits) & st.groupMask
+		return int(g<<st.laneBits | addr&st.laneMask)
+	}
 	return int(c.h.Hash(addr) & c.bankMask)
 }
 
@@ -198,10 +230,15 @@ func (c *Controller) Bank(addr uint64) int {
 // cycle's interface slot remains open for a retry or another request.
 // With Config.DualPort a read and a write may share a cycle (taking
 // effect in call order); otherwise one request of either kind is the
-// limit.
+// limit. With Config.Coded the interface accepts up to Coded.K reads
+// per cycle, each granted only if a direct bank port or a parity-decode
+// combination covers it (see readCoded).
 func (c *Controller) Read(addr uint64) (tag uint64, err error) {
-	if c.readReq || (!c.cfg.DualPort && c.writeReq) {
+	if c.readsThisCycle >= c.maxReads || (!c.cfg.DualPort && c.writeReq) {
 		return 0, ErrSecondRequest
+	}
+	if c.coded != nil {
+		return c.readCoded(addr)
 	}
 	bank := c.Bank(addr)
 	b := c.banks[bank]
@@ -219,7 +256,7 @@ func (c *Controller) Read(addr uint64) (tag uint64, err error) {
 	}
 	c.scheduleDue(bank, playback{rowID: rowID, tag: tag, addr: addr, issuedAt: c.cycle})
 	c.nextTag++
-	c.readReq = true
+	c.readsThisCycle++
 	c.stats.Reads++
 	c.stats.BankRequests[bank]++
 	if merged {
@@ -235,7 +272,7 @@ func (c *Controller) Read(addr uint64) (tag uint64, err error) {
 // are ordered with reads to the same address by the per-bank FIFO.
 // Data longer than a word is rejected; shorter data is zero-padded.
 func (c *Controller) Write(addr uint64, data []byte) error {
-	if c.writeReq || (!c.cfg.DualPort && c.readReq) {
+	if c.writeReq || (!c.cfg.DualPort && c.readsThisCycle > 0) {
 		return ErrSecondRequest
 	}
 	if len(data) > c.cfg.WordBytes {
@@ -259,6 +296,9 @@ func (c *Controller) Write(addr uint64, data []byte) error {
 	if c.cfg.Trace != nil {
 		c.cfg.Trace.OnRequest(c.cycle, bank, true, false, addr, 0)
 	}
+	if c.coded != nil {
+		c.coded.noteWrite(bank, addr, buf)
+	}
 	c.writeReq = true
 	c.stats.Writes++
 	c.stats.BankRequests[bank]++
@@ -269,25 +309,30 @@ func (c *Controller) Write(addr uint64, data []byte) error {
 // scheduleDue records an accepted read's playback, due exactly D cycles
 // after issue.
 func (c *Controller) scheduleDue(bank int, p playback) {
+	c.pushDue(dueEntry{at: c.cycle + uint64(c.cfg.Delay), bank: bank, p: p})
+}
+
+func (c *Controller) pushDue(e dueEntry) {
 	if c.dueCount == len(c.dueBuf) {
-		// Impossible by construction: at most one read per cycle, each
-		// due within D cycles.
+		// Impossible by construction: at most maxReads reads per cycle,
+		// each due within D cycles, and the ring holds maxReads*D.
 		panic("core: due queue overflow")
 	}
 	tail := c.dueHead + c.dueCount
 	if tail >= len(c.dueBuf) {
 		tail -= len(c.dueBuf)
 	}
-	c.dueBuf[tail] = dueEntry{at: c.cycle + uint64(c.cfg.Delay), bank: bank, p: p}
+	c.dueBuf[tail] = e
 	c.dueCount++
 }
 
 // Tick advances the controller one interface cycle: the memory side
 // runs its share of bus cycles, in-flight bank accesses that completed
-// are flushed, and the playback that comes due (if any) is returned as
-// a completion. At most one completion can occur per cycle because at
-// most one request was accepted D cycles ago. Per-cycle cost is
-// proportional to the number of active banks, not Config.Banks.
+// are flushed, and the playbacks that come due (if any) are returned as
+// completions. At most maxReads completions can occur per cycle because
+// at most maxReads requests were accepted D cycles ago (one, unless
+// coded bank groups raise the cap). Per-cycle cost is proportional to
+// the number of active banks, not Config.Banks.
 func (c *Controller) Tick() []Completion {
 	if c.dense {
 		return c.tickDense()
@@ -307,7 +352,7 @@ func (c *Controller) Tick() []Completion {
 		}
 	}
 	c.stats.RowOccupancySum += uint64(c.rowsUse)
-	if c.dueCount > 0 && c.dueBuf[c.dueHead].at == c.cycle {
+	for c.dueCount > 0 && c.dueBuf[c.dueHead].at == c.cycle {
 		e := c.dueBuf[c.dueHead]
 		c.dueHead++
 		if c.dueHead == len(c.dueBuf) {
@@ -316,20 +361,43 @@ func (c *Controller) Tick() []Completion {
 		c.dueCount--
 		c.deliverDue(e)
 	}
-	c.readReq = false
-	c.writeReq = false
+	c.endCycle()
 	if c.cfg.Probe != nil {
 		c.publishProbe()
 	}
 	return c.completions
 }
 
-// deliverDue plays one due entry back onto the interface.
+// endCycle closes the interface cycle's admission state: the grant
+// count is latched for the probe before the per-cycle request flags and
+// coded read ports reset. Shared by Tick, tickDense and skipState so
+// the event, dense and fast-forward paths stay bit-identical.
+func (c *Controller) endCycle() {
+	c.lastGrants = c.readsThisCycle
+	c.readsThisCycle = 0
+	c.writeReq = false
+	if c.coded != nil {
+		c.coded.ports.Reset()
+	}
+}
+
+// deliverDue plays one due entry back onto the interface. Each
+// completion in a cycle gets its own scratch word, so multi-grant coded
+// cycles deliver up to maxReads distinct payloads.
 func (c *Controller) deliverDue(e dueEntry) {
-	b := c.banks[e.bank]
-	corrupt := b.deliver(e.p, c.memTime, c.scratch)
+	dst := c.scratch[len(c.completions)]
+	var corrupt bool
+	if e.coded {
+		// Parity-decode playback: the word was reconstructed at accept
+		// time and bypassed the bank machinery (and with it the fault/ECC
+		// hook — decodes never report corruption; see DESIGN.md).
+		copy(dst, e.row)
+		c.coded.freeRow(e.row)
+	} else {
+		corrupt = c.banks[e.bank].deliver(e.p, c.memTime, dst)
+	}
 	if c.cfg.Trace != nil {
-		c.cfg.Trace.OnDeliver(c.cycle, b.id, e.p.addr, e.p.tag)
+		c.cfg.Trace.OnDeliver(c.cycle, e.bank, e.p.addr, e.p.tag)
 	}
 	var cerr error
 	if corrupt {
@@ -339,7 +407,7 @@ func (c *Controller) deliverDue(e dueEntry) {
 	c.completions = append(c.completions, Completion{
 		Tag:         e.p.tag,
 		Addr:        e.p.addr,
-		Data:        c.scratch,
+		Data:        dst,
 		IssuedAt:    e.p.issuedAt,
 		DeliveredAt: c.cycle,
 		Err:         cerr,
@@ -372,6 +440,15 @@ func (c *Controller) fillProbeLedger(s *telemetry.TickSample) {
 	s.Stalls[telemetry.CauseBankQueue] = c.stats.Stalls.BankQueue
 	s.Stalls[telemetry.CauseWriteBuffer] = c.stats.Stalls.WriteBuffer
 	s.Stalls[telemetry.CauseCounter] = c.stats.Stalls.Counter
+	s.Stalls[telemetry.CausePort] = c.stats.Stalls.Port
+	if c.coded != nil {
+		ctr := c.coded.banks.Counters()
+		s.CodedGrants = c.lastGrants
+		s.CodedDecodes = ctr.Decodes
+		s.CodedDecodeReads = ctr.DecodeReads
+		s.CodedParityWrites = ctr.ParityWrites
+		s.CodedRMWReads = ctr.RMWReads
+	}
 }
 
 // advanceMemory runs the memory-side bus up to the cycle budget earned
@@ -516,6 +593,8 @@ func (c *Controller) noteStall(err error) {
 		c.stats.Stalls.WriteBuffer++
 	case ErrStallCounter:
 		c.stats.Stalls.Counter++
+	case ErrStallCodedPort:
+		c.stats.Stalls.Port++
 	}
 	if c.stats.FirstStallCycle == 0 {
 		c.stats.FirstStallCycle = c.cycle + 1 // 1-based; 0 means "no stall yet"
@@ -607,8 +686,11 @@ func (c *Controller) skipState(k uint64) {
 	target := c.cycle * uint64(c.cfg.RatioNum) / uint64(c.cfg.RatioDen)
 	c.stats.MemCycles += target - c.memTime
 	c.memTime = target
-	c.readReq = false
-	c.writeReq = false
+	// One endCycle covers the whole span: the request flags and ports it
+	// clears are already clear after the first skipped cycle, and
+	// lastGrants is only observable through the probe, whose SkipIdle
+	// path always calls skipState(1) per published sample.
+	c.endCycle()
 }
 
 // Flush ticks the controller until every queued access has been issued,
@@ -642,6 +724,15 @@ func (c *Controller) Flush() []Completion {
 
 // Store exposes the backing DRAM contents for tests and preloading.
 func (c *Controller) Store() *dram.Store { return c.mod.Store() }
+
+// makeScratch preallocates the per-cycle completion payload words.
+func makeScratch(n, word int) [][]byte {
+	s := make([][]byte, n)
+	for i := range s {
+		s[i] = make([]byte, word)
+	}
+	return s
+}
 
 // bufPool recycles write-buffer data words to keep the steady state
 // allocation-free.

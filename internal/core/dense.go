@@ -30,7 +30,7 @@ func (c *Controller) tickDense() []Completion {
 		occupied += b.rowsInUse()
 	}
 	c.stats.RowOccupancySum += uint64(occupied)
-	if c.dueCount > 0 && c.dueBuf[c.dueHead].at == c.cycle {
+	for c.dueCount > 0 && c.dueBuf[c.dueHead].at == c.cycle {
 		e := c.dueBuf[c.dueHead]
 		c.dueHead++
 		if c.dueHead == len(c.dueBuf) {
@@ -39,11 +39,10 @@ func (c *Controller) tickDense() []Completion {
 		c.dueCount--
 		c.deliverDue(e)
 	}
-	if len(c.completions) > 1 {
-		panic("core: more than one playback due in a single interface cycle")
+	if len(c.completions) > c.maxReads {
+		panic("core: more playbacks due in a single interface cycle than the read admission cap")
 	}
-	c.readReq = false
-	c.writeReq = false
+	c.endCycle()
 	if c.cfg.Probe != nil {
 		c.publishProbeDense()
 	}

@@ -25,6 +25,12 @@ var (
 	// ErrStallCounter: a redundant read found its row's playback counter
 	// saturated at 2^C - 1.
 	ErrStallCounter = fmt.Errorf("%w: redundant-request counter saturated", ErrStall)
+	// ErrStallCodedPort: in coded mode, the candidate read could be
+	// covered by neither a direct bank port nor a parity-decode
+	// combination this cycle — every port it needs is already granted.
+	// Unlike the resource stalls above it clears by itself: ports are
+	// per-cycle, so a retry next cycle sees a fresh cover.
+	ErrStallCodedPort = fmt.Errorf("%w: coded bank ports exhausted", ErrStall)
 )
 
 // ErrSecondRequest reports a protocol violation: the interface accepts
@@ -46,7 +52,7 @@ var ErrUncorrectable = errors.New("vpnm: uncorrectable memory error")
 // the errors.Is fallback still recognizes externally wrapped stalls.
 func IsStall(err error) bool {
 	switch err {
-	case ErrStall, ErrStallDelayBuffer, ErrStallBankQueue, ErrStallWriteBuffer, ErrStallCounter:
+	case ErrStall, ErrStallDelayBuffer, ErrStallBankQueue, ErrStallWriteBuffer, ErrStallCounter, ErrStallCodedPort:
 		return true
 	case nil, ErrSecondRequest, ErrUncorrectable:
 		return false

@@ -19,6 +19,7 @@ import (
 	"reflect"
 	"testing"
 
+	codedpkg "repro/internal/coded"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/telemetry"
@@ -103,6 +104,12 @@ type diffCase struct {
 	// op maps one random draw to this cycle's request decisions. With
 	// cfg.DualPort false at most one of the two may be true.
 	op func(v uint64) (doRead, doWrite bool)
+	// readsPerCycle > 1 issues that many read attempts per read cycle
+	// (addresses derived from independent bits of the draw) to exercise
+	// the coded multi-port admission path; errors — including
+	// ErrSecondRequest past the cap and coded-port stalls — must still
+	// match between the event and dense paths attempt for attempt.
+	readsPerCycle int
 }
 
 // runEventDiff drives an event-driven controller and a DenseScan
@@ -193,10 +200,20 @@ func runEventDiff(t *testing.T, tc diffCase) {
 			}
 		}
 		if doRead {
-			etag, eerr := ec.Read(addr)
-			dtag, derr := dc.Read(addr)
-			if etag != dtag || !errEq(eerr, derr) {
-				t.Fatalf("%s: read diverged: event (%d,%v) dense (%d,%v)", where(i), etag, eerr, dtag, derr)
+			n := tc.readsPerCycle
+			if n < 1 {
+				n = 1
+			}
+			for j := 0; j < n; j++ {
+				addrJ := addr
+				if j > 0 {
+					addrJ = (v >> (16 + 7*uint(j))) & tc.addrMask
+				}
+				etag, eerr := ec.Read(addrJ)
+				dtag, derr := dc.Read(addrJ)
+				if etag != dtag || !errEq(eerr, derr) {
+					t.Fatalf("%s: read %d diverged: event (%d,%v) dense (%d,%v)", where(i), j, etag, eerr, dtag, derr)
+				}
 			}
 		}
 		tickBoth(where(i))
@@ -263,6 +280,34 @@ func TestEventDenseDifferential(t *testing.T) {
 	t.Run("wide-sparse", func(t *testing.T) {
 		cfg := core.Config{Banks: 128, QueueDepth: 4, DelayRows: 8, WordBytes: 8, HashSeed: 77}
 		runEventDiff(t, diffCase{cfg: cfg, seed: 6, cycles: 12000, addrMask: 0xffff, op: sparse})
+	})
+	// Coded subtests: XOR-parity bank groups with K=2 read ports per
+	// cycle. Multi-read cycles hit the merge/direct/decode arbitration,
+	// the K admission cap (ErrSecondRequest on the third attempt), and
+	// coded-port stalls — all must match the dense replay bit for bit,
+	// probes and parity-decode ledgers included.
+	coded := base
+	coded.Coded = codedpkg.Geometry{Group: 4, K: 2}
+	t.Run("coded-mixed", func(t *testing.T) {
+		runEventDiff(t, diffCase{cfg: coded, seed: 21, cycles: 30000, addrMask: 0x3f, op: mixed, readsPerCycle: 3})
+	})
+	t.Run("coded-strict-round-robin", func(t *testing.T) {
+		cfg := coded
+		cfg.StrictRoundRobin = true
+		runEventDiff(t, diffCase{cfg: cfg, seed: 22, cycles: 20000, addrMask: 0x3f, op: mixed, readsPerCycle: 3})
+	})
+	t.Run("coded-dual-port", func(t *testing.T) {
+		cfg := coded
+		cfg.DualPort = true
+		dual := func(v uint64) (bool, bool) { return v%16 < 8, (v>>4)%16 < 6 }
+		runEventDiff(t, diffCase{cfg: cfg, seed: 23, cycles: 20000, addrMask: 0x3f, op: dual, readsPerCycle: 2})
+	})
+	t.Run("coded-faults", func(t *testing.T) {
+		fc := &fault.Config{Seed: 13, SingleBitRate: 2e-3, DoubleBitRate: 1e-3, SlowBankRate: 0.05, SlowBankExtra: 4}
+		runEventDiff(t, diffCase{cfg: coded, fault: fc, seed: 24, cycles: 20000, addrMask: 0x3f, op: mixed, readsPerCycle: 2})
+	})
+	t.Run("coded-rekey", func(t *testing.T) {
+		runEventDiff(t, diffCase{cfg: coded, seed: 25, cycles: 24000, addrMask: 0x3f, rekeyEvery: 6007, op: mixed, readsPerCycle: 2})
 	})
 	t.Run("faulty-dual-strict", func(t *testing.T) {
 		cfg := base

@@ -80,7 +80,11 @@ func (c *Controller) Rekey(newSeed uint64) (moved int, cycles uint64, drained []
 	}
 	start := c.cycle
 	drained = c.Flush()
-	bits := c.cfg.bankBits()
+	// hashBits, not bankBits: in coded mode the hash places stripes into
+	// parity groups. Parity words are keyed by stripe — a pure function
+	// of the stripe's data, independent of group placement — so rekeying
+	// relocates parity exactly like data and needs no parity rebuild.
+	bits := c.cfg.hashBits()
 	if bits == 0 {
 		bits = 1
 	}

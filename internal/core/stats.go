@@ -3,19 +3,23 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/coded"
 )
 
-// StallCounts breaks stalls down by the conditions of Section 4.3.
+// StallCounts breaks stalls down by the conditions of Section 4.3,
+// plus the coded-mode port-cover stall.
 type StallCounts struct {
 	DelayBuffer uint64 // no free delay storage buffer row
 	BankQueue   uint64 // bank access queue full
 	WriteBuffer uint64 // write buffer FIFO full
 	Counter     uint64 // redundant-request counter saturated
+	Port        uint64 // coded mode: no direct or decode port cover this cycle
 }
 
 // Total sums all stall conditions.
 func (s StallCounts) Total() uint64 {
-	return s.DelayBuffer + s.BankQueue + s.WriteBuffer + s.Counter
+	return s.DelayBuffer + s.BankQueue + s.WriteBuffer + s.Counter + s.Port
 }
 
 // Stats aggregates everything the controller observed since reset.
@@ -52,6 +56,12 @@ type Stats struct {
 	RowOccupancySum uint64
 	// Rekeys counts completed Rekey operations.
 	Rekeys uint64
+	// Coded is the XOR-parity subsystem's ledger (internal/coded): all
+	// zero unless Config.Coded is enabled. Decodes counts reads served
+	// by parity reconstruction (they are neither MergedReads nor
+	// DSB-row fills); ParityWrites/RMWReads are the write-through
+	// amplification accounting.
+	Coded coded.Counters
 	// ECCCorrected and ECCUncorrectable count DRAM reads whose data came
 	// back from the fault/ECC hook corrected or poisoned (zero without a
 	// hook). UncorrectableDelivered counts interface completions flagged
@@ -89,6 +99,13 @@ func (s Stats) String() string {
 		s.Stalls.Total(), s.Stalls.DelayBuffer, s.Stalls.BankQueue, s.Stalls.WriteBuffer, s.Stalls.Counter)
 	if s.FirstStallCycle > 0 {
 		fmt.Fprintf(&b, " first-stall-cycle=%d", s.FirstStallCycle)
+	}
+	if s.Stalls.Port > 0 {
+		fmt.Fprintf(&b, " coded-port=%d", s.Stalls.Port)
+	}
+	if s.Coded != (coded.Counters{}) {
+		fmt.Fprintf(&b, "\ncoded: decodes=%d decode-reads=%d parity-writes=%d rmw-reads=%d",
+			s.Coded.Decodes, s.Coded.DecodeReads, s.Coded.ParityWrites, s.Coded.RMWReads)
 	}
 	if s.ECCCorrected > 0 || s.ECCUncorrectable > 0 {
 		fmt.Fprintf(&b, "\necc: corrected=%d uncorrectable=%d poisoned-completions=%d",

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/coded"
 	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/parallel"
@@ -113,11 +114,14 @@ func New(cfg core.Config, channels int, seed uint64, opts ...Option) (*Memory, e
 	for 1<<bits < channels {
 		bits++
 	}
+	ports := cfg.Coded.ReadPorts()
 	m := &Memory{
-		sel:     hash.NewH3(bits, seed^0x5bd1e995),
-		mask:    uint64(channels - 1),
-		shift:   uint(bits),
-		comps:   make([]core.Completion, 0, channels),
+		sel:   hash.NewH3(bits, seed^0x5bd1e995),
+		mask:  uint64(channels - 1),
+		shift: uint(bits),
+		// Per-cycle completion ceilings scale with the coded read
+		// admission cap: each channel can deliver up to ReadPorts words.
+		comps:   make([]core.Completion, 0, channels*ports),
 		perChan: make([][]core.Completion, channels),
 	}
 	for i := 0; i < channels; i++ {
@@ -134,7 +138,7 @@ func New(cfg core.Config, channels int, seed uint64, opts ...Option) (*Memory, e
 			return nil, err
 		}
 		m.chans = append(m.chans, ctrl)
-		m.perChan[i] = make([]core.Completion, 0, 1)
+		m.perChan[i] = make([]core.Completion, 0, ports)
 	}
 	m.tickFn = m.tickChannel
 	if o.parallel && channels > 1 {
@@ -158,6 +162,15 @@ func (m *Memory) Close() {
 // Channels reports the stripe width.
 func (m *Memory) Channels() int { return len(m.chans) }
 
+// Coded reports the channels' shared coded-bank geometry (the zero
+// Geometry when XOR-parity bank groups are disabled).
+func (m *Memory) Coded() coded.Geometry { return m.chans[0].Config().Coded }
+
+// Ports reports the memory's per-cycle read admission ceiling:
+// Channels() times each channel's coded read-port count (1 uncoded).
+// The serving engine sizes its per-step issue budget from this.
+func (m *Memory) Ports() int { return len(m.chans) * m.chans[0].Config().Coded.ReadPorts() }
+
 // Channel reports which channel serves addr.
 func (m *Memory) Channel(addr uint64) int { return int(m.sel.Hash(addr) & m.mask) }
 
@@ -168,8 +181,9 @@ func (m *Memory) Delay() int { return m.chans[0].Delay() }
 // clock, so any channel's cycle is the memory's cycle.
 func (m *Memory) Cycle() uint64 { return m.chans[0].Cycle() }
 
-// Read issues a read on addr's channel. Up to Channels() reads and
-// writes can be accepted per cycle, at most one per channel.
+// Read issues a read on addr's channel. Up to Ports() reads (plus one
+// write per channel) can be accepted per cycle — at most one read per
+// channel, or the coded read-port count when coding is enabled.
 func (m *Memory) Read(addr uint64) (tag uint64, err error) {
 	ch := m.Channel(addr)
 	t, err := m.chans[ch].Read(addr)
@@ -199,7 +213,7 @@ func (m *Memory) Write(addr uint64, data []byte) error {
 }
 
 // Tick advances every channel one cycle and merges their completions
-// (re-tagged with the channel id) in channel order. Up to Channels()
+// (re-tagged with the channel id) in channel order. Up to Ports()
 // completions can arrive per cycle; each Data slice is valid until the
 // next Tick, as with a single controller. With the Parallel option the
 // channel ticks run concurrently on the pool; the merge order and every

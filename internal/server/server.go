@@ -138,9 +138,16 @@ type Config struct {
 // Snapshot is the engine's ledger, exposed on /statsz and used by the
 // loopback tests to reconcile against client-side counters.
 type Snapshot struct {
-	Cycle          uint64 `json:"cycle"`
-	Delay          int    `json:"delay"`
+	Cycle uint64 `json:"cycle"`
+	Delay int    `json:"delay"`
+	// Channels is the stripe width; Ports is the per-cycle read
+	// admission ceiling (Channels times the coded read-port count).
+	// CodedGroup/CodedK advertise the coded-bank geometry, omitted when
+	// XOR-parity bank groups are off.
 	Channels       int    `json:"channels"`
+	Ports          int    `json:"ports"`
+	CodedGroup     int    `json:"coded_group,omitempty"`
+	CodedK         int    `json:"coded_k,omitempty"`
 	Conns          int    `json:"conns"`
 	Sessions       int    `json:"sessions"`
 	Draining       bool   `json:"draining"`
@@ -207,6 +214,7 @@ type Engine struct {
 	mem   *multichannel.Memory
 	reg   *qos.Regulator
 	delay uint64
+	ports int // per-cycle read admission ceiling (mem.Ports(), cached)
 
 	mu       sync.Mutex // guards sessions and sessByID
 	sessions []*session
@@ -286,6 +294,7 @@ func New(cfg Config) (*Engine, error) {
 		mem:        cfg.Mem,
 		reg:        cfg.QoS,
 		delay:      uint64(cfg.Mem.Delay()),
+		ports:      cfg.Mem.Ports(),
 		sessByID:   make(map[uint64]*session),
 		routes:     make(map[uint64]route),
 		work:       make(chan struct{}, 1),
@@ -457,10 +466,14 @@ func (e *Engine) readSnapshot() Snapshot {
 	if out < 0 {
 		out = 0
 	}
+	geo := e.mem.Coded()
 	return Snapshot{
 		Cycle:          e.cycle.Load(),
 		Delay:          int(e.delay),
 		Channels:       e.mem.Channels(),
+		Ports:          e.ports,
+		CodedGroup:     geo.Group,
+		CodedK:         geo.K,
 		Conns:          int(e.attached.Load()),
 		Sessions:       nsess,
 		Draining:       e.draining.Load(),
@@ -648,10 +661,11 @@ func (e *Engine) step() {
 	e.mu.Unlock()
 
 	if n := len(sessions); n > 0 {
-		// Up to Channels() requests can be accepted per cycle (one per
-		// channel). Round-robin across sessions, FIFO within one; keep
-		// sweeping while somebody makes progress.
-		budget := e.mem.Channels()
+		// Up to Ports() read requests can be accepted per cycle (one per
+		// channel, times the coded read-port count when XOR-parity bank
+		// groups are on). Round-robin across sessions, FIFO within one;
+		// keep sweeping while somebody makes progress.
+		budget := e.ports
 		progress := true
 		for budget > 0 && progress {
 			progress = false

@@ -44,6 +44,15 @@ type Options struct {
 	// outstanding reads have completed (requires the Memory to also
 	// implement interface{ Outstanding() uint64 }).
 	Drain bool
+	// IssuePerCycle is how many operations the driver offers the memory
+	// per interface cycle; 0 means 1, the paper's single-request
+	// interface. Set it to the coded read-port count K to load a
+	// multi-port controller. Issue stays in order: the first refusal
+	// ends the cycle's burst, and an admission-cap refusal
+	// (core.ErrSecondRequest) after at least one acceptance just holds
+	// the op for next cycle without counting a stall — the interface
+	// was full, not stalled.
+	IssuePerCycle int
 }
 
 // Result aggregates a run.
@@ -114,48 +123,66 @@ func (r *Result) observe(c core.Completion) {
 // Run drives m with g under the given options.
 func Run(m Memory, g workload.Generator, opts Options) *Result {
 	res := &Result{latSeen: make(map[uint64]struct{})}
+	issue := opts.IssuePerCycle
+	if issue <= 0 {
+		issue = 1
+	}
 	var held *workload.Op
 	var heldData []byte
 	for c := 0; c < opts.Cycles; c++ {
-		var op workload.Op
-		if held != nil {
-			op = *held
-			op.Data = heldData
-			held = nil
-		} else {
-			op = g.Next()
-			if op.Kind == workload.OpWrite {
-				heldData = append(heldData[:0], op.Data...)
+		accepted := 0
+		for i := 0; i < issue; i++ {
+			var op workload.Op
+			if held != nil {
+				op = *held
 				op.Data = heldData
-			}
-		}
-		switch op.Kind {
-		case workload.OpIdle:
-			// nothing to issue
-		case workload.OpRead:
-			if _, err := m.Read(op.Addr); err == nil {
-				res.Reads++
+				held = nil
 			} else {
-				res.Stalls++
-				if opts.Policy == Retry {
-					o := op
-					held = &o
-				} else {
-					res.Drops++
+				op = g.Next()
+				if op.Kind == workload.OpWrite {
+					heldData = append(heldData[:0], op.Data...)
+					op.Data = heldData
 				}
 			}
-		case workload.OpWrite:
-			if err := m.Write(op.Addr, op.Data); err == nil {
-				res.Writes++
-			} else {
-				res.Stalls++
-				if opts.Policy == Retry {
-					o := op
-					held = &o
-				} else {
-					res.Drops++
+			var err error
+			switch op.Kind {
+			case workload.OpIdle:
+				// nothing to issue this slot
+				continue
+			case workload.OpRead:
+				_, err = m.Read(op.Addr)
+				if err == nil {
+					res.Reads++
+					accepted++
+					continue
+				}
+			case workload.OpWrite:
+				err = m.Write(op.Addr, op.Data)
+				if err == nil {
+					res.Writes++
+					accepted++
+					continue
 				}
 			}
+			// A refusal ends the cycle's burst (issue stays in order).
+			// An admission-cap hit after at least one acceptance is not
+			// a stall — the interface was simply full this cycle.
+			if err == core.ErrSecondRequest && accepted > 0 {
+				if op.Kind == workload.OpWrite {
+					op.Data = heldData
+				}
+				o := op
+				held = &o
+				break
+			}
+			res.Stalls++
+			if opts.Policy == Retry {
+				o := op
+				held = &o
+			} else {
+				res.Drops++
+			}
+			break
 		}
 		for _, comp := range m.Tick() {
 			res.observe(comp)

@@ -13,6 +13,10 @@ const (
 	CauseBankQueue
 	CauseWriteBuffer
 	CauseCounter
+	// CausePort is the coded-mode stall: the candidate read could be
+	// covered by neither a direct bank port nor a parity-decode
+	// combination this cycle (core.ErrStallCodedPort).
+	CausePort
 	NumStallCauses
 )
 
@@ -27,6 +31,8 @@ func (c StallCause) String() string {
 		return "write-buffer"
 	case CauseCounter:
 		return "counter"
+	case CausePort:
+		return "coded-port"
 	default:
 		return "other"
 	}
@@ -65,6 +71,15 @@ type TickSample struct {
 	Replays uint64
 	// Stalls is the cumulative stall ledger by cause.
 	Stalls [NumStallCauses]uint64
+	// Coded-mode ledger; all zero when XOR-parity bank groups are
+	// disabled. CodedGrants is instantaneous (reads granted in the cycle
+	// just completed — the multi-port arbiter's per-cycle grant count);
+	// the rest are cumulative like the fields above.
+	CodedGrants       int
+	CodedDecodes      uint64
+	CodedDecodeReads  uint64
+	CodedParityWrites uint64
+	CodedRMWReads     uint64
 }
 
 // Probe receives one TickSample per interface cycle from a controller
@@ -93,6 +108,12 @@ type MemProbe struct {
 
 	occHist   *Histogram // delay-buffer occupancy per tick
 	queueHist *Histogram // max single-bank queue depth per tick
+
+	// Coded-mode series, nil until EnableCoded; ObserveTick skips them
+	// while nil so uncoded probes pay nothing for the fields.
+	codedDecodes, codedDecodeReads *Counter
+	codedParityWrites, codedRMW    *Counter
+	codedGrantsHist                *Histogram // arbiter grants per cycle
 
 	est *MTSEstimator
 }
@@ -144,6 +165,28 @@ func occupancyBounds(max int) []uint64 {
 	return LinearBounds(0, uint64(step), n)
 }
 
+// EnableCoded registers the vpnm_coded_* series for a channel running
+// XOR-parity bank groups with up to k read grants per cycle: decode
+// counts and their read amplification, parity write-through traffic and
+// its read-modify-write reads (the write-amplification accounting), and
+// a per-cycle histogram of the multi-port arbiter's grant counts.
+func (p *MemProbe) EnableCoded(reg *Registry, channel string, k int) {
+	if k < 1 {
+		k = 1
+	}
+	p.codedDecodes = reg.Counter("vpnm_coded_decodes_total",
+		"Reads served by XOR parity reconstruction instead of a direct bank copy.", "channel", channel)
+	p.codedDecodeReads = reg.Counter("vpnm_coded_decode_reads_total",
+		"Sibling and parity words fetched to serve parity decodes (read amplification).", "channel", channel)
+	p.codedParityWrites = reg.Counter("vpnm_coded_parity_writes_total",
+		"Parity words written through; physical writes are data writes plus this.", "channel", channel)
+	p.codedRMW = reg.Counter("vpnm_coded_rmw_reads_total",
+		"Old-data and old-parity reads behind parity read-modify-writes.", "channel", channel)
+	p.codedGrantsHist = reg.Histogram("vpnm_coded_grants_per_cycle",
+		"Reads granted per interface cycle by the multi-port arbiter.",
+		LinearBounds(0, 1, k+2), "channel", channel)
+}
+
 // AttachEstimator feeds every sample's occupancy excursion into est and
 // registers the live MTS estimates as gauge functions under reg.
 func (p *MemProbe) AttachEstimator(reg *Registry, est *MTSEstimator, channel string) {
@@ -182,6 +225,13 @@ func (p *MemProbe) ObserveTick(s *TickSample) {
 	}
 	p.occHist.Observe(uint64(s.DelayRowsInUse))
 	p.queueHist.Observe(uint64(s.MaxBankQueue))
+	if p.codedDecodes != nil {
+		p.codedDecodes.Store(s.CodedDecodes)
+		p.codedDecodeReads.Store(s.CodedDecodeReads)
+		p.codedParityWrites.Store(s.CodedParityWrites)
+		p.codedRMW.Store(s.CodedRMWReads)
+		p.codedGrantsHist.Observe(uint64(s.CodedGrants))
+	}
 	if p.est != nil {
 		p.est.Observe(s.MaxBankQueue, s.Reads+s.Writes, s.Stalls)
 	}

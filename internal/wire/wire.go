@@ -118,6 +118,11 @@ const (
 	// work; unlike a stall this is terminal for the request on this
 	// server, so it travels with StatusDropped.
 	CodeDraining
+	// CodeCodedPort carries core.ErrStallCodedPort: in coded mode no
+	// direct bank port or parity-decode combination covered the read
+	// this cycle. Appended after CodeDraining — codes are wire format
+	// and must never be renumbered.
+	CodeCodedPort
 )
 
 // ErrDraining is the cause attached to requests refused because the
@@ -145,6 +150,8 @@ func CodeOf(err error) byte {
 		return CodeWriteBuffer
 	case errors.Is(err, core.ErrStallCounter):
 		return CodeCounter
+	case errors.Is(err, core.ErrStallCodedPort):
+		return CodeCodedPort
 	case errors.Is(err, qos.ErrThrottled):
 		return CodeThrottled
 	case errors.Is(err, ErrDraining):
@@ -169,6 +176,8 @@ func ErrOf(code byte) error {
 		return core.ErrStallWriteBuffer
 	case CodeCounter:
 		return core.ErrStallCounter
+	case CodeCodedPort:
+		return core.ErrStallCodedPort
 	case CodeThrottled:
 		return qos.ErrThrottled
 	case CodeDraining:

@@ -103,7 +103,7 @@ func TestCodeErrRoundTrip(t *testing.T) {
 	for _, err := range []error{
 		core.ErrStallDelayBuffer, core.ErrStallBankQueue,
 		core.ErrStallWriteBuffer, core.ErrStallCounter,
-		qos.ErrThrottled, ErrDraining,
+		core.ErrStallCodedPort, qos.ErrThrottled, ErrDraining,
 	} {
 		if got := ErrOf(CodeOf(err)); got != err { //nolint:errorlint // sentinel identity is the contract
 			t.Errorf("ErrOf(CodeOf(%v)) = %v", err, got)
