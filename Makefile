@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race chaos netchaos fleetchaos fuzz bench bench-gate bench-diff trace-sample lint
+.PHONY: ci vet build test race chaos netchaos fleetchaos fuzz bench bench-gate bench-diff profile-ooo trace-sample lint
 
 ci: vet build test race chaos netchaos fleetchaos
 
@@ -60,6 +60,7 @@ fuzz:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkBaselineVsVPNM$$|BenchmarkSweepSpeedup$$' -benchmem -benchtime 1x -count=1 . | tee BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkServerLoopback$$' -benchmem -benchtime 2000x -count=1 . | tee -a BENCH_parallel.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkServerLoopbackOOO$$' -benchmem -benchtime 2000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkServerLoopbackCoded$$' -benchmem -benchtime 6000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkTickParallel$$' -benchmem -benchtime 20000x -count=1 . | tee -a BENCH_parallel.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkProbeOverhead$$' -benchmem -benchtime 20000x -count=1 . | tee -a BENCH_parallel.txt
@@ -82,6 +83,12 @@ bench-gate: bench
 # machine-dependent ns/op numbers the gate ignores stay visible.
 bench-diff: bench
 	$(GO) run ./cmd/benchgate -diff bench/baseline.json BENCH_parallel.json | tee BENCH_diff.txt
+
+# CPU profile of the out-of-order loopback data plane — the artifact to
+# start from when hunting the next req/s increment. 8000x amortizes the
+# warmup edge out of the profile; inspect with `go tool pprof ooo.pprof`.
+profile-ooo:
+	$(GO) test -run '^$$' -bench 'BenchmarkServerLoopbackOOO$$' -benchtime 8000x -count=1 -cpuprofile ooo.pprof .
 
 # Sample Chrome trace artifact: 512 random reads through a small
 # controller, dumped as trace_event JSON for chrome://tracing.

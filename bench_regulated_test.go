@@ -29,7 +29,7 @@ func BenchmarkServerRegulated(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		total := runServerLoopback(b, loopbackCfg(), reg, "bench")
+		total := runServerLoopback(b, loopbackCfg(), reg, "bench", false)
 		t := reg.Tenant("bench").Counters()
 		want := total + loopWarmup*loopBatch
 		if t.Issued != want || t.Throttled != 0 {

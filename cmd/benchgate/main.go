@@ -26,6 +26,11 @@
 //	allocs/op, B/op                     lower is better, STRICT: any
 //	                                    increase over the baseline fails,
 //	                                    the threshold does not apply
+//	min:<unit>                          absolute floor on <unit>: the
+//	                                    current value must be >= the
+//	                                    recorded floor, with no slack —
+//	                                    for contracts a benchmark exists
+//	                                    to prove, not just to track
 //
 // Allocation metrics are gated strictly because they are deterministic
 // outputs of the code, not of the machine: a benchmark that allocated
@@ -243,6 +248,27 @@ func runGate(curPath, basePath string, threshold float64, w io.Writer) ([]string
 		}
 		for _, unit := range sortedKeys(baseMetrics) {
 			want := baseMetrics[unit]
+			// A "min:<unit>" baseline key is an ABSOLUTE floor on <unit>:
+			// the current value must be >= the recorded floor, with no
+			// threshold slack and no dependence on what the relative
+			// baseline drifts to. Relative gates catch 20% regressions from
+			// wherever the baseline sits; the floor pins the contract a
+			// benchmark was built to prove (e.g. the out-of-order path must
+			// never fall back to the in-order 1.82 req/cycle).
+			if floorUnit, isFloor := strings.CutPrefix(unit, "min:"); isFloor {
+				got, ok := curMetrics[floorUnit]
+				if !ok {
+					failures = append(failures, fmt.Sprintf("%s %s: metric missing from current run", name, floorUnit))
+					continue
+				}
+				checked++
+				if got < want {
+					failures = append(failures, fmt.Sprintf("%s %s: %g below absolute floor %g", name, floorUnit, got, want))
+				} else {
+					fmt.Fprintf(w, "ok   %s %s: %g (floor %g)\n", name, floorUnit, got, want)
+				}
+				continue
+			}
 			dir, gated := direction[unit]
 			if !gated {
 				continue

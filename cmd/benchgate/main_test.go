@@ -138,6 +138,82 @@ func TestGateStrictBytes(t *testing.T) {
 	}
 }
 
+// TestGateAbsoluteFloor: a "min:<unit>" baseline key is an absolute
+// floor on <unit> — no threshold slack, independent of the relative
+// baseline. It protects contracts a benchmark was built to prove: a
+// relative gate would let req/cycle decay 20% per baseline refresh, a
+// floor cannot be walked down.
+func TestGateAbsoluteFloor(t *testing.T) {
+	base := `{"benchmarks": {
+		"BenchOOO": {"req/cycle": 3.842, "min:req/cycle": 3.5}
+	}}`
+	cases := []struct {
+		name    string
+		current string
+		wantBad []string
+	}{
+		{
+			// Above the floor but 7% under the relative baseline: the
+			// threshold absorbs the drift, the floor holds.
+			"above-floor-within-threshold",
+			`{"benchmarks": {"BenchOOO": {"req/cycle": 3.6}}}`,
+			nil,
+		},
+		{
+			// Within the 20% relative threshold (3.842*0.8 = 3.07) but
+			// below the floor: the floor fails it with zero slack.
+			"below-floor-fails-despite-threshold",
+			`{"benchmarks": {"BenchOOO": {"req/cycle": 3.2}}}`,
+			[]string{"BenchOOO req/cycle: 3.2 below absolute floor 3.5"},
+		},
+		{
+			// Exactly at the floor passes: the floor is >=, not >.
+			"at-floor-passes-floor",
+			`{"benchmarks": {"BenchOOO": {"req/cycle": 3.5}}}`,
+			nil,
+		},
+		{
+			// The floored metric missing from the run is a failure — once
+			// from the floor, once from the relative gate on the same unit.
+			"floored-metric-missing",
+			`{"benchmarks": {"BenchOOO": {"ns/op": 1}}}`,
+			[]string{"BenchOOO req/cycle: metric missing", "BenchOOO req/cycle: metric missing"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			failures, err := runGate(
+				writeFile(t, "cur.json", tc.current),
+				writeFile(t, "base.json", base), 0.20, io.Discard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(failures) != len(tc.wantBad) {
+				t.Fatalf("failures = %v, want %d matching %v", failures, len(tc.wantBad), tc.wantBad)
+			}
+			for i, want := range tc.wantBad {
+				if !strings.Contains(failures[i], want) {
+					t.Errorf("failure[%d] = %q, want contains %q", i, failures[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestGateFloorOnlyBaselineCounts: a baseline whose only gate is a
+// floor still gates something — it must not be rejected as useless.
+func TestGateFloorOnlyBaselineCounts(t *testing.T) {
+	cur := writeFile(t, "cur.json", `{"benchmarks": {"BenchOOO": {"req/cycle": 4.0}}}`)
+	base := writeFile(t, "base.json", `{"benchmarks": {"BenchOOO": {"min:req/cycle": 3.5}}}`)
+	failures, err := runGate(cur, base, 0.20, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("floor satisfied but gate failed: %v", failures)
+	}
+}
+
 func TestGateRejectsUselessBaseline(t *testing.T) {
 	cur := writeFile(t, "cur.json", `{"benchmarks": {"BenchA": {"ns/op": 1}}}`)
 	base := writeFile(t, "base.json", `{"benchmarks": {"BenchA": {"ns/op": 1}}}`)

@@ -109,6 +109,8 @@ func main() {
 		policy   = flag.String("policy", "backpressure", "stall policy: retry | drop | backpressure (drop surfaces stalls to clients)")
 		attempts = flag.Int("attempts", 0, "max hold-and-retry attempts per stalled request (0: default)")
 		tick     = flag.Duration("tick", 0, "wall-clock tick interval (0: free-running clock)")
+		ooo      = flag.Bool("ooo", false, "out-of-order cross-channel issue: park blocked heads per channel and issue the oldest issuable request on every channel each cycle")
+		oooDepth = flag.Int("ooo-depth", 0, "per-channel pending ring depth for -ooo (0: default)")
 		quiet    = flag.Bool("q", false, "suppress connection lifecycle logging")
 		poolchk  = flag.Bool("poolcheck", false, "arm the frame-buffer pool's leak/double-put detector; hygiene is reported after drain")
 
@@ -199,6 +201,9 @@ func main() {
 		Policy:       pol,
 		MaxAttempts:  *attempts,
 		QoS:          regulator,
+		OOO:          *ooo,
+		OOODepth:     *oooDepth,
+		Metrics:      reg,
 		WriteTimeout: *wtimeout,
 		TickInterval: *tick,
 		Logf:         logf,

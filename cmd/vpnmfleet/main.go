@@ -66,6 +66,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "engine hash seed base (spawned shards)")
 		session  = flag.Uint64("session", 1, "durable session id the router uses on every shard")
 		smoke    = flag.Int("smoke", 0, "startup smoke workload: N writes + N verified reads through the router")
+		ooo      = flag.Bool("ooo", false, "out-of-order cross-channel issue on every spawned shard engine")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline on the shard clients")
 	)
 	flag.Parse()
@@ -93,7 +94,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			eng, err := server.New(server.Config{Mem: mem, Window: *window})
+			eng, err := server.New(server.Config{Mem: mem, Window: *window, OOO: *ooo})
 			if err != nil {
 				fatal(err)
 			}

@@ -161,6 +161,88 @@ type pending struct {
 	deadline time.Time // zero when RequestTimeout is unset
 }
 
+// pendTable tracks in-flight requests by seq. Seqs are dense and
+// monotone and the window bounds how many are live at once, so the
+// table is a power-of-two ring indexed by the low seq bits — the
+// steady-state hot path (insert on issue, lookup and remove on the
+// verdict) never hashes — with a small map behind it for the rare
+// collision: a slot whose previous occupant is still unresolved a full
+// ring-span of seqs later, which takes thousands of barrier/stats seqs
+// interleaved around one stuck request. All methods run under
+// Client.mu.
+type pendTable struct {
+	ring []pendSlot
+	mask uint64
+	over map[uint64]*pending
+	n    int
+}
+
+type pendSlot struct {
+	seq uint64
+	p   *pending
+}
+
+func (t *pendTable) init(window int) {
+	size := 1
+	for size < 4*window {
+		size <<= 1
+	}
+	t.ring = make([]pendSlot, size)
+	t.mask = uint64(size - 1)
+	t.over = make(map[uint64]*pending)
+}
+
+func (t *pendTable) put(seq uint64, p *pending) {
+	sl := &t.ring[seq&t.mask]
+	if sl.p == nil {
+		sl.seq, sl.p = seq, p
+	} else {
+		t.over[seq] = p
+	}
+	t.n++
+}
+
+func (t *pendTable) get(seq uint64) (*pending, bool) {
+	sl := &t.ring[seq&t.mask]
+	if sl.p != nil && sl.seq == seq {
+		return sl.p, true
+	}
+	if len(t.over) != 0 {
+		p, ok := t.over[seq]
+		return p, ok
+	}
+	return nil, false
+}
+
+// del forgets seq. Only call after get reported it present.
+func (t *pendTable) del(seq uint64) {
+	sl := &t.ring[seq&t.mask]
+	if sl.p != nil && sl.seq == seq {
+		sl.p = nil
+		t.n--
+		return
+	}
+	if _, ok := t.over[seq]; ok {
+		delete(t.over, seq)
+		t.n--
+	}
+}
+
+func (t *pendTable) len() int { return t.n }
+
+// forEach visits every tracked request, in no particular order. The
+// callback may delete the entry it is visiting (and no other).
+func (t *pendTable) forEach(f func(seq uint64, p *pending)) {
+	for i := range t.ring {
+		if p := t.ring[i].p; p != nil {
+			f(t.ring[i].seq, p)
+		}
+	}
+	for seq, p := range t.over {
+		f(seq, p)
+	}
+}
+
 // Counters is the client's ledger.
 type Counters struct {
 	// Issued counts Read/Write calls accepted into the send queue;
@@ -218,7 +300,7 @@ type Client struct {
 	gen          uint64 // bumps per transport; ties errors to the conn they came from
 	reconnecting bool
 	sendq        []wire.Request
-	pend         map[uint64]*pending
+	pend         pendTable
 	freePend     []*pending // recycled tracking nodes
 	flushW       map[uint64]chan struct{}
 	statsW       map[uint64]chan wire.Stats
@@ -285,7 +367,6 @@ func New(nc net.Conn, cfg Config) *Client {
 	}
 	c := &Client{
 		nc:          nc,
-		pend:        make(map[uint64]*pending, cfg.Window),
 		flushW:      make(map[uint64]chan struct{}),
 		statsW:      make(map[uint64]chan wire.Stats),
 		policy:      cfg.Policy,
@@ -307,9 +388,10 @@ func New(nc net.Conn, cfg Config) *Client {
 		readerDone:  make(chan struct{}),
 	}
 	c.pool.SetCheck(cfg.PoolCheck)
+	c.pend.init(cfg.Window)
 	// The window semaphore caps in-flight requests at cfg.Window, so the
 	// tracking-node population can never exceed it: preallocate the whole
-	// fleet as one block (and size the pending map to match) so the
+	// fleet as one block (and size the pending table to match) so the
 	// request path never allocates a node, no matter how deep the
 	// pipeline runs.
 	nodes := make([]pending, cfg.Window)
@@ -461,7 +543,7 @@ func (c *Client) Read(ctx context.Context, addr uint64, cb func(Completion)) err
 	c.next++
 	p := c.getPendLocked()
 	p.addr, p.cb, p.deadline = addr, cb, c.deadlineFrom()
-	c.pend[seq] = p
+	c.pend.put(seq, p)
 	c.sendq = append(c.sendq, wire.Request{Op: wire.OpRead, Seq: seq, Addr: addr})
 	c.ctr.Issued++
 	c.ctr.Reads++
@@ -497,7 +579,7 @@ func (c *Client) Write(ctx context.Context, addr uint64, data []byte) error {
 	stable := append(c.pool.Get(len(data)), data...)
 	p := c.getPendLocked()
 	p.write, p.addr, p.data, p.deadline = true, addr, stable, c.deadlineFrom()
-	c.pend[seq] = p
+	c.pend.put(seq, p)
 	c.sendq = append(c.sendq, wire.Request{Op: wire.OpWrite, Seq: seq, Addr: addr, Data: stable})
 	c.ctr.Issued++
 	c.ctr.Writes++
@@ -554,7 +636,7 @@ func (c *Client) Flush(ctx context.Context) error {
 		}
 		c.mu.Lock()
 		err := c.err
-		done := len(c.pend) == 0 && len(c.sendq) == 0
+		done := c.pend.len() == 0 && len(c.sendq) == 0
 		c.mu.Unlock()
 		if err != nil {
 			return err
@@ -836,14 +918,14 @@ func (c *Client) install(nc net.Conn) {
 // duplicates harmless. Called with c.mu held.
 func (c *Client) rebuildSendqLocked() {
 	c.sendq = c.sendq[:0]
-	for seq, p := range c.pend {
+	c.pend.forEach(func(seq uint64, p *pending) {
 		op := byte(wire.OpRead)
 		if p.write {
 			op = wire.OpWrite
 		}
 		c.sendq = append(c.sendq, wire.Request{Op: op, Seq: seq, Addr: p.addr, Data: p.data})
-	}
-	c.ctr.Retransmits += uint64(len(c.pend))
+	})
+	c.ctr.Retransmits += uint64(c.pend.len())
 	for seq := range c.flushW {
 		c.sendq = append(c.sendq, wire.Request{Op: wire.OpFlush, Seq: seq})
 	}
@@ -879,18 +961,18 @@ func (c *Client) deadlineLoop() {
 func (c *Client) expire(now time.Time) {
 	c.mu.Lock()
 	var cbs []invocation
-	for seq, p := range c.pend {
+	c.pend.forEach(func(seq uint64, p *pending) {
 		if p.deadline.IsZero() || now.Before(p.deadline) {
-			continue
+			return
 		}
-		delete(c.pend, seq)
+		c.pend.del(seq)
 		c.ctr.DeadlineExceeded++
 		c.release()
 		if !p.write && p.cb != nil {
 			cbs = append(cbs, invocation{cb: p.cb, comp: Completion{Addr: p.addr, Err: ErrDeadlineExceeded}})
 		}
 		c.retirePendLocked(p)
-	}
+	})
 	c.mu.Unlock()
 	for i := range cbs {
 		cbs[i].cb(cbs[i].comp)
@@ -917,7 +999,7 @@ func (c *Client) noteStall(code byte) {
 // dropLocked resolves p as dropped. Returns the callback to stage, if
 // any. Called with c.mu held.
 func (c *Client) dropLocked(seq uint64, p *pending, code byte, exhausted bool) (invocation, bool) {
-	delete(c.pend, seq)
+	c.pend.del(seq)
 	c.ctr.Drops++
 	if exhausted {
 		c.ctr.Exhausted++
@@ -962,19 +1044,19 @@ func (c *Client) handleReplies(reps []wire.Reply, cbs []invocation) ([]invocatio
 			}
 			continue
 		case wire.StatusAccepted:
-			p, ok := c.pend[rp.Seq]
+			p, ok := c.pend.get(rp.Seq)
 			if !ok || !p.write {
 				if err := c.strayErr("accept", rp.Seq); err != nil {
 					return cbs, retry, err
 				}
 				continue
 			}
-			delete(c.pend, rp.Seq)
+			c.pend.del(rp.Seq)
 			c.ctr.AcceptedWrites++
 			c.release()
 			c.retirePendLocked(p)
 		case wire.StatusStall:
-			p, ok := c.pend[rp.Seq]
+			p, ok := c.pend.get(rp.Seq)
 			if !ok {
 				if err := c.strayErr("stall", rp.Seq); err != nil {
 					return cbs, retry, err
@@ -1003,7 +1085,7 @@ func (c *Client) handleReplies(reps []wire.Reply, cbs []invocation) ([]invocatio
 			c.sendq = append(c.sendq, wire.Request{Op: op, Seq: rp.Seq, Addr: p.addr, Data: p.data})
 			retry = true
 		case wire.StatusDropped:
-			p, ok := c.pend[rp.Seq]
+			p, ok := c.pend.get(rp.Seq)
 			if !ok {
 				if err := c.strayErr("drop", rp.Seq); err != nil {
 					return cbs, retry, err
@@ -1025,14 +1107,14 @@ func (c *Client) handleCompletions(comps []wire.Completion, cbs []invocation) ([
 	defer c.mu.Unlock()
 	for i := range comps {
 		w := &comps[i]
-		p, ok := c.pend[w.Seq]
+		p, ok := c.pend.get(w.Seq)
 		if !ok || p.write {
 			if err := c.strayErr("completion", w.Seq); err != nil {
 				return cbs, err
 			}
 			continue
 		}
-		delete(c.pend, w.Seq)
+		c.pend.del(w.Seq)
 		c.ctr.Completions++
 		var err error
 		if w.Flags&wire.FlagUncorrectable != 0 {
@@ -1081,14 +1163,14 @@ func (c *Client) fail(err error) {
 	c.closed = true
 	c.err = err
 	var cbs []invocation
-	for seq, p := range c.pend {
-		delete(c.pend, seq)
+	c.pend.forEach(func(seq uint64, p *pending) {
+		c.pend.del(seq)
 		c.release()
 		if !p.write && p.cb != nil {
 			cbs = append(cbs, invocation{cb: p.cb, comp: Completion{Addr: p.addr, Err: err}})
 		}
 		c.retirePendLocked(p)
-	}
+	})
 	for seq, ch := range c.flushW {
 		delete(c.flushW, seq)
 		close(ch)

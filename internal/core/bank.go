@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/dram"
 	"repro/internal/queue"
@@ -75,6 +76,13 @@ type bankController struct {
 	owner    *Controller
 	rows     []dsbRow
 	freeRows int
+	// byAddr indexes the CAM: addr → row for every allocated,
+	// address-valid row (at most one per address). freeMask is the "first
+	// zero circuit" as a bitmask, one set bit per free row. Both are pure
+	// accelerators over rows — the row flags stay authoritative — sized
+	// once at construction so steady state never allocates.
+	byAddr   map[uint64]int32
+	freeMask []uint64
 	baq      *queue.Ring[baqEntry]
 	wb       *queue.Ring[wbEntry]
 
@@ -89,12 +97,15 @@ func newBankController(id int, cfg Config, owner *Controller) *bankController {
 		owner:    owner,
 		rows:     make([]dsbRow, cfg.DelayRows),
 		freeRows: cfg.DelayRows,
+		byAddr:   make(map[uint64]int32, cfg.DelayRows),
+		freeMask: make([]uint64, (cfg.DelayRows+63)/64),
 		baq:      queue.NewRing[baqEntry](cfg.QueueDepth),
 		wb:       queue.NewRing[wbEntry](cfg.WriteBufferDepth),
 		trace:    cfg.Trace,
 	}
 	for i := range b.rows {
 		b.rows[i].data = make([]byte, cfg.WordBytes)
+		b.freeMask[i>>6] |= 1 << (uint(i) & 63)
 	}
 	return b
 }
@@ -104,10 +115,8 @@ func newBankController(id int, cfg Config, owner *Controller) *bankController {
 // for a given address (new rows are only allocated on a CAM miss, and a
 // write invalidates the matching row before any new row can appear).
 func (b *bankController) lookup(addr uint64) int {
-	for i := range b.rows {
-		if b.rows[i].allocated && b.rows[i].addrValid && b.rows[i].addr == addr {
-			return i
-		}
+	if i, ok := b.byAddr[addr]; ok {
+		return int(i)
 	}
 	return -1
 }
@@ -115,30 +124,38 @@ func (b *bankController) lookup(addr uint64) int {
 // allocRow is the "first zero circuit": it reserves the lowest-indexed
 // free row for addr. The caller must have checked freeRows > 0.
 func (b *bankController) allocRow(addr uint64) int {
-	for i := range b.rows {
-		if !b.rows[i].allocated {
-			r := &b.rows[i]
-			r.allocated = true
-			r.addrValid = true
-			r.addr = addr
-			r.count = 1
-			r.dataReady = false
-			r.corrupt = false
-			b.freeRows--
-			b.owner.noteRowAlloc(b.id)
-			return i
+	for w, m := range b.freeMask {
+		if m == 0 {
+			continue
 		}
+		i := w<<6 | bits.TrailingZeros64(m)
+		b.freeMask[w] = m & (m - 1)
+		r := &b.rows[i]
+		r.allocated = true
+		r.addrValid = true
+		r.addr = addr
+		r.count = 1
+		r.dataReady = false
+		r.corrupt = false
+		b.byAddr[addr] = int32(i)
+		b.freeRows--
+		b.owner.noteRowAlloc(b.id)
+		return i
 	}
 	panic("core: allocRow called with no free rows")
 }
 
 func (b *bankController) freeRow(rowID int) {
 	r := &b.rows[rowID]
+	if r.addrValid {
+		delete(b.byAddr, r.addr)
+	}
 	r.allocated = false
 	r.addrValid = false
 	r.count = 0
 	r.dataReady = false
 	r.corrupt = false
+	b.freeMask[rowID>>6] |= 1 << (uint(rowID) & 63)
 	b.freeRows++
 	b.owner.noteRowFree(b.id)
 }
@@ -185,6 +202,7 @@ func (b *bankController) acceptWrite(addr uint64, data []byte) error {
 	}
 	if rowID := b.lookup(addr); rowID >= 0 {
 		b.rows[rowID].addrValid = false
+		delete(b.byAddr, addr)
 	}
 	b.wb.Push(wbEntry{addr: addr, data: data})
 	b.baq.Push(baqEntry{isWrite: true})

@@ -75,6 +75,16 @@ type Controller struct {
 	memTime uint64 // memory-bus cycles completed
 	rrPtr   int    // work-conserving round-robin pointer
 
+	// Memory-clock fast path: ratioNum/ratioDen cache cfg.RatioNum and
+	// cfg.RatioDen as uint64, and memRem holds cycle*ratioNum mod
+	// ratioDen, so each Tick derives the next bus-cycle target with one
+	// add and one division instead of recomputing floor(cycle*N/D) from
+	// scratch. skipState keeps the remainder exact across idle skips;
+	// the event/dense differential tests pin the equivalence.
+	ratioNum uint64
+	ratioDen uint64
+	memRem   uint64
+
 	nextTag        uint64
 	readsThisCycle int  // reads accepted this interface cycle (cap maxReads)
 	maxReads       int  // per-cycle read admission cap: Coded.ReadPorts()
@@ -156,6 +166,8 @@ func New(cfg Config) (*Controller, error) {
 		banks:         make([]*bankController, cfg.Banks),
 		bankMask:      uint64(cfg.Banks - 1),
 		maxCount:      1<<uint(cfg.CounterBits) - 1,
+		ratioNum:      uint64(cfg.RatioNum),
+		ratioDen:      uint64(cfg.RatioDen),
 		maxReads:      maxReads,
 		dense:         cfg.DenseScan,
 		queuedBanks:   newBankSet(cfg.Banks),
@@ -458,7 +470,11 @@ func (c *Controller) fillProbeLedger(s *telemetry.TickSample) {
 // work in turn; in StrictRoundRobin mode the slot belongs to bank
 // (m mod B) alone and is wasted if that bank cannot use it.
 func (c *Controller) advanceMemory() {
-	target := c.cycle * uint64(c.cfg.RatioNum) / uint64(c.cfg.RatioDen)
+	// Incremental floor(cycle*N/D): memTime already equals the previous
+	// cycle's target, so this cycle adds floor((rem+N)/D) bus cycles.
+	c.memRem += c.ratioNum
+	target := c.memTime + c.memRem/c.ratioDen
+	c.memRem %= c.ratioDen
 	nBanks := len(c.banks)
 	for c.memTime < target {
 		m := c.memTime
@@ -683,7 +699,8 @@ func (c *Controller) skipState(k uint64) {
 	c.cycle += k
 	c.stats.Cycles += k
 	c.stats.RowOccupancySum += uint64(c.rowsUse) * k
-	target := c.cycle * uint64(c.cfg.RatioNum) / uint64(c.cfg.RatioDen)
+	target := c.cycle * c.ratioNum / c.ratioDen
+	c.memRem = c.cycle * c.ratioNum % c.ratioDen
 	c.stats.MemCycles += target - c.memTime
 	c.memTime = target
 	// One endCycle covers the whole span: the request flags and ports it

@@ -181,35 +181,98 @@ func (m *Memory) Delay() int { return m.chans[0].Delay() }
 // clock, so any channel's cycle is the memory's cycle.
 func (m *Memory) Cycle() uint64 { return m.chans[0].Cycle() }
 
-// Read issues a read on addr's channel. Up to Ports() reads (plus one
-// write per channel) can be accepted per cycle — at most one read per
-// channel, or the coded read-port count when coding is enabled.
-func (m *Memory) Read(addr uint64) (tag uint64, err error) {
-	ch := m.Channel(addr)
+// SplitTag decomposes a completion tag into the channel that served the
+// request and that channel's dense per-controller tag. The serving
+// engine uses the pair to index its preallocated per-channel route
+// rings instead of a map.
+func (m *Memory) SplitTag(tag uint64) (ch int, chanTag uint64) {
+	return int(tag & m.mask), tag >> m.shift
+}
+
+// readOn issues a read on channel ch, which must be Channel(addr). It
+// reports the raw controller errors (core.ErrSecondRequest when the
+// channel's ports are spent this cycle) — the out-of-order stage keys
+// its per-channel sweep off them; Read remaps to ErrChannelBusy for the
+// one-request-per-call interface.
+func (m *Memory) readOn(ch int, addr uint64) (tag uint64, err error) {
 	t, err := m.chans[ch].Read(addr)
 	if err != nil {
-		if err == core.ErrSecondRequest {
-			m.busy++
-			return 0, ErrChannelBusy
-		}
 		return 0, err
 	}
 	m.reads++
 	return t<<m.shift | uint64(ch), nil
 }
 
-// Write issues a write on addr's channel.
-func (m *Memory) Write(addr uint64, data []byte) error {
-	ch := m.Channel(addr)
+// writeOn issues a write on channel ch, which must be Channel(addr).
+func (m *Memory) writeOn(ch int, addr uint64, data []byte) error {
 	if err := m.chans[ch].Write(addr, data); err != nil {
-		if err == core.ErrSecondRequest {
-			m.busy++
-			return ErrChannelBusy
-		}
 		return err
 	}
 	m.writes++
 	return nil
+}
+
+// Read issues a read on addr's channel. Up to Ports() reads (plus one
+// write per channel) can be accepted per cycle — at most one read per
+// channel, or the coded read-port count when coding is enabled.
+func (m *Memory) Read(addr uint64) (tag uint64, err error) {
+	tag, err = m.readOn(m.Channel(addr), addr)
+	if err == core.ErrSecondRequest {
+		m.busy++
+		return 0, ErrChannelBusy
+	}
+	return tag, err
+}
+
+// Write issues a write on addr's channel.
+func (m *Memory) Write(addr uint64, data []byte) error {
+	err := m.writeOn(m.Channel(addr), addr, data)
+	if err == core.ErrSecondRequest {
+		m.busy++
+		return ErrChannelBusy
+	}
+	return err
+}
+
+// Rekey re-keys every channel's bank hash in unison: each channel
+// drains, swaps its universal hash for one drawn from a fresh
+// per-channel seed, and pays its own relocation cost; the shared clock
+// is then realigned by fast-forwarding the cheaper channels (quiescent
+// after their own rekey, so the skip is O(1)) to the most expensive
+// one. The channel-selector hash is NOT rekeyed — addresses keep their
+// channel, so requests parked above the memory (e.g. in an out-of-order
+// issue stage) stay correctly routed across a rekey.
+//
+// Completions that were still in flight when the drain began are
+// returned re-tagged (their Data copied); each is still delivered
+// exactly D cycles after its issue — draining ticks are ordinary
+// interface cycles.
+func (m *Memory) Rekey(newSeed uint64) ([]core.Completion, error) {
+	var drained []core.Completion
+	for ch, c := range m.chans {
+		_, _, comps, err := c.Rekey(newSeed + uint64(ch)*0x9e3779b9)
+		if err != nil {
+			return drained, err
+		}
+		for _, comp := range comps {
+			comp.Tag = comp.Tag<<m.shift | uint64(ch)
+			drained = append(drained, comp)
+		}
+	}
+	var max uint64
+	for _, c := range m.chans {
+		if c.Cycle() > max {
+			max = c.Cycle()
+		}
+	}
+	for _, c := range m.chans {
+		if d := max - c.Cycle(); d > 0 {
+			if c.SkipIdle(d) != d {
+				return drained, fmt.Errorf("multichannel: channel refused the post-rekey clock realignment")
+			}
+		}
+	}
+	return drained, nil
 }
 
 // Tick advances every channel one cycle and merges their completions

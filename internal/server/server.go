@@ -67,12 +67,17 @@ import (
 	"repro/internal/multichannel"
 	"repro/internal/qos"
 	"repro/internal/recovery"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
 // DefaultWindow bounds the per-session queue of decoded-but-unissued
 // requests when Config.Window is zero.
 const DefaultWindow = 1024
+
+// DefaultOOODepth bounds each channel's out-of-order pending queue when
+// Config.OOO is on and Config.OOODepth is zero.
+const DefaultOOODepth = multichannel.DefaultStageDepth
 
 // Config tunes an Engine.
 type Config struct {
@@ -100,7 +105,27 @@ type Config struct {
 	// the engine clock — buckets refill one interface cycle at a time
 	// (idle skips included), so rate limits are in requests per
 	// interface cycle, the same unit the paper provisions banks in.
+	// With OOO on, the token is charged at ADMISSION into the
+	// out-of-order stage, so a throttled tenant's held queue head never
+	// occupies a channel slot another tenant could use.
 	QoS *qos.Regulator
+	// OOO enables the out-of-order issue stage: instead of blocking a
+	// session's whole queue on one channel's same-cycle collision, the
+	// engine admits queue heads into per-channel pending rings and
+	// issues the oldest issuable request on EVERY channel each cycle,
+	// lifting req/cycle from the in-order collision expectation (~1.82
+	// at 4 channels) toward the channel count. Fixed-D is untouched
+	// (the contract is per-request) and same-address ordering is
+	// preserved structurally — see multichannel.Stage. The in-order
+	// sweep remains the default.
+	OOO bool
+	// OOODepth bounds each channel's pending ring in the out-of-order
+	// stage. Zero selects DefaultOOODepth. Ignored without OOO.
+	OOODepth int
+	// Metrics, when non-nil alongside OOO, registers the vpnm_ooo_*
+	// series (reorder-depth histogram, per-channel pending occupancy
+	// gauges, head-of-line-bypass counter) on the given registry.
+	Metrics *telemetry.Registry
 	// WriteTimeout, when positive, bounds each frame write to a client.
 	// A peer that stops reading trips the deadline; the conn detaches
 	// and the session keeps the undelivered output for resume.
@@ -163,6 +188,8 @@ type Snapshot struct {
 	Uncorrectable  uint64 `json:"uncorrectable"`
 	Flushes        uint64 `json:"flushes"`
 	Outstanding    uint64 `json:"outstanding"`
+	OOODepth       int    `json:"ooo_depth,omitempty"`
+	OOOPending     uint64 `json:"ooo_pending,omitempty"`
 	ReplaysServed  uint64 `json:"replays_served"`
 	ReplaysDeduped uint64 `json:"replays_deduped"`
 	MemReads       uint64 `json:"mem_reads"`
@@ -180,11 +207,27 @@ type counters struct {
 
 // route remembers which session issued the read behind a memory tag,
 // and at which cycle the request was enqueued (for tenant latency
-// accounting).
+// accounting). Routes live in a flat preallocated ring indexed by the
+// tag's channel and per-channel tag bits — see recordRoute — so the
+// steady-state data plane never touches a map. tagp is the full tag
+// plus one; zero marks a free slot.
 type route struct {
-	s   *session
-	seq uint64
-	enq uint64
+	s    *session
+	seq  uint64
+	enq  uint64
+	tagp uint64
+}
+
+// oooSlot is the engine-side state of one request parked in the
+// out-of-order stage: which session owns it, its wire seq, its enqueue
+// cycle (for tenant latency), and the hold-and-retry attempt count.
+// The stage's Pending.Cookie is the slot index; slots are preallocated
+// for the stage's full capacity and recycled through a freelist.
+type oooSlot struct {
+	s        *session
+	seq      uint64
+	enq      uint64
+	attempts int
 }
 
 // inFrame is one decoded request frame awaiting lockstep admission.
@@ -225,7 +268,23 @@ type Engine struct {
 	// never the reverse. The engine loop snapshots the session list
 	// under e.mu, releases it, and only then touches per-session state.
 
-	routes      map[uint64]route // engine-goroutine private
+	// routeTab is the per-channel route ring, flat over channels:
+	// channel ch's slots occupy routeTab[ch<<routeBits : (ch+1)<<routeBits].
+	// Within a channel the controller's tags are dense and delivered
+	// FIFO, so at most nextPow2(ports*Delay) are ever live at once and
+	// the low tag bits index uniquely. Engine-goroutine private.
+	routeTab  []route
+	routeBits uint
+	routeMask uint64
+
+	// Out-of-order issue stage (nil unless Config.OOO). oooSlots and
+	// oooFree are engine-goroutine private; stageTot mirrors the
+	// stage's occupancy for the loop/drain/snapshot paths.
+	ooo      *multichannel.Stage
+	oooSlots []oooSlot
+	oooFree  []uint32
+	stageTot atomic.Int64
+
 	cycle       atomic.Uint64
 	outstanding atomic.Int64 // reads accepted, completion not yet routed
 	pendingTot  atomic.Int64 // queued requests across all sessions
@@ -296,13 +355,39 @@ func New(cfg Config) (*Engine, error) {
 		delay:      uint64(cfg.Mem.Delay()),
 		ports:      cfg.Mem.Ports(),
 		sessByID:   make(map[uint64]*session),
-		routes:     make(map[uint64]route),
 		work:       make(chan struct{}, 1),
 		frames:     make(chan inFrame, 16),
 		done:       make(chan struct{}),
 		loopDone:   make(chan struct{}),
 		drainStart: make(chan struct{}),
 		drainDone:  make(chan struct{}),
+	}
+	// Per-channel route ring: a channel's controller delivers its reads
+	// FIFO within at most ReadPorts()*Delay cycles of issue (the due
+	// ring's capacity), so live per-channel tags span a window no wider
+	// than that and their low bits index uniquely into a power-of-two
+	// ring.
+	chanCap := uint64(1)
+	for chanCap < uint64(cfg.Mem.Coded().ReadPorts())*e.delay {
+		chanCap <<= 1
+	}
+	e.routeMask = chanCap - 1
+	for uint64(1)<<e.routeBits < chanCap {
+		e.routeBits++
+	}
+	e.routeTab = make([]route, chanCap*uint64(cfg.Mem.Channels()))
+	if cfg.OOO {
+		if cfg.OOODepth <= 0 {
+			cfg.OOODepth = DefaultOOODepth
+			e.cfg.OOODepth = DefaultOOODepth
+		}
+		n := cfg.Mem.Channels() * cfg.OOODepth
+		e.oooSlots = make([]oooSlot, n)
+		e.oooFree = make([]uint32, n)
+		for i := range e.oooFree {
+			e.oooFree[i] = uint32(n - 1 - i)
+		}
+		e.ooo = multichannel.NewStage(cfg.Mem, cfg.OOODepth, e.oooSink, cfg.Metrics)
 	}
 	e.pool.SetCheck(cfg.PoolCheck)
 	go e.loop()
@@ -336,6 +421,16 @@ func (e *Engine) Close() error {
 		default:
 		}
 		break
+	}
+	// Return the pooled payloads still parked in the out-of-order stage.
+	// The loop goroutine is gone, so the stage is ours to drain.
+	if e.ooo != nil {
+		e.ooo.Drain(func(p *multichannel.Pending) {
+			if p.Data != nil {
+				e.pool.Put(p.Data)
+				p.Data = nil
+			}
+		})
 	}
 	e.mu.Lock()
 	sessions := append([]*session(nil), e.sessions...)
@@ -466,6 +561,10 @@ func (e *Engine) readSnapshot() Snapshot {
 	if out < 0 {
 		out = 0
 	}
+	stage := e.stageTot.Load()
+	if stage < 0 {
+		stage = 0
+	}
 	geo := e.mem.Coded()
 	return Snapshot{
 		Cycle:          e.cycle.Load(),
@@ -489,6 +588,8 @@ func (e *Engine) readSnapshot() Snapshot {
 		Uncorrectable:  e.ctr.uncorrectable.Load(),
 		Flushes:        e.ctr.flushes.Load(),
 		Outstanding:    uint64(out),
+		OOODepth:       e.cfg.OOODepth,
+		OOOPending:     uint64(stage),
 		ReplaysServed:  e.ctr.replaysServed.Load(),
 		ReplaysDeduped: e.ctr.replaysDeduped.Load(),
 		MemReads:       e.memReads.Load(),
@@ -571,7 +672,7 @@ func (e *Engine) wake() {
 // checkDrained closes drainDone once a requested drain has emptied the
 // pipeline. Engine goroutine only.
 func (e *Engine) checkDrained() {
-	if e.draining.Load() && e.pendingTot.Load() == 0 && e.outstanding.Load() == 0 {
+	if e.draining.Load() && e.pendingTot.Load() == 0 && e.outstanding.Load() == 0 && e.stageTot.Load() == 0 {
 		e.drainOnce.Do(func() { close(e.drainDone) })
 	}
 }
@@ -586,9 +687,17 @@ func (e *Engine) loop() {
 	}
 	for {
 		if e.cfg.Lockstep {
-			// Admit the next frame only once the previous one is fully
-			// drained; never tick while idle.
-			if e.pendingTot.Load() == 0 {
+			// Admit the next frame only once the previous one's queue is
+			// fully admitted; never tick while idle. Work parked in the
+			// out-of-order stage (or in flight) intentionally does NOT
+			// keep the clock running — cycles advance only while a frame
+			// is draining, so the cycle counter stays a pure function of
+			// the frame sequence; a later frame's steps (or an OpFlush)
+			// sweep the residue. The one exception is a drain: no future
+			// frame will ever arrive, so step until the stage and the
+			// pipeline are empty.
+			if e.pendingTot.Load() == 0 &&
+				!(e.draining.Load() && (e.stageTot.Load() > 0 || e.outstanding.Load() > 0)) {
 				e.checkDrained()
 				select {
 				case fr := <-e.frames:
@@ -599,7 +708,7 @@ func (e *Engine) loop() {
 				}
 				continue // re-check: the frame may target a closed session
 			}
-		} else if e.pendingTot.Load() == 0 && e.outstanding.Load() == 0 {
+		} else if e.pendingTot.Load() == 0 && e.outstanding.Load() == 0 && e.stageTot.Load() == 0 {
 			e.checkDrained()
 			select {
 			case <-e.work:
@@ -661,17 +770,34 @@ func (e *Engine) step() {
 	e.mu.Unlock()
 
 	if n := len(sessions); n > 0 {
-		// Up to Ports() read requests can be accepted per cycle (one per
-		// channel, times the coded read-port count when XOR-parity bank
-		// groups are on). Round-robin across sessions, FIFO within one;
-		// keep sweeping while somebody makes progress.
-		budget := e.ports
-		progress := true
-		for budget > 0 && progress {
-			progress = false
-			for i := 0; i < n && budget > 0; i++ {
-				if e.issueFrom(sessions[(rr+i)%n], &budget) {
-					progress = true
+		if e.ooo != nil {
+			// Out-of-order issue: drain session queue heads into the
+			// per-channel pending rings (round-robin across sessions,
+			// FIFO within one, quota-bounded so no session can squat the
+			// whole stage), then issue the oldest issuable request on
+			// every channel.
+			quota := e.ooo.Cap() / n
+			if quota < e.ports {
+				quota = e.ports
+			}
+			for i := 0; i < n; i++ {
+				e.admitFrom(sessions[(rr+i)%n], quota)
+			}
+			e.ooo.Sweep()
+		} else {
+			// In-order issue: up to Ports() read requests can be accepted
+			// per cycle (one per channel, times the coded read-port count
+			// when XOR-parity bank groups are on). Round-robin across
+			// sessions, FIFO within one; keep sweeping while somebody
+			// makes progress.
+			budget := e.ports
+			progress := true
+			for budget > 0 && progress {
+				progress = false
+				for i := 0; i < n && budget > 0; i++ {
+					if e.issueFrom(sessions[(rr+i)%n], &budget) {
+						progress = true
+					}
 				}
 			}
 		}
@@ -682,8 +808,28 @@ func (e *Engine) step() {
 	if e.reg != nil {
 		e.reg.Advance(1)
 	}
-	for _, comp := range comps {
-		e.deliver(comp)
+	if len(comps) > 0 {
+		// One batched counter update per cycle, not one per completion,
+		// and one session-lock acquisition per run of same-session
+		// completions: the deliver loop is the hottest edge of the data
+		// plane.
+		e.outstanding.Add(-int64(len(comps)))
+		e.ctr.completions.Add(uint64(len(comps)))
+		var cur *session
+		for i := range comps {
+			rt := e.takeRoute(comps[i].Tag)
+			if rt.s != cur {
+				if cur != nil {
+					cur.mu.Unlock()
+				}
+				cur = rt.s
+				cur.mu.Lock()
+			}
+			e.deliverLocked(rt, &comps[i])
+		}
+		if cur != nil {
+			cur.mu.Unlock()
+		}
 	}
 	// Wake each touched session's writer exactly once, now that every
 	// verdict of the step is staged: the writer drains the whole step's
@@ -731,7 +877,7 @@ func (e *Engine) noteOut(s *session) {
 // (hold-and-retry re-presentation still happens every cycle, keeping
 // MaxAttempts and refill accounting exact).
 func (e *Engine) skipIdleSpan(sessions []*session) {
-	if e.cfg.TickInterval > 0 || e.outstanding.Load() == 0 {
+	if e.cfg.TickInterval > 0 || e.outstanding.Load() == 0 || e.stageTot.Load() != 0 {
 		return
 	}
 	for _, s := range sessions {
@@ -830,7 +976,7 @@ func (e *Engine) issueFrom(s *session, budget *int) bool {
 		case wire.OpRead:
 			tag, err := e.mem.Read(req.addr)
 			if err == nil {
-				e.routes[tag] = route{s: s, seq: req.seq, enq: req.enq}
+				e.recordRoute(tag, s, req.seq, req.enq)
 				s.outstanding++
 				e.outstanding.Add(1)
 				e.ctr.reads.Add(1)
@@ -946,22 +1092,197 @@ func (e *Engine) refused(s *session, req *pendingReq, err error) bool {
 	}
 }
 
-// deliver routes one memory completion back to its session.
-func (e *Engine) deliver(comp core.Completion) {
-	e.outstanding.Add(-1)
-	rt, ok := e.routes[comp.Tag]
-	if !ok {
-		panic(fmt.Sprintf("server: completion for unrouted tag %d", comp.Tag))
+// admitFrom drains the head of one session's queue into the
+// out-of-order stage until the queue empties, the head must wait (a
+// flush barrier, a throttle hold, a full channel ring), or the session
+// reaches its per-cycle stage quota — the fairness rule: one session
+// can reorder ahead of its own later requests, never squat the whole
+// stage and starve another session's channels. The tenant token is
+// charged HERE, at admission, so a throttled head never occupies stage
+// space another tenant could use. It reports whether any request was
+// admitted or resolved.
+func (e *Engine) admitFrom(s *session, quota int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
 	}
-	delete(e.routes, comp.Tag)
-	e.ctr.completions.Add(1)
+	progress := false
+	for s.head < len(s.pending) && s.inStage < quota {
+		req := &s.pending[s.head]
+		if s.tenant != nil && !req.paid && (req.op == wire.OpRead || req.op == wire.OpWrite) {
+			// Same admission gate as issueFrom: one token per request,
+			// charged once, one refusal per cycle.
+			cyc := e.cycle.Load()
+			if s.thrCycle == cyc && s.thrSeq == req.seq {
+				return progress
+			}
+			if !s.tenant.TryIssue() {
+				s.thrCycle, s.thrSeq = cyc, req.seq
+				if !e.throttledHead(s, req) {
+					return progress
+				}
+				progress = true
+				continue
+			}
+			req.paid = true
+		}
+		switch req.op {
+		case wire.OpStats:
+			s.stageStats(e.statsFor(req.seq))
+			e.noteOut(s)
+			s.popLocked()
+			progress = true
+		case wire.OpFlush:
+			if s.inStage > 0 || s.outstanding > 0 {
+				return progress // barrier: wait for the stage and completions
+			}
+			e.ctr.flushes.Add(1)
+			s.stageReply(wire.Reply{Status: wire.StatusFlushed, Seq: req.seq})
+			e.noteOut(s)
+			s.popLocked()
+			progress = true
+		case wire.OpRead, wire.OpWrite:
+			if !e.ooo.Room(e.mem.Channel(req.addr)) {
+				return progress // channel ring full; re-offer after a sweep
+			}
+			idx := e.oooFree[len(e.oooFree)-1]
+			e.oooFree = e.oooFree[:len(e.oooFree)-1]
+			e.oooSlots[idx] = oooSlot{s: s, seq: req.seq, enq: req.enq, attempts: req.attempts}
+			e.ooo.Admit(multichannel.Pending{
+				Addr:   req.addr,
+				Data:   req.data,
+				Cookie: uint64(idx),
+				Write:  req.op == wire.OpWrite,
+			})
+			req.data = nil
+			s.inStage++
+			e.stageTot.Add(1)
+			s.popLocked()
+			progress = true
+		default:
+			// The decoder validates opcodes; anything else is a bug.
+			panic(fmt.Sprintf("server: unknown queued opcode %d", req.op))
+		}
+	}
+	return progress
+}
+
+// oooSink receives every issue outcome from the out-of-order stage's
+// sweep. Engine goroutine only (it runs inside step's e.ooo.Sweep()).
+func (e *Engine) oooSink(p *multichannel.Pending, tag uint64, err error) bool {
+	slot := &e.oooSlots[p.Cookie]
+	s := slot.s
+	if err == nil {
+		if p.Write {
+			// The controller copied the payload on accept; the pooled
+			// buffer's work is done.
+			e.pool.Put(p.Data)
+			e.ctr.writes.Add(1)
+			s.mu.Lock()
+			s.inStage--
+			if s.resumable() {
+				s.resolveLocked(slot.seq)
+				s.rememberLocked(slot.seq, doneEntry{write: true})
+			}
+			s.stageReply(wire.Reply{Status: wire.StatusAccepted, Seq: slot.seq})
+			e.noteOut(s)
+			s.mu.Unlock()
+		} else {
+			e.recordRoute(tag, s, slot.seq, slot.enq)
+			e.outstanding.Add(1)
+			e.ctr.reads.Add(1)
+			s.mu.Lock()
+			s.inStage--
+			s.outstanding++
+			s.mu.Unlock()
+		}
+		e.freeSlot(uint32(p.Cookie))
+		return true
+	}
+	if core.IsStall(err) {
+		if e.cfg.Policy == recovery.DropWithAccounting {
+			e.ctr.stalls.Add(1)
+			e.resolveStage(p, slot, wire.Reply{Status: wire.StatusStall, Code: wire.CodeOf(err), Seq: slot.seq})
+			return true
+		}
+		slot.attempts++
+		if slot.attempts >= e.cfg.MaxAttempts {
+			e.ctr.dropped.Add(1)
+			e.resolveStage(p, slot, wire.Reply{Status: wire.StatusDropped, Code: wire.CodeOf(err), Seq: slot.seq})
+			return true
+		}
+		e.ctr.stallRetries.Add(1)
+		return false // held at its channel head for next cycle
+	}
+	e.logf("server: dropping request seq %d: %v", slot.seq, err)
+	e.ctr.dropped.Add(1)
+	e.resolveStage(p, slot, wire.Reply{Status: wire.StatusDropped, Code: wire.CodeOther, Seq: slot.seq})
+	return true
+}
+
+// resolveStage retires a staged request with a terminal reply — the
+// out-of-order mirror of resolveHeadLocked. Engine goroutine only.
+func (e *Engine) resolveStage(p *multichannel.Pending, slot *oooSlot, rep wire.Reply) {
+	s := slot.s
+	e.pool.Put(p.Data)
+	p.Data = nil
+	s.mu.Lock()
+	s.inStage--
+	if s.resumable() {
+		s.resolveLocked(slot.seq)
+	}
+	s.stageReply(rep)
+	e.noteOut(s)
+	s.mu.Unlock()
+	e.freeSlot(uint32(p.Cookie))
+}
+
+// freeSlot recycles one stage slot back to the freelist. Engine
+// goroutine only.
+func (e *Engine) freeSlot(idx uint32) {
+	e.oooSlots[idx] = oooSlot{}
+	e.oooFree = append(e.oooFree, idx)
+	e.stageTot.Add(-1)
+}
+
+// recordRoute stores the (session, seq, enq) behind an accepted read's
+// tag in the preallocated route ring. Engine goroutine only.
+func (e *Engine) recordRoute(tag uint64, s *session, seq, enq uint64) {
+	ch, chanTag := e.mem.SplitTag(tag)
+	rt := &e.routeTab[uint64(ch)<<e.routeBits|(chanTag&e.routeMask)]
+	if rt.tagp != 0 {
+		panic(fmt.Sprintf("server: route ring slot for tag %d still live (tag %d)", tag, rt.tagp-1))
+	}
+	*rt = route{s: s, seq: seq, enq: enq, tagp: tag + 1}
+}
+
+// takeRoute resolves and clears the route ring entry behind a
+// completion's tag. Engine goroutine only.
+func (e *Engine) takeRoute(tag uint64) route {
+	ch, chanTag := e.mem.SplitTag(tag)
+	rtp := &e.routeTab[uint64(ch)<<e.routeBits|(chanTag&e.routeMask)]
+	if rtp.tagp != tag+1 {
+		panic(fmt.Sprintf("server: completion for unrouted tag %d", tag))
+	}
+	rt := *rtp
+	*rtp = route{}
+	return rt
+}
+
+// deliverLocked routes one memory completion back to its session. The
+// caller (step) holds rt.s.mu — and keeps holding it across runs of
+// consecutive same-session completions, so a cycle's worth of
+// deliveries costs one lock acquisition per session, not one per
+// completion — and has already batched the outstanding/completions
+// counter updates for the whole cycle.
+func (e *Engine) deliverLocked(rt route, comp *core.Completion) {
 	var flags byte
 	if comp.Err != nil && errors.Is(comp.Err, core.ErrUncorrectable) {
 		flags |= wire.FlagUncorrectable
 		e.ctr.uncorrectable.Add(1)
 	}
 	s := rt.s
-	s.mu.Lock()
 	s.outstanding--
 	if s.tenant != nil {
 		s.tenant.NoteLatency(comp.DeliveredAt - rt.enq)
@@ -973,7 +1294,6 @@ func (e *Engine) deliver(comp core.Completion) {
 		if s.outstanding == 0 {
 			e.pruneReq.Store(true)
 		}
-		s.mu.Unlock()
 		return
 	}
 	out := wire.Completion{
@@ -994,7 +1314,6 @@ func (e *Engine) deliver(comp core.Completion) {
 	}
 	s.stageComp(out)
 	e.noteOut(s)
-	s.mu.Unlock()
 }
 
 func (e *Engine) statsFor(seq uint64) wire.Stats {

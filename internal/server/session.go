@@ -49,6 +49,7 @@ type session struct {
 	head    int
 
 	outstanding int // reads issued to the memory, completion not yet routed
+	inStage     int // requests parked in the out-of-order stage (OOO mode)
 
 	// Throttle-once-per-cycle guard: the issue sweep may visit a
 	// session several times per cycle, but a queue head refused a token
@@ -392,5 +393,5 @@ func (s *session) shutdown() {
 func (s *session) prunable() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.closed && s.cur == nil && s.queuedLocked() == 0 && s.outstanding == 0
+	return s.closed && s.cur == nil && s.queuedLocked() == 0 && s.outstanding == 0 && s.inStage == 0
 }

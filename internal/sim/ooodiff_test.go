@@ -1,0 +1,338 @@
+package sim_test
+
+// Server-level differential exactness for out-of-order issue: the same
+// client request sequence driven through an in-order engine and an
+// out-of-order engine (both in Lockstep) must produce the identical
+// completion set — every read answered exactly once with the
+// program-order value, zero fixed-D violations — and both ledgers must
+// reconcile to zero against the client's. Ten seeds, plus coded-bank
+// and fault-injection variants; the whole file runs under `make race`.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/coded"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/multichannel"
+	"repro/internal/server"
+)
+
+// oooDiffResult is one engine run's observable outcome: per-read-op
+// data (nil entries are reads that resolved with an error) and the
+// ledger facts the runs are compared on.
+type oooDiffResult struct {
+	reads       [][]byte
+	errs        []error
+	completions uint64
+	writes      uint64
+}
+
+// runOOODiff drives one freshly built loopback stack (in-order or
+// out-of-order per the ooo flag) with the deterministic op sequence for
+// seed, waits for full drain, checks the per-run invariants (exactly
+// one resolution per read, zero fixed-D violations, ledger
+// reconciliation between client and engine), and returns the
+// completion set for cross-engine comparison.
+func runOOODiff(t *testing.T, cfg core.Config, seed uint64, nOps int, addrSpace uint64, ooo bool) oooDiffResult {
+	t.Helper()
+	mem, err := multichannel.New(cfg, 4, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := server.New(server.Config{Mem: mem, Lockstep: true, OOO: ooo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	cn, sn := net.Pipe()
+	if err := eng.ServeConn(sn); err != nil {
+		t.Fatal(err)
+	}
+	// The window exceeds the op count, so the client never blocks on
+	// window space mid-run — the lockstep engine only ticks on frames,
+	// and a window-blocked client with no frame in flight would deadlock.
+	c := client.New(cn, client.Config{Window: nOps + 16})
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if _, err := c.Stats(ctx); err != nil { // arm the client's fixed-D check
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewPCG(seed, 0x00d1ff))
+	res := oooDiffResult{reads: make([][]byte, nOps), errs: make([]error, nOps)}
+	var mu sync.Mutex
+	resolved := make([]int, nOps)
+	sentReads := 0
+	for i := 0; i < nOps; i++ {
+		addr := rng.Uint64N(addrSpace)
+		if rng.Float64() < 0.3 {
+			data := []byte{byte(i), byte(i >> 8), byte(addr), byte(seed), 0x5A, 0, 0, 1}
+			if err := c.Write(ctx, addr, data); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		i := i
+		sentReads++
+		err := c.Read(ctx, addr, func(cm client.Completion) {
+			mu.Lock()
+			defer mu.Unlock()
+			resolved[i]++
+			res.errs[i] = cm.Err
+			if cm.Err == nil {
+				res.reads[i] = append([]byte(nil), cm.Data...)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i, n := range resolved {
+		want := 0
+		if res.errs[i] != nil || res.reads[i] != nil {
+			want = 1
+		}
+		if n != want {
+			t.Fatalf("op %d resolved %d times", i, n)
+		}
+	}
+	ctr := c.Counters()
+	if ctr.LatencyViolations != 0 {
+		t.Fatalf("%d fixed-D violations (ooo=%v)", ctr.LatencyViolations, ooo)
+	}
+	snap := eng.Snapshot()
+	if snap.Outstanding != 0 || snap.OOOPending != 0 {
+		t.Fatalf("engine not drained after Flush: %d outstanding, %d staged", snap.Outstanding, snap.OOOPending)
+	}
+	if snap.Completions != ctr.Completions || snap.Writes != ctr.AcceptedWrites {
+		t.Fatalf("ledgers diverge: engine %d/%d vs client %d/%d",
+			snap.Completions, snap.Writes, ctr.Completions, ctr.AcceptedWrites)
+	}
+	if got := ctr.Completions + ctr.AcceptedWrites + ctr.Drops; got != ctr.Issued {
+		t.Fatalf("client ledger leaks: issued=%d resolved=%d", ctr.Issued, got)
+	}
+	if ooo && snap.OOODepth == 0 {
+		t.Fatal("out-of-order engine does not report its stage depth in the snapshot")
+	}
+	res.completions = ctr.Completions
+	res.writes = ctr.AcceptedWrites
+	if int(res.completions) != sentReads && ctr.Drops == 0 {
+		t.Fatalf("%d reads sent, %d completed, 0 dropped", sentReads, res.completions)
+	}
+	return res
+}
+
+// oooDiffModel replays the op sequence serially: expected data per
+// read op (last preceding write, or the zero word).
+func oooDiffModel(seed uint64, nOps int, addrSpace uint64) [][]byte {
+	rng := rand.New(rand.NewPCG(seed, 0x00d1ff))
+	model := map[uint64][]byte{}
+	want := make([][]byte, nOps)
+	zero := make([]byte, 8)
+	for i := 0; i < nOps; i++ {
+		addr := rng.Uint64N(addrSpace)
+		if rng.Float64() < 0.3 {
+			model[addr] = []byte{byte(i), byte(i >> 8), byte(addr), byte(seed), 0x5A, 0, 0, 1}
+			continue
+		}
+		if w, ok := model[addr]; ok {
+			want[i] = w
+		} else {
+			want[i] = zero
+		}
+	}
+	return want
+}
+
+// compareOOODiff checks both runs against the serial model and against
+// each other: the identical completion set, read by read.
+func compareOOODiff(t *testing.T, inOrder, ooo oooDiffResult, want [][]byte) {
+	t.Helper()
+	if inOrder.completions != ooo.completions || inOrder.writes != ooo.writes {
+		t.Fatalf("completion sets differ in size: in-order %d/%d vs out-of-order %d/%d",
+			inOrder.completions, inOrder.writes, ooo.completions, ooo.writes)
+	}
+	for i, w := range want {
+		if w == nil {
+			continue // write op
+		}
+		if inOrder.errs[i] != nil || ooo.errs[i] != nil {
+			t.Fatalf("op %d resolved with error: in-order %v, out-of-order %v", i, inOrder.errs[i], ooo.errs[i])
+		}
+		if !bytes.Equal(inOrder.reads[i], w) {
+			t.Fatalf("op %d: in-order data %x, want %x", i, inOrder.reads[i], w)
+		}
+		if !bytes.Equal(ooo.reads[i], w) {
+			t.Fatalf("op %d: out-of-order data %x, want %x", i, ooo.reads[i], w)
+		}
+	}
+}
+
+// oooDiffCfg: generous geometry so stalls never decide the comparison.
+func oooDiffCfg() core.Config {
+	return core.Config{Banks: 16, QueueDepth: 64, DelayRows: 256, WordBytes: 8}
+}
+
+// TestOOODifferentialLoopback is the server-level exactness contract
+// over ten seeds: reordered cross-channel issue must be invisible to
+// the client — identical completion set, program-order data under
+// heavy same-address traffic, exact fixed-D, reconciled ledgers.
+func TestOOODifferentialLoopback(t *testing.T) {
+	const (
+		nOps      = 1500
+		addrSpace = 384
+	)
+	for seed := uint64(0); seed < 10; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			want := oooDiffModel(seed, nOps, addrSpace)
+			inOrder := runOOODiff(t, oooDiffCfg(), seed, nOps, addrSpace, false)
+			ooo := runOOODiff(t, oooDiffCfg(), seed, nOps, addrSpace, true)
+			compareOOODiff(t, inOrder, ooo, want)
+		})
+	}
+}
+
+// TestOOODifferentialCoded repeats the contract with XOR-parity coded
+// banks: two reads per channel per cycle through the stage must not
+// open an ordering or data hole.
+func TestOOODifferentialCoded(t *testing.T) {
+	cfg := oooDiffCfg()
+	cfg.Coded = coded.Geometry{Group: 4, K: 2}
+	for seed := uint64(0); seed < 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			want := oooDiffModel(seed^0xC0DE, 1200, 256)
+			inOrder := runOOODiff(t, cfg, seed^0xC0DE, 1200, 256, false)
+			ooo := runOOODiff(t, cfg, seed^0xC0DE, 1200, 256, true)
+			compareOOODiff(t, inOrder, ooo, want)
+		})
+	}
+}
+
+// TestOOOFaultedLoopback runs the out-of-order engine over faulty DRAM
+// (write-once addresses, so client-visible results are independent of
+// fault timing): every read resolves exactly once, uncorrectable
+// completions arrive flagged, unflagged data is correct, fixed-D holds,
+// and the ledgers reconcile — reordering must not detach a fault from
+// its own request.
+func TestOOOFaultedLoopback(t *testing.T) {
+	inj, err := fault.New(fault.Config{Seed: 11, SingleBitRate: 0.02, DoubleBitRate: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := oooDiffCfg()
+	cfg.Fault = inj
+	mem, err := multichannel.New(cfg, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := server.New(server.Config{Mem: mem, Lockstep: true, OOO: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	cn, sn := net.Pipe()
+	if err := eng.ServeConn(sn); err != nil {
+		t.Fatal(err)
+	}
+	const reads = 3000
+	c := client.New(cn, client.Config{Window: reads + 512})
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if _, err := c.Stats(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewPCG(3, 33))
+	model := map[uint64][]byte{}
+	addrs := make([]uint64, 0, 256)
+	for len(model) < 256 {
+		a := rng.Uint64N(1 << 24)
+		if _, dup := model[a]; dup {
+			continue
+		}
+		w := make([]byte, 8)
+		for i := range w {
+			w[i] = byte(rng.Uint64())
+		}
+		model[a] = w
+		addrs = append(addrs, a)
+		if err := c.Write(ctx, a, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mu sync.Mutex
+	var resolved, flagged, corrupt, multi int
+	for i := 0; i < reads; i++ {
+		addr := addrs[rng.IntN(len(addrs))]
+		want := model[addr]
+		seen := false
+		err := c.Read(ctx, addr, func(cm client.Completion) {
+			mu.Lock()
+			defer mu.Unlock()
+			if seen {
+				multi++
+				return
+			}
+			seen = true
+			resolved++
+			switch {
+			case cm.Err == nil:
+				if !bytes.Equal(cm.Data, want) {
+					corrupt++
+				}
+			case errors.Is(cm.Err, core.ErrUncorrectable):
+				flagged++
+			default:
+				t.Errorf("read %d resolved with %v", i, cm.Err)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if resolved != reads || multi != 0 {
+		t.Fatalf("%d/%d reads resolved, %d twice", resolved, reads, multi)
+	}
+	if corrupt != 0 {
+		t.Fatalf("%d unflagged corrupt words crossed the wire", corrupt)
+	}
+	if flagged == 0 {
+		t.Fatal("a 1% double-bit rate injected nothing through the stage")
+	}
+	ctr := c.Counters()
+	if ctr.LatencyViolations != 0 {
+		t.Fatalf("%d fixed-D violations under faults", ctr.LatencyViolations)
+	}
+	snap := eng.Snapshot()
+	if snap.Outstanding != 0 || snap.OOOPending != 0 {
+		t.Fatalf("engine not drained: %d outstanding, %d staged", snap.Outstanding, snap.OOOPending)
+	}
+	if snap.Completions != ctr.Completions || snap.Uncorrectable != uint64(flagged) {
+		t.Fatalf("ledger: engine %d completions/%d uncorrectable vs client %d/%d",
+			snap.Completions, snap.Uncorrectable, ctr.Completions, uint64(flagged))
+	}
+}
